@@ -1,0 +1,67 @@
+//! Criterion bench over the design-choice ablations (DESIGN.md index):
+//! FIFO balancing, loop occupancy policy, and cache organization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soff_datapath::hierarchy::DatapathOptions;
+use soff_datapath::{Datapath, LatencyModel};
+use soff_ir::mem::{ArgValue, GlobalMemory};
+use soff_ir::NdRange;
+use soff_sim::{run, SimConfig};
+
+const SRC: &str = r#"
+__kernel void reduce(__global const float* a, __global float* o, int n) {
+    int i = get_global_id(0);
+    float acc = 0.0f;
+    for (int j = 0; j < n; j++) {
+        float x = a[(i * 7 + j * 13) % (n * 8)];
+        if (x > 0.5f) acc += x / 3.0f;
+        else acc += x;
+    }
+    o[i] = acc;
+}
+"#;
+
+fn simulate(opts: DatapathOptions, shared: bool) -> u64 {
+    let parsed = soff_frontend::compile(SRC, &[]).unwrap();
+    let module = soff_ir::build::lower(&parsed).unwrap();
+    let kernel = module.kernel("reduce").unwrap();
+    let dp = Datapath::build_opts(kernel, &LatencyModel::default(), opts);
+    let n = 32u64;
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc((n * 8 * 4) as usize);
+    let o = gm.alloc((n * 8 * 4) as usize);
+    let cfg = SimConfig { num_instances: 1, force_shared_cache: shared, ..SimConfig::default() };
+    run(
+        kernel,
+        &dp,
+        &cfg,
+        NdRange::dim1(n * 8, 16),
+        &[ArgValue::Buffer(a), ArgValue::Buffer(o), ArgValue::Scalar(n)],
+        &mut gm,
+    )
+    .unwrap()
+    .cycles
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("full-soff", |b| {
+        b.iter(|| simulate(DatapathOptions::default(), false))
+    });
+    group.bench_function("no-fifo-balancing", |b| {
+        b.iter(|| simulate(DatapathOptions { balance_fifos: false, ..Default::default() }, false))
+    });
+    group.bench_function("nmin-loop-limit", |b| {
+        b.iter(|| simulate(DatapathOptions { loop_limit_max: false, ..Default::default() }, false))
+    });
+    group.bench_function("shared-cache", |b| {
+        b.iter(|| simulate(DatapathOptions::default(), true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

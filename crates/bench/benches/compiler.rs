@@ -1,0 +1,42 @@
+//! Criterion bench of the compiler itself (frontend → SSA → datapath →
+//! FIFO-balancing ILP), on a representative barrier kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soff_datapath::{Datapath, LatencyModel};
+
+const SRC: &str = r#"
+__kernel void tile(__global const float* a, __global float* o, int n) {
+    __local float t[64];
+    int l = get_local_id(0);
+    float acc = 0.0f;
+    for (int base = 0; base < n; base += 64) {
+        t[l] = a[base + l];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int j = 0; j < 64; j++) acc += t[j] * 0.5f;
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    o[get_global_id(0)] = acc;
+}
+"#;
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("frontend+sema", |b| {
+        b.iter(|| soff_frontend::compile(SRC, &[]).unwrap())
+    });
+    group.bench_function("lower-to-ssa", |b| {
+        let parsed = soff_frontend::compile(SRC, &[]).unwrap();
+        b.iter(|| soff_ir::build::lower(&parsed).unwrap())
+    });
+    group.bench_function("datapath-synthesis", |b| {
+        let parsed = soff_frontend::compile(SRC, &[]).unwrap();
+        let module = soff_ir::build::lower(&parsed).unwrap();
+        b.iter(|| Datapath::build(module.kernel("tile").unwrap(), &LatencyModel::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

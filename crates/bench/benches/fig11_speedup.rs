@@ -1,0 +1,39 @@
+//! Criterion bench regenerating the Fig. 11 comparison on a representative
+//! subset (one regular, one irregular, one barrier-heavy application):
+//! each iteration simulates the full kernel execution on both frameworks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soff_baseline::Framework;
+use soff_workloads::{all_apps, data::Scale, execute};
+
+fn bench_fig11(c: &mut Criterion) {
+    // One irregular, one regular, one barrier-heavy app — all of
+    // which Intel OpenCL can run (124.hotspot is RE on Intel, Table II).
+    let subset = ["112.spmv", "gemm", "127.srad"];
+    let apps: Vec<_> =
+        all_apps().into_iter().filter(|a| subset.contains(&a.name)).collect();
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for app in &apps {
+        group.bench_function(format!("{}-soff", app.name), |b| {
+            b.iter(|| {
+                let r = execute(app, Framework::Soff, Scale::Small);
+                assert_eq!(r.outcome, soff_baseline::Outcome::Ok);
+                r.cycles
+            })
+        });
+        group.bench_function(format!("{}-intel", app.name), |b| {
+            b.iter(|| {
+                let r = execute(app, Framework::IntelLike, Scale::Small);
+                assert_eq!(r.outcome, soff_baseline::Outcome::Ok);
+                r.cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

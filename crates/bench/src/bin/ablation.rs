@@ -1,0 +1,220 @@
+//! Ablation study of SOFF's design choices (beyond the paper's figures;
+//! DESIGN.md's per-experiment index calls these out):
+//!
+//! 1. **FIFO balancing off** (§IV-C): channels get capacity 1 — Case-2
+//!    stalls throttle every join.
+//! 2. **N_min loop limit** (§IV-E3): loops capped at the conservative
+//!    minimum-cycle capacity with no back-edge FIFO — lower utilization
+//!    when work-items take the long path.
+//! 3. **Shared cache** (§V-A): one cache for all buffers instead of one
+//!    per (buffer × datapath) — arbitration and conflict misses.
+//! 4. **Near-maximum latency sweep** (§IV-A): L_F for global memory in
+//!    {8, 16, 32, 64, 128}.
+//! 5. **Uniform-loop SWGR elision off** (§IV-F1): every loop in a barrier
+//!    kernel is serialized to one work-group at a time — measured on a
+//!    separate barrier kernel whose loop bound is a kernel argument.
+//!
+//! ```text
+//! cargo run --release -p soff-bench --bin ablation
+//! ```
+
+use soff_datapath::hierarchy::DatapathOptions;
+use soff_datapath::{Datapath, LatencyModel};
+use soff_ir::mem::{ArgValue, GlobalMemory};
+use soff_ir::NdRange;
+use soff_sim::{run, SimConfig};
+
+/// A memory-bound reduction kernel with a branchy loop: every ablated
+/// mechanism matters for it.
+const SRC: &str = r#"
+__kernel void reduce(__global const float* a, __global const float* b,
+                     __global float* o, int n) {
+    int i = get_global_id(0);
+    float acc = 0.0f;
+    for (int j = 0; j < n; j++) {
+        // Pseudo-random gather over a >64 KB region: misses dominate, so
+        // the near-maximum latency (how many misses stay in flight) and
+        // the cache organization both matter.
+        float x = a[(i * 379 + j * 1543) % (n * 512)];
+        if (x > 0.5f) acc += x / b[j % 16];
+        else acc += x * 0.25f;
+    }
+    o[i] = acc;
+}
+"#;
+
+struct Variant {
+    name: &'static str,
+    opts: DatapathOptions,
+    lat: LatencyModel,
+    shared_cache: bool,
+}
+
+fn run_variant(v: &Variant) -> u64 {
+    let parsed = soff_frontend::compile(SRC, &[]).expect("ablation kernel compiles");
+    let module = soff_ir::build::lower(&parsed).expect("ablation kernel lowers");
+    let kernel = module.kernel("reduce").expect("kernel present");
+    let dp = Datapath::build_opts(kernel, &v.lat, v.opts);
+
+    let n = 64u64;
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc((n * 512 * 4) as usize);
+    let b = gm.alloc(16 * 4);
+    let o = gm.alloc((n * 16 * 4) as usize);
+    for i in 0..n * 512 {
+        gm.buffer_mut(a).write_scalar(
+            i * 4,
+            soff_frontend::types::Scalar::F32,
+            ((i % 17) as f32 / 16.0).to_bits() as u64,
+        );
+    }
+    for i in 0..16 {
+        gm.buffer_mut(b).write_scalar(
+            i * 4,
+            soff_frontend::types::Scalar::F32,
+            (1.0f32 + i as f32).to_bits() as u64,
+        );
+    }
+    let cfg = SimConfig {
+        num_instances: 2,
+        force_shared_cache: v.shared_cache,
+        ..SimConfig::default()
+    };
+    let res = run(
+        kernel,
+        &dp,
+        &cfg,
+        NdRange::dim1(n * 16, 16),
+        &[ArgValue::Buffer(a), ArgValue::Buffer(b), ArgValue::Buffer(o), ArgValue::Scalar(n)],
+        &mut gm,
+    )
+    .expect("ablation run completes");
+    res.cycles
+}
+
+fn main() {
+    let base = Variant {
+        name: "full SOFF (baseline)",
+        opts: DatapathOptions::default(),
+        lat: LatencyModel::default(),
+        shared_cache: false,
+    };
+    let variants = [
+        Variant {
+            name: "no FIFO balancing (§IV-C)",
+            opts: DatapathOptions { balance_fifos: false, ..Default::default() },
+            ..make_like(&base)
+        },
+        Variant {
+            name: "N_min loop limit (§IV-E3)",
+            opts: DatapathOptions { loop_limit_max: false, ..Default::default() },
+            ..make_like(&base)
+        },
+        Variant {
+            name: "single shared cache (§V-A)",
+            shared_cache: true,
+            ..make_like(&base)
+        },
+        Variant {
+            name: "L_F(mem)=8",
+            lat: LatencyModel { global_mem: 8, ..LatencyModel::default() },
+            ..make_like(&base)
+        },
+        Variant {
+            name: "L_F(mem)=16",
+            lat: LatencyModel { global_mem: 16, ..LatencyModel::default() },
+            ..make_like(&base)
+        },
+        Variant {
+            name: "L_F(mem)=32",
+            lat: LatencyModel { global_mem: 32, ..LatencyModel::default() },
+            ..make_like(&base)
+        },
+        Variant {
+            name: "L_F(mem)=128",
+            lat: LatencyModel { global_mem: 128, ..LatencyModel::default() },
+            ..make_like(&base)
+        },
+    ];
+
+    println!("Ablations on the branchy memory-bound reduction kernel");
+    println!("{:-<58}", "");
+    println!("{:<30} {:>10} {:>12}", "variant", "cycles", "vs baseline");
+    println!("{:-<58}", "");
+    let base_cycles = run_variant(&base);
+    println!("{:<30} {:>10} {:>11.2}x", base.name, base_cycles, 1.0);
+    for v in &variants {
+        let c = run_variant(v);
+        println!("{:<30} {:>10} {:>11.2}x", v.name, c, c as f64 / base_cycles as f64);
+    }
+    println!("{:-<58}", "");
+    println!("(>1.00x = slower than full SOFF; each mechanism should cost when removed)");
+
+    // The §IV-F1 uniform-loop optimization, on a barrier kernel.
+    println!();
+    println!("Uniform-trip-count loop analysis (§IV-F1), barrier kernel:");
+    let with = run_barrier_variant(true);
+    let without = run_barrier_variant(false);
+    println!("  with analysis (no SWGR)    : {with:>10} cycles");
+    println!(
+        "  without (SWGR serializes)  : {without:>10} cycles  ({:.2}x)",
+        without as f64 / with as f64
+    );
+}
+
+/// A barrier kernel whose loop bound is a kernel argument: §IV-F1's
+/// analysis proves it uniform, so the loop keeps ordinary entrance glue
+/// and work-groups overlap inside it; disabling the analysis serializes
+/// them.
+// Uses a *global*-fence barrier and no local memory, so the §V-B
+// work-group slot gating does not apply and the loop's SWGR policy is the
+// only thing limiting work-group overlap.
+const BARRIER_SRC: &str = r#"
+__kernel void neigh(__global float* tmp, __global const float* a,
+                    __global float* o, int n) {
+    int g = get_global_id(0);
+    float s = 0.0f;
+    for (int j = 0; j < n; j++) s += a[(g + j * 64) % (n * 64)];
+    tmp[g] = s;
+    barrier(CLK_GLOBAL_MEM_FENCE);
+    o[g] = tmp[(int)((ulong)g ^ 1UL)] + s;
+}
+"#;
+
+fn run_barrier_variant(uniform_opt: bool) -> u64 {
+    let parsed = soff_frontend::compile(BARRIER_SRC, &[]).expect("barrier kernel compiles");
+    let module = soff_ir::build::lower(&parsed).expect("barrier kernel lowers");
+    let kernel = module.kernel("neigh").expect("kernel present");
+    let opts = DatapathOptions { uniform_loop_opt: uniform_opt, ..Default::default() };
+    let dp = Datapath::build_opts(kernel, &LatencyModel::default(), opts);
+    let n = 32u64;
+    let mut gm = GlobalMemory::new();
+    let tmp = gm.alloc((n * 64 * 4) as usize);
+    let a = gm.alloc((n * 64 * 4) as usize);
+    let o = gm.alloc((n * 64 * 4) as usize);
+    let cfg = SimConfig { num_instances: 2, ..SimConfig::default() };
+    run(
+        kernel,
+        &dp,
+        &cfg,
+        NdRange::dim1(n * 16, 16),
+        &[
+            ArgValue::Buffer(tmp),
+            ArgValue::Buffer(a),
+            ArgValue::Buffer(o),
+            ArgValue::Scalar(n),
+        ],
+        &mut gm,
+    )
+    .expect("barrier variant completes")
+    .cycles
+}
+
+fn make_like(base: &Variant) -> Variant {
+    Variant {
+        name: base.name,
+        opts: base.opts,
+        lat: base.lat.clone(),
+        shared_cache: base.shared_cache,
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerates **Fig. 11** (speedup of SOFF over Intel FPGA SDK for
+//! OpenCL, 26 applications, geometric mean).
+//!
+//! ```text
+//! cargo run --release -p soff-bench --bin fig11 [--full]
+//! ```
+//!
+//! Both stacks maximally replicate datapath instances (the paper inserts
+//! `num_compute_units(N)` into Intel's builds for fairness; our harness
+//! forces the same replication on both).
+
+use soff_baseline::Framework;
+use soff_bench::{fmt_ratio, geomean, paper, speedups_vs};
+use soff_workloads::data::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") { Scale::Full } else { Scale::Small };
+    println!("Fig. 11: Speedup of SOFF over Intel FPGA SDK for OpenCL ({scale:?} scale)");
+    println!("{:-<64}", "");
+    println!("{:<16} {:>9} {:>11} {:>11} {:>6}", "Application", "speedup", "SOFF cyc", "Intel cyc", "inst");
+    println!("{:-<64}", "");
+    let rows = speedups_vs(Framework::IntelLike, scale);
+    let mut wins = 0;
+    for (name, sp, soff, intel) in &rows {
+        if *sp > 1.0 {
+            wins += 1;
+        }
+        println!(
+            "{:<16} {:>9} {:>11} {:>11} {:>6}",
+            name,
+            fmt_ratio(*sp),
+            soff.cycles,
+            intel.cycles,
+            soff.replication,
+        );
+    }
+    let gm = geomean(&rows.iter().map(|(_, s, _, _)| *s).collect::<Vec<_>>());
+    println!("{:-<64}", "");
+    println!(
+        "Geomean speedup: {:.2}   (paper: {:.2});  SOFF wins {wins}/{} (paper: {}/{})",
+        gm,
+        paper::FIG11_GEOMEAN,
+        rows.len(),
+        paper::FIG11_WINS.0,
+        paper::FIG11_WINS.1
+    );
+    println!("Paper's annotated outliers for comparison:");
+    for (name, v) in paper::FIG11_OUTLIERS {
+        let got = rows.iter().find(|(n, ..)| n == name).map(|(_, s, ..)| *s);
+        match got {
+            Some(s) => println!("  {name:<10} paper {v:>6.2}x   measured {s:>6.2}x"),
+            None => println!("  {name:<10} paper {v:>6.2}x   (not run)"),
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Regenerates **Fig. 12** (the two indirect Xilinx SDAccel comparisons).
+//!
+//! * **Xilinx-vs-SOFF I** (Fig. 12 (a)): SOFF on System A vs. SDAccel on
+//!   System B with its default single compute unit.
+//! * **Xilinx-vs-SOFF II** (Fig. 12 (b)): the optimistic assumption that
+//!   SDAccel scaled linearly over the datapath instances the FPGA could
+//!   hold — divide its time by SOFF's replication factor.
+//!
+//! ```text
+//! cargo run --release -p soff-bench --bin fig12 [--full]
+//! ```
+
+use soff_baseline::Framework;
+use soff_bench::{fmt_ratio, geomean, paper, speedups_vs};
+use soff_workloads::data::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") { Scale::Full } else { Scale::Small };
+    let rows = speedups_vs(Framework::XilinxLike, scale);
+
+    println!("Fig. 12 (a): Xilinx-vs-SOFF I — SOFF speedup over SDAccel ({scale:?} scale)");
+    println!("{:-<56}", "");
+    println!("{:<16} {:>9} {:>11} {:>11}", "Application", "speedup", "SOFF s", "Xilinx s");
+    println!("{:-<56}", "");
+    let mut sp1 = Vec::new();
+    let mut sp2 = Vec::new();
+    for (name, sp, soff, xil) in &rows {
+        let _ = soff;
+        sp1.push(*sp);
+        println!(
+            "{:<16} {:>9} {:>11.3e} {:>11.3e}",
+            name,
+            fmt_ratio(*sp),
+            soff.seconds,
+            xil.seconds
+        );
+        // Fig. 12 (b): extrapolate SDAccel linearly over the instances it
+        // could replicate on the VU9P (the paper's optimistic assumption).
+        // SDAccel caps compute units per kernel at 16, which bounds the
+        // extrapolation.
+        let linear = sp / xil.replication.clamp(1, 16) as f64;
+        sp2.push((name, linear));
+    }
+    println!("{:-<56}", "");
+    println!(
+        "Geomean: {:.1}x  (paper: {:.1}x — SDAccel ~25x slower despite the larger FPGA)",
+        geomean(&sp1),
+        paper::FIG12A_GEOMEAN
+    );
+
+    println!();
+    println!("Fig. 12 (b): Xilinx-vs-SOFF II — with SDAccel extrapolated linearly");
+    println!("{:-<40}", "");
+    for (name, sp) in &sp2 {
+        println!("{:<16} {:>9}", name, fmt_ratio(*sp));
+    }
+    println!("{:-<40}", "");
+    println!(
+        "Geomean: {:.2}x  (paper: {:.2}x — SOFF still ~30% faster under the optimistic assumption)",
+        geomean(&sp2.iter().map(|(_, s)| *s).collect::<Vec<_>>()),
+        paper::FIG12B_GEOMEAN
+    );
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Table I** (target systems).
+//!
+//! ```text
+//! cargo run -p soff-bench --bin table1
+//! ```
+
+use soff_datapath::resource::{SYSTEM_A, SYSTEM_B};
+
+fn main() {
+    println!("Table I: Target systems");
+    println!("{:-<78}", "");
+    println!("{:<22} {:<28} {:<28}", "", SYSTEM_A.name, SYSTEM_B.name);
+    println!("{:-<78}", "");
+    println!("{:<22} {:<28} {:<28}", "FPGA", SYSTEM_A.fpga, SYSTEM_B.fpga);
+    println!(
+        "{:<22} {:<28} {:<28}",
+        "Logic (LUT/LE)",
+        format!("{:.0}K usable", SYSTEM_A.capacity.luts / 1e3),
+        format!("{:.0}K usable", SYSTEM_B.capacity.luts / 1e3),
+    );
+    println!(
+        "{:<22} {:<28} {:<28}",
+        "DSP blocks",
+        format!("{:.0} usable", SYSTEM_A.capacity.dsps),
+        format!("{:.0} usable", SYSTEM_B.capacity.dsps),
+    );
+    println!(
+        "{:<22} {:<28} {:<28}",
+        "Embedded memory",
+        format!("{:.1} Mb usable", SYSTEM_A.capacity.membits / 1e6),
+        format!("{:.1} Mb usable", SYSTEM_B.capacity.membits / 1e6),
+    );
+    println!(
+        "{:<22} {:<28} {:<28}",
+        "DRAM channels",
+        SYSTEM_A.dram_channels,
+        SYSTEM_B.dram_channels
+    );
+    println!(
+        "{:<22} {:<28} {:<28}",
+        "Clock (SOFF/vendor)",
+        format!("{:.0} / {:.0} MHz", SYSTEM_A.clock_soff_mhz, SYSTEM_A.clock_vendor_mhz),
+        format!("{:.0} / {:.0} MHz", SYSTEM_B.clock_soff_mhz, SYSTEM_B.clock_vendor_mhz),
+    );
+    println!("{:-<78}", "");
+    println!(
+        "Paper (Table I): Arria 10 = 1150K LE / 3036 DSP / 65.7 Mb; \
+         VU9P = 2586K LC / 6840 DSP / 345.9 Mb."
+    );
+    println!(
+        "This model exposes 80% of each device to the reconfigurable region \
+         (the static region keeps the rest)."
+    );
+}

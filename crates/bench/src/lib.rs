@@ -1,0 +1,108 @@
+//! # soff-bench
+//!
+//! The benchmark harness of the SOFF reproduction: one binary per table /
+//! figure of §VI (run with `cargo run -p soff-bench --bin <name>`), plus
+//! Criterion benches. Each binary prints the same rows/series the paper
+//! reports together with the published values where the paper gives them,
+//! so paper-vs-measured comparison is mechanical (see EXPERIMENTS.md).
+
+use soff_baseline::Framework;
+use soff_workloads::{all_apps, data::Scale, execute, App, AppResult};
+
+/// Geometric mean of positive values.
+pub fn geomean(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return f64::NAN;
+    }
+    (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+/// The 26 applications Intel OpenCL can run (Fig. 11's x-axis).
+pub fn fig11_apps() -> Vec<App> {
+    all_apps()
+        .into_iter()
+        .filter(|a| {
+            soff_baseline::known_issue(Framework::IntelLike, a.name).is_none()
+                // SOFF cannot run the IR apps either, so they cannot appear.
+                && !matches!(a.name, "122.cfd" | "128.heartwall" | "140.bplustree")
+        })
+        .collect()
+}
+
+/// Per-app speedup of SOFF over a baseline framework at the given scale.
+/// Returns `(name, speedup, soff_result, baseline_result)` for apps both
+/// frameworks run.
+pub fn speedups_vs(
+    baseline: Framework,
+    scale: Scale,
+) -> Vec<(&'static str, f64, AppResult, AppResult)> {
+    let mut rows = Vec::new();
+    for app in all_apps() {
+        let soff = execute(&app, Framework::Soff, scale);
+        if soff.outcome != soff_baseline::Outcome::Ok {
+            continue;
+        }
+        let base = execute(&app, baseline, scale);
+        if base.outcome != soff_baseline::Outcome::Ok {
+            continue;
+        }
+        rows.push((app.name, base.seconds / soff.seconds, soff, base));
+    }
+    rows
+}
+
+/// Published Fig. 11 data points (the bars tall enough for the paper to
+/// print their value) and headline numbers, for side-by-side reporting.
+pub mod paper {
+    /// Fig. 11 geometric-mean speedup of SOFF over Intel OpenCL.
+    pub const FIG11_GEOMEAN: f64 = 1.33;
+    /// Fig. 11: SOFF outperforms Intel OpenCL on 17 of 26 applications.
+    pub const FIG11_WINS: (u32, u32) = (17, 26);
+    /// The clipped-bar values the figure annotates.
+    pub const FIG11_OUTLIERS: &[(&str, f64)] =
+        &[("110.fft", 4.02), ("117.bfs", 21.0), ("mvt", 4.75), ("covar", 4.67)];
+    /// Fig. 12 (a): Xilinx-vs-SOFF I geometric mean (SOFF over SDAccel).
+    pub const FIG12A_GEOMEAN: f64 = 24.9;
+    /// Fig. 12 (b): Xilinx-vs-SOFF II geometric mean under the optimistic
+    /// linear-scaling assumption.
+    pub const FIG12B_GEOMEAN: f64 = 1.33;
+    /// Table II failure counts: Intel fails 8 SPEC apps; Xilinx fails
+    /// 9 SPEC + 5 PolyBench; SOFF fails 3 (insufficient resources).
+    pub const TABLE2_FAILS: (u32, u32, u32) = (8, 14, 3);
+}
+
+/// Formats a ratio for table output.
+pub fn fmt_ratio(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:7.0}")
+    } else {
+        format!("{x:7.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn fig11_has_26_apps() {
+        assert_eq!(fig11_apps().len(), 26, "Fig. 11 covers 26 applications");
+    }
+}
+
+/// Aggregated per-framework simulation counters over a run (hit ratios,
+/// stall breakdown) — printed by `fig11 --verbose` style analyses and
+/// reused by tests.
+pub fn summarize(result: &AppResult) -> String {
+    format!(
+        "{} cycles over {} launches ({} instances)",
+        result.cycles, result.launches, result.replication
+    )
+}

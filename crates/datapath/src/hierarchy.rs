@@ -1,0 +1,702 @@
+//! Hierarchical datapath generation (§IV-D, §IV-E, §IV-F).
+//!
+//! The datapath is built by recursively combining basic pipelines along
+//! the control tree, inserting glue logic:
+//!
+//! * **branch** and **select** glue for `IfThen`/`IfThenElse`;
+//! * **loop entrance / exit** glue sharing a work-item counter that bounds
+//!   loop occupancy to `N_max` (Theorem 1's deadlock-prevention bound),
+//!   plus a FIFO of size `N_max − N_min` on the back edge;
+//! * **work-group order** devices for kernels with barriers (Fig. 8):
+//!   order-preserving select queues after branches and *single work-group
+//!   region* (SWGR) entrance/exit glue on loops;
+//! * **barrier** units: FIFOs that release one whole work-group at a time.
+
+use crate::latency::LatencyModel;
+use crate::pipeline::BasicPipeline;
+use soff_ir::ctree::Region;
+use soff_ir::ir::{BlockId, Kernel};
+use soff_ir::liveness::Liveness;
+use soff_ir::pointer::PointerAnalysis;
+use std::collections::HashMap;
+
+/// A node of the hierarchical datapath. Indices refer to
+/// [`Datapath::basics`].
+#[derive(Debug, Clone)]
+pub enum PipeNode {
+    /// A basic pipeline.
+    Basic(usize),
+    /// Sequential composition.
+    Seq(Vec<PipeNode>),
+    /// Branch glue + select glue around an optional region
+    /// (`if` without `else`).
+    IfThen {
+        /// The basic pipeline computing (and ending with) the condition.
+        cond: usize,
+        /// The taken region.
+        then: Box<PipeNode>,
+        /// Whether the select glue must preserve work-group order
+        /// (a FIFO of branch decisions feeds the select, Fig. 8 (a)).
+        order_fifo: bool,
+    },
+    /// Branch glue + select glue around two regions.
+    IfThenElse {
+        /// Condition pipeline.
+        cond: usize,
+        /// Taken when non-zero.
+        then: Box<PipeNode>,
+        /// Taken when zero.
+        els: Box<PipeNode>,
+        /// See [`PipeNode::IfThen::order_fifo`].
+        order_fifo: bool,
+    },
+    /// A while loop: entrance select → cond pipeline → branch →
+    /// (body → back edge) | exit.
+    While {
+        /// Condition pipeline.
+        cond: usize,
+        /// Loop body.
+        body: Box<PipeNode>,
+        /// Occupancy bound `N_max` enforced by the entrance/exit glue.
+        nmax: u64,
+        /// Back-edge FIFO capacity `N_max − N_min` (§IV-E3).
+        backedge_fifo: u64,
+        /// Whether entrance/exit are SWGR glues (single work-group
+        /// region, Fig. 8 (d)).
+        swgr: bool,
+    },
+    /// A do-while loop; the body's final basic pipeline produces the
+    /// back-edge condition.
+    SelfLoop {
+        /// Loop body (its last block ends with the condition).
+        body: Box<PipeNode>,
+        /// Occupancy bound.
+        nmax: u64,
+        /// Back-edge FIFO capacity.
+        backedge_fifo: u64,
+        /// SWGR entrance/exit.
+        swgr: bool,
+    },
+    /// A work-group barrier unit (§IV-F1).
+    Barrier {
+        /// Fence flags.
+        flags: u32,
+    },
+}
+
+/// A synthesized datapath for one kernel.
+#[derive(Debug)]
+pub struct Datapath {
+    /// Kernel name.
+    pub kernel: String,
+    /// All basic pipelines, indexed by the block id they implement.
+    pub basics: Vec<BasicPipeline>,
+    /// Map from block id to index in `basics`.
+    pub basic_of_block: HashMap<BlockId, usize>,
+    /// The pipeline tree.
+    pub root: PipeNode,
+    /// `L_Datapath`: the maximum `Σ L_F` over entry-exit paths (§V-B),
+    /// used to size local-memory work-group slots.
+    pub l_datapath: u64,
+    /// Number of work-groups allowed in the datapath simultaneously when
+    /// local memory is used: `⌈L_Datapath / 256⌉` (§V-B).
+    pub wg_slots: u64,
+    /// The latency model the datapath was built with.
+    pub latencies: LatencyModel,
+}
+
+/// Build-time ablation switches (all on by default; the ablation benches
+/// turn individual mechanisms off to measure their contribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatapathOptions {
+    /// Insert FIFO queues to equalize source-sink paths (§IV-C).
+    pub balance_fifos: bool,
+    /// Use `N_max` + back-edge FIFO for loop occupancy (§IV-E3). When
+    /// false, loops are limited to the conservative `N_min` instead.
+    pub loop_limit_max: bool,
+    /// Apply §IV-F1's uniform-trip-count analysis so provably uniform
+    /// loops skip SWGR glue in barrier kernels. When false, every loop in
+    /// a barrier kernel gets SWGR (the conservative fallback).
+    pub uniform_loop_opt: bool,
+}
+
+impl Default for DatapathOptions {
+    fn default() -> Self {
+        DatapathOptions { balance_fifos: true, loop_limit_max: true, uniform_loop_opt: true }
+    }
+}
+
+impl Datapath {
+    /// Builds the datapath for `kernel` (§IV): DFGs → basic pipelines →
+    /// hierarchical composition with deadlock bounds and work-group-order
+    /// devices.
+    pub fn build(kernel: &Kernel, lat: &LatencyModel) -> Datapath {
+        Self::build_opts(kernel, lat, DatapathOptions::default())
+    }
+
+    /// As [`Datapath::build`] with ablation options.
+    pub fn build_opts(kernel: &Kernel, lat: &LatencyModel, opts: DatapathOptions) -> Datapath {
+        let live = soff_ir::liveness::liveness(kernel);
+        let pa = soff_ir::pointer::analyze(kernel);
+        Self::build_with(kernel, lat, &live, &pa, opts)
+    }
+
+    /// As [`Datapath::build`] with precomputed analyses.
+    pub fn build_with(
+        kernel: &Kernel,
+        lat: &LatencyModel,
+        live: &Liveness,
+        pa: &PointerAnalysis,
+        opts: DatapathOptions,
+    ) -> Datapath {
+        let dfgs = soff_ir::dfg::build_all(kernel, live, pa);
+        let basics: Vec<BasicPipeline> = dfgs
+            .into_iter()
+            .map(|d| BasicPipeline::build_opts(kernel, d, lat, opts.balance_fifos))
+            .collect();
+        let basic_of_block: HashMap<BlockId, usize> =
+            basics.iter().enumerate().map(|(i, b)| (b.dfg.block, i)).collect();
+
+        // Work-group order devices are only needed when a barrier exists
+        // anywhere downstream; conservatively, anywhere in the kernel.
+        let needs_order = kernel.uses_barrier;
+
+        let mut root = build_node(
+            kernel,
+            &kernel.ctree,
+            &basics,
+            &basic_of_block,
+            needs_order,
+            opts.uniform_loop_opt,
+        );
+        if !opts.loop_limit_max {
+            clamp_loops_to_nmin(&mut root, &basics);
+        }
+
+        let l_datapath = node_depth(&root, &basics);
+        let wg_slots = l_datapath.div_ceil(256).max(1);
+
+        Datapath {
+            kernel: kernel.name.clone(),
+            basics,
+            basic_of_block,
+            root,
+            l_datapath,
+            wg_slots,
+            latencies: lat.clone(),
+        }
+    }
+
+    /// Total number of functional units (for the resource model).
+    pub fn num_units(&self) -> usize {
+        self.basics.iter().map(|b| b.units.len()).sum()
+    }
+}
+
+fn build_node(
+    kernel: &Kernel,
+    r: &Region,
+    basics: &[BasicPipeline],
+    by_block: &HashMap<BlockId, usize>,
+    order: bool,
+    uniform_opt: bool,
+) -> PipeNode {
+    match r {
+        Region::Block(b) => PipeNode::Basic(by_block[b]),
+        Region::Seq(children) => {
+            let nodes: Vec<PipeNode> = children
+                .iter()
+                .map(|c| build_node(kernel, c, basics, by_block, order, uniform_opt))
+                .collect();
+            if nodes.len() == 1 {
+                nodes.into_iter().next().expect("len checked")
+            } else {
+                PipeNode::Seq(nodes)
+            }
+        }
+        Region::Barrier { flags } => PipeNode::Barrier { flags: *flags },
+        Region::IfThen { cond, then } => PipeNode::IfThen {
+            cond: by_block[cond],
+            then: Box::new(build_node(kernel, then, basics, by_block, order, uniform_opt)),
+            order_fifo: order,
+        },
+        Region::IfThenElse { cond, then, els } => PipeNode::IfThenElse {
+            cond: by_block[cond],
+            then: Box::new(build_node(kernel, then, basics, by_block, order, uniform_opt)),
+            els: Box::new(build_node(kernel, els, basics, by_block, order, uniform_opt)),
+            order_fifo: order,
+        },
+        Region::WhileLoop { cond, body } => {
+            let body_node = build_node(kernel, body, basics, by_block, order, uniform_opt);
+            let cond_idx = by_block[cond];
+            let (nmin, nmax) = loop_occupancy(cond_idx, &body_node, basics);
+            // A barrier inside the loop *requires* SWGR (Fig. 8 (d)).
+            // Otherwise, §IV-F1's optimization applies: a loop whose trip
+            // count is an expression of kernel arguments and constants
+            // (every work-item iterates the same number of times) already
+            // preserves work-group order and does not need SWGR.
+            let uniform = uniform_opt && loop_trip_is_uniform(kernel, *cond, body);
+            let swgr = (order && !uniform) || body.contains_barrier();
+            PipeNode::While {
+                cond: cond_idx,
+                body: Box::new(body_node),
+                nmax,
+                backedge_fifo: nmax - nmin,
+                swgr,
+            }
+        }
+        Region::SelfLoop { body } => {
+            let body_node = build_node(kernel, body, basics, by_block, order, uniform_opt);
+            let (nmin, nmax) = self_loop_occupancy(&body_node, basics);
+            let blocks = body.blocks();
+            let last = *blocks.last().expect("self loop with no blocks");
+            let uniform = uniform_opt && loop_trip_is_uniform(kernel, last, body);
+            let swgr = (order && !uniform) || body.contains_barrier();
+            PipeNode::SelfLoop {
+                body: Box::new(body_node),
+                nmax,
+                backedge_fifo: nmax - nmin,
+                swgr,
+            }
+        }
+    }
+}
+
+/// §IV-F1: whether the loop's trip count is "an expression of kernel
+/// arguments and constant values", i.e. identical for every work-item.
+///
+/// Checked by walking the backward slice of the loop condition: a value is
+/// *uniform-inductive* if it is a launch constant, a cast/arithmetic over
+/// uniform-inductive values, or a phi of the condition block whose
+/// incoming values are themselves uniform-inductive. Anything touching
+/// memory, work-item identity, or values defined outside the loop (which
+/// may differ per work-item) disqualifies the loop.
+pub fn loop_trip_is_uniform(kernel: &Kernel, cond_block: BlockId, body: &Region) -> bool {
+    use soff_ir::ir::{InstKind, Terminator, ValueId};
+    use std::collections::HashSet;
+
+    let cond = match &kernel.block(cond_block).term {
+        Terminator::CondBr { cond, .. } => *cond,
+        _ => return false,
+    };
+    let mut loop_blocks: HashSet<BlockId> = body.blocks().into_iter().collect();
+    loop_blocks.insert(cond_block);
+
+    // Block each value is defined in.
+    let mut def_block = std::collections::HashMap::new();
+    for (bid, b) in kernel.iter_blocks() {
+        for &v in &b.instrs {
+            def_block.insert(v, bid);
+        }
+    }
+
+    fn check(
+        kernel: &Kernel,
+        v: ValueId,
+        cond_block: BlockId,
+        loop_blocks: &HashSet<BlockId>,
+        def_block: &std::collections::HashMap<ValueId, BlockId>,
+        visiting: &mut HashSet<ValueId>,
+    ) -> bool {
+        use soff_ir::ir::InstKind;
+        if !visiting.insert(v) {
+            return true; // cycle through an induction phi: fine
+        }
+        let instr = kernel.instr(v);
+        if instr.is_uniform() {
+            return true;
+        }
+        let ok = match &instr.kind {
+            InstKind::Bin { a, b, .. } => {
+                check(kernel, *a, cond_block, loop_blocks, def_block, visiting)
+                    && check(kernel, *b, cond_block, loop_blocks, def_block, visiting)
+            }
+            InstKind::Un { a, .. } | InstKind::Cast { a, .. } => {
+                check(kernel, *a, cond_block, loop_blocks, def_block, visiting)
+            }
+            InstKind::Select { cond, a, b } => {
+                check(kernel, *cond, cond_block, loop_blocks, def_block, visiting)
+                    && check(kernel, *a, cond_block, loop_blocks, def_block, visiting)
+                    && check(kernel, *b, cond_block, loop_blocks, def_block, visiting)
+            }
+            InstKind::Phi { incoming } => {
+                // Only induction phis of the loop header qualify; their
+                // incoming values (initial + step) must also be uniform.
+                def_block.get(&v) == Some(&cond_block)
+                    && incoming.iter().all(|(_, pv)| {
+                        check(kernel, *pv, cond_block, loop_blocks, def_block, visiting)
+                    })
+            }
+            // Memory, atomics, work-item identity: per-work-item values.
+            _ => false,
+        };
+        // A non-phi value defined inside the loop is fine (it is recomputed
+        // each iteration from its operands, already checked); one defined
+        // *outside* the loop must itself be uniform — which `is_uniform`
+        // above or the operand walk has already decided.
+        ok
+    }
+
+    let _ = InstKind::Const(0);
+    let mut visiting = HashSet::new();
+    check(kernel, cond, cond_block, &loop_blocks, &def_block, &mut visiting)
+}
+
+impl PipeNode {
+    /// Maximum work-item capacity along any entry-exit path of this node
+    /// (`Σ l_min(B)` — used to size order-preserving FIFOs).
+    pub fn max_capacity(&self, basics: &[BasicPipeline]) -> u64 {
+        path_lmin(self, basics).1
+    }
+
+    /// Whether this node (recursively) contains a barrier unit.
+    pub fn contains_barrier(&self) -> bool {
+        match self {
+            PipeNode::Barrier { .. } => true,
+            PipeNode::Basic(_) => false,
+            PipeNode::Seq(cs) => cs.iter().any(PipeNode::contains_barrier),
+            PipeNode::IfThen { then, .. } => then.contains_barrier(),
+            PipeNode::IfThenElse { then, els, .. } => {
+                then.contains_barrier() || els.contains_barrier()
+            }
+            PipeNode::While { body, .. } | PipeNode::SelfLoop { body, .. } => {
+                body.contains_barrier()
+            }
+        }
+    }
+}
+
+/// Ablation: limit every loop to `N_min` with no back-edge FIFO (the
+/// conservative variant §IV-E3 improves on).
+fn clamp_loops_to_nmin(node: &mut PipeNode, basics: &[BasicPipeline]) {
+    match node {
+        PipeNode::Basic(_) | PipeNode::Barrier { .. } => {}
+        PipeNode::Seq(cs) => {
+            for c in cs {
+                clamp_loops_to_nmin(c, basics);
+            }
+        }
+        PipeNode::IfThen { then, .. } => clamp_loops_to_nmin(then, basics),
+        PipeNode::IfThenElse { then, els, .. } => {
+            clamp_loops_to_nmin(then, basics);
+            clamp_loops_to_nmin(els, basics);
+        }
+        PipeNode::While { cond, body, nmax, backedge_fifo, .. } => {
+            let (nmin, _) = loop_occupancy(*cond, body, basics);
+            *nmax = nmin;
+            *backedge_fifo = 0;
+            clamp_loops_to_nmin(body, basics);
+        }
+        PipeNode::SelfLoop { body, nmax, backedge_fifo, .. } => {
+            let (nmin, _) = self_loop_occupancy(body, basics);
+            *nmax = nmin;
+            *backedge_fifo = 0;
+            clamp_loops_to_nmin(body, basics);
+        }
+    }
+}
+
+/// Min/max of `Σ l_min(B)` over the entry-exit paths of a node
+/// (the quantities in Theorem 1's `N_max`/`N_min`).
+fn path_lmin(node: &PipeNode, basics: &[BasicPipeline]) -> (u64, u64) {
+    match node {
+        PipeNode::Basic(i) => (basics[*i].lmin, basics[*i].lmin),
+        PipeNode::Seq(children) => children.iter().fold((0, 0), |(lo, hi), c| {
+            let (clo, chi) = path_lmin(c, basics);
+            (lo + clo, hi + chi)
+        }),
+        PipeNode::Barrier { .. } => (0, 0),
+        PipeNode::IfThen { cond, then, .. } => {
+            let c = basics[*cond].lmin;
+            let (tlo, thi) = path_lmin(then, basics);
+            (c + 0.min(tlo), c + thi) // not-taken path contributes 0
+        }
+        PipeNode::IfThenElse { cond, then, els, .. } => {
+            let c = basics[*cond].lmin;
+            let (tlo, thi) = path_lmin(then, basics);
+            let (elo, ehi) = path_lmin(els, basics);
+            (c + tlo.min(elo), c + thi.max(ehi))
+        }
+        PipeNode::While { cond, body, nmax, .. } => {
+            // A work-item passing through holds at least the cond pipeline
+            // once; the loop as a whole can hold up to nmax.
+            let _ = body;
+            (basics[*cond].lmin, *nmax)
+        }
+        PipeNode::SelfLoop { body, nmax, .. } => {
+            let (blo, _) = path_lmin(body, basics);
+            (blo, *nmax)
+        }
+    }
+}
+
+/// `N_min`/`N_max` for a while loop: min/max over cycles of
+/// `Σ l_min(B) − 1` where the cycle is cond + one body path (§IV-E3).
+fn loop_occupancy(cond: usize, body: &PipeNode, basics: &[BasicPipeline]) -> (u64, u64) {
+    let (blo, bhi) = path_lmin(body, basics);
+    let c = basics[cond].lmin;
+    let nmin = (c + blo).saturating_sub(1).max(1);
+    let nmax = (c + bhi).saturating_sub(1).max(1);
+    (nmin, nmax)
+}
+
+/// `N_min`/`N_max` for a self (do-while) loop: the cycle is one body path.
+fn self_loop_occupancy(body: &PipeNode, basics: &[BasicPipeline]) -> (u64, u64) {
+    let (blo, bhi) = path_lmin(body, basics);
+    (blo.saturating_sub(1).max(1), bhi.saturating_sub(1).max(1))
+}
+
+/// Maximum `Σ L_F` over entry-exit paths of the datapath (`L_Datapath`,
+/// §V-B). Loops count as one iteration (the paper's definition ranges
+/// over static paths).
+fn node_depth(node: &PipeNode, basics: &[BasicPipeline]) -> u64 {
+    match node {
+        PipeNode::Basic(i) => basics[*i].depth(),
+        PipeNode::Seq(children) => children.iter().map(|c| node_depth(c, basics)).sum(),
+        PipeNode::Barrier { .. } => 1,
+        PipeNode::IfThen { cond, then, .. } => {
+            basics[*cond].depth() + node_depth(then, basics)
+        }
+        PipeNode::IfThenElse { cond, then, els, .. } => {
+            basics[*cond].depth() + node_depth(then, basics).max(node_depth(els, basics))
+        }
+        PipeNode::While { cond, body, .. } => basics[*cond].depth() + node_depth(body, basics),
+        PipeNode::SelfLoop { body, .. } => node_depth(body, basics),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soff_frontend::compile;
+    use soff_ir::build::lower;
+
+    fn datapath(src: &str) -> Datapath {
+        let p = compile(src, &[]).unwrap();
+        let k = lower(&p).unwrap().kernels.into_iter().next().unwrap();
+        soff_ir::verify::verify(&k).unwrap();
+        Datapath::build(&k, &LatencyModel::default())
+    }
+
+    fn find_loop(n: &PipeNode) -> Option<(u64, u64, bool)> {
+        match n {
+            PipeNode::While { nmax, backedge_fifo, swgr, body, .. } => {
+                Some((*nmax, *backedge_fifo, *swgr)).or_else(|| find_loop(body))
+            }
+            PipeNode::SelfLoop { nmax, backedge_fifo, swgr, body } => {
+                Some((*nmax, *backedge_fifo, *swgr)).or_else(|| find_loop(body))
+            }
+            PipeNode::Seq(cs) => cs.iter().find_map(find_loop),
+            PipeNode::IfThen { then, .. } => find_loop(then),
+            PipeNode::IfThenElse { then, els, .. } => find_loop(then).or_else(|| find_loop(els)),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn straight_kernel_has_no_glue() {
+        let dp = datapath("__kernel void k(__global float* a) { a[get_global_id(0)] = 1.0f; }");
+        assert!(matches!(dp.root, PipeNode::Basic(_) | PipeNode::Seq(_)));
+        assert!(find_loop(&dp.root).is_none());
+    }
+
+    #[test]
+    fn loop_kernel_gets_occupancy_bound() {
+        let dp = datapath(
+            "__kernel void k(__global float* a, int n) {
+                float s = 0.0f;
+                for (int i = 0; i < n; i++) s += a[i];
+                a[0] = s;
+            }",
+        );
+        let (nmax, _fifo, swgr) = find_loop(&dp.root).expect("loop expected");
+        // The loop body contains a global load (L_F = 64), so N_max must
+        // be comfortably large.
+        assert!(nmax > 64, "nmax = {nmax}");
+        assert!(!swgr, "no barrier: no SWGR");
+    }
+
+    #[test]
+    fn branch_in_loop_creates_fifo_slack() {
+        // A branchy loop body: the two arms differ a lot in capacity
+        // (divide vs. nothing), so N_max > N_min and the back edge needs a
+        // FIFO.
+        let dp = datapath(
+            "__kernel void k(__global float* a, int n) {
+                float s = 1.0f;
+                for (int i = 0; i < n; i++) {
+                    if (i % 3 == 0) s = s / a[i] + a[i+1];
+                }
+                a[0] = s;
+            }",
+        );
+        let (_nmax, fifo, _) = find_loop(&dp.root).expect("loop expected");
+        assert!(fifo > 0, "expected back-edge FIFO slack");
+    }
+
+    #[test]
+    fn barrier_forces_swgr_and_order() {
+        let dp = datapath(
+            "__kernel void k(__global float* a, int n) {
+                __local float t[64];
+                int l = get_local_id(0);
+                for (int i = 0; i < n; i++) {
+                    t[l] = a[i * 64 + l];
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                    a[i * 64 + l] = t[63 - l];
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                }
+            }",
+        );
+        let (_, _, swgr) = find_loop(&dp.root).expect("loop expected");
+        assert!(swgr, "barrier in loop requires SWGR glue");
+    }
+
+    #[test]
+    fn wg_slots_scale_with_depth() {
+        let dp = datapath(
+            "__kernel void k(__global float* a) {
+                __local float t[8];
+                t[get_local_id(0) % 8] = a[get_global_id(0)];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[get_global_id(0)] = t[0];
+            }",
+        );
+        assert!(dp.l_datapath > 0);
+        assert_eq!(dp.wg_slots, dp.l_datapath.div_ceil(256).max(1));
+    }
+
+    #[test]
+    fn every_block_has_a_basic_pipeline() {
+        let dp = datapath(
+            "__kernel void k(__global int* a, int n) {
+                for (int i = 0; i < n; i++)
+                    if (a[i] > 0) a[i] = -a[i];
+            }",
+        );
+        assert_eq!(dp.basics.len(), dp.basic_of_block.len());
+    }
+}
+
+#[cfg(test)]
+mod uniform_tests {
+    use super::*;
+    use soff_frontend::compile;
+    use soff_ir::build::lower;
+
+    fn datapath(src: &str) -> Datapath {
+        let p = compile(src, &[]).unwrap();
+        let k = lower(&p).unwrap().kernels.into_iter().next().unwrap();
+        Datapath::build(&k, &LatencyModel::default())
+    }
+
+    fn loops_of(n: &PipeNode, out: &mut Vec<(bool, u64)>) {
+        match n {
+            PipeNode::While { swgr, nmax, body, .. }
+            | PipeNode::SelfLoop { swgr, nmax, body, .. } => {
+                out.push((*swgr, *nmax));
+                loops_of(body, out);
+            }
+            PipeNode::Seq(cs) => cs.iter().for_each(|c| loops_of(c, out)),
+            PipeNode::IfThen { then, .. } => loops_of(then, out),
+            PipeNode::IfThenElse { then, els, .. } => {
+                loops_of(then, out);
+                loops_of(els, out);
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn uniform_bound_loop_skips_swgr_in_barrier_kernel() {
+        // The loop bound is a kernel argument: every work-item iterates
+        // `n` times, so §IV-F1 lets the loop keep ordinary entrance glue
+        // even though a barrier follows it.
+        let dp = datapath(
+            "__kernel void k(__global float* a, int n) {
+                __local float t[16];
+                int l = get_local_id(0);
+                float s = 0.0f;
+                for (int i = 0; i < n; i++) s += a[i];
+                t[l] = s;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[get_global_id(0)] = t[15 - l];
+            }",
+        );
+        let mut loops = Vec::new();
+        loops_of(&dp.root, &mut loops);
+        assert_eq!(loops.len(), 1);
+        assert!(!loops[0].0, "uniform-trip loop must not be SWGR");
+    }
+
+    #[test]
+    fn data_dependent_loop_keeps_swgr_in_barrier_kernel() {
+        // The bound depends on the work-item id: trips differ, so the
+        // conservative SWGR glue is required (Fig. 8).
+        let dp = datapath(
+            "__kernel void k(__global float* a, int n) {
+                __local float t[16];
+                int l = get_local_id(0);
+                float s = 0.0f;
+                for (int i = 0; i < l + n; i++) s += a[i];
+                t[l] = s;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[get_global_id(0)] = t[15 - l];
+            }",
+        );
+        let mut loops = Vec::new();
+        loops_of(&dp.root, &mut loops);
+        assert_eq!(loops.len(), 1);
+        assert!(loops[0].0, "work-item-dependent loop requires SWGR");
+    }
+
+    #[test]
+    fn memory_dependent_loop_keeps_swgr() {
+        let dp = datapath(
+            "__kernel void k(__global float* a, __global const int* lim) {
+                __local float t[16];
+                int l = get_local_id(0);
+                float s = 0.0f;
+                for (int i = 0; i < lim[0]; i++) s += a[i];
+                t[l] = s;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[get_global_id(0)] = t[15 - l];
+            }",
+        );
+        let mut loops = Vec::new();
+        loops_of(&dp.root, &mut loops);
+        assert!(loops[0].0, "memory-bound condition cannot be proven uniform");
+    }
+
+    #[test]
+    fn barrier_inside_loop_always_swgr() {
+        let dp = datapath(
+            "__kernel void k(__global float* a, int n) {
+                __local float t[16];
+                int l = get_local_id(0);
+                for (int i = 0; i < n; i++) {
+                    t[l] = a[i * 16 + l];
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                    a[i * 16 + l] = t[15 - l];
+                }
+            }",
+        );
+        let mut loops = Vec::new();
+        loops_of(&dp.root, &mut loops);
+        assert!(loops[0].0, "barrier inside the loop requires SWGR regardless of the bound");
+    }
+
+    #[test]
+    fn no_barrier_kernel_never_uses_swgr() {
+        let dp = datapath(
+            "__kernel void k(__global float* a, int n) {
+                float s = 0.0f;
+                for (int i = 0; i < get_global_id(0) % 7; i++) s += a[i];
+                a[get_global_id(0)] = s;
+            }",
+        );
+        let mut loops = Vec::new();
+        loops_of(&dp.root, &mut loops);
+        assert!(!loops[0].0);
+    }
+}

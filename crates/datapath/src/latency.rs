@@ -1,0 +1,236 @@
+//! Functional-unit classification and near-maximum latencies (§IV-A).
+//!
+//! Every DFG node becomes a functional unit. Each unit `F` has a
+//! *near-maximum latency* `L_F`: for fixed-latency units it is the exact
+//! latency; for variable-latency units (global memory accesses, atomics)
+//! it is chosen empirically so that most work-items finish within `L_F`
+//! cycles. `L_F` determines the unit's internal pipeline capacity
+//! (`L_F + 1` work-items, §IV-C) and drives both FIFO balancing and the
+//! deadlock bounds.
+
+use soff_frontend::ast::{BinOp, UnOp};
+use soff_frontend::builtins::MathFunc;
+use soff_frontend::types::{AddressSpace, Scalar};
+use soff_ir::ir::{InstKind, Instr};
+
+/// Broad functional-unit class, used by the latency/resource models and
+/// the RTL emitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitClass {
+    /// The source of a basic pipeline (distributes live-ins).
+    Source,
+    /// The sink of a basic pipeline (aggregates live-outs).
+    Sink,
+    /// Integer add/sub/logic/compare/select/cast.
+    IntSimple,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide / remainder.
+    IntDiv,
+    /// Floating add/sub/compare.
+    FloatAdd,
+    /// Floating multiply.
+    FloatMul,
+    /// Floating divide.
+    FloatDiv,
+    /// Elementary function (sqrt, exp, sin, ...).
+    MathFunc,
+    /// Work-item identity query.
+    WorkItem,
+    /// Global-memory load (variable latency, through a cache).
+    GlobalLoad,
+    /// Global-memory store (variable latency, through a cache).
+    GlobalStore,
+    /// Local-memory access (fixed latency, banked embedded memory).
+    LocalMem,
+    /// Private-memory access (fixed latency, registers/LUTRAM).
+    PrivateMem,
+    /// Atomic operation (variable latency, locks + cache).
+    Atomic,
+}
+
+/// Near-maximum latencies per unit class, in clock cycles.
+///
+/// The defaults follow §VI-A ("we empirically choose a proper near-maximum
+/// latency for every functional unit (e.g., 64 for global memory
+/// loads/stores)") and typical FPGA IP latencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// `L_F` for global loads and stores (the paper's empirical 64).
+    pub global_mem: u32,
+    /// `L_F` for atomics (lock acquire + read-modify-write).
+    pub atomic: u32,
+    /// `L_F` for local-memory accesses.
+    pub local_mem: u32,
+    /// `L_F` for private-memory accesses.
+    pub private_mem: u32,
+    /// Simple integer ops.
+    pub int_simple: u32,
+    /// Integer multiply.
+    pub int_mul: u32,
+    /// Integer divide.
+    pub int_div: u32,
+    /// Float add/sub/cmp.
+    pub float_add: u32,
+    /// Float multiply.
+    pub float_mul: u32,
+    /// Float divide.
+    pub float_div: u32,
+    /// Elementary functions.
+    pub math: u32,
+    /// Doubles cost multiplier (f64 units take roughly twice as long).
+    pub double_factor: u32,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            global_mem: 64,
+            atomic: 68,
+            local_mem: 2,
+            private_mem: 1,
+            int_simple: 1,
+            int_mul: 3,
+            int_div: 16,
+            float_add: 3,
+            float_mul: 3,
+            float_div: 12,
+            math: 20,
+            double_factor: 2,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// The near-maximum latency of the unit class over scalar type `ty`.
+    pub fn latency(&self, class: UnitClass, ty: Scalar) -> u32 {
+        let dbl = if ty == Scalar::F64 { self.double_factor } else { 1 };
+        match class {
+            UnitClass::Source | UnitClass::Sink => 0,
+            UnitClass::IntSimple | UnitClass::WorkItem => self.int_simple,
+            UnitClass::IntMul => self.int_mul,
+            UnitClass::IntDiv => self.int_div,
+            UnitClass::FloatAdd => self.float_add * dbl,
+            UnitClass::FloatMul => self.float_mul * dbl,
+            UnitClass::FloatDiv => self.float_div * dbl,
+            UnitClass::MathFunc => self.math * dbl,
+            UnitClass::GlobalLoad | UnitClass::GlobalStore => self.global_mem,
+            UnitClass::LocalMem => self.local_mem,
+            UnitClass::PrivateMem => self.private_mem,
+            UnitClass::Atomic => self.atomic,
+        }
+    }
+
+    /// The *actual service latency* of a fixed-latency unit (equals `L_F`),
+    /// or the minimum latency for variable-latency units (a cache hit /
+    /// uncontended lock).
+    pub fn service_latency(&self, class: UnitClass, ty: Scalar) -> u32 {
+        match class {
+            // Cache hit latency; misses take longer at run time.
+            UnitClass::GlobalLoad | UnitClass::GlobalStore => 4,
+            UnitClass::Atomic => 6,
+            other => self.latency(other, ty),
+        }
+    }
+}
+
+/// Classifies an instruction into a unit class.
+///
+/// Uniform instructions and phis never reach this function (they are not
+/// DFG nodes).
+pub fn classify(instr: &Instr) -> UnitClass {
+    match &instr.kind {
+        InstKind::Bin { op, ty, .. } => classify_bin(*op, *ty),
+        InstKind::Un { op, ty, .. } => match op {
+            UnOp::Neg if ty.is_float() => UnitClass::FloatAdd,
+            _ => UnitClass::IntSimple,
+        },
+        InstKind::Cast { from, to, .. } => {
+            if from.is_float() || to.is_float() {
+                UnitClass::FloatAdd // int<->float converters cost like adders
+            } else {
+                UnitClass::IntSimple
+            }
+        }
+        InstKind::Select { .. } => UnitClass::IntSimple,
+        InstKind::Math { func, .. } => match func {
+            MathFunc::Fabs | MathFunc::Fmin | MathFunc::Fmax => UnitClass::FloatAdd,
+            MathFunc::Fma | MathFunc::Mad => UnitClass::FloatMul,
+            _ => UnitClass::MathFunc,
+        },
+        InstKind::WorkItem(..) => UnitClass::WorkItem,
+        InstKind::Load { space, .. } => match space {
+            AddressSpace::Global | AddressSpace::Constant => UnitClass::GlobalLoad,
+            AddressSpace::Local => UnitClass::LocalMem,
+            AddressSpace::Private => UnitClass::PrivateMem,
+        },
+        InstKind::Store { space, .. } => match space {
+            AddressSpace::Global | AddressSpace::Constant => UnitClass::GlobalStore,
+            AddressSpace::Local => UnitClass::LocalMem,
+            AddressSpace::Private => UnitClass::PrivateMem,
+        },
+        InstKind::Atomic { .. } => UnitClass::Atomic,
+        InstKind::Phi { .. }
+        | InstKind::Const(_)
+        | InstKind::Param(_)
+        | InstKind::LocalBase(_)
+        | InstKind::PrivBase(_) => {
+            unreachable!("phi/uniform instructions are not functional units")
+        }
+    }
+}
+
+fn classify_bin(op: BinOp, ty: Scalar) -> UnitClass {
+    if ty.is_float() {
+        match op {
+            BinOp::Mul => UnitClass::FloatMul,
+            BinOp::Div | BinOp::Rem => UnitClass::FloatDiv,
+            _ => UnitClass::FloatAdd,
+        }
+    } else {
+        match op {
+            BinOp::Mul => UnitClass::IntMul,
+            BinOp::Div | BinOp::Rem => UnitClass::IntDiv,
+            _ => UnitClass::IntSimple,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bin(op: BinOp, ty: Scalar) -> Instr {
+        Instr {
+            kind: InstKind::Bin { op, ty, a: soff_ir::ir::ValueId(0), b: soff_ir::ir::ValueId(1) },
+            ty: Some(ty),
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify(&bin(BinOp::Add, Scalar::I32)), UnitClass::IntSimple);
+        assert_eq!(classify(&bin(BinOp::Mul, Scalar::I32)), UnitClass::IntMul);
+        assert_eq!(classify(&bin(BinOp::Div, Scalar::F32)), UnitClass::FloatDiv);
+        assert_eq!(classify(&bin(BinOp::Lt, Scalar::F64)), UnitClass::FloatAdd);
+    }
+
+    #[test]
+    fn default_latencies_match_paper() {
+        let m = LatencyModel::default();
+        assert_eq!(m.latency(UnitClass::GlobalLoad, Scalar::F32), 64);
+        assert_eq!(m.latency(UnitClass::Source, Scalar::I32), 0);
+        // f64 units are slower.
+        assert!(m.latency(UnitClass::FloatAdd, Scalar::F64) > m.latency(UnitClass::FloatAdd, Scalar::F32));
+    }
+
+    #[test]
+    fn service_latency_below_near_max_for_memory() {
+        let m = LatencyModel::default();
+        assert!(m.service_latency(UnitClass::GlobalLoad, Scalar::F32) < m.latency(UnitClass::GlobalLoad, Scalar::F32));
+        assert_eq!(
+            m.service_latency(UnitClass::IntMul, Scalar::I32),
+            m.latency(UnitClass::IntMul, Scalar::I32)
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # soff-datapath
+//!
+//! Datapath synthesis for SOFF (§IV of the paper): functional units with
+//! near-maximum latencies, run-time-pipelined basic pipelines with
+//! ILP-balanced FIFOs, hierarchical composition along the control tree
+//! (branch/select/loop/SWGR/barrier glue with Theorem-1 deadlock bounds),
+//! and the FPGA resource model that decides datapath replication per
+//! target system (Table I).
+//!
+//! ## Example
+//!
+//! ```
+//! use soff_datapath::{Datapath, LatencyModel, resource};
+//!
+//! let src = "__kernel void k(__global float* a, int n) {
+//!     float s = 0.0f;
+//!     for (int i = 0; i < n; i++) s += a[i];
+//!     a[0] = s;
+//! }";
+//! let parsed = soff_frontend::compile(src, &[]).unwrap();
+//! let module = soff_ir::build::lower(&parsed).unwrap();
+//! let dp = Datapath::build(module.kernel("k").unwrap(), &LatencyModel::default());
+//! assert!(dp.num_units() > 5);
+//!
+//! let cost = resource::datapath_cost(&dp, 1, 0, 1);
+//! let repl = resource::replicate(cost, &resource::SYSTEM_A).unwrap();
+//! assert!(repl.num_datapaths >= 1);
+//! ```
+
+pub mod hierarchy;
+pub mod latency;
+pub mod pipeline;
+pub mod resource;
+
+pub use hierarchy::{Datapath, PipeNode};
+pub use latency::{LatencyModel, UnitClass};
+pub use pipeline::BasicPipeline;

@@ -1,0 +1,321 @@
+//! FPGA resource model and datapath replication (§III-B, §III-C, Table I).
+//!
+//! SOFF cannot know how many datapath copies fit before logic synthesis,
+//! so it "generates various RTL descriptions with different numbers of
+//! datapaths … and chooses the one with the largest number … that are
+//! successfully synthesized". Without a real synthesis tool, this module
+//! provides an analytic cost model per functional unit, calibrated to the
+//! published capacities of the two evaluation systems (Table I), and picks
+//! the replication factor the same way.
+
+use crate::hierarchy::Datapath;
+use crate::latency::UnitClass;
+use crate::pipeline::BasicPipeline;
+use soff_frontend::types::Scalar;
+use std::fmt;
+
+/// Resource usage (or capacity): LUTs, DSP blocks, embedded memory bits.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Resources {
+    /// Logic elements / LUTs.
+    pub luts: f64,
+    /// DSP blocks.
+    pub dsps: f64,
+    /// Embedded memory, in bits.
+    pub membits: f64,
+}
+
+impl Resources {
+    /// Component-wise addition.
+    pub fn add(&mut self, o: Resources) {
+        self.luts += o.luts;
+        self.dsps += o.dsps;
+        self.membits += o.membits;
+    }
+
+    /// Component-wise scaling.
+    pub fn scaled(&self, f: f64) -> Resources {
+        Resources { luts: self.luts * f, dsps: self.dsps * f, membits: self.membits * f }
+    }
+
+    /// Whether `self` fits within capacity `cap`.
+    pub fn fits(&self, cap: &Resources) -> bool {
+        self.luts <= cap.luts && self.dsps <= cap.dsps && self.membits <= cap.membits
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} LUTs, {:.0} DSPs, {:.2} Mb",
+            self.luts,
+            self.dsps,
+            self.membits / 1.0e6
+        )
+    }
+}
+
+/// A target system (one row of Table I) plus the timing constants the
+/// simulator converts cycles into seconds with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// FPGA device name.
+    pub fpga: &'static str,
+    /// Usable FPGA capacity (after the static region's share).
+    pub capacity: Resources,
+    /// SOFF-generated datapath clock, MHz.
+    pub clock_soff_mhz: f64,
+    /// Vendor-toolchain datapath clock, MHz (the commercial HLS compilers
+    /// close timing a bit higher thanks to static pipelining).
+    pub clock_vendor_mhz: f64,
+    /// External-memory random-access latency in datapath cycles.
+    pub dram_latency: u32,
+    /// Independent DRAM channels.
+    pub dram_channels: u32,
+    /// Cycles per 64-byte line per channel (bandwidth model).
+    pub dram_cycles_per_line: u32,
+}
+
+/// System A: Intel Programmable Acceleration Card with Arria 10 GX
+/// (Table I). 1150K logic elements, 3036 DSPs, 65.7 Mb embedded memory,
+/// 2× DDR4.
+pub const SYSTEM_A: SystemSpec = SystemSpec {
+    name: "System A",
+    fpga: "Intel Arria 10 GX 10AX115N2F40E2LG",
+    capacity: Resources {
+        // ~80% of the device is available to the reconfigurable region.
+        luts: 1_150_000.0 * 0.8,
+        dsps: 3036.0 * 0.8,
+        membits: 65.7e6 * 0.8,
+    },
+    clock_soff_mhz: 200.0,
+    clock_vendor_mhz: 240.0,
+    dram_latency: 38,
+    dram_channels: 2,
+    dram_cycles_per_line: 4,
+};
+
+/// System B: Xilinx VCU1525 with VU9P (Table I). 2586K logic cells,
+/// 6840 DSP slices, 345.9 Mb embedded memory, 4× DDR4.
+pub const SYSTEM_B: SystemSpec = SystemSpec {
+    name: "System B",
+    fpga: "Xilinx XCVU9P-L2FSGD2104E",
+    capacity: Resources {
+        luts: 2_586_000.0 * 0.8,
+        dsps: 6840.0 * 0.8,
+        membits: 345.9e6 * 0.8,
+    },
+    clock_soff_mhz: 250.0,
+    // SDAccel's achieved kernel clocks on the VU9P hovered around 200 MHz
+    // after routing, despite the 300 MHz platform target.
+    clock_vendor_mhz: 200.0,
+    dram_latency: 40,
+    dram_channels: 4,
+    dram_cycles_per_line: 4,
+};
+
+/// Per-unit resource cost.
+pub fn unit_cost(class: UnitClass, ty: Scalar) -> Resources {
+    let w = ty.size() as f64 * 8.0; // operand width in bits
+    let dbl = if ty == Scalar::F64 { 2.0 } else { 1.0 };
+    match class {
+        UnitClass::Source | UnitClass::Sink => Resources { luts: 50.0, dsps: 0.0, membits: 0.0 },
+        UnitClass::IntSimple | UnitClass::WorkItem => {
+            Resources { luts: 2.0 * w + 40.0, dsps: 0.0, membits: 0.0 }
+        }
+        UnitClass::IntMul => Resources { luts: 100.0, dsps: (w / 18.0).ceil(), membits: 0.0 },
+        UnitClass::IntDiv => Resources { luts: 12.0 * w, dsps: 0.0, membits: 0.0 },
+        UnitClass::FloatAdd => Resources { luts: 500.0 * dbl, dsps: 1.0 * dbl, membits: 0.0 },
+        UnitClass::FloatMul => Resources { luts: 300.0 * dbl, dsps: 1.0 * dbl, membits: 0.0 },
+        UnitClass::FloatDiv => Resources { luts: 800.0 * dbl, dsps: 4.0 * dbl, membits: 0.0 },
+        UnitClass::MathFunc => Resources { luts: 1500.0 * dbl, dsps: 8.0 * dbl, membits: 16.0e3 },
+        UnitClass::GlobalLoad | UnitClass::GlobalStore => {
+            // Load/store unit + its share of arbitration.
+            Resources { luts: 900.0, dsps: 0.0, membits: 8.0e3 }
+        }
+        UnitClass::LocalMem => Resources { luts: 300.0, dsps: 0.0, membits: 0.0 },
+        UnitClass::PrivateMem => Resources { luts: 200.0, dsps: 0.0, membits: 0.0 },
+        UnitClass::Atomic => Resources { luts: 1200.0, dsps: 0.0, membits: 4.0e3 },
+    }
+}
+
+/// Size of one direct-mapped global-memory cache, bytes (§VI-A: 64 KB,
+/// matching Intel OpenCL on the same FPGA).
+pub const CACHE_BYTES: u64 = 64 * 1024;
+
+/// Estimates the resources of one datapath instance, including its caches
+/// and local memory blocks.
+///
+/// Private memory is the often-overlooked cost driver: every work-item *in
+/// flight* needs its own copy of the kernel's private arrays, and a deep
+/// run-time pipeline holds on the order of `L_Datapath` work-items — this
+/// is what makes kernels with large private arrays (122.cfd,
+/// 128.heartwall, 140.bplustree) blow past the Arria 10's embedded memory
+/// (Table II's `IR` rows).
+pub fn datapath_cost_full(
+    dp: &Datapath,
+    num_caches: usize,
+    local_bytes: u64,
+    wg_slots: u64,
+    private_bytes: u64,
+) -> Resources {
+    let mut total = datapath_cost(dp, num_caches, local_bytes, wg_slots);
+    // Private segments for every work-item the pipeline can hold.
+    let in_flight = dp.l_datapath.max(64);
+    total.add(Resources {
+        luts: 0.0,
+        dsps: 0.0,
+        membits: (private_bytes * in_flight) as f64 * 8.0,
+    });
+    total
+}
+
+/// Estimates the resources of one datapath instance, including its caches
+/// and local memory blocks.
+pub fn datapath_cost(dp: &Datapath, num_caches: usize, local_bytes: u64, wg_slots: u64) -> Resources {
+    let mut total = Resources::default();
+    for bp in &dp.basics {
+        total.add(pipeline_cost(bp));
+    }
+    // Glue logic: rough share proportional to pipeline count.
+    total.add(Resources { luts: 200.0 * dp.basics.len() as f64, dsps: 0.0, membits: 0.0 });
+    // Caches (data + tags).
+    total.add(Resources {
+        luts: 2500.0 * num_caches as f64,
+        dsps: 0.0,
+        membits: num_caches as f64 * (CACHE_BYTES as f64 * 8.0 * 1.1),
+    });
+    // Local memory blocks replicated per work-group slot.
+    total.add(Resources {
+        luts: 0.0,
+        dsps: 0.0,
+        membits: (local_bytes * wg_slots) as f64 * 8.0,
+    });
+    total
+}
+
+/// Resources of one basic pipeline (units + FIFOs).
+pub fn pipeline_cost(bp: &BasicPipeline) -> Resources {
+    let mut total = Resources::default();
+    for u in &bp.units {
+        total.add(unit_cost(u.class, u.ty));
+    }
+    // Channel registers and inserted FIFOs: ~width bits per slot, in
+    // LUT-RAM for shallow queues.
+    for (ei, _e) in bp.dfg.edges.iter().enumerate() {
+        let extra = bp.fifo_extra[ei] as f64;
+        total.add(Resources { luts: 64.0 + 8.0 * extra, dsps: 0.0, membits: 64.0 * extra });
+    }
+    total
+}
+
+/// The outcome of "synthesizing" a kernel for a system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replication {
+    /// Datapath copies instantiated.
+    pub num_datapaths: u32,
+    /// Resources of one instance.
+    pub per_instance: Resources,
+    /// Total including all instances.
+    pub total: Resources,
+}
+
+/// Errors from the resource model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsufficientResources {
+    /// What a single instance needs.
+    pub required: Resources,
+    /// What the device offers.
+    pub available: Resources,
+}
+
+impl fmt::Display for InsufficientResources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "insufficient FPGA resources: a single datapath needs {} but only {} is available",
+            self.required, self.available
+        )
+    }
+}
+
+impl std::error::Error for InsufficientResources {}
+
+/// Chooses the number of datapath instances: the largest count whose total
+/// cost fits the system capacity (§III-C), capped at 64.
+///
+/// # Errors
+///
+/// [`InsufficientResources`] when even one instance does not fit — the
+/// `IR` outcome of Table II.
+pub fn replicate(
+    per_instance: Resources,
+    system: &SystemSpec,
+) -> Result<Replication, InsufficientResources> {
+    if !per_instance.fits(&system.capacity) {
+        return Err(InsufficientResources {
+            required: per_instance,
+            available: system.capacity,
+        });
+    }
+    let mut n = 1u32;
+    while n < 64 {
+        let next = per_instance.scaled((n + 1) as f64);
+        if !next.fits(&system.capacity) {
+            break;
+        }
+        n += 1;
+    }
+    Ok(Replication {
+        num_datapaths: n,
+        per_instance,
+        total: per_instance.scaled(n as f64),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systems_match_table1_scale() {
+        assert!(SYSTEM_B.capacity.luts > SYSTEM_A.capacity.luts);
+        assert!(SYSTEM_B.capacity.membits > SYSTEM_A.capacity.membits * 4.0);
+        assert_eq!(SYSTEM_A.dram_channels, 2);
+        assert_eq!(SYSTEM_B.dram_channels, 4);
+    }
+
+    #[test]
+    fn replication_maximizes_count() {
+        let per = Resources { luts: 100_000.0, dsps: 100.0, membits: 1.0e6 };
+        let r = replicate(per, &SYSTEM_A).unwrap();
+        assert!(r.num_datapaths >= 2);
+        assert!(r.total.fits(&SYSTEM_A.capacity));
+        let one_more = per.scaled((r.num_datapaths + 1) as f64);
+        assert!(!one_more.fits(&SYSTEM_A.capacity) || r.num_datapaths == 64);
+    }
+
+    #[test]
+    fn oversized_instance_is_rejected() {
+        let per = Resources { luts: 10.0e6, dsps: 0.0, membits: 0.0 };
+        let err = replicate(per, &SYSTEM_A).unwrap_err();
+        assert!(err.to_string().contains("insufficient FPGA resources"));
+    }
+
+    #[test]
+    fn replication_capped() {
+        let per = Resources { luts: 1.0, dsps: 0.0, membits: 0.0 };
+        let r = replicate(per, &SYSTEM_B).unwrap();
+        assert_eq!(r.num_datapaths, 64);
+    }
+
+    #[test]
+    fn costs_scale_with_width() {
+        let f32c = unit_cost(UnitClass::FloatAdd, Scalar::F32);
+        let f64c = unit_cost(UnitClass::FloatAdd, Scalar::F64);
+        assert!(f64c.luts > f32c.luts);
+    }
+}

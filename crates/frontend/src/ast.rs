@@ -1,0 +1,344 @@
+//! Abstract syntax tree for the OpenCL C subset.
+//!
+//! Every expression node carries a unique [`NodeId`] assigned by the parser;
+//! semantic analysis records the computed type of each expression in a side
+//! table keyed by that id (see `crate::sema::Analysis::types`).
+
+use crate::span::Span;
+use crate::types::{AddressSpace, Type};
+
+/// Unique id of an expression node within one translation unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// A whole translation unit: the functions defined in the kernel source.
+#[derive(Debug, Clone)]
+pub struct TranslationUnit {
+    /// All function definitions, kernels and helpers alike, in source order.
+    pub functions: Vec<Function>,
+    /// Number of expression ids handed out (the capacity the type map needs).
+    pub num_nodes: u32,
+}
+
+impl TranslationUnit {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Iterates over the `__kernel` functions.
+    pub fn kernels(&self) -> impl Iterator<Item = &Function> {
+        self.functions.iter().filter(|f| f.is_kernel)
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Whether it was declared `__kernel`.
+    pub is_kernel: bool,
+    /// Return type (always `void` for kernels).
+    pub ret: Type,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// The body.
+    pub body: Block,
+    /// Span of the function header.
+    pub span: Span,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type (after array-to-pointer decay).
+    pub ty: Type,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// A brace-delimited block of statements.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Span of the whole block.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// A local variable declaration.
+    Decl(Decl),
+    /// An expression evaluated for its side effects.
+    Expr(Expr),
+    /// An empty statement (`;`).
+    Empty(Span),
+    /// A nested block.
+    Block(Block),
+    /// `if (cond) then else els`.
+    If {
+        /// Condition expression.
+        cond: Expr,
+        /// Taken when the condition is non-zero.
+        then: Box<Stmt>,
+        /// Optional else branch.
+        els: Option<Box<Stmt>>,
+        /// Span of the `if` keyword.
+        span: Span,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Span of the `while` keyword.
+        span: Span,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Loop condition, evaluated after the body.
+        cond: Expr,
+        /// Span of the `do` keyword.
+        span: Span,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Optional init clause (declaration or expression).
+        init: Option<Box<Stmt>>,
+        /// Optional condition; absent means `true`.
+        cond: Option<Expr>,
+        /// Optional step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Span of the `for` keyword.
+        span: Span,
+    },
+    /// `break;`
+    Break(Span),
+    /// `continue;`
+    Continue(Span),
+    /// `return expr?;`
+    Return(Option<Expr>, Span),
+    /// A `barrier(flags)` call; recognized specially because it affects
+    /// basic-block construction (§III-C2: a barrier is a block leader).
+    Barrier {
+        /// The `CLK_*_MEM_FENCE` flag bits.
+        flags: u32,
+        /// Span of the call.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The source span of this statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Decl(d) => d.span,
+            Stmt::Expr(e) => e.span,
+            Stmt::Empty(s) => *s,
+            Stmt::Block(b) => b.span,
+            Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::DoWhile { span, .. }
+            | Stmt::For { span, .. } => *span,
+            Stmt::Break(s) | Stmt::Continue(s) => *s,
+            Stmt::Return(_, s) => *s,
+            Stmt::Barrier { span, .. } => *span,
+        }
+    }
+}
+
+/// A local variable declaration. One `Decl` per declarator, so
+/// `int a, b;` parses into two `Decl`s.
+#[derive(Debug, Clone)]
+pub struct Decl {
+    /// Unique node id (shared id space with expressions), used to key
+    /// resolution tables.
+    pub id: NodeId,
+    /// Variable name.
+    pub name: String,
+    /// Declared type (arrays keep their array type here).
+    pub ty: Type,
+    /// Address space (`__local` or `__private`).
+    pub space: AddressSpace,
+    /// Optional initializer.
+    pub init: Option<Expr>,
+    /// Span of the declarator.
+    pub span: Span,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean-ish `int` result.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Bitwise complement `~x`.
+    Not,
+    /// Logical negation `!x`.
+    LogNot,
+    /// Unary plus `+x` (no-op, kept for fidelity).
+    Plus,
+}
+
+/// An expression node.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// Unique id for the side type table.
+    pub id: NodeId,
+    /// The expression itself.
+    pub kind: ExprKind,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    /// Integer literal (value, suffix-derived signedness/width hints).
+    IntLit { value: u64, unsigned: bool, long: bool },
+    /// Floating literal.
+    FloatLit { value: f64, is_double: bool },
+    /// Named variable or parameter reference.
+    Ident(String),
+    /// Binary operation.
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Unary operation.
+    Unary { op: UnOp, operand: Box<Expr> },
+    /// Assignment `lhs = rhs` or compound `lhs op= rhs` (`op` is `Some`).
+    Assign { op: Option<BinOp>, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Pre/post increment/decrement.
+    IncDec { inc: bool, pre: bool, operand: Box<Expr> },
+    /// Ternary conditional `c ? t : e`.
+    Conditional { cond: Box<Expr>, then: Box<Expr>, els: Box<Expr> },
+    /// Array indexing `base[index]`.
+    Index { base: Box<Expr>, index: Box<Expr> },
+    /// Pointer dereference `*ptr`.
+    Deref(Box<Expr>),
+    /// Address-of `&lvalue`.
+    AddrOf(Box<Expr>),
+    /// Explicit cast `(type)expr`.
+    Cast { ty: Type, operand: Box<Expr> },
+    /// A function call, either a user function or a builtin.
+    Call { name: String, args: Vec<Expr> },
+    /// `sizeof(type)`.
+    SizeOf(Type),
+    /// Comma operator `a, b`.
+    Comma { lhs: Box<Expr>, rhs: Box<Expr> },
+}
+
+/// Pretty-prints an expression back to (parenthesized) source form.
+///
+/// Used by tests to check parser shapes and by diagnostics.
+pub fn expr_to_string(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::IntLit { value, .. } => value.to_string(),
+        ExprKind::FloatLit { value, .. } => format!("{value:?}"),
+        ExprKind::Ident(n) => n.clone(),
+        ExprKind::Binary { op, lhs, rhs } => {
+            format!("({} {} {})", expr_to_string(lhs), binop_str(*op), expr_to_string(rhs))
+        }
+        ExprKind::Unary { op, operand } => {
+            let s = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "~",
+                UnOp::LogNot => "!",
+                UnOp::Plus => "+",
+            };
+            format!("({s}{})", expr_to_string(operand))
+        }
+        ExprKind::Assign { op, lhs, rhs } => {
+            let opstr = op.map(|o| format!("{}=", binop_str(o))).unwrap_or_else(|| "=".into());
+            format!("({} {} {})", expr_to_string(lhs), opstr, expr_to_string(rhs))
+        }
+        ExprKind::IncDec { inc, pre, operand } => {
+            let s = if *inc { "++" } else { "--" };
+            if *pre {
+                format!("({s}{})", expr_to_string(operand))
+            } else {
+                format!("({}{s})", expr_to_string(operand))
+            }
+        }
+        ExprKind::Conditional { cond, then, els } => format!(
+            "({} ? {} : {})",
+            expr_to_string(cond),
+            expr_to_string(then),
+            expr_to_string(els)
+        ),
+        ExprKind::Index { base, index } => {
+            format!("{}[{}]", expr_to_string(base), expr_to_string(index))
+        }
+        ExprKind::Deref(p) => format!("(*{})", expr_to_string(p)),
+        ExprKind::AddrOf(p) => format!("(&{})", expr_to_string(p)),
+        ExprKind::Cast { ty, operand } => format!("(({ty}){})", expr_to_string(operand)),
+        ExprKind::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(expr_to_string).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        ExprKind::SizeOf(ty) => format!("sizeof({ty})"),
+        ExprKind::Comma { lhs, rhs } => {
+            format!("({}, {})", expr_to_string(lhs), expr_to_string(rhs))
+        }
+    }
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Lt => "<",
+        BinOp::Gt => ">",
+        BinOp::Le => "<=",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::LogAnd => "&&",
+        BinOp::LogOr => "||",
+    }
+}

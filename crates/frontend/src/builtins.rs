@@ -1,0 +1,382 @@
+//! OpenCL C built-in functions recognized by the frontend.
+
+use crate::types::{AddressSpace, Scalar, Type};
+
+/// Work-item identity queries (§II-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkItemQuery {
+    /// `get_global_id(dim)`.
+    GlobalId,
+    /// `get_local_id(dim)`.
+    LocalId,
+    /// `get_group_id(dim)`.
+    GroupId,
+    /// `get_global_size(dim)`.
+    GlobalSize,
+    /// `get_local_size(dim)`.
+    LocalSize,
+    /// `get_num_groups(dim)`.
+    NumGroups,
+    /// `get_work_dim()`.
+    WorkDim,
+    /// `get_global_offset(dim)` — always 0 in this implementation.
+    GlobalOffset,
+}
+
+/// Math built-ins mapped to dedicated functional units.
+///
+/// `native_*` spellings resolve to the same unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MathFunc {
+    Sqrt,
+    Rsqrt,
+    Fabs,
+    Exp,
+    Exp2,
+    Log,
+    Log2,
+    Log10,
+    Sin,
+    Cos,
+    Tan,
+    Asin,
+    Acos,
+    Atan,
+    Sinh,
+    Cosh,
+    Tanh,
+    Floor,
+    Ceil,
+    Round,
+    Trunc,
+    Pow,
+    Fmin,
+    Fmax,
+    Fmod,
+    Hypot,
+    Atan2,
+    Fma,
+    Mad,
+}
+
+impl MathFunc {
+    /// Number of arguments the function takes.
+    pub fn arity(self) -> usize {
+        use MathFunc::*;
+        match self {
+            Sqrt | Rsqrt | Fabs | Exp | Exp2 | Log | Log2 | Log10 | Sin | Cos | Tan | Asin
+            | Acos | Atan | Sinh | Cosh | Tanh | Floor | Ceil | Round | Trunc => 1,
+            Pow | Fmin | Fmax | Fmod | Hypot | Atan2 => 2,
+            Fma | Mad => 3,
+        }
+    }
+}
+
+/// Atomic read-modify-write operations (§IV-F2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    Add,
+    Sub,
+    Inc,
+    Dec,
+    Min,
+    Max,
+    And,
+    Or,
+    Xor,
+    Xchg,
+    CmpXchg,
+}
+
+impl AtomicOp {
+    /// Number of value arguments after the pointer.
+    pub fn value_args(self) -> usize {
+        match self {
+            AtomicOp::Inc | AtomicOp::Dec => 0,
+            AtomicOp::CmpXchg => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Integer built-ins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntFunc {
+    Min,
+    Max,
+    Abs,
+    Clamp,
+}
+
+/// A resolved built-in call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Builtin {
+    /// A work-item identity query; the dimension argument must be a `u32`.
+    WorkItem(WorkItemQuery),
+    /// A floating-point math function operating on `scalar`.
+    Math(MathFunc, Scalar),
+    /// An integer helper on `scalar`.
+    Int(IntFunc, Scalar),
+    /// An atomic op on a pointer to `scalar` in `space`.
+    Atomic(AtomicOp, Scalar, AddressSpace),
+}
+
+impl Builtin {
+    /// The return type of the built-in.
+    pub fn return_type(&self) -> Type {
+        match self {
+            Builtin::WorkItem(WorkItemQuery::WorkDim) => Type::scalar(Scalar::U32),
+            Builtin::WorkItem(_) => Type::scalar(Scalar::U64),
+            Builtin::Math(_, s) => Type::scalar(*s),
+            Builtin::Int(_, s) => Type::scalar(*s),
+            Builtin::Atomic(_, s, _) => Type::scalar(*s),
+        }
+    }
+}
+
+/// Looks up a built-in by name and argument types.
+///
+/// Returns `None` when `name` is not a built-in (it may still be a
+/// user-defined function). Returns `Some(Err(msg))` when the name is a
+/// built-in but the arguments do not fit.
+pub fn resolve(name: &str, arg_tys: &[Type]) -> Option<Result<Builtin, String>> {
+    use WorkItemQuery::*;
+    let wi = |q: WorkItemQuery, want_args: usize| {
+        if arg_tys.len() != want_args {
+            return Err(format!("`{name}` expects {want_args} argument(s)"));
+        }
+        if want_args == 1 && arg_tys[0].as_scalar().map(|s| s.is_int()) != Some(true) {
+            return Err(format!("`{name}` dimension must be an integer"));
+        }
+        Ok(Builtin::WorkItem(q))
+    };
+    match name {
+        "get_global_id" => return Some(wi(GlobalId, 1)),
+        "get_local_id" => return Some(wi(LocalId, 1)),
+        "get_group_id" => return Some(wi(GroupId, 1)),
+        "get_global_size" => return Some(wi(GlobalSize, 1)),
+        "get_local_size" => return Some(wi(LocalSize, 1)),
+        "get_num_groups" => return Some(wi(NumGroups, 1)),
+        "get_work_dim" => return Some(wi(WorkDim, 0)),
+        "get_global_offset" => return Some(wi(GlobalOffset, 1)),
+        _ => {}
+    }
+
+    // Math built-ins, including native_ spellings.
+    let base = name.strip_prefix("native_").or(name.strip_prefix("half_")).unwrap_or(name);
+    let math = match base {
+        "sqrt" => Some(MathFunc::Sqrt),
+        "rsqrt" => Some(MathFunc::Rsqrt),
+        "fabs" => Some(MathFunc::Fabs),
+        "exp" => Some(MathFunc::Exp),
+        "exp2" => Some(MathFunc::Exp2),
+        "log" => Some(MathFunc::Log),
+        "log2" => Some(MathFunc::Log2),
+        "log10" => Some(MathFunc::Log10),
+        "sin" => Some(MathFunc::Sin),
+        "cos" => Some(MathFunc::Cos),
+        "tan" => Some(MathFunc::Tan),
+        "asin" => Some(MathFunc::Asin),
+        "acos" => Some(MathFunc::Acos),
+        "atan" => Some(MathFunc::Atan),
+        "sinh" => Some(MathFunc::Sinh),
+        "cosh" => Some(MathFunc::Cosh),
+        "tanh" => Some(MathFunc::Tanh),
+        "floor" => Some(MathFunc::Floor),
+        "ceil" => Some(MathFunc::Ceil),
+        "round" => Some(MathFunc::Round),
+        "trunc" => Some(MathFunc::Trunc),
+        "pow" | "powr" => Some(MathFunc::Pow),
+        "fmin" => Some(MathFunc::Fmin),
+        "fmax" => Some(MathFunc::Fmax),
+        "fmod" => Some(MathFunc::Fmod),
+        "hypot" => Some(MathFunc::Hypot),
+        "atan2" => Some(MathFunc::Atan2),
+        "fma" => Some(MathFunc::Fma),
+        "mad" => Some(MathFunc::Mad),
+        _ => None,
+    };
+    if let Some(m) = math {
+        if arg_tys.len() != m.arity() {
+            return Some(Err(format!("`{name}` expects {} argument(s)", m.arity())));
+        }
+        // The result scalar is the widest float among the arguments;
+        // integer arguments are accepted and converted.
+        let mut scalar = Scalar::F32;
+        for t in arg_tys {
+            match t.as_scalar() {
+                Some(Scalar::F64) => scalar = Scalar::F64,
+                Some(_) => {}
+                None => return Some(Err(format!("`{name}` arguments must be scalars"))),
+            }
+        }
+        return Some(Ok(Builtin::Math(m, scalar)));
+    }
+
+    // Integer helpers. `min`/`max`/`clamp` also work on floats in OpenCL;
+    // resolve those to the float units.
+    let int_fn = match name {
+        "min" => Some((IntFunc::Min, MathFunc::Fmin)),
+        "max" => Some((IntFunc::Max, MathFunc::Fmax)),
+        "abs" => Some((IntFunc::Abs, MathFunc::Fabs)),
+        "clamp" => Some((IntFunc::Clamp, MathFunc::Fmin)), // float clamp handled below
+        _ => None,
+    };
+    if let Some((f, _)) = int_fn {
+        let want = match f {
+            IntFunc::Clamp => 3,
+            IntFunc::Abs => 1,
+            _ => 2,
+        };
+        if arg_tys.len() != want {
+            return Some(Err(format!("`{name}` expects {want} argument(s)")));
+        }
+        let mut scalar = Scalar::I32;
+        let mut any_float = false;
+        for t in arg_tys {
+            match t.as_scalar() {
+                Some(s) if s.is_float() => {
+                    any_float = true;
+                    scalar = if s == Scalar::F64 || scalar == Scalar::F64 {
+                        Scalar::F64
+                    } else {
+                        Scalar::F32
+                    };
+                }
+                Some(s) => {
+                    if !any_float {
+                        scalar = Scalar::unify(scalar, s);
+                    }
+                }
+                None => return Some(Err(format!("`{name}` arguments must be scalars"))),
+            }
+        }
+        return Some(Ok(Builtin::Int(f, scalar)));
+    }
+
+    // Atomics: `atomic_*` and legacy `atom_*`.
+    let at = name.strip_prefix("atomic_").or(name.strip_prefix("atom_"));
+    if let Some(opname) = at {
+        let op = match opname {
+            "add" => AtomicOp::Add,
+            "sub" => AtomicOp::Sub,
+            "inc" => AtomicOp::Inc,
+            "dec" => AtomicOp::Dec,
+            "min" => AtomicOp::Min,
+            "max" => AtomicOp::Max,
+            "and" => AtomicOp::And,
+            "or" => AtomicOp::Or,
+            "xor" => AtomicOp::Xor,
+            "xchg" => AtomicOp::Xchg,
+            "cmpxchg" => AtomicOp::CmpXchg,
+            _ => return None,
+        };
+        let want = 1 + op.value_args();
+        if arg_tys.len() != want {
+            return Some(Err(format!("`{name}` expects {want} argument(s)")));
+        }
+        let (space, scalar) = match &arg_tys[0] {
+            Type::Pointer { space, elem } => match elem.as_scalar() {
+                Some(s @ (Scalar::I32 | Scalar::U32 | Scalar::I64 | Scalar::U64)) => (*space, s),
+                _ => {
+                    return Some(Err(format!(
+                        "`{name}` requires a pointer to a 32- or 64-bit integer"
+                    )))
+                }
+            },
+            _ => return Some(Err(format!("first argument of `{name}` must be a pointer"))),
+        };
+        if space == AddressSpace::Constant || space == AddressSpace::Private {
+            return Some(Err(format!(
+                "`{name}` requires a __global or __local pointer"
+            )));
+        }
+        return Some(Ok(Builtin::Atomic(op, scalar, space)));
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f32ty() -> Type {
+        Type::scalar(Scalar::F32)
+    }
+
+    #[test]
+    fn resolves_work_item_queries() {
+        let b = resolve("get_global_id", &[Type::scalar(Scalar::I32)]).unwrap().unwrap();
+        assert_eq!(b, Builtin::WorkItem(WorkItemQuery::GlobalId));
+        assert_eq!(b.return_type(), Type::scalar(Scalar::U64));
+    }
+
+    #[test]
+    fn work_item_query_arity_checked() {
+        assert!(resolve("get_global_id", &[]).unwrap().is_err());
+        assert!(resolve("get_work_dim", &[]).unwrap().is_ok());
+    }
+
+    #[test]
+    fn resolves_math_with_width() {
+        let b = resolve("sqrt", &[f32ty()]).unwrap().unwrap();
+        assert_eq!(b, Builtin::Math(MathFunc::Sqrt, Scalar::F32));
+        let b = resolve("pow", &[Type::scalar(Scalar::F64), f32ty()]).unwrap().unwrap();
+        assert_eq!(b, Builtin::Math(MathFunc::Pow, Scalar::F64));
+    }
+
+    #[test]
+    fn native_prefix_resolves() {
+        let b = resolve("native_exp", &[f32ty()]).unwrap().unwrap();
+        assert_eq!(b, Builtin::Math(MathFunc::Exp, Scalar::F32));
+    }
+
+    #[test]
+    fn min_max_int_vs_float() {
+        let b = resolve("min", &[Type::scalar(Scalar::I32), Type::scalar(Scalar::I32)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(b, Builtin::Int(IntFunc::Min, Scalar::I32));
+        let b = resolve("max", &[f32ty(), f32ty()]).unwrap().unwrap();
+        assert_eq!(b, Builtin::Int(IntFunc::Max, Scalar::F32));
+    }
+
+    #[test]
+    fn resolves_atomics() {
+        let p = Type::pointer(AddressSpace::Global, Type::scalar(Scalar::I32));
+        let b = resolve("atomic_add", &[p.clone(), Type::scalar(Scalar::I32)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(b, Builtin::Atomic(AtomicOp::Add, Scalar::I32, AddressSpace::Global));
+        let b = resolve("atom_inc", &[p]).unwrap().unwrap();
+        assert_eq!(b, Builtin::Atomic(AtomicOp::Inc, Scalar::I32, AddressSpace::Global));
+    }
+
+    #[test]
+    fn atomic_on_float_rejected() {
+        let p = Type::pointer(AddressSpace::Global, f32ty());
+        assert!(resolve("atomic_add", &[p, f32ty()]).unwrap().is_err());
+    }
+
+    #[test]
+    fn atomic_on_private_rejected() {
+        let p = Type::pointer(AddressSpace::Private, Type::scalar(Scalar::I32));
+        assert!(resolve("atomic_add", &[p, Type::scalar(Scalar::I32)]).unwrap().is_err());
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(resolve("frobnicate", &[]).is_none());
+    }
+
+    #[test]
+    fn cmpxchg_takes_three_args() {
+        let p = Type::pointer(AddressSpace::Local, Type::scalar(Scalar::U32));
+        let i = Type::scalar(Scalar::U32);
+        assert!(resolve("atomic_cmpxchg", &[p.clone(), i.clone(), i.clone()])
+            .unwrap()
+            .is_ok());
+        assert!(resolve("atomic_cmpxchg", &[p, i]).unwrap().is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Diagnostic errors produced by the frontend.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// The phase of the frontend that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// The preprocessor (`#define`, `#ifdef`, ...).
+    Preprocess,
+    /// The lexer.
+    Lex,
+    /// The parser.
+    Parse,
+    /// Semantic analysis (type checking).
+    Sema,
+    /// IR lowering (performed by `soff-ir`, reported with the same
+    /// diagnostic type).
+    Lower,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Preprocess => "preprocess",
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "sema",
+            Phase::Lower => "lower",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A frontend diagnostic: a message anchored at a source span.
+///
+/// This is the error type returned by every fallible public function of
+/// `soff-frontend`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which phase rejected the program.
+    pub phase: Phase,
+    /// Human-readable description (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Location of the problem.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates a new diagnostic.
+    pub fn new(phase: Phase, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            phase,
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl Error for Diagnostic {}
+
+/// Convenience alias for frontend results.
+pub type Result<T> = std::result::Result<T, Diagnostic>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        let d = Diagnostic::new(Phase::Parse, "expected `;`", Span::new(0, 1, 3));
+        assert_eq!(d.to_string(), "parse error at line 3: expected `;`");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(Diagnostic::new(Phase::Lex, "x", Span::default()));
+    }
+}

@@ -1,0 +1,541 @@
+//! Hand-written lexer for the OpenCL C subset.
+//!
+//! The lexer operates on already-preprocessed source (see
+//! [`crate::preprocess`]) and produces a flat vector of [`Token`]s ending in
+//! [`TokenKind::Eof`]. Comments are stripped by the preprocessor, but the
+//! lexer also tolerates them so that it can be used standalone in tests.
+
+use crate::error::{Diagnostic, Phase, Result};
+use crate::span::Span;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Lexes an entire source string into tokens.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for malformed literals or characters that are
+/// not part of the language.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn peek3(&self) -> u8 {
+        *self.src.get(self.pos + 2).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn span_from(&self, start: usize, line: u32) -> Span {
+        Span::new(start as u32, self.pos as u32, line)
+    }
+
+    fn error(&self, msg: impl Into<String>, start: usize, line: u32) -> Diagnostic {
+        Diagnostic::new(Phase::Lex, msg, self.span_from(start, line))
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let line = self.line;
+            if self.pos >= self.src.len() {
+                self.tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: self.span_from(start, line),
+                });
+                return Ok(self.tokens);
+            }
+            let c = self.peek();
+            let kind = if c.is_ascii_alphabetic() || c == b'_' {
+                self.lex_ident()
+            } else if c.is_ascii_digit() || (c == b'.' && self.peek2().is_ascii_digit()) {
+                self.lex_number(start, line)?
+            } else if c == b'\'' {
+                self.lex_char(start, line)?
+            } else if c == b'"' {
+                self.lex_string(start, line)?
+            } else {
+                self.lex_punct(start, line)?
+            };
+            self.tokens.push(Token {
+                kind,
+                span: self.span_from(start, line),
+            });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.pos;
+                    let line = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(self.error("unterminated block comment", start, line));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        match Keyword::from_str(text) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Ident(text.to_owned()),
+        }
+    }
+
+    fn lex_number(&mut self, start: usize, line: u32) -> Result<TokenKind> {
+        // Hex literal.
+        if self.peek() == b'0' && (self.peek2() == b'x' || self.peek2() == b'X') {
+            self.bump();
+            self.bump();
+            let digits_start = self.pos;
+            while self.peek().is_ascii_hexdigit() {
+                self.bump();
+            }
+            if self.pos == digits_start {
+                return Err(self.error("missing hex digits", start, line));
+            }
+            let text = std::str::from_utf8(&self.src[digits_start..self.pos]).unwrap();
+            let value = u64::from_str_radix(text, 16)
+                .map_err(|_| self.error("hex literal too large", start, line))?;
+            let (unsigned, long) = self.lex_int_suffix();
+            return Ok(TokenKind::IntLit { value, unsigned, long });
+        }
+
+        let mut is_float = false;
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        if self.peek() == b'.' && self.peek2() != b'.' {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if (self.peek() == b'e' || self.peek() == b'E')
+            && (self.peek2().is_ascii_digit()
+                || ((self.peek2() == b'+' || self.peek2() == b'-') && self.peek3().is_ascii_digit()))
+        {
+            is_float = true;
+            self.bump();
+            if self.peek() == b'+' || self.peek() == b'-' {
+                self.bump();
+            }
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        if is_float || matches!(self.peek(), b'f' | b'F') {
+            let value: f64 = text
+                .parse()
+                .map_err(|_| self.error("malformed float literal", start, line))?;
+            let is_double = !matches!(self.peek(), b'f' | b'F');
+            if !is_double {
+                self.bump();
+            }
+            Ok(TokenKind::FloatLit { value, is_double })
+        } else {
+            let value: u64 = text
+                .parse()
+                .map_err(|_| self.error("integer literal too large", start, line))?;
+            let (unsigned, long) = self.lex_int_suffix();
+            Ok(TokenKind::IntLit { value, unsigned, long })
+        }
+    }
+
+    fn lex_int_suffix(&mut self) -> (bool, bool) {
+        let mut unsigned = false;
+        let mut long = false;
+        loop {
+            match self.peek() {
+                b'u' | b'U' if !unsigned => {
+                    unsigned = true;
+                    self.bump();
+                }
+                b'l' | b'L' if !long => {
+                    long = true;
+                    self.bump();
+                }
+                _ => return (unsigned, long),
+            }
+        }
+    }
+
+    fn lex_char(&mut self, start: usize, line: u32) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let v = match self.bump() {
+            b'\\' => match self.bump() {
+                b'n' => b'\n' as i64,
+                b't' => b'\t' as i64,
+                b'r' => b'\r' as i64,
+                b'0' => 0,
+                b'\\' => b'\\' as i64,
+                b'\'' => b'\'' as i64,
+                other => {
+                    return Err(self.error(
+                        format!("unsupported escape `\\{}`", other as char),
+                        start,
+                        line,
+                    ))
+                }
+            },
+            0 => return Err(self.error("unterminated char literal", start, line)),
+            c => c as i64,
+        };
+        if self.bump() != b'\'' {
+            return Err(self.error("unterminated char literal", start, line));
+        }
+        Ok(TokenKind::CharLit(v))
+    }
+
+    fn lex_string(&mut self, start: usize, line: u32) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                0 => return Err(self.error("unterminated string literal", start, line)),
+                b'"' => return Ok(TokenKind::StrLit(out)),
+                b'\\' => match self.bump() {
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    other => {
+                        return Err(self.error(
+                            format!("unsupported escape `\\{}`", other as char),
+                            start,
+                            line,
+                        ))
+                    }
+                },
+                c => out.push(c as char),
+            }
+        }
+    }
+
+    fn lex_punct(&mut self, start: usize, line: u32) -> Result<TokenKind> {
+        use Punct::*;
+        let c = self.bump();
+        let p = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b':' => Colon,
+            b'?' => Question,
+            b'~' => Tilde,
+            b'.' => Dot,
+            b'+' => match self.peek() {
+                b'+' => {
+                    self.bump();
+                    PlusPlus
+                }
+                b'=' => {
+                    self.bump();
+                    PlusEq
+                }
+                _ => Plus,
+            },
+            b'-' => match self.peek() {
+                b'-' => {
+                    self.bump();
+                    MinusMinus
+                }
+                b'=' => {
+                    self.bump();
+                    MinusEq
+                }
+                b'>' => {
+                    self.bump();
+                    Arrow
+                }
+                _ => Minus,
+            },
+            b'*' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    StarEq
+                } else {
+                    Star
+                }
+            }
+            b'/' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    SlashEq
+                } else {
+                    Slash
+                }
+            }
+            b'%' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    PercentEq
+                } else {
+                    Percent
+                }
+            }
+            b'&' => match self.peek() {
+                b'&' => {
+                    self.bump();
+                    AmpAmp
+                }
+                b'=' => {
+                    self.bump();
+                    AmpEq
+                }
+                _ => Amp,
+            },
+            b'|' => match self.peek() {
+                b'|' => {
+                    self.bump();
+                    PipePipe
+                }
+                b'=' => {
+                    self.bump();
+                    PipeEq
+                }
+                _ => Pipe,
+            },
+            b'^' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    CaretEq
+                } else {
+                    Caret
+                }
+            }
+            b'!' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    Ne
+                } else {
+                    Bang
+                }
+            }
+            b'=' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    EqEq
+                } else {
+                    Assign
+                }
+            }
+            b'<' => match self.peek() {
+                b'<' => {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        ShlEq
+                    } else {
+                        Shl
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    Le
+                }
+                _ => Lt,
+            },
+            b'>' => match self.peek() {
+                b'>' => {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        ShrEq
+                    } else {
+                        Shr
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    Ge
+                }
+                _ => Gt,
+            },
+            other => {
+                return Err(self.error(
+                    format!("unexpected character `{}`", other as char),
+                    start,
+                    line,
+                ))
+            }
+        };
+        Ok(TokenKind::Punct(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_kernel_header() {
+        let ks = kinds("__kernel void f(__global int* a)");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Kernel),
+                TokenKind::Keyword(Keyword::Void),
+                TokenKind::Ident("f".into()),
+                TokenKind::Punct(Punct::LParen),
+                TokenKind::Keyword(Keyword::Global),
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Punct(Punct::Star),
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct(Punct::RParen),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 0x2A 42u 3l 1.5 1.5f 2e3 1e-2f"),
+            vec![
+                TokenKind::IntLit { value: 42, unsigned: false, long: false },
+                TokenKind::IntLit { value: 42, unsigned: false, long: false },
+                TokenKind::IntLit { value: 42, unsigned: true, long: false },
+                TokenKind::IntLit { value: 3, unsigned: false, long: true },
+                TokenKind::FloatLit { value: 1.5, is_double: true },
+                TokenKind::FloatLit { value: 1.5, is_double: false },
+                TokenKind::FloatLit { value: 2000.0, is_double: true },
+                TokenKind::FloatLit { value: 0.01, is_double: false },
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_leading_dot_float() {
+        assert_eq!(
+            kinds(".5f"),
+            vec![
+                TokenKind::FloatLit { value: 0.5, is_double: false },
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        assert_eq!(
+            kinds("<<= >>= ++ -- -> <= >= == != && ||"),
+            vec![
+                TokenKind::Punct(Punct::ShlEq),
+                TokenKind::Punct(Punct::ShrEq),
+                TokenKind::Punct(Punct::PlusPlus),
+                TokenKind::Punct(Punct::MinusMinus),
+                TokenKind::Punct(Punct::Arrow),
+                TokenKind::Punct(Punct::Le),
+                TokenKind::Punct(Punct::Ge),
+                TokenKind::Punct(Punct::EqEq),
+                TokenKind::Punct(Punct::Ne),
+                TokenKind::Punct(Punct::AmpAmp),
+                TokenKind::Punct(Punct::PipePipe),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = lex("a // comment\n/* multi\nline */ b").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 3);
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_character() {
+        let err = lex("int @").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(
+            kinds(r"'a' '\n' '\0'"),
+            vec![
+                TokenKind::CharLit(97),
+                TokenKind::CharLit(10),
+                TokenKind::CharLit(0),
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

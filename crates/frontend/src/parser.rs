@@ -1,0 +1,1045 @@
+//! Recursive-descent parser for the OpenCL C subset.
+
+use crate::ast::*;
+use crate::error::{Diagnostic, Phase, Result};
+use crate::span::Span;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+use crate::types::{AddressSpace, Scalar, Type};
+
+/// Parses a token stream into a [`TranslationUnit`].
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered.
+pub fn parse(tokens: Vec<Token>) -> Result<TranslationUnit> {
+    Parser::new(tokens).run()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_id: u32,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0, next_id: 0 }
+    }
+
+    fn node_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        let i = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Phase::Parse, msg, self.span())
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if *self.peek() == TokenKind::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<Span> {
+        if *self.peek() == TokenKind::Punct(p) {
+            let s = self.span();
+            self.bump();
+            Ok(s)
+        } else {
+            Err(self.error(format!("expected `{p}`, found {}", self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if *self.peek() == TokenKind::Keyword(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span)> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok((s, span))
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn run(mut self) -> Result<TranslationUnit> {
+        let mut functions = Vec::new();
+        while *self.peek() != TokenKind::Eof {
+            functions.push(self.parse_function()?);
+        }
+        Ok(TranslationUnit { functions, num_nodes: self.next_id })
+    }
+
+    // ---- Types ---------------------------------------------------------
+
+    /// Returns whether the current token can begin a type.
+    fn at_type(&self) -> bool {
+        self.at_type_at(0)
+    }
+
+    fn at_type_at(&self, n: usize) -> bool {
+        matches!(
+            self.peek_at(n),
+            TokenKind::Keyword(
+                Keyword::Void
+                    | Keyword::Bool
+                    | Keyword::Char
+                    | Keyword::Uchar
+                    | Keyword::Short
+                    | Keyword::Ushort
+                    | Keyword::Int
+                    | Keyword::Uint
+                    | Keyword::Long
+                    | Keyword::Ulong
+                    | Keyword::Float
+                    | Keyword::Double
+                    | Keyword::SizeT
+                    | Keyword::Unsigned
+                    | Keyword::Signed
+                    | Keyword::Const
+                    | Keyword::Volatile
+                    | Keyword::Global
+                    | Keyword::Local
+                    | Keyword::Constant
+                    | Keyword::Private
+            )
+        )
+    }
+
+    /// Parses qualifiers + base type + any `*`s. Returns the type and the
+    /// address space the qualifiers named (for declarations).
+    fn parse_type(&mut self) -> Result<(Type, Option<AddressSpace>)> {
+        let mut space: Option<AddressSpace> = None;
+        // Leading qualifiers.
+        loop {
+            match self.peek() {
+                TokenKind::Keyword(Keyword::Global) => {
+                    space = Some(AddressSpace::Global);
+                    self.bump();
+                }
+                TokenKind::Keyword(Keyword::Local) => {
+                    space = Some(AddressSpace::Local);
+                    self.bump();
+                }
+                TokenKind::Keyword(Keyword::Constant) => {
+                    space = Some(AddressSpace::Constant);
+                    self.bump();
+                }
+                TokenKind::Keyword(Keyword::Private) => {
+                    space = Some(AddressSpace::Private);
+                    self.bump();
+                }
+                TokenKind::Keyword(Keyword::Const | Keyword::Volatile | Keyword::Restrict) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let base = self.parse_base_type()?;
+        let mut ty = base;
+        loop {
+            // Trailing qualifiers may appear between stars: `int * const *`.
+            if self.eat_punct(Punct::Star) {
+                let sp = space.unwrap_or(AddressSpace::Private);
+                ty = Type::pointer(sp, ty);
+            } else if matches!(
+                self.peek(),
+                TokenKind::Keyword(Keyword::Const | Keyword::Volatile | Keyword::Restrict)
+            ) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok((ty, space))
+    }
+
+    fn parse_base_type(&mut self) -> Result<Type> {
+        use Keyword::*;
+        let t = match self.peek().clone() {
+            TokenKind::Keyword(k) => match k {
+                Void => Type::Void,
+                Bool => Type::scalar(Scalar::Bool),
+                Char => Type::scalar(Scalar::I8),
+                Uchar => Type::scalar(Scalar::U8),
+                Short => Type::scalar(Scalar::I16),
+                Ushort => Type::scalar(Scalar::U16),
+                Int => Type::scalar(Scalar::I32),
+                Uint => Type::scalar(Scalar::U32),
+                Long => Type::scalar(Scalar::I64),
+                Ulong => Type::scalar(Scalar::U64),
+                Float => Type::scalar(Scalar::F32),
+                Double => Type::scalar(Scalar::F64),
+                SizeT => Type::scalar(Scalar::U64),
+                Unsigned => {
+                    self.bump();
+                    // `unsigned int`, `unsigned long`, bare `unsigned`...
+                    return Ok(match self.peek() {
+                        TokenKind::Keyword(Char) => {
+                            self.bump();
+                            Type::scalar(Scalar::U8)
+                        }
+                        TokenKind::Keyword(Short) => {
+                            self.bump();
+                            Type::scalar(Scalar::U16)
+                        }
+                        TokenKind::Keyword(Int) => {
+                            self.bump();
+                            Type::scalar(Scalar::U32)
+                        }
+                        TokenKind::Keyword(Long) => {
+                            self.bump();
+                            Type::scalar(Scalar::U64)
+                        }
+                        _ => Type::scalar(Scalar::U32),
+                    });
+                }
+                Signed => {
+                    self.bump();
+                    return Ok(match self.peek() {
+                        TokenKind::Keyword(Char) => {
+                            self.bump();
+                            Type::scalar(Scalar::I8)
+                        }
+                        TokenKind::Keyword(Short) => {
+                            self.bump();
+                            Type::scalar(Scalar::I16)
+                        }
+                        TokenKind::Keyword(Int) => {
+                            self.bump();
+                            Type::scalar(Scalar::I32)
+                        }
+                        TokenKind::Keyword(Long) => {
+                            self.bump();
+                            Type::scalar(Scalar::I64)
+                        }
+                        _ => Type::scalar(Scalar::I32),
+                    });
+                }
+                Struct => {
+                    return Err(self.error(
+                        "struct types are not supported by this OpenCL C subset",
+                    ))
+                }
+                Goto => return Err(self.error("`goto` is not supported (kernels must be structured programs)")),
+                other => return Err(self.error(format!("expected type, found keyword `{other:?}`"))),
+            },
+            other => return Err(self.error(format!("expected type, found {other}"))),
+        };
+        self.bump();
+        // `long long` → long; `long int` → long, `short int` → short.
+        if matches!(t, Type::Scalar(Scalar::I64)) && self.eat_keyword(Keyword::Long) {}
+        if matches!(t.as_scalar(), Some(s) if s.is_int()) && self.eat_keyword(Keyword::Int) {}
+        Ok(t)
+    }
+
+    // ---- Functions -----------------------------------------------------
+
+    fn parse_function(&mut self) -> Result<Function> {
+        let start = self.span();
+        let mut is_kernel = false;
+        loop {
+            if self.eat_keyword(Keyword::Kernel) {
+                is_kernel = true;
+            } else if self.eat_keyword(Keyword::Static) || self.eat_keyword(Keyword::Inline) {
+                // Accepted and ignored: helpers are always inlined anyway.
+            } else if *self.peek() == TokenKind::Ident("__attribute__".to_string()) {
+                self.bump();
+                self.skip_attribute()?;
+            } else {
+                break;
+            }
+        }
+        let (ret, _) = self.parse_type()?;
+        let (name, _) = self.expect_ident()?;
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            loop {
+                // `void` as the entire parameter list.
+                if params.is_empty()
+                    && *self.peek() == TokenKind::Keyword(Keyword::Void)
+                    && *self.peek_at(1) == TokenKind::Punct(Punct::RParen)
+                {
+                    self.bump();
+                    self.bump();
+                    break;
+                }
+                let pspan = self.span();
+                let (ty, space) = self.parse_type()?;
+                let (pname, _) = self.expect_ident()?;
+                let mut ty = ty;
+                // Array parameter `float a[]` decays to a pointer.
+                if self.eat_punct(Punct::LBracket) {
+                    if !self.eat_punct(Punct::RBracket) {
+                        // Fixed-size array parameter: size is parsed and ignored.
+                        self.parse_expr()?;
+                        self.expect_punct(Punct::RBracket)?;
+                    }
+                    ty = Type::pointer(space.unwrap_or(AddressSpace::Private), ty);
+                }
+                params.push(Param { name: pname, ty, span: pspan });
+                if self.eat_punct(Punct::RParen) {
+                    break;
+                }
+                self.expect_punct(Punct::Comma)?;
+            }
+        }
+        let body = self.parse_block()?;
+        let span = start.merge(self.prev_span());
+        Ok(Function { name, is_kernel, ret, params, body, span })
+    }
+
+    fn skip_attribute(&mut self) -> Result<()> {
+        self.expect_punct(Punct::LParen)?;
+        let mut depth = 1;
+        while depth > 0 {
+            match self.bump() {
+                TokenKind::Punct(Punct::LParen) => depth += 1,
+                TokenKind::Punct(Punct::RParen) => depth -= 1,
+                TokenKind::Eof => return Err(self.error("unterminated `__attribute__`")),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    // ---- Statements ----------------------------------------------------
+
+    fn parse_block(&mut self) -> Result<Block> {
+        let start = self.expect_punct(Punct::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if *self.peek() == TokenKind::Eof {
+                return Err(self.error("unterminated block"));
+            }
+            self.parse_stmt_into(&mut stmts)?;
+        }
+        Ok(Block { stmts, span: start.merge(self.prev_span()) })
+    }
+
+    /// Parses one statement; declarations with multiple declarators push
+    /// multiple `Stmt::Decl`s.
+    fn parse_stmt_into(&mut self, out: &mut Vec<Stmt>) -> Result<()> {
+        if self.at_type() {
+            self.parse_decl_into(out)?;
+            return Ok(());
+        }
+        let stmt = self.parse_stmt()?;
+        out.push(stmt);
+        Ok(())
+    }
+
+    fn parse_decl_into(&mut self, out: &mut Vec<Stmt>) -> Result<()> {
+        let (base, space) = self.parse_type()?;
+        loop {
+            let span = self.span();
+            // Extra stars per declarator: `int *a, b;`
+            let mut ty = base.clone();
+            while self.eat_punct(Punct::Star) {
+                ty = Type::pointer(space.unwrap_or(AddressSpace::Private), ty);
+            }
+            let (name, _) = self.expect_ident()?;
+            // Array suffixes.
+            let mut dims = Vec::new();
+            while self.eat_punct(Punct::LBracket) {
+                let len_expr = self.parse_assign_expr()?;
+                let len = const_eval_u64(&len_expr).ok_or_else(|| {
+                    Diagnostic::new(
+                        Phase::Parse,
+                        "array length must be a constant expression",
+                        len_expr.span,
+                    )
+                })?;
+                self.expect_punct(Punct::RBracket)?;
+                dims.push(len);
+            }
+            for &d in dims.iter().rev() {
+                ty = Type::Array { elem: Box::new(ty), len: d };
+            }
+            let init = if self.eat_punct(Punct::Assign) {
+                Some(self.parse_assign_expr()?)
+            } else {
+                None
+            };
+            // An address-space qualifier on a pointer declaration qualifies
+            // the pointee (`__global float* p` is a private pointer to
+            // global memory); the variable itself is then private.
+            let var_space = if ty.is_pointer() {
+                AddressSpace::Private
+            } else {
+                space.unwrap_or(AddressSpace::Private)
+            };
+            out.push(Stmt::Decl(Decl {
+                id: self.node_id(),
+                name,
+                ty,
+                space: var_space,
+                init,
+                span,
+            }));
+            if self.eat_punct(Punct::Semi) {
+                return Ok(());
+            }
+            self.expect_punct(Punct::Comma)?;
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Punct(Punct::LBrace) => Ok(Stmt::Block(self.parse_block()?)),
+            TokenKind::Punct(Punct::Semi) => {
+                self.bump();
+                Ok(Stmt::Empty(span))
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let then = Box::new(self.parse_substmt()?);
+                let els = if self.eat_keyword(Keyword::Else) {
+                    Some(Box::new(self.parse_substmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then, els, span })
+            }
+            TokenKind::Keyword(Keyword::While) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = Box::new(self.parse_substmt()?);
+                Ok(Stmt::While { cond, body, span })
+            }
+            TokenKind::Keyword(Keyword::Do) => {
+                self.bump();
+                let body = Box::new(self.parse_substmt()?);
+                if !self.eat_keyword(Keyword::While) {
+                    return Err(self.error("expected `while` after `do` body"));
+                }
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::DoWhile { body, cond, span })
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let init = if self.eat_punct(Punct::Semi) {
+                    None
+                } else if self.at_type() {
+                    let mut decls = Vec::new();
+                    self.parse_decl_into(&mut decls)?;
+                    // Wrap multiple declarators in a block-less sequence.
+                    Some(Box::new(if decls.len() == 1 {
+                        decls.into_iter().next().unwrap()
+                    } else {
+                        Stmt::Block(Block { stmts: decls, span })
+                    }))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect_punct(Punct::Semi)?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if *self.peek() == TokenKind::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect_punct(Punct::Semi)?;
+                let step = if *self.peek() == TokenKind::Punct(Punct::RParen) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect_punct(Punct::RParen)?;
+                let body = Box::new(self.parse_substmt()?);
+                Ok(Stmt::For { init, cond, step, body, span })
+            }
+            TokenKind::Keyword(Keyword::Break) => {
+                self.bump();
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::Break(span))
+            }
+            TokenKind::Keyword(Keyword::Continue) => {
+                self.bump();
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::Continue(span))
+            }
+            TokenKind::Keyword(Keyword::Return) => {
+                self.bump();
+                let value = if *self.peek() == TokenKind::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::Return(value, span))
+            }
+            TokenKind::Keyword(Keyword::Goto) => {
+                Err(self.error("`goto` is not supported (kernels must be structured programs)"))
+            }
+            TokenKind::Keyword(Keyword::Switch) => {
+                Err(self.error("`switch` is not supported; use `if`/`else` chains"))
+            }
+            TokenKind::Ident(name) if name == "barrier" || name == "mem_fence" => {
+                // barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE)
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let flags = self.parse_fence_flags()?;
+                self.expect_punct(Punct::RParen)?;
+                self.expect_punct(Punct::Semi)?;
+                if name == "mem_fence" {
+                    // A mem_fence does not synchronize work-items; within a
+                    // single in-order datapath it is a no-op.
+                    Ok(Stmt::Empty(span))
+                } else {
+                    Ok(Stmt::Barrier { flags, span })
+                }
+            }
+            _ => {
+                let e = self.parse_expr()?;
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    /// Statement in `if`/loop position; declarations are not allowed.
+    fn parse_substmt(&mut self) -> Result<Stmt> {
+        if self.at_type() {
+            return Err(self.error("declaration must be inside a block"));
+        }
+        self.parse_stmt()
+    }
+
+    fn parse_fence_flags(&mut self) -> Result<u32> {
+        let mut flags = 0u32;
+        loop {
+            match self.bump() {
+                TokenKind::Ident(f) if f == "CLK_LOCAL_MEM_FENCE" => flags |= 1,
+                TokenKind::Ident(f) if f == "CLK_GLOBAL_MEM_FENCE" => flags |= 2,
+                TokenKind::IntLit { value, .. } => flags |= value as u32,
+                other => {
+                    return Err(self.error(format!("expected memory fence flag, found {other}")))
+                }
+            }
+            if !self.eat_punct(Punct::Pipe) {
+                return Ok(flags);
+            }
+        }
+    }
+
+    // ---- Expressions ---------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        let mut e = self.parse_assign_expr()?;
+        while self.eat_punct(Punct::Comma) {
+            let rhs = self.parse_assign_expr()?;
+            let span = e.span.merge(rhs.span);
+            e = Expr {
+                id: self.node_id(),
+                kind: ExprKind::Comma { lhs: Box::new(e), rhs: Box::new(rhs) },
+                span,
+            };
+        }
+        Ok(e)
+    }
+
+    fn parse_assign_expr(&mut self) -> Result<Expr> {
+        let lhs = self.parse_conditional()?;
+        let op = match self.peek() {
+            TokenKind::Punct(Punct::Assign) => Some(None),
+            TokenKind::Punct(Punct::PlusEq) => Some(Some(BinOp::Add)),
+            TokenKind::Punct(Punct::MinusEq) => Some(Some(BinOp::Sub)),
+            TokenKind::Punct(Punct::StarEq) => Some(Some(BinOp::Mul)),
+            TokenKind::Punct(Punct::SlashEq) => Some(Some(BinOp::Div)),
+            TokenKind::Punct(Punct::PercentEq) => Some(Some(BinOp::Rem)),
+            TokenKind::Punct(Punct::AmpEq) => Some(Some(BinOp::And)),
+            TokenKind::Punct(Punct::PipeEq) => Some(Some(BinOp::Or)),
+            TokenKind::Punct(Punct::CaretEq) => Some(Some(BinOp::Xor)),
+            TokenKind::Punct(Punct::ShlEq) => Some(Some(BinOp::Shl)),
+            TokenKind::Punct(Punct::ShrEq) => Some(Some(BinOp::Shr)),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_assign_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            Ok(Expr {
+                id: self.node_id(),
+                kind: ExprKind::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_conditional(&mut self) -> Result<Expr> {
+        let cond = self.parse_binary(0)?;
+        if self.eat_punct(Punct::Question) {
+            let then = self.parse_assign_expr()?;
+            self.expect_punct(Punct::Colon)?;
+            let els = self.parse_conditional()?;
+            let span = cond.span.merge(els.span);
+            Ok(Expr {
+                id: self.node_id(),
+                kind: ExprKind::Conditional {
+                    cond: Box::new(cond),
+                    then: Box::new(then),
+                    els: Box::new(els),
+                },
+                span,
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                TokenKind::Punct(Punct::PipePipe) => (BinOp::LogOr, 1),
+                TokenKind::Punct(Punct::AmpAmp) => (BinOp::LogAnd, 2),
+                TokenKind::Punct(Punct::Pipe) => (BinOp::Or, 3),
+                TokenKind::Punct(Punct::Caret) => (BinOp::Xor, 4),
+                TokenKind::Punct(Punct::Amp) => (BinOp::And, 5),
+                TokenKind::Punct(Punct::EqEq) => (BinOp::Eq, 6),
+                TokenKind::Punct(Punct::Ne) => (BinOp::Ne, 6),
+                TokenKind::Punct(Punct::Lt) => (BinOp::Lt, 7),
+                TokenKind::Punct(Punct::Gt) => (BinOp::Gt, 7),
+                TokenKind::Punct(Punct::Le) => (BinOp::Le, 7),
+                TokenKind::Punct(Punct::Ge) => (BinOp::Ge, 7),
+                TokenKind::Punct(Punct::Shl) => (BinOp::Shl, 8),
+                TokenKind::Punct(Punct::Shr) => (BinOp::Shr, 8),
+                TokenKind::Punct(Punct::Plus) => (BinOp::Add, 9),
+                TokenKind::Punct(Punct::Minus) => (BinOp::Sub, 9),
+                TokenKind::Punct(Punct::Star) => (BinOp::Mul, 10),
+                TokenKind::Punct(Punct::Slash) => (BinOp::Div, 10),
+                TokenKind::Punct(Punct::Percent) => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_binary(prec + 1)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr {
+                id: self.node_id(),
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        let span = self.span();
+        let kind = match self.peek().clone() {
+            TokenKind::Punct(Punct::Minus) => {
+                self.bump();
+                let operand = Box::new(self.parse_unary()?);
+                ExprKind::Unary { op: UnOp::Neg, operand }
+            }
+            TokenKind::Punct(Punct::Plus) => {
+                self.bump();
+                let operand = Box::new(self.parse_unary()?);
+                ExprKind::Unary { op: UnOp::Plus, operand }
+            }
+            TokenKind::Punct(Punct::Tilde) => {
+                self.bump();
+                let operand = Box::new(self.parse_unary()?);
+                ExprKind::Unary { op: UnOp::Not, operand }
+            }
+            TokenKind::Punct(Punct::Bang) => {
+                self.bump();
+                let operand = Box::new(self.parse_unary()?);
+                ExprKind::Unary { op: UnOp::LogNot, operand }
+            }
+            TokenKind::Punct(Punct::Star) => {
+                self.bump();
+                let operand = Box::new(self.parse_unary()?);
+                ExprKind::Deref(operand)
+            }
+            TokenKind::Punct(Punct::Amp) => {
+                self.bump();
+                let operand = Box::new(self.parse_unary()?);
+                ExprKind::AddrOf(operand)
+            }
+            TokenKind::Punct(Punct::PlusPlus) => {
+                self.bump();
+                let operand = Box::new(self.parse_unary()?);
+                ExprKind::IncDec { inc: true, pre: true, operand }
+            }
+            TokenKind::Punct(Punct::MinusMinus) => {
+                self.bump();
+                let operand = Box::new(self.parse_unary()?);
+                ExprKind::IncDec { inc: false, pre: true, operand }
+            }
+            TokenKind::Keyword(Keyword::Sizeof) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let (ty, _) = self.parse_type()?;
+                self.expect_punct(Punct::RParen)?;
+                ExprKind::SizeOf(ty)
+            }
+            // Cast: `(` type `)` unary — distinguished from parenthesized
+            // expressions by whether a type follows the `(`.
+            TokenKind::Punct(Punct::LParen) if self.at_type_at(1) => {
+                self.bump();
+                let (ty, _) = self.parse_type()?;
+                self.expect_punct(Punct::RParen)?;
+                let operand = Box::new(self.parse_unary()?);
+                ExprKind::Cast { ty, operand }
+            }
+            _ => return self.parse_postfix(),
+        };
+        let span = span.merge(self.prev_span());
+        Ok(Expr { id: self.node_id(), kind, span })
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            let span = e.span;
+            match self.peek() {
+                TokenKind::Punct(Punct::LBracket) => {
+                    self.bump();
+                    let index = self.parse_expr()?;
+                    let end = self.expect_punct(Punct::RBracket)?;
+                    e = Expr {
+                        id: self.node_id(),
+                        kind: ExprKind::Index { base: Box::new(e), index: Box::new(index) },
+                        span: span.merge(end),
+                    };
+                }
+                TokenKind::Punct(Punct::PlusPlus) => {
+                    self.bump();
+                    e = Expr {
+                        id: self.node_id(),
+                        kind: ExprKind::IncDec { inc: true, pre: false, operand: Box::new(e) },
+                        span: span.merge(self.prev_span()),
+                    };
+                }
+                TokenKind::Punct(Punct::MinusMinus) => {
+                    self.bump();
+                    e = Expr {
+                        id: self.node_id(),
+                        kind: ExprKind::IncDec { inc: false, pre: false, operand: Box::new(e) },
+                        span: span.merge(self.prev_span()),
+                    };
+                }
+                TokenKind::Punct(Punct::Dot) | TokenKind::Punct(Punct::Arrow) => {
+                    return Err(self.error(
+                        "member access is not supported (struct types are outside the subset)",
+                    ));
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        let span = self.span();
+        let kind = match self.bump() {
+            TokenKind::IntLit { value, unsigned, long } => {
+                ExprKind::IntLit { value, unsigned, long }
+            }
+            TokenKind::FloatLit { value, is_double } => ExprKind::FloatLit { value, is_double },
+            TokenKind::CharLit(v) => {
+                ExprKind::IntLit { value: v as u64, unsigned: false, long: false }
+            }
+            TokenKind::Ident(name) => {
+                if self.eat_punct(Punct::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.parse_assign_expr()?);
+                            if self.eat_punct(Punct::RParen) {
+                                break;
+                            }
+                            self.expect_punct(Punct::Comma)?;
+                        }
+                    }
+                    ExprKind::Call { name, args }
+                } else {
+                    ExprKind::Ident(name)
+                }
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                return Ok(e);
+            }
+            other => return Err(self.error(format!("expected expression, found {other}"))),
+        };
+        let span = span.merge(self.prev_span());
+        Ok(Expr { id: self.node_id(), kind, span })
+    }
+}
+
+/// Best-effort constant evaluation of an expression to a `u64`, used for
+/// array lengths. Supports literals and `+ - * / % << >>` over them.
+pub fn const_eval_u64(e: &Expr) -> Option<u64> {
+    match &e.kind {
+        ExprKind::IntLit { value, .. } => Some(*value),
+        ExprKind::Binary { op, lhs, rhs } => {
+            let a = const_eval_u64(lhs)?;
+            let b = const_eval_u64(rhs)?;
+            Some(match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => a.checked_div(b)?,
+                BinOp::Rem => a.checked_rem(b)?,
+                BinOp::Shl => a.wrapping_shl(b as u32),
+                BinOp::Shr => a.wrapping_shr(b as u32),
+                _ => return None,
+            })
+        }
+        ExprKind::Unary { op: UnOp::Plus, operand } => const_eval_u64(operand),
+        ExprKind::Cast { operand, .. } => const_eval_u64(operand),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::expr_to_string;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> TranslationUnit {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    fn parse_expr_src(src: &str) -> String {
+        let tu = parse_src(&format!("__kernel void k() {{ x = {src}; }}"));
+        match &tu.functions[0].body.stmts[0] {
+            Stmt::Expr(e) => match &e.kind {
+                ExprKind::Assign { rhs, .. } => expr_to_string(rhs),
+                _ => panic!("expected assignment"),
+            },
+            other => panic!("expected expr stmt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_minimal_kernel() {
+        let tu = parse_src("__kernel void f(__global float* a, int n) { }");
+        assert_eq!(tu.functions.len(), 1);
+        let f = &tu.functions[0];
+        assert!(f.is_kernel);
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].ty.to_string(), "__global float*");
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        assert_eq!(parse_expr_src("a + b * c"), "(a + (b * c))");
+        assert_eq!(parse_expr_src("(a + b) * c"), "((a + b) * c)");
+    }
+
+    #[test]
+    fn precedence_shift_vs_relational() {
+        assert_eq!(parse_expr_src("a << 1 < b"), "((a << 1) < b)");
+    }
+
+    #[test]
+    fn precedence_logical() {
+        assert_eq!(parse_expr_src("a && b || c && d"), "((a && b) || (c && d))");
+    }
+
+    #[test]
+    fn ternary_is_right_associative() {
+        assert_eq!(
+            parse_expr_src("a ? b : c ? d : e"),
+            "(a ? b : (c ? d : e))"
+        );
+    }
+
+    #[test]
+    fn unary_and_postfix() {
+        assert_eq!(parse_expr_src("-a[i]"), "(-a[i])");
+        assert_eq!(parse_expr_src("*p + 1"), "((*p) + 1)");
+        assert_eq!(parse_expr_src("a++ + ++b"), "((a++) + (++b))");
+    }
+
+    #[test]
+    fn cast_vs_paren() {
+        assert_eq!(parse_expr_src("(float)a"), "((float)a)");
+        assert_eq!(parse_expr_src("(a)"), "a");
+        assert_eq!(parse_expr_src("(int)(a + b)"), "((int)(a + b))");
+    }
+
+    #[test]
+    fn call_with_args() {
+        assert_eq!(parse_expr_src("fmax(a, b + 1)"), "fmax(a, (b + 1))");
+        assert_eq!(parse_expr_src("get_global_id(0)"), "get_global_id(0)");
+    }
+
+    #[test]
+    fn multi_declarator_splits() {
+        let tu = parse_src("__kernel void f() { int a = 1, b, *c; }");
+        let decls: Vec<_> = tu.functions[0]
+            .body
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Decl(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decls.len(), 3);
+        assert!(decls[0].init.is_some());
+        assert!(decls[2].ty.is_pointer());
+    }
+
+    #[test]
+    fn local_array_declaration() {
+        let tu = parse_src("__kernel void f() { __local float tile[16][17]; }");
+        match &tu.functions[0].body.stmts[0] {
+            Stmt::Decl(d) => {
+                assert_eq!(d.space, crate::types::AddressSpace::Local);
+                assert_eq!(d.ty.size(), 16 * 17 * 4);
+            }
+            other => panic!("expected decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_array_length_expression() {
+        let tu = parse_src("__kernel void f() { float t[4*4+2]; }");
+        match &tu.functions[0].body.stmts[0] {
+            Stmt::Decl(d) => assert_eq!(d.ty.size(), 18 * 4),
+            other => panic!("expected decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_loop_with_decl_init() {
+        let tu = parse_src("__kernel void f() { for (int i = 0; i < 10; i++) { } }");
+        match &tu.functions[0].body.stmts[0] {
+            Stmt::For { init, cond, step, .. } => {
+                assert!(init.is_some());
+                assert!(cond.is_some());
+                assert!(step.is_some());
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_becomes_barrier_stmt() {
+        let tu = parse_src("__kernel void f() { barrier(CLK_LOCAL_MEM_FENCE); }");
+        assert!(matches!(tu.functions[0].body.stmts[0], Stmt::Barrier { flags: 1, .. }));
+        let tu = parse_src(
+            "__kernel void f() { barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE); }",
+        );
+        assert!(matches!(tu.functions[0].body.stmts[0], Stmt::Barrier { flags: 3, .. }));
+    }
+
+    #[test]
+    fn goto_rejected() {
+        let toks = lex("__kernel void f() { goto done; }").unwrap();
+        let err = parse(toks).unwrap_err();
+        assert!(err.message.contains("goto"));
+    }
+
+    #[test]
+    fn struct_rejected() {
+        let toks = lex("struct S { int a; };").unwrap();
+        assert!(parse(toks).is_err());
+    }
+
+    #[test]
+    fn dangling_else_binds_to_nearest_if() {
+        let tu = parse_src("__kernel void f() { if (a) if (b) x = 1; else x = 2; }");
+        match &tu.functions[0].body.stmts[0] {
+            Stmt::If { els, then, .. } => {
+                assert!(els.is_none());
+                assert!(matches!(**then, Stmt::If { els: Some(_), .. }));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comma_in_for_step() {
+        let tu = parse_src("__kernel void f() { for (i = 0, j = 9; i < j; i++, j--) { } }");
+        assert!(matches!(tu.functions[0].body.stmts[0], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn helper_function_parses() {
+        let tu = parse_src("float sq(float x) { return x * x; } __kernel void k() { }");
+        assert_eq!(tu.functions.len(), 2);
+        assert!(!tu.functions[0].is_kernel);
+        assert!(tu.functions[1].is_kernel);
+    }
+
+    #[test]
+    fn attribute_is_skipped() {
+        let tu = parse_src(
+            "__kernel __attribute__((reqd_work_group_size(64,1,1))) void k() { }",
+        );
+        assert!(tu.functions[0].is_kernel);
+    }
+
+    #[test]
+    fn sizeof_type() {
+        assert_eq!(parse_expr_src("sizeof(float)"), "sizeof(float)");
+    }
+
+    #[test]
+    fn unsigned_int_spelling() {
+        let tu = parse_src("__kernel void f(unsigned int n) { }");
+        assert_eq!(tu.functions[0].params[0].ty, Type::scalar(Scalar::U32));
+    }
+}

@@ -1,0 +1,432 @@
+//! A small C-style preprocessor.
+//!
+//! Supports the directives that real-world OpenCL kernels commonly use:
+//! object-like and function-like `#define`, `#undef`, `#ifdef` / `#ifndef` /
+//! `#else` / `#endif`, `#pragma` (ignored), and backslash line continuation.
+//! `#include` is rejected: OpenCL kernels are compiled from self-contained
+//! source in this framework. Conditional expressions (`#if`) support only
+//! `defined(X)`, integer literals, and `!`, which covers the benchmark
+//! suite.
+//!
+//! Expansion is purely textual with identifier-boundary matching, which
+//! matches how the benchmarks use macros (named constants and tiny inline
+//! helpers).
+
+use crate::error::{Diagnostic, Phase, Result};
+use crate::span::Span;
+use std::collections::HashMap;
+
+/// A defined macro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Macro {
+    Object(String),
+    Function { params: Vec<String>, body: String },
+}
+
+/// Runs the preprocessor over `source`, applying `defines` as if each
+/// `(name, value)` pair had appeared as `#define name value` before line 1.
+///
+/// Returns the expanded source. Line counts are preserved (directive lines
+/// become empty lines) so downstream spans still point at the original text.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for `#include`, unterminated conditionals,
+/// malformed macro invocations, or unknown directives.
+pub fn preprocess(source: &str, defines: &[(String, String)]) -> Result<String> {
+    let mut macros: HashMap<String, Macro> = HashMap::new();
+    for (k, v) in defines {
+        macros.insert(k.clone(), Macro::Object(v.clone()));
+    }
+
+    // Splice continued lines, keeping a record of how many lines each
+    // spliced line consumed so we can emit matching blank lines.
+    let mut spliced: Vec<(String, usize, u32)> = Vec::new(); // (text, extra_lines, line_no)
+    {
+        let mut cur = String::new();
+        let mut extra = 0usize;
+        let mut start_line = 1u32;
+        for (idx, line) in source.lines().enumerate() {
+            if cur.is_empty() {
+                start_line = idx as u32 + 1;
+            }
+            if let Some(stripped) = line.strip_suffix('\\') {
+                cur.push_str(stripped);
+                extra += 1;
+            } else {
+                cur.push_str(line);
+                spliced.push((std::mem::take(&mut cur), extra, start_line));
+                extra = 0;
+            }
+        }
+        if !cur.is_empty() {
+            spliced.push((cur, extra, start_line));
+        }
+    }
+
+    let mut out = String::with_capacity(source.len());
+    // Stack of (parent_active, this_branch_taken).
+    let mut cond_stack: Vec<(bool, bool)> = Vec::new();
+    let mut active = true;
+
+    for (text, extra, line_no) in spliced {
+        let span = Span::new(0, 0, line_no);
+        let trimmed = text.trim_start();
+        if let Some(directive) = trimmed.strip_prefix('#') {
+            let directive = directive.trim_start();
+            let (name, rest) = split_word(directive);
+            match name {
+                "define" if active => {
+                    let (mname, after) = split_word(rest.trim_start());
+                    if mname.is_empty() {
+                        return Err(Diagnostic::new(Phase::Preprocess, "missing macro name", span));
+                    }
+                    if after.starts_with('(') {
+                        let close = after.find(')').ok_or_else(|| {
+                            Diagnostic::new(Phase::Preprocess, "unterminated macro parameter list", span)
+                        })?;
+                        let params: Vec<String> = after[1..close]
+                            .split(',')
+                            .map(|p| p.trim().to_owned())
+                            .filter(|p| !p.is_empty())
+                            .collect();
+                        let body = after[close + 1..].trim().to_owned();
+                        macros.insert(mname.to_owned(), Macro::Function { params, body });
+                    } else {
+                        macros.insert(mname.to_owned(), Macro::Object(after.trim().to_owned()));
+                    }
+                }
+                "undef" if active => {
+                    let (mname, _) = split_word(rest.trim_start());
+                    macros.remove(mname);
+                }
+                "ifdef" | "ifndef" => {
+                    let (mname, _) = split_word(rest.trim_start());
+                    let defined = macros.contains_key(mname);
+                    let taken = if name == "ifdef" { defined } else { !defined };
+                    cond_stack.push((active, taken));
+                    active = active && taken;
+                }
+                "if" => {
+                    let taken = eval_pp_condition(rest.trim(), &macros, span)?;
+                    cond_stack.push((active, taken));
+                    active = active && taken;
+                }
+                "else" => {
+                    let (parent, taken) = *cond_stack.last().ok_or_else(|| {
+                        Diagnostic::new(Phase::Preprocess, "`#else` without `#if`", span)
+                    })?;
+                    active = parent && !taken;
+                }
+                "endif" => {
+                    let (parent, _) = cond_stack.pop().ok_or_else(|| {
+                        Diagnostic::new(Phase::Preprocess, "`#endif` without `#if`", span)
+                    })?;
+                    active = parent;
+                }
+                "pragma" => {}
+                "include" => {
+                    if active {
+                        return Err(Diagnostic::new(
+                            Phase::Preprocess,
+                            "`#include` is not supported; kernels must be self-contained",
+                            span,
+                        ));
+                    }
+                }
+                "define" | "undef" => {} // inactive branch
+                other => {
+                    if active {
+                        return Err(Diagnostic::new(
+                            Phase::Preprocess,
+                            format!("unknown preprocessor directive `#{other}`"),
+                            span,
+                        ));
+                    }
+                }
+            }
+            out.push('\n');
+        } else if active {
+            out.push_str(&expand(&text, &macros, span, 0)?);
+            out.push('\n');
+        } else {
+            out.push('\n');
+        }
+        for _ in 0..extra {
+            out.push('\n');
+        }
+    }
+
+    if !cond_stack.is_empty() {
+        return Err(Diagnostic::new(
+            Phase::Preprocess,
+            "unterminated `#if`",
+            Span::default(),
+        ));
+    }
+    Ok(out)
+}
+
+fn split_word(s: &str) -> (&str, &str) {
+    let end = s
+        .char_indices()
+        .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '_'))
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    (&s[..end], &s[end..])
+}
+
+fn eval_pp_condition(expr: &str, macros: &HashMap<String, Macro>, span: Span) -> Result<bool> {
+    let e = expr.trim();
+    if let Some(rest) = e.strip_prefix('!') {
+        return Ok(!eval_pp_condition(rest, macros, span)?);
+    }
+    if let Some(rest) = e.strip_prefix("defined") {
+        let inner = rest.trim().trim_start_matches('(').trim_end_matches(')').trim();
+        return Ok(macros.contains_key(inner));
+    }
+    if let Ok(v) = e.parse::<i64>() {
+        return Ok(v != 0);
+    }
+    if let Some(Macro::Object(body)) = macros.get(e) {
+        if let Ok(v) = body.trim().parse::<i64>() {
+            return Ok(v != 0);
+        }
+    }
+    Err(Diagnostic::new(
+        Phase::Preprocess,
+        format!("unsupported `#if` condition `{e}`"),
+        span,
+    ))
+}
+
+const MAX_EXPANSION_DEPTH: usize = 32;
+
+/// Expands macros in one line of text.
+fn expand(
+    line: &str,
+    macros: &HashMap<String, Macro>,
+    span: Span,
+    depth: usize,
+) -> Result<String> {
+    if depth > MAX_EXPANSION_DEPTH {
+        return Err(Diagnostic::new(
+            Phase::Preprocess,
+            "macro expansion too deep (recursive macro?)",
+            span,
+        ));
+    }
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    let mut changed = false;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &line[start..i];
+            match macros.get(word) {
+                Some(Macro::Object(body)) => {
+                    out.push_str(body);
+                    changed = true;
+                }
+                Some(Macro::Function { params, body }) => {
+                    // Find the argument list.
+                    let mut j = i;
+                    while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j] == b'(' {
+                        let (args, after) = parse_macro_args(&line[j..], span)?;
+                        if args.len() != params.len() && !(params.is_empty() && args.len() == 1 && args[0].trim().is_empty()) {
+                            return Err(Diagnostic::new(
+                                Phase::Preprocess,
+                                format!(
+                                    "macro `{word}` expects {} arguments, got {}",
+                                    params.len(),
+                                    args.len()
+                                ),
+                                span,
+                            ));
+                        }
+                        let mut expanded = body.clone();
+                        // Substitute longest parameter names first so that a
+                        // parameter `xy` is not clobbered by a parameter `x`.
+                        let mut order: Vec<usize> = (0..params.len()).collect();
+                        order.sort_by_key(|&k| std::cmp::Reverse(params[k].len()));
+                        for k in order {
+                            expanded =
+                                substitute_ident(&expanded, &params[k], &format!("({})", args[k].trim()));
+                        }
+                        out.push_str(&expanded);
+                        i = j + after;
+                        changed = true;
+                    } else {
+                        out.push_str(word);
+                    }
+                }
+                None => out.push_str(word),
+            }
+        } else {
+            out.push(c as char);
+            i += 1;
+        }
+    }
+    if changed {
+        expand(&out, macros, span, depth + 1)
+    } else {
+        Ok(out)
+    }
+}
+
+/// Parses a parenthesized macro argument list starting at `(`.
+/// Returns the arguments and the number of bytes consumed.
+fn parse_macro_args(s: &str, span: Span) -> Result<(Vec<String>, usize)> {
+    let bytes = s.as_bytes();
+    debug_assert_eq!(bytes[0], b'(');
+    let mut depth = 0usize;
+    let mut args = Vec::new();
+    let mut cur = String::new();
+    for (i, &c) in bytes.iter().enumerate() {
+        match c {
+            b'(' => {
+                depth += 1;
+                if depth > 1 {
+                    cur.push('(');
+                }
+            }
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    args.push(cur);
+                    return Ok((args, i + 1));
+                }
+                cur.push(')');
+            }
+            b',' if depth == 1 => args.push(std::mem::take(&mut cur)),
+            _ => cur.push(c as char),
+        }
+    }
+    Err(Diagnostic::new(
+        Phase::Preprocess,
+        "unterminated macro argument list",
+        span,
+    ))
+}
+
+/// Replaces whole-identifier occurrences of `name` in `text` with `repl`.
+fn substitute_ident(text: &str, name: &str, repl: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &text[start..i];
+            if word == name {
+                out.push_str(repl);
+            } else {
+                out.push_str(word);
+            }
+        } else {
+            out.push(c as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pp(src: &str) -> String {
+        preprocess(src, &[]).unwrap()
+    }
+
+    #[test]
+    fn object_macro_expands() {
+        assert_eq!(pp("#define N 16\nint a = N;"), "\nint a = 16;\n");
+    }
+
+    #[test]
+    fn function_macro_expands() {
+        let out = pp("#define SQ(x) ((x)*(x))\ny = SQ(a+1);");
+        assert_eq!(out, "\ny = (((a+1))*((a+1)));\n");
+    }
+
+    #[test]
+    fn nested_function_macro() {
+        let out = pp("#define A(x) (x+1)\n#define B(x) A(A(x))\nv = B(2);");
+        assert_eq!(out.trim(), "v = (((((2))+1))+1);");
+    }
+
+    #[test]
+    fn ifdef_selects_branch() {
+        let out = pp("#define FOO 1\n#ifdef FOO\nyes\n#else\nno\n#endif");
+        assert!(out.contains("yes"));
+        assert!(!out.contains("no"));
+    }
+
+    #[test]
+    fn ifndef_selects_other_branch() {
+        let out = pp("#ifndef FOO\nyes\n#else\nno\n#endif");
+        assert!(out.contains("yes"));
+    }
+
+    #[test]
+    fn external_defines_apply() {
+        let out = preprocess("int a = N;", &[("N".into(), "42".into())]).unwrap();
+        assert_eq!(out.trim(), "int a = 42;");
+    }
+
+    #[test]
+    fn include_is_rejected() {
+        assert!(preprocess("#include <stdio.h>", &[]).is_err());
+    }
+
+    #[test]
+    fn line_count_is_preserved() {
+        let out = pp("#define N 1\nline2\nline3");
+        assert_eq!(out.matches('\n').count(), 3);
+    }
+
+    #[test]
+    fn line_continuation() {
+        let out = pp("#define N 1 + \\\n 2\nv = N;");
+        assert_eq!(out.trim(), "v = 1 +  2;");
+        // Blank line preserved for the continuation.
+        assert_eq!(out.matches('\n').count(), 3);
+    }
+
+    #[test]
+    fn recursive_macro_errors() {
+        // Direct self-reference loops forever without the depth guard.
+        assert!(preprocess("#define X X+1\nv = X;", &[]).is_err());
+    }
+
+    #[test]
+    fn pragma_is_ignored() {
+        assert_eq!(pp("#pragma unroll 4\nx").trim(), "x");
+    }
+
+    #[test]
+    fn if_defined() {
+        let out = pp("#if defined(FOO)\na\n#else\nb\n#endif");
+        assert!(out.contains('b'));
+        let out = pp("#define FOO\n#if defined(FOO)\na\n#else\nb\n#endif");
+        assert!(out.contains('a'));
+    }
+
+    #[test]
+    fn unterminated_if_errors() {
+        assert!(preprocess("#ifdef A\nx", &[]).is_err());
+    }
+}

@@ -1,0 +1,829 @@
+//! Semantic analysis: name resolution and type checking.
+//!
+//! The analyzer walks the AST once, resolving every identifier, checking
+//! every operator, and recording the type of every expression in a side
+//! table keyed by [`NodeId`]. The result feeds IR lowering.
+
+use crate::ast::*;
+use crate::builtins::{self, Builtin};
+use crate::error::{Diagnostic, Phase, Result};
+use crate::span::Span;
+use crate::types::{promote, AddressSpace, Scalar, Type};
+use std::collections::{HashMap, HashSet};
+
+/// What an identifier expression refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// Parameter `index` of the enclosing function.
+    Param(usize),
+    /// A local variable, identified by its declaration's [`NodeId`].
+    Var(NodeId),
+}
+
+/// Information about one declared variable.
+#[derive(Debug, Clone)]
+pub struct VarInfo {
+    /// Source name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Address space the variable lives in.
+    pub space: AddressSpace,
+}
+
+/// Signature of a user-defined function.
+#[derive(Debug, Clone)]
+pub struct FuncSig {
+    /// Return type.
+    pub ret: Type,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Whether it is a `__kernel`.
+    pub is_kernel: bool,
+}
+
+/// The result of semantic analysis over a translation unit.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Type of every expression (after array decay), keyed by node id.
+    pub types: HashMap<NodeId, Type>,
+    /// Resolution of every identifier expression.
+    pub res: HashMap<NodeId, Resolution>,
+    /// Calls that resolved to built-ins.
+    pub builtins: HashMap<NodeId, Builtin>,
+    /// Calls that resolved to user functions (by name).
+    pub user_calls: HashMap<NodeId, String>,
+    /// Every declared variable, keyed by its declaration node id.
+    pub vars: HashMap<NodeId, VarInfo>,
+    /// Declarations whose address is taken (these cannot be SSA-promoted).
+    pub addr_taken: HashSet<NodeId>,
+    /// Signatures of all functions.
+    pub funcs: HashMap<String, FuncSig>,
+}
+
+impl Analysis {
+    /// The type of expression `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` was not visited by the analyzer (an internal bug).
+    pub fn type_of(&self, e: &Expr) -> &Type {
+        self.types.get(&e.id).expect("expression not typed by sema")
+    }
+}
+
+/// Runs semantic analysis over a parsed translation unit.
+///
+/// # Errors
+///
+/// Returns the first semantic error found (unknown name, type mismatch,
+/// unsupported feature, recursion, ...).
+pub fn analyze(tu: &TranslationUnit) -> Result<Analysis> {
+    let mut a = Analysis::default();
+
+    if tu.kernels().next().is_none() {
+        return Err(Diagnostic::new(
+            Phase::Sema,
+            "translation unit contains no __kernel function",
+            Span::default(),
+        ));
+    }
+
+    for f in &tu.functions {
+        if a.funcs.contains_key(&f.name) {
+            return Err(err(format!("function `{}` defined twice", f.name), f.span));
+        }
+        check_signature(f)?;
+        a.funcs.insert(
+            f.name.clone(),
+            FuncSig {
+                ret: f.ret.clone(),
+                params: f.params.iter().map(|p| p.ty.clone()).collect(),
+                is_kernel: f.is_kernel,
+            },
+        );
+        let mut cx = FuncCx {
+            analysis: &mut a,
+            func: f,
+            scopes: vec![HashMap::new()],
+            loop_depth: 0,
+            calls: Vec::new(),
+        };
+        for (i, p) in f.params.iter().enumerate() {
+            cx.scopes[0].insert(p.name.clone(), Resolution::Param(i));
+        }
+        cx.check_block(&f.body)?;
+        let calls = cx.calls;
+        // Functions must be defined before use, which also rules out
+        // recursion; verify explicitly for a clear error message.
+        for (callee, span) in calls {
+            if callee == f.name {
+                return Err(err("recursive functions are not supported in OpenCL C", span));
+            }
+        }
+    }
+    Ok(a)
+}
+
+fn err(msg: impl Into<String>, span: Span) -> Diagnostic {
+    Diagnostic::new(Phase::Sema, msg, span)
+}
+
+fn check_signature(f: &Function) -> Result<()> {
+    if f.is_kernel && f.ret != Type::Void {
+        return Err(err("__kernel functions must return void", f.span));
+    }
+    for p in &f.params {
+        match &p.ty {
+            Type::Scalar(_) => {}
+            Type::Pointer { space, .. } => {
+                if f.is_kernel && *space == AddressSpace::Private {
+                    return Err(err(
+                        format!(
+                            "kernel argument `{}` must point to __global, __local, or __constant memory",
+                            p.name
+                        ),
+                        p.span,
+                    ));
+                }
+            }
+            other => {
+                return Err(err(
+                    format!("unsupported parameter type `{other}` for `{}`", p.name),
+                    p.span,
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+struct FuncCx<'a> {
+    analysis: &'a mut Analysis,
+    func: &'a Function,
+    scopes: Vec<HashMap<String, Resolution>>,
+    loop_depth: u32,
+    calls: Vec<(String, Span)>,
+}
+
+impl<'a> FuncCx<'a> {
+    fn lookup(&self, name: &str) -> Option<Resolution> {
+        self.scopes.iter().rev().find_map(|s| s.get(name)).cloned()
+    }
+
+    fn check_block(&mut self, b: &Block) -> Result<()> {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.check_stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> Result<()> {
+        match s {
+            Stmt::Decl(d) => self.check_decl(d),
+            Stmt::Expr(e) => {
+                self.check_expr(e)?;
+                Ok(())
+            }
+            Stmt::Empty(_) => Ok(()),
+            Stmt::Block(b) => self.check_block(b),
+            Stmt::If { cond, then, els, span } => {
+                let t = self.check_expr(cond)?;
+                if !t.is_condition() {
+                    return Err(err(format!("`if` condition has non-scalar type `{t}`"), *span));
+                }
+                self.check_stmt(then)?;
+                if let Some(e) = els {
+                    self.check_stmt(e)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, span } | Stmt::DoWhile { body, cond, span } => {
+                let t = self.check_expr(cond)?;
+                if !t.is_condition() {
+                    return Err(err(format!("loop condition has non-scalar type `{t}`"), *span));
+                }
+                self.loop_depth += 1;
+                self.check_stmt(body)?;
+                self.loop_depth -= 1;
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body, span } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    match &**i {
+                        // A multi-declarator init was wrapped in a block by
+                        // the parser; its decls must scope over the loop.
+                        Stmt::Block(b) => {
+                            for st in &b.stmts {
+                                self.check_stmt(st)?;
+                            }
+                        }
+                        other => self.check_stmt(other)?,
+                    }
+                }
+                if let Some(c) = cond {
+                    let t = self.check_expr(c)?;
+                    if !t.is_condition() {
+                        return Err(err(
+                            format!("`for` condition has non-scalar type `{t}`"),
+                            *span,
+                        ));
+                    }
+                }
+                if let Some(st) = step {
+                    self.check_expr(st)?;
+                }
+                self.loop_depth += 1;
+                self.check_stmt(body)?;
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Break(span) | Stmt::Continue(span) => {
+                if self.loop_depth == 0 {
+                    return Err(err("`break`/`continue` outside of a loop", *span));
+                }
+                Ok(())
+            }
+            Stmt::Return(value, span) => {
+                match (value, &self.func.ret) {
+                    (None, Type::Void) => Ok(()),
+                    (Some(_), Type::Void) => {
+                        Err(err("void function cannot return a value", *span))
+                    }
+                    (None, _) => Err(err("non-void function must return a value", *span)),
+                    (Some(v), ret) => {
+                        let t = self.check_expr(v)?;
+                        if !convertible(&t, ret) {
+                            return Err(err(
+                                format!("cannot convert `{t}` to return type `{ret}`"),
+                                *span,
+                            ));
+                        }
+                        Ok(())
+                    }
+                }
+            }
+            Stmt::Barrier { .. } => Ok(()),
+        }
+    }
+
+    fn check_decl(&mut self, d: &Decl) -> Result<()> {
+        if d.space == AddressSpace::Local && !self.func.is_kernel {
+            return Err(err(
+                "__local variables may only be declared inside __kernel functions",
+                d.span,
+            ));
+        }
+        if d.space == AddressSpace::Constant || d.space == AddressSpace::Global {
+            return Err(err(
+                format!("variables cannot be declared `{}` inside a function", d.space),
+                d.span,
+            ));
+        }
+        if let Some(init) = &d.init {
+            if matches!(d.ty, Type::Array { .. }) {
+                return Err(err("array initializers are not supported", d.span));
+            }
+            if d.space == AddressSpace::Local {
+                return Err(err("__local variables cannot have initializers", d.span));
+            }
+            let t = self.check_expr(init)?;
+            let target = d.ty.decayed(d.space);
+            if !convertible(&t, &target) {
+                return Err(err(
+                    format!("cannot initialize `{}` (`{}`) from `{t}`", d.name, d.ty),
+                    d.span,
+                ));
+            }
+        }
+        self.analysis.vars.insert(
+            d.id,
+            VarInfo { name: d.name.clone(), ty: d.ty.clone(), space: d.space },
+        );
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(d.name.clone(), Resolution::Var(d.id));
+        Ok(())
+    }
+
+    fn set_type(&mut self, id: NodeId, t: Type) -> Type {
+        self.analysis.types.insert(id, t.clone());
+        t
+    }
+
+    /// Type-checks an expression, records and returns its (decayed) type.
+    fn check_expr(&mut self, e: &Expr) -> Result<Type> {
+        let t = self.check_expr_inner(e)?;
+        Ok(self.set_type(e.id, t))
+    }
+
+    fn check_expr_inner(&mut self, e: &Expr) -> Result<Type> {
+        match &e.kind {
+            ExprKind::IntLit { value, unsigned, long } => {
+                let s = match (unsigned, long) {
+                    (false, false) => {
+                        if *value <= i32::MAX as u64 {
+                            Scalar::I32
+                        } else if *value <= i64::MAX as u64 {
+                            Scalar::I64
+                        } else {
+                            Scalar::U64
+                        }
+                    }
+                    (true, false) => {
+                        if *value <= u32::MAX as u64 {
+                            Scalar::U32
+                        } else {
+                            Scalar::U64
+                        }
+                    }
+                    (false, true) => Scalar::I64,
+                    (true, true) => Scalar::U64,
+                };
+                Ok(Type::scalar(s))
+            }
+            ExprKind::FloatLit { is_double, .. } => Ok(Type::scalar(if *is_double {
+                Scalar::F64
+            } else {
+                Scalar::F32
+            })),
+            ExprKind::Ident(name) => {
+                let res = self.lookup(name).ok_or_else(|| {
+                    err(format!("unknown identifier `{name}`"), e.span)
+                })?;
+                let t = match &res {
+                    Resolution::Param(i) => self.func.params[*i].ty.clone(),
+                    Resolution::Var(id) => {
+                        let v = &self.analysis.vars[id];
+                        v.ty.decayed(v.space)
+                    }
+                };
+                self.analysis.res.insert(e.id, res);
+                Ok(t)
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lt = self.check_expr(lhs)?;
+                let rt = self.check_expr(rhs)?;
+                self.binary_type(*op, &lt, &rt, e.span)
+            }
+            ExprKind::Unary { op, operand } => {
+                let t = self.check_expr(operand)?;
+                match op {
+                    UnOp::LogNot => {
+                        if !t.is_condition() {
+                            return Err(err(format!("cannot apply `!` to `{t}`"), e.span));
+                        }
+                        Ok(Type::scalar(Scalar::I32))
+                    }
+                    UnOp::Not => match t.as_scalar() {
+                        Some(s) if s.is_int() => Ok(Type::scalar(promote(s))),
+                        _ => Err(err(format!("cannot apply `~` to `{t}`"), e.span)),
+                    },
+                    UnOp::Neg | UnOp::Plus => match t.as_scalar() {
+                        Some(s) => Ok(Type::scalar(promote(s))),
+                        None => Err(err(format!("cannot negate `{t}`"), e.span)),
+                    },
+                }
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                let lt = self.check_lvalue(lhs)?;
+                let rt = self.check_expr(rhs)?;
+                if let Some(op) = op {
+                    // Compound assignment: the operation must type-check.
+                    self.binary_type(*op, &lt, &rt, e.span)?;
+                } else if !convertible(&rt, &lt) {
+                    return Err(err(format!("cannot assign `{rt}` to `{lt}`"), e.span));
+                }
+                Ok(lt)
+            }
+            ExprKind::IncDec { operand, .. } => {
+                let t = self.check_lvalue(operand)?;
+                match &t {
+                    Type::Scalar(_) | Type::Pointer { .. } => Ok(t),
+                    other => Err(err(format!("cannot increment `{other}`"), e.span)),
+                }
+            }
+            ExprKind::Conditional { cond, then, els } => {
+                let ct = self.check_expr(cond)?;
+                if !ct.is_condition() {
+                    return Err(err(format!("`?:` condition has type `{ct}`"), e.span));
+                }
+                let tt = self.check_expr(then)?;
+                let et = self.check_expr(els)?;
+                match (&tt, &et) {
+                    (Type::Scalar(a), Type::Scalar(b)) => {
+                        Ok(Type::scalar(Scalar::unify(*a, *b)))
+                    }
+                    (Type::Pointer { .. }, Type::Pointer { .. }) if tt == et => Ok(tt),
+                    _ => Err(err(
+                        format!("incompatible `?:` branch types `{tt}` and `{et}`"),
+                        e.span,
+                    )),
+                }
+            }
+            ExprKind::Index { base, index } => {
+                let bt = self.check_expr(base)?;
+                let it = self.check_expr(index)?;
+                if it.as_scalar().map(|s| s.is_int()) != Some(true) {
+                    return Err(err(format!("array index has type `{it}`"), e.span));
+                }
+                match bt {
+                    Type::Pointer { elem, space } => Ok(elem.decayed(space)),
+                    other => Err(err(format!("cannot index `{other}`"), e.span)),
+                }
+            }
+            ExprKind::Deref(p) => {
+                let pt = self.check_expr(p)?;
+                match pt {
+                    Type::Pointer { elem, space } => Ok(elem.decayed(space)),
+                    other => Err(err(format!("cannot dereference `{other}`"), e.span)),
+                }
+            }
+            ExprKind::AddrOf(inner) => {
+                let t = self.check_lvalue(inner)?;
+                let space = self.lvalue_space(inner)?;
+                // Mark directly-addressed variables as non-promotable.
+                if let ExprKind::Ident(_) = &inner.kind {
+                    if let Some(Resolution::Var(id)) = self.analysis.res.get(&inner.id) {
+                        self.analysis.addr_taken.insert(*id);
+                    } else {
+                        return Err(err(
+                            "cannot take the address of a parameter",
+                            e.span,
+                        ));
+                    }
+                }
+                Ok(Type::pointer(space, t))
+            }
+            ExprKind::Cast { ty, operand } => {
+                let from = self.check_expr(operand)?;
+                let ok = match (&from, ty) {
+                    (Type::Scalar(_), Type::Scalar(_)) => true,
+                    (Type::Pointer { space: s1, .. }, Type::Pointer { space: s2, .. }) => {
+                        s1 == s2
+                    }
+                    (Type::Pointer { .. }, Type::Scalar(s)) => {
+                        matches!(s, Scalar::I64 | Scalar::U64)
+                    }
+                    (Type::Scalar(s), Type::Pointer { .. }) => s.is_int(),
+                    _ => false,
+                };
+                if !ok {
+                    return Err(err(format!("invalid cast from `{from}` to `{ty}`"), e.span));
+                }
+                Ok(ty.clone())
+            }
+            ExprKind::Call { name, args } => {
+                let mut arg_tys = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_tys.push(self.check_expr(a)?);
+                }
+                if let Some(r) = builtins::resolve(name, &arg_tys) {
+                    let b = r.map_err(|m| err(m, e.span))?;
+                    let ret = b.return_type();
+                    self.analysis.builtins.insert(e.id, b);
+                    return Ok(ret);
+                }
+                let sig = self
+                    .analysis
+                    .funcs
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| err(format!("unknown function `{name}`"), e.span))?;
+                if sig.is_kernel {
+                    return Err(err(
+                        format!("cannot call __kernel function `{name}` from a kernel"),
+                        e.span,
+                    ));
+                }
+                if sig.params.len() != arg_tys.len() {
+                    return Err(err(
+                        format!(
+                            "`{name}` expects {} argument(s), got {}",
+                            sig.params.len(),
+                            arg_tys.len()
+                        ),
+                        e.span,
+                    ));
+                }
+                for (i, (have, want)) in arg_tys.iter().zip(&sig.params).enumerate() {
+                    if !convertible(have, want) {
+                        return Err(err(
+                            format!("argument {} of `{name}`: cannot convert `{have}` to `{want}`", i + 1),
+                            e.span,
+                        ));
+                    }
+                }
+                self.calls.push((name.clone(), e.span));
+                self.analysis.user_calls.insert(e.id, name.clone());
+                Ok(sig.ret)
+            }
+            ExprKind::SizeOf(_) => Ok(Type::scalar(Scalar::U64)),
+            ExprKind::Comma { lhs, rhs } => {
+                self.check_expr(lhs)?;
+                self.check_expr(rhs)
+            }
+        }
+    }
+
+    /// Checks that `e` is an lvalue and returns its type.
+    fn check_lvalue(&mut self, e: &Expr) -> Result<Type> {
+        match &e.kind {
+            ExprKind::Ident(_) | ExprKind::Index { .. } | ExprKind::Deref(_) => {
+                let t = self.check_expr(e)?;
+                Ok(t)
+            }
+            _ => Err(err("expression is not assignable", e.span)),
+        }
+    }
+
+    /// Address space of an lvalue (for `&x`).
+    fn lvalue_space(&mut self, e: &Expr) -> Result<AddressSpace> {
+        match &e.kind {
+            ExprKind::Ident(_) => match self.analysis.res.get(&e.id) {
+                Some(Resolution::Var(id)) => Ok(self.analysis.vars[id].space),
+                _ => Ok(AddressSpace::Private),
+            },
+            ExprKind::Index { base, .. } | ExprKind::Deref(base) => {
+                match self.analysis.types.get(&base.id) {
+                    Some(Type::Pointer { space, .. }) => Ok(*space),
+                    _ => Ok(AddressSpace::Private),
+                }
+            }
+            _ => Err(err("cannot take the address of this expression", e.span)),
+        }
+    }
+
+    fn binary_type(&mut self, op: BinOp, lt: &Type, rt: &Type, span: Span) -> Result<Type> {
+        use BinOp::*;
+        match op {
+            LogAnd | LogOr => {
+                if lt.is_condition() && rt.is_condition() {
+                    Ok(Type::scalar(Scalar::I32))
+                } else {
+                    Err(err(format!("cannot apply `&&`/`||` to `{lt}` and `{rt}`"), span))
+                }
+            }
+            Eq | Ne | Lt | Gt | Le | Ge => match (lt, rt) {
+                (Type::Scalar(_), Type::Scalar(_)) => Ok(Type::scalar(Scalar::I32)),
+                (Type::Pointer { .. }, Type::Pointer { .. }) => Ok(Type::scalar(Scalar::I32)),
+                // Pointer vs. integer-literal-zero comparisons are common.
+                (Type::Pointer { .. }, Type::Scalar(s)) | (Type::Scalar(s), Type::Pointer { .. })
+                    if s.is_int() =>
+                {
+                    Ok(Type::scalar(Scalar::I32))
+                }
+                _ => Err(err(format!("cannot compare `{lt}` and `{rt}`"), span)),
+            },
+            Add | Sub => match (lt, rt) {
+                (Type::Scalar(a), Type::Scalar(b)) => Ok(Type::scalar(Scalar::unify(*a, *b))),
+                (Type::Pointer { .. }, Type::Scalar(s)) if s.is_int() => Ok(lt.clone()),
+                (Type::Scalar(s), Type::Pointer { .. }) if s.is_int() && op == Add => {
+                    Ok(rt.clone())
+                }
+                (Type::Pointer { .. }, Type::Pointer { .. }) if op == Sub && lt == rt => {
+                    Ok(Type::scalar(Scalar::I64))
+                }
+                _ => Err(err(format!("cannot apply `{op:?}` to `{lt}` and `{rt}`"), span)),
+            },
+            Mul | Div => match (lt.as_scalar(), rt.as_scalar()) {
+                (Some(a), Some(b)) => Ok(Type::scalar(Scalar::unify(a, b))),
+                _ => Err(err(format!("cannot apply `{op:?}` to `{lt}` and `{rt}`"), span)),
+            },
+            Rem | And | Or | Xor | Shl | Shr => match (lt.as_scalar(), rt.as_scalar()) {
+                (Some(a), Some(b)) if a.is_int() && b.is_int() => {
+                    if matches!(op, Shl | Shr) {
+                        Ok(Type::scalar(promote(a)))
+                    } else {
+                        Ok(Type::scalar(Scalar::unify(a, b)))
+                    }
+                }
+                _ => Err(err(
+                    format!("integer operator `{op:?}` applied to `{lt}` and `{rt}`"),
+                    span,
+                )),
+            },
+        }
+    }
+}
+
+/// Whether a value of type `from` implicitly converts to `to`.
+pub fn convertible(from: &Type, to: &Type) -> bool {
+    match (from, to) {
+        (Type::Scalar(_), Type::Scalar(_)) => true,
+        (Type::Pointer { space: s1, elem: e1 }, Type::Pointer { space: s2, elem: e2 }) => {
+            s1 == s2 && (e1 == e2 || **e2 == Type::Void || **e1 == Type::Void)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn analyze_src(src: &str) -> Result<Analysis> {
+        analyze(&parse(lex(src).unwrap()).unwrap())
+    }
+
+    fn assert_sema_err(src: &str, needle: &str) {
+        let e = analyze_src(src).unwrap_err();
+        assert!(
+            e.message.contains(needle),
+            "expected error containing {needle:?}, got {:?}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn accepts_vector_add() {
+        let a = analyze_src(
+            "__kernel void vadd(__global float* a, __global float* b, __global float* c) {
+                int i = get_global_id(0);
+                c[i] = a[i] + b[i];
+            }",
+        )
+        .unwrap();
+        assert_eq!(a.funcs["vadd"].params.len(), 3);
+        assert!(a.funcs["vadd"].is_kernel);
+    }
+
+    #[test]
+    fn requires_a_kernel() {
+        assert_sema_err("void f() { }", "no __kernel");
+    }
+
+    #[test]
+    fn kernel_must_return_void() {
+        assert_sema_err("__kernel int f() { return 1; }", "must return void");
+    }
+
+    #[test]
+    fn unknown_identifier() {
+        assert_sema_err("__kernel void f() { x = 1; }", "unknown identifier");
+    }
+
+    #[test]
+    fn unknown_function() {
+        assert_sema_err("__kernel void f() { int x = frob(1); }", "unknown function");
+    }
+
+    #[test]
+    fn pointer_arithmetic_types() {
+        let a = analyze_src(
+            "__kernel void f(__global float* p, int i) {
+                __global float* q = p + i;
+                float v = *q;
+            }",
+        )
+        .unwrap();
+        assert!(!a.vars.is_empty());
+    }
+
+    #[test]
+    fn cannot_add_two_pointers() {
+        assert_sema_err(
+            "__kernel void f(__global float* p) { __global float* q = p + p; }",
+            "cannot apply",
+        );
+    }
+
+    #[test]
+    fn cannot_assign_pointer_from_other_space() {
+        assert_sema_err(
+            "__kernel void f(__global float* p) {
+                __local float t[4];
+                p = t;
+            }",
+            "cannot assign",
+        );
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        assert_sema_err("__kernel void f() { break; }", "outside of a loop");
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        assert_sema_err(
+            "int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); } __kernel void k() { }",
+            "recursive",
+        );
+    }
+
+    #[test]
+    fn addr_taken_is_recorded() {
+        let src = "__kernel void f(__global int* out) {
+            int x = 3;
+            __private int* p = &x;
+            *p = 4;
+            out[0] = x;
+        }";
+        let a = analyze_src(src).unwrap();
+        assert_eq!(a.addr_taken.len(), 1);
+    }
+
+    #[test]
+    fn local_var_in_helper_rejected() {
+        assert_sema_err(
+            "void g() { __local float t[4]; } __kernel void k() { }",
+            "__local variables may only",
+        );
+    }
+
+    #[test]
+    fn helper_call_typechecks() {
+        let a = analyze_src(
+            "float sq(float x) { return x * x; }
+             __kernel void k(__global float* o) { o[0] = sq(3.0f); }",
+        )
+        .unwrap();
+        assert_eq!(a.user_calls.len(), 1);
+    }
+
+    #[test]
+    fn builtin_resolution_recorded() {
+        let a = analyze_src(
+            "__kernel void k(__global float* o) { o[get_global_id(0)] = sqrt(2.0f); }",
+        )
+        .unwrap();
+        assert_eq!(a.builtins.len(), 2);
+    }
+
+    #[test]
+    fn atomic_typecheck() {
+        let a = analyze_src(
+            "__kernel void k(__global int* h) { atomic_add(&h[0], 1); }",
+        );
+        // &h[0] takes the address of an Index, which is fine.
+        a.unwrap();
+    }
+
+    #[test]
+    fn conditional_unifies_types() {
+        let a = analyze_src(
+            "__kernel void k(__global double* o, int c) { o[0] = c ? 1.0f : 2.0; }",
+        )
+        .unwrap();
+        // The `?:` has type double (F32 unified with F64).
+        let cond_ty = a
+            .types
+            .values()
+            .filter(|t| **t == Type::scalar(Scalar::F64))
+            .count();
+        assert!(cond_ty >= 1);
+    }
+
+    #[test]
+    fn private_pointer_kernel_arg_rejected() {
+        assert_sema_err(
+            "__kernel void k(int* p) { }",
+            "must point to __global",
+        );
+    }
+
+    #[test]
+    fn shift_result_keeps_lhs_type() {
+        let a = analyze_src(
+            "__kernel void k(__global ulong* o, ulong x) { o[0] = x << 3; }",
+        )
+        .unwrap();
+        assert!(a.types.values().any(|t| *t == Type::scalar(Scalar::U64)));
+    }
+
+    #[test]
+    fn array_decays_in_expression() {
+        analyze_src(
+            "__kernel void k(__global float* o) {
+                float t[8];
+                t[0] = 1.0f;
+                o[0] = t[0];
+            }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn void_call_as_statement() {
+        analyze_src(
+            "void side(__global int* p) { p[0] = 1; }
+             __kernel void k(__global int* p) { side(p); }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn comparison_yields_int() {
+        let a = analyze_src("__kernel void k(__global int* o, float x) { o[0] = x < 1.0f; }")
+            .unwrap();
+        assert!(a.types.values().any(|t| *t == Type::scalar(Scalar::I32)));
+    }
+}

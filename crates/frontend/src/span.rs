@@ -1,0 +1,79 @@
+//! Source locations and spans used by the lexer, parser, and diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the preprocessed source text,
+/// together with the 1-based line number of its start.
+///
+/// Spans are attached to every token and AST node so that semantic errors
+/// can point back at the offending source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a new span.
+    pub fn new(start: u32, end: u32, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    ///
+    /// The line number is taken from whichever span starts first.
+    pub fn merge(self, other: Span) -> Span {
+        let (start, line) = if self.start <= other.start {
+            (self.start, self.line)
+        } else {
+            (other.start, other.line)
+        };
+        Span {
+            start,
+            end: self.end.max(other.end),
+            line,
+        }
+    }
+
+    /// Extracts the source text this span covers.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start as usize..(self.end as usize).min(source.len())]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_by_start() {
+        let a = Span::new(10, 20, 2);
+        let b = Span::new(5, 12, 1);
+        let m = a.merge(b);
+        assert_eq!(m, Span::new(5, 20, 1));
+        let m2 = b.merge(a);
+        assert_eq!(m2, Span::new(5, 20, 1));
+    }
+
+    #[test]
+    fn text_slices_source() {
+        let src = "hello world";
+        let s = Span::new(6, 11, 1);
+        assert_eq!(s.text(src), "world");
+    }
+
+    #[test]
+    fn display_shows_line() {
+        assert_eq!(Span::new(0, 1, 7).to_string(), "line 7");
+    }
+}

@@ -1,0 +1,278 @@
+//! Token definitions for the OpenCL C lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or a keyword that is not reserved by the subset
+    /// (keywords are distinguished in [`Keyword`]).
+    Ident(String),
+    /// A reserved keyword.
+    Keyword(Keyword),
+    /// An integer literal, already folded to its value, plus a flag for
+    /// whether a `u`/`U` suffix or `l`/`L` suffix appeared.
+    IntLit { value: u64, unsigned: bool, long: bool },
+    /// A floating-point literal. `is_double` is false when an `f`/`F`
+    /// suffix appeared.
+    FloatLit { value: f64, is_double: bool },
+    /// A character literal, as its integer value.
+    CharLit(i64),
+    /// A string literal (only used in diagnostics; kernels cannot use them).
+    StrLit(String),
+    /// A punctuator or operator, e.g. `+=`, `<<`, `(`.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// Reserved keywords of the supported OpenCL C subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Void,
+    Bool,
+    Char,
+    Uchar,
+    Short,
+    Ushort,
+    Int,
+    Uint,
+    Long,
+    Ulong,
+    Float,
+    Double,
+    SizeT,
+    If,
+    Else,
+    For,
+    While,
+    Do,
+    Break,
+    Continue,
+    Return,
+    Kernel,
+    Global,
+    Local,
+    Constant,
+    Private,
+    Const,
+    Restrict,
+    Volatile,
+    Unsigned,
+    Signed,
+    Sizeof,
+    Struct,
+    Typedef,
+    Goto,
+    Switch,
+    Case,
+    Default,
+    Static,
+    Inline,
+}
+
+impl Keyword {
+    /// Looks up a keyword from its identifier spelling, including the
+    /// double-underscore OpenCL qualifier spellings (`__kernel` etc.).
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "void" => Void,
+            "bool" => Bool,
+            "char" => Char,
+            "uchar" => Uchar,
+            "short" => Short,
+            "ushort" => Ushort,
+            "int" => Int,
+            "uint" => Uint,
+            "long" => Long,
+            "ulong" => Ulong,
+            "float" => Float,
+            "double" => Double,
+            "size_t" => SizeT,
+            "if" => If,
+            "else" => Else,
+            "for" => For,
+            "while" => While,
+            "do" => Do,
+            "break" => Break,
+            "continue" => Continue,
+            "return" => Return,
+            "kernel" | "__kernel" => Kernel,
+            "global" | "__global" => Global,
+            "local" | "__local" => Local,
+            "constant" | "__constant" => Constant,
+            "private" | "__private" => Private,
+            "const" => Const,
+            "restrict" | "__restrict" => Restrict,
+            "volatile" => Volatile,
+            "unsigned" => Unsigned,
+            "signed" => Signed,
+            "sizeof" => Sizeof,
+            "struct" => Struct,
+            "typedef" => Typedef,
+            "goto" => Goto,
+            "switch" => Switch,
+            "case" => Case,
+            "default" => Default,
+            "static" => Static,
+            "inline" | "__inline" => Inline,
+            _ => return None,
+        })
+    }
+}
+
+/// Punctuators and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    Assign,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+    PlusPlus,
+    MinusMinus,
+    Dot,
+    Arrow,
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Punct::*;
+        let s = match self {
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Colon => ":",
+            Question => "?",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Bang => "!",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            EqEq => "==",
+            Ne => "!=",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            Shl => "<<",
+            Shr => ">>",
+            Assign => "=",
+            PlusEq => "+=",
+            MinusEq => "-=",
+            StarEq => "*=",
+            SlashEq => "/=",
+            PercentEq => "%=",
+            AmpEq => "&=",
+            PipeEq => "|=",
+            CaretEq => "^=",
+            ShlEq => "<<=",
+            ShrEq => ">>=",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Dot => ".",
+            Arrow => "->",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k:?}`"),
+            TokenKind::IntLit { value, .. } => write!(f, "integer literal `{value}`"),
+            TokenKind::FloatLit { value, .. } => write!(f, "float literal `{value}`"),
+            TokenKind::CharLit(v) => write!(f, "char literal `{v}`"),
+            TokenKind::StrLit(s) => write!(f, "string literal {s:?}"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_handles_opencl_spellings() {
+        assert_eq!(Keyword::from_str("__kernel"), Some(Keyword::Kernel));
+        assert_eq!(Keyword::from_str("kernel"), Some(Keyword::Kernel));
+        assert_eq!(Keyword::from_str("__global"), Some(Keyword::Global));
+        assert_eq!(Keyword::from_str("nonsense"), None);
+    }
+
+    #[test]
+    fn punct_display_roundtrip() {
+        assert_eq!(Punct::ShlEq.to_string(), "<<=");
+        assert_eq!(Punct::Arrow.to_string(), "->");
+    }
+
+    #[test]
+    fn token_kind_display() {
+        let t = TokenKind::Ident("foo".into());
+        assert_eq!(t.to_string(), "identifier `foo`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

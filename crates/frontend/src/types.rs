@@ -1,0 +1,278 @@
+//! The type system of the supported OpenCL C subset.
+
+use std::fmt;
+
+/// OpenCL address spaces (§II-B2 of the paper).
+///
+/// `Constant` is treated as read-only global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddressSpace {
+    /// `__global`: shared by the host and all work-items; backed by the
+    /// FPGA's external memory through caches.
+    Global,
+    /// `__local`: shared by work-items of one work-group; backed by
+    /// embedded memory blocks.
+    Local,
+    /// `__private`: private to a work-item.
+    Private,
+    /// `__constant`: read-only global memory.
+    Constant,
+}
+
+impl fmt::Display for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AddressSpace::Global => "__global",
+            AddressSpace::Local => "__local",
+            AddressSpace::Private => "__private",
+            AddressSpace::Constant => "__constant",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scalar {
+    Bool,
+    I8,
+    U8,
+    I16,
+    U16,
+    I32,
+    U32,
+    I64,
+    U64,
+    F32,
+    F64,
+}
+
+impl Scalar {
+    /// Size of the scalar in bytes.
+    pub fn size(self) -> u32 {
+        match self {
+            Scalar::Bool | Scalar::I8 | Scalar::U8 => 1,
+            Scalar::I16 | Scalar::U16 => 2,
+            Scalar::I32 | Scalar::U32 | Scalar::F32 => 4,
+            Scalar::I64 | Scalar::U64 | Scalar::F64 => 8,
+        }
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, Scalar::F32 | Scalar::F64)
+    }
+
+    /// Whether this is an integer (or bool) type.
+    pub fn is_int(self) -> bool {
+        !self.is_float()
+    }
+
+    /// Whether this is a signed integer type.
+    pub fn is_signed(self) -> bool {
+        matches!(self, Scalar::I8 | Scalar::I16 | Scalar::I32 | Scalar::I64)
+    }
+
+    /// The usual-arithmetic-conversions rank, mirroring C integer
+    /// promotion rules (floats rank above all integers).
+    pub fn rank(self) -> u32 {
+        match self {
+            Scalar::Bool => 0,
+            Scalar::I8 | Scalar::U8 => 1,
+            Scalar::I16 | Scalar::U16 => 2,
+            Scalar::I32 | Scalar::U32 => 3,
+            Scalar::I64 | Scalar::U64 => 4,
+            Scalar::F32 => 5,
+            Scalar::F64 => 6,
+        }
+    }
+
+    /// Result type of a binary arithmetic operation between two scalars,
+    /// following C's usual arithmetic conversions (with everything below
+    /// `int` promoted to `int`).
+    pub fn unify(a: Scalar, b: Scalar) -> Scalar {
+        if a == b {
+            return promote(a);
+        }
+        let (hi, lo) = if a.rank() >= b.rank() { (a, b) } else { (b, a) };
+        if hi.is_float() {
+            return hi;
+        }
+        let hi = promote(hi);
+        let lo = promote(lo);
+        if hi.rank() == lo.rank() {
+            // Same rank, mixed signedness: unsigned wins.
+            if !hi.is_signed() || !lo.is_signed() {
+                return if hi.is_signed() { lo } else { hi };
+            }
+        }
+        hi
+    }
+}
+
+/// C integer promotion: anything smaller than `int` becomes `int`.
+pub fn promote(s: Scalar) -> Scalar {
+    match s {
+        Scalar::Bool | Scalar::I8 | Scalar::I16 => Scalar::I32,
+        Scalar::U8 | Scalar::U16 => Scalar::I32,
+        other => other,
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scalar::Bool => "bool",
+            Scalar::I8 => "char",
+            Scalar::U8 => "uchar",
+            Scalar::I16 => "short",
+            Scalar::U16 => "ushort",
+            Scalar::I32 => "int",
+            Scalar::U32 => "uint",
+            Scalar::I64 => "long",
+            Scalar::U64 => "ulong",
+            Scalar::F32 => "float",
+            Scalar::F64 => "double",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A type in the OpenCL C subset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// `void` (function return only).
+    Void,
+    /// A scalar value.
+    Scalar(Scalar),
+    /// A pointer to `elem` in `space`.
+    Pointer {
+        /// Address space of the pointee.
+        space: AddressSpace,
+        /// Pointee type.
+        elem: Box<Type>,
+    },
+    /// A fixed-size array (only as a declared variable type, it decays to a
+    /// pointer in expressions).
+    Array {
+        /// Element type.
+        elem: Box<Type>,
+        /// Number of elements.
+        len: u64,
+    },
+}
+
+impl Type {
+    /// Shorthand for a scalar type.
+    pub fn scalar(s: Scalar) -> Type {
+        Type::Scalar(s)
+    }
+
+    /// Shorthand for a pointer type.
+    pub fn pointer(space: AddressSpace, elem: Type) -> Type {
+        Type::Pointer { space, elem: Box::new(elem) }
+    }
+
+    /// Size of a value of this type in bytes.
+    ///
+    /// Pointers are 8 bytes (addresses are 64-bit in the simulated
+    /// machine). `void` has size 0.
+    pub fn size(&self) -> u64 {
+        match self {
+            Type::Void => 0,
+            Type::Scalar(s) => s.size() as u64,
+            Type::Pointer { .. } => 8,
+            Type::Array { elem, len } => elem.size() * len,
+        }
+    }
+
+    /// Returns the scalar kind if this is a scalar type.
+    pub fn as_scalar(&self) -> Option<Scalar> {
+        match self {
+            Type::Scalar(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Whether this type is a pointer.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Pointer { .. })
+    }
+
+    /// Whether this type can appear in a boolean context.
+    pub fn is_condition(&self) -> bool {
+        matches!(self, Type::Scalar(_) | Type::Pointer { .. })
+    }
+
+    /// The type this decays to when used as an expression: arrays decay to
+    /// pointers to their element type. The caller supplies the address
+    /// space the array lives in.
+    pub fn decayed(&self, space: AddressSpace) -> Type {
+        match self {
+            Type::Array { elem, .. } => Type::pointer(space, (**elem).clone()),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => f.write_str("void"),
+            Type::Scalar(s) => write!(f, "{s}"),
+            Type::Pointer { space, elem } => write!(f, "{space} {elem}*"),
+            Type::Array { elem, len } => write!(f, "{elem}[{len}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Scalar::I32.size(), 4);
+        assert_eq!(Scalar::F64.size(), 8);
+        assert_eq!(Type::pointer(AddressSpace::Global, Type::scalar(Scalar::F32)).size(), 8);
+        assert_eq!(
+            Type::Array { elem: Box::new(Type::scalar(Scalar::I16)), len: 10 }.size(),
+            20
+        );
+    }
+
+    #[test]
+    fn unify_promotes_small_ints() {
+        assert_eq!(Scalar::unify(Scalar::I8, Scalar::I8), Scalar::I32);
+        assert_eq!(Scalar::unify(Scalar::U16, Scalar::I16), Scalar::I32);
+    }
+
+    #[test]
+    fn unify_prefers_float() {
+        assert_eq!(Scalar::unify(Scalar::I64, Scalar::F32), Scalar::F32);
+        assert_eq!(Scalar::unify(Scalar::F32, Scalar::F64), Scalar::F64);
+    }
+
+    #[test]
+    fn unify_mixed_signedness_same_rank() {
+        assert_eq!(Scalar::unify(Scalar::I32, Scalar::U32), Scalar::U32);
+        assert_eq!(Scalar::unify(Scalar::U64, Scalar::I64), Scalar::U64);
+    }
+
+    #[test]
+    fn array_decays_to_pointer() {
+        let arr = Type::Array { elem: Box::new(Type::scalar(Scalar::F32)), len: 8 };
+        let dec = arr.decayed(AddressSpace::Local);
+        assert_eq!(dec, Type::pointer(AddressSpace::Local, Type::scalar(Scalar::F32)));
+        // Non-arrays are unchanged.
+        assert_eq!(Type::scalar(Scalar::I32).decayed(AddressSpace::Private), Type::scalar(Scalar::I32));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Type::pointer(AddressSpace::Global, Type::scalar(Scalar::F32)).to_string(),
+            "__global float*"
+        );
+    }
+}

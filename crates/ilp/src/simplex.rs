@@ -1,0 +1,364 @@
+//! Two-phase primal simplex for linear programs in the form
+//! `minimize c·x  subject to  A·x {≤,=,≥} b,  x ≥ 0`.
+//!
+//! Uses dense tableaus with Bland's rule (no cycling) — the LPs SOFF
+//! solves (FIFO sizing, §IV-C) have at most a few hundred variables, so
+//! simplicity beats sparsity here.
+
+use std::fmt;
+
+/// Relation of a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rel {
+    /// `≤ rhs`
+    Le,
+    /// `= rhs`
+    Eq,
+    /// `≥ rhs`
+    Ge,
+}
+
+/// One linear constraint: `Σ coeffs[i].1 · x[coeffs[i].0]  rel  rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse coefficient list `(variable, coefficient)`.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Relation.
+    pub rel: Rel,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Why an LP could not be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal variable values.
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub objective: f64,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves `minimize c·x  s.t.  constraints, x ≥ 0`.
+///
+/// # Errors
+///
+/// Returns [`LpError::Infeasible`] or [`LpError::Unbounded`].
+pub fn solve_lp(c: &[f64], constraints: &[Constraint]) -> Result<LpSolution, LpError> {
+    let n = c.len();
+    let m = constraints.len();
+
+    // Standard form: every row becomes an equation with a slack (Le),
+    // surplus (Ge), and artificial variables as needed; rhs made ≥ 0.
+    // Column layout: [x(n) | slack/surplus(s) | artificial(a)].
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut rhs: Vec<f64> = Vec::with_capacity(m);
+    let mut rels: Vec<Rel> = Vec::with_capacity(m);
+    for con in constraints {
+        let mut row = vec![0.0; n];
+        for &(i, v) in &con.coeffs {
+            assert!(i < n, "constraint references variable {i} out of {n}");
+            row[i] += v;
+        }
+        let (row, r, rel) = if con.rhs < 0.0 {
+            // Negate so rhs ≥ 0.
+            let flipped = match con.rel {
+                Rel::Le => Rel::Ge,
+                Rel::Ge => Rel::Le,
+                Rel::Eq => Rel::Eq,
+            };
+            (row.iter().map(|v| -v).collect::<Vec<_>>(), -con.rhs, flipped)
+        } else {
+            (row, con.rhs, con.rel)
+        };
+        rows.push(row);
+        rhs.push(r);
+        rels.push(rel);
+    }
+
+    let n_slack = rels.iter().filter(|r| **r != Rel::Eq).count();
+    let n_art = rels.iter().filter(|r| **r != Rel::Le).count();
+    let total = n + n_slack + n_art;
+
+    // Build the tableau.
+    let mut t = vec![vec![0.0; total + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut s_idx = n;
+    let mut a_idx = n + n_slack;
+    for i in 0..m {
+        t[i][..n].copy_from_slice(&rows[i]);
+        t[i][total] = rhs[i];
+        match rels[i] {
+            Rel::Le => {
+                t[i][s_idx] = 1.0;
+                basis[i] = s_idx;
+                s_idx += 1;
+            }
+            Rel::Ge => {
+                t[i][s_idx] = -1.0;
+                s_idx += 1;
+                t[i][a_idx] = 1.0;
+                basis[i] = a_idx;
+                a_idx += 1;
+            }
+            Rel::Eq => {
+                t[i][a_idx] = 1.0;
+                basis[i] = a_idx;
+                a_idx += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize the sum of artificial variables.
+    if n_art > 0 {
+        let mut obj = vec![0.0; total + 1];
+        for j in (n + n_slack)..total {
+            obj[j] = 1.0;
+        }
+        // Price out basic artificials.
+        for i in 0..m {
+            if basis[i] >= n + n_slack {
+                for j in 0..=total {
+                    obj[j] -= t[i][j];
+                }
+            }
+        }
+        run_simplex(&mut t, &mut obj, &mut basis, total)?;
+        if -obj[total] > EPS {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any artificial variables out of the basis.
+        for i in 0..m {
+            if basis[i] >= n + n_slack {
+                // Find a non-artificial column to pivot in.
+                if let Some(j) = (0..n + n_slack).find(|&j| t[i][j].abs() > EPS) {
+                    pivot(&mut t, &mut vec![0.0; total + 1], &mut basis, i, j, total);
+                }
+                // If none, the row is redundant; leave it (rhs must be ~0).
+            }
+        }
+    }
+
+    // Phase 2: minimize the real objective (artificials pinned at 0 by
+    // giving them prohibitive cost and never selecting them).
+    let mut obj = vec![0.0; total + 1];
+    obj[..n].copy_from_slice(c);
+    for i in 0..m {
+        let b = basis[i];
+        if obj[b].abs() > EPS {
+            let f = obj[b];
+            for j in 0..=total {
+                obj[j] -= f * t[i][j];
+            }
+        }
+    }
+    // Forbid artificial columns from entering.
+    run_simplex_restricted(&mut t, &mut obj, &mut basis, total, n + n_slack)?;
+
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = t[i][total];
+        }
+    }
+    let objective = c.iter().zip(&x).map(|(a, b)| a * b).sum();
+    Ok(LpSolution { x, objective })
+}
+
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    total: usize,
+) -> Result<(), LpError> {
+    run_simplex_restricted(t, obj, basis, total, total)
+}
+
+/// Simplex iterations where only columns `< allowed` may enter the basis.
+fn run_simplex_restricted(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    total: usize,
+    allowed: usize,
+) -> Result<(), LpError> {
+    let m = t.len();
+    loop {
+        // Bland's rule: smallest index with negative reduced cost.
+        let enter = (0..allowed).find(|&j| obj[j] < -EPS);
+        let enter = match enter {
+            Some(j) => j,
+            None => return Ok(()),
+        };
+        // Ratio test (Bland: smallest basis index on ties).
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            if t[i][enter] > EPS {
+                let ratio = t[i][total] / t[i][enter];
+                if ratio < best - EPS
+                    || (ratio < best + EPS
+                        && leave.map(|l| basis[i] < basis[l]).unwrap_or(false))
+                {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let leave = leave.ok_or(LpError::Unbounded)?;
+        pivot_full(t, obj, basis, leave, enter, total);
+    }
+}
+
+fn pivot_full(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    total: usize,
+) {
+    let m = t.len();
+    let p = t[row][col];
+    for j in 0..=total {
+        t[row][j] /= p;
+    }
+    for i in 0..m {
+        if i != row && t[i][col].abs() > EPS {
+            let f = t[i][col];
+            for j in 0..=total {
+                t[i][j] -= f * t[row][j];
+            }
+        }
+    }
+    if obj[col].abs() > EPS {
+        let f = obj[col];
+        for j in 0..=total {
+            obj[j] -= f * t[row][j];
+        }
+    }
+    basis[row] = col;
+}
+
+fn pivot(
+    t: &mut [Vec<f64>],
+    obj: &mut Vec<f64>,
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    total: usize,
+) {
+    pivot_full(t, obj, basis, row, col, total);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn con(coeffs: &[(usize, f64)], rel: Rel, rhs: f64) -> Constraint {
+        Constraint { coeffs: coeffs.to_vec(), rel, rhs }
+    }
+
+    #[test]
+    fn simple_minimization() {
+        // min x0 + x1 s.t. x0 + x1 >= 2, x0 >= 0.5
+        let sol = solve_lp(
+            &[1.0, 1.0],
+            &[
+                con(&[(0, 1.0), (1, 1.0)], Rel::Ge, 2.0),
+                con(&[(0, 1.0)], Rel::Ge, 0.5),
+            ],
+        )
+        .unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn maximization_via_negation() {
+        // max 3x + 2y s.t. x + y <= 4, x <= 2  → min -3x - 2y; optimum (2,2)=10
+        let sol = solve_lp(
+            &[-3.0, -2.0],
+            &[
+                con(&[(0, 1.0), (1, 1.0)], Rel::Le, 4.0),
+                con(&[(0, 1.0)], Rel::Le, 2.0),
+            ],
+        )
+        .unwrap();
+        assert!((sol.objective + 10.0).abs() < 1e-6);
+        assert!((sol.x[0] - 2.0).abs() < 1e-6);
+        assert!((sol.x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + 2y s.t. x + y = 3, y >= 1 → x=2, y=1, obj=4
+        let sol = solve_lp(
+            &[1.0, 2.0],
+            &[
+                con(&[(0, 1.0), (1, 1.0)], Rel::Eq, 3.0),
+                con(&[(1, 1.0)], Rel::Ge, 1.0),
+            ],
+        )
+        .unwrap();
+        assert!((sol.objective - 4.0).abs() < 1e-6, "obj = {}", sol.objective);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let r = solve_lp(
+            &[1.0],
+            &[con(&[(0, 1.0)], Rel::Ge, 5.0), con(&[(0, 1.0)], Rel::Le, 1.0)],
+        );
+        assert_eq!(r.unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x s.t. x >= 0 (implicit) → unbounded
+        let r = solve_lp(&[-1.0], &[con(&[(0, 1.0)], Rel::Ge, 0.0)]);
+        assert_eq!(r.unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // min x s.t. -x <= -3  (i.e. x >= 3)
+        let sol = solve_lp(&[1.0], &[con(&[(0, -1.0)], Rel::Le, -3.0)]).unwrap();
+        assert!((sol.x[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // A classic degenerate instance; Bland's rule must terminate.
+        let sol = solve_lp(
+            &[-0.75, 150.0, -0.02, 6.0],
+            &[
+                con(&[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], Rel::Le, 0.0),
+                con(&[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], Rel::Le, 0.0),
+                con(&[(2, 1.0)], Rel::Le, 1.0),
+            ],
+        )
+        .unwrap();
+        assert!((sol.objective + 0.05).abs() < 1e-6, "obj = {}", sol.objective);
+    }
+}

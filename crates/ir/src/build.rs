@@ -1,0 +1,1409 @@
+//! AST → SSA lowering.
+//!
+//! This pass performs, in one walk over the typed AST (mirroring Fig. 3 (b)
+//! of the paper):
+//!
+//! * **inlining** of all user-defined function calls (§III-C2) — the callee
+//!   body is lowered in place with fresh variable slots;
+//! * **SSA construction** using the Braun et al. on-the-fly algorithm:
+//!   every private scalar whose address is never taken becomes an SSA
+//!   value; address-taken scalars and private arrays are assigned slots in
+//!   a per-work-item *private memory* segment;
+//! * **structuring**: `break`, `continue`, and early `return` are
+//!   canonicalized into guard variables plus `if` regions, so the emitted
+//!   CFG is always reducible and single-entry/single-exit per construct;
+//! * **control-tree construction** (§III-C2) in lock-step with CFG
+//!   emission;
+//! * eager (branch-free) evaluation of `&&`, `||`, and `?:` as `Select`
+//!   data flow, which keeps conditions inside a single basic block.
+
+use crate::ctree::Region;
+use crate::ir::*;
+use soff_frontend::ast::{self, BinOp, Expr, ExprKind, Stmt, UnOp};
+use soff_frontend::builtins::{Builtin, WorkItemQuery};
+use soff_frontend::error::{Diagnostic, Phase};
+use soff_frontend::sema::Resolution;
+use soff_frontend::span::Span;
+use soff_frontend::types::{AddressSpace, Scalar, Type};
+use soff_frontend::Parsed;
+use std::collections::HashMap;
+
+/// Lowers every kernel in a parsed translation unit to SSA IR.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] (phase `Lower`) for constructs that type-check
+/// but cannot be synthesized, e.g. a non-constant work-item dimension
+/// argument.
+pub fn lower(parsed: &Parsed) -> Result<Module, Diagnostic> {
+    let mut kernels = Vec::new();
+    for f in parsed.unit.kernels() {
+        kernels.push(Lowerer::new(parsed).lower_kernel(f)?);
+    }
+    Ok(Module { kernels })
+}
+
+fn err(msg: impl Into<String>, span: Span) -> Diagnostic {
+    Diagnostic::new(Phase::Lower, msg, span)
+}
+
+/// Maps a frontend type to the scalar carried in the datapath
+/// (pointers are 64-bit addresses).
+fn scalar_of(ty: &Type) -> Scalar {
+    match ty {
+        Type::Scalar(s) => *s,
+        Type::Pointer { .. } | Type::Array { .. } => Scalar::U64,
+        Type::Void => Scalar::I32, // placeholder; void values are never read
+    }
+}
+
+/// A mutable-variable slot for SSA construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Slot(u32);
+
+/// Where a declared variable lives.
+#[derive(Debug, Clone)]
+enum Binding {
+    /// SSA-promoted private scalar.
+    Slot(Slot),
+    /// Private-memory-backed (address taken or array): byte offset in the
+    /// work-item's private segment.
+    Priv { offset: u64 },
+    /// `__local` variable: index into [`Kernel::local_vars`].
+    Local { var: usize },
+}
+
+/// An lvalue, resolved to either a slot or a memory location.
+enum Place {
+    Slot(Slot),
+    Mem { space: AddressSpace, addr: ValueId, ty: Scalar },
+}
+
+/// One inline frame (the kernel itself, or an inlined callee).
+struct Frame {
+    /// Values bound to the function's parameters (slots, so they are
+    /// assignable like C parameters).
+    param_slots: Vec<Slot>,
+    /// Bindings of local declarations, keyed by declaration node id.
+    bindings: HashMap<ast::NodeId, Binding>,
+    /// Guard slot set to 1 by `return`.
+    ret_guard: Slot,
+    /// Slot receiving the return value (for non-void callees).
+    ret_value: Option<Slot>,
+    /// Loop guard stack (innermost last).
+    loops: Vec<LoopFrame>,
+}
+
+struct LoopFrame {
+    brk: Option<Slot>,
+    cont: Option<Slot>,
+}
+
+/// Syntactic jump effects of a statement, as observed from just after it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct JumpFx {
+    brk: bool,
+    cont: bool,
+    ret: bool,
+}
+
+impl JumpFx {
+    fn any(self) -> bool {
+        self.brk || self.cont || self.ret
+    }
+    fn union(self, o: JumpFx) -> JumpFx {
+        JumpFx { brk: self.brk || o.brk, cont: self.cont || o.cont, ret: self.ret || o.ret }
+    }
+}
+
+fn jump_effects(s: &Stmt) -> JumpFx {
+    match s {
+        Stmt::Break(_) => JumpFx { brk: true, ..Default::default() },
+        Stmt::Continue(_) => JumpFx { cont: true, ..Default::default() },
+        Stmt::Return(..) => JumpFx { ret: true, ..Default::default() },
+        Stmt::Block(b) => b.stmts.iter().map(jump_effects).fold(JumpFx::default(), JumpFx::union),
+        Stmt::If { then, els, .. } => {
+            let mut fx = jump_effects(then);
+            if let Some(e) = els {
+                fx = fx.union(jump_effects(e));
+            }
+            fx
+        }
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+            // break/continue are captured by the loop; only `return`
+            // escapes.
+            JumpFx { ret: jump_effects(body).ret, ..Default::default() }
+        }
+        _ => JumpFx::default(),
+    }
+}
+
+struct Lowerer<'a> {
+    parsed: &'a Parsed,
+    values: Vec<Instr>,
+    blocks: Vec<Block>,
+    preds: Vec<Vec<BlockId>>,
+    sealed: Vec<bool>,
+    cur: BlockId,
+    /// Braun SSA state.
+    current_def: HashMap<(Slot, BlockId), ValueId>,
+    incomplete: HashMap<BlockId, Vec<(Slot, ValueId)>>,
+    slot_types: Vec<Scalar>,
+    frames: Vec<Frame>,
+    local_vars: Vec<LocalVar>,
+    private_bytes: u64,
+    barrier_after: Vec<(BlockId, u32)>,
+    uses_barrier: bool,
+    uses_atomics: bool,
+    uses_local: bool,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(parsed: &'a Parsed) -> Self {
+        Lowerer {
+            parsed,
+            values: Vec::new(),
+            blocks: Vec::new(),
+            preds: Vec::new(),
+            sealed: Vec::new(),
+            cur: BlockId(0),
+            current_def: HashMap::new(),
+            incomplete: HashMap::new(),
+            slot_types: Vec::new(),
+            frames: Vec::new(),
+            local_vars: Vec::new(),
+            private_bytes: 0,
+            barrier_after: Vec::new(),
+            uses_barrier: false,
+            uses_atomics: false,
+            uses_local: false,
+        }
+    }
+
+    // ---- CFG plumbing ---------------------------------------------------
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block { instrs: Vec::new(), term: Terminator::Ret });
+        self.preds.push(Vec::new());
+        self.sealed.push(false);
+        id
+    }
+
+    fn seal(&mut self, b: BlockId) {
+        if self.sealed[b.0 as usize] {
+            return;
+        }
+        self.sealed[b.0 as usize] = true;
+        if let Some(list) = self.incomplete.remove(&b) {
+            for (slot, phi) in list {
+                self.add_phi_operands(slot, phi, b);
+            }
+        }
+    }
+
+    /// Sets the terminator of `from` and records CFG edges.
+    fn terminate(&mut self, from: BlockId, term: Terminator) {
+        for s in term.successors() {
+            self.preds[s.0 as usize].push(from);
+        }
+        self.blocks[from.0 as usize].term = term;
+    }
+
+    fn emit(&mut self, kind: InstKind, ty: Option<Scalar>) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(Instr { kind, ty });
+        self.blocks[self.cur.0 as usize].instrs.push(id);
+        id
+    }
+
+    fn emit_const(&mut self, bits: u64, ty: Scalar) -> ValueId {
+        self.emit(InstKind::Const(crate::eval::canonical(ty, bits)), Some(ty))
+    }
+
+    // ---- Braun SSA --------------------------------------------------------
+
+    fn new_slot(&mut self, ty: Scalar) -> Slot {
+        let s = Slot(self.slot_types.len() as u32);
+        self.slot_types.push(ty);
+        s
+    }
+
+    fn write_slot(&mut self, slot: Slot, v: ValueId) {
+        self.current_def.insert((slot, self.cur), v);
+    }
+
+    fn read_slot(&mut self, slot: Slot) -> ValueId {
+        self.read_slot_in(slot, self.cur)
+    }
+
+    fn read_slot_in(&mut self, slot: Slot, b: BlockId) -> ValueId {
+        if let Some(&v) = self.current_def.get(&(slot, b)) {
+            return v;
+        }
+        let ty = self.slot_types[slot.0 as usize];
+        let v = if !self.sealed[b.0 as usize] {
+            let phi = self.new_phi(b, ty);
+            self.incomplete.entry(b).or_default().push((slot, phi));
+            phi
+        } else if self.preds[b.0 as usize].len() == 1 {
+            let p = self.preds[b.0 as usize][0];
+            self.read_slot_in(slot, p)
+        } else if self.preds[b.0 as usize].is_empty() {
+            // Read of an uninitialized variable: defined-as-zero, emitted
+            // into the entry block so it dominates everything.
+            let id = ValueId(self.values.len() as u32);
+            self.values.push(Instr { kind: InstKind::Const(0), ty: Some(ty) });
+            self.blocks[0].instrs.insert(0, id);
+            id
+        } else {
+            let phi = self.new_phi(b, ty);
+            self.current_def.insert((slot, b), phi);
+            self.add_phi_operands(slot, phi, b);
+            phi
+        };
+        self.current_def.insert((slot, b), v);
+        v
+    }
+
+    fn new_phi(&mut self, b: BlockId, ty: Scalar) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(Instr { kind: InstKind::Phi { incoming: Vec::new() }, ty: Some(ty) });
+        self.blocks[b.0 as usize].instrs.insert(0, id);
+        id
+    }
+
+    fn add_phi_operands(&mut self, slot: Slot, phi: ValueId, b: BlockId) {
+        let preds = self.preds[b.0 as usize].clone();
+        let mut incoming = Vec::with_capacity(preds.len());
+        for p in preds {
+            let v = self.read_slot_in(slot, p);
+            incoming.push((p, v));
+        }
+        match &mut self.values[phi.0 as usize].kind {
+            InstKind::Phi { incoming: inc } => *inc = incoming,
+            _ => unreachable!("phi id points at non-phi"),
+        }
+    }
+
+    // ---- Frame helpers ---------------------------------------------------
+
+    fn frame(&self) -> &Frame {
+        self.frames.last().expect("frame stack never empty")
+    }
+
+    fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("frame stack never empty")
+    }
+
+    fn binding_of(&self, id: ast::NodeId) -> Binding {
+        self.frame().bindings.get(&id).expect("unresolved binding").clone()
+    }
+
+    fn expr_type(&self, e: &Expr) -> &Type {
+        self.parsed.analysis.type_of(e)
+    }
+
+    // ---- Kernel entry -----------------------------------------------------
+
+    fn lower_kernel(mut self, f: &ast::Function) -> Result<Kernel, Diagnostic> {
+        let entry = self.new_block();
+        self.cur = entry;
+        self.sealed[entry.0 as usize] = true;
+
+        // Classify parameters and bind them to slots.
+        let mut params = Vec::new();
+        let mut param_slots = Vec::new();
+        for (i, p) in f.params.iter().enumerate() {
+            let kind = match &p.ty {
+                Type::Scalar(s) => ParamKind::Scalar(*s),
+                Type::Pointer { space, elem } => {
+                    let elem_size = elem.size().max(1) as u32;
+                    match space {
+                        AddressSpace::Global | AddressSpace::Constant => {
+                            ParamKind::Buffer { space: *space, elem_size }
+                        }
+                        AddressSpace::Local => {
+                            let var = self.local_vars.len();
+                            self.local_vars.push(LocalVar {
+                                name: p.name.clone(),
+                                size: 0, // set by the host via set_arg
+                                elem_size,
+                            });
+                            self.uses_local = true;
+                            ParamKind::LocalPointer { elem_size, var }
+                        }
+                        AddressSpace::Private => {
+                            return Err(err("private pointer kernel argument", p.span))
+                        }
+                    }
+                }
+                other => return Err(err(format!("unsupported parameter type `{other}`"), p.span)),
+            };
+            params.push(KernelParam { name: p.name.clone(), kind });
+            let slot = self.new_slot(scalar_of(&p.ty));
+            let v = self.emit(InstKind::Param(i), Some(scalar_of(&p.ty)));
+            self.write_slot(slot, v);
+            param_slots.push(slot);
+        }
+
+        let ret_guard = self.new_slot(Scalar::I32);
+        let zero = self.emit_const(0, Scalar::I32);
+        self.write_slot(ret_guard, zero);
+        self.frames.push(Frame {
+            param_slots,
+            bindings: HashMap::new(),
+            ret_guard,
+            ret_value: None,
+            loops: Vec::new(),
+        });
+
+        let mut regions = Vec::new();
+        self.lower_stmts(&f.body.stmts, &mut regions)?;
+        self.terminate(self.cur, Terminator::Ret);
+        regions.push(Region::Block(self.cur));
+        self.frames.pop();
+
+        debug_assert!(self.incomplete.is_empty(), "unsealed blocks remain");
+
+        let mut kernel = Kernel {
+            name: f.name.clone(),
+            params,
+            local_vars: self.local_vars,
+            values: self.values,
+            blocks: self.blocks,
+            ctree: Region::Seq(regions),
+            barrier_after: self.barrier_after,
+            private_bytes: self.private_bytes,
+            uses_barrier: self.uses_barrier,
+            uses_atomics: self.uses_atomics,
+            uses_local: self.uses_local,
+        };
+        crate::opt::remove_trivial_phis(&mut kernel);
+        crate::opt::dce(&mut kernel);
+        Ok(kernel)
+    }
+
+    // ---- Statements -------------------------------------------------------
+
+    fn lower_stmts(&mut self, stmts: &[Stmt], regions: &mut Vec<Region>) -> Result<(), Diagnostic> {
+        for (i, s) in stmts.iter().enumerate() {
+            self.lower_stmt(s, regions)?;
+            let fx = jump_effects(s);
+            if fx.any() && i + 1 < stmts.len() {
+                // Guard the remaining statements of this list behind the
+                // jump flags `s` may have set, then stop: the recursive
+                // call lowers the rest.
+                let rest = &stmts[i + 1..];
+                let guard = self.read_jump_guards(fx);
+                let not_guard =
+                    self.emit(InstKind::Un { op: UnOp::LogNot, ty: Scalar::I32, a: guard }, Some(Scalar::I32));
+                self.lower_if_value(not_guard, regions, |me, inner| me.lower_stmts(rest, inner))?;
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and ORs the guard slots corresponding to the given effects.
+    fn read_jump_guards(&mut self, fx: JumpFx) -> ValueId {
+        let mut parts = Vec::new();
+        if fx.ret {
+            let g = self.frame().ret_guard;
+            parts.push(self.read_slot(g));
+        }
+        if fx.brk {
+            let g = self.frame().loops.last().and_then(|l| l.brk).expect("break without loop");
+            parts.push(self.read_slot(g));
+        }
+        if fx.cont {
+            let g = self.frame().loops.last().and_then(|l| l.cont).expect("continue without loop");
+            parts.push(self.read_slot(g));
+        }
+        let mut acc = parts[0];
+        for p in &parts[1..] {
+            acc = self.emit(
+                InstKind::Bin { op: BinOp::Or, ty: Scalar::I32, a: acc, b: *p },
+                Some(Scalar::I32),
+            );
+        }
+        acc
+    }
+
+    /// Lowers `if (cond_value) { body() }` where the condition has already
+    /// been evaluated in the current block. The current block becomes the
+    /// region's `cond` node.
+    fn lower_if_value(
+        &mut self,
+        cond: ValueId,
+        regions: &mut Vec<Region>,
+        body: impl FnOnce(&mut Self, &mut Vec<Region>) -> Result<(), Diagnostic>,
+    ) -> Result<(), Diagnostic> {
+        let cond_blk = self.cur;
+        let then_entry = self.new_block();
+        let join = self.new_block();
+        self.terminate(cond_blk, Terminator::CondBr { cond, then: then_entry, els: join });
+        self.seal(then_entry);
+        self.cur = then_entry;
+        let mut then_regions = Vec::new();
+        body(self, &mut then_regions)?;
+        then_regions.push(Region::Block(self.cur));
+        self.terminate(self.cur, Terminator::Br(join));
+        self.seal(join);
+        self.cur = join;
+        regions.push(Region::IfThen {
+            cond: cond_blk,
+            then: Box::new(Region::Seq(then_regions)),
+        });
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, regions: &mut Vec<Region>) -> Result<(), Diagnostic> {
+        match s {
+            Stmt::Empty(_) => Ok(()),
+            Stmt::Expr(e) => {
+                self.lower_expr(e, regions)?;
+                Ok(())
+            }
+            Stmt::Block(b) => self.lower_stmts(&b.stmts, regions),
+            Stmt::Decl(d) => self.lower_decl(d, regions),
+            Stmt::Barrier { flags, span: _ } => {
+                self.uses_barrier = true;
+                regions.push(Region::Block(self.cur));
+                regions.push(Region::Barrier { flags: *flags });
+                let next = self.new_block();
+                self.barrier_after.push((self.cur, *flags));
+                self.terminate(self.cur, Terminator::Br(next));
+                self.seal(next);
+                self.cur = next;
+                Ok(())
+            }
+            Stmt::If { cond, then, els, .. } => self.lower_if(cond, then, els.as_deref(), regions),
+            Stmt::While { cond, body, .. } => {
+                self.lower_loop(Some(cond), body, None, false, regions)
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                self.lower_loop(Some(cond), body, None, true, regions)
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                if let Some(i) = init {
+                    match &**i {
+                        Stmt::Block(b) => self.lower_stmts(&b.stmts, regions)?,
+                        other => self.lower_stmt(other, regions)?,
+                    }
+                }
+                self.lower_loop(cond.as_ref(), body, step.as_ref(), false, regions)
+            }
+            Stmt::Break(_) => {
+                let slot = self.ensure_loop_guard(true);
+                let one = self.emit_const(1, Scalar::I32);
+                self.write_slot(slot, one);
+                Ok(())
+            }
+            Stmt::Continue(_) => {
+                let slot = self.ensure_loop_guard(false);
+                let one = self.emit_const(1, Scalar::I32);
+                self.write_slot(slot, one);
+                Ok(())
+            }
+            Stmt::Return(value, _) => {
+                if let Some(v) = value {
+                    let val = self.lower_expr(v, regions)?;
+                    let from = scalar_of(self.expr_type(v));
+                    let ret_value =
+                        self.frame().ret_value.expect("return value in void function");
+                    let to = self.slot_types[ret_value.0 as usize];
+                    let val = self.coerce_infallible(val, from, to);
+                    self.write_slot(ret_value, val);
+                }
+                let g = self.frame().ret_guard;
+                let one = self.emit_const(1, Scalar::I32);
+                self.write_slot(g, one);
+                Ok(())
+            }
+        }
+    }
+
+    /// Loop guard slots are created lazily by `break`/`continue`… except
+    /// they must exist *before* the loop body is lowered (the loop
+    /// condition reads them). `lower_loop` pre-creates them based on
+    /// `jump_effects`, so by the time `Stmt::Break` runs the slot exists.
+    fn ensure_loop_guard(&mut self, brk: bool) -> Slot {
+        let lf = self.frame().loops.last().expect("jump outside loop");
+        if brk {
+            lf.brk.expect("loop guard not pre-created")
+        } else {
+            lf.cont.expect("loop guard not pre-created")
+        }
+    }
+
+    fn lower_decl(&mut self, d: &ast::Decl, regions: &mut Vec<Region>) -> Result<(), Diagnostic> {
+        let is_array = matches!(d.ty, Type::Array { .. });
+        let addr_taken = self.parsed.analysis.addr_taken.contains(&d.id);
+        let binding = if d.space == AddressSpace::Local {
+            let elem_size = match &d.ty {
+                Type::Array { elem, .. } => elem.size().max(1) as u32,
+                other => other.size().max(1) as u32,
+            };
+            let var = self.local_vars.len();
+            self.local_vars.push(LocalVar { name: d.name.clone(), size: d.ty.size(), elem_size });
+            self.uses_local = true;
+            Binding::Local { var }
+        } else if is_array || addr_taken {
+            // Private memory, 8-byte aligned.
+            let offset = (self.private_bytes + 7) & !7;
+            self.private_bytes = offset + d.ty.size();
+            Binding::Priv { offset }
+        } else {
+            let slot = self.new_slot(scalar_of(&d.ty));
+            Binding::Slot(slot)
+        };
+        self.frame_mut().bindings.insert(d.id, binding.clone());
+        if let Some(init) = &d.init {
+            let v = self.lower_expr(init, regions)?;
+            let from = scalar_of(self.expr_type(init));
+            match binding {
+                Binding::Slot(slot) => {
+                    let to = self.slot_types[slot.0 as usize];
+                    let v = self.coerce_infallible(v, from, to);
+                    self.write_slot(slot, v);
+                }
+                Binding::Priv { offset } => {
+                    let ty = scalar_of(&d.ty);
+                    let v = self.coerce_infallible(v, from, ty);
+                    let addr = self.emit(InstKind::PrivBase(offset), Some(Scalar::U64));
+                    self.emit(
+                        InstKind::Store { space: AddressSpace::Private, addr, value: v, ty },
+                        None,
+                    );
+                }
+                Binding::Local { .. } => unreachable!("local initializers rejected by sema"),
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_if(
+        &mut self,
+        cond: &Expr,
+        then: &Stmt,
+        els: Option<&Stmt>,
+        regions: &mut Vec<Region>,
+    ) -> Result<(), Diagnostic> {
+        let cond_v = self.lower_condition(cond, regions)?;
+        let cond_blk = self.cur;
+        let then_entry = self.new_block();
+        let join = self.new_block();
+
+        if let Some(els) = els {
+            let els_entry = self.new_block();
+            self.terminate(
+                cond_blk,
+                Terminator::CondBr { cond: cond_v, then: then_entry, els: els_entry },
+            );
+            self.seal(then_entry);
+            self.seal(els_entry);
+
+            self.cur = then_entry;
+            let mut t_regions = Vec::new();
+            self.lower_stmt_as_list(then, &mut t_regions)?;
+            t_regions.push(Region::Block(self.cur));
+            self.terminate(self.cur, Terminator::Br(join));
+
+            self.cur = els_entry;
+            let mut e_regions = Vec::new();
+            self.lower_stmt_as_list(els, &mut e_regions)?;
+            e_regions.push(Region::Block(self.cur));
+            self.terminate(self.cur, Terminator::Br(join));
+
+            self.seal(join);
+            self.cur = join;
+            regions.push(Region::IfThenElse {
+                cond: cond_blk,
+                then: Box::new(Region::Seq(t_regions)),
+                els: Box::new(Region::Seq(e_regions)),
+            });
+        } else {
+            self.terminate(
+                cond_blk,
+                Terminator::CondBr { cond: cond_v, then: then_entry, els: join },
+            );
+            self.seal(then_entry);
+            self.cur = then_entry;
+            let mut t_regions = Vec::new();
+            self.lower_stmt_as_list(then, &mut t_regions)?;
+            t_regions.push(Region::Block(self.cur));
+            self.terminate(self.cur, Terminator::Br(join));
+            self.seal(join);
+            self.cur = join;
+            regions.push(Region::IfThen {
+                cond: cond_blk,
+                then: Box::new(Region::Seq(t_regions)),
+            });
+        }
+        Ok(())
+    }
+
+    fn lower_stmt_as_list(
+        &mut self,
+        s: &Stmt,
+        regions: &mut Vec<Region>,
+    ) -> Result<(), Diagnostic> {
+        match s {
+            Stmt::Block(b) => self.lower_stmts(&b.stmts, regions),
+            other => self.lower_stmt(other, regions),
+        }
+    }
+
+    /// Lowers while / do-while / for loops.
+    ///
+    /// `cond` of `None` means `for(;;)` — an infinite loop whose only exits
+    /// are guard variables (there must be a `break`/`return` or the kernel
+    /// never terminates, exactly like C).
+    fn lower_loop(
+        &mut self,
+        cond: Option<&Expr>,
+        body: &Stmt,
+        step: Option<&Expr>,
+        do_while: bool,
+        regions: &mut Vec<Region>,
+    ) -> Result<(), Diagnostic> {
+        let body_fx = raw_jump_effects(body);
+        let brk = if body_fx.brk { Some(self.new_slot(Scalar::I32)) } else { None };
+        let cont = if body_fx.cont { Some(self.new_slot(Scalar::I32)) } else { None };
+        let uses_ret_in_body = body_fx.ret;
+        let zero = self.emit_const(0, Scalar::I32);
+        if let Some(b) = brk {
+            self.write_slot(b, zero);
+        }
+        if let Some(c) = cont {
+            self.write_slot(c, zero);
+        }
+
+        // Close the running block: it precedes the loop in the sequence.
+        regions.push(Region::Block(self.cur));
+        let pre = self.cur;
+
+        if do_while {
+            // SelfLoop: body first, condition at the bottom of the body.
+            let body_entry = self.new_block();
+            self.terminate(pre, Terminator::Br(body_entry));
+            self.cur = body_entry;
+            let mut body_regions = Vec::new();
+            self.push_loop_frame(brk, cont);
+            if let Some(c) = cont {
+                let z = self.emit_const(0, Scalar::I32);
+                self.write_slot(c, z);
+            }
+            self.lower_stmt_as_list(body, &mut body_regions)?;
+            self.pop_loop_frame();
+            let cond_v =
+                self.lower_loop_condition(cond, brk, uses_ret_in_body, &mut body_regions)?;
+            body_regions.push(Region::Block(self.cur));
+            let exit = self.new_block();
+            self.terminate(
+                self.cur,
+                Terminator::CondBr { cond: cond_v, then: body_entry, els: exit },
+            );
+            self.seal(body_entry);
+            self.seal(exit);
+            self.cur = exit;
+            regions.push(Region::SelfLoop { body: Box::new(Region::Seq(body_regions)) });
+        } else {
+            // WhileLoop: dedicated condition block.
+            let cond_blk = self.new_block();
+            self.terminate(pre, Terminator::Br(cond_blk));
+            self.cur = cond_blk; // unsealed: the back edge is still unknown
+            let mut cond_regions = Vec::new();
+            let cond_v =
+                self.lower_loop_condition(cond, brk, uses_ret_in_body, &mut cond_regions)?;
+            debug_assert!(
+                cond_regions.is_empty(),
+                "loop conditions must lower to straight-line code"
+            );
+            let body_entry = self.new_block();
+            let exit = self.new_block();
+            self.terminate(
+                cond_blk,
+                Terminator::CondBr { cond: cond_v, then: body_entry, els: exit },
+            );
+            self.seal(body_entry);
+            self.cur = body_entry;
+            let mut body_regions = Vec::new();
+            self.push_loop_frame(brk, cont);
+            if let Some(c) = cont {
+                let z = self.emit_const(0, Scalar::I32);
+                self.write_slot(c, z);
+            }
+            self.lower_stmt_as_list(body, &mut body_regions)?;
+            self.pop_loop_frame();
+            // `for` step: runs unless the loop was exited by break/return
+            // (a `continue` still runs the step).
+            if let Some(step) = step {
+                let mut skip = Vec::new();
+                if let Some(b) = brk {
+                    skip.push(self.read_slot(b));
+                }
+                if uses_ret_in_body {
+                    let g = self.frame().ret_guard;
+                    skip.push(self.read_slot(g));
+                }
+                if skip.is_empty() {
+                    self.lower_expr(step, &mut body_regions)?;
+                } else {
+                    let mut acc = skip[0];
+                    for s in &skip[1..] {
+                        acc = self.emit(
+                            InstKind::Bin { op: BinOp::Or, ty: Scalar::I32, a: acc, b: *s },
+                            Some(Scalar::I32),
+                        );
+                    }
+                    let ok = self.emit(
+                        InstKind::Un { op: UnOp::LogNot, ty: Scalar::I32, a: acc },
+                        Some(Scalar::I32),
+                    );
+                    self.lower_if_value(ok, &mut body_regions, |me, inner| {
+                        me.lower_expr(step, inner).map(|_| ())
+                    })?;
+                }
+            }
+            body_regions.push(Region::Block(self.cur));
+            self.terminate(self.cur, Terminator::Br(cond_blk));
+            self.seal(cond_blk);
+            self.seal(exit);
+            self.cur = exit;
+            regions.push(Region::WhileLoop {
+                cond: cond_blk,
+                body: Box::new(Region::Seq(body_regions)),
+            });
+        }
+        Ok(())
+    }
+
+    fn push_loop_frame(&mut self, brk: Option<Slot>, cont: Option<Slot>) {
+        self.frame_mut().loops.push(LoopFrame { brk, cont });
+    }
+
+    fn pop_loop_frame(&mut self) {
+        self.frame_mut().loops.pop();
+    }
+
+    /// Builds `user_cond && !brk && !ret` in the current block.
+    fn lower_loop_condition(
+        &mut self,
+        cond: Option<&Expr>,
+        brk: Option<Slot>,
+        uses_ret: bool,
+        regions: &mut Vec<Region>,
+    ) -> Result<ValueId, Diagnostic> {
+        let mut v = match cond {
+            Some(c) => self.lower_condition(c, regions)?,
+            None => self.emit_const(1, Scalar::I32),
+        };
+        let mut guards = Vec::new();
+        if let Some(b) = brk {
+            guards.push(self.read_slot(b));
+        }
+        if uses_ret {
+            let g = self.frame().ret_guard;
+            guards.push(self.read_slot(g));
+        }
+        for g in guards {
+            let ng = self.emit(
+                InstKind::Un { op: UnOp::LogNot, ty: Scalar::I32, a: g },
+                Some(Scalar::I32),
+            );
+            v = self.emit(
+                InstKind::Bin { op: BinOp::And, ty: Scalar::I32, a: v, b: ng },
+                Some(Scalar::I32),
+            );
+        }
+        Ok(v)
+    }
+
+    // ---- Expressions ------------------------------------------------------
+
+    /// Lowers `e` and converts the result to a 0/1 integer for branching.
+    fn lower_condition(
+        &mut self,
+        e: &Expr,
+        regions: &mut Vec<Region>,
+    ) -> Result<ValueId, Diagnostic> {
+        let v = self.lower_expr(e, regions)?;
+        let s = scalar_of(self.expr_type(e));
+        if s.is_float() {
+            let zero = self.emit_const(crate::eval::from_f64(s, 0.0), s);
+            Ok(self.emit(
+                InstKind::Bin { op: BinOp::Ne, ty: s, a: v, b: zero },
+                Some(Scalar::I32),
+            ))
+        } else {
+            Ok(v)
+        }
+    }
+
+    fn coerce_infallible(&mut self, v: ValueId, from: Scalar, to: Scalar) -> ValueId {
+        if from == to {
+            v
+        } else {
+            self.emit(InstKind::Cast { from, to, a: v }, Some(to))
+        }
+    }
+
+    fn lower_expr(&mut self, e: &Expr, regions: &mut Vec<Region>) -> Result<ValueId, Diagnostic> {
+        match &e.kind {
+            ExprKind::IntLit { value, .. } => {
+                let ty = scalar_of(self.expr_type(e));
+                Ok(self.emit_const(*value, ty))
+            }
+            ExprKind::FloatLit { value, .. } => {
+                let ty = scalar_of(self.expr_type(e));
+                Ok(self.emit_const(crate::eval::from_f64(ty, *value), ty))
+            }
+            ExprKind::Ident(_) => {
+                let place = self.lower_place(e, regions)?;
+                Ok(self.read_place(&place, e))
+            }
+            ExprKind::Binary { op, lhs, rhs } => self.lower_binary(e, *op, lhs, rhs, regions),
+            ExprKind::Unary { op, operand } => {
+                let v = self.lower_expr(operand, regions)?;
+                let oty = scalar_of(self.expr_type(operand));
+                match op {
+                    UnOp::Plus => Ok(v),
+                    UnOp::LogNot => Ok(self.emit(
+                        InstKind::Un { op: UnOp::LogNot, ty: oty, a: v },
+                        Some(Scalar::I32),
+                    )),
+                    UnOp::Neg | UnOp::Not => {
+                        let rty = scalar_of(self.expr_type(e));
+                        let v = self.coerce_infallible(v, oty, rty);
+                        Ok(self.emit(InstKind::Un { op: *op, ty: rty, a: v }, Some(rty)))
+                    }
+                }
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                let place = self.lower_place(lhs, regions)?;
+                let rv = self.lower_expr(rhs, regions)?;
+                let r_ty = scalar_of(self.expr_type(rhs));
+                let l_ty = scalar_of(self.expr_type(lhs));
+                let value = if let Some(op) = op {
+                    let old = self.read_place(&place, lhs);
+                    self.apply_binop(
+                        *op,
+                        old,
+                        self.expr_type(lhs).clone(),
+                        rv,
+                        self.expr_type(rhs).clone(),
+                    )
+                } else {
+                    self.coerce_infallible(rv, r_ty, l_ty)
+                };
+                let value = {
+                    let vt = self.value_scalar(value);
+                    self.coerce_infallible(value, vt, l_ty)
+                };
+                self.write_place(&place, value);
+                Ok(value)
+            }
+            ExprKind::IncDec { inc, pre, operand } => {
+                let place = self.lower_place(operand, regions)?;
+                let old = self.read_place(&place, operand);
+                let ty = self.expr_type(operand).clone();
+                let step = match &ty {
+                    Type::Pointer { elem, .. } => elem.size().max(1),
+                    _ => 1,
+                };
+                let s = scalar_of(&ty);
+                let one = self.emit_const(step, s);
+                let op = if *inc { BinOp::Add } else { BinOp::Sub };
+                let new = self.emit(InstKind::Bin { op, ty: s, a: old, b: one }, Some(s));
+                self.write_place(&place, new);
+                Ok(if *pre { new } else { old })
+            }
+            ExprKind::Conditional { cond, then, els } => {
+                let c = self.lower_condition_value(cond, regions)?;
+                let t = self.lower_expr(then, regions)?;
+                let f = self.lower_expr(els, regions)?;
+                let rty = scalar_of(self.expr_type(e));
+                let tt = scalar_of(self.expr_type(then));
+                let ft = scalar_of(self.expr_type(els));
+                let t = self.coerce_infallible(t, tt, rty);
+                let f = self.coerce_infallible(f, ft, rty);
+                Ok(self.emit(InstKind::Select { cond: c, a: t, b: f }, Some(rty)))
+            }
+            ExprKind::Index { .. } | ExprKind::Deref(_) => {
+                let place = self.lower_place(e, regions)?;
+                Ok(self.read_place(&place, e))
+            }
+            ExprKind::AddrOf(inner) => self.lower_address(inner, regions),
+            ExprKind::Cast { ty, operand } => {
+                let v = self.lower_expr(operand, regions)?;
+                let from = scalar_of(self.expr_type(operand));
+                let to = scalar_of(ty);
+                Ok(self.coerce_infallible(v, from, to))
+            }
+            ExprKind::Call { name, args } => self.lower_call(e, name, args, regions),
+            ExprKind::SizeOf(ty) => Ok(self.emit_const(ty.size(), Scalar::U64)),
+            ExprKind::Comma { lhs, rhs } => {
+                self.lower_expr(lhs, regions)?;
+                self.lower_expr(rhs, regions)
+            }
+        }
+    }
+
+    fn value_scalar(&self, v: ValueId) -> Scalar {
+        self.values[v.0 as usize].ty.expect("value has no type")
+    }
+
+    /// Lowers an expression to a 0/1 condition value (for `Select`).
+    fn lower_condition_value(
+        &mut self,
+        e: &Expr,
+        regions: &mut Vec<Region>,
+    ) -> Result<ValueId, Diagnostic> {
+        self.lower_condition(e, regions)
+    }
+
+    fn lower_binary(
+        &mut self,
+        _e: &Expr,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        regions: &mut Vec<Region>,
+    ) -> Result<ValueId, Diagnostic> {
+        // Logical && / || evaluate both sides eagerly (branch-free); the
+        // memory model makes speculative loads safe (§ eval docs).
+        if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+            let a = self.lower_condition(lhs, regions)?;
+            let b = self.lower_condition(rhs, regions)?;
+            let at = self.value_scalar(a);
+            let bt = self.value_scalar(b);
+            // Normalize each side to 0/1 so bitwise AND/OR is correct.
+            let a = self.to_bool(a, at);
+            let b = self.to_bool(b, bt);
+            let bop = if op == BinOp::LogAnd { BinOp::And } else { BinOp::Or };
+            return Ok(self.emit(
+                InstKind::Bin { op: bop, ty: Scalar::I32, a, b },
+                Some(Scalar::I32),
+            ));
+        }
+        let a = self.lower_expr(lhs, regions)?;
+        let b = self.lower_expr(rhs, regions)?;
+        Ok(self.apply_binop(op, a, self.expr_type(lhs).clone(), b, self.expr_type(rhs).clone()))
+    }
+
+    fn to_bool(&mut self, v: ValueId, ty: Scalar) -> ValueId {
+        let zero = self.emit_const(0, ty);
+        self.emit(InstKind::Bin { op: BinOp::Ne, ty, a: v, b: zero }, Some(Scalar::I32))
+    }
+
+    /// Applies a (possibly pointer-arithmetic) binary op on already-lowered
+    /// operands with their frontend types.
+    fn apply_binop(
+        &mut self,
+        op: BinOp,
+        a: ValueId,
+        a_ty: Type,
+        b: ValueId,
+        b_ty: Type,
+    ) -> ValueId {
+        match (&a_ty, &b_ty) {
+            (Type::Pointer { elem, .. }, Type::Scalar(s)) if matches!(op, BinOp::Add | BinOp::Sub) => {
+                let scaled = self.scale_index(b, *s, elem.size().max(1));
+                self.emit(
+                    InstKind::Bin { op, ty: Scalar::U64, a, b: scaled },
+                    Some(Scalar::U64),
+                )
+            }
+            (Type::Scalar(s), Type::Pointer { elem, .. }) if op == BinOp::Add => {
+                let scaled = self.scale_index(a, *s, elem.size().max(1));
+                self.emit(
+                    InstKind::Bin { op, ty: Scalar::U64, a: scaled, b },
+                    Some(Scalar::U64),
+                )
+            }
+            (Type::Pointer { elem, .. }, Type::Pointer { .. }) if op == BinOp::Sub => {
+                let diff = self.emit(
+                    InstKind::Bin { op, ty: Scalar::I64, a, b },
+                    Some(Scalar::I64),
+                );
+                let size = self.emit_const(elem.size().max(1), Scalar::I64);
+                self.emit(
+                    InstKind::Bin { op: BinOp::Div, ty: Scalar::I64, a: diff, b: size },
+                    Some(Scalar::I64),
+                )
+            }
+            _ => {
+                // Scalar-scalar (including pointer comparisons, which are
+                // U64 comparisons).
+                let sa = scalar_of(&a_ty);
+                let sb = scalar_of(&b_ty);
+                let opty = if matches!(op, BinOp::Shl | BinOp::Shr) {
+                    soff_frontend::types::promote(sa)
+                } else {
+                    Scalar::unify(sa, sb)
+                };
+                let a = self.coerce_infallible(a, sa, opty);
+                let b = self.coerce_infallible(b, sb, opty);
+                let rty = if op.is_comparison() || matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+                    Scalar::I32
+                } else {
+                    opty
+                };
+                self.emit(InstKind::Bin { op, ty: opty, a, b }, Some(rty))
+            }
+        }
+    }
+
+    /// Sign-extends an index to 64 bits and multiplies by the element size.
+    fn scale_index(&mut self, idx: ValueId, idx_ty: Scalar, elem_size: u64) -> ValueId {
+        // Use a signed 64-bit intermediate so negative indices wrap
+        // correctly in address arithmetic.
+        let wide = if idx_ty.is_signed() { Scalar::I64 } else { Scalar::U64 };
+        let idx = self.coerce_infallible(idx, idx_ty, wide);
+        if elem_size == 1 {
+            return self.coerce_infallible(idx, wide, Scalar::U64);
+        }
+        let size = self.emit_const(elem_size, wide);
+        let scaled = self.emit(
+            InstKind::Bin { op: BinOp::Mul, ty: wide, a: idx, b: size },
+            Some(wide),
+        );
+        self.coerce_infallible(scaled, wide, Scalar::U64)
+    }
+
+    /// Lowers an lvalue expression to a [`Place`].
+    fn lower_place(&mut self, e: &Expr, regions: &mut Vec<Region>) -> Result<Place, Diagnostic> {
+        match &e.kind {
+            ExprKind::Ident(_) => {
+                match self.parsed.analysis.res.get(&e.id) {
+                    Some(Resolution::Param(i)) => {
+                        Ok(Place::Slot(self.frame().param_slots[*i]))
+                    }
+                    Some(Resolution::Var(decl_id)) => {
+                        let decl_id = *decl_id;
+                        match self.binding_of(decl_id) {
+                            Binding::Slot(s) => Ok(Place::Slot(s)),
+                            Binding::Priv { offset } => {
+                                let info = &self.parsed.analysis.vars[&decl_id];
+                                let (space, ty) = (AddressSpace::Private, scalar_of(&info.ty));
+                                let addr =
+                                    self.emit(InstKind::PrivBase(offset), Some(Scalar::U64));
+                                Ok(Place::Mem { space, addr, ty })
+                            }
+                            Binding::Local { var } => {
+                                let info = &self.parsed.analysis.vars[&decl_id];
+                                let ty = scalar_of(&info.ty);
+                                let addr =
+                                    self.emit(InstKind::LocalBase(var), Some(Scalar::U64));
+                                Ok(Place::Mem { space: AddressSpace::Local, addr, ty })
+                            }
+                        }
+                    }
+                    None => Err(err("unresolved identifier (sema bug)", e.span)),
+                }
+            }
+            ExprKind::Index { base, index } => {
+                let base_ty = self.expr_type(base).clone();
+                let (space, elem) = match &base_ty {
+                    Type::Pointer { space, elem } => (*space, (**elem).clone()),
+                    _ => return Err(err("indexing non-pointer", e.span)),
+                };
+                let b = self.lower_expr(base, regions)?;
+                let i = self.lower_expr(index, regions)?;
+                let i_ty = scalar_of(self.expr_type(index));
+                let scaled = self.scale_index(i, i_ty, elem.size().max(1));
+                let addr = self.emit(
+                    InstKind::Bin { op: BinOp::Add, ty: Scalar::U64, a: b, b: scaled },
+                    Some(Scalar::U64),
+                );
+                Ok(Place::Mem { space, addr, ty: scalar_of(&elem) })
+            }
+            ExprKind::Deref(p) => {
+                let pty = self.expr_type(p).clone();
+                let (space, elem) = match &pty {
+                    Type::Pointer { space, elem } => (*space, (**elem).clone()),
+                    _ => return Err(err("dereferencing non-pointer", e.span)),
+                };
+                let addr = self.lower_expr(p, regions)?;
+                Ok(Place::Mem { space, addr, ty: scalar_of(&elem) })
+            }
+            _ => Err(err("expression is not an lvalue", e.span)),
+        }
+    }
+
+    /// Reads a place. For memory places of *array* type the "read" is the
+    /// decayed address itself (arrays are not loaded wholesale).
+    fn read_place(&mut self, place: &Place, e: &Expr) -> ValueId {
+        match place {
+            Place::Slot(s) => self.read_slot(*s),
+            Place::Mem { space, addr, ty } => {
+                // Array-typed lvalues decay to their address.
+                if self.is_array_typed(e) {
+                    return *addr;
+                }
+                self.emit(InstKind::Load { space: *space, addr: *addr, ty: *ty }, Some(*ty))
+            }
+        }
+    }
+
+    fn is_array_typed(&self, e: &Expr) -> bool {
+        // The sema type map stores decayed types, so consult the raw
+        // declaration for identifiers and the pointee for indexes.
+        match &e.kind {
+            ExprKind::Ident(_) => match self.parsed.analysis.res.get(&e.id) {
+                Some(Resolution::Var(d)) => {
+                    matches!(self.parsed.analysis.vars[d].ty, Type::Array { .. })
+                }
+                _ => false,
+            },
+            ExprKind::Index { base, .. } | ExprKind::Deref(base) => {
+                matches!(
+                    self.expr_type(base),
+                    Type::Pointer { elem, .. } if matches!(**elem, Type::Array { .. })
+                )
+            }
+            _ => false,
+        }
+    }
+
+    fn write_place(&mut self, place: &Place, v: ValueId) {
+        match place {
+            Place::Slot(s) => self.write_slot(*s, v),
+            Place::Mem { space, addr, ty } => {
+                self.emit(InstKind::Store { space: *space, addr: *addr, value: v, ty: *ty }, None);
+            }
+        }
+    }
+
+    /// Lowers `&lvalue` to an address value.
+    fn lower_address(
+        &mut self,
+        e: &Expr,
+        regions: &mut Vec<Region>,
+    ) -> Result<ValueId, Diagnostic> {
+        match self.lower_place(e, regions)? {
+            Place::Mem { addr, .. } => Ok(addr),
+            Place::Slot(_) => Err(err(
+                "cannot take the address of an SSA-promoted variable (sema bug)",
+                e.span,
+            )),
+        }
+    }
+
+    fn lower_call(
+        &mut self,
+        e: &Expr,
+        name: &str,
+        args: &[Expr],
+        regions: &mut Vec<Region>,
+    ) -> Result<ValueId, Diagnostic> {
+        // Built-ins.
+        if let Some(b) = self.parsed.analysis.builtins.get(&e.id).cloned() {
+            return self.lower_builtin(e, &b, args, regions);
+        }
+        // User function: inline.
+        let callee = self
+            .parsed
+            .unit
+            .function(name)
+            .ok_or_else(|| err(format!("unknown function `{name}` (sema bug)"), e.span))?;
+
+        let mut param_slots = Vec::with_capacity(args.len());
+        for (arg, param) in args.iter().zip(&callee.params) {
+            let v = self.lower_expr(arg, regions)?;
+            let from = scalar_of(self.expr_type(arg));
+            let to = scalar_of(&param.ty);
+            let v = self.coerce_infallible(v, from, to);
+            let slot = self.new_slot(to);
+            self.write_slot(slot, v);
+            param_slots.push(slot);
+        }
+        let ret_guard = self.new_slot(Scalar::I32);
+        let zero = self.emit_const(0, Scalar::I32);
+        self.write_slot(ret_guard, zero);
+        let ret_value = if callee.ret == Type::Void {
+            None
+        } else {
+            let s = self.new_slot(scalar_of(&callee.ret));
+            let z = self.emit_const(0, scalar_of(&callee.ret));
+            self.write_slot(s, z);
+            Some(s)
+        };
+        self.frames.push(Frame {
+            param_slots,
+            bindings: HashMap::new(),
+            ret_guard,
+            ret_value,
+            loops: Vec::new(),
+        });
+        // Clone to satisfy the borrow checker; bodies are small.
+        let body = callee.body.clone();
+        self.lower_stmts(&body.stmts, regions)?;
+        let frame = self.frames.pop().expect("frame pushed above");
+        match frame.ret_value {
+            Some(s) => Ok(self.read_slot(s)),
+            None => Ok(self.emit_const(0, Scalar::I32)), // void call: dummy
+        }
+    }
+
+    fn lower_builtin(
+        &mut self,
+        e: &Expr,
+        b: &Builtin,
+        args: &[Expr],
+        regions: &mut Vec<Region>,
+    ) -> Result<ValueId, Diagnostic> {
+        match b {
+            Builtin::WorkItem(q) => {
+                let dim = if args.is_empty() {
+                    0u8
+                } else {
+                    soff_frontend::parser::const_eval_u64(&args[0]).ok_or_else(|| {
+                        err("work-item query dimension must be a constant", e.span)
+                    })? as u8
+                };
+                if dim > 2 {
+                    return Err(err("work-item dimension must be 0, 1, or 2", e.span));
+                }
+                let ty = if *q == WorkItemQuery::WorkDim { Scalar::U32 } else { Scalar::U64 };
+                Ok(self.emit(InstKind::WorkItem(*q, dim), Some(ty)))
+            }
+            Builtin::Math(func, s) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    let v = self.lower_expr(a, regions)?;
+                    let from = scalar_of(self.expr_type(a));
+                    vals.push(self.coerce_infallible(v, from, *s));
+                }
+                Ok(self.emit(InstKind::Math { func: *func, ty: *s, args: vals }, Some(*s)))
+            }
+            Builtin::Int(f, s) => {
+                use soff_frontend::builtins::IntFunc;
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    let v = self.lower_expr(a, regions)?;
+                    let from = scalar_of(self.expr_type(a));
+                    vals.push(self.coerce_infallible(v, from, *s));
+                }
+                if s.is_float() {
+                    let func = match f {
+                        IntFunc::Min => soff_frontend::builtins::MathFunc::Fmin,
+                        IntFunc::Max => soff_frontend::builtins::MathFunc::Fmax,
+                        IntFunc::Abs => soff_frontend::builtins::MathFunc::Fabs,
+                        IntFunc::Clamp => {
+                            // clamp(x, lo, hi) = fmin(fmax(x, lo), hi)
+                            let inner = self.emit(
+                                InstKind::Math {
+                                    func: soff_frontend::builtins::MathFunc::Fmax,
+                                    ty: *s,
+                                    args: vec![vals[0], vals[1]],
+                                },
+                                Some(*s),
+                            );
+                            return Ok(self.emit(
+                                InstKind::Math {
+                                    func: soff_frontend::builtins::MathFunc::Fmin,
+                                    ty: *s,
+                                    args: vec![inner, vals[2]],
+                                },
+                                Some(*s),
+                            ));
+                        }
+                    };
+                    return Ok(self.emit(
+                        InstKind::Math { func, ty: *s, args: vals },
+                        Some(*s),
+                    ));
+                }
+                // Integer min/max/abs/clamp via compare+select.
+                match f {
+                    IntFunc::Min | IntFunc::Max => {
+                        let op = if *f == IntFunc::Min { BinOp::Lt } else { BinOp::Gt };
+                        let c = self.emit(
+                            InstKind::Bin { op, ty: *s, a: vals[0], b: vals[1] },
+                            Some(Scalar::I32),
+                        );
+                        Ok(self.emit(
+                            InstKind::Select { cond: c, a: vals[0], b: vals[1] },
+                            Some(*s),
+                        ))
+                    }
+                    IntFunc::Abs => {
+                        let neg = self.emit(
+                            InstKind::Un { op: UnOp::Neg, ty: *s, a: vals[0] },
+                            Some(*s),
+                        );
+                        let zero = self.emit_const(0, *s);
+                        let c = self.emit(
+                            InstKind::Bin { op: BinOp::Lt, ty: *s, a: vals[0], b: zero },
+                            Some(Scalar::I32),
+                        );
+                        Ok(self.emit(
+                            InstKind::Select { cond: c, a: neg, b: vals[0] },
+                            Some(*s),
+                        ))
+                    }
+                    IntFunc::Clamp => {
+                        let c1 = self.emit(
+                            InstKind::Bin { op: BinOp::Lt, ty: *s, a: vals[0], b: vals[1] },
+                            Some(Scalar::I32),
+                        );
+                        let lo = self.emit(
+                            InstKind::Select { cond: c1, a: vals[1], b: vals[0] },
+                            Some(*s),
+                        );
+                        let c2 = self.emit(
+                            InstKind::Bin { op: BinOp::Gt, ty: *s, a: lo, b: vals[2] },
+                            Some(Scalar::I32),
+                        );
+                        Ok(self.emit(
+                            InstKind::Select { cond: c2, a: vals[2], b: lo },
+                            Some(*s),
+                        ))
+                    }
+                }
+            }
+            Builtin::Atomic(op, s, space) => {
+                self.uses_atomics = true;
+                let addr = self.lower_expr(&args[0], regions)?;
+                let mut operands = Vec::new();
+                for a in &args[1..] {
+                    let v = self.lower_expr(a, regions)?;
+                    let from = scalar_of(self.expr_type(a));
+                    operands.push(self.coerce_infallible(v, from, *s));
+                }
+                Ok(self.emit(
+                    InstKind::Atomic { op: *op, space: *space, addr, operands, ty: *s },
+                    Some(*s),
+                ))
+            }
+        }
+    }
+}
+
+/// Jump effects of a loop body as seen by the loop itself (break/continue
+/// are *not* filtered out, unlike [`jump_effects`]).
+fn raw_jump_effects(s: &Stmt) -> JumpFx {
+    match s {
+        Stmt::Break(_) => JumpFx { brk: true, ..Default::default() },
+        Stmt::Continue(_) => JumpFx { cont: true, ..Default::default() },
+        Stmt::Return(..) => JumpFx { ret: true, ..Default::default() },
+        Stmt::Block(b) => {
+            b.stmts.iter().map(raw_jump_effects).fold(JumpFx::default(), JumpFx::union)
+        }
+        Stmt::If { then, els, .. } => {
+            let mut fx = raw_jump_effects(then);
+            if let Some(e) = els {
+                fx = fx.union(raw_jump_effects(e));
+            }
+            fx
+        }
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+            // Inner loops capture their own break/continue.
+            JumpFx { ret: raw_jump_effects(body).ret, ..Default::default() }
+        }
+        _ => JumpFx::default(),
+    }
+}

@@ -1,0 +1,207 @@
+//! Control trees (§III-C2, Fig. 4 (c)).
+//!
+//! All basic blocks of a kernel are hierarchically grouped into a control
+//! tree whose interior nodes are structured control-flow constructs. SOFF's
+//! lowering canonicalizes `break`, `continue`, and early `return` into
+//! guarded structured form (guard variables plus `if` regions), so the
+//! general multi-exit constructs the paper names *ProperInterval* and
+//! *NaturalLoop* never need to be materialized: every kernel the frontend
+//! accepts lowers to the structured node kinds below. The enum still
+//! reserves variants for them so the datapath layer's matching is total and
+//! documents the correspondence.
+
+use crate::ir::BlockId;
+
+/// A node of the control tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Region {
+    /// A single basic block.
+    Block(BlockId),
+    /// Children executed one after another.
+    Seq(Vec<Region>),
+    /// A work-group barrier between two sequence elements.
+    /// `flags` is the `CLK_*_MEM_FENCE` bits.
+    Barrier {
+        /// Fence flags (1 = local, 2 = global).
+        flags: u32,
+    },
+    /// `if (cond) then` — `cond` is the block whose terminator branches.
+    IfThen {
+        /// Block computing the condition (ends in `CondBr`).
+        cond: BlockId,
+        /// Taken region.
+        then: Box<Region>,
+    },
+    /// `if (cond) then else els`.
+    IfThenElse {
+        /// Block computing the condition (ends in `CondBr`).
+        cond: BlockId,
+        /// Region when the condition is non-zero.
+        then: Box<Region>,
+        /// Region when the condition is zero.
+        els: Box<Region>,
+    },
+    /// A while loop: `cond` is evaluated first; while non-zero, `body`
+    /// runs and control returns to `cond`.
+    WhileLoop {
+        /// Condition block (ends in `CondBr` to body entry / loop exit).
+        cond: BlockId,
+        /// Loop body.
+        body: Box<Region>,
+    },
+    /// A do-while (self) loop: `body` runs, then its final block's
+    /// `CondBr` either re-enters `body` or exits.
+    SelfLoop {
+        /// Loop body; the last block ends in the back-branching `CondBr`.
+        body: Box<Region>,
+    },
+}
+
+impl Region {
+    /// First basic block executed when control enters this region.
+    pub fn entry_block(&self) -> BlockId {
+        match self {
+            Region::Block(b) => *b,
+            Region::Seq(children) => children
+                .iter()
+                .find(|c| !matches!(c, Region::Barrier { .. }))
+                .expect("sequence region with no blocks")
+                .entry_block(),
+            Region::Barrier { .. } => panic!("barrier region has no entry block"),
+            Region::IfThen { cond, .. } | Region::IfThenElse { cond, .. } => *cond,
+            Region::WhileLoop { cond, .. } => *cond,
+            Region::SelfLoop { body } => body.entry_block(),
+        }
+    }
+
+    /// Collects all basic blocks inside this region, in tree order.
+    pub fn blocks(&self) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        self.collect_blocks(&mut out);
+        out
+    }
+
+    fn collect_blocks(&self, out: &mut Vec<BlockId>) {
+        match self {
+            Region::Block(b) => out.push(*b),
+            Region::Seq(children) => {
+                for c in children {
+                    c.collect_blocks(out);
+                }
+            }
+            Region::Barrier { .. } => {}
+            Region::IfThen { cond, then } => {
+                out.push(*cond);
+                then.collect_blocks(out);
+            }
+            Region::IfThenElse { cond, then, els } => {
+                out.push(*cond);
+                then.collect_blocks(out);
+                els.collect_blocks(out);
+            }
+            Region::WhileLoop { cond, body } => {
+                out.push(*cond);
+                body.collect_blocks(out);
+            }
+            Region::SelfLoop { body } => body.collect_blocks(out),
+        }
+    }
+
+    /// Whether this region (recursively) contains a barrier.
+    pub fn contains_barrier(&self) -> bool {
+        match self {
+            Region::Block(_) => false,
+            Region::Barrier { .. } => true,
+            Region::Seq(children) => children.iter().any(Region::contains_barrier),
+            Region::IfThen { then, .. } => then.contains_barrier(),
+            Region::IfThenElse { then, els, .. } => {
+                then.contains_barrier() || els.contains_barrier()
+            }
+            Region::WhileLoop { body, .. } | Region::SelfLoop { body } => body.contains_barrier(),
+        }
+    }
+
+    /// Whether this region (recursively) contains a loop.
+    pub fn contains_loop(&self) -> bool {
+        match self {
+            Region::Block(_) | Region::Barrier { .. } => false,
+            Region::Seq(children) => children.iter().any(Region::contains_loop),
+            Region::IfThen { then, .. } => then.contains_loop(),
+            Region::IfThenElse { then, els, .. } => then.contains_loop() || els.contains_loop(),
+            Region::WhileLoop { .. } | Region::SelfLoop { .. } => true,
+        }
+    }
+
+    /// A compact single-line description of the tree shape, used in tests:
+    /// e.g. `seq(B0, while(B1, seq(B2, B3)), B4)`.
+    pub fn shape(&self) -> String {
+        match self {
+            Region::Block(b) => format!("{b}"),
+            Region::Seq(children) => {
+                let parts: Vec<String> = children.iter().map(Region::shape).collect();
+                format!("seq({})", parts.join(", "))
+            }
+            Region::Barrier { .. } => "barrier".to_string(),
+            Region::IfThen { cond, then } => format!("if({cond}, {})", then.shape()),
+            Region::IfThenElse { cond, then, els } => {
+                format!("ifelse({cond}, {}, {})", then.shape(), els.shape())
+            }
+            Region::WhileLoop { cond, body } => format!("while({cond}, {})", body.shape()),
+            Region::SelfLoop { body } => format!("doloop({})", body.shape()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u32) -> Region {
+        Region::Block(BlockId(i))
+    }
+
+    #[test]
+    fn entry_block_recurses() {
+        let r = Region::Seq(vec![
+            Region::WhileLoop { cond: BlockId(1), body: Box::new(b(2)) },
+            b(3),
+        ]);
+        assert_eq!(r.entry_block(), BlockId(1));
+    }
+
+    #[test]
+    fn blocks_in_tree_order() {
+        let r = Region::Seq(vec![
+            b(0),
+            Region::IfThenElse { cond: BlockId(1), then: Box::new(b(2)), els: Box::new(b(3)) },
+            b(4),
+        ]);
+        let ids: Vec<u32> = r.blocks().iter().map(|x| x.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn barrier_detection() {
+        let r = Region::Seq(vec![b(0), Region::Barrier { flags: 3 }, b(1)]);
+        assert!(r.contains_barrier());
+        assert!(!b(0).contains_barrier());
+    }
+
+    #[test]
+    fn loop_detection() {
+        let r = Region::IfThen {
+            cond: BlockId(0),
+            then: Box::new(Region::SelfLoop { body: Box::new(b(1)) }),
+        };
+        assert!(r.contains_loop());
+    }
+
+    #[test]
+    fn shape_string() {
+        let r = Region::Seq(vec![
+            b(0),
+            Region::WhileLoop { cond: BlockId(1), body: Box::new(b(2)) },
+        ]);
+        assert_eq!(r.shape(), "seq(B0, while(B1, B2))");
+    }
+}

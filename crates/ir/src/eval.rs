@@ -1,0 +1,433 @@
+//! Bit-level evaluation of IR operations.
+//!
+//! Values are stored as canonical raw bits in a `u64`: integer types keep
+//! their natural-width bit pattern zero-extended; `f32` occupies the low 32
+//! bits. These helpers are shared by the reference interpreter
+//! ([`crate::interp`]) and the cycle-level simulator's functional units, so
+//! both produce bit-identical results.
+//!
+//! Division by zero yields 0 and out-of-range float→int conversions
+//! saturate toward zero; this gives speculatively executed instructions
+//! (eagerly evaluated `&&`/`?:` operands, guarded-off loop bodies) a
+//! defined result, the same choice real datapath hardware makes.
+
+use soff_frontend::ast::{BinOp, UnOp};
+use soff_frontend::builtins::{AtomicOp, MathFunc};
+use soff_frontend::types::Scalar;
+
+/// Masks `bits` down to the natural width of `ty` (canonical form).
+pub fn canonical(ty: Scalar, bits: u64) -> u64 {
+    match ty.size() {
+        1 => bits & 0xFF,
+        2 => bits & 0xFFFF,
+        4 => bits & 0xFFFF_FFFF,
+        _ => bits,
+    }
+}
+
+/// Interprets canonical bits as a signed 64-bit integer.
+pub fn as_signed(ty: Scalar, bits: u64) -> i64 {
+    match ty.size() {
+        1 => bits as u8 as i8 as i64,
+        2 => bits as u16 as i16 as i64,
+        4 => bits as u32 as i32 as i64,
+        _ => bits as i64,
+    }
+}
+
+/// Interprets canonical bits as `f64` (reading `f32` bits when `ty` is F32).
+pub fn as_f64(ty: Scalar, bits: u64) -> f64 {
+    match ty {
+        Scalar::F32 => f32::from_bits(bits as u32) as f64,
+        Scalar::F64 => f64::from_bits(bits),
+        _ => panic!("as_f64 on integer type {ty}"),
+    }
+}
+
+/// Encodes an `f64` into canonical bits of float type `ty`.
+pub fn from_f64(ty: Scalar, v: f64) -> u64 {
+    match ty {
+        Scalar::F32 => (v as f32).to_bits() as u64,
+        Scalar::F64 => v.to_bits(),
+        _ => panic!("from_f64 on integer type {ty}"),
+    }
+}
+
+/// Evaluates a binary operation over operands of scalar type `ty`.
+///
+/// Comparisons return 0/1; everything else returns canonical bits of the
+/// result type (which equals `ty` except for comparisons).
+pub fn eval_bin(op: BinOp, ty: Scalar, a: u64, b: u64) -> u64 {
+    use BinOp::*;
+    if ty.is_float() {
+        // For F32, arithmetic is performed in f32 precision.
+        if ty == Scalar::F32 {
+            let x = f32::from_bits(a as u32);
+            let y = f32::from_bits(b as u32);
+            return match op {
+                Add => (x + y).to_bits() as u64,
+                Sub => (x - y).to_bits() as u64,
+                Mul => (x * y).to_bits() as u64,
+                Div => (x / y).to_bits() as u64,
+                Rem => (x % y).to_bits() as u64,
+                Lt => (x < y) as u64,
+                Gt => (x > y) as u64,
+                Le => (x <= y) as u64,
+                Ge => (x >= y) as u64,
+                Eq => (x == y) as u64,
+                Ne => (x != y) as u64,
+                LogAnd => ((x != 0.0) && (y != 0.0)) as u64,
+                LogOr => ((x != 0.0) || (y != 0.0)) as u64,
+                And | Or | Xor | Shl | Shr => panic!("bitwise op on float"),
+            };
+        }
+        let x = f64::from_bits(a);
+        let y = f64::from_bits(b);
+        return match op {
+            Add => (x + y).to_bits(),
+            Sub => (x - y).to_bits(),
+            Mul => (x * y).to_bits(),
+            Div => (x / y).to_bits(),
+            Rem => (x % y).to_bits(),
+            Lt => (x < y) as u64,
+            Gt => (x > y) as u64,
+            Le => (x <= y) as u64,
+            Ge => (x >= y) as u64,
+            Eq => (x == y) as u64,
+            Ne => (x != y) as u64,
+            LogAnd => ((x != 0.0) && (y != 0.0)) as u64,
+            LogOr => ((x != 0.0) || (y != 0.0)) as u64,
+            And | Or | Xor | Shl | Shr => panic!("bitwise op on float"),
+        };
+    }
+
+    let width_bits = ty.size() * 8;
+    let shift_mask = (width_bits - 1) as u64;
+    if ty.is_signed() {
+        let x = as_signed(ty, a);
+        let y = as_signed(ty, b);
+        let r: i64 = match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            Mul => x.wrapping_mul(y),
+            Div => {
+                if y == 0 {
+                    0
+                } else {
+                    x.wrapping_div(y)
+                }
+            }
+            Rem => {
+                if y == 0 {
+                    0
+                } else {
+                    x.wrapping_rem(y)
+                }
+            }
+            And => x & y,
+            Or => x | y,
+            Xor => x ^ y,
+            Shl => x.wrapping_shl((y as u64 & shift_mask) as u32),
+            Shr => x.wrapping_shr((y as u64 & shift_mask) as u32),
+            Lt => return (x < y) as u64,
+            Gt => return (x > y) as u64,
+            Le => return (x <= y) as u64,
+            Ge => return (x >= y) as u64,
+            Eq => return (x == y) as u64,
+            Ne => return (x != y) as u64,
+            LogAnd => return ((x != 0) && (y != 0)) as u64,
+            LogOr => return ((x != 0) || (y != 0)) as u64,
+        };
+        canonical(ty, r as u64)
+    } else {
+        let x = canonical(ty, a);
+        let y = canonical(ty, b);
+        let r: u64 = match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            Mul => x.wrapping_mul(y),
+            Div => {
+                if y == 0 {
+                    0
+                } else {
+                    x / y
+                }
+            }
+            Rem => {
+                if y == 0 {
+                    0
+                } else {
+                    x % y
+                }
+            }
+            And => x & y,
+            Or => x | y,
+            Xor => x ^ y,
+            Shl => x.wrapping_shl((y & shift_mask) as u32),
+            Shr => x.wrapping_shr((y & shift_mask) as u32),
+            Lt => return (x < y) as u64,
+            Gt => return (x > y) as u64,
+            Le => return (x <= y) as u64,
+            Ge => return (x >= y) as u64,
+            Eq => return (x == y) as u64,
+            Ne => return (x != y) as u64,
+            LogAnd => return ((x != 0) && (y != 0)) as u64,
+            LogOr => return ((x != 0) || (y != 0)) as u64,
+        };
+        canonical(ty, r)
+    }
+}
+
+/// Evaluates a unary operation.
+pub fn eval_un(op: UnOp, ty: Scalar, a: u64) -> u64 {
+    match op {
+        UnOp::Plus => a,
+        UnOp::Neg => {
+            if ty == Scalar::F32 {
+                (-f32::from_bits(a as u32)).to_bits() as u64
+            } else if ty == Scalar::F64 {
+                (-f64::from_bits(a)).to_bits()
+            } else {
+                canonical(ty, (a as i64).wrapping_neg() as u64)
+            }
+        }
+        UnOp::Not => canonical(ty, !a),
+        UnOp::LogNot => {
+            let z = if ty.is_float() { as_f64(ty, a) == 0.0 } else { canonical(ty, a) == 0 };
+            z as u64
+        }
+    }
+}
+
+/// Evaluates a numeric conversion.
+pub fn eval_cast(from: Scalar, to: Scalar, a: u64) -> u64 {
+    if from == to {
+        return canonical(to, a);
+    }
+    match (from.is_float(), to.is_float()) {
+        (false, false) => {
+            // Integer to integer: sign- or zero-extend through i64.
+            let v = if from.is_signed() { as_signed(from, a) as u64 } else { canonical(from, a) };
+            canonical(to, v)
+        }
+        (false, true) => {
+            let v = if from.is_signed() {
+                as_signed(from, a) as f64
+            } else {
+                canonical(from, a) as f64
+            };
+            from_f64(to, v)
+        }
+        (true, false) => {
+            let v = as_f64(from, a);
+            // Saturating conversion (Rust's `as` semantics).
+            let bits = if to.is_signed() {
+                (v as i64) as u64
+            } else {
+                v as u64
+            };
+            canonical(to, bits)
+        }
+        (true, true) => from_f64(to, as_f64(from, a)),
+    }
+}
+
+/// Evaluates a math builtin over float type `ty`.
+pub fn eval_math(func: MathFunc, ty: Scalar, args: &[u64]) -> u64 {
+    use MathFunc::*;
+    let a = |i: usize| as_f64(ty, args[i]);
+    let r = match func {
+        Sqrt => a(0).sqrt(),
+        Rsqrt => 1.0 / a(0).sqrt(),
+        Fabs => a(0).abs(),
+        Exp => a(0).exp(),
+        Exp2 => a(0).exp2(),
+        Log => a(0).ln(),
+        Log2 => a(0).log2(),
+        Log10 => a(0).log10(),
+        Sin => a(0).sin(),
+        Cos => a(0).cos(),
+        Tan => a(0).tan(),
+        Asin => a(0).asin(),
+        Acos => a(0).acos(),
+        Atan => a(0).atan(),
+        Sinh => a(0).sinh(),
+        Cosh => a(0).cosh(),
+        Tanh => a(0).tanh(),
+        Floor => a(0).floor(),
+        Ceil => a(0).ceil(),
+        Round => a(0).round(),
+        Trunc => a(0).trunc(),
+        Pow => a(0).powf(a(1)),
+        Fmin => a(0).min(a(1)),
+        Fmax => a(0).max(a(1)),
+        Fmod => a(0) % a(1),
+        Hypot => a(0).hypot(a(1)),
+        Atan2 => a(0).atan2(a(1)),
+        Fma | Mad => a(0).mul_add(a(1), a(2)),
+    };
+    // Perform single-precision ops in f32 where it matters for
+    // bit-reproducibility between interpreter and simulator.
+    if ty == Scalar::F32 {
+        let rf = match func {
+            Sqrt => f32::from_bits(args[0] as u32).sqrt(),
+            Fabs => f32::from_bits(args[0] as u32).abs(),
+            Fmin => f32::from_bits(args[0] as u32).min(f32::from_bits(args[1] as u32)),
+            Fmax => f32::from_bits(args[0] as u32).max(f32::from_bits(args[1] as u32)),
+            _ => r as f32,
+        };
+        return rf.to_bits() as u64;
+    }
+    from_f64(ty, r)
+}
+
+/// Applies an atomic op: returns `(new_memory_value, returned_old_value)`.
+pub fn eval_atomic(op: AtomicOp, ty: Scalar, old: u64, operands: &[u64]) -> (u64, u64) {
+    use AtomicOp::*;
+    let o = canonical(ty, old);
+    let v = |i: usize| canonical(ty, operands[i]);
+    let new = match op {
+        Add => o.wrapping_add(v(0)),
+        Sub => o.wrapping_sub(v(0)),
+        Inc => o.wrapping_add(1),
+        Dec => o.wrapping_sub(1),
+        Min => {
+            if ty.is_signed() {
+                if as_signed(ty, o) <= as_signed(ty, v(0)) { o } else { v(0) }
+            } else if o <= v(0) {
+                o
+            } else {
+                v(0)
+            }
+        }
+        Max => {
+            if ty.is_signed() {
+                if as_signed(ty, o) >= as_signed(ty, v(0)) { o } else { v(0) }
+            } else if o >= v(0) {
+                o
+            } else {
+                v(0)
+            }
+        }
+        And => o & v(0),
+        Or => o | v(0),
+        Xor => o ^ v(0),
+        Xchg => v(0),
+        CmpXchg => {
+            if o == v(0) {
+                v(1)
+            } else {
+                o
+            }
+        }
+    };
+    (canonical(ty, new), o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_division_truncates() {
+        let r = eval_bin(BinOp::Div, Scalar::I32, (-7i32) as u32 as u64, 2);
+        assert_eq!(as_signed(Scalar::I32, r), -3);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(eval_bin(BinOp::Div, Scalar::I32, 5, 0), 0);
+        assert_eq!(eval_bin(BinOp::Rem, Scalar::U64, 5, 0), 0);
+    }
+
+    #[test]
+    fn unsigned_comparison() {
+        // 0xFFFF_FFFF as u32 is large, as i32 it is -1.
+        assert_eq!(eval_bin(BinOp::Lt, Scalar::U32, 0xFFFF_FFFF, 1), 0);
+        assert_eq!(eval_bin(BinOp::Lt, Scalar::I32, 0xFFFF_FFFF, 1), 1);
+    }
+
+    #[test]
+    fn float_arithmetic_f32_precision() {
+        let a = (0.1f32).to_bits() as u64;
+        let b = (0.2f32).to_bits() as u64;
+        let r = eval_bin(BinOp::Add, Scalar::F32, a, b);
+        assert_eq!(f32::from_bits(r as u32), 0.1f32 + 0.2f32);
+    }
+
+    #[test]
+    fn shift_masks_count() {
+        assert_eq!(eval_bin(BinOp::Shl, Scalar::I32, 1, 33), 2);
+        assert_eq!(eval_bin(BinOp::Shl, Scalar::I64, 1, 33), 1 << 33);
+    }
+
+    #[test]
+    fn arithmetic_shift_right_for_signed() {
+        let r = eval_bin(BinOp::Shr, Scalar::I32, (-8i32) as u32 as u64, 1);
+        assert_eq!(as_signed(Scalar::I32, r), -4);
+        let r = eval_bin(BinOp::Shr, Scalar::U32, (-8i32) as u32 as u64, 1);
+        assert_eq!(r, 0x7FFF_FFFC);
+    }
+
+    #[test]
+    fn neg_wraps() {
+        let r = eval_un(UnOp::Neg, Scalar::I32, i32::MIN as u32 as u64);
+        assert_eq!(r, i32::MIN as u32 as u64);
+    }
+
+    #[test]
+    fn lognot() {
+        assert_eq!(eval_un(UnOp::LogNot, Scalar::I32, 0), 1);
+        assert_eq!(eval_un(UnOp::LogNot, Scalar::I32, 5), 0);
+        assert_eq!(eval_un(UnOp::LogNot, Scalar::F32, (0.0f32).to_bits() as u64), 1);
+    }
+
+    #[test]
+    fn cast_sign_extends() {
+        let r = eval_cast(Scalar::I8, Scalar::I32, 0xFF);
+        assert_eq!(as_signed(Scalar::I32, r), -1);
+        let r = eval_cast(Scalar::U8, Scalar::I32, 0xFF);
+        assert_eq!(as_signed(Scalar::I32, r), 255);
+    }
+
+    #[test]
+    fn cast_float_int_roundtrip() {
+        let bits = from_f64(Scalar::F32, 3.7);
+        assert_eq!(eval_cast(Scalar::F32, Scalar::I32, bits), 3);
+        let bits = from_f64(Scalar::F64, -2.9);
+        assert_eq!(as_signed(Scalar::I32, eval_cast(Scalar::F64, Scalar::I32, bits)), -2);
+    }
+
+    #[test]
+    fn cast_int_to_float() {
+        let r = eval_cast(Scalar::I32, Scalar::F32, (-5i32) as u32 as u64);
+        assert_eq!(f32::from_bits(r as u32), -5.0);
+    }
+
+    #[test]
+    fn math_sqrt_f32_is_f32_precise() {
+        let x = (2.0f32).to_bits() as u64;
+        let r = eval_math(MathFunc::Sqrt, Scalar::F32, &[x]);
+        assert_eq!(f32::from_bits(r as u32), 2.0f32.sqrt());
+    }
+
+    #[test]
+    fn atomic_ops() {
+        let (new, old) = eval_atomic(AtomicOp::Add, Scalar::I32, 10, &[5]);
+        assert_eq!((new, old), (15, 10));
+        let (new, _) = eval_atomic(AtomicOp::Max, Scalar::I32, (-3i32) as u32 as u64, &[2]);
+        assert_eq!(as_signed(Scalar::I32, new), 2);
+        let (new, _) = eval_atomic(AtomicOp::Max, Scalar::U32, (-3i32) as u32 as u64, &[2]);
+        assert_eq!(new, (-3i32) as u32 as u64);
+        let (new, old) = eval_atomic(AtomicOp::CmpXchg, Scalar::U32, 7, &[7, 99]);
+        assert_eq!((new, old), (99, 7));
+        let (new, _) = eval_atomic(AtomicOp::CmpXchg, Scalar::U32, 8, &[7, 99]);
+        assert_eq!(new, 8);
+    }
+
+    #[test]
+    fn canonical_masks() {
+        assert_eq!(canonical(Scalar::U8, 0x1FF), 0xFF);
+        assert_eq!(canonical(Scalar::U64, u64::MAX), u64::MAX);
+    }
+}

@@ -1,0 +1,742 @@
+//! Reference interpreter for kernels.
+//!
+//! Executes a kernel over a full NDRange directly on the SSA IR, one
+//! work-group at a time, with round-robin stepping inside a work-group so
+//! that work-group barriers behave correctly. This is the correctness
+//! oracle for both the functional tests (Table II "correct answer" checks)
+//! and the cycle-level simulator: the simulator must produce bit-identical
+//! memory contents.
+
+use crate::eval;
+use crate::ir::{BlockId, InstKind, Kernel, NdRange, Terminator, ValueId};
+use crate::mem::{self, ArgValue, ByteStore, GlobalMemory};
+use soff_frontend::builtins::WorkItemQuery;
+use soff_frontend::types::AddressSpace;
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Interpreter failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The kernel exceeded the instruction budget (probably an infinite
+    /// loop).
+    Timeout {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// Work-items of one group waited at different barriers (undefined
+    /// behaviour per the OpenCL spec, reported rather than hung).
+    BarrierDivergence,
+    /// Argument list does not match the kernel signature.
+    BadArguments(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Timeout { budget } => {
+                write!(f, "kernel exceeded the instruction budget of {budget}")
+            }
+            InterpError::BarrierDivergence => {
+                write!(f, "work-items reached different barriers (undefined behaviour)")
+            }
+            InterpError::BadArguments(m) => write!(f, "bad kernel arguments: {m}"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+/// Execution statistics gathered by the interpreter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterpStats {
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Dynamic global-memory accesses.
+    pub global_accesses: u64,
+    /// Dynamic local-memory accesses.
+    pub local_accesses: u64,
+    /// Barrier release events.
+    pub barrier_releases: u64,
+}
+
+/// Runs `kernel` over `nd` with the given arguments against `global`.
+///
+/// `budget` bounds the total dynamic instruction count (use
+/// [`DEFAULT_BUDGET`] unless the workload is known to be large).
+///
+/// # Errors
+///
+/// See [`InterpError`].
+pub fn run(
+    kernel: &Kernel,
+    nd: &NdRange,
+    args: &[ArgValue],
+    global: &mut GlobalMemory,
+    budget: u64,
+) -> Result<InterpStats, InterpError> {
+    // Validate arguments.
+    if args.len() != kernel.params.len() {
+        return Err(InterpError::BadArguments(format!(
+            "expected {} arguments, got {}",
+            kernel.params.len(),
+            args.len()
+        )));
+    }
+    let mut local_sizes: Vec<u64> = kernel.local_vars.iter().map(|v| v.size).collect();
+    let mut param_vals: Vec<u64> = Vec::with_capacity(args.len());
+    for (p, a) in kernel.params.iter().zip(args) {
+        use crate::ir::ParamKind;
+        let v = match (&p.kind, a) {
+            (ParamKind::Scalar(s), ArgValue::Scalar(bits)) => eval::canonical(*s, *bits),
+            (ParamKind::Buffer { .. }, ArgValue::Buffer(id)) => mem::global_addr(*id, 0),
+            (ParamKind::LocalPointer { var, .. }, ArgValue::LocalSize(sz)) => {
+                local_sizes[*var] = *sz;
+                mem::local_addr(*var, 0)
+            }
+            (k, a) => {
+                return Err(InterpError::BadArguments(format!(
+                    "argument `{}` is {k:?} but got {a:?}",
+                    p.name
+                )))
+            }
+        };
+        param_vals.push(v);
+    }
+
+    let mut stats = InterpStats::default();
+    let mut budget_left = budget;
+    let wg_size = nd.work_group_size();
+    let groups = [nd.groups_in_dim(0), nd.groups_in_dim(1), nd.groups_in_dim(2)];
+
+    // Iterate work-groups in linear order (x fastest).
+    for gz in 0..groups[2] {
+        for gy in 0..groups[1] {
+            for gx in 0..groups[0] {
+                let group = [gx, gy, gz];
+                run_group(
+                    kernel,
+                    nd,
+                    &param_vals,
+                    &local_sizes,
+                    group,
+                    wg_size,
+                    global,
+                    &mut stats,
+                    &mut budget_left,
+                )?;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// A reasonable default instruction budget for tests and examples.
+pub const DEFAULT_BUDGET: u64 = 2_000_000_000;
+
+struct WiState {
+    env: Vec<u64>,
+    block: BlockId,
+    prev_block: BlockId,
+    instr_idx: usize,
+    done: bool,
+    /// Local ids (x, y, z) and global ids.
+    lid: [u64; 3],
+    gid: [u64; 3],
+    private: ByteStore,
+}
+
+enum StepOutcome {
+    Done,
+    AtBarrier,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_group(
+    kernel: &Kernel,
+    nd: &NdRange,
+    params: &[u64],
+    local_sizes: &[u64],
+    group: [u64; 3],
+    wg_size: u64,
+    global: &mut GlobalMemory,
+    stats: &mut InterpStats,
+    budget_left: &mut u64,
+) -> Result<(), InterpError> {
+    // Allocate this group's local memory blocks.
+    let mut locals: Vec<ByteStore> =
+        local_sizes.iter().map(|s| ByteStore::new(*s as usize)).collect();
+
+    // Materialize work-item states lazily-ish (they are small: env only).
+    let mut wis: Vec<WiState> = Vec::with_capacity(wg_size as usize);
+    for lz in 0..nd.local[2] {
+        for ly in 0..nd.local[1] {
+            for lx in 0..nd.local[0] {
+                let lid = [lx, ly, lz];
+                let gid = [
+                    group[0] * nd.local[0] + lx,
+                    group[1] * nd.local[1] + ly,
+                    group[2] * nd.local[2] + lz,
+                ];
+                wis.push(WiState {
+                    env: vec![0; kernel.values.len()],
+                    block: BlockId(0),
+                    prev_block: BlockId(0),
+                    instr_idx: 0,
+                    done: false,
+                    lid,
+                    gid,
+                    private: ByteStore::new(kernel.private_bytes as usize),
+                });
+            }
+        }
+    }
+
+    let barrier_blocks: HashSet<BlockId> =
+        kernel.barrier_after.iter().map(|(b, _)| *b).collect();
+
+    // Round-robin until everyone is done. Each pass runs every unfinished
+    // work-item until it completes or crosses a barrier.
+    loop {
+        let mut all_done = true;
+        let mut waiting_at: Option<BlockId> = None;
+        let mut n_waiting = 0u64;
+        for wi in wis.iter_mut() {
+            if wi.done {
+                continue;
+            }
+            all_done = false;
+            let outcome = step_until_barrier(
+                kernel,
+                nd,
+                params,
+                group,
+                wi,
+                global,
+                &mut locals,
+                &barrier_blocks,
+                stats,
+                budget_left,
+            )?;
+            match outcome {
+                StepOutcome::Done => wi.done = true,
+                StepOutcome::AtBarrier => {
+                    // `wi.block` is now the block *after* the barrier.
+                    match waiting_at {
+                        None => waiting_at = Some(wi.block),
+                        Some(b) if b == wi.block => {}
+                        Some(_) => return Err(InterpError::BarrierDivergence),
+                    }
+                    n_waiting += 1;
+                }
+            }
+        }
+        if all_done {
+            return Ok(());
+        }
+        if n_waiting > 0 {
+            if n_waiting != wis.iter().filter(|w| !w.done).count() as u64 {
+                // Some finished while others wait at a barrier: undefined.
+                return Err(InterpError::BarrierDivergence);
+            }
+            stats.barrier_releases += 1;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step_until_barrier(
+    kernel: &Kernel,
+    nd: &NdRange,
+    params: &[u64],
+    group: [u64; 3],
+    wi: &mut WiState,
+    global: &mut GlobalMemory,
+    locals: &mut [ByteStore],
+    barrier_blocks: &HashSet<BlockId>,
+    stats: &mut InterpStats,
+    budget_left: &mut u64,
+) -> Result<StepOutcome, InterpError> {
+    loop {
+        let block = kernel.block(wi.block);
+        while wi.instr_idx < block.instrs.len() {
+            let v = block.instrs[wi.instr_idx];
+            wi.instr_idx += 1;
+            if *budget_left == 0 {
+                return Err(InterpError::Timeout { budget: 0 });
+            }
+            *budget_left -= 1;
+            stats.instructions += 1;
+            exec_instr(kernel, nd, params, group, wi, v, global, locals, stats);
+        }
+        // Terminator.
+        let crossing_barrier = barrier_blocks.contains(&wi.block);
+        match &block.term {
+            Terminator::Ret => return Ok(StepOutcome::Done),
+            Terminator::Br(t) => {
+                wi.prev_block = wi.block;
+                wi.block = *t;
+                wi.instr_idx = 0;
+                if crossing_barrier {
+                    return Ok(StepOutcome::AtBarrier);
+                }
+            }
+            Terminator::CondBr { cond, then, els } => {
+                let c = wi.env[cond.0 as usize];
+                wi.prev_block = wi.block;
+                wi.block = if c != 0 { *then } else { *els };
+                wi.instr_idx = 0;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_instr(
+    kernel: &Kernel,
+    nd: &NdRange,
+    params: &[u64],
+    group: [u64; 3],
+    wi: &mut WiState,
+    v: ValueId,
+    global: &mut GlobalMemory,
+    locals: &mut [ByteStore],
+    stats: &mut InterpStats,
+) {
+    let inst = kernel.instr(v);
+    let result: u64 = match &inst.kind {
+        InstKind::Const(bits) => *bits,
+        InstKind::Param(i) => params[*i],
+        InstKind::WorkItem(q, dim) => {
+            let d = *dim as usize;
+            match q {
+                WorkItemQuery::GlobalId => wi.gid[d],
+                WorkItemQuery::LocalId => wi.lid[d],
+                WorkItemQuery::GroupId => group[d],
+                WorkItemQuery::GlobalSize => nd.global[d],
+                WorkItemQuery::LocalSize => nd.local[d],
+                WorkItemQuery::NumGroups => nd.global[d] / nd.local[d],
+                WorkItemQuery::WorkDim => nd.work_dim as u64,
+                WorkItemQuery::GlobalOffset => 0,
+            }
+        }
+        InstKind::LocalBase(var) => mem::local_addr(*var, 0),
+        InstKind::PrivBase(off) => *off,
+        InstKind::Bin { op, ty, a, b } => {
+            eval::eval_bin(*op, *ty, wi.env[a.0 as usize], wi.env[b.0 as usize])
+        }
+        InstKind::Un { op, ty, a } => eval::eval_un(*op, *ty, wi.env[a.0 as usize]),
+        InstKind::Cast { from, to, a } => eval::eval_cast(*from, *to, wi.env[a.0 as usize]),
+        InstKind::Select { cond, a, b } => {
+            if wi.env[cond.0 as usize] != 0 {
+                wi.env[a.0 as usize]
+            } else {
+                wi.env[b.0 as usize]
+            }
+        }
+        InstKind::Math { func, ty, args } => {
+            let vals: Vec<u64> = args.iter().map(|a| wi.env[a.0 as usize]).collect();
+            eval::eval_math(*func, *ty, &vals)
+        }
+        InstKind::Load { space, addr, ty } => {
+            let a = wi.env[addr.0 as usize];
+            match space {
+                AddressSpace::Global | AddressSpace::Constant => {
+                    stats.global_accesses += 1;
+                    global.read(a, *ty)
+                }
+                AddressSpace::Local => {
+                    stats.local_accesses += 1;
+                    let (var, off) = mem::split_local(a);
+                    locals.get(var).map(|l| l.read_scalar(off, *ty)).unwrap_or(0)
+                }
+                AddressSpace::Private => wi.private.read_scalar(a, *ty),
+            }
+        }
+        InstKind::Store { space, addr, value, ty } => {
+            let a = wi.env[addr.0 as usize];
+            let val = wi.env[value.0 as usize];
+            match space {
+                AddressSpace::Global | AddressSpace::Constant => {
+                    stats.global_accesses += 1;
+                    global.write(a, *ty, val);
+                }
+                AddressSpace::Local => {
+                    stats.local_accesses += 1;
+                    let (var, off) = mem::split_local(a);
+                    if let Some(l) = locals.get_mut(var) {
+                        l.write_scalar(off, *ty, val);
+                    }
+                }
+                AddressSpace::Private => wi.private.write_scalar(a, *ty, val),
+            }
+            0
+        }
+        InstKind::Atomic { op, space, addr, operands, ty } => {
+            let a = wi.env[addr.0 as usize];
+            let ops: Vec<u64> = operands.iter().map(|o| wi.env[o.0 as usize]).collect();
+            match space {
+                AddressSpace::Global | AddressSpace::Constant => {
+                    stats.global_accesses += 1;
+                    let old = global.read(a, *ty);
+                    let (new, ret) = eval::eval_atomic(*op, *ty, old, &ops);
+                    global.write(a, *ty, new);
+                    ret
+                }
+                AddressSpace::Local => {
+                    stats.local_accesses += 1;
+                    let (var, off) = mem::split_local(a);
+                    let old = locals.get(var).map(|l| l.read_scalar(off, *ty)).unwrap_or(0);
+                    let (new, ret) = eval::eval_atomic(*op, *ty, old, &ops);
+                    if let Some(l) = locals.get_mut(var) {
+                        l.write_scalar(off, *ty, new);
+                    }
+                    ret
+                }
+                AddressSpace::Private => 0,
+            }
+        }
+        InstKind::Phi { incoming } => {
+            let (_, pv) = incoming
+                .iter()
+                .find(|(p, _)| *p == wi.prev_block)
+                .expect("phi has no incoming for predecessor");
+            wi.env[pv.0 as usize]
+        }
+    };
+    wi.env[v.0 as usize] = result;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::lower;
+    use soff_frontend::compile;
+    use soff_frontend::types::Scalar;
+
+    fn compile_kernel(src: &str) -> Kernel {
+        let p = compile(src, &[]).unwrap();
+        let m = lower(&p).unwrap();
+        for k in &m.kernels {
+            crate::verify::verify(k).unwrap_or_else(|e| panic!("{e}\n{}", k.display()));
+        }
+        m.kernels.into_iter().next().unwrap()
+    }
+
+    fn f32s(bytes: &[u8]) -> Vec<f32> {
+        bytes.chunks(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+    }
+
+    fn i32s(bytes: &[u8]) -> Vec<i32> {
+        bytes.chunks(4).map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+    }
+
+    #[test]
+    fn vector_add() {
+        let k = compile_kernel(
+            "__kernel void vadd(__global float* a, __global float* b, __global float* c) {
+                int i = get_global_id(0);
+                c[i] = a[i] + b[i];
+            }",
+        );
+        let mut g = GlobalMemory::new();
+        let (a, b, c) = (g.alloc(64), g.alloc(64), g.alloc(64));
+        for i in 0..16u32 {
+            g.buffer_mut(a).write_scalar(i as u64 * 4, Scalar::F32, (i as f32).to_bits() as u64);
+            g.buffer_mut(b)
+                .write_scalar(i as u64 * 4, Scalar::F32, (2.0 * i as f32).to_bits() as u64);
+        }
+        run(
+            &k,
+            &NdRange::dim1(16, 4),
+            &[ArgValue::Buffer(a), ArgValue::Buffer(b), ArgValue::Buffer(c)],
+            &mut g,
+            DEFAULT_BUDGET,
+        )
+        .unwrap();
+        let out = f32s(g.buffer(c).bytes());
+        for i in 0..16 {
+            assert_eq!(out[i], 3.0 * i as f32);
+        }
+    }
+
+    #[test]
+    fn loop_accumulation() {
+        let k = compile_kernel(
+            "__kernel void dotrow(__global float* m, __global float* v, __global float* o, int n) {
+                int r = get_global_id(0);
+                float acc = 0.0f;
+                for (int j = 0; j < n; j++) acc += m[r * n + j] * v[j];
+                o[r] = acc;
+            }",
+        );
+        let n = 8u64;
+        let mut g = GlobalMemory::new();
+        let m = g.alloc((n * n * 4) as usize);
+        let v = g.alloc((n * 4) as usize);
+        let o = g.alloc((n * 4) as usize);
+        for i in 0..n * n {
+            g.buffer_mut(m).write_scalar(i * 4, Scalar::F32, (1.0f32).to_bits() as u64);
+        }
+        for i in 0..n {
+            g.buffer_mut(v).write_scalar(i * 4, Scalar::F32, (i as f32).to_bits() as u64);
+        }
+        run(
+            &k,
+            &NdRange::dim1(n, 4),
+            &[
+                ArgValue::Buffer(m),
+                ArgValue::Buffer(v),
+                ArgValue::Buffer(o),
+                ArgValue::Scalar(n),
+            ],
+            &mut g,
+            DEFAULT_BUDGET,
+        )
+        .unwrap();
+        let out = f32s(g.buffer(o).bytes());
+        let expect: f32 = (0..n).map(|x| x as f32).sum();
+        for r in 0..n as usize {
+            assert_eq!(out[r], expect);
+        }
+    }
+
+    #[test]
+    fn barrier_reversal_in_local_memory() {
+        let k = compile_kernel(
+            "__kernel void rev(__global float* a) {
+                __local float t[8];
+                int l = get_local_id(0);
+                int g = get_global_id(0);
+                t[l] = a[g];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[g] = t[7 - l];
+            }",
+        );
+        let mut g = GlobalMemory::new();
+        let a = g.alloc(16 * 4);
+        for i in 0..16u64 {
+            g.buffer_mut(a).write_scalar(i * 4, Scalar::F32, (i as f32).to_bits() as u64);
+        }
+        run(&k, &NdRange::dim1(16, 8), &[ArgValue::Buffer(a)], &mut g, DEFAULT_BUDGET).unwrap();
+        let out = f32s(g.buffer(a).bytes());
+        // Each group of 8 is reversed in place.
+        for i in 0..8 {
+            assert_eq!(out[i], (7 - i) as f32);
+            assert_eq!(out[8 + i], (15 - i) as f32);
+        }
+    }
+
+    #[test]
+    fn atomics_histogram() {
+        let k = compile_kernel(
+            "__kernel void hist(__global int* data, __global int* bins) {
+                int i = get_global_id(0);
+                atomic_add(&bins[data[i] % 4], 1);
+            }",
+        );
+        let mut g = GlobalMemory::new();
+        let d = g.alloc(64 * 4);
+        let b = g.alloc(4 * 4);
+        for i in 0..64u64 {
+            g.buffer_mut(d).write_scalar(i * 4, Scalar::I32, i % 7);
+        }
+        run(
+            &k,
+            &NdRange::dim1(64, 16),
+            &[ArgValue::Buffer(d), ArgValue::Buffer(b)],
+            &mut g,
+            DEFAULT_BUDGET,
+        )
+        .unwrap();
+        let bins = i32s(g.buffer(b).bytes());
+        assert_eq!(bins.iter().sum::<i32>(), 64);
+        // Match a host-side histogram.
+        let mut expect = [0i32; 4];
+        for i in 0..64 {
+            expect[(i % 7) % 4] += 1;
+        }
+        assert_eq!(bins, expect);
+    }
+
+    #[test]
+    fn break_continue_return_semantics() {
+        let k = compile_kernel(
+            "__kernel void f(__global int* a, int n) {
+                int i = get_global_id(0);
+                int s = 0;
+                for (int j = 0; j < n; j++) {
+                    if (j == 5) break;
+                    if (j % 2 == 1) continue;
+                    s += j;
+                }
+                if (i == 0) { a[0] = s; return; }
+                a[i] = -s;
+            }",
+        );
+        let mut g = GlobalMemory::new();
+        let a = g.alloc(4 * 4);
+        run(
+            &k,
+            &NdRange::dim1(4, 4),
+            &[ArgValue::Buffer(a), ArgValue::Scalar(100)],
+            &mut g,
+            DEFAULT_BUDGET,
+        )
+        .unwrap();
+        let out = i32s(g.buffer(a).bytes());
+        // s = 0 + 2 + 4 = 6
+        assert_eq!(out, vec![6, -6, -6, -6]);
+    }
+
+    #[test]
+    fn private_array_indexing() {
+        let k = compile_kernel(
+            "__kernel void f(__global int* a) {
+                int t[4];
+                int i = get_global_id(0);
+                for (int j = 0; j < 4; j++) t[j] = j * 10 + i;
+                a[i] = t[i % 4];
+            }",
+        );
+        let mut g = GlobalMemory::new();
+        let a = g.alloc(8 * 4);
+        run(&k, &NdRange::dim1(8, 4), &[ArgValue::Buffer(a)], &mut g, DEFAULT_BUDGET).unwrap();
+        let out = i32s(g.buffer(a).bytes());
+        for i in 0..8usize {
+            assert_eq!(out[i], ((i % 4) * 10 + i) as i32);
+        }
+    }
+
+    #[test]
+    fn helper_inlining() {
+        let k = compile_kernel(
+            "float f3(float x) { if (x < 0.0f) return -x; return x; }
+             __kernel void f(__global float* a) {
+                int i = get_global_id(0);
+                a[i] = f3(a[i] - 4.0f);
+             }",
+        );
+        let mut g = GlobalMemory::new();
+        let a = g.alloc(8 * 4);
+        for i in 0..8u64 {
+            g.buffer_mut(a).write_scalar(i * 4, Scalar::F32, (i as f32).to_bits() as u64);
+        }
+        run(&k, &NdRange::dim1(8, 8), &[ArgValue::Buffer(a)], &mut g, DEFAULT_BUDGET).unwrap();
+        let out = f32s(g.buffer(a).bytes());
+        for i in 0..8usize {
+            assert_eq!(out[i], (i as f32 - 4.0).abs());
+        }
+    }
+
+    #[test]
+    fn timeout_on_infinite_loop() {
+        let k = compile_kernel(
+            "__kernel void f(__global int* a) {
+                while (a[0] == 0) { }
+                a[1] = 1;
+            }",
+        );
+        let mut g = GlobalMemory::new();
+        let a = g.alloc(16);
+        let r = run(&k, &NdRange::dim1(1, 1), &[ArgValue::Buffer(a)], &mut g, 10_000);
+        assert!(matches!(r, Err(InterpError::Timeout { .. })));
+    }
+
+    #[test]
+    fn two_dimensional_ids() {
+        let k = compile_kernel(
+            "__kernel void f(__global int* a) {
+                int x = get_global_id(0);
+                int y = get_global_id(1);
+                int w = get_global_size(0);
+                a[y * w + x] = x * 100 + y;
+            }",
+        );
+        let mut g = GlobalMemory::new();
+        let a = g.alloc(4 * 4 * 4);
+        run(
+            &k,
+            &NdRange::dim2([4, 4], [2, 2]),
+            &[ArgValue::Buffer(a)],
+            &mut g,
+            DEFAULT_BUDGET,
+        )
+        .unwrap();
+        let out = i32s(g.buffer(a).bytes());
+        for y in 0..4usize {
+            for x in 0..4usize {
+                assert_eq!(out[y * 4 + x], (x * 100 + y) as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn local_pointer_argument() {
+        let k = compile_kernel(
+            "__kernel void f(__global float* a, __local float* tmp) {
+                int l = get_local_id(0);
+                tmp[l] = a[get_global_id(0)] * 2.0f;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[get_global_id(0)] = tmp[(l + 1) % 4];
+            }",
+        );
+        let mut g = GlobalMemory::new();
+        let a = g.alloc(4 * 4);
+        for i in 0..4u64 {
+            g.buffer_mut(a).write_scalar(i * 4, Scalar::F32, (i as f32).to_bits() as u64);
+        }
+        run(
+            &k,
+            &NdRange::dim1(4, 4),
+            &[ArgValue::Buffer(a), ArgValue::LocalSize(4 * 4)],
+            &mut g,
+            DEFAULT_BUDGET,
+        )
+        .unwrap();
+        let out = f32s(g.buffer(a).bytes());
+        assert_eq!(out, vec![2.0, 4.0, 6.0, 0.0]);
+    }
+}
+
+#[cfg(test)]
+mod divergence_tests {
+    use super::*;
+    use crate::build::lower;
+    use soff_frontend::compile;
+
+    /// Work-items of one group reaching *different* barriers is undefined
+    /// behaviour per the OpenCL spec; the interpreter reports it instead
+    /// of hanging.
+    #[test]
+    fn divergent_barrier_is_reported() {
+        let p = compile(
+            "__kernel void div(__global int* a) {
+                __local int t[4];
+                int l = get_local_id(0);
+                if (l < 2) {
+                    t[l] = 1;
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                } else {
+                    t[l] = 2;
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                }
+                a[l] = t[(l + 1) % 4];
+            }",
+            &[],
+        )
+        .unwrap();
+        let m = lower(&p).unwrap();
+        let mut gm = GlobalMemory::new();
+        let a = gm.alloc(16);
+        let r = run(
+            &m.kernels[0],
+            &NdRange::dim1(4, 4),
+            &[ArgValue::Buffer(a)],
+            &mut gm,
+            DEFAULT_BUDGET,
+        );
+        assert_eq!(r.unwrap_err(), InterpError::BarrierDivergence);
+    }
+}

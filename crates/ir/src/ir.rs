@@ -1,0 +1,512 @@
+//! Core SSA intermediate representation.
+//!
+//! Kernels are lowered into a conventional SSA CFG (§III-C2 of the paper):
+//! every private scalar becomes an SSA value, user function calls are
+//! inlined during lowering, and a work-group barrier always starts a new
+//! basic block. Alongside the CFG, lowering records a *control tree*
+//! ([`crate::ctree::Region`]) describing the structured shape of the kernel,
+//! which datapath generation consumes.
+
+use soff_frontend::ast::BinOp;
+use soff_frontend::builtins::{AtomicOp, MathFunc, WorkItemQuery};
+use soff_frontend::types::{AddressSpace, Scalar};
+use std::fmt;
+
+use crate::ctree::Region;
+
+/// Index of an SSA value within a [`Kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Index of a basic block within a [`Kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// A compiled module: one [`Kernel`] per `__kernel` function.
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// Kernels in source order.
+    pub kernels: Vec<Kernel>,
+}
+
+impl Module {
+    /// Finds a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&Kernel> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
+/// How a kernel argument is passed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamKind {
+    /// A scalar value of the given type.
+    Scalar(Scalar),
+    /// A pointer to a buffer in `space` (`Global` or `Constant`): the host
+    /// binds a buffer object; the argument value is the buffer's base
+    /// address.
+    Buffer {
+        /// Address space the pointer refers to.
+        space: AddressSpace,
+        /// Element size in bytes (for diagnostics only).
+        elem_size: u32,
+    },
+    /// A `__local` pointer argument: the host specifies a size and the
+    /// compiler allocates a local memory block for it.
+    LocalPointer {
+        /// Element size in bytes.
+        elem_size: u32,
+        /// Index into [`Kernel::local_vars`] of the backing block.
+        var: usize,
+    },
+}
+
+/// A kernel parameter.
+#[derive(Debug, Clone)]
+pub struct KernelParam {
+    /// Source name.
+    pub name: String,
+    /// How it is passed.
+    pub kind: ParamKind,
+}
+
+/// A `__local` variable: one embedded-memory block per variable (§V-B).
+#[derive(Debug, Clone)]
+pub struct LocalVar {
+    /// Source name.
+    pub name: String,
+    /// Size in bytes per work-group. For `__local` pointer arguments this
+    /// is 0 until the host sets the argument size.
+    pub size: u64,
+    /// Natural access granularity in bytes (the declared element size).
+    pub elem_size: u32,
+}
+
+/// An SSA instruction. The result type is stored alongside in
+/// [`Instr::ty`]; instructions that produce no value have type `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstKind {
+    /// An integer/float constant, stored as canonical raw bits
+    /// (zero-extended to 64 bits).
+    Const(u64),
+    /// The value of kernel argument `index` (scalar value or buffer base
+    /// address).
+    Param(usize),
+    /// A work-item identity query for compile-time dimension `dim`.
+    WorkItem(WorkItemQuery, u8),
+    /// Base address of `__local` variable `var`.
+    LocalBase(usize),
+    /// Base address (byte offset within the work-item's private segment)
+    /// of a private-memory-backed variable.
+    PrivBase(u64),
+    /// Binary operation over operands of scalar type `ty` (the result is
+    /// `I32` for comparisons, `ty` otherwise — see [`Instr::ty`]).
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Operand scalar type, which determines signedness and width.
+        ty: Scalar,
+        /// Left operand.
+        a: ValueId,
+        /// Right operand.
+        b: ValueId,
+    },
+    /// Unary negation/complement over `ty`.
+    Un {
+        /// Operator (`Neg`, `Not`, `LogNot`).
+        op: soff_frontend::ast::UnOp,
+        /// Operand scalar type.
+        ty: Scalar,
+        /// Operand.
+        a: ValueId,
+    },
+    /// Numeric conversion.
+    Cast {
+        /// Source scalar type.
+        from: Scalar,
+        /// Destination scalar type.
+        to: Scalar,
+        /// Operand.
+        a: ValueId,
+    },
+    /// `cond ? a : b` without control flow.
+    Select {
+        /// Condition (any integer; non-zero selects `a`).
+        cond: ValueId,
+        /// Value when non-zero.
+        a: ValueId,
+        /// Value when zero.
+        b: ValueId,
+    },
+    /// A floating-point math builtin.
+    Math {
+        /// Which function.
+        func: MathFunc,
+        /// Operand/result scalar type (`F32` or `F64`).
+        ty: Scalar,
+        /// Arguments (`arity()` of them).
+        args: Vec<ValueId>,
+    },
+    /// Memory load of a `ty` from `addr` in `space`.
+    Load {
+        /// Address space accessed.
+        space: AddressSpace,
+        /// Byte address.
+        addr: ValueId,
+        /// Loaded scalar type.
+        ty: Scalar,
+    },
+    /// Memory store.
+    Store {
+        /// Address space accessed.
+        space: AddressSpace,
+        /// Byte address.
+        addr: ValueId,
+        /// Value to store.
+        value: ValueId,
+        /// Stored scalar type.
+        ty: Scalar,
+    },
+    /// Atomic read-modify-write; produces the old value.
+    Atomic {
+        /// Operation.
+        op: AtomicOp,
+        /// `Global` or `Local`.
+        space: AddressSpace,
+        /// Byte address.
+        addr: ValueId,
+        /// Value operands (0, 1, or 2 of them).
+        operands: Vec<ValueId>,
+        /// Element scalar type.
+        ty: Scalar,
+    },
+    /// SSA phi; one incoming value per predecessor block.
+    Phi {
+        /// `(pred, value)` pairs.
+        incoming: Vec<(BlockId, ValueId)>,
+    },
+}
+
+/// An instruction together with its result type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    /// The operation.
+    pub kind: InstKind,
+    /// Result type; `None` for stores.
+    pub ty: Option<Scalar>,
+}
+
+impl Instr {
+    /// Appends the value operands of this instruction to `out`.
+    pub fn operands(&self, out: &mut Vec<ValueId>) {
+        match &self.kind {
+            InstKind::Const(_)
+            | InstKind::Param(_)
+            | InstKind::WorkItem(..)
+            | InstKind::LocalBase(_)
+            | InstKind::PrivBase(_) => {}
+            InstKind::Bin { a, b, .. } => {
+                out.push(*a);
+                out.push(*b);
+            }
+            InstKind::Un { a, .. } | InstKind::Cast { a, .. } => out.push(*a),
+            InstKind::Select { cond, a, b } => {
+                out.push(*cond);
+                out.push(*a);
+                out.push(*b);
+            }
+            InstKind::Math { args, .. } => out.extend(args.iter().copied()),
+            InstKind::Load { addr, .. } => out.push(*addr),
+            InstKind::Store { addr, value, .. } => {
+                out.push(*addr);
+                out.push(*value);
+            }
+            InstKind::Atomic { addr, operands, .. } => {
+                out.push(*addr);
+                out.extend(operands.iter().copied());
+            }
+            InstKind::Phi { incoming } => out.extend(incoming.iter().map(|(_, v)| *v)),
+        }
+    }
+
+    /// Whether this instruction's value is *launch-invariant*: the same
+    /// for every work-item of a kernel execution. Uniform values are not
+    /// routed through the datapath — they live in the argument register /
+    /// are hardwired literals (Fig. 2) — so they never appear in live sets
+    /// or as DFG nodes.
+    pub fn is_uniform(&self) -> bool {
+        matches!(
+            self.kind,
+            InstKind::Const(_)
+                | InstKind::Param(_)
+                | InstKind::LocalBase(_)
+                | InstKind::PrivBase(_)
+        )
+    }
+
+    /// Whether this is a memory access (load/store/atomic).
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self.kind,
+            InstKind::Load { .. } | InstKind::Store { .. } | InstKind::Atomic { .. }
+        )
+    }
+
+    /// Whether this instruction writes memory.
+    pub fn writes_memory(&self) -> bool {
+        matches!(self.kind, InstKind::Store { .. } | InstKind::Atomic { .. })
+    }
+
+    /// The address space accessed, if this is a memory access.
+    pub fn mem_space(&self) -> Option<AddressSpace> {
+        match self.kind {
+            InstKind::Load { space, .. }
+            | InstKind::Store { space, .. }
+            | InstKind::Atomic { space, .. } => Some(space),
+            _ => None,
+        }
+    }
+}
+
+/// How a basic block ends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Br(BlockId),
+    /// Two-way branch on a non-zero test of `cond`.
+    CondBr {
+        /// The branch condition value.
+        cond: ValueId,
+        /// Target when non-zero.
+        then: BlockId,
+        /// Target when zero.
+        els: BlockId,
+    },
+    /// Kernel (work-item) completion.
+    Ret,
+}
+
+impl Terminator {
+    /// Successor blocks.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br(b) => vec![*b],
+            Terminator::CondBr { then, els, .. } => vec![*then, *els],
+            Terminator::Ret => vec![],
+        }
+    }
+}
+
+/// A basic block: an ordered list of instructions plus a terminator.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Instructions in program order (phis first).
+    pub instrs: Vec<ValueId>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+/// A compiled kernel.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name.
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<KernelParam>,
+    /// `__local` memory blocks.
+    pub local_vars: Vec<LocalVar>,
+    /// All SSA values.
+    pub values: Vec<Instr>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// The control tree.
+    pub ctree: Region,
+    /// Blocks whose (unconditional) terminator crosses a work-group
+    /// barrier, with the fence flags. Lowering gives each barrier a
+    /// dedicated single-predecessor successor block, so this is
+    /// unambiguous.
+    pub barrier_after: Vec<(BlockId, u32)>,
+    /// Bytes of private memory each work-item needs (address-taken
+    /// scalars and private arrays).
+    pub private_bytes: u64,
+    /// Whether the kernel contains a work-group barrier.
+    pub uses_barrier: bool,
+    /// Whether the kernel contains atomic operations.
+    pub uses_atomics: bool,
+    /// Whether the kernel reads or writes `__local` memory.
+    pub uses_local: bool,
+}
+
+impl Kernel {
+    /// The instruction defining `v`.
+    pub fn instr(&self, v: ValueId) -> &Instr {
+        &self.values[v.0 as usize]
+    }
+
+    /// The block with id `b`.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.0 as usize]
+    }
+
+    /// Computes the predecessor lists of every block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            for s in b.term.successors() {
+                preds[s.0 as usize].push(BlockId(i as u32));
+            }
+        }
+        preds
+    }
+
+    /// Iterates over `(BlockId, &Block)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// A human-readable listing of the kernel, for debugging and tests.
+    pub fn display(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "kernel {}({} params)", self.name, self.params.len());
+        for (bid, b) in self.iter_blocks() {
+            let _ = writeln!(s, "{bid}:");
+            for &v in &b.instrs {
+                let i = self.instr(v);
+                let _ = writeln!(s, "  {v} = {:?}", i.kind);
+            }
+            let _ = writeln!(s, "  {:?}", b.term);
+        }
+        s
+    }
+}
+
+/// The dimensions of an NDRange (§II-B1): up to three dimensions of
+/// global size plus a work-group size per dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NdRange {
+    /// Number of dimensions actually used (1–3).
+    pub work_dim: u32,
+    /// Global work size per dimension (unused dims are 1).
+    pub global: [u64; 3],
+    /// Work-group size per dimension (must divide `global`).
+    pub local: [u64; 3],
+}
+
+impl NdRange {
+    /// One-dimensional NDRange.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` does not divide `global` or either is 0.
+    pub fn dim1(global: u64, local: u64) -> Self {
+        assert!(global > 0 && local > 0 && global % local == 0, "invalid NDRange");
+        NdRange { work_dim: 1, global: [global, 1, 1], local: [local, 1, 1] }
+    }
+
+    /// Two-dimensional NDRange.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any local size does not divide the global size or is 0.
+    pub fn dim2(global: [u64; 2], local: [u64; 2]) -> Self {
+        assert!(
+            global.iter().zip(&local).all(|(g, l)| *g > 0 && *l > 0 && g % l == 0),
+            "invalid NDRange"
+        );
+        NdRange {
+            work_dim: 2,
+            global: [global[0], global[1], 1],
+            local: [local[0], local[1], 1],
+        }
+    }
+
+    /// Three-dimensional NDRange.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any local size does not divide the global size or is 0.
+    pub fn dim3(global: [u64; 3], local: [u64; 3]) -> Self {
+        assert!(
+            global.iter().zip(&local).all(|(g, l)| *g > 0 && *l > 0 && g % l == 0),
+            "invalid NDRange"
+        );
+        NdRange { work_dim: 3, global, local }
+    }
+
+    /// Total number of work-items.
+    pub fn total_work_items(&self) -> u64 {
+        self.global.iter().product()
+    }
+
+    /// Number of work-items per work-group.
+    pub fn work_group_size(&self) -> u64 {
+        self.local.iter().product()
+    }
+
+    /// Number of work-groups.
+    pub fn num_groups(&self) -> u64 {
+        (0..3).map(|d| self.global[d] / self.local[d]).product()
+    }
+
+    /// Number of work-groups along dimension `d`.
+    pub fn groups_in_dim(&self, d: usize) -> u64 {
+        self.global[d] / self.local[d]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndrange_counts() {
+        let nd = NdRange::dim2([64, 32], [8, 4]);
+        assert_eq!(nd.total_work_items(), 2048);
+        assert_eq!(nd.work_group_size(), 32);
+        assert_eq!(nd.num_groups(), 64);
+        assert_eq!(nd.groups_in_dim(0), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid NDRange")]
+    fn ndrange_rejects_nondividing_local() {
+        let _ = NdRange::dim1(10, 3);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Br(BlockId(3)).successors(), vec![BlockId(3)]);
+        assert_eq!(Terminator::Ret.successors(), vec![]);
+        let t = Terminator::CondBr { cond: ValueId(0), then: BlockId(1), els: BlockId(2) };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn instr_operand_collection() {
+        let i = Instr {
+            kind: InstKind::Select { cond: ValueId(1), a: ValueId(2), b: ValueId(3) },
+            ty: Some(Scalar::I32),
+        };
+        let mut ops = Vec::new();
+        i.operands(&mut ops);
+        assert_eq!(ops, vec![ValueId(1), ValueId(2), ValueId(3)]);
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(ValueId(7).to_string(), "%7");
+        assert_eq!(BlockId(2).to_string(), "B2");
+    }
+}

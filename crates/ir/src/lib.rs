@@ -1,0 +1,57 @@
+//! # soff-ir
+//!
+//! SSA intermediate representation and analyses for the SOFF OpenCL HLS
+//! framework, mirroring the compilation flow of Fig. 3 (b) in the paper:
+//!
+//! 1. [`build::lower`] — typed AST → SSA CFG with all user calls inlined,
+//!    private scalars promoted to SSA, and a control tree recorded;
+//! 2. [`liveness::liveness`] — live-variable analysis;
+//! 3. [`pointer::analyze`] — buffer provenance (pointer) analysis;
+//! 4. [`dfg::build_all`] — per-block data flow graphs with anti/output
+//!    dependence edges and sink completion edges;
+//! 5. [`verify::verify`] — IR well-formedness checking;
+//! 6. [`interp`] — a reference interpreter used as the correctness oracle
+//!    for the cycle-level simulator.
+//!
+//! ## Example
+//!
+//! ```
+//! use soff_ir::{build, interp, ir::NdRange, mem};
+//!
+//! let src = "__kernel void scale(__global float* a, float s) {
+//!     a[get_global_id(0)] *= s;
+//! }";
+//! let parsed = soff_frontend::compile(src, &[]).unwrap();
+//! let module = build::lower(&parsed).unwrap();
+//! let kernel = module.kernel("scale").unwrap();
+//!
+//! let mut gm = mem::GlobalMemory::new();
+//! let buf = gm.alloc(4 * 4);
+//! for i in 0..4u64 {
+//!     gm.buffer_mut(buf).write_scalar(i * 4, soff_frontend::types::Scalar::F32,
+//!         (i as f32).to_bits() as u64);
+//! }
+//! interp::run(
+//!     kernel,
+//!     &NdRange::dim1(4, 2),
+//!     &[mem::ArgValue::Buffer(buf), mem::ArgValue::Scalar((3.0f32).to_bits() as u64)],
+//!     &mut gm,
+//!     interp::DEFAULT_BUDGET,
+//! ).unwrap();
+//! assert_eq!(gm.buffer(buf).read_scalar(4, soff_frontend::types::Scalar::F32),
+//!            (3.0f32).to_bits() as u64);
+//! ```
+
+pub mod build;
+pub mod ctree;
+pub mod dfg;
+pub mod eval;
+pub mod interp;
+pub mod ir;
+pub mod liveness;
+pub mod mem;
+pub mod opt;
+pub mod pointer;
+pub mod verify;
+
+pub use ir::{Kernel, Module, NdRange};

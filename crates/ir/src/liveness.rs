@@ -1,0 +1,212 @@
+//! Live-variable analysis (§III-C2, Fig. 3 (b)).
+//!
+//! Computes, for every basic block, the set of SSA values live on entry
+//! and on exit. These sets become the *live variable* signatures that flow
+//! between basic pipelines in the datapath: the token a pipeline passes to
+//! its successor carries exactly the live-out values.
+//!
+//! Phi nodes are handled edge-wise, as usual: a phi's operands are live-out
+//! of the corresponding predecessor (not live-in of the phi's block), and
+//! the phi itself is live-in to its own block (it is materialized by the
+//! glue logic's value routing, not by a functional unit).
+
+use crate::ir::{BlockId, InstKind, Kernel, Terminator, ValueId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-block liveness sets. `BTreeSet` keeps signatures in deterministic
+/// order, which the datapath builder relies on.
+#[derive(Debug, Clone, Default)]
+pub struct Liveness {
+    /// Values live on entry to each block (including the block's phis).
+    pub live_in: Vec<BTreeSet<ValueId>>,
+    /// Values live on exit of each block, per successor edge:
+    /// `live_out_edge[(from, to)]` includes phi contributions along that
+    /// edge.
+    pub edge_live: HashMap<(BlockId, BlockId), BTreeSet<ValueId>>,
+    /// Union of edge live-outs per block.
+    pub live_out: Vec<BTreeSet<ValueId>>,
+}
+
+/// Computes liveness for a kernel.
+pub fn liveness(k: &Kernel) -> Liveness {
+    let n = k.blocks.len();
+    let mut live_in: Vec<BTreeSet<ValueId>> = vec![BTreeSet::new(); n];
+    let mut live_out: Vec<BTreeSet<ValueId>> = vec![BTreeSet::new(); n];
+
+    // Per-block use/def (phis excluded from uses; they are edge uses).
+    let mut defs: Vec<BTreeSet<ValueId>> = vec![BTreeSet::new(); n];
+    let mut uses: Vec<BTreeSet<ValueId>> = vec![BTreeSet::new(); n];
+    // Phi uses attributed to predecessor blocks: pred -> values used there.
+    let mut phi_uses: Vec<BTreeSet<ValueId>> = vec![BTreeSet::new(); n];
+    // Phi defs per block.
+    let mut phi_defs: Vec<BTreeSet<ValueId>> = vec![BTreeSet::new(); n];
+
+    let mut ops = Vec::new();
+    for (bi, b) in k.blocks.iter().enumerate() {
+        for &v in &b.instrs {
+            let inst = k.instr(v);
+            if let InstKind::Phi { incoming } = &inst.kind {
+                phi_defs[bi].insert(v);
+                defs[bi].insert(v);
+                for (pred, pv) in incoming {
+                    if !k.instr(*pv).is_uniform() {
+                        phi_uses[pred.0 as usize].insert(*pv);
+                    }
+                }
+            } else {
+                ops.clear();
+                inst.operands(&mut ops);
+                for &o in &ops {
+                    if !defs[bi].contains(&o) && !k.instr(o).is_uniform() {
+                        uses[bi].insert(o);
+                    }
+                }
+                defs[bi].insert(v);
+            }
+        }
+        if let Terminator::CondBr { cond, .. } = &b.term {
+            if !defs[bi].contains(cond) && !k.instr(*cond).is_uniform() {
+                uses[bi].insert(*cond);
+            }
+        }
+    }
+
+    // Iterate to a fixed point (backward dataflow).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..n).rev() {
+            let b = &k.blocks[bi];
+            let mut out: BTreeSet<ValueId> = BTreeSet::new();
+            for s in b.term.successors() {
+                let si = s.0 as usize;
+                // live-in of successor minus its phi defs...
+                for &v in &live_in[si] {
+                    if !phi_defs[si].contains(&v) {
+                        out.insert(v);
+                    }
+                }
+                // ...plus the phi operands flowing along this edge.
+                for &ph in &phi_defs[si] {
+                    if let InstKind::Phi { incoming } = &k.instr(ph).kind {
+                        for (pred, pv) in incoming {
+                            if pred.0 as usize == bi && !k.instr(*pv).is_uniform() {
+                                out.insert(*pv);
+                            }
+                        }
+                    }
+                }
+            }
+            // A value used by a phi in a successor is already covered above;
+            // `phi_uses` guards against multi-edge subtleties.
+            let _ = &phi_uses;
+
+            let mut inn: BTreeSet<ValueId> = uses[bi].clone();
+            for &v in &out {
+                if !defs[bi].contains(&v) {
+                    inn.insert(v);
+                }
+            }
+            // Phis are live-in to their own block.
+            for &ph in &phi_defs[bi] {
+                inn.insert(ph);
+            }
+            if out != live_out[bi] {
+                live_out[bi] = out;
+                changed = true;
+            }
+            if inn != live_in[bi] {
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    // Edge-wise live sets.
+    let mut edge_live = HashMap::new();
+    for (bi, b) in k.blocks.iter().enumerate() {
+        for s in b.term.successors() {
+            let si = s.0 as usize;
+            let mut set = BTreeSet::new();
+            for &v in &live_in[si] {
+                if !phi_defs[si].contains(&v) {
+                    set.insert(v);
+                }
+            }
+            for &ph in &phi_defs[si] {
+                if let InstKind::Phi { incoming } = &k.instr(ph).kind {
+                    for (pred, pv) in incoming {
+                        if pred.0 as usize == bi && !k.instr(*pv).is_uniform() {
+                            set.insert(*pv);
+                        }
+                    }
+                }
+            }
+            edge_live.insert((BlockId(bi as u32), s), set);
+        }
+    }
+
+    Liveness { live_in, edge_live, live_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::lower;
+    use soff_frontend::compile;
+
+    fn kernel(src: &str) -> Kernel {
+        let p = compile(src, &[]).unwrap();
+        lower(&p).unwrap().kernels.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn straight_line_liveness_is_empty_at_entry() {
+        let k = kernel(
+            "__kernel void k(__global float* a) {
+                int i = get_global_id(0);
+                a[i] = a[i] + 1.0f;
+            }",
+        );
+        let lv = liveness(&k);
+        assert!(lv.live_in[0].is_empty());
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_across_backedge() {
+        let k = kernel(
+            "__kernel void k(__global float* a, int n) {
+                float acc = 0.0f;
+                for (int i = 0; i < n; i++) acc += a[i];
+                a[0] = acc;
+            }",
+        );
+        let lv = liveness(&k);
+        // Some block must have a non-empty live-in (the loop header carries
+        // acc, i, n, and the buffer base).
+        let max_live = lv.live_in.iter().map(|s| s.len()).max().unwrap();
+        // acc and i are loop-carried (kernel args are uniform and excluded).
+        assert!(max_live >= 2, "expected loop-carried values, got {max_live}");
+    }
+
+    #[test]
+    fn edge_live_contains_phi_operand() {
+        let k = kernel(
+            "__kernel void k(__global int* a, int n) {
+                int x = 0;
+                if (n > 0) x = 1;
+                a[0] = x;
+            }",
+        );
+        let lv = liveness(&k);
+        // Every CFG edge must have an edge-live set recorded.
+        let mut edges = 0;
+        for (bi, b) in k.iter_blocks() {
+            for s in b.term.successors() {
+                assert!(lv.edge_live.contains_key(&(bi, s)));
+                edges += 1;
+            }
+        }
+        assert!(edges >= 3);
+    }
+}

@@ -1,0 +1,235 @@
+//! Post-lowering cleanup passes.
+//!
+//! The Braun SSA construction used by [`crate::build`] can leave *trivial*
+//! phis (all operands identical, or identical-modulo-self-reference), and
+//! the guard-based canonicalization of `break`/`continue`/`return` can
+//! leave dead straight-line code. Both inflate the datapath — every value
+//! is a functional unit or a live wire — so they are removed here.
+
+use crate::ir::{InstKind, Kernel, Terminator, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// Replaces trivial phis (`phi(v, v, …)` or `phi(v, self, …)`) with their
+/// unique operand, iterating to a fixed point.
+pub fn remove_trivial_phis(k: &mut Kernel) {
+    loop {
+        // Find one round of trivial phis.
+        let mut subst: HashMap<ValueId, ValueId> = HashMap::new();
+        for (i, instr) in k.values.iter().enumerate() {
+            let id = ValueId(i as u32);
+            if let InstKind::Phi { incoming } = &instr.kind {
+                let mut unique: Option<ValueId> = None;
+                let mut trivial = true;
+                for (_, v) in incoming {
+                    if *v == id {
+                        continue; // self-reference
+                    }
+                    match unique {
+                        None => unique = Some(*v),
+                        Some(u) if u == *v => {}
+                        Some(_) => {
+                            trivial = false;
+                            break;
+                        }
+                    }
+                }
+                if trivial {
+                    if let Some(u) = unique {
+                        subst.insert(id, u);
+                    }
+                }
+            }
+        }
+        if subst.is_empty() {
+            return;
+        }
+        // Resolve substitution chains.
+        let resolve = |mut v: ValueId| {
+            let mut seen = 0;
+            while let Some(&n) = subst.get(&v) {
+                v = n;
+                seen += 1;
+                if seen > subst.len() {
+                    break; // cycle of trivial phis: keep any representative
+                }
+            }
+            v
+        };
+        // Rewrite all uses.
+        for instr in &mut k.values {
+            rewrite_operands(&mut instr.kind, &resolve);
+        }
+        for b in &mut k.blocks {
+            if let Terminator::CondBr { cond, .. } = &mut b.term {
+                *cond = resolve(*cond);
+            }
+            b.instrs.retain(|v| !subst.contains_key(v));
+        }
+        // Neutralize the detached phis so the next round does not see them
+        // as (still trivial) phis and loop forever.
+        for v in subst.keys() {
+            k.values[v.0 as usize].kind = InstKind::Const(0);
+        }
+    }
+}
+
+fn rewrite_operands(kind: &mut InstKind, resolve: &impl Fn(ValueId) -> ValueId) {
+    match kind {
+        InstKind::Const(_)
+        | InstKind::Param(_)
+        | InstKind::WorkItem(..)
+        | InstKind::LocalBase(_)
+        | InstKind::PrivBase(_) => {}
+        InstKind::Bin { a, b, .. } => {
+            *a = resolve(*a);
+            *b = resolve(*b);
+        }
+        InstKind::Un { a, .. } | InstKind::Cast { a, .. } => *a = resolve(*a),
+        InstKind::Select { cond, a, b } => {
+            *cond = resolve(*cond);
+            *a = resolve(*a);
+            *b = resolve(*b);
+        }
+        InstKind::Math { args, .. } => {
+            for a in args {
+                *a = resolve(*a);
+            }
+        }
+        InstKind::Load { addr, .. } => *addr = resolve(*addr),
+        InstKind::Store { addr, value, .. } => {
+            *addr = resolve(*addr);
+            *value = resolve(*value);
+        }
+        InstKind::Atomic { addr, operands, .. } => {
+            *addr = resolve(*addr);
+            for o in operands {
+                *o = resolve(*o);
+            }
+        }
+        InstKind::Phi { incoming } => {
+            for (_, v) in incoming {
+                *v = resolve(*v);
+            }
+        }
+    }
+}
+
+/// Dead code elimination: removes instructions whose results are unused and
+/// that have no observable effect. Stores and atomics are always live;
+/// loads are pure in this machine model and may be removed when unused.
+pub fn dce(k: &mut Kernel) {
+    let mut live: HashSet<ValueId> = HashSet::new();
+    let mut work: Vec<ValueId> = Vec::new();
+    for b in &k.blocks {
+        if let Terminator::CondBr { cond, .. } = &b.term {
+            if live.insert(*cond) {
+                work.push(*cond);
+            }
+        }
+        for &v in &b.instrs {
+            let i = &k.values[v.0 as usize];
+            if i.writes_memory() {
+                if live.insert(v) {
+                    work.push(v);
+                }
+            }
+        }
+    }
+    let mut ops = Vec::new();
+    while let Some(v) = work.pop() {
+        ops.clear();
+        k.values[v.0 as usize].operands(&mut ops);
+        for &o in &ops {
+            if live.insert(o) {
+                work.push(o);
+            }
+        }
+    }
+    for b in &mut k.blocks {
+        b.instrs.retain(|v| live.contains(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctree::Region;
+    use crate::ir::{Block, BlockId, Instr, Kernel};
+    use soff_frontend::ast::BinOp;
+    use soff_frontend::types::Scalar;
+
+    fn mk_kernel(values: Vec<Instr>, blocks: Vec<Block>) -> Kernel {
+        Kernel {
+            name: "t".into(),
+            params: vec![],
+            local_vars: vec![],
+            values,
+            blocks,
+            ctree: Region::Block(BlockId(0)),
+            barrier_after: vec![],
+            private_bytes: 0,
+            uses_barrier: false,
+            uses_atomics: false,
+            uses_local: false,
+        }
+    }
+
+    #[test]
+    fn removes_self_referencing_phi() {
+        // %0 = const 1; %1 = phi [(B0,%0), (B1,%1)]; condbr %1
+        let values = vec![
+            Instr { kind: InstKind::Const(1), ty: Some(Scalar::I32) },
+            Instr {
+                kind: InstKind::Phi {
+                    incoming: vec![(BlockId(0), ValueId(0)), (BlockId(1), ValueId(1))],
+                },
+                ty: Some(Scalar::I32),
+            },
+        ];
+        let blocks = vec![
+            Block { instrs: vec![ValueId(0)], term: Terminator::Br(BlockId(1)) },
+            Block {
+                instrs: vec![ValueId(1)],
+                term: Terminator::CondBr { cond: ValueId(1), then: BlockId(1), els: BlockId(2) },
+            },
+            Block { instrs: vec![], term: Terminator::Ret },
+        ];
+        let mut k = mk_kernel(values, blocks);
+        remove_trivial_phis(&mut k);
+        assert!(k.blocks[1].instrs.is_empty());
+        match k.blocks[1].term {
+            Terminator::CondBr { cond, .. } => assert_eq!(cond, ValueId(0)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn dce_keeps_store_chain_and_drops_dead() {
+        use soff_frontend::types::AddressSpace;
+        // %0 = const (addr), %1 = const (value), %2 = store, %3 = dead add
+        let values = vec![
+            Instr { kind: InstKind::Const(0), ty: Some(Scalar::U64) },
+            Instr { kind: InstKind::Const(7), ty: Some(Scalar::I32) },
+            Instr {
+                kind: InstKind::Store {
+                    space: AddressSpace::Global,
+                    addr: ValueId(0),
+                    value: ValueId(1),
+                    ty: Scalar::I32,
+                },
+                ty: None,
+            },
+            Instr {
+                kind: InstKind::Bin { op: BinOp::Add, ty: Scalar::I32, a: ValueId(1), b: ValueId(1) },
+                ty: Some(Scalar::I32),
+            },
+        ];
+        let blocks = vec![Block {
+            instrs: vec![ValueId(0), ValueId(1), ValueId(2), ValueId(3)],
+            term: Terminator::Ret,
+        }];
+        let mut k = mk_kernel(values, blocks);
+        dce(&mut k);
+        assert_eq!(k.blocks[0].instrs, vec![ValueId(0), ValueId(1), ValueId(2)]);
+    }
+}

@@ -1,0 +1,324 @@
+//! Pointer (provenance) analysis (§III-C2, Fig. 3 (b)).
+//!
+//! SOFF assigns a *separate cache to every OpenCL buffer* (§V-A) and
+//! inserts anti-/output-dependence edges between memory accesses that may
+//! refer to the same buffer (§III-C2). Both decisions need to know, for
+//! every address value, which buffer it can point into.
+//!
+//! The analysis is a simple forward lattice over SSA values:
+//!
+//! ```text
+//!           Mixed (may point anywhere)
+//!    /    |        |        \
+//! Arg(0) Arg(1) … Local(v)  Private
+//!    \    |        |        /
+//!          NotPointer
+//! ```
+//!
+//! Buffer base addresses ([`InstKind::Param`] of buffer parameters) start
+//! at `Arg(i)`; arithmetic keeps the pointer side's provenance; `Select`
+//! and `Phi` join. A value *loaded* from memory is `NotPointer` here, so
+//! an address computed from a loaded value (an *indirect pointer*, e.g.
+//! B+-tree child links) joins to `NotPointer` being used as an address —
+//! which callers must treat as "could be any buffer" ([`Provenance::is_unknown_global`]).
+
+use crate::ir::{InstKind, Kernel, ParamKind, ValueId};
+use soff_frontend::types::AddressSpace;
+
+/// What an SSA value can point to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// Not derived from any pointer base.
+    NotPointer,
+    /// Derived from the global/constant buffer bound to argument `i`.
+    Arg(usize),
+    /// Derived from `__local` variable `v`.
+    Local(usize),
+    /// Derived from the work-item's private segment.
+    Private,
+    /// Could be more than one of the above.
+    Mixed,
+}
+
+impl Provenance {
+    fn join(self, other: Provenance) -> Provenance {
+        use Provenance::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (NotPointer, x) | (x, NotPointer) => x,
+            _ => Mixed,
+        }
+    }
+
+    /// Whether an address with this provenance, used for a **global**
+    /// access, cannot be attributed to a single buffer argument.
+    pub fn is_unknown_global(self) -> bool {
+        !matches!(self, Provenance::Arg(_))
+    }
+}
+
+/// Result of the analysis.
+#[derive(Debug, Clone)]
+pub struct PointerAnalysis {
+    prov: Vec<Provenance>,
+}
+
+impl PointerAnalysis {
+    /// Provenance of value `v`.
+    pub fn of(&self, v: ValueId) -> Provenance {
+        self.prov[v.0 as usize]
+    }
+
+    /// Whether two memory instructions may access the same location.
+    ///
+    /// `a` and `b` are the *instruction* value ids (loads/stores/atomics).
+    pub fn may_alias(&self, k: &Kernel, a: ValueId, b: ValueId) -> bool {
+        let (sa, aa) = match addr_of(k, a) {
+            Some(x) => x,
+            None => return false,
+        };
+        let (sb, ab) = match addr_of(k, b) {
+            Some(x) => x,
+            None => return false,
+        };
+        if sa != sb {
+            return false;
+        }
+        match sa {
+            AddressSpace::Private => true, // same work-item, conservative
+            AddressSpace::Local => match (self.of(aa), self.of(ab)) {
+                (Provenance::Local(x), Provenance::Local(y)) => x == y,
+                _ => true,
+            },
+            AddressSpace::Global | AddressSpace::Constant => {
+                match (self.of(aa), self.of(ab)) {
+                    (Provenance::Arg(x), Provenance::Arg(y)) => x == y,
+                    _ => true, // unknown provenance: conservative
+                }
+            }
+        }
+    }
+}
+
+fn addr_of(k: &Kernel, v: ValueId) -> Option<(AddressSpace, ValueId)> {
+    match &k.instr(v).kind {
+        InstKind::Load { space, addr, .. } => Some((*space, *addr)),
+        InstKind::Store { space, addr, .. } => Some((*space, *addr)),
+        InstKind::Atomic { space, addr, .. } => Some((*space, *addr)),
+        _ => None,
+    }
+}
+
+/// Runs the provenance analysis over a kernel.
+pub fn analyze(k: &Kernel) -> PointerAnalysis {
+    let n = k.values.len();
+    let mut prov = vec![Provenance::NotPointer; n];
+    // Iterate to a fixed point; the lattice has height 2 so this is fast.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, instr) in k.values.iter().enumerate() {
+            let new = match &instr.kind {
+                InstKind::Param(p) => match &k.params[*p].kind {
+                    ParamKind::Buffer { .. } => Provenance::Arg(*p),
+                    ParamKind::LocalPointer { var, .. } => Provenance::Local(*var),
+                    ParamKind::Scalar(_) => Provenance::NotPointer,
+                },
+                InstKind::LocalBase(v) => Provenance::Local(*v),
+                InstKind::PrivBase(_) => Provenance::Private,
+                InstKind::Bin { a, b, .. } => prov[a.0 as usize].join(prov[b.0 as usize]),
+                InstKind::Un { a, .. } | InstKind::Cast { a, .. } => prov[a.0 as usize],
+                InstKind::Select { a, b, .. } => prov[a.0 as usize].join(prov[b.0 as usize]),
+                InstKind::Phi { incoming } => incoming
+                    .iter()
+                    .fold(Provenance::NotPointer, |acc, (_, v)| acc.join(prov[v.0 as usize])),
+                _ => Provenance::NotPointer,
+            };
+            if prov[i] != new {
+                prov[i] = new;
+                changed = true;
+            }
+        }
+    }
+    PointerAnalysis { prov }
+}
+
+/// Decides the cache-group key for every **global** memory access of a
+/// kernel: accesses in the same group must share a cache.
+///
+/// Returns `(groups, unknown_seen)` where `groups[value] = Some(group)` for
+/// memory instructions; if any global access has unknown provenance, *all*
+/// global accesses collapse into group 0 (they may alias each other).
+pub fn global_cache_groups(k: &Kernel, pa: &PointerAnalysis) -> (Vec<Option<usize>>, bool) {
+    let mut any_unknown = false;
+    let mut arg_group: Vec<Option<usize>> = vec![None; k.params.len()];
+    let mut next = 0usize;
+    // First pass: discover which buffer args are accessed and whether any
+    // access is unattributable.
+    for instr in &k.values {
+        if let Some(space) = instr.mem_space() {
+            if space == AddressSpace::Global || space == AddressSpace::Constant {
+                let addr = match &instr.kind {
+                    InstKind::Load { addr, .. }
+                    | InstKind::Store { addr, .. }
+                    | InstKind::Atomic { addr, .. } => *addr,
+                    _ => unreachable!(),
+                };
+                match pa.of(addr) {
+                    Provenance::Arg(a) => {
+                        if arg_group[a].is_none() {
+                            arg_group[a] = Some(next);
+                            next += 1;
+                        }
+                    }
+                    _ => any_unknown = true,
+                }
+            }
+        }
+    }
+    let mut groups = vec![None; k.values.len()];
+    for (i, instr) in k.values.iter().enumerate() {
+        if let Some(space) = instr.mem_space() {
+            if space == AddressSpace::Global || space == AddressSpace::Constant {
+                let addr = match &instr.kind {
+                    InstKind::Load { addr, .. }
+                    | InstKind::Store { addr, .. }
+                    | InstKind::Atomic { addr, .. } => *addr,
+                    _ => unreachable!(),
+                };
+                groups[i] = if any_unknown {
+                    Some(0)
+                } else {
+                    match pa.of(addr) {
+                        Provenance::Arg(a) => arg_group[a],
+                        _ => unreachable!("unknown handled above"),
+                    }
+                };
+            }
+        }
+    }
+    (groups, any_unknown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::lower;
+    use soff_frontend::compile;
+
+    fn kernel(src: &str) -> Kernel {
+        let p = compile(src, &[]).unwrap();
+        lower(&p).unwrap().kernels.into_iter().next().unwrap()
+    }
+
+    fn mem_instrs(k: &Kernel) -> Vec<ValueId> {
+        (0..k.values.len() as u32)
+            .map(ValueId)
+            .filter(|v| k.instr(*v).is_memory())
+            .collect()
+    }
+
+    #[test]
+    fn distinct_buffers_do_not_alias() {
+        let k = kernel(
+            "__kernel void k(__global float* a, __global float* b) {
+                int i = get_global_id(0);
+                b[i] = a[i];
+            }",
+        );
+        let pa = analyze(&k);
+        let ms = mem_instrs(&k);
+        assert_eq!(ms.len(), 2);
+        assert!(!pa.may_alias(&k, ms[0], ms[1]));
+    }
+
+    #[test]
+    fn same_buffer_aliases() {
+        let k = kernel(
+            "__kernel void k(__global float* a, int c) {
+                int i = get_global_id(0);
+                float v = a[i];
+                a[i + c] = v;
+            }",
+        );
+        let pa = analyze(&k);
+        let ms = mem_instrs(&k);
+        assert!(pa.may_alias(&k, ms[0], ms[1]));
+    }
+
+    #[test]
+    fn phi_of_two_buffers_is_mixed() {
+        let k = kernel(
+            "__kernel void k(__global float* a, __global float* b, int c) {
+                __global float* p = c ? a : b;
+                p[0] = 1.0f;
+            }",
+        );
+        let pa = analyze(&k);
+        let ms = mem_instrs(&k);
+        let addr = match &k.instr(ms[0]).kind {
+            InstKind::Store { addr, .. } => *addr,
+            _ => panic!(),
+        };
+        assert_eq!(pa.of(addr), Provenance::Mixed);
+    }
+
+    #[test]
+    fn indirect_pointer_collapses_cache_groups() {
+        // The address of the second access is loaded from memory.
+        let k = kernel(
+            "__kernel void k(__global ulong* idx, __global float* data) {
+                ulong p = idx[get_global_id(0)];
+                __global float* q = (__global float*)p;
+                q[0] = 2.0f;
+            }",
+        );
+        let pa = analyze(&k);
+        let (groups, unknown) = global_cache_groups(&k, &pa);
+        assert!(unknown);
+        let gs: Vec<usize> = groups.into_iter().flatten().collect();
+        assert!(gs.iter().all(|g| *g == 0));
+    }
+
+    #[test]
+    fn separate_groups_without_indirection() {
+        let k = kernel(
+            "__kernel void k(__global float* a, __global float* b) {
+                int i = get_global_id(0);
+                b[i] = a[i] * 2.0f;
+            }",
+        );
+        let pa = analyze(&k);
+        let (groups, unknown) = global_cache_groups(&k, &pa);
+        assert!(!unknown);
+        let mut gs: Vec<usize> = groups.into_iter().flatten().collect();
+        gs.sort_unstable();
+        gs.dedup();
+        assert_eq!(gs.len(), 2);
+    }
+
+    #[test]
+    fn local_vs_global_never_alias() {
+        let k = kernel(
+            "__kernel void k(__global float* a) {
+                __local float t[8];
+                int i = get_global_id(0);
+                t[i % 8] = a[i];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[i] = t[0];
+            }",
+        );
+        let pa = analyze(&k);
+        let ms = mem_instrs(&k);
+        // Find one local and one global access.
+        let local = ms
+            .iter()
+            .find(|v| k.instr(**v).mem_space() == Some(AddressSpace::Local))
+            .unwrap();
+        let global = ms
+            .iter()
+            .find(|v| k.instr(**v).mem_space() == Some(AddressSpace::Global))
+            .unwrap();
+        assert!(!pa.may_alias(&k, *local, *global));
+    }
+}

@@ -1,0 +1,403 @@
+//! IR well-formedness verifier.
+//!
+//! Run after lowering (and in tests after every pass) to catch compiler
+//! bugs early: SSA dominance, phi/predecessor agreement, control-tree
+//! coverage, and operand typing.
+
+use crate::ctree::Region;
+use crate::ir::{BlockId, InstKind, Kernel, Terminator, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// A verification failure, describing what invariant broke where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError(pub String);
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IR verification failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Computes immediate dominators with the classic iterative algorithm.
+///
+/// Returns `idom[b]` (`idom[entry] = entry`); unreachable blocks get the
+/// entry as a placeholder.
+pub fn dominators(k: &Kernel) -> Vec<BlockId> {
+    let n = k.blocks.len();
+    let preds = k.predecessors();
+    // Reverse postorder.
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    fn dfs(k: &Kernel, b: BlockId, seen: &mut Vec<bool>, order: &mut Vec<BlockId>) {
+        if seen[b.0 as usize] {
+            return;
+        }
+        seen[b.0 as usize] = true;
+        for s in k.block(b).term.successors() {
+            dfs(k, s, seen, order);
+        }
+        order.push(b);
+    }
+    dfs(k, BlockId(0), &mut seen, &mut order);
+    order.reverse();
+    let rpo_index: HashMap<BlockId, usize> =
+        order.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[0] = Some(BlockId(0));
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.0 as usize] {
+                if idom[p.0 as usize].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.0 as usize] != Some(ni) {
+                    idom[b.0 as usize] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom.into_iter().map(|d| d.unwrap_or(BlockId(0))).collect()
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo: &HashMap<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo.get(&a).copied().unwrap_or(usize::MAX)
+            > rpo.get(&b).copied().unwrap_or(usize::MAX)
+        {
+            a = idom[a.0 as usize].expect("idom chain");
+        }
+        while rpo.get(&b).copied().unwrap_or(usize::MAX)
+            > rpo.get(&a).copied().unwrap_or(usize::MAX)
+        {
+            b = idom[b.0 as usize].expect("idom chain");
+        }
+    }
+    a
+}
+
+/// Whether `a` dominates `b` under `idom`.
+pub fn dominates(idom: &[BlockId], a: BlockId, mut b: BlockId) -> bool {
+    loop {
+        if a == b {
+            return true;
+        }
+        let next = idom[b.0 as usize];
+        if next == b {
+            return false; // reached the entry
+        }
+        b = next;
+    }
+}
+
+/// Verifies a kernel.
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn verify(k: &Kernel) -> Result<(), VerifyError> {
+    let err = |m: String| Err(VerifyError(m));
+    let n_vals = k.values.len();
+
+    // 1. Every instruction is listed exactly once across all blocks.
+    let mut def_block: HashMap<ValueId, BlockId> = HashMap::new();
+    for (bid, b) in k.iter_blocks() {
+        for &v in &b.instrs {
+            if v.0 as usize >= n_vals {
+                return err(format!("{v} out of range in {bid}"));
+            }
+            if def_block.insert(v, bid).is_some() {
+                return err(format!("{v} listed in two blocks"));
+            }
+        }
+    }
+
+    // 2. Branch targets valid; entry has no predecessors.
+    for (bid, b) in k.iter_blocks() {
+        for s in b.term.successors() {
+            if s.0 as usize >= k.blocks.len() {
+                return err(format!("{bid} branches to nonexistent {s}"));
+            }
+        }
+    }
+    let preds = k.predecessors();
+    if !preds[0].is_empty() {
+        return err("entry block has predecessors".into());
+    }
+
+    // 3. Phis agree with predecessors; phis come first in their block.
+    for (bid, b) in k.iter_blocks() {
+        let mut past_phis = false;
+        for &v in &b.instrs {
+            match &k.instr(v).kind {
+                InstKind::Phi { incoming } => {
+                    if past_phis {
+                        return err(format!("phi {v} after non-phi in {bid}"));
+                    }
+                    let mut inc_preds: Vec<BlockId> = incoming.iter().map(|(p, _)| *p).collect();
+                    inc_preds.sort_unstable();
+                    let mut want = preds[bid.0 as usize].clone();
+                    want.sort_unstable();
+                    want.dedup();
+                    inc_preds.dedup();
+                    if inc_preds != want {
+                        return err(format!(
+                            "phi {v} in {bid}: incoming {inc_preds:?} != preds {want:?}"
+                        ));
+                    }
+                }
+                _ => past_phis = true,
+            }
+        }
+    }
+
+    // 4. SSA dominance: every use is dominated by its definition.
+    let idom = dominators(k);
+    let mut ops = Vec::new();
+    for (bid, b) in k.iter_blocks() {
+        let mut seen_here: HashSet<ValueId> = HashSet::new();
+        for &v in &b.instrs {
+            let inst = k.instr(v);
+            if let InstKind::Phi { incoming } = &inst.kind {
+                // Phi operands must be defined in (or dominate) the
+                // corresponding predecessor.
+                for (p, pv) in incoming {
+                    if let Some(db) = def_block.get(pv) {
+                        if !dominates(&idom, *db, *p) {
+                            return err(format!(
+                                "phi {v}: operand {pv} (defined in {db}) does not dominate edge from {p}"
+                            ));
+                        }
+                    }
+                }
+            } else {
+                ops.clear();
+                inst.operands(&mut ops);
+                for &o in &ops {
+                    match def_block.get(&o) {
+                        None => return err(format!("{v} uses undefined {o}")),
+                        Some(db) if *db == bid => {
+                            if !seen_here.contains(&o) {
+                                return err(format!("{v} uses {o} before its definition in {bid}"));
+                            }
+                        }
+                        Some(db) => {
+                            if !dominates(&idom, *db, bid) {
+                                return err(format!(
+                                    "{v} in {bid} uses {o} defined in non-dominating {db}"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            seen_here.insert(v);
+        }
+        if let Terminator::CondBr { cond, .. } = &b.term {
+            match def_block.get(cond) {
+                None => return err(format!("{bid} branches on undefined {cond}")),
+                Some(db) if *db != bid && !dominates(&idom, *db, bid) => {
+                    return err(format!("{bid} branch condition defined in non-dominating {db}"))
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // 5. Control tree covers every block exactly once.
+    let mut counted: HashMap<BlockId, usize> = HashMap::new();
+    for b in k.ctree.blocks() {
+        *counted.entry(b).or_insert(0) += 1;
+    }
+    for (bid, _) in k.iter_blocks() {
+        match counted.get(&bid) {
+            Some(1) => {}
+            Some(c) => return err(format!("{bid} appears {c} times in control tree")),
+            None => return err(format!("{bid} missing from control tree")),
+        }
+    }
+    if counted.len() != k.blocks.len() {
+        return err("control tree references unknown blocks".into());
+    }
+
+    // 6. Control-tree structural sanity: IfThen/IfThenElse/While cond
+    // blocks end in CondBr.
+    verify_region(k, &k.ctree)?;
+
+    Ok(())
+}
+
+fn verify_region(k: &Kernel, r: &Region) -> Result<(), VerifyError> {
+    match r {
+        Region::Block(_) | Region::Barrier { .. } => Ok(()),
+        Region::Seq(children) => {
+            for c in children {
+                verify_region(k, c)?;
+            }
+            Ok(())
+        }
+        Region::IfThen { cond, then } => {
+            expect_condbr(k, *cond)?;
+            verify_region(k, then)
+        }
+        Region::IfThenElse { cond, then, els } => {
+            expect_condbr(k, *cond)?;
+            verify_region(k, then)?;
+            verify_region(k, els)
+        }
+        Region::WhileLoop { cond, body } => {
+            expect_condbr(k, *cond)?;
+            verify_region(k, body)
+        }
+        Region::SelfLoop { body } => {
+            let blocks = body.blocks();
+            let last = *blocks.last().expect("self loop with no blocks");
+            expect_condbr(k, last)?;
+            verify_region(k, body)
+        }
+    }
+}
+
+fn expect_condbr(k: &Kernel, b: BlockId) -> Result<(), VerifyError> {
+    match k.block(b).term {
+        Terminator::CondBr { .. } => Ok(()),
+        ref t => Err(VerifyError(format!("{b} should end in CondBr, ends in {t:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::lower;
+    use soff_frontend::compile;
+
+    fn kernel(src: &str) -> Kernel {
+        let p = compile(src, &[]).unwrap();
+        lower(&p).unwrap().kernels.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn verifies_straight_line() {
+        let k = kernel("__kernel void k(__global float* a) { a[0] = 1.0f; }");
+        verify(&k).unwrap();
+    }
+
+    #[test]
+    fn verifies_branches_and_loops() {
+        let k = kernel(
+            "__kernel void k(__global float* a, int n) {
+                float acc = 0.0f;
+                for (int i = 0; i < n; i++) {
+                    if (i % 2 == 0) acc += a[i]; else acc -= a[i];
+                }
+                a[0] = acc;
+            }",
+        );
+        verify(&k).unwrap();
+    }
+
+    #[test]
+    fn verifies_barrier_kernels() {
+        let k = kernel(
+            "__kernel void k(__global float* a) {
+                __local float t[64];
+                int l = get_local_id(0);
+                t[l] = a[get_global_id(0)];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[get_global_id(0)] = t[63 - l];
+            }",
+        );
+        verify(&k).unwrap();
+        assert!(k.uses_barrier);
+        assert_eq!(k.barrier_after.len(), 1);
+    }
+
+    #[test]
+    fn verifies_break_continue_return() {
+        let k = kernel(
+            "__kernel void k(__global int* a, int n) {
+                for (int i = 0; i < n; i++) {
+                    if (a[i] == 0) break;
+                    if (a[i] < 0) continue;
+                    if (a[i] == 99) return;
+                    a[i] = a[i] * 2;
+                }
+                a[0] = 1;
+            }",
+        );
+        verify(&k).unwrap();
+    }
+
+    #[test]
+    fn verifies_nested_loops_with_helper() {
+        let k = kernel(
+            "float sq(float x) { return x * x; }
+             __kernel void k(__global float* a, int n) {
+                float s = 0.0f;
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < n; j++)
+                        s += sq(a[i * n + j]);
+                a[0] = s;
+            }",
+        );
+        verify(&k).unwrap();
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let k = kernel(
+            "__kernel void k(__global int* a, int c) {
+                int x;
+                if (c) x = 1; else x = 2;
+                a[0] = x;
+            }",
+        );
+        let idom = dominators(&k);
+        // The join block must be dominated by the branch block (entry).
+        for (bid, _) in k.iter_blocks() {
+            assert!(dominates(&idom, BlockId(0), bid));
+        }
+    }
+
+    #[test]
+    fn detects_broken_phi() {
+        let mut k = kernel(
+            "__kernel void k(__global int* a, int c) {
+                int x = 0;
+                if (c) x = 1;
+                a[0] = x;
+            }",
+        );
+        // Corrupt: find a phi and drop one incoming edge.
+        let mut broke = false;
+        for v in &mut k.values {
+            if let InstKind::Phi { incoming } = &mut v.kind {
+                if incoming.len() > 1 {
+                    incoming.pop();
+                    broke = true;
+                    break;
+                }
+            }
+        }
+        if broke {
+            assert!(verify(&k).is_err());
+        }
+    }
+}

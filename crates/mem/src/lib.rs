@@ -1,0 +1,24 @@
+//! # soff-mem
+//!
+//! The SOFF memory subsystem (§V of the paper): direct-mapped single-port
+//! non-blocking in-order [`cache::Cache`]s — one per (buffer × datapath)
+//! when possible — with round-robin datapath-cache arbitration, a shared
+//! external [`dram::Dram`] behind the cache-memory arbiter, banked
+//! [`local::LocalBlock`]s (one per `__local` variable), and per-work-item
+//! [`private::PrivateMemory`].
+//!
+//! Timing is cycle-accurate; functional data lives in
+//! [`soff_ir::mem::GlobalMemory`], accessed at the point a request is
+//! accepted, which reproduces single-ported in-order semantics exactly.
+
+pub mod cache;
+pub mod dram;
+pub mod local;
+pub mod private;
+pub mod request;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use dram::{Dram, DramConfig, DramStats};
+pub use local::LocalBlock;
+pub use private::PrivateMemory;
+pub use request::{MemOp, MemRequest, MemResponse, PortId};

@@ -1,0 +1,98 @@
+//! Private memory (§II-B2).
+//!
+//! Backs address-taken private scalars and private arrays. Implemented on
+//! the FPGA as per-work-item register files / LUTRAM, so the model is a
+//! fixed single-cycle latency with no port contention. Segments are
+//! allocated lazily per work-item and released when the work-item
+//! retires.
+
+use crate::request::{MemOp, MemRequest, MemResponse};
+use soff_ir::eval;
+use soff_ir::mem::ByteStore;
+use std::collections::HashMap;
+
+/// Per-work-item private memory.
+#[derive(Debug, Clone)]
+pub struct PrivateMemory {
+    bytes_per_wi: u64,
+    segments: HashMap<u32, ByteStore>,
+    /// Peak number of live segments (capacity high-water mark).
+    pub peak_segments: usize,
+}
+
+impl PrivateMemory {
+    /// Creates the private memory with `bytes_per_wi` bytes per work-item.
+    pub fn new(bytes_per_wi: u64) -> Self {
+        PrivateMemory { bytes_per_wi, segments: HashMap::new(), peak_segments: 0 }
+    }
+
+    /// Performs an access immediately (single-cycle semantics; the
+    /// issuing unit applies its own latency).
+    pub fn access(&mut self, req: &MemRequest) -> MemResponse {
+        let bytes = self.bytes_per_wi as usize;
+        if !self.segments.contains_key(&req.wi) {
+            self.segments.insert(req.wi, ByteStore::new(bytes));
+            self.peak_segments = self.peak_segments.max(self.segments.len());
+        }
+        let seg = self.segments.get_mut(&req.wi).expect("inserted above");
+        let value = match &req.op {
+            MemOp::Load => seg.read_scalar(req.addr, req.ty),
+            MemOp::Store { value } => {
+                seg.write_scalar(req.addr, req.ty, *value);
+                0
+            }
+            MemOp::Atomic { op, operands } => {
+                let old = seg.read_scalar(req.addr, req.ty);
+                let (new, ret) = eval::eval_atomic(*op, req.ty, old, operands);
+                seg.write_scalar(req.addr, req.ty, new);
+                ret
+            }
+        };
+        MemResponse { value }
+    }
+
+    /// Releases the segment of a retired work-item.
+    pub fn release(&mut self, wi: u32) {
+        self.segments.remove(&wi);
+    }
+
+    /// Live segments right now.
+    pub fn live_segments(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soff_frontend::types::Scalar;
+
+    fn store(wi: u32, addr: u64, v: u64) -> MemRequest {
+        MemRequest { op: MemOp::Store { value: v }, addr, ty: Scalar::I32, wi, wg: 0 }
+    }
+
+    fn load(wi: u32, addr: u64) -> MemRequest {
+        MemRequest { op: MemOp::Load, addr, ty: Scalar::I32, wi, wg: 0 }
+    }
+
+    #[test]
+    fn per_work_item_isolation() {
+        let mut p = PrivateMemory::new(64);
+        p.access(&store(0, 0, 10));
+        p.access(&store(1, 0, 20));
+        assert_eq!(p.access(&load(0, 0)).value, 10);
+        assert_eq!(p.access(&load(1, 0)).value, 20);
+    }
+
+    #[test]
+    fn release_frees_segment() {
+        let mut p = PrivateMemory::new(64);
+        p.access(&store(7, 0, 1));
+        assert_eq!(p.live_segments(), 1);
+        p.release(7);
+        assert_eq!(p.live_segments(), 0);
+        // Fresh segment reads zero.
+        assert_eq!(p.access(&load(7, 0)).value, 0);
+        assert_eq!(p.peak_segments, 1);
+    }
+}

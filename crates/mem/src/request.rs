@@ -1,0 +1,52 @@
+//! Memory request/response types shared by caches, local memory blocks,
+//! and private memory.
+
+use soff_frontend::builtins::AtomicOp;
+use soff_frontend::types::Scalar;
+
+/// The operation a memory request performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemOp {
+    /// Read a scalar.
+    Load,
+    /// Write a scalar.
+    Store {
+        /// Canonical bits to write.
+        value: u64,
+    },
+    /// Atomic read-modify-write; returns the old value.
+    Atomic {
+        /// Which operation.
+        op: AtomicOp,
+        /// Value operands.
+        operands: Vec<u64>,
+    },
+}
+
+/// A request presented at a memory interface (Avalon-MM-like, §V).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemRequest {
+    /// The operation.
+    pub op: MemOp,
+    /// Byte address (encoded per address space, see `soff_ir::mem`).
+    pub addr: u64,
+    /// Access granularity.
+    pub ty: Scalar,
+    /// Issuing work-item serial (selects the private segment).
+    pub wi: u32,
+    /// Issuing work-group serial (selects the local-memory slot).
+    pub wg: u32,
+}
+
+/// A response: loads and atomics carry data; store acknowledgements carry
+/// zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResponse {
+    /// Result bits.
+    pub value: u64,
+}
+
+/// Identifies a port on a cache or local-memory block. Ports are
+/// per-functional-unit; responses return in issue order per port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortId(pub usize);

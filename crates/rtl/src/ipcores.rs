@@ -1,0 +1,818 @@
+//! The SOFF IP-core library (§III-C: "basic building blocks of datapaths
+//! and memory subsystems. They have the same interface across different
+//! target FPGAs but may be implemented in a target-dependent manner").
+//!
+//! Every core uses the same registered valid/stall handshake the paper's
+//! datapath uses (one-cycle stall recognition): `*_valid` flows forward,
+//! `*_stall` flows backward, and a producer keeps its output stable until
+//! the consumer drops `stall`.
+
+/// Names of all IP cores in the library.
+pub fn ip_library() -> Vec<&'static str> {
+    vec![
+        "soff_chan",
+        "soff_fu_int",
+        "soff_fu_mul",
+        "soff_fu_div",
+        "soff_fadd",
+        "soff_fmul",
+        "soff_fdiv",
+        "soff_fmath",
+        "soff_fu_workitem",
+        "soff_fu_global_load",
+        "soff_fu_global_store",
+        "soff_fu_local_mem",
+        "soff_fu_private_mem",
+        "soff_fu_atomic",
+        "soff_source",
+        "soff_sink",
+        "soff_branch",
+        "soff_select",
+        "soff_select_ordered",
+        "soff_loop_enter",
+        "soff_loop_exit",
+        "soff_swgr_enter",
+        "soff_swgr_exit",
+        "soff_barrier",
+        "soff_cache",
+        "soff_dc_arbiter",
+        "soff_cm_arbiter",
+        "soff_local_block",
+        "soff_dispatcher",
+        "soff_wi_counter",
+        "soff_registers",
+    ]
+}
+
+/// Emits the Verilog source of the whole IP-core library.
+///
+/// The cores are behavioural (synthesizable) reference implementations;
+/// vendor-optimized variants would replace the arithmetic bodies while
+/// keeping the interfaces (§IV-A).
+pub fn emit_ip_library() -> String {
+    let mut v = String::new();
+    v.push_str(HEADER);
+    v.push_str(CHAN);
+    for (name, body) in FU_CORES {
+        v.push_str(&fu_core(name, body));
+    }
+    v.push_str(MEM_FU_CORES);
+    v.push_str(GLUE_CORES);
+    v.push_str(SUBSYSTEM_CORES);
+    v
+}
+
+const HEADER: &str = r#"// SOFF IP-core library.
+// Common handshake: data/valid flow downstream, stall flows upstream.
+// A producer asserting out_valid must hold out_data stable while
+// out_stall is high (one-cycle stall recognition, paper SIV-C).
+
+"#;
+
+const CHAN: &str = r#"module soff_chan #(
+    parameter WIDTH = 32,
+    parameter DEPTH = 2
+) (
+    input  wire             clk,
+    input  wire             rst,
+    input  wire [WIDTH-1:0] in_data,
+    input  wire             in_valid,
+    output wire             in_stall,
+    output wire [WIDTH-1:0] out_data,
+    output wire             out_valid,
+    input  wire             out_stall
+);
+    reg [WIDTH-1:0] mem [0:DEPTH-1];
+    reg [$clog2(DEPTH+1)-1:0] count;
+    reg [$clog2(DEPTH)-1:0] rd, wr;
+    assign in_stall  = (count == DEPTH);
+    assign out_valid = (count != 0);
+    assign out_data  = mem[rd];
+    wire do_push = in_valid && !in_stall;
+    wire do_pop  = out_valid && !out_stall;
+    always @(posedge clk) begin
+        if (rst) begin
+            count <= 0; rd <= 0; wr <= 0;
+        end else begin
+            if (do_push) begin mem[wr] <= in_data; wr <= wr + 1'b1; end
+            if (do_pop) rd <= rd + 1'b1;
+            count <= count + do_push - do_pop;
+        end
+    end
+endmodule
+
+"#;
+
+/// Fixed-latency fully pipelined functional units: a shift-register
+/// pipeline of `LF` stages with an output-hold register (§IV-C).
+const FU_CORES: &[(&str, &str)] = &[
+    ("soff_fu_int", "in_a + in_b /* op selected by OP parameter */"),
+    ("soff_fu_mul", "in_a * in_b"),
+    ("soff_fu_div", "in_b == 0 ? {WIDTH{1'b0}} : in_a / in_b"),
+    ("soff_fadd", "fp_add(in_a, in_b)"),
+    ("soff_fmul", "fp_mul(in_a, in_b)"),
+    ("soff_fdiv", "fp_div(in_a, in_b)"),
+    ("soff_fmath", "fp_func(FUNC, in_a)"),
+    ("soff_fu_workitem", "wi_query(QUERY, DIM, in_a)"),
+];
+
+fn fu_core(name: &str, expr: &str) -> String {
+    format!(
+        r#"module {name} #(
+    parameter WIDTH = 32,
+    parameter LF = 1,
+    parameter OP = 0,
+    parameter FUNC = 0,
+    parameter QUERY = 0,
+    parameter DIM = 0
+) (
+    input  wire             clk,
+    input  wire             rst,
+    input  wire [WIDTH-1:0] in_a,
+    input  wire [WIDTH-1:0] in_b,
+    input  wire             in_valid,
+    output wire             in_stall,
+    output wire [WIDTH-1:0] out_data,
+    output wire             out_valid,
+    input  wire             out_stall
+);
+    // Fully pipelined: LF stages + 1 output-hold register, so the unit
+    // holds at most LF+1 work-items and never stalls below LF (paper
+    // SIV-C, the Case-1 stall bound).
+    reg [WIDTH-1:0] stage [0:LF];
+    reg             vbit  [0:LF];
+    integer i;
+    assign in_stall  = vbit[LF] && out_stall;
+    assign out_valid = vbit[LF];
+    assign out_data  = stage[LF];
+    wire advance = !(vbit[LF] && out_stall);
+    always @(posedge clk) begin
+        if (rst) begin
+            for (i = 0; i <= LF; i = i + 1) vbit[i] <= 1'b0;
+        end else if (advance) begin
+            stage[0] <= {expr};
+            vbit[0]  <= in_valid;
+            for (i = 1; i <= LF; i = i + 1) begin
+                stage[i] <= stage[i-1];
+                vbit[i]  <= vbit[i-1];
+            end
+        end
+    end
+endmodule
+
+"#
+    )
+}
+
+/// Variable-latency (memory) functional units: issue to an Avalon-MM-like
+/// interface and reorder-free response matching, capacity `LF + 1`.
+const MEM_FU_CORES: &str = r#"module soff_fu_global_load #(
+    parameter WIDTH = 32,
+    parameter LF = 64
+) (
+    input  wire        clk,
+    input  wire        rst,
+    input  wire [63:0] in_addr,
+    input  wire        in_valid,
+    output wire        in_stall,
+    output wire [WIDTH-1:0] out_data,
+    output wire        out_valid,
+    input  wire        out_stall,
+    // Avalon-MM-like memory interface (paper SV).
+    output wire [63:0] mem_addr,
+    output wire        mem_read,
+    input  wire        mem_waitrequest,
+    input  wire [WIDTH-1:0] mem_readdata,
+    input  wire        mem_readdatavalid
+);
+    reg [$clog2(LF+2)-1:0] pending;
+    assign in_stall = (pending > LF) || mem_waitrequest;
+    assign mem_addr = in_addr;
+    assign mem_read = in_valid && !in_stall;
+    assign out_data = mem_readdata;
+    assign out_valid = mem_readdatavalid;
+    always @(posedge clk) begin
+        if (rst) pending <= 0;
+        else pending <= pending + (mem_read ? 1'b1 : 1'b0)
+                                - ((out_valid && !out_stall) ? 1'b1 : 1'b0);
+    end
+endmodule
+
+module soff_fu_global_store #(
+    parameter WIDTH = 32,
+    parameter LF = 64
+) (
+    input  wire        clk,
+    input  wire        rst,
+    input  wire [63:0] in_addr,
+    input  wire [WIDTH-1:0] in_data,
+    input  wire        in_valid,
+    output wire        in_stall,
+    output wire        out_valid,   // store acknowledgement token
+    input  wire        out_stall,
+    output wire [63:0] mem_addr,
+    output wire [WIDTH-1:0] mem_writedata,
+    output wire        mem_write,
+    input  wire        mem_waitrequest,
+    input  wire        mem_writeack
+);
+    reg [$clog2(LF+2)-1:0] pending;
+    assign in_stall = (pending > LF) || mem_waitrequest;
+    assign mem_addr = in_addr;
+    assign mem_writedata = in_data;
+    assign mem_write = in_valid && !in_stall;
+    assign out_valid = mem_writeack;
+    always @(posedge clk) begin
+        if (rst) pending <= 0;
+        else pending <= pending + (mem_write ? 1'b1 : 1'b0)
+                                - ((out_valid && !out_stall) ? 1'b1 : 1'b0);
+    end
+endmodule
+
+module soff_fu_local_mem #(
+    parameter WIDTH = 32,
+    parameter LF = 2
+) (
+    input  wire        clk,
+    input  wire        rst,
+    input  wire [63:0] in_addr,
+    input  wire [WIDTH-1:0] in_data,
+    input  wire        in_we,
+    input  wire        in_valid,
+    output wire        in_stall,
+    output wire [WIDTH-1:0] out_data,
+    output wire        out_valid,
+    input  wire        out_stall,
+    output wire [63:0] blk_addr,
+    output wire [WIDTH-1:0] blk_wdata,
+    output wire        blk_we,
+    output wire        blk_req,
+    input  wire        blk_grant,
+    input  wire [WIDTH-1:0] blk_rdata,
+    input  wire        blk_rvalid
+);
+    assign blk_addr = in_addr;
+    assign blk_wdata = in_data;
+    assign blk_we = in_we;
+    assign blk_req = in_valid;
+    assign in_stall = !blk_grant;
+    assign out_data = blk_rdata;
+    assign out_valid = blk_rvalid;
+endmodule
+
+module soff_fu_private_mem #(
+    parameter WIDTH = 32,
+    parameter BYTES = 64
+) (
+    input  wire        clk,
+    input  wire        rst,
+    input  wire [63:0] in_addr,
+    input  wire [31:0] in_wi,
+    input  wire [WIDTH-1:0] in_data,
+    input  wire        in_we,
+    input  wire        in_valid,
+    output wire        in_stall,
+    output reg  [WIDTH-1:0] out_data,
+    output reg         out_valid,
+    input  wire        out_stall
+);
+    // Per-work-item LUTRAM segment, single-cycle.
+    reg [7:0] seg [0:BYTES-1];
+    assign in_stall = out_valid && out_stall;
+    always @(posedge clk) begin
+        if (rst) out_valid <= 1'b0;
+        else if (!in_stall) begin
+            if (in_valid && in_we) seg[in_addr[5:0]] <= in_data[7:0];
+            out_data  <= {24'b0, seg[in_addr[5:0]]};
+            out_valid <= in_valid;
+        end
+    end
+endmodule
+
+module soff_fu_atomic #(
+    parameter WIDTH = 32,
+    parameter LF = 68,
+    parameter OP = 0
+) (
+    input  wire        clk,
+    input  wire        rst,
+    input  wire [63:0] in_addr,
+    input  wire [WIDTH-1:0] in_operand,
+    input  wire        in_valid,
+    output wire        in_stall,
+    output wire [WIDTH-1:0] out_data,
+    output wire        out_valid,
+    input  wire        out_stall,
+    // Lock interface: lock index = addr[9:6] (16 locks, paper SIV-F2).
+    output wire [3:0]  lock_idx,
+    output wire        lock_req,
+    input  wire        lock_grant,
+    output wire        lock_release,
+    // Read-modify-write port on the shared cache.
+    output wire [63:0] mem_addr,
+    output wire [WIDTH-1:0] mem_operand,
+    output wire        mem_rmw,
+    input  wire [WIDTH-1:0] mem_old,
+    input  wire        mem_done
+);
+    assign lock_idx = in_addr[9:6];
+    assign lock_req = in_valid;
+    assign in_stall = !lock_grant;
+    assign mem_addr = in_addr;
+    assign mem_operand = in_operand;
+    assign mem_rmw = in_valid && lock_grant;
+    assign out_data = mem_old;
+    assign out_valid = mem_done;
+    assign lock_release = mem_done && !out_stall;
+endmodule
+
+"#;
+
+const GLUE_CORES: &str = r#"module soff_source #(
+    parameter WIDTH = 32,
+    parameter FANOUT = 1
+) (
+    input  wire                    clk,
+    input  wire                    rst,
+    input  wire [WIDTH-1:0]        in_data,
+    input  wire                    in_valid,
+    output wire                    in_stall,
+    output wire [FANOUT*WIDTH-1:0] out_data,
+    output wire [FANOUT-1:0]       out_valid,
+    input  wire [FANOUT-1:0]       out_stall
+);
+    // Fires only when every successor can accept (paper SIV-B).
+    wire fire = in_valid && !(|out_stall);
+    assign in_stall = |out_stall;
+    genvar g;
+    generate
+        for (g = 0; g < FANOUT; g = g + 1) begin : fan
+            assign out_data[(g+1)*WIDTH-1 -: WIDTH] = in_data;
+            assign out_valid[g] = fire;
+        end
+    endgenerate
+endmodule
+
+module soff_sink #(
+    parameter WIDTH = 32,
+    parameter FANIN = 1
+) (
+    input  wire                   clk,
+    input  wire                   rst,
+    input  wire [FANIN*WIDTH-1:0] in_data,
+    input  wire [FANIN-1:0]       in_valid,
+    output wire [FANIN-1:0]       in_stall,
+    output wire [FANIN*WIDTH-1:0] out_data,
+    output wire                   out_valid,
+    input  wire                   out_stall
+);
+    // Aggregates all live-outs; consumes only when all inputs are valid.
+    wire all_valid = &in_valid;
+    assign out_valid = all_valid;
+    assign out_data = in_data;
+    genvar g;
+    generate
+        for (g = 0; g < FANIN; g = g + 1) begin : agg
+            assign in_stall[g] = !(all_valid && !out_stall);
+        end
+    endgenerate
+endmodule
+
+module soff_branch #(
+    parameter WIDTH = 32,
+    parameter COND_BIT = 0
+) (
+    input  wire             clk,
+    input  wire             rst,
+    input  wire [WIDTH-1:0] in_data,
+    input  wire             in_valid,
+    output wire             in_stall,
+    output wire [WIDTH-1:0] t_data,
+    output wire             t_valid,
+    input  wire             t_stall,
+    output wire [WIDTH-1:0] f_data,
+    output wire             f_valid,
+    input  wire             f_stall,
+    // Work-group-id side FIFO for order preservation (paper SIV-F1).
+    output wire [31:0]      wg_data,
+    output wire             wg_valid,
+    input  wire             wg_stall
+);
+    wire taken = in_data[COND_BIT];
+    wire can_go = in_valid && !(taken ? t_stall : f_stall) && !wg_stall;
+    assign t_data = in_data;
+    assign f_data = in_data;
+    assign t_valid = can_go && taken;
+    assign f_valid = can_go && !taken;
+    assign in_stall = !can_go && in_valid;
+    assign wg_data = in_data[63:32]; // work-group id field
+    assign wg_valid = can_go;
+endmodule
+
+module soff_select #(
+    parameter WIDTH = 32
+) (
+    input  wire             clk,
+    input  wire             rst,
+    input  wire [WIDTH-1:0] a_data,
+    input  wire             a_valid,
+    output wire             a_stall,
+    input  wire [WIDTH-1:0] b_data,
+    input  wire             b_valid,
+    output wire             b_stall,
+    output wire [WIDTH-1:0] out_data,
+    output wire             out_valid,
+    input  wire             out_stall
+);
+    reg rr;
+    wire pick_a = a_valid && (!b_valid || rr);
+    assign out_valid = a_valid || b_valid;
+    assign out_data = pick_a ? a_data : b_data;
+    assign a_stall = !(pick_a && !out_stall);
+    assign b_stall = !(!pick_a && b_valid && !out_stall);
+    always @(posedge clk) begin
+        if (rst) rr <= 1'b0;
+        else if (out_valid && !out_stall) rr <= !rr;
+    end
+endmodule
+
+module soff_select_ordered #(
+    parameter WIDTH = 32
+) (
+    input  wire             clk,
+    input  wire             rst,
+    input  wire [WIDTH-1:0] a_data,
+    input  wire             a_valid,
+    output wire             a_stall,
+    input  wire [WIDTH-1:0] b_data,
+    input  wire             b_valid,
+    output wire             b_stall,
+    // Head of the branch's work-group-id FIFO.
+    input  wire [31:0]      wg_head,
+    input  wire             wg_valid,
+    output wire             wg_pop,
+    output wire [WIDTH-1:0] out_data,
+    output wire             out_valid,
+    input  wire             out_stall
+);
+    // Deliver a work-item from either arm whose work-group matches the
+    // id-queue head (paper SIV-F1); intra-group order is free.
+    wire a_match = a_valid && (a_data[63:32] == wg_head);
+    wire b_match = b_valid && (b_data[63:32] == wg_head);
+    wire pick_a = a_match;
+    assign out_valid = wg_valid && (a_match || b_match);
+    assign out_data = pick_a ? a_data : b_data;
+    assign a_stall = !(wg_valid && a_match && !out_stall);
+    assign b_stall = !(wg_valid && !a_match && b_match && !out_stall);
+    assign wg_pop = out_valid && !out_stall;
+endmodule
+
+module soff_loop_enter #(
+    parameter WIDTH = 32,
+    parameter NMAX = 64
+) (
+    input  wire             clk,
+    input  wire             rst,
+    input  wire [WIDTH-1:0] new_data,
+    input  wire             new_valid,
+    output wire             new_stall,
+    input  wire [WIDTH-1:0] back_data,
+    input  wire             back_valid,
+    output wire             back_stall,
+    output wire [WIDTH-1:0] out_data,
+    output wire             out_valid,
+    input  wire             out_stall,
+    input  wire             dec, // from the loop exit glue
+    output reg  [31:0]      count
+);
+    // Back-edge priority + N_max occupancy bound (paper SIV-E3).
+    wire admit_new = new_valid && !back_valid && (count < NMAX);
+    assign out_valid = back_valid || admit_new;
+    assign out_data = back_valid ? back_data : new_data;
+    assign back_stall = out_stall;
+    assign new_stall = !(admit_new && !out_stall);
+    wire inc = admit_new && !out_stall;
+    always @(posedge clk) begin
+        if (rst) count <= 0;
+        else count <= count + (inc ? 1 : 0) - (dec ? 1 : 0);
+    end
+endmodule
+
+module soff_loop_exit #(
+    parameter WIDTH = 32
+) (
+    input  wire             clk,
+    input  wire             rst,
+    input  wire [WIDTH-1:0] in_data,
+    input  wire             in_valid,
+    output wire             in_stall,
+    output wire [WIDTH-1:0] out_data,
+    output wire             out_valid,
+    input  wire             out_stall,
+    output wire             dec
+);
+    assign out_data = in_data;
+    assign out_valid = in_valid;
+    assign in_stall = out_stall;
+    assign dec = in_valid && !out_stall;
+endmodule
+
+module soff_swgr_enter #(
+    parameter WIDTH = 32,
+    parameter NMAX = 64
+) (
+    input  wire             clk,
+    input  wire             rst,
+    input  wire [WIDTH-1:0] new_data,
+    input  wire             new_valid,
+    output wire             new_stall,
+    input  wire [WIDTH-1:0] back_data,
+    input  wire             back_valid,
+    output wire             back_stall,
+    output wire [WIDTH-1:0] out_data,
+    output wire             out_valid,
+    input  wire             out_stall,
+    input  wire             dec,
+    output reg  [31:0]      count
+);
+    // Single work-group region (paper Fig. 8(d)): adopt a group when the
+    // loop is empty; admit only that group until it drains.
+    reg [31:0] cur_wg;
+    wire wg_ok = (count == 0) || (new_data[63:32] == cur_wg);
+    wire admit_new = new_valid && !back_valid && (count < NMAX) && wg_ok;
+    assign out_valid = back_valid || admit_new;
+    assign out_data = back_valid ? back_data : new_data;
+    assign back_stall = out_stall;
+    assign new_stall = !(admit_new && !out_stall);
+    wire inc = admit_new && !out_stall;
+    always @(posedge clk) begin
+        if (rst) begin count <= 0; cur_wg <= 0; end
+        else begin
+            if (inc && count == 0) cur_wg <= new_data[63:32];
+            count <= count + (inc ? 1 : 0) - (dec ? 1 : 0);
+        end
+    end
+endmodule
+
+module soff_swgr_exit #(
+    parameter WIDTH = 32
+) (
+    input  wire             clk,
+    input  wire             rst,
+    input  wire [WIDTH-1:0] in_data,
+    input  wire             in_valid,
+    output wire             in_stall,
+    output wire [WIDTH-1:0] out_data,
+    output wire             out_valid,
+    input  wire             out_stall,
+    output wire             dec
+);
+    assign out_data = in_data;
+    assign out_valid = in_valid;
+    assign in_stall = out_stall;
+    assign dec = in_valid && !out_stall;
+endmodule
+
+module soff_barrier #(
+    parameter WIDTH = 32,
+    parameter DEPTH = 1024
+) (
+    input  wire             clk,
+    input  wire             rst,
+    input  wire [31:0]      wg_size,
+    input  wire [WIDTH-1:0] in_data,
+    input  wire             in_valid,
+    output wire             in_stall,
+    output wire [WIDTH-1:0] out_data,
+    output wire             out_valid,
+    input  wire             out_stall
+);
+    // FIFO of live variables; releases one complete work-group at a time
+    // (paper SIV-F1). Storage backed by embedded memory blocks.
+    reg [WIDTH-1:0] mem [0:DEPTH-1];
+    reg [$clog2(DEPTH+1)-1:0] count;
+    reg [$clog2(DEPTH)-1:0] rd, wr;
+    reg [31:0] releasing;
+    assign in_stall = (count == DEPTH);
+    assign out_valid = (releasing != 0);
+    assign out_data = mem[rd];
+    wire do_push = in_valid && !in_stall;
+    wire do_pop = out_valid && !out_stall;
+    always @(posedge clk) begin
+        if (rst) begin count <= 0; rd <= 0; wr <= 0; releasing <= 0; end
+        else begin
+            if (do_push) begin mem[wr] <= in_data; wr <= wr + 1'b1; end
+            if (do_pop) begin rd <= rd + 1'b1; releasing <= releasing - 1; end
+            count <= count + do_push - do_pop;
+            if (releasing == 0 && count >= wg_size) releasing <= wg_size;
+        end
+    end
+endmodule
+
+"#;
+
+const SUBSYSTEM_CORES: &str = r#"module soff_cache #(
+    parameter BYTES = 65536,
+    parameter LINE = 64,
+    parameter MSHRS = 64
+) (
+    input  wire        clk,
+    input  wire        rst,
+    // Port side (behind the datapath-cache arbiter).
+    input  wire [63:0] req_addr,
+    input  wire        req_write,
+    input  wire [31:0] req_wdata,
+    input  wire        req_valid,
+    output wire        req_stall,
+    output wire [31:0] resp_data,
+    output wire        resp_valid,
+    input  wire        resp_stall,
+    // External memory side (to the cache-memory arbiter).
+    output wire [63:0] mem_addr,
+    output wire        mem_read,
+    output wire        mem_write,
+    input  wire        mem_waitrequest,
+    input  wire [511:0] mem_data,
+    input  wire        mem_datavalid
+);
+    // Direct-mapped, single-port, non-blocking in-order (paper SV-A).
+    // Behavioural reference: tags + data in embedded memory.
+    localparam SETS = BYTES / LINE;
+    reg [63:0] tag [0:SETS-1];
+    reg        vld [0:SETS-1];
+    reg        dty [0:SETS-1];
+    // (Body elided: miss queue of MSHRS entries, in-order response queue;
+    //  vendor ports replace this with M20K/BRAM primitives.)
+    assign req_stall = mem_waitrequest;
+    assign resp_data = mem_data[31:0];
+    assign resp_valid = mem_datavalid;
+    assign mem_addr = req_addr;
+    assign mem_read = req_valid && !req_write;
+    assign mem_write = req_valid && req_write;
+endmodule
+
+module soff_dc_arbiter #(
+    parameter PORTS = 4
+) (
+    input  wire             clk,
+    input  wire             rst,
+    input  wire [PORTS-1:0] req,
+    output reg  [PORTS-1:0] grant
+);
+    // Round-robin datapath-cache arbiter (paper SV-A).
+    reg [$clog2(PORTS)-1:0] last;
+    integer i;
+    always @(posedge clk) begin
+        if (rst) begin grant <= 0; last <= 0; end
+        else begin
+            grant <= 0;
+            for (i = 1; i <= PORTS; i = i + 1) begin
+                if (grant == 0 && req[(last + i) % PORTS]) begin
+                    grant <= 1 << ((last + i) % PORTS);
+                    last  <= (last + i) % PORTS;
+                end
+            end
+        end
+    end
+endmodule
+
+module soff_cm_arbiter #(
+    parameter CACHES = 4
+) (
+    input  wire              clk,
+    input  wire              rst,
+    input  wire [CACHES-1:0] req,
+    output reg  [CACHES-1:0] grant
+);
+    // Cache-memory arbiter onto the DRAM channels.
+    reg [$clog2(CACHES)-1:0] last;
+    integer i;
+    always @(posedge clk) begin
+        if (rst) begin grant <= 0; last <= 0; end
+        else begin
+            grant <= 0;
+            for (i = 1; i <= CACHES; i = i + 1) begin
+                if (grant == 0 && req[(last + i) % CACHES]) begin
+                    grant <= 1 << ((last + i) % CACHES);
+                    last  <= (last + i) % CACHES;
+                end
+            end
+        end
+    end
+endmodule
+
+module soff_local_block #(
+    parameter BYTES = 1024,
+    parameter BANKS = 4,
+    parameter SLOTS = 2,
+    parameter PORTS = 4
+) (
+    input  wire                clk,
+    input  wire                rst,
+    input  wire [PORTS*64-1:0] addr,
+    input  wire [PORTS*32-1:0] wdata,
+    input  wire [PORTS-1:0]    we,
+    input  wire [PORTS-1:0]    req,
+    output reg  [PORTS-1:0]    grant,
+    output reg  [PORTS*32-1:0] rdata,
+    output reg  [PORTS-1:0]    rvalid
+);
+    // Banked local-memory block with SLOTS work-group slots (paper SV-B,
+    // Fig. 10). Bank = low bits of the word address; conflicting ports
+    // serialize. (Behavioural body elided; maps to M20K/BRAM.)
+    reg [7:0] mem [0:SLOTS*BYTES-1];
+    always @(posedge clk) begin
+        if (rst) begin grant <= 0; rvalid <= 0; end
+    end
+endmodule
+
+module soff_dispatcher #(
+    parameter INSTANCES = 1
+) (
+    input  wire        clk,
+    input  wire        rst,
+    input  wire        trigger,
+    input  wire [63:0] nd_global0, nd_global1, nd_global2,
+    input  wire [63:0] nd_local0, nd_local1, nd_local2,
+    input  wire [31:0] work_dim,
+    output reg  [31:0] wi_serial,
+    output reg  [31:0] wg_serial,
+    output reg         wi_valid,
+    input  wire        wi_stall
+);
+    // Streams work-items one per cycle, whole work-groups to one
+    // datapath instance (paper SIII-B).
+    always @(posedge clk) begin
+        if (rst || !trigger) begin
+            wi_serial <= 0; wg_serial <= 0; wi_valid <= 1'b0;
+        end else if (!wi_stall) begin
+            wi_valid <= 1'b1;
+            wi_serial <= wi_serial + 1;
+        end
+    end
+endmodule
+
+module soff_wi_counter (
+    input  wire        clk,
+    input  wire        rst,
+    input  wire        retire,
+    input  wire [63:0] total,
+    output reg         flush,
+    output reg         completion
+);
+    // Counts retiring work-items; triggers the cache flush and then the
+    // completion register (paper SIII-B).
+    reg [63:0] count;
+    always @(posedge clk) begin
+        if (rst) begin count <= 0; flush <= 1'b0; completion <= 1'b0; end
+        else begin
+            if (retire) count <= count + 1;
+            if (count == total && total != 0) begin flush <= 1'b1; completion <= 1'b1; end
+        end
+    end
+endmodule
+
+module soff_registers (
+    input  wire        clk,
+    input  wire        rst,
+    // PCIe-mapped CPU access (paper Fig. 2).
+    input  wire [31:0] bus_addr,
+    input  wire [63:0] bus_wdata,
+    input  wire        bus_write,
+    output reg  [63:0] bus_rdata,
+    // Register outputs to the region.
+    output reg  [63:0] argument [0:15],
+    output reg  [31:0] kernel_pointer,
+    output reg         trigger,
+    input  wire        completion
+);
+    always @(posedge clk) begin
+        if (rst) begin trigger <= 1'b0; kernel_pointer <= 0; end
+        else if (bus_write) begin
+            if (bus_addr < 16) argument[bus_addr[3:0]] <= bus_wdata;
+            else if (bus_addr == 16) kernel_pointer <= bus_wdata[31:0];
+            else if (bus_addr == 17) trigger <= bus_wdata[0];
+        end
+        bus_rdata <= {63'b0, completion};
+    end
+endmodule
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_emits_every_core() {
+        let src = emit_ip_library();
+        for name in ip_library() {
+            assert!(src.contains(&format!("module {name}")), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn balanced_module_endmodule() {
+        let src = emit_ip_library();
+        assert_eq!(src.matches("module soff_").count(), src.matches("endmodule").count());
+    }
+}

@@ -1,0 +1,106 @@
+//! The device model: the FPGA board behind the PCIe bus (§III-A).
+//!
+//! The static region's CPU-accessible registers (argument, kernel-pointer,
+//! trigger, completion — Fig. 2) are modeled explicitly so the execution
+//! flow of §III-C1 is preserved: the runtime writes the argument and
+//! trigger registers, the "hardware" runs, and the host polls the
+//! completion register. The PCIe/DMA transport is an in-process copy.
+
+use soff_datapath::resource::SystemSpec;
+use soff_mem::{CacheConfig, DramConfig};
+
+/// A device: one FPGA board with its resource/timing model.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// The system this device belongs to (Table I).
+    pub system: SystemSpec,
+    /// Cache configuration used for synthesized circuits.
+    pub cache: CacheConfig,
+}
+
+impl Device {
+    /// The Intel Arria 10 board of System A.
+    pub fn system_a() -> Device {
+        Device {
+            system: soff_datapath::resource::SYSTEM_A,
+            cache: CacheConfig::default(),
+        }
+    }
+
+    /// The Xilinx VU9P board of System B.
+    pub fn system_b() -> Device {
+        Device {
+            system: soff_datapath::resource::SYSTEM_B,
+            cache: CacheConfig::default(),
+        }
+    }
+
+    /// DRAM timing for this device.
+    pub fn dram_config(&self) -> DramConfig {
+        DramConfig {
+            latency: self.system.dram_latency,
+            channels: self.system.dram_channels,
+            cycles_per_line: self.system.dram_cycles_per_line,
+        }
+    }
+
+    /// Converts datapath cycles to seconds at this device's SOFF clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.system.clock_soff_mhz * 1.0e6)
+    }
+}
+
+/// The CPU-accessible registers of the reconfigurable region (Fig. 2).
+#[derive(Debug, Clone, Default)]
+pub struct Registers {
+    /// Kernel arguments + the seven NDRange integers (§III-B).
+    pub argument: Vec<u64>,
+    /// Which kernel's circuit is enabled.
+    pub kernel_pointer: u32,
+    /// Set to one to start execution.
+    pub trigger: bool,
+    /// Set by the hardware when the work-item counter reaches the NDRange
+    /// total and the cache flush finishes.
+    pub completion: bool,
+}
+
+impl Registers {
+    /// Encodes an NDRange into the seven integers of the argument
+    /// register (§III-B: total sizes and group sizes per dimension plus
+    /// the dimension count).
+    pub fn encode_ndrange(nd: &soff_ir::NdRange) -> [u64; 7] {
+        [
+            nd.work_dim as u64,
+            nd.global[0],
+            nd.global[1],
+            nd.global[2],
+            nd.local[0],
+            nd.local[1],
+            nd.local[2],
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devices_have_distinct_systems() {
+        assert_ne!(Device::system_a().system.name, Device::system_b().system.name);
+    }
+
+    #[test]
+    fn seconds_scale_with_clock() {
+        let d = Device::system_a();
+        let s = d.cycles_to_seconds(200_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ndrange_register_encoding() {
+        let nd = soff_ir::NdRange::dim2([64, 32], [8, 4]);
+        let r = Registers::encode_ndrange(&nd);
+        assert_eq!(r, [2, 64, 32, 1, 8, 4, 1]);
+    }
+}

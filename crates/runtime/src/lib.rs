@@ -1,0 +1,554 @@
+//! # soff-runtime
+//!
+//! The SOFF runtime system (§III-C1): a user-level library implementing an
+//! OpenCL-style host API — contexts, buffers, offline-compiled programs,
+//! kernels with positional arguments, and NDRange launches — on top of the
+//! cycle-level simulated device.
+//!
+//! Only *offline* kernel compilation is supported, matching the paper
+//! ("SOFF supports only the offline compilation because synthesizing a
+//! circuit may take several hours").
+//!
+//! ## Example
+//!
+//! ```
+//! use soff_runtime::{Context, Device, Program};
+//!
+//! let device = Device::system_a();
+//! let program = Program::build(
+//!     "__kernel void scale(__global float* a, float s) {
+//!          a[get_global_id(0)] *= s;
+//!      }",
+//!     &[],
+//!     &device,
+//! ).unwrap();
+//!
+//! let mut ctx = Context::new(device);
+//! let buf = ctx.create_buffer(16 * 4);
+//! ctx.write_buffer_f32(buf, &[1.0; 16]);
+//!
+//! let mut kernel = program.kernel("scale").unwrap();
+//! kernel.set_arg_buffer(0, buf);
+//! kernel.set_arg_f32(1, 2.5);
+//! let stats = ctx.enqueue_ndrange(&kernel, soff_ir::NdRange::dim1(16, 4)).unwrap();
+//! assert!(stats.seconds > 0.0);
+//! assert_eq!(ctx.read_buffer_f32(buf)[0], 2.5);
+//! ```
+
+pub mod device;
+
+use soff_datapath::resource::{self, Replication};
+use soff_datapath::{Datapath, LatencyModel};
+use soff_ir::ir::Kernel;
+use soff_ir::mem::{ArgValue, GlobalMemory};
+use soff_ir::NdRange;
+use soff_sim::{SimConfig, SimError, SimResult};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+pub use device::Device;
+
+/// A buffer handle in the device's global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Buffer(u32);
+
+/// Why a program failed to build.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The frontend or lowering rejected the source.
+    Compile(soff_frontend::Diagnostic),
+    /// A kernel's single datapath instance exceeds the FPGA capacity
+    /// (the `IR` outcome of Table II).
+    InsufficientResources {
+        /// The kernel that does not fit.
+        kernel: String,
+        /// Details.
+        inner: resource::InsufficientResources,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Compile(d) => write!(f, "{d}"),
+            BuildError::InsufficientResources { kernel, inner } => {
+                write!(f, "kernel `{kernel}`: {inner}")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+impl From<soff_frontend::Diagnostic> for BuildError {
+    fn from(d: soff_frontend::Diagnostic) -> Self {
+        BuildError::Compile(d)
+    }
+}
+
+/// One compiled kernel: IR, synthesized datapath, and replication choice.
+#[derive(Debug)]
+pub struct CompiledKernel {
+    /// The SSA kernel.
+    pub kernel: Kernel,
+    /// The synthesized datapath.
+    pub datapath: Datapath,
+    /// Replication decided by the resource model (§III-C).
+    pub replication: Replication,
+}
+
+/// An offline-compiled program (the bitstream stand-in).
+#[derive(Debug, Clone)]
+pub struct Program {
+    kernels: Arc<Vec<CompiledKernel>>,
+}
+
+impl Program {
+    /// Compiles `source` for `device`: frontend → IR → datapath →
+    /// resource model (§III-C compilation flow, minus the hours of logic
+    /// synthesis).
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildError`].
+    pub fn build(
+        source: &str,
+        defines: &[(String, String)],
+        device: &Device,
+    ) -> Result<Program, BuildError> {
+        Self::build_with_latencies(source, defines, device, &LatencyModel::default())
+    }
+
+    /// As [`Program::build`] with an explicit latency model (used by the
+    /// baseline framework models and the ablation benches).
+    pub fn build_with_latencies(
+        source: &str,
+        defines: &[(String, String)],
+        device: &Device,
+        lat: &LatencyModel,
+    ) -> Result<Program, BuildError> {
+        let parsed = soff_frontend::compile(source, defines)?;
+        let module = soff_ir::build::lower(&parsed)?;
+        let mut kernels = Vec::new();
+        for kernel in module.kernels {
+            debug_assert!(soff_ir::verify::verify(&kernel).is_ok());
+            let datapath = Datapath::build(&kernel, lat);
+            let pa = soff_ir::pointer::analyze(&kernel);
+            let (groups, unknown) = soff_ir::pointer::global_cache_groups(&kernel, &pa);
+            let num_caches = groups
+                .iter()
+                .flatten()
+                .copied()
+                .max()
+                .map(|m| m + 1)
+                .unwrap_or(usize::from(unknown));
+            let local_bytes: u64 = kernel.local_vars.iter().map(|v| v.size).sum();
+            let cost = resource::datapath_cost_full(
+                &datapath,
+                num_caches.max(1),
+                local_bytes,
+                datapath.wg_slots,
+                kernel.private_bytes,
+            );
+            let replication = resource::replicate(cost, &device.system).map_err(|inner| {
+                BuildError::InsufficientResources { kernel: kernel.name.clone(), inner }
+            })?;
+            kernels.push(CompiledKernel { kernel, datapath, replication });
+        }
+        Ok(Program { kernels: Arc::new(kernels) })
+    }
+
+    /// The compiled kernels.
+    pub fn kernels(&self) -> &[CompiledKernel] {
+        &self.kernels
+    }
+
+    /// Creates an argument-binding handle for kernel `name`.
+    pub fn kernel(&self, name: &str) -> Option<KernelHandle> {
+        let idx = self.kernels.iter().position(|k| k.kernel.name == name)?;
+        let n = self.kernels[idx].kernel.params.len();
+        Some(KernelHandle { program: self.clone(), index: idx, args: vec![None; n] })
+    }
+}
+
+/// A kernel with (partially) bound arguments, analogous to `cl_kernel`
+/// after `clSetKernelArg` calls.
+#[derive(Debug, Clone)]
+pub struct KernelHandle {
+    program: Program,
+    index: usize,
+    args: Vec<Option<ArgValue>>,
+}
+
+impl KernelHandle {
+    /// The compiled kernel this handle launches.
+    pub fn compiled(&self) -> &CompiledKernel {
+        &self.program.kernels[self.index]
+    }
+
+    /// Binds a buffer argument.
+    pub fn set_arg_buffer(&mut self, i: usize, b: Buffer) -> &mut Self {
+        self.args[i] = Some(ArgValue::Buffer(b.0));
+        self
+    }
+
+    /// Binds a 32-bit integer argument.
+    pub fn set_arg_i32(&mut self, i: usize, v: i32) -> &mut Self {
+        self.args[i] = Some(ArgValue::Scalar(v as u32 as u64));
+        self
+    }
+
+    /// Binds a 64-bit integer argument.
+    pub fn set_arg_u64(&mut self, i: usize, v: u64) -> &mut Self {
+        self.args[i] = Some(ArgValue::Scalar(v));
+        self
+    }
+
+    /// Binds a float argument.
+    pub fn set_arg_f32(&mut self, i: usize, v: f32) -> &mut Self {
+        self.args[i] = Some(ArgValue::Scalar(v.to_bits() as u64));
+        self
+    }
+
+    /// Binds a double argument.
+    pub fn set_arg_f64(&mut self, i: usize, v: f64) -> &mut Self {
+        self.args[i] = Some(ArgValue::Scalar(v.to_bits()));
+        self
+    }
+
+    /// Sets the byte size of a `__local` pointer argument
+    /// (`clSetKernelArg(…, size, NULL)`).
+    pub fn set_arg_local(&mut self, i: usize, bytes: u64) -> &mut Self {
+        self.args[i] = Some(ArgValue::LocalSize(bytes));
+        self
+    }
+
+    fn collect_args(&self) -> Result<Vec<ArgValue>, LaunchError> {
+        let ck = self.compiled();
+        self.args
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                a.ok_or_else(|| LaunchError::MissingArgument {
+                    index: i,
+                    name: ck.kernel.params[i].name.clone(),
+                })
+            })
+            .collect()
+    }
+}
+
+/// Why a launch failed.
+#[derive(Debug)]
+pub enum LaunchError {
+    /// Argument `index` was never set.
+    MissingArgument {
+        /// Position of the missing argument.
+        index: usize,
+        /// Its source name.
+        name: String,
+    },
+    /// The simulated hardware failed (deadlock, timeout, bad arguments).
+    Sim(SimError),
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::MissingArgument { index, name } => {
+                write!(f, "kernel argument {index} (`{name}`) was never set")
+            }
+            LaunchError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for LaunchError {}
+
+impl From<SimError> for LaunchError {
+    fn from(e: SimError) -> Self {
+        LaunchError::Sim(e)
+    }
+}
+
+/// Timing and counters of one kernel execution.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecStats {
+    /// Raw simulation result.
+    pub sim: SimResult,
+    /// Wall-clock estimate at the device's clock.
+    pub seconds: f64,
+    /// Datapath instances used.
+    pub num_instances: u32,
+}
+
+/// An OpenCL-context analogue owning the device's global memory.
+#[derive(Debug)]
+pub struct Context {
+    device: Device,
+    gm: GlobalMemory,
+    registers: device::Registers,
+    /// Overrides the replication choice (e.g. `num_compute_units(N)`).
+    pub force_instances: Option<u32>,
+    /// Hard cycle budget per launch.
+    pub max_cycles: u64,
+}
+
+impl Context {
+    /// Creates a context on `device`.
+    pub fn new(device: Device) -> Context {
+        Context {
+            device,
+            gm: GlobalMemory::new(),
+            registers: device::Registers::default(),
+            force_instances: None,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// The device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The register file (visible for tests and the paper's execution-flow
+    /// fidelity).
+    pub fn registers(&self) -> &device::Registers {
+        &self.registers
+    }
+
+    /// Allocates a buffer of `size` bytes in device global memory.
+    pub fn create_buffer(&mut self, size: usize) -> Buffer {
+        Buffer(self.gm.alloc(size))
+    }
+
+    /// Writes raw bytes to a buffer (DMA host → device).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the buffer size.
+    pub fn write_buffer(&mut self, b: Buffer, data: &[u8]) {
+        self.gm.buffer_mut(b.0).bytes_mut()[..data.len()].copy_from_slice(data);
+    }
+
+    /// Reads the whole buffer back (DMA device → host).
+    pub fn read_buffer(&self, b: Buffer) -> Vec<u8> {
+        self.gm.buffer(b.0).bytes().to_vec()
+    }
+
+    /// Writes a slice of `f32` to a buffer.
+    pub fn write_buffer_f32(&mut self, b: Buffer, data: &[f32]) {
+        let bytes: Vec<u8> = data.iter().flat_map(|x| x.to_le_bytes()).collect();
+        self.write_buffer(b, &bytes);
+    }
+
+    /// Reads a buffer as `f32`s.
+    pub fn read_buffer_f32(&self, b: Buffer) -> Vec<f32> {
+        self.read_buffer(b)
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Writes a slice of `i32` to a buffer.
+    pub fn write_buffer_i32(&mut self, b: Buffer, data: &[i32]) {
+        let bytes: Vec<u8> = data.iter().flat_map(|x| x.to_le_bytes()).collect();
+        self.write_buffer(b, &bytes);
+    }
+
+    /// Reads a buffer as `i32`s.
+    pub fn read_buffer_i32(&self, b: Buffer) -> Vec<i32> {
+        self.read_buffer(b)
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Direct access to global memory (for the benchmark harness and the
+    /// reference interpreter).
+    pub fn global_memory_mut(&mut self) -> &mut GlobalMemory {
+        &mut self.gm
+    }
+
+    /// Launches `kernel` over `nd` and blocks until the completion
+    /// register is set (§III-C1).
+    ///
+    /// # Errors
+    ///
+    /// See [`LaunchError`].
+    pub fn enqueue_ndrange(
+        &mut self,
+        kernel: &KernelHandle,
+        nd: NdRange,
+    ) -> Result<ExecStats, LaunchError> {
+        let args = kernel.collect_args()?;
+        let ck = kernel.compiled();
+
+        // Execution flow of §III-C1: write argument/kernel-pointer/trigger
+        // registers, run, poll completion.
+        self.registers.argument = device::Registers::encode_ndrange(&nd).to_vec();
+        self.registers.kernel_pointer = kernel.index as u32;
+        self.registers.trigger = true;
+        self.registers.completion = false;
+
+        let num_instances =
+            self.force_instances.unwrap_or(ck.replication.num_datapaths).max(1);
+        let cfg = SimConfig {
+            cache: self.device.cache,
+            dram: self.device.dram_config(),
+            num_instances,
+            max_cycles: self.max_cycles,
+            ..SimConfig::default()
+        };
+        let sim = soff_sim::run(&ck.kernel, &ck.datapath, &cfg, nd, &args, &mut self.gm)?;
+
+        self.registers.trigger = false;
+        self.registers.completion = true;
+        Ok(ExecStats {
+            sim,
+            seconds: self.device.cycles_to_seconds(sim.cycles),
+            num_instances,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VADD: &str = "__kernel void vadd(__global const float* a, __global const float* b,
+                                           __global float* c) {
+        int i = get_global_id(0);
+        c[i] = a[i] + b[i];
+    }";
+
+    #[test]
+    fn end_to_end_vadd() {
+        let device = Device::system_a();
+        let program = Program::build(VADD, &[], &device).unwrap();
+        assert!(program.kernels()[0].replication.num_datapaths >= 1);
+        let mut ctx = Context::new(device);
+        let a = ctx.create_buffer(32 * 4);
+        let b = ctx.create_buffer(32 * 4);
+        let c = ctx.create_buffer(32 * 4);
+        ctx.write_buffer_f32(a, &(0..32).map(|i| i as f32).collect::<Vec<_>>());
+        ctx.write_buffer_f32(b, &(0..32).map(|i| (i * 2) as f32).collect::<Vec<_>>());
+        let mut k = program.kernel("vadd").unwrap();
+        k.set_arg_buffer(0, a).set_arg_buffer(1, b).set_arg_buffer(2, c);
+        let stats = ctx.enqueue_ndrange(&k, NdRange::dim1(32, 8)).unwrap();
+        assert_eq!(stats.sim.retired, 32);
+        assert!(ctx.registers().completion);
+        let out = ctx.read_buffer_f32(c);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * 3) as f32);
+        }
+    }
+
+    #[test]
+    fn missing_argument_reported() {
+        let device = Device::system_a();
+        let program = Program::build(VADD, &[], &device).unwrap();
+        let mut ctx = Context::new(device);
+        let a = ctx.create_buffer(16);
+        let mut k = program.kernel("vadd").unwrap();
+        k.set_arg_buffer(0, a);
+        let err = ctx.enqueue_ndrange(&k, NdRange::dim1(4, 4)).unwrap_err();
+        assert!(err.to_string().contains("never set"));
+    }
+
+    #[test]
+    fn compile_error_surfaces() {
+        let device = Device::system_a();
+        let err = Program::build("__kernel void k() { undeclared = 1; }", &[], &device)
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Compile(_)));
+    }
+
+    #[test]
+    fn forced_instance_count_is_used() {
+        let device = Device::system_a();
+        let program = Program::build(VADD, &[], &device).unwrap();
+        let mut ctx = Context::new(device);
+        ctx.force_instances = Some(2);
+        let a = ctx.create_buffer(64);
+        let b = ctx.create_buffer(64);
+        let c = ctx.create_buffer(64);
+        let mut k = program.kernel("vadd").unwrap();
+        k.set_arg_buffer(0, a).set_arg_buffer(1, b).set_arg_buffer(2, c);
+        let stats = ctx.enqueue_ndrange(&k, NdRange::dim1(16, 4)).unwrap();
+        assert_eq!(stats.num_instances, 2);
+    }
+}
+
+#[cfg(test)]
+mod register_tests {
+    use super::*;
+
+    #[test]
+    fn registers_follow_the_execution_flow() {
+        // §III-C1: write argument + kernel-pointer + trigger registers,
+        // run, poll completion. After a launch, completion must be set
+        // and trigger cleared.
+        let device = Device::system_a();
+        let program = Program::build(
+            "__kernel void a(__global int* x) { x[0] = 1; }
+             __kernel void b(__global int* x) { x[1] = 2; }",
+            &[],
+            &device,
+        )
+        .unwrap();
+        let mut ctx = Context::new(device);
+        let buf = ctx.create_buffer(16);
+        let mut kb = program.kernel("b").unwrap();
+        kb.set_arg_buffer(0, buf);
+        ctx.enqueue_ndrange(&kb, NdRange::dim1(1, 1)).unwrap();
+        // Kernel pointer selected the second circuit (§III-B).
+        assert_eq!(ctx.registers().kernel_pointer, 1);
+        assert!(ctx.registers().completion);
+        assert!(!ctx.registers().trigger);
+        // The NDRange was encoded into the argument register (7 ints).
+        assert_eq!(ctx.registers().argument.len(), 7);
+        assert_eq!(ctx.registers().argument[0], 1); // work_dim
+    }
+
+    #[test]
+    fn buffers_persist_across_launches() {
+        let device = Device::system_a();
+        let program = Program::build(
+            "__kernel void add1(__global int* x) { x[get_global_id(0)] += 1; }",
+            &[],
+            &device,
+        )
+        .unwrap();
+        let mut ctx = Context::new(device);
+        let buf = ctx.create_buffer(8 * 4);
+        ctx.write_buffer_i32(buf, &[0; 8]);
+        let mut k = program.kernel("add1").unwrap();
+        k.set_arg_buffer(0, buf);
+        for _ in 0..5 {
+            ctx.enqueue_ndrange(&k, NdRange::dim1(8, 4)).unwrap();
+        }
+        assert_eq!(ctx.read_buffer_i32(buf), vec![5; 8]);
+    }
+
+    #[test]
+    fn exec_stats_are_consistent() {
+        let device = Device::system_a();
+        let program = Program::build(
+            "__kernel void w(__global float* x) { x[get_global_id(0)] = 1.0f; }",
+            &[],
+            &device,
+        )
+        .unwrap();
+        let mut ctx = Context::new(device);
+        let buf = ctx.create_buffer(256 * 4);
+        let mut k = program.kernel("w").unwrap();
+        k.set_arg_buffer(0, buf);
+        let stats = ctx.enqueue_ndrange(&k, NdRange::dim1(256, 32)).unwrap();
+        assert_eq!(stats.sim.retired, 256);
+        assert!(stats.sim.cycles >= stats.sim.compute_cycles);
+        let expect_secs = stats.sim.cycles as f64 / (ctx.device().system.clock_soff_mhz * 1e6);
+        assert!((stats.seconds - expect_secs).abs() < 1e-12);
+    }
+}

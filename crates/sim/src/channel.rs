@@ -1,0 +1,156 @@
+//! Handshake channels with synchronous (snapshot) semantics.
+//!
+//! A channel models the registered valid/stall handshake of §II-A/§IV-B:
+//! a consumer only sees tokens that were present at the start of the
+//! cycle, and a producer may push at most one token per cycle and only
+//! when the start-of-cycle occupancy is below capacity. This makes the
+//! per-cycle component evaluation order irrelevant — exactly like
+//! synchronous hardware — and reproduces the paper's one-cycle stall
+//! recognition delay.
+
+use std::collections::VecDeque;
+
+/// Identifies a channel within one simulated machine (see `crate::machine`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChanId(pub usize);
+
+/// A bounded token FIFO with snapshot semantics.
+#[derive(Debug, Clone)]
+pub struct Channel<T> {
+    q: VecDeque<T>,
+    cap: usize,
+    /// Tokens visible to consumers this cycle.
+    visible: usize,
+    /// Occupancy at the start of the cycle (push limit).
+    occ_start: usize,
+    /// Total tokens ever pushed (for stats/debug).
+    pub total: u64,
+}
+
+impl<T> Channel<T> {
+    /// Creates a channel with the given capacity (≥ 1).
+    pub fn new(cap: usize) -> Channel<T> {
+        Channel { q: VecDeque::new(), cap: cap.max(1), visible: 0, occ_start: 0, total: 0 }
+    }
+
+    /// Called once at the start of every cycle.
+    pub fn begin_cycle(&mut self) {
+        self.visible = self.q.len();
+        self.occ_start = self.q.len();
+    }
+
+    /// Whether a consumer can pop this cycle.
+    pub fn can_pop(&self) -> bool {
+        self.visible > 0
+    }
+
+    /// Peeks the front token (only if visible).
+    pub fn front(&self) -> Option<&T> {
+        if self.visible > 0 {
+            self.q.front()
+        } else {
+            None
+        }
+    }
+
+    /// Pops the front token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no token is visible this cycle (check [`Channel::can_pop`]).
+    pub fn pop(&mut self) -> T {
+        assert!(self.visible > 0, "pop from channel with no visible token");
+        self.visible -= 1;
+        self.q.pop_front().expect("visible implies non-empty")
+    }
+
+    /// Whether a producer can push this cycle.
+    pub fn can_push(&self) -> bool {
+        self.occ_start < self.cap
+    }
+
+    /// Pushes a token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel was full at the start of the cycle.
+    pub fn push(&mut self, t: T) {
+        assert!(self.occ_start < self.cap, "push into full channel");
+        self.occ_start += 1; // single producer: count this push against the limit
+        self.total += 1;
+        self.q.push_back(t);
+    }
+
+    /// Current raw occupancy.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the channel holds no tokens at all.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Token;
+
+    fn tok(wi: u32) -> Token {
+        Token { wi, wg: 0, vals: Box::new([]) }
+    }
+
+    #[test]
+    fn pushed_token_invisible_until_next_cycle() {
+        let mut c = Channel::new(4);
+        c.begin_cycle();
+        c.push(tok(1));
+        assert!(!c.can_pop(), "same-cycle push must not be visible");
+        c.begin_cycle();
+        assert!(c.can_pop());
+        assert_eq!(c.pop().wi, 1);
+    }
+
+    #[test]
+    fn push_limit_uses_start_occupancy() {
+        let mut c = Channel::new(1);
+        c.begin_cycle();
+        c.push(tok(1));
+        assert!(!c.can_push(), "capacity 1 reached");
+        c.begin_cycle();
+        // Full at cycle start: pop this cycle does not free push space
+        // until next cycle (one-cycle stall recognition).
+        assert!(!c.can_push());
+        let _ = c.pop();
+        assert!(!c.can_push());
+        c.begin_cycle();
+        assert!(c.can_push());
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut c = Channel::new(4);
+        c.begin_cycle();
+        c.push(tok(1));
+        c.push(tok(2));
+        c.begin_cycle();
+        assert_eq!(c.pop().wi, 1);
+        assert_eq!(c.pop().wi, 2);
+        assert!(!c.can_pop());
+    }
+
+    #[test]
+    #[should_panic(expected = "push into full channel")]
+    fn overfull_push_panics() {
+        let mut c = Channel::new(1);
+        c.begin_cycle();
+        c.push(tok(1));
+        c.push(tok(2));
+    }
+}

@@ -1,0 +1,434 @@
+//! Glue-logic components (§IV-D, §IV-E3, §IV-F).
+//!
+//! * [`Branch`] routes a work-item to one of two successors based on the
+//!   live-out condition value; with order preservation it also records its
+//!   decision into a side FIFO.
+//! * [`Select`] merges two streams; the ordered variant uses the paper's
+//!   work-group-id queue (Fig. 8 (a)): the branch enqueues the work-group
+//!   id of every routed work-item, and the select only delivers work-items
+//!   whose work-group matches the queue head. Note that replaying exact
+//!   per-work-item decisions instead would deadlock: with a barrier inside
+//!   the branch, a work-item that lapped the loop could be ordered *before*
+//!   a slower work-item the barrier still waits for. Intra-group reorder
+//!   must remain legal; only the group order is preserved.
+//! * [`LoopEnter`]/[`LoopExit`] share a work-item counter and cap loop
+//!   occupancy at `N_max` (deadlock prevention, Theorem 1); the SWGR
+//!   variants additionally admit only one work-group at a time
+//!   (Fig. 8 (d)).
+//! * [`BarrierUnit`] is the work-group barrier FIFO (§IV-F1).
+
+use crate::channel::{ChanId, Channel};
+use crate::token::{Mapping, Token};
+use std::collections::VecDeque;
+
+/// Branch glue.
+#[derive(Debug)]
+pub struct Branch {
+    /// Input channel (raw live-out signature of the condition block).
+    pub inp: ChanId,
+    /// Index of the condition value within the input signature.
+    pub cond_idx: usize,
+    /// Taken output (channel, mapping).
+    pub taken: (ChanId, Mapping),
+    /// Not-taken output.
+    pub not_taken: (ChanId, Mapping),
+    /// Order-preservation side FIFO of work-group ids (shared with the
+    /// matching select glue).
+    pub decisions: Option<usize>,
+}
+
+/// Select glue merging the two arms of a branch.
+#[derive(Debug)]
+pub struct Select {
+    /// Arm delivering "taken" work-items.
+    pub from_taken: ChanId,
+    /// Arm delivering "not taken" work-items.
+    pub from_not_taken: ChanId,
+    /// Output channel (inputs are already in the output signature).
+    pub out: ChanId,
+    /// Decision FIFO index (ordered variant) or `None` (free round-robin).
+    pub decisions: Option<usize>,
+    /// Round-robin pointer for the unordered variant.
+    pub rr: bool,
+}
+
+/// Loop entrance glue (plain or SWGR).
+#[derive(Debug)]
+pub struct LoopEnter {
+    /// Channel from outside the loop.
+    pub outside: ChanId,
+    /// Back-edge channel (priority — this is what prevents deadlock when
+    /// the loop is at capacity).
+    pub backedge: ChanId,
+    /// Output toward the loop's first pipeline.
+    pub out: ChanId,
+    /// Shared occupancy counter index.
+    pub counter: usize,
+    /// Occupancy bound `N_max`.
+    pub nmax: u64,
+    /// Single-work-group-region behaviour (Fig. 8 (d)).
+    pub swgr: bool,
+    /// Current work-group when `swgr` (valid while the loop is non-empty).
+    pub cur_wg: u32,
+}
+
+/// Loop exit glue: decrements the shared counter.
+#[derive(Debug)]
+pub struct LoopExit {
+    /// Input (the not-taken arm of the loop condition's branch).
+    pub inp: ChanId,
+    /// Output toward the code after the loop.
+    pub out: ChanId,
+    /// Shared occupancy counter index.
+    pub counter: usize,
+}
+
+/// The work-group barrier unit: a FIFO that releases one complete
+/// work-group at a time (§IV-F1).
+#[derive(Debug)]
+pub struct BarrierUnit {
+    /// Input channel.
+    pub inp: ChanId,
+    /// Output channel (same signature).
+    pub out: ChanId,
+    /// Work-group size of the current launch.
+    pub wg_size: u64,
+    /// Stored live-variable tokens.
+    pub buf: VecDeque<Token>,
+    /// Tokens of the released work-group still to emit.
+    pub releasing: u64,
+}
+
+/// A bounded side FIFO of work-group ids (§IV-F1: "the branch glue
+/// enqueues the work-group ID of every incoming work-item").
+#[derive(Debug)]
+pub struct DecisionFifo {
+    /// Stored work-group ids, one per routed work-item.
+    pub q: VecDeque<u32>,
+    /// Capacity (must cover the construct's work-item capacity).
+    pub cap: usize,
+}
+
+impl Branch {
+    /// Advances one cycle.
+    pub fn tick(&mut self, chans: &mut [Channel<Token>], fifos: &mut [DecisionFifo]) {
+        let Some(front) = chans[self.inp.0].front() else { return };
+        let taken = front.vals[self.cond_idx] != 0;
+        let (dst, map) = if taken { &self.taken } else { &self.not_taken };
+        if !chans[dst.0].can_push() {
+            return;
+        }
+        if let Some(f) = self.decisions {
+            if fifos[f].q.len() >= fifos[f].cap {
+                return;
+            }
+        }
+        let tok = chans[self.inp.0].pop();
+        let wg = tok.wg;
+        let mapped = map.apply(&tok);
+        chans[dst.0].push(mapped);
+        if let Some(f) = self.decisions {
+            fifos[f].q.push_back(wg);
+        }
+    }
+}
+
+impl Select {
+    /// Advances one cycle (delivers at most one work-item).
+    pub fn tick(&mut self, chans: &mut [Channel<Token>], fifos: &mut [DecisionFifo]) {
+        if !chans[self.out.0].can_push() {
+            return;
+        }
+        match self.decisions {
+            Some(f) => {
+                // Work-group-order preservation: deliver any work-item of
+                // the work-group at the head of the id queue, from either
+                // arm (both arms preserve work-group order internally).
+                let Some(&head_wg) = fifos[f].q.front() else { return };
+                let order = if self.rr {
+                    [self.from_taken, self.from_not_taken]
+                } else {
+                    [self.from_not_taken, self.from_taken]
+                };
+                for src in order {
+                    let matches =
+                        chans[src.0].front().map(|t| t.wg == head_wg).unwrap_or(false);
+                    if matches {
+                        fifos[f].q.pop_front();
+                        let tok = chans[src.0].pop();
+                        chans[self.out.0].push(tok);
+                        self.rr = !self.rr;
+                        return;
+                    }
+                }
+            }
+            None => {
+                // Free merging: round-robin between the arms.
+                let order = if self.rr {
+                    [self.from_taken, self.from_not_taken]
+                } else {
+                    [self.from_not_taken, self.from_taken]
+                };
+                for src in order {
+                    if chans[src.0].can_pop() {
+                        let tok = chans[src.0].pop();
+                        chans[self.out.0].push(tok);
+                        self.rr = !self.rr;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl LoopEnter {
+    /// Advances one cycle. Back-edge work-items have priority — a
+    /// work-item re-entering the loop must never be blocked by new
+    /// arrivals, or the loop deadlocks at capacity.
+    pub fn tick(&mut self, chans: &mut [Channel<Token>], counters: &mut [u64]) {
+        if !chans[self.out.0].can_push() {
+            return;
+        }
+        if chans[self.backedge.0].can_pop() {
+            let tok = chans[self.backedge.0].pop();
+            chans[self.out.0].push(tok);
+            return;
+        }
+        if counters[self.counter] >= self.nmax {
+            return;
+        }
+        let Some(front) = chans[self.outside.0].front() else { return };
+        if self.swgr {
+            // Admit only work-items of the current work-group; adopt a new
+            // group only when the loop is empty.
+            if counters[self.counter] == 0 {
+                self.cur_wg = front.wg;
+            } else if front.wg != self.cur_wg {
+                return;
+            }
+        }
+        let tok = chans[self.outside.0].pop();
+        counters[self.counter] += 1;
+        chans[self.out.0].push(tok);
+    }
+}
+
+impl LoopExit {
+    /// Advances one cycle.
+    pub fn tick(&mut self, chans: &mut [Channel<Token>], counters: &mut [u64]) {
+        if chans[self.inp.0].can_pop() && chans[self.out.0].can_push() {
+            let tok = chans[self.inp.0].pop();
+            debug_assert!(counters[self.counter] > 0, "loop exit with zero occupancy");
+            counters[self.counter] -= 1;
+            chans[self.out.0].push(tok);
+        }
+    }
+}
+
+impl BarrierUnit {
+    /// Advances one cycle: accepts one arrival and emits one release.
+    pub fn tick(&mut self, chans: &mut [Channel<Token>]) {
+        // Accept (the barrier's storage is its own embedded-memory FIFO).
+        if chans[self.inp.0].can_pop() {
+            let tok = chans[self.inp.0].pop();
+            self.buf.push_back(tok);
+        }
+        // Begin releasing when a full work-group has arrived.
+        if self.releasing == 0 && self.buf.len() as u64 >= self.wg_size {
+            let wg = self.buf[0].wg;
+            debug_assert!(
+                self.buf.iter().take(self.wg_size as usize).all(|t| t.wg == wg),
+                "barrier received interleaved work-groups (work-group order violated)"
+            );
+            self.releasing = self.wg_size;
+        }
+        if self.releasing > 0 && chans[self.out.0].can_push() {
+            let tok = self.buf.pop_front().expect("releasing implies non-empty");
+            chans[self.out.0].push(tok);
+            self.releasing -= 1;
+        }
+    }
+
+    /// Whether the barrier holds no work-items.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok(wi: u32, wg: u32, vals: &[u64]) -> Token {
+        Token { wi, wg, vals: vals.to_vec().into_boxed_slice() }
+    }
+
+    fn begin(chans: &mut [Channel<Token>]) {
+        for c in chans {
+            c.begin_cycle();
+        }
+    }
+
+    #[test]
+    fn branch_routes_by_condition() {
+        let mut chans = vec![Channel::new(4), Channel::new(4), Channel::new(4)];
+        let mut b = Branch {
+            inp: ChanId(0),
+            cond_idx: 0,
+            taken: (ChanId(1), Mapping::identity()),
+            not_taken: (ChanId(2), Mapping::identity()),
+            decisions: None,
+        };
+        begin(&mut chans);
+        chans[0].push(tok(1, 0, &[1]));
+        chans[0].push(tok(2, 0, &[0]));
+        begin(&mut chans);
+        b.tick(&mut chans, &mut []);
+        b.tick(&mut chans, &mut []);
+        begin(&mut chans);
+        assert_eq!(chans[1].pop().wi, 1);
+        assert_eq!(chans[2].pop().wi, 2);
+    }
+
+    #[test]
+    fn ordered_select_preserves_work_group_order() {
+        // Work-group 0's items (wi 1 taken, wi 2 not-taken) must all be
+        // delivered before work-group 1's item (wi 3, taken), even though
+        // wi 3 is already waiting in the taken arm.
+        let mut chans: Vec<Channel<Token>> =
+            vec![Channel::new(8), Channel::new(8), Channel::new(8)];
+        let mut fifos = vec![DecisionFifo { q: VecDeque::new(), cap: 16 }];
+        fifos[0].q.extend([0u32, 0, 1]); // branch saw wg 0, wg 0, wg 1
+        let mut s = Select {
+            from_taken: ChanId(0),
+            from_not_taken: ChanId(1),
+            out: ChanId(2),
+            decisions: Some(0),
+            rr: false,
+        };
+        begin(&mut chans);
+        chans[0].push(tok(1, 0, &[]));
+        chans[0].push(tok(3, 1, &[])); // wg 1 queued behind wg 0 in-arm
+        chans[1].push(tok(2, 0, &[]));
+        for _ in 0..6 {
+            begin(&mut chans);
+            s.tick(&mut chans, &mut fifos);
+        }
+        begin(&mut chans);
+        let order: Vec<u32> = (0..3).map(|_| chans[2].pop().wg).collect();
+        assert_eq!(order, vec![0, 0, 1], "work-group order must be preserved");
+    }
+
+    #[test]
+    fn ordered_select_allows_intra_group_reorder() {
+        // Within one work-group the select may deliver from either arm —
+        // required so a barrier inside one arm cannot deadlock the merge.
+        let mut chans: Vec<Channel<Token>> =
+            vec![Channel::new(8), Channel::new(8), Channel::new(8)];
+        let mut fifos = vec![DecisionFifo { q: VecDeque::new(), cap: 16 }];
+        fifos[0].q.extend([0u32, 0]);
+        let mut s = Select {
+            from_taken: ChanId(0),
+            from_not_taken: ChanId(1),
+            out: ChanId(2),
+            decisions: Some(0),
+            rr: false,
+        };
+        begin(&mut chans);
+        // Only the not-taken arm has a token (the taken one is stuck at a
+        // barrier); the select must still deliver it.
+        chans[1].push(tok(7, 0, &[]));
+        begin(&mut chans);
+        s.tick(&mut chans, &mut fifos);
+        begin(&mut chans);
+        assert_eq!(chans[2].pop().wi, 7);
+        assert_eq!(fifos[0].q.len(), 1);
+    }
+
+    #[test]
+    fn loop_enter_enforces_nmax_and_prioritizes_backedge() {
+        let mut chans: Vec<Channel<Token>> =
+            vec![Channel::new(8), Channel::new(8), Channel::new(8)];
+        let mut counters = vec![0u64];
+        let mut e = LoopEnter {
+            outside: ChanId(0),
+            backedge: ChanId(1),
+            out: ChanId(2),
+            counter: 0,
+            nmax: 1,
+            swgr: false,
+            cur_wg: 0,
+        };
+        begin(&mut chans);
+        chans[0].push(tok(1, 0, &[]));
+        chans[0].push(tok(2, 0, &[]));
+        begin(&mut chans);
+        e.tick(&mut chans, &mut counters);
+        assert_eq!(counters[0], 1);
+        begin(&mut chans);
+        e.tick(&mut chans, &mut counters); // nmax reached: wi 2 must wait
+        assert_eq!(counters[0], 1);
+        assert_eq!(chans[2].len(), 1);
+        // A back-edge token goes through even at capacity.
+        chans[1].push(tok(1, 0, &[]));
+        begin(&mut chans);
+        e.tick(&mut chans, &mut counters);
+        assert_eq!(chans[2].len(), 2);
+        assert_eq!(counters[0], 1);
+    }
+
+    #[test]
+    fn swgr_admits_one_group_at_a_time() {
+        let mut chans: Vec<Channel<Token>> =
+            vec![Channel::new(8), Channel::new(8), Channel::new(8)];
+        let mut counters = vec![0u64];
+        let mut e = LoopEnter {
+            outside: ChanId(0),
+            backedge: ChanId(1),
+            out: ChanId(2),
+            counter: 0,
+            nmax: 100,
+            swgr: true,
+            cur_wg: 0,
+        };
+        begin(&mut chans);
+        chans[0].push(tok(1, 0, &[]));
+        chans[0].push(tok(2, 1, &[])); // different work-group
+        begin(&mut chans);
+        e.tick(&mut chans, &mut counters);
+        begin(&mut chans);
+        e.tick(&mut chans, &mut counters);
+        assert_eq!(chans[2].len(), 1, "wg 1 must wait until the loop drains");
+        // Drain the loop (simulate exit): counter to 0.
+        counters[0] = 0;
+        begin(&mut chans);
+        e.tick(&mut chans, &mut counters);
+        assert_eq!(chans[2].len(), 2);
+    }
+
+    #[test]
+    fn barrier_releases_full_group() {
+        let mut chans: Vec<Channel<Token>> = vec![Channel::new(8), Channel::new(8)];
+        let mut b = BarrierUnit {
+            inp: ChanId(0),
+            out: ChanId(1),
+            wg_size: 2,
+            buf: VecDeque::new(),
+            releasing: 0,
+        };
+        begin(&mut chans);
+        chans[0].push(tok(1, 0, &[]));
+        begin(&mut chans);
+        b.tick(&mut chans);
+        assert!(chans[1].is_empty(), "half a group must not release");
+        chans[0].push(tok(2, 0, &[]));
+        begin(&mut chans);
+        b.tick(&mut chans);
+        begin(&mut chans);
+        b.tick(&mut chans);
+        begin(&mut chans);
+        b.tick(&mut chans);
+        assert_eq!(chans[1].len(), 2, "full group releases");
+    }
+}

@@ -1,0 +1,145 @@
+//! Launch context: the NDRange, bound argument values, and work-item
+//! identity arithmetic.
+
+use soff_ir::interp::InterpError;
+use soff_ir::ir::{Kernel, NdRange, ParamKind};
+use soff_ir::mem::{self, ArgValue};
+
+/// Identity of one work-item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WiInfo {
+    /// Global id per dimension.
+    pub gid: [u64; 3],
+    /// Local id per dimension.
+    pub lid: [u64; 3],
+    /// Work-group id per dimension.
+    pub group: [u64; 3],
+    /// Linear work-group serial.
+    pub wg: u32,
+}
+
+/// Everything about one kernel launch the datapath needs.
+#[derive(Debug, Clone)]
+pub struct LaunchCtx {
+    /// The NDRange.
+    pub nd: NdRange,
+    /// Argument values in [`Kernel::params`] order (buffer base addresses
+    /// for buffers, encoded local bases for local pointers).
+    pub params: Vec<u64>,
+    /// Byte sizes of the kernel's local variables (host-set for
+    /// `__local` pointer arguments).
+    pub local_sizes: Vec<u64>,
+}
+
+impl LaunchCtx {
+    /// Binds `args` against the kernel signature (same rules as the
+    /// reference interpreter).
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::BadArguments`] on arity or kind mismatch.
+    pub fn bind(kernel: &Kernel, nd: NdRange, args: &[ArgValue]) -> Result<LaunchCtx, InterpError> {
+        if args.len() != kernel.params.len() {
+            return Err(InterpError::BadArguments(format!(
+                "expected {} arguments, got {}",
+                kernel.params.len(),
+                args.len()
+            )));
+        }
+        let mut local_sizes: Vec<u64> = kernel.local_vars.iter().map(|v| v.size).collect();
+        let mut params = Vec::with_capacity(args.len());
+        for (p, a) in kernel.params.iter().zip(args) {
+            let v = match (&p.kind, a) {
+                (ParamKind::Scalar(s), ArgValue::Scalar(bits)) => {
+                    soff_ir::eval::canonical(*s, *bits)
+                }
+                (ParamKind::Buffer { .. }, ArgValue::Buffer(id)) => mem::global_addr(*id, 0),
+                (ParamKind::LocalPointer { var, .. }, ArgValue::LocalSize(sz)) => {
+                    local_sizes[*var] = *sz;
+                    mem::local_addr(*var, 0)
+                }
+                (k, a) => {
+                    return Err(InterpError::BadArguments(format!(
+                        "argument `{}` is {k:?} but got {a:?}",
+                        p.name
+                    )))
+                }
+            };
+            params.push(v);
+        }
+        Ok(LaunchCtx { nd, params, local_sizes })
+    }
+
+    /// Total work-items.
+    pub fn total_work_items(&self) -> u64 {
+        self.nd.total_work_items()
+    }
+
+    /// Work-group size.
+    pub fn wg_size(&self) -> u64 {
+        self.nd.work_group_size()
+    }
+
+    /// Computes the identity of work-item `serial` (work-groups are
+    /// linearized x-fastest, work-items within a group likewise, matching
+    /// the dispatcher and the reference interpreter).
+    pub fn wi_info(&self, serial: u32) -> WiInfo {
+        let wg_size = self.wg_size();
+        let serial = serial as u64;
+        let wg = serial / wg_size;
+        let lin_l = serial % wg_size;
+        let lid = unflatten(lin_l, self.nd.local);
+        let groups = [
+            self.nd.groups_in_dim(0),
+            self.nd.groups_in_dim(1),
+            self.nd.groups_in_dim(2),
+        ];
+        let group = unflatten(wg, groups);
+        let gid = [
+            group[0] * self.nd.local[0] + lid[0],
+            group[1] * self.nd.local[1] + lid[1],
+            group[2] * self.nd.local[2] + lid[2],
+        ];
+        WiInfo { gid, lid, group, wg: wg as u32 }
+    }
+}
+
+fn unflatten(mut lin: u64, dims: [u64; 3]) -> [u64; 3] {
+    let x = lin % dims[0];
+    lin /= dims[0];
+    let y = lin % dims[1];
+    lin /= dims[1];
+    [x, y, lin]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wi_info_matches_linearization() {
+        let l = LaunchCtx {
+            nd: NdRange::dim2([8, 4], [4, 2]),
+            params: vec![],
+            local_sizes: vec![],
+        };
+        // wg_size = 8; serial 10 → wg 1, lin_l 2 → lid (2,0); wg 1 → group (1,0).
+        let info = l.wi_info(10);
+        assert_eq!(info.wg, 1);
+        assert_eq!(info.lid, [2, 0, 0]);
+        assert_eq!(info.group, [1, 0, 0]);
+        assert_eq!(info.gid, [6, 0, 0]);
+    }
+
+    #[test]
+    fn wi_info_third_dimension() {
+        let l = LaunchCtx {
+            nd: NdRange::dim3([2, 2, 2], [1, 1, 1]),
+            params: vec![],
+            local_sizes: vec![],
+        };
+        let info = l.wi_info(7);
+        assert_eq!(info.group, [1, 1, 1]);
+        assert_eq!(info.gid, [1, 1, 1]);
+    }
+}

@@ -1,0 +1,733 @@
+//! The whole reconfigurable region (§III-B, Fig. 2): work-item
+//! dispatcher, replicated datapath instances, memory subsystem, and the
+//! work-item counter that triggers the final cache flush.
+
+use crate::channel::{ChanId, Channel};
+use crate::glue::{BarrierUnit, Branch, DecisionFifo, LoopEnter, LoopExit, Select};
+use crate::launch::LaunchCtx;
+use crate::memsys::{CachePlan, MemTarget, MemorySystem};
+use crate::token::{edge_mapping, Mapping, Token};
+use crate::units::PipelineSim;
+use soff_datapath::{Datapath, PipeNode};
+use soff_ir::interp::InterpError;
+use soff_ir::ir::{BlockId, InstKind, Kernel, NdRange, ValueId};
+use soff_ir::mem::{ArgValue, GlobalMemory};
+use soff_ir::pointer::{self, Provenance};
+use soff_mem::{CacheConfig, CacheStats, DramConfig, DramStats, PortId};
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Cache geometry/timing (per cache instance).
+    pub cache: CacheConfig,
+    /// External memory timing.
+    pub dram: DramConfig,
+    /// Number of datapath instances (from the resource model).
+    pub num_instances: u32,
+    /// Hard cycle budget.
+    pub max_cycles: u64,
+    /// Cycles without progress before reporting a deadlock.
+    pub deadlock_window: u64,
+    /// Ablation: collapse all global accesses into one shared cache
+    /// instead of one per (buffer × datapath) (§V-A).
+    pub force_shared_cache: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cache: CacheConfig::default(),
+            dram: DramConfig::default(),
+            num_instances: 1,
+            max_cycles: 2_000_000_000,
+            deadlock_window: 100_000,
+            force_shared_cache: false,
+        }
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// No token moved for the configured window (a real deadlock would
+    /// look like this; so does an infinite single-work-item loop).
+    Deadlock {
+        /// Cycle at which progress stopped.
+        cycle: u64,
+    },
+    /// The cycle budget ran out.
+    Timeout {
+        /// The configured budget.
+        max_cycles: u64,
+    },
+    /// Bad launch arguments.
+    Args(InterpError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { cycle } => write!(f, "datapath made no progress after cycle {cycle}"),
+            SimError::Timeout { max_cycles } => write!(f, "exceeded {max_cycles} simulated cycles"),
+            SimError::Args(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<InterpError> for SimError {
+    fn from(e: InterpError) -> Self {
+        SimError::Args(e)
+    }
+}
+
+/// Result of one simulated kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Total cycles including the final cache flush.
+    pub cycles: u64,
+    /// Cycles until the last work-item retired.
+    pub compute_cycles: u64,
+    /// Work-items executed.
+    pub retired: u64,
+    /// Aggregated cache statistics.
+    pub cache: CacheStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// Datapath instances used.
+    pub num_instances: u32,
+    /// Cycles any functional unit's output was blocked by a full channel
+    /// (Case-2 stalls, §IV-C).
+    pub output_stalls: u64,
+    /// Cycles memory units could not issue (Case-1 stalls: the unit was
+    /// holding `L_F + 1` work-items, or its cache port was busy).
+    pub issue_stalls: u64,
+}
+
+enum Comp {
+    Pipe(PipelineSim),
+    Branch(Branch),
+    Select(Select),
+    Enter(LoopEnter),
+    Exit(LoopExit),
+    Barrier(BarrierUnit),
+}
+
+struct Dispatcher {
+    entry: ChanId,
+    retire: ChanId,
+    /// Current work-group being streamed: (serial, next local index).
+    cur: Option<(u64, u64)>,
+    /// In-flight work-groups → remaining work-items.
+    active: HashMap<u32, u64>,
+}
+
+/// Runs `kernel`'s datapath `dp` over `nd` against `gm`.
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn run(
+    kernel: &Kernel,
+    dp: &Datapath,
+    cfg: &SimConfig,
+    nd: NdRange,
+    args: &[ArgValue],
+    gm: &mut GlobalMemory,
+) -> Result<SimResult, SimError> {
+    let launch = LaunchCtx::bind(kernel, nd, args)?;
+    let pa = pointer::analyze(kernel);
+    let mut plan = CachePlan::plan(kernel, &pa);
+    if cfg.force_shared_cache && plan.num_groups > 0 {
+        for g in plan.group_of_value.iter_mut().flatten() {
+            *g = 0;
+        }
+        plan.num_groups = 1;
+        plan.shared = true;
+    }
+    let n_inst = cfg.num_instances.max(1) as usize;
+    let mut mem = MemorySystem::build(kernel, dp, &plan, n_inst, cfg.cache, cfg.dram, &launch);
+
+    let mut b = Builder {
+        k: kernel,
+        dp,
+        launch: &launch,
+        plan: &plan,
+        pa: &pa,
+        mem: &mut mem,
+        chans: Vec::new(),
+        comps: Vec::new(),
+        fifos: Vec::new(),
+        counters: Vec::new(),
+        local_next_port: vec![0; kernel.local_vars.len() * n_inst],
+        inst: 0,
+        nvars: kernel.local_vars.len(),
+        wg_size: launch.wg_size(),
+    };
+
+    let root = dp.root.clone();
+    let mut dispatchers = Vec::with_capacity(n_inst);
+    for inst in 0..n_inst {
+        b.inst = inst;
+        let entry = b.new_chan(2);
+        let retire = b.new_chan(4);
+        debug_assert!(
+            b.live_in_sig(dp.root_entry_block()).is_empty(),
+            "entry block must have an empty live-in signature"
+        );
+        b.build_node(&root, entry, retire, None);
+        dispatchers.push(Dispatcher { entry, retire, cur: None, active: HashMap::new() });
+    }
+
+    let Builder { mut chans, mut comps, mut fifos, mut counters, .. } = b;
+
+    // ---- main clock loop -------------------------------------------------
+    let total = launch.total_work_items();
+    let num_wgs = nd.num_groups();
+    let wg_size = launch.wg_size();
+    let gate_wgs = kernel.uses_local;
+    let mut next_wg = 0u64;
+    let mut retired = 0u64;
+    let mut now = 0u64;
+    let mut last_metric = u64::MAX;
+    let mut last_progress = 0u64;
+
+    loop {
+        if now > cfg.max_cycles {
+            return Err(SimError::Timeout { max_cycles: cfg.max_cycles });
+        }
+        for c in &mut chans {
+            c.begin_cycle();
+        }
+        // Work-item dispatcher (§III-B): one work-item per cycle per
+        // datapath, work-groups streamed contiguously.
+        for d in &mut dispatchers {
+            if !chans[d.entry.0].can_push() {
+                continue;
+            }
+            if d.cur.is_none()
+                && next_wg < num_wgs
+                && (!gate_wgs || (d.active.len() as u64) < dp.wg_slots)
+            {
+                d.cur = Some((next_wg, 0));
+                d.active.insert(next_wg as u32, wg_size);
+                next_wg += 1;
+            }
+            if let Some((wg, lid)) = &mut d.cur {
+                let wi = (*wg * wg_size + *lid) as u32;
+                chans[d.entry.0].push(Token { wi, wg: *wg as u32, vals: Box::new([]) });
+                *lid += 1;
+                if *lid == wg_size {
+                    d.cur = None;
+                }
+            }
+        }
+        // Datapath components.
+        for c in &mut comps {
+            match c {
+                Comp::Pipe(p) => p.tick(now, &mut chans, &mut mem, &launch, kernel),
+                Comp::Branch(x) => x.tick(&mut chans, &mut fifos),
+                Comp::Select(x) => x.tick(&mut chans, &mut fifos),
+                Comp::Enter(x) => x.tick(&mut chans, &mut counters),
+                Comp::Exit(x) => x.tick(&mut chans, &mut counters),
+                Comp::Barrier(x) => x.tick(&mut chans),
+            }
+        }
+        // Memory subsystem.
+        mem.tick(now, gm);
+        // Work-item counter (§III-B).
+        for d in &mut dispatchers {
+            while chans[d.retire.0].can_pop() {
+                let tok = chans[d.retire.0].pop();
+                retired += 1;
+                mem.private.release(tok.wi);
+                if let Some(rem) = d.active.get_mut(&tok.wg) {
+                    *rem -= 1;
+                    if *rem == 0 {
+                        d.active.remove(&tok.wg);
+                    }
+                }
+            }
+        }
+
+        if retired == total {
+            let done = mem.flush_all(now);
+            let (output_stalls, issue_stalls) = comps
+                .iter()
+                .filter_map(|c| match c {
+                    Comp::Pipe(p) => Some((p.stats.output_stalls, p.stats.issue_stalls)),
+                    _ => None,
+                })
+                .fold((0, 0), |(o, i), (po, pi)| (o + po, i + pi));
+            return Ok(SimResult {
+                cycles: done,
+                compute_cycles: now,
+                retired,
+                cache: mem.cache_stats(),
+                dram: mem.dram.stats,
+                num_instances: n_inst as u32,
+                output_stalls,
+                issue_stalls,
+            });
+        }
+
+        // Progress / deadlock detection.
+        let metric = retired
+            + chans.iter().map(|c| c.total).sum::<u64>()
+            + mem.cache_stats().accesses;
+        if metric != last_metric {
+            last_metric = metric;
+            last_progress = now;
+        } else if now - last_progress > cfg.deadlock_window {
+            if std::env::var_os("SOFF_SIM_DEBUG").is_some() {
+                dump_state(&chans, &comps, &counters, &fifos);
+            }
+            return Err(SimError::Deadlock { cycle: last_progress });
+        }
+        now += 1;
+    }
+}
+
+/// Prints the stuck state (enable with `SOFF_SIM_DEBUG=1`).
+fn dump_state(chans: &[Channel<Token>], comps: &[Comp], counters: &[u64], fifos: &[DecisionFifo]) {
+    eprintln!("--- deadlock dump ---");
+    for (i, c) in chans.iter().enumerate() {
+        if !c.is_empty() {
+            eprintln!("chan {i}: {}/{} tokens (front wi {:?})", c.len(), c.capacity(), c.front().map(|t| t.wi));
+        }
+    }
+    eprintln!("counters: {counters:?}");
+    for (i, f) in fifos.iter().enumerate() {
+        if !f.q.is_empty() {
+            eprintln!("decision fifo {i}: {} entries, head={:?} cap={}", f.q.len(), f.q.front(), f.cap);
+        }
+    }
+    for (i, c) in comps.iter().enumerate() {
+        match c {
+            Comp::Pipe(p) => {
+                eprintln!(
+                    "comp {i}: pipeline in={} out={}{}",
+                    p.in_chan.0,
+                    p.out_chan.0,
+                    if p.is_empty() { "" } else { " HOLDING" }
+                );
+            }
+            Comp::Barrier(b) => {
+                eprintln!(
+                    "comp {i}: barrier in={} out={} buf={} releasing={}",
+                    b.inp.0, b.out.0, b.buf.len(), b.releasing
+                );
+            }
+            Comp::Enter(e) => {
+                eprintln!(
+                    "comp {i}: enter outside={} back={} out={} counter#{}={} nmax={} swgr={} cur_wg={}",
+                    e.outside.0, e.backedge.0, e.out.0, e.counter, counters[e.counter], e.nmax, e.swgr, e.cur_wg
+                );
+            }
+            Comp::Exit(x) => eprintln!("comp {i}: exit in={} out={} counter#{}", x.inp.0, x.out.0, x.counter),
+            Comp::Branch(b) => eprintln!(
+                "comp {i}: branch in={} t={} f={} fifo={:?}",
+                b.inp.0, b.taken.0 .0, b.not_taken.0 .0, b.decisions
+            ),
+            Comp::Select(sl) => eprintln!(
+                "comp {i}: select t={} f={} out={} fifo={:?}",
+                sl.from_taken.0, sl.from_not_taken.0, sl.out.0, sl.decisions
+            ),
+        }
+    }
+}
+
+/// Extension used by the machine: the entry block of the datapath root.
+trait RootEntry {
+    fn root_entry_block(&self) -> BlockId;
+}
+
+impl RootEntry for Datapath {
+    fn root_entry_block(&self) -> BlockId {
+        entry_of(&self.root, &self.basics)
+    }
+}
+
+fn entry_of(node: &PipeNode, basics: &[soff_datapath::BasicPipeline]) -> BlockId {
+    match node {
+        PipeNode::Basic(i) => basics[*i].dfg.block,
+        PipeNode::Seq(cs) => cs
+            .iter()
+            .find(|c| !matches!(c, PipeNode::Barrier { .. }))
+            .map(|c| entry_of(c, basics))
+            .expect("sequence with only barriers"),
+        PipeNode::IfThen { cond, .. } | PipeNode::IfThenElse { cond, .. } => {
+            basics[*cond].dfg.block
+        }
+        PipeNode::While { cond, .. } => basics[*cond].dfg.block,
+        PipeNode::SelfLoop { body, .. } => entry_of(body, basics),
+        PipeNode::Barrier { .. } => panic!("barrier has no entry block"),
+    }
+}
+
+struct Builder<'a> {
+    k: &'a Kernel,
+    dp: &'a Datapath,
+    launch: &'a LaunchCtx,
+    plan: &'a CachePlan,
+    pa: &'a pointer::PointerAnalysis,
+    mem: &'a mut MemorySystem,
+    chans: Vec<Channel<Token>>,
+    comps: Vec<Comp>,
+    fifos: Vec<DecisionFifo>,
+    counters: Vec<u64>,
+    local_next_port: Vec<usize>,
+    inst: usize,
+    nvars: usize,
+    wg_size: u64,
+}
+
+/// Capacity of plain inter-pipeline channels (a registered handshake plus
+/// one skid slot).
+const GLUE_CAP: usize = 2;
+
+impl<'a> Builder<'a> {
+    fn new_chan(&mut self, cap: usize) -> ChanId {
+        self.chans.push(Channel::new(cap));
+        ChanId(self.chans.len() - 1)
+    }
+
+    fn basic_idx(&self, b: BlockId) -> usize {
+        self.dp.basic_of_block[&b]
+    }
+
+    fn live_in_sig(&self, b: BlockId) -> &[ValueId] {
+        &self.dp.basics[self.basic_idx(b)].dfg.live_in
+    }
+
+    fn live_out_sig(&self, b: BlockId) -> &[ValueId] {
+        &self.dp.basics[self.basic_idx(b)].dfg.live_out
+    }
+
+    /// Mapping for CFG edge `p → s` (`None` = kernel exit: empty token).
+    fn map_edge(&self, p: BlockId, s: Option<BlockId>) -> Mapping {
+        match s {
+            None => Mapping { slots: Vec::new(), identity: false },
+            Some(s) => edge_mapping(
+                self.k,
+                p,
+                self.live_out_sig(p),
+                s,
+                self.live_in_sig(s),
+                &self.launch.params,
+            ),
+        }
+    }
+
+    /// Builds the pipeline for block-index `bidx`, with the sink either
+    /// mapping directly onto `succ`'s signature or (for condition blocks)
+    /// emitting the raw live-out signature for a branch glue.
+    fn build_basic(
+        &mut self,
+        bidx: usize,
+        in_chan: ChanId,
+        out_chan: ChanId,
+        map: Option<Mapping>,
+    ) {
+        let bp = &self.dp.basics[bidx];
+        let k = self.k;
+        let plan = self.plan;
+        let pa = self.pa;
+        let inst = self.inst;
+        let nvars = self.nvars;
+        let mem = &mut *self.mem;
+        let local_next_port = &mut self.local_next_port;
+        let pipe = PipelineSim::build(
+            k,
+            bp,
+            in_chan,
+            out_chan,
+            map,
+            &self.launch.params,
+            |v: ValueId, _class| -> (MemTarget, PortId) {
+                let (space, addr) = match &k.instr(v).kind {
+                    InstKind::Load { space, addr, .. }
+                    | InstKind::Store { space, addr, .. }
+                    | InstKind::Atomic { space, addr, .. } => (*space, *addr),
+                    other => panic!("memory port for non-memory {other:?}"),
+                };
+                use soff_frontend::types::AddressSpace;
+                match space {
+                    AddressSpace::Global | AddressSpace::Constant => {
+                        let g = plan.group_of_value[v.0 as usize]
+                            .expect("global access without cache group");
+                        let idx = plan.cache_index(g, inst);
+                        let port = mem.caches[idx].add_port();
+                        (MemTarget::Cache(idx), port)
+                    }
+                    AddressSpace::Local => {
+                        let var = match pa.of(addr) {
+                            Provenance::Local(var) => var,
+                            other => panic!(
+                                "local access {v} has imprecise provenance {other:?}; \
+                                 SOFF requires each unit to connect to one local block"
+                            ),
+                        };
+                        let idx = inst * nvars + var;
+                        let port = PortId(local_next_port[idx]);
+                        local_next_port[idx] += 1;
+                        (MemTarget::Local(idx), port)
+                    }
+                    AddressSpace::Private => {
+                        let port = mem.add_private_port();
+                        (MemTarget::Private, port)
+                    }
+                }
+            },
+        );
+        self.comps.push(Comp::Pipe(pipe));
+    }
+
+    /// Builds `node`, consuming tokens from `in_chan` (signature =
+    /// live-in of the node's entry block) and producing tokens on
+    /// `out_chan` (signature = live-in of `succ`, or empty for the kernel
+    /// exit).
+    fn build_node(&mut self, node: &PipeNode, in_chan: ChanId, out_chan: ChanId, succ: Option<BlockId>) {
+        match node {
+            PipeNode::Basic(i) => {
+                let b = self.dp.basics[*i].dfg.block;
+                let map = self.map_edge(b, succ);
+                self.build_basic(*i, in_chan, out_chan, Some(map));
+            }
+            PipeNode::Seq(children) => self.build_seq(children, in_chan, out_chan, succ),
+            PipeNode::Barrier { .. } => {
+                // Standalone barrier in a sequence is handled by build_seq.
+                unreachable!("barrier outside a sequence")
+            }
+            PipeNode::IfThen { cond, then, order_fifo } => {
+                let b = self.dp.basics[*cond].dfg.block;
+                let raw = self.new_chan(GLUE_CAP);
+                self.build_basic(*cond, in_chan, raw, None);
+                let then_entry = entry_of(then, &self.dp.basics);
+                let then_in = self.new_chan(GLUE_CAP);
+                let sel_t = self.new_chan(GLUE_CAP);
+                let sel_f = self.new_chan(GLUE_CAP);
+                let then_cap = then.max_capacity(&self.dp.basics);
+                let decisions = if *order_fifo { Some(self.new_fifo(then_cap)) } else { None };
+                self.comps.push(Comp::Branch(Branch {
+                    inp: raw,
+                    cond_idx: self.cond_index(b),
+                    taken: (then_in, self.map_edge(b, Some(then_entry))),
+                    not_taken: (sel_f, self.map_edge(b, succ)),
+                    decisions,
+                }));
+                self.build_node(then, then_in, sel_t, succ);
+                self.comps.push(Comp::Select(Select {
+                    from_taken: sel_t,
+                    from_not_taken: sel_f,
+                    out: out_chan,
+                    decisions,
+                    rr: false,
+                }));
+            }
+            PipeNode::IfThenElse { cond, then, els, order_fifo } => {
+                let b = self.dp.basics[*cond].dfg.block;
+                let raw = self.new_chan(GLUE_CAP);
+                self.build_basic(*cond, in_chan, raw, None);
+                let then_entry = entry_of(then, &self.dp.basics);
+                let els_entry = entry_of(els, &self.dp.basics);
+                let then_in = self.new_chan(GLUE_CAP);
+                let els_in = self.new_chan(GLUE_CAP);
+                let sel_t = self.new_chan(GLUE_CAP);
+                let sel_f = self.new_chan(GLUE_CAP);
+                let cap = then
+                    .max_capacity(&self.dp.basics)
+                    .max(els.max_capacity(&self.dp.basics));
+                let decisions = if *order_fifo { Some(self.new_fifo(cap)) } else { None };
+                self.comps.push(Comp::Branch(Branch {
+                    inp: raw,
+                    cond_idx: self.cond_index(b),
+                    taken: (then_in, self.map_edge(b, Some(then_entry))),
+                    not_taken: (els_in, self.map_edge(b, Some(els_entry))),
+                    decisions,
+                }));
+                self.build_node(then, then_in, sel_t, succ);
+                self.build_node(els, els_in, sel_f, succ);
+                self.comps.push(Comp::Select(Select {
+                    from_taken: sel_t,
+                    from_not_taken: sel_f,
+                    out: out_chan,
+                    decisions,
+                    rr: false,
+                }));
+            }
+            PipeNode::While { cond, body, nmax, backedge_fifo, swgr } => {
+                let b = self.dp.basics[*cond].dfg.block;
+                let body_entry = entry_of(body, &self.dp.basics);
+                let enter_out = self.new_chan(GLUE_CAP);
+                let backedge = self.new_chan(*backedge_fifo as usize + 1);
+                let counter = self.new_counter();
+                let nmax_eff = self.effective_nmax(*nmax, body);
+                self.comps.push(Comp::Enter(LoopEnter {
+                    outside: in_chan,
+                    backedge,
+                    out: enter_out,
+                    counter,
+                    nmax: nmax_eff,
+                    swgr: *swgr,
+                    cur_wg: 0,
+                }));
+                let raw = self.new_chan(GLUE_CAP);
+                self.build_basic(*cond, enter_out, raw, None);
+                let body_in = self.new_chan(GLUE_CAP);
+                let exit_in = self.new_chan(GLUE_CAP);
+                self.comps.push(Comp::Branch(Branch {
+                    inp: raw,
+                    cond_idx: self.cond_index(b),
+                    taken: (body_in, self.map_edge(b, Some(body_entry))),
+                    not_taken: (exit_in, self.map_edge(b, succ)),
+                    decisions: None,
+                }));
+                self.build_node(body, body_in, backedge, Some(b));
+                self.comps.push(Comp::Exit(LoopExit { inp: exit_in, out: out_chan, counter }));
+            }
+            PipeNode::SelfLoop { body, nmax, backedge_fifo, swgr } => {
+                let body_entry = entry_of(body, &self.dp.basics);
+                let enter_out = self.new_chan(GLUE_CAP);
+                let backedge = self.new_chan(*backedge_fifo as usize + 1);
+                let counter = self.new_counter();
+                let nmax_eff = self.effective_nmax(*nmax, body);
+                self.comps.push(Comp::Enter(LoopEnter {
+                    outside: in_chan,
+                    backedge,
+                    out: enter_out,
+                    counter,
+                    nmax: nmax_eff,
+                    swgr: *swgr,
+                    cur_wg: 0,
+                }));
+                // The body's last block computes the loop condition; split
+                // it off and route its raw output through the back branch.
+                let (prefix, last): (&[PipeNode], usize) = match body.as_ref() {
+                    PipeNode::Seq(cs) => {
+                        let last = match cs.last() {
+                            Some(PipeNode::Basic(i)) => *i,
+                            other => panic!("self-loop body must end in a block, got {other:?}"),
+                        };
+                        (&cs[..cs.len() - 1], last)
+                    }
+                    PipeNode::Basic(i) => (&[], *i),
+                    other => panic!("self-loop body must end in a block, got {other:?}"),
+                };
+                let last_block = self.dp.basics[last].dfg.block;
+                let last_in = if prefix.is_empty() {
+                    enter_out
+                } else {
+                    let chan = self.new_chan(GLUE_CAP);
+                    self.build_seq_prefix(prefix, enter_out, chan, last_block);
+                    chan
+                };
+                let raw = self.new_chan(GLUE_CAP);
+                self.build_basic(last, last_in, raw, None);
+                let exit_in = self.new_chan(GLUE_CAP);
+                self.comps.push(Comp::Branch(Branch {
+                    inp: raw,
+                    cond_idx: self.cond_index(last_block),
+                    taken: (backedge, self.map_edge(last_block, Some(body_entry))),
+                    not_taken: (exit_in, self.map_edge(last_block, succ)),
+                    decisions: None,
+                }));
+                self.comps.push(Comp::Exit(LoopExit { inp: exit_in, out: out_chan, counter }));
+            }
+        }
+    }
+
+    /// Builds the children of a sequence, handling barrier elements.
+    fn build_seq(
+        &mut self,
+        children: &[PipeNode],
+        in_chan: ChanId,
+        out_chan: ChanId,
+        succ: Option<BlockId>,
+    ) {
+        // Entry block of the element each child hands its tokens to.
+        let next_entry: Vec<Option<BlockId>> = (0..children.len())
+            .map(|j| {
+                children[j + 1..]
+                    .iter()
+                    .find(|c| !matches!(c, PipeNode::Barrier { .. }))
+                    .map(|c| entry_of(c, &self.dp.basics))
+                    .or(succ)
+            })
+            .collect();
+        let mut cur_in = in_chan;
+        for (i, child) in children.iter().enumerate() {
+            let is_last = i + 1 == children.len();
+            match child {
+                PipeNode::Barrier { .. } => {
+                    let out = if is_last { out_chan } else { self.new_chan(GLUE_CAP) };
+                    self.comps.push(Comp::Barrier(BarrierUnit {
+                        inp: cur_in,
+                        out,
+                        wg_size: self.wg_size,
+                        buf: VecDeque::new(),
+                        releasing: 0,
+                    }));
+                    cur_in = out;
+                }
+                _ => {
+                    let child_succ = if is_last { succ } else { next_entry[i] };
+                    let out = if is_last { out_chan } else { self.new_chan(GLUE_CAP) };
+                    self.build_node(child, cur_in, out, child_succ);
+                    cur_in = out;
+                }
+            }
+        }
+    }
+
+    /// Builds a self-loop body prefix whose final successor is the loop's
+    /// condition-carrying last block.
+    fn build_seq_prefix(
+        &mut self,
+        children: &[PipeNode],
+        in_chan: ChanId,
+        out_chan: ChanId,
+        succ_block: BlockId,
+    ) {
+        self.build_seq(children, in_chan, out_chan, Some(succ_block));
+    }
+
+    /// Index of the branch condition within a block's raw live-out.
+    fn cond_index(&self, b: BlockId) -> usize {
+        let cond = match &self.k.block(b).term {
+            soff_ir::ir::Terminator::CondBr { cond, .. } => *cond,
+            other => panic!("{b} used as condition block but ends in {other:?}"),
+        };
+        self.live_out_sig(b)
+            .iter()
+            .position(|&v| v == cond)
+            .expect("condition missing from live-out")
+    }
+
+    fn new_fifo(&mut self, region_capacity: u64) -> usize {
+        // Must cover every work-item that can be inside the construct
+        // (including barrier storage) or the branch would deadlock.
+        let cap = region_capacity + self.wg_size * self.dp.wg_slots + 64;
+        self.fifos.push(DecisionFifo { q: VecDeque::new(), cap: cap as usize });
+        self.fifos.len() - 1
+    }
+
+    fn new_counter(&mut self) -> usize {
+        self.counters.push(0);
+        self.counters.len() - 1
+    }
+
+    /// A loop containing a barrier must be able to hold a whole work-group
+    /// (the barrier only releases complete groups).
+    fn effective_nmax(&self, nmax: u64, body: &PipeNode) -> u64 {
+        if body.contains_barrier() {
+            nmax.max(self.wg_size + 8)
+        } else {
+            nmax
+        }
+    }
+}

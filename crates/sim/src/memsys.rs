@@ -1,0 +1,246 @@
+//! The assembled memory subsystem of one kernel execution (§V, Fig. 9):
+//! caches (per buffer × datapath when possible), local-memory blocks (per
+//! variable × datapath), private memory, and the shared DRAM.
+
+use crate::launch::LaunchCtx;
+use soff_datapath::Datapath;
+use soff_ir::ir::Kernel;
+use soff_ir::mem::GlobalMemory;
+use soff_ir::pointer::{self, PointerAnalysis};
+use soff_mem::{
+    Cache, CacheConfig, CacheStats, Dram, DramConfig, LocalBlock, MemRequest, MemResponse,
+    PortId, PrivateMemory,
+};
+use std::collections::HashMap;
+
+/// Which memory a functional unit's interface is wired to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemTarget {
+    /// Cache index within [`MemorySystem::caches`].
+    Cache(usize),
+    /// Local block index within [`MemorySystem::locals`].
+    Local(usize),
+    /// The private memory.
+    Private,
+}
+
+/// The full memory subsystem.
+#[derive(Debug)]
+pub struct MemorySystem {
+    /// All caches (shared across datapath instances when the kernel uses
+    /// atomics, per instance otherwise, §V-A).
+    pub caches: Vec<Cache>,
+    /// All local blocks (always per instance).
+    pub locals: Vec<LocalBlock>,
+    /// Private memory (keyed by work-item serial).
+    pub private: PrivateMemory,
+    /// Shared external memory.
+    pub dram: Dram,
+    /// Private-access latency (responses are immediate; the issuing unit
+    /// applies its own `L_F`).
+    responses_private: HashMap<usize, std::collections::VecDeque<(u64, MemResponse)>>,
+    next_private_port: usize,
+    private_latency: u32,
+}
+
+/// Describes how caches are laid out for a kernel: the group each memory
+/// instruction belongs to and whether caches are shared across instances.
+#[derive(Debug, Clone)]
+pub struct CachePlan {
+    /// Cache group per memory instruction (`None` for non-global).
+    pub group_of_value: Vec<Option<usize>>,
+    /// Number of distinct groups.
+    pub num_groups: usize,
+    /// Whether groups are shared across datapath instances (atomics or
+    /// unattributable pointers present).
+    pub shared: bool,
+}
+
+impl CachePlan {
+    /// Computes the plan from the pointer analysis (§V-A).
+    pub fn plan(kernel: &Kernel, pa: &PointerAnalysis) -> CachePlan {
+        let (groups, unknown) = pointer::global_cache_groups(kernel, pa);
+        let num_groups = groups.iter().flatten().copied().max().map(|m| m + 1).unwrap_or(0);
+        CachePlan {
+            group_of_value: groups,
+            num_groups: num_groups.max(if unknown { 1 } else { 0 }),
+            shared: kernel.uses_atomics || unknown,
+        }
+    }
+
+    /// Index of the cache for `(group, instance)` given `num_instances`.
+    pub fn cache_index(&self, group: usize, instance: usize) -> usize {
+        if self.shared {
+            group
+        } else {
+            instance * self.num_groups + group
+        }
+    }
+
+    /// Total number of cache instances for `num_instances` datapaths.
+    pub fn total_caches(&self, num_instances: usize) -> usize {
+        if self.shared {
+            self.num_groups
+        } else {
+            self.num_groups * num_instances
+        }
+    }
+}
+
+impl MemorySystem {
+    /// Builds the memory subsystem for `num_instances` datapath copies.
+    pub fn build(
+        kernel: &Kernel,
+        dp: &Datapath,
+        plan: &CachePlan,
+        num_instances: usize,
+        cache_cfg: CacheConfig,
+        dram_cfg: DramConfig,
+        launch: &LaunchCtx,
+    ) -> MemorySystem {
+        let caches = (0..plan.total_caches(num_instances))
+            .map(|_| Cache::new(cache_cfg))
+            .collect();
+        // Local blocks: per (instance, var), each sized with wg slots.
+        let mut locals = Vec::new();
+        for _inst in 0..num_instances {
+            for (vi, var) in kernel.local_vars.iter().enumerate() {
+                let size = launch.local_sizes.get(vi).copied().unwrap_or(var.size);
+                // Connected units: count accesses to this var (approx. by
+                // counting local-memory instructions; fine for banking).
+                let n_units = kernel
+                    .values
+                    .iter()
+                    .filter(|i| {
+                        i.mem_space() == Some(soff_frontend::types::AddressSpace::Local)
+                    })
+                    .count()
+                    .max(1);
+                locals.push(LocalBlock::new(
+                    size,
+                    dp.wg_slots,
+                    n_units,
+                    dp.latencies.local_mem,
+                ));
+            }
+        }
+        MemorySystem {
+            caches,
+            locals,
+            private: PrivateMemory::new(kernel.private_bytes),
+            dram: Dram::new(dram_cfg),
+            responses_private: HashMap::new(),
+            next_private_port: 0,
+            private_latency: dp.latencies.private_mem,
+        }
+    }
+
+    /// Registers a private-memory port.
+    pub fn add_private_port(&mut self) -> PortId {
+        let id = self.next_private_port;
+        self.next_private_port += 1;
+        self.responses_private.insert(id, Default::default());
+        PortId(id)
+    }
+
+    /// Whether a request can be issued to `target` on `port` this cycle.
+    pub fn can_request(&self, target: MemTarget, port: PortId) -> bool {
+        match target {
+            MemTarget::Cache(c) => self.caches[c].can_request(port),
+            MemTarget::Local(l) => self.locals[l].can_request(port),
+            MemTarget::Private => true,
+        }
+    }
+
+    /// Issues a request.
+    pub fn request(&mut self, target: MemTarget, port: PortId, req: MemRequest, now: u64) {
+        match target {
+            MemTarget::Cache(c) => self.caches[c].request(port, req),
+            MemTarget::Local(l) => self.locals[l].request(port, req),
+            MemTarget::Private => {
+                let resp = self.private.access(&req);
+                self.responses_private
+                    .get_mut(&port.0)
+                    .expect("private port registered")
+                    .push_back((now + self.private_latency as u64, resp));
+            }
+        }
+    }
+
+    /// Pops a ready response.
+    pub fn pop_response(&mut self, target: MemTarget, port: PortId, now: u64) -> Option<MemResponse> {
+        match target {
+            MemTarget::Cache(c) => self.caches[c].pop_response(port),
+            MemTarget::Local(l) => self.locals[l].pop_response(port, now),
+            MemTarget::Private => {
+                let q = self.responses_private.get_mut(&port.0)?;
+                if q.front().map(|(r, _)| *r <= now).unwrap_or(false) {
+                    q.pop_front().map(|(_, r)| r)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Advances caches and local blocks one cycle.
+    pub fn tick(&mut self, now: u64, gm: &mut GlobalMemory) {
+        for c in &mut self.caches {
+            c.tick(now, &mut self.dram, gm);
+        }
+        for l in &mut self.locals {
+            l.tick(now);
+        }
+    }
+
+    /// Flushes all caches; returns the completion cycle (§III-B: the
+    /// work-item counter triggers this when the NDRange finishes).
+    pub fn flush_all(&mut self, now: u64) -> u64 {
+        let mut done = now;
+        for c in &mut self.caches {
+            done = done.max(c.flush(now, &mut self.dram));
+        }
+        done
+    }
+
+    /// Aggregated cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut agg = CacheStats::default();
+        for c in &self.caches {
+            let s = c.stats;
+            agg.accesses += s.accesses;
+            agg.hits += s.hits;
+            agg.misses += s.misses;
+            agg.writebacks += s.writebacks;
+            agg.arbitration_stalls += s.arbitration_stalls;
+            agg.mshr_stalls += s.mshr_stalls;
+            agg.lock_delay += s.lock_delay;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_index_layout() {
+        let plan = CachePlan {
+            group_of_value: vec![],
+            num_groups: 3,
+            shared: false,
+        };
+        // Instance-major layout, unique per (group, instance).
+        let mut seen = std::collections::HashSet::new();
+        for inst in 0..4 {
+            for g in 0..3 {
+                assert!(seen.insert(plan.cache_index(g, inst)));
+            }
+        }
+        assert_eq!(plan.total_caches(4), 12);
+        let shared = CachePlan { group_of_value: vec![], num_groups: 3, shared: true };
+        assert_eq!(shared.cache_index(2, 7), 2);
+        assert_eq!(shared.total_caches(4), 3);
+    }
+}

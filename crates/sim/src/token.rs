@@ -1,0 +1,144 @@
+//! Work-item tokens and value-signature mappings.
+//!
+//! Tokens flow between pipelines carrying the *live variables* of one
+//! work-item (§IV-D: "the role of the glue logic is to … pass live
+//! variables of a work-item produced by one pipeline to the input of
+//! another pipeline"). Every channel has a *signature* — the ordered list
+//! of SSA values its tokens carry — and glue applies a precomputed
+//! [`Mapping`] when moving a token onto a channel with a different
+//! signature (this is where phi nodes are materialized).
+
+use soff_ir::ir::{BlockId, InstKind, Kernel, ValueId};
+use soff_ir::mem as irmem;
+
+/// A work-item token: identity plus the live values of the current
+/// signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Work-item serial (index into the launch's work-item table).
+    pub wi: u32,
+    /// Work-group serial.
+    pub wg: u32,
+    /// Live values, ordered per the channel's signature.
+    pub vals: Box<[u64]>,
+}
+
+/// Where one output-signature slot comes from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Slot {
+    /// Copy from index `.0` of the source signature.
+    Idx(usize),
+    /// A launch-constant (uniform) value, resolved at launch time.
+    Uniform(u64),
+}
+
+/// A signature-to-signature mapping.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Mapping {
+    /// One source per destination slot. Empty mapping = identity move.
+    pub slots: Vec<Slot>,
+    /// Identity mappings skip the copy entirely.
+    pub identity: bool,
+}
+
+impl Mapping {
+    /// The identity mapping (source and destination signatures agree).
+    pub fn identity() -> Mapping {
+        Mapping { slots: Vec::new(), identity: true }
+    }
+
+    /// Applies the mapping to a token.
+    pub fn apply(&self, t: &Token) -> Token {
+        if self.identity {
+            return t.clone();
+        }
+        let vals = self
+            .slots
+            .iter()
+            .map(|s| match s {
+                Slot::Idx(i) => t.vals[*i],
+                Slot::Uniform(v) => *v,
+            })
+            .collect();
+        Token { wi: t.wi, wg: t.wg, vals }
+    }
+}
+
+/// Resolves the launch-constant value of a *uniform* instruction
+/// (`Const`, `Param`, `LocalBase`, `PrivBase`).
+///
+/// `params` are the bound argument values in [`Kernel::params`] order.
+///
+/// # Panics
+///
+/// Panics if `v` is not uniform.
+pub fn uniform_value(k: &Kernel, v: ValueId, params: &[u64]) -> u64 {
+    match &k.instr(v).kind {
+        InstKind::Const(bits) => *bits,
+        InstKind::Param(i) => params[*i],
+        InstKind::LocalBase(var) => irmem::local_addr(*var, 0),
+        InstKind::PrivBase(off) => *off,
+        other => panic!("uniform_value on non-uniform instruction {other:?}"),
+    }
+}
+
+/// Builds the mapping for CFG edge `p → s`: destination signature `sig_to`
+/// (the live-in of `s`), source signature `sig_from` (the live-out of
+/// `p`). Phis of `s` take their `p`-incoming value.
+pub fn edge_mapping(
+    k: &Kernel,
+    p: BlockId,
+    sig_from: &[ValueId],
+    s: BlockId,
+    sig_to: &[ValueId],
+    params: &[u64],
+) -> Mapping {
+    let slots = sig_to
+        .iter()
+        .map(|&v| {
+            // Resolve phis of the destination block along this edge.
+            let src = match &k.instr(v).kind {
+                InstKind::Phi { incoming } if k.block(s).instrs.contains(&v) => incoming
+                    .iter()
+                    .find(|(pred, _)| *pred == p)
+                    .map(|(_, pv)| *pv)
+                    .unwrap_or_else(|| panic!("phi {v} has no incoming from {p}")),
+                _ => v,
+            };
+            if k.instr(src).is_uniform() {
+                Slot::Uniform(uniform_value(k, src, params))
+            } else {
+                let idx = sig_from
+                    .iter()
+                    .position(|&f| f == src)
+                    .unwrap_or_else(|| panic!("{src} missing from live-out of {p} (needed by {s})"));
+                Slot::Idx(idx)
+            }
+        })
+        .collect();
+    Mapping { slots, identity: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_mapping_preserves_token() {
+        let t = Token { wi: 1, wg: 0, vals: vec![10, 20].into_boxed_slice() };
+        let m = Mapping::identity();
+        assert_eq!(m.apply(&t), t);
+    }
+
+    #[test]
+    fn mapping_reorders_and_fills_uniforms() {
+        let t = Token { wi: 1, wg: 0, vals: vec![10, 20].into_boxed_slice() };
+        let m = Mapping {
+            slots: vec![Slot::Idx(1), Slot::Uniform(99), Slot::Idx(0)],
+            identity: false,
+        };
+        let out = m.apply(&t);
+        assert_eq!(&*out.vals, &[20, 99, 10]);
+        assert_eq!(out.wi, 1);
+    }
+}

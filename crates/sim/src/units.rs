@@ -1,0 +1,499 @@
+//! Basic-pipeline simulation: functional units, internal channels, and the
+//! run-time pipelining handshake (§IV-A/B/C).
+//!
+//! Each [`PipelineSim`] instantiates one functional unit per DFG node and
+//! one internal channel per DFG edge (capacity `1 + q_e` from the FIFO
+//! balancing ILP). Units are fully pipelined: they hold at most `L_F + 1`
+//! work-items and never stall while holding `≤ L_F` (§IV-C), which the
+//! deadlock argument of §IV-E depends on — this invariant is enforced with
+//! debug assertions.
+
+use crate::channel::{ChanId, Channel};
+use crate::launch::LaunchCtx;
+use crate::memsys::{MemTarget, MemorySystem};
+use crate::token::{Mapping, Token};
+use soff_datapath::pipeline::BasicPipeline;
+use soff_datapath::UnitClass;
+use soff_frontend::builtins::WorkItemQuery;
+use soff_ir::dfg::{EdgeKind, Node};
+use soff_ir::eval;
+use soff_ir::ir::{InstKind, Kernel, ValueId};
+use soff_mem::{MemOp, MemRequest, PortId};
+use std::collections::VecDeque;
+
+/// A value-granularity token flowing inside a basic pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Micro {
+    /// Work-item serial.
+    pub wi: u32,
+    /// Work-group serial.
+    pub wg: u32,
+    /// The carried value (0 for pure ordering tokens).
+    pub val: u64,
+}
+
+/// Source of one instruction operand.
+#[derive(Debug, Clone, Copy)]
+enum OpSrc {
+    /// Operand arrives on in-edge slot `.0` (index into `UnitSim::ins`).
+    In(usize),
+    /// Launch-constant.
+    Uniform(u64),
+}
+
+/// What a source unit drives onto one of its out edges.
+#[derive(Debug, Clone, Copy)]
+enum SourceOut {
+    /// `token.vals[i]` of the incoming context token.
+    LiveIn(usize),
+    /// A launch constant (e.g. a uniform branch condition).
+    Uniform(u64),
+    /// Pure ordering token.
+    Order,
+}
+
+#[derive(Debug)]
+enum Engine {
+    Source {
+        /// Per out-edge value source (parallel to `outs`).
+        drive: Vec<SourceOut>,
+    },
+    Sink {
+        /// For each data in-edge slot, the destination index in the
+        /// live-out signature (`None` for order edges).
+        out_pos: Vec<Option<usize>>,
+        /// Live-out signature length.
+        width: usize,
+    },
+    Compute {
+        value: ValueId,
+        ops: Vec<OpSrc>,
+    },
+    Mem {
+        value: ValueId,
+        target: MemTarget,
+        port: PortId,
+        ops: Vec<OpSrc>,
+        /// Work-items with an issued request awaiting a response.
+        pending: VecDeque<(u32, u32)>,
+    },
+}
+
+#[derive(Debug)]
+struct UnitSim {
+    engine: Engine,
+    lf: u32,
+    /// In-edge indices (into `PipelineSim::edges`).
+    ins: Vec<usize>,
+    /// Out-edge indices.
+    outs: Vec<usize>,
+    /// Completed results waiting for out-channel space.
+    internal: VecDeque<(u64, Micro)>,
+}
+
+impl UnitSim {
+    fn held(&self) -> usize {
+        let pending = match &self.engine {
+            Engine::Mem { pending, .. } => pending.len(),
+            _ => 0,
+        };
+        self.internal.len() + pending
+    }
+}
+
+/// Statistics of one pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineStats {
+    /// Tokens that completed the pipeline.
+    pub completed: u64,
+    /// Cycles any unit wanted to fire but an output channel was full
+    /// (Case-2 stalls, §IV-C).
+    pub output_stalls: u64,
+    /// Cycles a memory unit could not issue (port busy or `L_F` reached —
+    /// Case-1 stalls).
+    pub issue_stalls: u64,
+}
+
+/// Simulates one basic pipeline.
+#[derive(Debug)]
+pub struct PipelineSim {
+    /// External input channel (tokens with the block's live-in signature).
+    pub in_chan: ChanId,
+    /// External output channel.
+    pub out_chan: ChanId,
+    /// Mapping applied by the sink before pushing to `out_chan`
+    /// (`None` = raw live-out signature, used before branch glue).
+    pub out_map: Option<Mapping>,
+    units: Vec<UnitSim>,
+    edges: Vec<Channel<Micro>>,
+    /// Statistics.
+    pub stats: PipelineStats,
+}
+
+impl PipelineSim {
+    /// Builds the simulation of `bp` for datapath instance `inst`.
+    ///
+    /// `port_of` assigns each memory instruction its memory target and
+    /// port (built by the machine).
+    pub fn build(
+        k: &Kernel,
+        bp: &BasicPipeline,
+        in_chan: ChanId,
+        out_chan: ChanId,
+        out_map: Option<Mapping>,
+        launch_params: &[u64],
+        mut port_of: impl FnMut(ValueId, UnitClass) -> (MemTarget, PortId),
+    ) -> PipelineSim {
+        let dfg = &bp.dfg;
+        let edges: Vec<Channel<Micro>> = dfg
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(ei, _)| Channel::new(1 + bp.fifo_extra[ei] as usize))
+            .collect();
+
+        let mut units = Vec::with_capacity(dfg.nodes.len());
+        for (ni, node) in dfg.nodes.iter().enumerate() {
+            let ins: Vec<usize> = dfg
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.to.0 as usize == ni)
+                .map(|(ei, _)| ei)
+                .collect();
+            let outs: Vec<usize> = dfg
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.from.0 as usize == ni)
+                .map(|(ei, _)| ei)
+                .collect();
+            let unit = &bp.units[ni];
+            let engine = match node {
+                Node::Source => {
+                    let drive = outs
+                        .iter()
+                        .map(|&ei| match dfg.edges[ei].kind {
+                            EdgeKind::Data(v, _) => {
+                                if k.instr(v).is_uniform() {
+                                    SourceOut::Uniform(crate::token::uniform_value(
+                                        k,
+                                        v,
+                                        launch_params,
+                                    ))
+                                } else {
+                                    let idx = dfg
+                                        .live_in
+                                        .iter()
+                                        .position(|&l| l == v)
+                                        .unwrap_or_else(|| {
+                                            panic!("{v} driven by source but not live-in")
+                                        });
+                                    SourceOut::LiveIn(idx)
+                                }
+                            }
+                            EdgeKind::Order => SourceOut::Order,
+                        })
+                        .collect();
+                    Engine::Source { drive }
+                }
+                Node::Sink => {
+                    let out_pos = ins
+                        .iter()
+                        .map(|&ei| match dfg.edges[ei].kind {
+                            EdgeKind::Data(_, pos) => Some(pos as usize),
+                            EdgeKind::Order => None,
+                        })
+                        .collect();
+                    Engine::Sink { out_pos, width: dfg.live_out.len() }
+                }
+                Node::Instr(v) => {
+                    let ops = operand_sources(k, *v, dfg, &ins, launch_params);
+                    if k.instr(*v).is_memory() {
+                        let (target, port) = port_of(*v, unit.class);
+                        Engine::Mem { value: *v, target, port, ops, pending: VecDeque::new() }
+                    } else {
+                        Engine::Compute { value: *v, ops }
+                    }
+                }
+            };
+            units.push(UnitSim { engine, lf: unit.lf, ins, outs, internal: VecDeque::new() });
+        }
+
+        PipelineSim {
+            in_chan,
+            out_chan,
+            out_map,
+            units,
+            edges,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// Whether the pipeline holds no work-items.
+    pub fn is_empty(&self) -> bool {
+        self.units.iter().all(|u| u.held() == 0) && self.edges.iter().all(|e| e.is_empty())
+    }
+
+    /// Advances one cycle.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        ext: &mut [Channel<Token>],
+        mem: &mut MemorySystem,
+        launch: &LaunchCtx,
+        k: &Kernel,
+    ) {
+        for e in &mut self.edges {
+            e.begin_cycle();
+        }
+        for ui in 0..self.units.len() {
+            self.tick_unit(ui, now, ext, mem, launch, k);
+        }
+    }
+
+    fn tick_unit(
+        &mut self,
+        ui: usize,
+        now: u64,
+        ext: &mut [Channel<Token>],
+        mem: &mut MemorySystem,
+        launch: &LaunchCtx,
+        k: &Kernel,
+    ) {
+        // Split-borrow: temporarily take the unit out.
+        let mut unit = std::mem::replace(
+            &mut self.units[ui],
+            UnitSim {
+                engine: Engine::Source { drive: Vec::new() },
+                lf: 0,
+                ins: Vec::new(),
+                outs: Vec::new(),
+                internal: VecDeque::new(),
+            },
+        );
+
+        match &mut unit.engine {
+            Engine::Source { drive } => {
+                // Fire: needs an input token and space on every out edge.
+                if ext[self.in_chan.0].can_pop() {
+                    if unit.outs.iter().all(|&ei| self.edges[ei].can_push()) {
+                        let t = ext[self.in_chan.0].pop();
+                        for (oi, &ei) in unit.outs.iter().enumerate() {
+                            let val = match drive[oi] {
+                                SourceOut::LiveIn(i) => t.vals[i],
+                                SourceOut::Uniform(v) => v,
+                                SourceOut::Order => 0,
+                            };
+                            self.edges[ei].push(Micro { wi: t.wi, wg: t.wg, val });
+                        }
+                    } else {
+                        self.stats.output_stalls += 1;
+                    }
+                }
+            }
+            Engine::Sink { out_pos, width } => {
+                if unit.ins.iter().all(|&ei| self.edges[ei].can_pop())
+                    && !unit.ins.is_empty()
+                {
+                    if ext[self.out_chan.0].can_push() {
+                        let mut vals = vec![0u64; *width];
+                        let mut wi = 0;
+                        let mut wg = 0;
+                        for (slot, &ei) in unit.ins.iter().enumerate() {
+                            let m = self.edges[ei].pop();
+                            debug_assert!(
+                                slot == 0 || m.wi == wi,
+                                "sink received interleaved work-items"
+                            );
+                            wi = m.wi;
+                            wg = m.wg;
+                            if let Some(pos) = out_pos[slot] {
+                                vals[pos] = m.val;
+                            }
+                        }
+                        let tok = Token { wi, wg, vals: vals.into_boxed_slice() };
+                        let tok = match &self.out_map {
+                            Some(m) => m.apply(&tok),
+                            None => tok,
+                        };
+                        ext[self.out_chan.0].push(tok);
+                        self.stats.completed += 1;
+                    } else {
+                        self.stats.output_stalls += 1;
+                    }
+                }
+            }
+            Engine::Compute { value, ops } => {
+                // Output stage.
+                drain_internal(&mut unit.internal, &mut self.edges, &unit.outs, now, &mut self.stats);
+                // Fire stage (fully pipelined: capacity L_F + 1).
+                if unit.ins.iter().all(|&ei| self.edges[ei].can_pop())
+                    && !unit.ins.is_empty()
+                    && unit.internal.len() < (unit.lf as usize + 1)
+                {
+                    let (wi, wg, vals) = pop_operands(&mut self.edges, &unit.ins);
+                    let opvals: Vec<u64> = ops
+                        .iter()
+                        .map(|s| match s {
+                            OpSrc::In(i) => vals[*i],
+                            OpSrc::Uniform(u) => *u,
+                        })
+                        .collect();
+                    let result = eval_compute(k, *value, &opvals, wi, launch);
+                    unit.internal.push_back((now + unit.lf as u64, Micro { wi, wg, val: result }));
+                }
+            }
+            Engine::Mem { value, target, port, ops, pending } => {
+                // Drain a memory response (at most one per cycle).
+                if let Some(resp) = mem.pop_response(*target, *port, now) {
+                    let (wi, wg) = pending.pop_front().expect("response without pending request");
+                    unit.internal.push_back((now, Micro { wi, wg, val: resp.value }));
+                }
+                // Output stage.
+                drain_internal(&mut unit.internal, &mut self.edges, &unit.outs, now, &mut self.stats);
+                // Fire stage: the unit never stalls while holding ≤ L_F
+                // work-items (§IV-C); enforce the capacity L_F + 1.
+                let held = unit.internal.len() + pending.len();
+                if unit.ins.iter().all(|&ei| self.edges[ei].can_pop()) && !unit.ins.is_empty() {
+                    if held < (unit.lf as usize + 1) && mem.can_request(*target, *port) {
+                        let (wi, wg, vals) = pop_operands(&mut self.edges, &unit.ins);
+                        let opvals: Vec<u64> = ops
+                            .iter()
+                            .map(|s| match s {
+                                OpSrc::In(i) => vals[*i],
+                                OpSrc::Uniform(u) => *u,
+                            })
+                            .collect();
+                        let req = build_request(k, *value, &opvals, wi, wg);
+                        mem.request(*target, *port, req, now);
+                        pending.push_back((wi, wg));
+                    } else {
+                        self.stats.issue_stalls += 1;
+                    }
+                }
+            }
+        }
+
+        self.units[ui] = unit;
+    }
+}
+
+fn drain_internal(
+    internal: &mut VecDeque<(u64, Micro)>,
+    edges: &mut [Channel<Micro>],
+    outs: &[usize],
+    now: u64,
+    stats: &mut PipelineStats,
+) {
+    if let Some((ready, _)) = internal.front() {
+        if *ready <= now {
+            if outs.iter().all(|&ei| edges[ei].can_push()) {
+                let (_, m) = internal.pop_front().expect("front checked");
+                for &ei in outs {
+                    edges[ei].push(m);
+                }
+            } else {
+                stats.output_stalls += 1;
+            }
+        }
+    }
+}
+
+fn pop_operands(edges: &mut [Channel<Micro>], ins: &[usize]) -> (u32, u32, Vec<u64>) {
+    let mut wi = 0;
+    let mut wg = 0;
+    let mut vals = Vec::with_capacity(ins.len());
+    for (i, &ei) in ins.iter().enumerate() {
+        let m = edges[ei].pop();
+        debug_assert!(i == 0 || m.wi == wi, "unit received interleaved work-items");
+        wi = m.wi;
+        wg = m.wg;
+        vals.push(m.val);
+    }
+    (wi, wg, vals)
+}
+
+/// Builds per-operand sources for instruction `v`: data in-edges by their
+/// operand position, uniforms resolved to constants.
+fn operand_sources(
+    k: &Kernel,
+    v: ValueId,
+    dfg: &soff_ir::dfg::Dfg,
+    ins: &[usize],
+    params: &[u64],
+) -> Vec<OpSrc> {
+    let mut ops = Vec::new();
+    k.instr(v).operands(&mut ops);
+    ops.iter()
+        .enumerate()
+        .map(|(pos, &o)| {
+            if k.instr(o).is_uniform() {
+                OpSrc::Uniform(crate::token::uniform_value(k, o, params))
+            } else {
+                // Find the in-edge carrying operand position `pos`.
+                let slot = ins
+                    .iter()
+                    .position(|&ei| matches!(dfg.edges[ei].kind, EdgeKind::Data(_, p) if p as usize == pos))
+                    .unwrap_or_else(|| panic!("operand {pos} of {v} has no in-edge"));
+                OpSrc::In(slot)
+            }
+        })
+        .collect()
+}
+
+/// Evaluates a non-memory instruction.
+fn eval_compute(k: &Kernel, v: ValueId, ops: &[u64], wi: u32, launch: &LaunchCtx) -> u64 {
+    match &k.instr(v).kind {
+        InstKind::Bin { op, ty, .. } => eval::eval_bin(*op, *ty, ops[0], ops[1]),
+        InstKind::Un { op, ty, .. } => eval::eval_un(*op, *ty, ops[0]),
+        InstKind::Cast { from, to, .. } => eval::eval_cast(*from, *to, ops[0]),
+        InstKind::Select { .. } => {
+            if ops[0] != 0 {
+                ops[1]
+            } else {
+                ops[2]
+            }
+        }
+        InstKind::Math { func, ty, .. } => eval::eval_math(*func, *ty, ops),
+        InstKind::WorkItem(q, dim) => {
+            let info = launch.wi_info(wi);
+            let d = *dim as usize;
+            match q {
+                WorkItemQuery::GlobalId => info.gid[d],
+                WorkItemQuery::LocalId => info.lid[d],
+                WorkItemQuery::GroupId => info.group[d],
+                WorkItemQuery::GlobalSize => launch.nd.global[d],
+                WorkItemQuery::LocalSize => launch.nd.local[d],
+                WorkItemQuery::NumGroups => launch.nd.global[d] / launch.nd.local[d],
+                WorkItemQuery::WorkDim => launch.nd.work_dim as u64,
+                WorkItemQuery::GlobalOffset => 0,
+            }
+        }
+        other => panic!("eval_compute on {other:?}"),
+    }
+}
+
+/// Builds the memory request for a load/store/atomic instruction.
+fn build_request(k: &Kernel, v: ValueId, ops: &[u64], wi: u32, wg: u32) -> MemRequest {
+    match &k.instr(v).kind {
+        InstKind::Load { ty, .. } => {
+            MemRequest { op: MemOp::Load, addr: ops[0], ty: *ty, wi, wg }
+        }
+        InstKind::Store { ty, .. } => MemRequest {
+            op: MemOp::Store { value: ops[1] },
+            addr: ops[0],
+            ty: *ty,
+            wi,
+            wg,
+        },
+        InstKind::Atomic { op, ty, .. } => MemRequest {
+            op: MemOp::Atomic { op: *op, operands: ops[1..].to_vec() },
+            addr: ops[0],
+            ty: *ty,
+            wi,
+            wg,
+        },
+        other => panic!("build_request on {other:?}"),
+    }
+}

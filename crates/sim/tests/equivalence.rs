@@ -1,0 +1,422 @@
+//! The central correctness property of the simulator: for every kernel,
+//! the cycle-level simulation of the synthesized datapath must leave
+//! global memory **bit-identical** to the reference interpreter.
+//!
+//! These tests sweep the feature space of §IV/§V: straight-line code,
+//! branches, loops (with break/continue/return), nested loops, barriers,
+//! local memory, atomics, private arrays, helper inlining, and multiple
+//! datapath instances.
+
+use soff_datapath::{Datapath, LatencyModel};
+use soff_ir::interp;
+use soff_ir::ir::NdRange;
+use soff_ir::mem::{ArgValue, GlobalMemory};
+use soff_sim::machine::{run, SimConfig};
+use soff_frontend::types::Scalar;
+
+/// Compiles a kernel, builds buffers from the spec, runs both the
+/// interpreter and the simulator (with `instances` datapaths), and
+/// compares every buffer byte-for-byte.
+fn check(src: &str, nd: NdRange, instances: u32, buffers: &[Vec<u8>], scalars: &[(usize, u64)]) {
+    let parsed = soff_frontend::compile(src, &[]).expect("frontend");
+    let module = soff_ir::build::lower(&parsed).expect("lowering");
+    let kernel = &module.kernels[0];
+    soff_ir::verify::verify(kernel).expect("verifier");
+
+    // Build the argument list: buffers first then scalars at given
+    // positions.
+    let n_args = kernel.params.len();
+    let mut args: Vec<ArgValue> = Vec::with_capacity(n_args);
+    let mut gm_i = GlobalMemory::new();
+    let mut gm_s = GlobalMemory::new();
+    let mut next_buf = 0usize;
+    for i in 0..n_args {
+        if let Some((_, v)) = scalars.iter().find(|(pos, _)| *pos == i) {
+            // `__local` pointer parameters take a size, everything else a
+            // scalar value.
+            if matches!(kernel.params[i].kind, soff_ir::ir::ParamKind::LocalPointer { .. }) {
+                args.push(ArgValue::LocalSize(*v));
+            } else {
+                args.push(ArgValue::Scalar(*v));
+            }
+        } else {
+            let data = &buffers[next_buf];
+            next_buf += 1;
+            let a = gm_i.alloc(data.len());
+            gm_i.buffer_mut(a).bytes_mut().copy_from_slice(data);
+            let b = gm_s.alloc(data.len());
+            gm_s.buffer_mut(b).bytes_mut().copy_from_slice(data);
+            args.push(ArgValue::Buffer(a));
+        }
+    }
+
+    interp::run(kernel, &nd, &args, &mut gm_i, interp::DEFAULT_BUDGET).expect("interpreter");
+
+    let dp = Datapath::build(kernel, &LatencyModel::default());
+    let cfg = SimConfig { num_instances: instances, ..SimConfig::default() };
+    let res = run(kernel, &dp, &cfg, nd, &args, &mut gm_s).expect("simulator");
+    assert_eq!(res.retired, nd.total_work_items());
+
+    for b in 0..gm_i.num_buffers() {
+        assert_eq!(
+            gm_i.buffer(b as u32).bytes(),
+            gm_s.buffer(b as u32).bytes(),
+            "buffer {b} differs between interpreter and simulator"
+        );
+    }
+}
+
+fn f32s(v: &[f32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn i32s(v: &[i32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+#[test]
+fn vadd_matches() {
+    let a: Vec<f32> = (0..64).map(|i| i as f32).collect();
+    let b: Vec<f32> = (0..64).map(|i| 2.0 * i as f32).collect();
+    check(
+        "__kernel void vadd(__global float* a, __global float* b, __global float* c) {
+            int i = get_global_id(0);
+            c[i] = a[i] + b[i];
+        }",
+        NdRange::dim1(64, 16),
+        1,
+        &[f32s(&a), f32s(&b), f32s(&[0.0; 64])],
+        &[],
+    );
+}
+
+#[test]
+fn vadd_with_two_instances() {
+    let a: Vec<f32> = (0..64).map(|i| i as f32).collect();
+    let b: Vec<f32> = (0..64).map(|i| 3.0 * i as f32 - 7.0).collect();
+    check(
+        "__kernel void vadd(__global float* a, __global float* b, __global float* c) {
+            int i = get_global_id(0);
+            c[i] = a[i] * b[i] + 1.0f;
+        }",
+        NdRange::dim1(64, 8),
+        4,
+        &[f32s(&a), f32s(&b), f32s(&[0.0; 64])],
+        &[],
+    );
+}
+
+#[test]
+fn branches_match() {
+    let a: Vec<i32> = (0..96).map(|i| (i * 37 % 19) as i32 - 9).collect();
+    check(
+        "__kernel void k(__global int* a) {
+            int i = get_global_id(0);
+            int v = a[i];
+            if (v < 0) v = -v * 2;
+            else if (v > 5) v = v - 5;
+            a[i] = v;
+        }",
+        NdRange::dim1(96, 32),
+        2,
+        &[i32s(&a)],
+        &[],
+    );
+}
+
+#[test]
+fn reduction_loop_matches() {
+    let m: Vec<f32> = (0..16 * 16).map(|i| ((i * 7 % 13) as f32) * 0.25).collect();
+    let v: Vec<f32> = (0..16).map(|i| (i as f32) - 8.0).collect();
+    check(
+        "__kernel void mv(__global float* m, __global float* v, __global float* o, int n) {
+            int r = get_global_id(0);
+            float acc = 0.0f;
+            for (int j = 0; j < n; j++) acc += m[r * n + j] * v[j];
+            o[r] = acc;
+        }",
+        NdRange::dim1(16, 4),
+        1,
+        &[f32s(&m), f32s(&v), f32s(&[0.0; 16])],
+        &[(3, 16)],
+    );
+}
+
+#[test]
+fn nested_loops_match() {
+    check(
+        "__kernel void k(__global int* o, int n) {
+            int i = get_global_id(0);
+            int s = 0;
+            for (int a = 0; a < n; a++)
+                for (int b = 0; b <= a; b++)
+                    s += a * b + i;
+            o[i] = s;
+        }",
+        NdRange::dim1(8, 4),
+        1,
+        &[i32s(&[0; 8])],
+        &[(1, 6)],
+    );
+}
+
+#[test]
+fn break_continue_return_match() {
+    // Reads come from a separate read-only buffer: work-items write only
+    // their own slot of `o`, so interpreter and simulator orders agree.
+    let a: Vec<i32> = (0..32).map(|i| (i % 11) as i32).collect();
+    check(
+        "__kernel void k(__global int* a, __global int* o, int n) {
+            int i = get_global_id(0);
+            int s = 0;
+            for (int j = 0; j < n; j++) {
+                if (a[(i + j) % 32] == 9) break;
+                if (a[(i + j) % 32] % 2 == 0) continue;
+                s += a[(i + j) % 32];
+                if (s > 20) { o[i] = -1; return; }
+            }
+            o[i] = s;
+        }",
+        NdRange::dim1(32, 8),
+        2,
+        &[i32s(&a), i32s(&[0; 32])],
+        &[(2, 20)],
+    );
+}
+
+#[test]
+fn do_while_matches() {
+    check(
+        "__kernel void k(__global int* o, int n) {
+            int i = get_global_id(0);
+            int s = 0;
+            int j = 0;
+            do { s += j * j; j++; } while (j < n);
+            o[i] = s + i;
+        }",
+        NdRange::dim1(16, 4),
+        1,
+        &[i32s(&[0; 16])],
+        &[(1, 5)],
+    );
+}
+
+#[test]
+fn barrier_local_memory_matches() {
+    let a: Vec<f32> = (0..64).map(|i| i as f32 * 1.5).collect();
+    check(
+        "__kernel void rev(__global float* a) {
+            __local float t[16];
+            int l = get_local_id(0);
+            int g = get_global_id(0);
+            t[l] = a[g];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            a[g] = t[15 - l];
+        }",
+        NdRange::dim1(64, 16),
+        2,
+        &[f32s(&a)],
+        &[],
+    );
+}
+
+#[test]
+fn barrier_in_loop_matches() {
+    let a: Vec<f32> = (0..128).map(|i| (i % 17) as f32).collect();
+    check(
+        "__kernel void scan(__global float* a, int n) {
+            __local float t[8];
+            int l = get_local_id(0);
+            int g = get_group_id(0);
+            for (int it = 0; it < n; it++) {
+                t[l] = a[g * 8 + l] + (float)it;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[g * 8 + l] = t[7 - l] * 0.5f;
+                barrier(CLK_LOCAL_MEM_FENCE);
+            }
+        }",
+        NdRange::dim1(128, 8),
+        2,
+        &[f32s(&a)],
+        &[(1, 3)],
+    );
+}
+
+#[test]
+fn atomics_match() {
+    let d: Vec<i32> = (0..128).map(|i| (i * 13 % 8) as i32).collect();
+    check(
+        "__kernel void hist(__global int* data, __global int* bins) {
+            int i = get_global_id(0);
+            atomic_add(&bins[data[i]], 1);
+            atomic_max(&bins[8], data[i]);
+        }",
+        NdRange::dim1(128, 16),
+        2,
+        &[i32s(&d), i32s(&[0; 9])],
+        &[],
+    );
+}
+
+#[test]
+fn private_array_matches() {
+    check(
+        "__kernel void k(__global int* o) {
+            int t[6];
+            int i = get_global_id(0);
+            for (int j = 0; j < 6; j++) t[j] = j * 3 + i;
+            int s = 0;
+            for (int j = 0; j < 6; j++) s += t[5 - j] * j;
+            o[i] = s;
+        }",
+        NdRange::dim1(16, 4),
+        1,
+        &[i32s(&[0; 16])],
+        &[],
+    );
+}
+
+#[test]
+fn helper_functions_match() {
+    let a: Vec<f32> = (0..32).map(|i| i as f32 - 16.0).collect();
+    check(
+        "float square(float x) { return x * x; }
+         float dist(float x, float y) { return sqrt(square(x) + square(y)); }
+         __kernel void k(__global float* a) {
+            int i = get_global_id(0);
+            a[i] = dist(a[i], 3.0f);
+        }",
+        NdRange::dim1(32, 8),
+        1,
+        &[f32s(&a)],
+        &[],
+    );
+}
+
+#[test]
+fn two_dimensional_matches() {
+    check(
+        "__kernel void t(__global int* o) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            int w = get_global_size(0);
+            o[y * w + x] = x * 1000 + y;
+        }",
+        NdRange::dim2([8, 8], [4, 2]),
+        2,
+        &[i32s(&[0; 64])],
+        &[],
+    );
+}
+
+#[test]
+fn select_and_ternary_match() {
+    let a: Vec<f32> = (0..48).map(|i| (i as f32) * 0.3 - 7.0).collect();
+    check(
+        "__kernel void k(__global float* a) {
+            int i = get_global_id(0);
+            float v = a[i];
+            a[i] = v > 0.0f ? v : (v < -3.0f && i % 2 == 0 ? -v : 0.0f);
+        }",
+        NdRange::dim1(48, 16),
+        1,
+        &[f32s(&a)],
+        &[],
+    );
+}
+
+#[test]
+fn irregular_gather_matches() {
+    // Indirect accesses (spmv-style): exercises per-buffer caches with an
+    // index stream.
+    let idx: Vec<i32> = (0..64).map(|i| ((i * 29) % 64) as i32).collect();
+    let x: Vec<f32> = (0..64).map(|i| i as f32 * 0.1).collect();
+    check(
+        "__kernel void gather(__global int* idx, __global float* x, __global float* y) {
+            int i = get_global_id(0);
+            y[i] = x[idx[i]] * 2.0f;
+        }",
+        NdRange::dim1(64, 16),
+        2,
+        &[i32s(&idx), f32s(&x), f32s(&[0.0; 64])],
+        &[],
+    );
+}
+
+#[test]
+fn local_pointer_argument_matches() {
+    let a: Vec<f32> = (0..32).map(|i| i as f32).collect();
+    check(
+        "__kernel void k(__global float* a, __local float* tmp) {
+            int l = get_local_id(0);
+            tmp[l] = a[get_global_id(0)] * 2.0f;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            a[get_global_id(0)] = tmp[(l + 3) % 8];
+        }",
+        NdRange::dim1(32, 8),
+        1,
+        &[f32s(&a)],
+        &[(1, 8 * 4)],
+    );
+}
+
+#[test]
+fn local_pointer_arg_needs_localsize_arg() {
+    // The helper `check` passes LocalSize automatically? No: scalars map
+    // by position; LocalSize needs its own handling — exercise directly.
+    let parsed = soff_frontend::compile(
+        "__kernel void k(__global float* a, __local float* t) {
+            t[get_local_id(0)] = 0.0f;
+            a[get_global_id(0)] = 1.0f;
+        }",
+        &[],
+    )
+    .unwrap();
+    let module = soff_ir::build::lower(&parsed).unwrap();
+    let kernel = &module.kernels[0];
+    let dp = Datapath::build(kernel, &LatencyModel::default());
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc(16 * 4);
+    let res = run(
+        kernel,
+        &dp,
+        &SimConfig::default(),
+        NdRange::dim1(16, 4),
+        &[ArgValue::Buffer(a), ArgValue::LocalSize(16)],
+        &mut gm,
+    )
+    .unwrap();
+    assert_eq!(res.retired, 16);
+}
+
+#[test]
+fn stall_statistics_are_populated() {
+    // A join of a long (divide) and a short path plus global memory: both
+    // Case-1 and Case-2 stall counters should move.
+    let parsed = soff_frontend::compile(
+        "__kernel void k(__global float* a, __global float* o, int n) {
+            int i = get_global_id(0);
+            float x = a[(i * 97) % n];
+            o[i] = x / 3.0f + x;
+        }",
+        &[],
+    )
+    .unwrap();
+    let module = soff_ir::build::lower(&parsed).unwrap();
+    let kernel = &module.kernels[0];
+    let dp = Datapath::build(kernel, &LatencyModel::default());
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc(4096 * 4);
+    let o = gm.alloc(512 * 4);
+    let res = run(
+        kernel,
+        &dp,
+        &SimConfig::default(),
+        NdRange::dim1(512, 64),
+        &[ArgValue::Buffer(a), ArgValue::Buffer(o), ArgValue::Scalar(4096)],
+        &mut gm,
+    )
+    .unwrap();
+    assert!(res.issue_stalls > 0 || res.output_stalls > 0, "stall counters never moved");
+    assert!(res.cache.misses > 0, "the strided gather should miss");
+}

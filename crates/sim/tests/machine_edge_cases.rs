@@ -1,0 +1,176 @@
+//! Machine-level edge cases: deadlock reporting, cycle budgets,
+//! work-group slot gating for local memory, and the dispatcher contract.
+
+use soff_datapath::{Datapath, LatencyModel};
+use soff_ir::ir::NdRange;
+use soff_ir::mem::{ArgValue, GlobalMemory};
+use soff_sim::machine::{run, SimConfig, SimError};
+
+fn compile(src: &str) -> (soff_ir::ir::Kernel, Datapath) {
+    let parsed = soff_frontend::compile(src, &[]).unwrap();
+    let module = soff_ir::build::lower(&parsed).unwrap();
+    let kernel = module.kernels.into_iter().next().unwrap();
+    let dp = Datapath::build(&kernel, &LatencyModel::default());
+    (kernel, dp)
+}
+
+#[test]
+fn infinite_loop_is_reported_not_hung() {
+    let (kernel, dp) = compile(
+        "__kernel void spin(__global int* a) {
+            while (a[0] == 0) { }
+            a[1] = 1;
+        }",
+    );
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc(16);
+    let cfg = SimConfig { deadlock_window: 5_000, max_cycles: 200_000, ..Default::default() };
+    let err = run(&kernel, &dp, &cfg, NdRange::dim1(4, 4), &[ArgValue::Buffer(a)], &mut gm)
+        .unwrap_err();
+    assert!(
+        matches!(err, SimError::Deadlock { .. } | SimError::Timeout { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn cycle_budget_is_respected() {
+    let (kernel, dp) = compile(
+        "__kernel void slow(__global float* a, int n) {
+            float s = 0.0f;
+            for (int i = 0; i < n; i++) s += a[i % 64] / 3.0f;
+            a[get_global_id(0) % 64] = s;
+        }",
+    );
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc(64 * 4);
+    let cfg = SimConfig { max_cycles: 100, ..Default::default() };
+    let err = run(
+        &kernel,
+        &dp,
+        &cfg,
+        NdRange::dim1(256, 16),
+        &[ArgValue::Buffer(a), ArgValue::Scalar(1000)],
+        &mut gm,
+    )
+    .unwrap_err();
+    assert_eq!(err, SimError::Timeout { max_cycles: 100 });
+}
+
+#[test]
+fn wrong_arguments_are_rejected() {
+    let (kernel, dp) = compile("__kernel void k(__global int* a) { a[0] = 1; }");
+    let mut gm = GlobalMemory::new();
+    let err = run(
+        &kernel,
+        &dp,
+        &SimConfig::default(),
+        NdRange::dim1(4, 4),
+        &[ArgValue::Scalar(3)], // buffer expected
+        &mut gm,
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::Args(_)));
+}
+
+#[test]
+fn local_memory_gating_stays_correct_with_many_groups() {
+    // More work-groups than local-memory slots: the dispatcher must gate
+    // admissions so slot reuse never corrupts another group's data.
+    let (kernel, dp) = compile(
+        "__kernel void rot(__global int* a) {
+            __local int t[4];
+            int l = get_local_id(0);
+            int g = get_global_id(0);
+            t[l] = a[g];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            a[g] = t[(l + 1) % 4];
+        }",
+    );
+    assert!(kernel.uses_local);
+    let groups = 32u64;
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc((groups * 4 * 4) as usize);
+    for i in 0..groups * 4 {
+        gm.buffer_mut(a).write_scalar(i * 4, soff_frontend::types::Scalar::I32, i);
+    }
+    let res = run(
+        &kernel,
+        &dp,
+        &SimConfig { num_instances: 2, ..Default::default() },
+        NdRange::dim1(groups * 4, 4),
+        &[ArgValue::Buffer(a)],
+        &mut gm,
+    )
+    .unwrap();
+    assert_eq!(res.retired, groups * 4);
+    for g in 0..groups {
+        for l in 0..4u64 {
+            let got = gm.buffer(a).read_scalar((g * 4 + l) * 4, soff_frontend::types::Scalar::I32);
+            assert_eq!(got, g * 4 + (l + 1) % 4, "group {g} lane {l}");
+        }
+    }
+}
+
+#[test]
+fn single_work_item_ndrange_works() {
+    let (kernel, dp) = compile(
+        "__kernel void one(__global int* a) { a[0] = 42; }",
+    );
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc(4);
+    let res = run(
+        &kernel,
+        &dp,
+        &SimConfig::default(),
+        NdRange::dim1(1, 1),
+        &[ArgValue::Buffer(a)],
+        &mut gm,
+    )
+    .unwrap();
+    assert_eq!(res.retired, 1);
+    assert_eq!(gm.buffer(a).read_scalar(0, soff_frontend::types::Scalar::I32), 42);
+}
+
+#[test]
+fn more_instances_than_work_groups_is_fine() {
+    let (kernel, dp) = compile(
+        "__kernel void k(__global int* a) { a[get_global_id(0)] = (int)get_group_id(0); }",
+    );
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc(8 * 4);
+    // 8 instances but only 2 work-groups: most instances stay idle.
+    let res = run(
+        &kernel,
+        &dp,
+        &SimConfig { num_instances: 8, ..Default::default() },
+        NdRange::dim1(8, 4),
+        &[ArgValue::Buffer(a)],
+        &mut gm,
+    )
+    .unwrap();
+    assert_eq!(res.retired, 8);
+    assert_eq!(gm.buffer(a).read_scalar(7 * 4, soff_frontend::types::Scalar::I32), 1);
+}
+
+#[test]
+fn flush_accounts_for_dirty_lines() {
+    let (kernel, dp) = compile(
+        "__kernel void fill(__global float* a) { a[get_global_id(0)] = 1.0f; }",
+    );
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc(1024 * 4);
+    let res = run(
+        &kernel,
+        &dp,
+        &SimConfig::default(),
+        NdRange::dim1(1024, 64),
+        &[ArgValue::Buffer(a)],
+        &mut gm,
+    )
+    .unwrap();
+    // 1024 floats = 64 dirty lines; the flush must write them all back and
+    // take time doing it (completion strictly after the last retire).
+    assert!(res.cache.writebacks >= 64, "writebacks = {}", res.cache.writebacks);
+    assert!(res.cycles > res.compute_cycles, "flush must cost cycles");
+}

@@ -1,0 +1,14 @@
+use soff_datapath::{resource, Datapath, LatencyModel};
+fn main() {
+    for app in soff_workloads::all_apps() {
+        if !["122.cfd", "128.heartwall", "140.bplustree"].contains(&app.name) { continue; }
+        let parsed = soff_frontend::compile(app.source, &[]).unwrap();
+        let module = soff_ir::build::lower(&parsed).unwrap();
+        for k in &module.kernels {
+            let dp = Datapath::build(k, &LatencyModel::default());
+            let cost = resource::datapath_cost_full(&dp, 2, k.local_vars.iter().map(|v| v.size).sum(), dp.wg_slots, k.private_bytes);
+            println!("{} / {}: priv={}B l_datapath={} cost = {} (cap A membits = {:.1}Mb)",
+                app.name, k.name, k.private_bytes, dp.l_datapath, cost, resource::SYSTEM_A.capacity.membits/1e6);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Deterministic input-data generation shared by all workloads.
+//!
+//! Every application seeds its own generator, so the same inputs reach
+//! SOFF and the baseline frameworks — a prerequisite for the Table II
+//! correctness comparison.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic data source.
+pub struct DataGen {
+    rng: StdRng,
+}
+
+impl DataGen {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> DataGen {
+        DataGen { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// `n` floats uniform in `[lo, hi)`.
+    pub fn f32s(&mut self, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+        (0..n).map(|_| self.rng.gen_range(lo..hi)).collect()
+    }
+
+    /// `n` ints uniform in `[lo, hi)`.
+    pub fn i32s(&mut self, n: usize, lo: i32, hi: i32) -> Vec<i32> {
+        (0..n).map(|_| self.rng.gen_range(lo..hi)).collect()
+    }
+
+    /// One float in `[lo, hi)`.
+    pub fn f32(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// One integer in `[lo, hi)`.
+    pub fn i32(&mut self, lo: i32, hi: i32) -> i32 {
+        self.rng.gen_range(lo..hi)
+    }
+}
+
+/// Problem-size selector. `Small` keeps simulations fast for tests;
+/// `Full` is what the benchmark harness uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Test-sized problems (sub-second simulations).
+    Small,
+    /// Benchmark-sized problems.
+    Full,
+}
+
+impl Scale {
+    /// Picks between the two sizes.
+    pub fn pick(self, small: usize, full: usize) -> usize {
+        match self {
+            Scale::Small => small,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = DataGen::new(42).f32s(16, -1.0, 1.0);
+        let b = DataGen::new(42).f32s(16, -1.0, 1.0);
+        assert_eq!(a, b);
+        let c = DataGen::new(43).f32s(16, -1.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let v = DataGen::new(7).i32s(100, 0, 10);
+        assert!(v.iter().all(|x| (0..10).contains(x)));
+    }
+}

@@ -1,0 +1,908 @@
+//! PolyBench stand-ins (§VI-A: "the applications in PolyBench are quite
+//! simple"): 15 dense linear-algebra / stencil / data-mining kernels.
+//! None of them uses local memory, barriers, or atomics (Table II).
+//!
+//! Each application generates deterministic inputs, drives its kernels
+//! through a [`Runner`], and validates against a host-side Rust reference
+//! written with the same f32 operation order as the kernel.
+
+use crate::data::{DataGen, Scale};
+use crate::runner::{alloc_f32, floats_close, read_f32, Arg, RunError, Runner};
+use crate::{App, Features, Suite};
+use soff_ir::NdRange;
+
+/// All 15 PolyBench applications.
+pub fn apps() -> Vec<App> {
+    vec![
+        app_2dconv(),
+        app_3dconv(),
+        app_2mm(),
+        app_3mm(),
+        app_atax(),
+        app_bicg(),
+        app_gemm(),
+        app_gesummv(),
+        app_gramschm(),
+        app_mvt(),
+        app_syr2k(),
+        app_syrk(),
+        app_corr(),
+        app_covar(),
+        app_fdtd_2d(),
+    ]
+}
+
+fn plain() -> Features {
+    Features { local: false, barrier: false, atomics: false }
+}
+
+// Host-side helpers with kernel-identical accumulation order.
+fn mat_mul(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+// ---- 2dconv ---------------------------------------------------------------
+
+const CONV2D_SRC: &str = r#"
+__kernel void conv2d(__global const float* in, __global float* out, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i > 0 && i < n - 1 && j > 0 && j < n - 1) {
+        float c11 = 0.2f, c12 = -0.3f, c13 = 0.4f;
+        float c21 = 0.5f, c22 = 0.6f, c23 = -0.7f;
+        float c31 = -0.8f, c32 = -0.9f, c33 = 0.1f;
+        out[i * n + j] = c11 * in[(i - 1) * n + (j - 1)] + c12 * in[(i - 1) * n + j]
+            + c13 * in[(i - 1) * n + (j + 1)] + c21 * in[i * n + (j - 1)]
+            + c22 * in[i * n + j] + c23 * in[i * n + (j + 1)]
+            + c31 * in[(i + 1) * n + (j - 1)] + c32 * in[(i + 1) * n + j]
+            + c33 * in[(i + 1) * n + (j + 1)];
+    }
+}
+"#;
+
+fn app_2dconv() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(24, 96);
+        let mut g = DataGen::new(0x2dc0);
+        let input = g.f32s(n * n, -1.0, 1.0);
+        let bin = alloc_f32(r, &input);
+        let bout = alloc_f32(r, &vec![0.0; n * n]);
+        r.launch(
+            "conv2d",
+            &[Arg::Buf(bin), Arg::Buf(bout), Arg::I32(n as i32)],
+            NdRange::dim2([n as u64, n as u64], [8, 8]),
+        )?;
+        let got = read_f32(r, bout);
+        let mut want = vec![0.0f32; n * n];
+        let (c11, c12, c13) = (0.2f32, -0.3f32, 0.4f32);
+        let (c21, c22, c23) = (0.5f32, 0.6f32, -0.7f32);
+        let (c31, c32, c33) = (-0.8f32, -0.9f32, 0.1f32);
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                want[i * n + j] = c11 * input[(i - 1) * n + j - 1]
+                    + c12 * input[(i - 1) * n + j]
+                    + c13 * input[(i - 1) * n + j + 1]
+                    + c21 * input[i * n + j - 1]
+                    + c22 * input[i * n + j]
+                    + c23 * input[i * n + j + 1]
+                    + c31 * input[(i + 1) * n + j - 1]
+                    + c32 * input[(i + 1) * n + j]
+                    + c33 * input[(i + 1) * n + j + 1];
+            }
+        }
+        Ok(floats_close(&got, &want, 1e-4))
+    }
+    App { name: "2dconv", suite: Suite::PolyBench, features: plain(), source: CONV2D_SRC, run }
+}
+
+// ---- 3dconv ---------------------------------------------------------------
+
+const CONV3D_SRC: &str = r#"
+__kernel void conv3d(__global const float* in, __global float* out, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    int k = get_global_id(2);
+    if (i > 0 && i < n - 1 && j > 0 && j < n - 1 && k > 0 && k < n - 1) {
+        float c = 0.0f;
+        c += 0.5f * in[((i - 1) * n + j) * n + k];
+        c += 0.7f * in[((i + 1) * n + j) * n + k];
+        c += 0.9f * in[(i * n + (j - 1)) * n + k];
+        c += 1.1f * in[(i * n + (j + 1)) * n + k];
+        c += 1.3f * in[(i * n + j) * n + (k - 1)];
+        c += 1.5f * in[(i * n + j) * n + (k + 1)];
+        c += -6.0f * in[(i * n + j) * n + k];
+        out[(i * n + j) * n + k] = c;
+    }
+}
+"#;
+
+fn app_3dconv() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(8, 16);
+        let mut g = DataGen::new(0x3dc0);
+        let input = g.f32s(n * n * n, -1.0, 1.0);
+        let bin = alloc_f32(r, &input);
+        let bout = alloc_f32(r, &vec![0.0; n * n * n]);
+        r.launch(
+            "conv3d",
+            &[Arg::Buf(bin), Arg::Buf(bout), Arg::I32(n as i32)],
+            NdRange::dim3([n as u64, n as u64, n as u64], [4, 4, 4]),
+        )?;
+        let got = read_f32(r, bout);
+        let mut want = vec![0.0f32; n * n * n];
+        let at = |i: usize, j: usize, k: usize| (i * n + j) * n + k;
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                for k in 1..n - 1 {
+                    let mut c = 0.0f32;
+                    c += 0.5 * input[at(i - 1, j, k)];
+                    c += 0.7 * input[at(i + 1, j, k)];
+                    c += 0.9 * input[at(i, j - 1, k)];
+                    c += 1.1 * input[at(i, j + 1, k)];
+                    c += 1.3 * input[at(i, j, k - 1)];
+                    c += 1.5 * input[at(i, j, k + 1)];
+                    c += -6.0 * input[at(i, j, k)];
+                    want[at(i, j, k)] = c;
+                }
+            }
+        }
+        Ok(floats_close(&got, &want, 1e-4))
+    }
+    App { name: "3dconv", suite: Suite::PolyBench, features: plain(), source: CONV3D_SRC, run }
+}
+
+// ---- matrix-multiply family ------------------------------------------------
+
+const MM_SRC: &str = r#"
+__kernel void mm(__global const float* a, __global const float* b,
+                 __global float* c, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    float acc = 0.0f;
+    for (int k = 0; k < n; k++) acc += a[i * n + k] * b[k * n + j];
+    c[i * n + j] = acc;
+}
+"#;
+
+fn app_2mm() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 32);
+        let mut g = DataGen::new(0x22);
+        let a = g.f32s(n * n, -1.0, 1.0);
+        let b = g.f32s(n * n, -1.0, 1.0);
+        let c = g.f32s(n * n, -1.0, 1.0);
+        let (ba, bb, bc) = (alloc_f32(r, &a), alloc_f32(r, &b), alloc_f32(r, &c));
+        let btmp = alloc_f32(r, &vec![0.0; n * n]);
+        let bd = alloc_f32(r, &vec![0.0; n * n]);
+        let nd = NdRange::dim2([n as u64, n as u64], [8, 8]);
+        r.launch("mm", &[Arg::Buf(ba), Arg::Buf(bb), Arg::Buf(btmp), Arg::I32(n as i32)], nd)?;
+        r.launch("mm", &[Arg::Buf(btmp), Arg::Buf(bc), Arg::Buf(bd), Arg::I32(n as i32)], nd)?;
+        let got = read_f32(r, bd);
+        let want = mat_mul(&mat_mul(&a, &b, n), &c, n);
+        Ok(floats_close(&got, &want, 1e-3))
+    }
+    App { name: "2mm", suite: Suite::PolyBench, features: plain(), source: MM_SRC, run }
+}
+
+fn app_3mm() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 32);
+        let mut g = DataGen::new(0x33);
+        let a = g.f32s(n * n, -1.0, 1.0);
+        let b = g.f32s(n * n, -1.0, 1.0);
+        let c = g.f32s(n * n, -1.0, 1.0);
+        let d = g.f32s(n * n, -1.0, 1.0);
+        let (ba, bb, bc, bd) =
+            (alloc_f32(r, &a), alloc_f32(r, &b), alloc_f32(r, &c), alloc_f32(r, &d));
+        let be = alloc_f32(r, &vec![0.0; n * n]);
+        let bf = alloc_f32(r, &vec![0.0; n * n]);
+        let bg = alloc_f32(r, &vec![0.0; n * n]);
+        let nd = NdRange::dim2([n as u64, n as u64], [8, 8]);
+        r.launch("mm", &[Arg::Buf(ba), Arg::Buf(bb), Arg::Buf(be), Arg::I32(n as i32)], nd)?;
+        r.launch("mm", &[Arg::Buf(bc), Arg::Buf(bd), Arg::Buf(bf), Arg::I32(n as i32)], nd)?;
+        r.launch("mm", &[Arg::Buf(be), Arg::Buf(bf), Arg::Buf(bg), Arg::I32(n as i32)], nd)?;
+        let got = read_f32(r, bg);
+        let e = mat_mul(&a, &b, n);
+        let f = mat_mul(&c, &d, n);
+        let want = mat_mul(&e, &f, n);
+        Ok(floats_close(&got, &want, 1e-3))
+    }
+    App { name: "3mm", suite: Suite::PolyBench, features: plain(), source: MM_SRC, run }
+}
+
+const GEMM_SRC: &str = r#"
+__kernel void gemm(__global const float* a, __global const float* b,
+                   __global float* c, float alpha, float beta, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    float acc = 0.0f;
+    for (int k = 0; k < n; k++) acc += a[i * n + k] * b[k * n + j];
+    c[i * n + j] = alpha * acc + beta * c[i * n + j];
+}
+"#;
+
+fn app_gemm() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 32);
+        let mut g = DataGen::new(0x9e);
+        let a = g.f32s(n * n, -1.0, 1.0);
+        let b = g.f32s(n * n, -1.0, 1.0);
+        let c0 = g.f32s(n * n, -1.0, 1.0);
+        let (alpha, beta) = (1.5f32, 0.75f32);
+        let (ba, bb, bc) = (alloc_f32(r, &a), alloc_f32(r, &b), alloc_f32(r, &c0));
+        r.launch(
+            "gemm",
+            &[
+                Arg::Buf(ba),
+                Arg::Buf(bb),
+                Arg::Buf(bc),
+                Arg::F32(alpha),
+                Arg::F32(beta),
+                Arg::I32(n as i32),
+            ],
+            NdRange::dim2([n as u64, n as u64], [8, 8]),
+        )?;
+        let got = read_f32(r, bc);
+        let mut want = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..n {
+                    acc += a[i * n + k] * b[k * n + j];
+                }
+                want[i * n + j] = alpha * acc + beta * c0[i * n + j];
+            }
+        }
+        Ok(floats_close(&got, &want, 1e-3))
+    }
+    App { name: "gemm", suite: Suite::PolyBench, features: plain(), source: GEMM_SRC, run }
+}
+
+// ---- matrix-vector family ---------------------------------------------------
+
+const ATAX_SRC: &str = r#"
+__kernel void ax(__global const float* a, __global const float* x,
+                 __global float* tmp, int n) {
+    int i = get_global_id(0);
+    float acc = 0.0f;
+    for (int j = 0; j < n; j++) acc += a[i * n + j] * x[j];
+    tmp[i] = acc;
+}
+
+__kernel void aty(__global const float* a, __global const float* tmp,
+                  __global float* y, int n) {
+    int j = get_global_id(0);
+    float acc = 0.0f;
+    for (int i = 0; i < n; i++) acc += a[i * n + j] * tmp[i];
+    y[j] = acc;
+}
+"#;
+
+fn app_atax() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(32, 512);
+        let mut g = DataGen::new(0xa7a);
+        let a = g.f32s(n * n, -1.0, 1.0);
+        let x = g.f32s(n, -1.0, 1.0);
+        let (ba, bx) = (alloc_f32(r, &a), alloc_f32(r, &x));
+        let btmp = alloc_f32(r, &vec![0.0; n]);
+        let by = alloc_f32(r, &vec![0.0; n]);
+        let nd = NdRange::dim1(n as u64, 8);
+        r.launch("ax", &[Arg::Buf(ba), Arg::Buf(bx), Arg::Buf(btmp), Arg::I32(n as i32)], nd)?;
+        r.launch("aty", &[Arg::Buf(ba), Arg::Buf(btmp), Arg::Buf(by), Arg::I32(n as i32)], nd)?;
+        let got = read_f32(r, by);
+        let mut tmp = vec![0.0f32; n];
+        for i in 0..n {
+            let mut acc = 0.0f32;
+            for j in 0..n {
+                acc += a[i * n + j] * x[j];
+            }
+            tmp[i] = acc;
+        }
+        let mut want = vec![0.0f32; n];
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for i in 0..n {
+                acc += a[i * n + j] * tmp[i];
+            }
+            want[j] = acc;
+        }
+        Ok(floats_close(&got, &want, 1e-3))
+    }
+    App { name: "atax", suite: Suite::PolyBench, features: plain(), source: ATAX_SRC, run }
+}
+
+const BICG_SRC: &str = r#"
+__kernel void bicg_q(__global const float* a, __global const float* p,
+                     __global float* q, int n) {
+    int i = get_global_id(0);
+    float acc = 0.0f;
+    for (int j = 0; j < n; j++) acc += a[i * n + j] * p[j];
+    q[i] = acc;
+}
+
+__kernel void bicg_s(__global const float* a, __global const float* r,
+                     __global float* s, int n) {
+    int j = get_global_id(0);
+    float acc = 0.0f;
+    for (int i = 0; i < n; i++) acc += a[i * n + j] * r[i];
+    s[j] = acc;
+}
+"#;
+
+fn app_bicg() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(32, 512);
+        let mut g = DataGen::new(0xb1c);
+        let a = g.f32s(n * n, -1.0, 1.0);
+        let p = g.f32s(n, -1.0, 1.0);
+        let rr = g.f32s(n, -1.0, 1.0);
+        let (ba, bp, br) = (alloc_f32(r, &a), alloc_f32(r, &p), alloc_f32(r, &rr));
+        let bq = alloc_f32(r, &vec![0.0; n]);
+        let bs = alloc_f32(r, &vec![0.0; n]);
+        let nd = NdRange::dim1(n as u64, 8);
+        r.launch("bicg_q", &[Arg::Buf(ba), Arg::Buf(bp), Arg::Buf(bq), Arg::I32(n as i32)], nd)?;
+        r.launch("bicg_s", &[Arg::Buf(ba), Arg::Buf(br), Arg::Buf(bs), Arg::I32(n as i32)], nd)?;
+        let gq = read_f32(r, bq);
+        let gs = read_f32(r, bs);
+        let mut wq = vec![0.0f32; n];
+        let mut ws = vec![0.0f32; n];
+        for i in 0..n {
+            let mut acc = 0.0f32;
+            for j in 0..n {
+                acc += a[i * n + j] * p[j];
+            }
+            wq[i] = acc;
+        }
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for i in 0..n {
+                acc += a[i * n + j] * rr[i];
+            }
+            ws[j] = acc;
+        }
+        Ok(floats_close(&gq, &wq, 1e-3) && floats_close(&gs, &ws, 1e-3))
+    }
+    App { name: "bicg", suite: Suite::PolyBench, features: plain(), source: BICG_SRC, run }
+}
+
+const GESUMMV_SRC: &str = r#"
+__kernel void gesummv(__global const float* a, __global const float* b,
+                      __global const float* x, __global float* y,
+                      float alpha, float beta, int n) {
+    int i = get_global_id(0);
+    float t1 = 0.0f;
+    float t2 = 0.0f;
+    for (int j = 0; j < n; j++) {
+        t1 += a[i * n + j] * x[j];
+        t2 += b[i * n + j] * x[j];
+    }
+    y[i] = alpha * t1 + beta * t2;
+}
+"#;
+
+fn app_gesummv() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(32, 256);
+        let mut g = DataGen::new(0x9e5);
+        let a = g.f32s(n * n, -1.0, 1.0);
+        let b = g.f32s(n * n, -1.0, 1.0);
+        let x = g.f32s(n, -1.0, 1.0);
+        let (alpha, beta) = (1.2f32, 0.8f32);
+        let (ba, bb, bx) = (alloc_f32(r, &a), alloc_f32(r, &b), alloc_f32(r, &x));
+        let by = alloc_f32(r, &vec![0.0; n]);
+        r.launch(
+            "gesummv",
+            &[
+                Arg::Buf(ba),
+                Arg::Buf(bb),
+                Arg::Buf(bx),
+                Arg::Buf(by),
+                Arg::F32(alpha),
+                Arg::F32(beta),
+                Arg::I32(n as i32),
+            ],
+            NdRange::dim1(n as u64, 8),
+        )?;
+        let got = read_f32(r, by);
+        let mut want = vec![0.0f32; n];
+        for i in 0..n {
+            let mut t1 = 0.0f32;
+            let mut t2 = 0.0f32;
+            for j in 0..n {
+                t1 += a[i * n + j] * x[j];
+                t2 += b[i * n + j] * x[j];
+            }
+            want[i] = alpha * t1 + beta * t2;
+        }
+        Ok(floats_close(&got, &want, 1e-3))
+    }
+    App { name: "gesummv", suite: Suite::PolyBench, features: plain(), source: GESUMMV_SRC, run }
+}
+
+const MVT_SRC: &str = r#"
+__kernel void mvt1(__global const float* a, __global float* x1,
+                   __global const float* y1, int n) {
+    int i = get_global_id(0);
+    float acc = x1[i];
+    for (int j = 0; j < n; j++) acc += a[i * n + j] * y1[j];
+    x1[i] = acc;
+}
+
+__kernel void mvt2(__global const float* a, __global float* x2,
+                   __global const float* y2, int n) {
+    int i = get_global_id(0);
+    float acc = x2[i];
+    for (int j = 0; j < n; j++) acc += a[j * n + i] * y2[j];
+    x2[i] = acc;
+}
+"#;
+
+fn app_mvt() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(32, 512);
+        let mut g = DataGen::new(0x3f7);
+        let a = g.f32s(n * n, -1.0, 1.0);
+        let x1 = g.f32s(n, -1.0, 1.0);
+        let x2 = g.f32s(n, -1.0, 1.0);
+        let y1 = g.f32s(n, -1.0, 1.0);
+        let y2 = g.f32s(n, -1.0, 1.0);
+        let ba = alloc_f32(r, &a);
+        let bx1 = alloc_f32(r, &x1);
+        let bx2 = alloc_f32(r, &x2);
+        let by1 = alloc_f32(r, &y1);
+        let by2 = alloc_f32(r, &y2);
+        let nd = NdRange::dim1(n as u64, 8);
+        r.launch("mvt1", &[Arg::Buf(ba), Arg::Buf(bx1), Arg::Buf(by1), Arg::I32(n as i32)], nd)?;
+        r.launch("mvt2", &[Arg::Buf(ba), Arg::Buf(bx2), Arg::Buf(by2), Arg::I32(n as i32)], nd)?;
+        let g1 = read_f32(r, bx1);
+        let g2 = read_f32(r, bx2);
+        let mut w1 = x1.clone();
+        let mut w2 = x2.clone();
+        for i in 0..n {
+            let mut acc = w1[i];
+            for j in 0..n {
+                acc += a[i * n + j] * y1[j];
+            }
+            w1[i] = acc;
+        }
+        for i in 0..n {
+            let mut acc = w2[i];
+            for j in 0..n {
+                acc += a[j * n + i] * y2[j];
+            }
+            w2[i] = acc;
+        }
+        Ok(floats_close(&g1, &w1, 1e-3) && floats_close(&g2, &w2, 1e-3))
+    }
+    App { name: "mvt", suite: Suite::PolyBench, features: plain(), source: MVT_SRC, run }
+}
+
+// ---- symmetric rank-k updates ------------------------------------------------
+
+const SYRK_SRC: &str = r#"
+__kernel void syrk(__global const float* a, __global float* c,
+                   float alpha, float beta, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    float acc = 0.0f;
+    for (int k = 0; k < n; k++) acc += a[i * n + k] * a[j * n + k];
+    c[i * n + j] = alpha * acc + beta * c[i * n + j];
+}
+"#;
+
+fn app_syrk() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 32);
+        let mut g = DataGen::new(0x57f);
+        let a = g.f32s(n * n, -1.0, 1.0);
+        let c0 = g.f32s(n * n, -1.0, 1.0);
+        let (alpha, beta) = (0.9f32, 1.1f32);
+        let (ba, bc) = (alloc_f32(r, &a), alloc_f32(r, &c0));
+        r.launch(
+            "syrk",
+            &[Arg::Buf(ba), Arg::Buf(bc), Arg::F32(alpha), Arg::F32(beta), Arg::I32(n as i32)],
+            NdRange::dim2([n as u64, n as u64], [8, 8]),
+        )?;
+        let got = read_f32(r, bc);
+        let mut want = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..n {
+                    acc += a[i * n + k] * a[j * n + k];
+                }
+                want[i * n + j] = alpha * acc + beta * c0[i * n + j];
+            }
+        }
+        Ok(floats_close(&got, &want, 1e-3))
+    }
+    App { name: "syrk", suite: Suite::PolyBench, features: plain(), source: SYRK_SRC, run }
+}
+
+const SYR2K_SRC: &str = r#"
+__kernel void syr2k(__global const float* a, __global const float* b,
+                    __global float* c, float alpha, float beta, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    float acc = 0.0f;
+    for (int k = 0; k < n; k++)
+        acc += a[i * n + k] * b[j * n + k] + b[i * n + k] * a[j * n + k];
+    c[i * n + j] = alpha * acc + beta * c[i * n + j];
+}
+"#;
+
+fn app_syr2k() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 32);
+        let mut g = DataGen::new(0x5272);
+        let a = g.f32s(n * n, -1.0, 1.0);
+        let b = g.f32s(n * n, -1.0, 1.0);
+        let c0 = g.f32s(n * n, -1.0, 1.0);
+        let (alpha, beta) = (0.6f32, 1.3f32);
+        let (ba, bb, bc) = (alloc_f32(r, &a), alloc_f32(r, &b), alloc_f32(r, &c0));
+        r.launch(
+            "syr2k",
+            &[
+                Arg::Buf(ba),
+                Arg::Buf(bb),
+                Arg::Buf(bc),
+                Arg::F32(alpha),
+                Arg::F32(beta),
+                Arg::I32(n as i32),
+            ],
+            NdRange::dim2([n as u64, n as u64], [8, 8]),
+        )?;
+        let got = read_f32(r, bc);
+        let mut want = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..n {
+                    acc += a[i * n + k] * b[j * n + k] + b[i * n + k] * a[j * n + k];
+                }
+                want[i * n + j] = alpha * acc + beta * c0[i * n + j];
+            }
+        }
+        Ok(floats_close(&got, &want, 1e-3))
+    }
+    App { name: "syr2k", suite: Suite::PolyBench, features: plain(), source: SYR2K_SRC, run }
+}
+
+// ---- gramschmidt ---------------------------------------------------------
+
+const GRAMSCHM_SRC: &str = r#"
+__kernel void gs_norm(__global const float* a, __global float* rdiag, int k, int n) {
+    float nrm = 0.0f;
+    for (int i = 0; i < n; i++) nrm += a[i * n + k] * a[i * n + k];
+    rdiag[0] = sqrt(nrm);
+}
+
+__kernel void gs_q(__global const float* a, __global float* q,
+                   __global const float* rdiag, int k, int n) {
+    int i = get_global_id(0);
+    q[i * n + k] = a[i * n + k] / rdiag[0];
+}
+
+__kernel void gs_update(__global float* a, __global const float* q, int k, int n) {
+    int j = get_global_id(0);
+    if (j > k) {
+        float rkj = 0.0f;
+        for (int i = 0; i < n; i++) rkj += q[i * n + k] * a[i * n + j];
+        for (int i = 0; i < n; i++) a[i * n + j] = a[i * n + j] - q[i * n + k] * rkj;
+    }
+}
+"#;
+
+fn app_gramschm() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 24);
+        let mut g = DataGen::new(0x965);
+        let a0 = g.f32s(n * n, 0.5, 2.0);
+        let ba = alloc_f32(r, &a0);
+        let bq = alloc_f32(r, &vec![0.0; n * n]);
+        let brd = alloc_f32(r, &[0.0]);
+        for k in 0..n {
+            r.launch(
+                "gs_norm",
+                &[Arg::Buf(ba), Arg::Buf(brd), Arg::I32(k as i32), Arg::I32(n as i32)],
+                NdRange::dim1(1, 1),
+            )?;
+            r.launch(
+                "gs_q",
+                &[Arg::Buf(ba), Arg::Buf(bq), Arg::Buf(brd), Arg::I32(k as i32), Arg::I32(n as i32)],
+                NdRange::dim1(n as u64, 8),
+            )?;
+            r.launch(
+                "gs_update",
+                &[Arg::Buf(ba), Arg::Buf(bq), Arg::I32(k as i32), Arg::I32(n as i32)],
+                NdRange::dim1(n as u64, 8),
+            )?;
+        }
+        let got_q = read_f32(r, bq);
+        // Host reference (same algorithm).
+        let mut a = a0.clone();
+        let mut q = vec![0.0f32; n * n];
+        for k in 0..n {
+            let mut nrm = 0.0f32;
+            for i in 0..n {
+                nrm += a[i * n + k] * a[i * n + k];
+            }
+            let rd = nrm.sqrt();
+            for i in 0..n {
+                q[i * n + k] = a[i * n + k] / rd;
+            }
+            for j in k + 1..n {
+                let mut rkj = 0.0f32;
+                for i in 0..n {
+                    rkj += q[i * n + k] * a[i * n + j];
+                }
+                for i in 0..n {
+                    a[i * n + j] -= q[i * n + k] * rkj;
+                }
+            }
+        }
+        Ok(floats_close(&got_q, &q, 5e-2))
+    }
+    App { name: "gramschm", suite: Suite::PolyBench, features: plain(), source: GRAMSCHM_SRC, run }
+}
+
+// ---- correlation / covariance ----------------------------------------------
+
+const CORR_SRC: &str = r#"
+__kernel void mean_col(__global const float* data, __global float* mean, int n) {
+    int j = get_global_id(0);
+    float m = 0.0f;
+    for (int i = 0; i < n; i++) m += data[i * n + j];
+    mean[j] = m / (float)n;
+}
+
+__kernel void std_col(__global const float* data, __global const float* mean,
+                      __global float* stddev, int n) {
+    int j = get_global_id(0);
+    float s = 0.0f;
+    for (int i = 0; i < n; i++) {
+        float d = data[i * n + j] - mean[j];
+        s += d * d;
+    }
+    s = sqrt(s / (float)n);
+    stddev[j] = s < 0.005f ? 1.0f : s;
+}
+
+__kernel void center(__global float* data, __global const float* mean,
+                     __global const float* stddev, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    data[i * n + j] = (data[i * n + j] - mean[j]) / (sqrt((float)n) * stddev[j]);
+}
+
+__kernel void corr(__global const float* data, __global float* sym, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    float acc = 0.0f;
+    for (int k = 0; k < n; k++) acc += data[k * n + i] * data[k * n + j];
+    sym[i * n + j] = acc;
+}
+"#;
+
+fn app_corr() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 160);
+        let mut g = DataGen::new(0xc022);
+        let data0 = g.f32s(n * n, 0.0, 4.0);
+        let bdata = alloc_f32(r, &data0);
+        let bmean = alloc_f32(r, &vec![0.0; n]);
+        let bstd = alloc_f32(r, &vec![0.0; n]);
+        let bsym = alloc_f32(r, &vec![0.0; n * n]);
+        let nd1 = NdRange::dim1(n as u64, 8);
+        let nd2 = NdRange::dim2([n as u64, n as u64], [8, 8]);
+        r.launch("mean_col", &[Arg::Buf(bdata), Arg::Buf(bmean), Arg::I32(n as i32)], nd1)?;
+        r.launch(
+            "std_col",
+            &[Arg::Buf(bdata), Arg::Buf(bmean), Arg::Buf(bstd), Arg::I32(n as i32)],
+            nd1,
+        )?;
+        r.launch(
+            "center",
+            &[Arg::Buf(bdata), Arg::Buf(bmean), Arg::Buf(bstd), Arg::I32(n as i32)],
+            nd2,
+        )?;
+        r.launch("corr", &[Arg::Buf(bdata), Arg::Buf(bsym), Arg::I32(n as i32)], nd2)?;
+        let got = read_f32(r, bsym);
+
+        // Reference.
+        let mut data = data0.clone();
+        let mut mean = vec![0.0f32; n];
+        let mut std = vec![0.0f32; n];
+        for j in 0..n {
+            let mut m = 0.0f32;
+            for i in 0..n {
+                m += data[i * n + j];
+            }
+            mean[j] = m / n as f32;
+        }
+        for j in 0..n {
+            let mut s = 0.0f32;
+            for i in 0..n {
+                let d = data[i * n + j] - mean[j];
+                s += d * d;
+            }
+            let s = (s / n as f32).sqrt();
+            std[j] = if s < 0.005 { 1.0 } else { s };
+        }
+        for i in 0..n {
+            for j in 0..n {
+                data[i * n + j] = (data[i * n + j] - mean[j]) / ((n as f32).sqrt() * std[j]);
+            }
+        }
+        let mut want = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..n {
+                    acc += data[k * n + i] * data[k * n + j];
+                }
+                want[i * n + j] = acc;
+            }
+        }
+        Ok(floats_close(&got, &want, 1e-2))
+    }
+    App { name: "corr", suite: Suite::PolyBench, features: plain(), source: CORR_SRC, run }
+}
+
+const COVAR_SRC: &str = r#"
+__kernel void mean_col(__global const float* data, __global float* mean, int n) {
+    int j = get_global_id(0);
+    float m = 0.0f;
+    for (int i = 0; i < n; i++) m += data[i * n + j];
+    mean[j] = m / (float)n;
+}
+
+__kernel void sub_mean(__global float* data, __global const float* mean, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    data[i * n + j] = data[i * n + j] - mean[j];
+}
+
+__kernel void covar(__global const float* data, __global float* sym, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    float acc = 0.0f;
+    for (int k = 0; k < n; k++) acc += data[k * n + i] * data[k * n + j];
+    sym[i * n + j] = acc / ((float)n - 1.0f);
+}
+"#;
+
+fn app_covar() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 160);
+        let mut g = DataGen::new(0xc0fa);
+        let data0 = g.f32s(n * n, 0.0, 4.0);
+        let bdata = alloc_f32(r, &data0);
+        let bmean = alloc_f32(r, &vec![0.0; n]);
+        let bsym = alloc_f32(r, &vec![0.0; n * n]);
+        let nd1 = NdRange::dim1(n as u64, 8);
+        let nd2 = NdRange::dim2([n as u64, n as u64], [8, 8]);
+        r.launch("mean_col", &[Arg::Buf(bdata), Arg::Buf(bmean), Arg::I32(n as i32)], nd1)?;
+        r.launch("sub_mean", &[Arg::Buf(bdata), Arg::Buf(bmean), Arg::I32(n as i32)], nd2)?;
+        r.launch("covar", &[Arg::Buf(bdata), Arg::Buf(bsym), Arg::I32(n as i32)], nd2)?;
+        let got = read_f32(r, bsym);
+
+        let mut data = data0.clone();
+        let mut mean = vec![0.0f32; n];
+        for j in 0..n {
+            let mut m = 0.0f32;
+            for i in 0..n {
+                m += data[i * n + j];
+            }
+            mean[j] = m / n as f32;
+        }
+        for i in 0..n {
+            for j in 0..n {
+                data[i * n + j] -= mean[j];
+            }
+        }
+        let mut want = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..n {
+                    acc += data[k * n + i] * data[k * n + j];
+                }
+                want[i * n + j] = acc / (n as f32 - 1.0);
+            }
+        }
+        Ok(floats_close(&got, &want, 1e-2))
+    }
+    App { name: "covar", suite: Suite::PolyBench, features: plain(), source: COVAR_SRC, run }
+}
+
+// ---- fdtd-2d ---------------------------------------------------------------
+
+const FDTD2D_SRC: &str = r#"
+__kernel void fdtd_ey(__global float* ey, __global const float* hz,
+                      __global const float* fict, int t, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i == 0) ey[j] = fict[t];
+    else ey[i * n + j] = ey[i * n + j] - 0.5f * (hz[i * n + j] - hz[(i - 1) * n + j]);
+}
+
+__kernel void fdtd_ex(__global float* ex, __global const float* hz, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (j > 0) ex[i * n + j] = ex[i * n + j] - 0.5f * (hz[i * n + j] - hz[i * n + (j - 1)]);
+}
+
+__kernel void fdtd_hz(__global float* hz, __global const float* ex,
+                      __global const float* ey, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i < n - 1 && j < n - 1)
+        hz[i * n + j] = hz[i * n + j]
+            - 0.7f * (ex[i * n + (j + 1)] - ex[i * n + j]
+                      + ey[(i + 1) * n + j] - ey[i * n + j]);
+}
+"#;
+
+fn app_fdtd_2d() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 32);
+        let t_steps = scale.pick(2, 4);
+        let mut g = DataGen::new(0xfd7d);
+        let mut ex = g.f32s(n * n, -1.0, 1.0);
+        let mut ey = g.f32s(n * n, -1.0, 1.0);
+        let mut hz = g.f32s(n * n, -1.0, 1.0);
+        let fict: Vec<f32> = (0..t_steps).map(|t| t as f32).collect();
+        let bex = alloc_f32(r, &ex);
+        let bey = alloc_f32(r, &ey);
+        let bhz = alloc_f32(r, &hz);
+        let bfict = alloc_f32(r, &fict);
+        let nd = NdRange::dim2([n as u64, n as u64], [8, 8]);
+        for t in 0..t_steps {
+            r.launch(
+                "fdtd_ey",
+                &[Arg::Buf(bey), Arg::Buf(bhz), Arg::Buf(bfict), Arg::I32(t as i32), Arg::I32(n as i32)],
+                nd,
+            )?;
+            r.launch("fdtd_ex", &[Arg::Buf(bex), Arg::Buf(bhz), Arg::I32(n as i32)], nd)?;
+            r.launch("fdtd_hz", &[Arg::Buf(bhz), Arg::Buf(bex), Arg::Buf(bey), Arg::I32(n as i32)], nd)?;
+        }
+        let ghz = read_f32(r, bhz);
+
+        for t in 0..t_steps {
+            for j in 0..n {
+                ey[j] = fict[t];
+            }
+            for i in 1..n {
+                for j in 0..n {
+                    ey[i * n + j] -= 0.5 * (hz[i * n + j] - hz[(i - 1) * n + j]);
+                }
+            }
+            for i in 0..n {
+                for j in 1..n {
+                    ex[i * n + j] -= 0.5 * (hz[i * n + j] - hz[i * n + j - 1]);
+                }
+            }
+            for i in 0..n - 1 {
+                for j in 0..n - 1 {
+                    hz[i * n + j] -= 0.7
+                        * (ex[i * n + j + 1] - ex[i * n + j] + ey[(i + 1) * n + j]
+                            - ey[i * n + j]);
+                }
+            }
+        }
+        Ok(floats_close(&ghz, &hz, 1e-2))
+    }
+    App { name: "fdtd-2d", suite: Suite::PolyBench, features: plain(), source: FDTD2D_SRC, run }
+}

@@ -1,0 +1,1502 @@
+//! SPEC ACCEL stand-ins (§VI-A): 19 applications, one per paper benchmark,
+//! each exercising the OpenCL feature set Table II attributes to it
+//! (L = local memory, B = work-group barrier, A = atomics) and the same
+//! performance-relevant access pattern (regular streaming, irregular
+//! gather, tiled stencils, graph traversal, ...). SPEC ACCEL itself is
+//! proprietary, so these are laptop-scale re-implementations; see
+//! DESIGN.md for the substitution rationale.
+//!
+//! Three applications (122.cfd, 128.heartwall, 140.bplustree) carry large
+//! per-work-item private arrays, which is what exhausts the Arria 10's
+//! embedded memory and reproduces Table II's `IR` rows for SOFF.
+
+use crate::data::{DataGen, Scale};
+use crate::runner::{alloc_f32, alloc_i32, floats_close, read_f32, read_i32, Arg, RunError, Runner};
+use crate::{App, Features, Suite};
+use soff_ir::NdRange;
+
+/// All 19 SPEC ACCEL applications.
+pub fn apps() -> Vec<App> {
+    vec![
+        app_tpacf(),
+        app_stencil(),
+        app_lbm(),
+        app_fft(),
+        app_spmv(),
+        app_mriq(),
+        app_histo(),
+        app_bfs(),
+        app_cutcp(),
+        app_kmeans(),
+        app_lavamd(),
+        app_cfd(),
+        app_nw(),
+        app_hotspot(),
+        app_lud(),
+        app_ge(),
+        app_srad(),
+        app_heartwall(),
+        app_bplustree(),
+    ]
+}
+
+fn feats(local: bool, barrier: bool, atomics: bool) -> Features {
+    Features { local, barrier, atomics }
+}
+
+// ---- 101.tpacf (L, B, A) ----------------------------------------------------
+// Two-point angular correlation: all-pairs dot products binned into a
+// histogram; local per-group histogram merged with global atomics.
+
+const TPACF_SRC: &str = r#"
+#define BINS 32
+__kernel void tpacf(__global const float* px, __global const float* py,
+                    __global const float* pz, __global int* hist, int n) {
+    __local int lh[BINS];
+    int l = get_local_id(0);
+    if (l < BINS) lh[l] = 0;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    int i = get_global_id(0);
+    for (int j = i + 1; j < n; j++) {
+        float dot = px[i] * px[j] + py[i] * py[j] + pz[i] * pz[j];
+        if (dot > 1.0f) dot = 1.0f;
+        if (dot < -1.0f) dot = -1.0f;
+        int bin = (int)((dot + 1.0f) * 15.999f);
+        atomic_add(&lh[bin], 1);
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (l < BINS) atomic_add(&hist[l], lh[l]);
+}
+"#;
+
+fn app_tpacf() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(64, 128);
+        let mut g = DataGen::new(0x79ac);
+        // Unit-ish vectors.
+        let px = g.f32s(n, -0.7, 0.7);
+        let py = g.f32s(n, -0.7, 0.7);
+        let pz = g.f32s(n, -0.7, 0.7);
+        let (bx, by, bz) = (alloc_f32(r, &px), alloc_f32(r, &py), alloc_f32(r, &pz));
+        let bh = alloc_i32(r, &[0; 32]);
+        r.launch(
+            "tpacf",
+            &[Arg::Buf(bx), Arg::Buf(by), Arg::Buf(bz), Arg::Buf(bh), Arg::I32(n as i32)],
+            NdRange::dim1(n as u64, 32),
+        )?;
+        let got = read_i32(r, bh);
+        let mut want = vec![0i32; 32];
+        for i in 0..n {
+            for j in i + 1..n {
+                let dot = (px[i] * px[j] + py[i] * py[j] + pz[i] * pz[j]).clamp(-1.0, 1.0);
+                let bin = ((dot + 1.0) * 15.999) as i32;
+                want[bin as usize] += 1;
+            }
+        }
+        Ok(got == want)
+    }
+    App {
+        name: "101.tpacf",
+        suite: Suite::SpecAccel,
+        features: feats(true, true, true),
+        source: TPACF_SRC,
+        run,
+    }
+}
+
+// ---- 103.stencil ------------------------------------------------------------
+// 3D 7-point Jacobi iteration (regular streaming).
+
+const STENCIL_SRC: &str = r#"
+__kernel void stencil7(__global const float* in, __global float* out,
+                       float c0, float c1, int nx, int ny, int nz) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    int k = get_global_id(2);
+    if (i > 0 && i < nx - 1 && j > 0 && j < ny - 1 && k > 0 && k < nz - 1) {
+        int idx = (k * ny + j) * nx + i;
+        out[idx] = c1
+                * (in[idx - 1] + in[idx + 1] + in[idx - nx] + in[idx + nx]
+                   + in[idx - nx * ny] + in[idx + nx * ny])
+            + c0 * in[idx];
+    }
+}
+"#;
+
+fn app_stencil() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(8, 16);
+        let (c0, c1) = (0.5f32, 0.1f32);
+        let mut g = DataGen::new(0x57e);
+        let a = g.f32s(n * n * n, 0.0, 1.0);
+        let bin = alloc_f32(r, &a);
+        let bout = alloc_f32(r, &vec![0.0; n * n * n]);
+        r.launch(
+            "stencil7",
+            &[
+                Arg::Buf(bin),
+                Arg::Buf(bout),
+                Arg::F32(c0),
+                Arg::F32(c1),
+                Arg::I32(n as i32),
+                Arg::I32(n as i32),
+                Arg::I32(n as i32),
+            ],
+            NdRange::dim3([n as u64, n as u64, n as u64], [4, 4, 4]),
+        )?;
+        let got = read_f32(r, bout);
+        let mut want = vec![0.0f32; n * n * n];
+        for k in 1..n - 1 {
+            for j in 1..n - 1 {
+                for i in 1..n - 1 {
+                    let idx = (k * n + j) * n + i;
+                    want[idx] = c1
+                        * (a[idx - 1]
+                            + a[idx + 1]
+                            + a[idx - n]
+                            + a[idx + n]
+                            + a[idx - n * n]
+                            + a[idx + n * n])
+                        + c0 * a[idx];
+                }
+            }
+        }
+        Ok(floats_close(&got, &want, 1e-4))
+    }
+    App {
+        name: "103.stencil",
+        suite: Suite::SpecAccel,
+        features: feats(false, false, false),
+        source: STENCIL_SRC,
+        run,
+    }
+}
+
+// ---- 104.lbm ------------------------------------------------------------
+// Lattice-Boltzmann (D2Q5 simplified): stream from neighbors + collide.
+
+const LBM_SRC: &str = r#"
+__kernel void lbm(__global const float* f0, __global const float* fn_,
+                  __global const float* fs, __global const float* fe,
+                  __global const float* fw, __global float* g0,
+                  __global float* gn, __global float* gs,
+                  __global float* ge, __global float* gw, int n) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    int idx = y * n + x;
+    // Stream (periodic).
+    int xn = (x + 1) % n;
+    int xp = (x + n - 1) % n;
+    int yn = (y + 1) % n;
+    int yp = (y + n - 1) % n;
+    float c = f0[idx];
+    float north = fn_[yp * n + x];
+    float south = fs[yn * n + x];
+    float east = fe[y * n + xp];
+    float west = fw[y * n + xn];
+    // Collide toward local equilibrium.
+    float rho = c + north + south + east + west;
+    float eq = rho * 0.2f;
+    float omega = 0.7f;
+    g0[idx] = c + omega * (eq - c);
+    gn[idx] = north + omega * (eq - north);
+    gs[idx] = south + omega * (eq - south);
+    ge[idx] = east + omega * (eq - east);
+    gw[idx] = west + omega * (eq - west);
+}
+"#;
+
+fn app_lbm() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 64);
+        let mut g = DataGen::new(0x1b3);
+        let fs: Vec<Vec<f32>> = (0..5).map(|_| g.f32s(n * n, 0.1, 1.0)).collect();
+        let bufs_in: Vec<_> = fs.iter().map(|f| alloc_f32(r, f)).collect();
+        let bufs_out: Vec<_> = (0..5).map(|_| alloc_f32(r, &vec![0.0; n * n])).collect();
+        let mut args: Vec<Arg> = bufs_in.iter().chain(&bufs_out).map(|b| Arg::Buf(*b)).collect();
+        args.push(Arg::I32(n as i32));
+        r.launch("lbm", &args, NdRange::dim2([n as u64, n as u64], [8, 8]))?;
+        let got: Vec<Vec<f32>> = bufs_out.iter().map(|b| read_f32(r, *b)).collect();
+
+        let mut want = vec![vec![0.0f32; n * n]; 5];
+        for y in 0..n {
+            for x in 0..n {
+                let idx = y * n + x;
+                let xn = (x + 1) % n;
+                let xp = (x + n - 1) % n;
+                let yn = (y + 1) % n;
+                let yp = (y + n - 1) % n;
+                let c = fs[0][idx];
+                let north = fs[1][yp * n + x];
+                let south = fs[2][yn * n + x];
+                let east = fs[3][y * n + xp];
+                let west = fs[4][y * n + xn];
+                let rho = c + north + south + east + west;
+                let eq = rho * 0.2;
+                let om = 0.7;
+                want[0][idx] = c + om * (eq - c);
+                want[1][idx] = north + om * (eq - north);
+                want[2][idx] = south + om * (eq - south);
+                want[3][idx] = east + om * (eq - east);
+                want[4][idx] = west + om * (eq - west);
+            }
+        }
+        Ok((0..5).all(|d| floats_close(&got[d], &want[d], 1e-4)))
+    }
+    App {
+        name: "104.lbm",
+        suite: Suite::SpecAccel,
+        features: feats(false, false, false),
+        source: LBM_SRC,
+        run,
+    }
+}
+
+// ---- 110.fft ------------------------------------------------------------
+// Radix-2 Cooley-Tukey: one butterfly stage per launch (strided,
+// cache-hostile access at large strides).
+
+const FFT_SRC: &str = r#"
+__kernel void fft_stage(__global float* re, __global float* im, int half, int n) {
+    int t = get_global_id(0);
+    int pairs = n / 2;
+    if (t < pairs) {
+        int block = t / half;
+        int off = t % half;
+        int i = block * half * 2 + off;
+        int j = i + half;
+        float ang = -3.14159265358979f * (float)off / (float)half;
+        float wr = cos(ang);
+        float wi = sin(ang);
+        float tr = re[j] * wr - im[j] * wi;
+        float ti = re[j] * wi + im[j] * wr;
+        re[j] = re[i] - tr;
+        im[j] = im[i] - ti;
+        re[i] = re[i] + tr;
+        im[i] = im[i] + ti;
+    }
+}
+"#;
+
+fn app_fft() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(64, 4096);
+        let mut g = DataGen::new(0xff7);
+        let re0 = g.f32s(n, -1.0, 1.0);
+        let im0 = g.f32s(n, -1.0, 1.0);
+        let bre = alloc_f32(r, &re0);
+        let bim = alloc_f32(r, &im0);
+        let mut half = 1usize;
+        while half < n {
+            r.launch(
+                "fft_stage",
+                &[Arg::Buf(bre), Arg::Buf(bim), Arg::I32(half as i32), Arg::I32(n as i32)],
+                NdRange::dim1((n / 2) as u64, 16),
+            )?;
+            half *= 2;
+        }
+        let gre = read_f32(r, bre);
+        let gim = read_f32(r, bim);
+
+        // Reference: identical stage-by-stage butterflies (decimation in
+        // frequency without the final bit-reversal, matching the kernel).
+        let mut re = re0.clone();
+        let mut im = im0.clone();
+        let mut half = 1usize;
+        while half < n {
+            for t in 0..n / 2 {
+                let block = t / half;
+                let off = t % half;
+                let i = block * half * 2 + off;
+                let j = i + half;
+                let ang = -std::f32::consts::PI * off as f32 / half as f32;
+                let (wr, wi) = (ang.cos(), ang.sin());
+                let tr = re[j] * wr - im[j] * wi;
+                let ti = re[j] * wi + im[j] * wr;
+                re[j] = re[i] - tr;
+                im[j] = im[i] - ti;
+                re[i] += tr;
+                im[i] += ti;
+            }
+            half *= 2;
+        }
+        Ok(floats_close(&gre, &re, 1e-2) && floats_close(&gim, &im, 1e-2))
+    }
+    App {
+        name: "110.fft",
+        suite: Suite::SpecAccel,
+        features: feats(false, false, false),
+        source: FFT_SRC,
+        run,
+    }
+}
+
+// ---- 112.spmv ------------------------------------------------------------
+// CSR sparse matrix-vector product (irregular gather).
+
+const SPMV_SRC: &str = r#"
+__kernel void spmv(__global const int* row_ptr, __global const int* col_idx,
+                   __global const float* vals, __global const float* x,
+                   __global float* y, int n) {
+    int row = get_global_id(0);
+    if (row < n) {
+        float acc = 0.0f;
+        int start = row_ptr[row];
+        int end = row_ptr[row + 1];
+        for (int e = start; e < end; e++) acc += vals[e] * x[col_idx[e]];
+        y[row] = acc;
+    }
+}
+"#;
+
+fn app_spmv() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(64, 16384);
+        let nnz_per_row = 8;
+        let mut g = DataGen::new(0x59f);
+        let mut row_ptr = vec![0i32; n + 1];
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..n {
+            for _ in 0..nnz_per_row {
+                col_idx.push(g.i32(0, n as i32));
+                vals.push(g.f32(-1.0, 1.0));
+            }
+            row_ptr[i + 1] = col_idx.len() as i32;
+        }
+        let x = g.f32s(n, -1.0, 1.0);
+        let brp = alloc_i32(r, &row_ptr);
+        let bci = alloc_i32(r, &col_idx);
+        let bv = alloc_f32(r, &vals);
+        let bx = alloc_f32(r, &x);
+        let by = alloc_f32(r, &vec![0.0; n]);
+        r.launch(
+            "spmv",
+            &[Arg::Buf(brp), Arg::Buf(bci), Arg::Buf(bv), Arg::Buf(bx), Arg::Buf(by), Arg::I32(n as i32)],
+            NdRange::dim1(n as u64, 16),
+        )?;
+        let got = read_f32(r, by);
+        let mut want = vec![0.0f32; n];
+        for i in 0..n {
+            let mut acc = 0.0f32;
+            for e in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+                acc += vals[e] * x[col_idx[e] as usize];
+            }
+            want[i] = acc;
+        }
+        Ok(floats_close(&got, &want, 1e-3))
+    }
+    App {
+        name: "112.spmv",
+        suite: Suite::SpecAccel,
+        features: feats(false, false, false),
+        source: SPMV_SRC,
+        run,
+    }
+}
+
+// ---- 114.mriq ------------------------------------------------------------
+// MRI Q-matrix: per-voxel sum of cos/sin over k-space samples.
+
+const MRIQ_SRC: &str = r#"
+__kernel void mriq(__global const float* kx, __global const float* ky,
+                   __global const float* kz, __global const float* x,
+                   __global const float* y, __global const float* z,
+                   __global const float* mag, __global float* qr,
+                   __global float* qi, int numk) {
+    int v = get_global_id(0);
+    float xr = x[v];
+    float yr = y[v];
+    float zr = z[v];
+    float accr = 0.0f;
+    float acci = 0.0f;
+    for (int k = 0; k < numk; k++) {
+        float phi = 6.2831853f * (kx[k] * xr + ky[k] * yr + kz[k] * zr);
+        accr += mag[k] * cos(phi);
+        acci += mag[k] * sin(phi);
+    }
+    qr[v] = accr;
+    qi[v] = acci;
+}
+"#;
+
+fn app_mriq() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let voxels = scale.pick(32, 256);
+        let numk = scale.pick(16, 96);
+        let mut g = DataGen::new(0x3219);
+        let kx = g.f32s(numk, -0.5, 0.5);
+        let ky = g.f32s(numk, -0.5, 0.5);
+        let kz = g.f32s(numk, -0.5, 0.5);
+        let x = g.f32s(voxels, -1.0, 1.0);
+        let y = g.f32s(voxels, -1.0, 1.0);
+        let z = g.f32s(voxels, -1.0, 1.0);
+        let mag = g.f32s(numk, 0.0, 1.0);
+        let bufs = [
+            alloc_f32(r, &kx),
+            alloc_f32(r, &ky),
+            alloc_f32(r, &kz),
+            alloc_f32(r, &x),
+            alloc_f32(r, &y),
+            alloc_f32(r, &z),
+            alloc_f32(r, &mag),
+            alloc_f32(r, &vec![0.0; voxels]),
+            alloc_f32(r, &vec![0.0; voxels]),
+        ];
+        let mut args: Vec<Arg> = bufs.iter().map(|b| Arg::Buf(*b)).collect();
+        args.push(Arg::I32(numk as i32));
+        r.launch("mriq", &args, NdRange::dim1(voxels as u64, 16))?;
+        let gqr = read_f32(r, bufs[7]);
+        let gqi = read_f32(r, bufs[8]);
+        let mut wqr = vec![0.0f32; voxels];
+        let mut wqi = vec![0.0f32; voxels];
+        for v in 0..voxels {
+            let (mut ar, mut ai) = (0.0f32, 0.0f32);
+            for k in 0..numk {
+                let phi = 6.283_185_3_f32 * (kx[k] * x[v] + ky[k] * y[v] + kz[k] * z[v]);
+                ar += mag[k] * phi.cos();
+                ai += mag[k] * phi.sin();
+            }
+            wqr[v] = ar;
+            wqi[v] = ai;
+        }
+        Ok(floats_close(&gqr, &wqr, 1e-2) && floats_close(&gqi, &wqi, 1e-2))
+    }
+    App {
+        name: "114.mriq",
+        suite: Suite::SpecAccel,
+        features: feats(false, false, false),
+        source: MRIQ_SRC,
+        run,
+    }
+}
+
+// ---- 116.histo (L, B, A) ---------------------------------------------------
+
+const HISTO_SRC: &str = r#"
+#define BINS 64
+__kernel void histo(__global const int* data, __global int* bins, int n) {
+    __local int lh[BINS];
+    int l = get_local_id(0);
+    if (l < BINS) lh[l] = 0;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    int i = get_global_id(0);
+    int stride = get_global_size(0);
+    while (i < n) {
+        atomic_add(&lh[data[i] % BINS], 1);
+        i += stride;
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (l < BINS) atomic_add(&bins[l], lh[l]);
+}
+"#;
+
+fn app_histo() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(512, 16384);
+        let mut g = DataGen::new(0x415);
+        let data = g.i32s(n, 0, 1_000_000);
+        let bd = alloc_i32(r, &data);
+        let bb = alloc_i32(r, &[0; 64]);
+        r.launch(
+            "histo",
+            &[Arg::Buf(bd), Arg::Buf(bb), Arg::I32(n as i32)],
+            NdRange::dim1(128, 64),
+        )?;
+        let got = read_i32(r, bb);
+        let mut want = vec![0i32; 64];
+        for d in &data {
+            want[(*d % 64) as usize] += 1;
+        }
+        Ok(got == want)
+    }
+    App {
+        name: "116.histo",
+        suite: Suite::SpecAccel,
+        features: feats(true, true, true),
+        source: HISTO_SRC,
+        run,
+    }
+}
+
+// ---- 117.bfs (L, B, A) -------------------------------------------------------
+// Level-synchronous breadth-first search with local output queues.
+
+const BFS_SRC: &str = r#"
+__kernel void bfs_step(__global const int* row_ptr, __global const int* col_idx,
+                       __global int* dist, __global const int* frontier,
+                       __global int* next, __global int* changed,
+                       int level, int n) {
+    __local int lq[64];
+    __local int lcount[1];
+    int l = get_local_id(0);
+    if (l == 0) lcount[0] = 0;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    int u = get_global_id(0);
+    if (u < n && frontier[u] != 0) {
+        for (int e = row_ptr[u]; e < row_ptr[u + 1]; e++) {
+            int v = col_idx[e];
+            int old = atomic_min(&dist[v], level + 1);
+            if (old > level + 1) {
+                int slot = atomic_add(&lcount[0], 1);
+                if (slot < 64) lq[slot] = v;
+                else next[v] = 1;
+            }
+        }
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    int cnt = lcount[0];
+    if (cnt > 64) cnt = 64;
+    if (l == 0 && cnt > 0) changed[0] = 1;
+    for (int s = l; s < cnt; s += (int)get_local_size(0)) {
+        next[lq[s]] = 1;
+    }
+}
+
+__kernel void bfs_clear(__global int* frontier, __global int* changed, int n) {
+    int i = get_global_id(0);
+    if (i < n) frontier[i] = 0;
+    if (i == 0) changed[0] = 0;
+}
+"#;
+
+fn app_bfs() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(64, 2048);
+        let deg = 8;
+        let mut g = DataGen::new(0xbf5);
+        let mut row_ptr = vec![0i32; n + 1];
+        let mut col_idx = Vec::new();
+        for i in 0..n {
+            for _ in 0..deg {
+                col_idx.push(g.i32(0, n as i32));
+            }
+            // A chain edge keeps the graph connected.
+            col_idx.push(((i + 1) % n) as i32);
+            row_ptr[i + 1] = col_idx.len() as i32;
+        }
+        let mut dist = vec![i32::MAX; n];
+        dist[0] = 0;
+        let mut frontier = vec![0i32; n];
+        frontier[0] = 1;
+
+        let brp = alloc_i32(r, &row_ptr);
+        let bci = alloc_i32(r, &col_idx);
+        let bdist = alloc_i32(r, &dist);
+        let bf = alloc_i32(r, &frontier);
+        let bn = alloc_i32(r, &vec![0; n]);
+        let bch = alloc_i32(r, &[0]);
+
+        let mut level = 0i32;
+        let (mut cur, mut nxt) = (bf, bn);
+        loop {
+            r.launch(
+                "bfs_step",
+                &[
+                    Arg::Buf(brp),
+                    Arg::Buf(bci),
+                    Arg::Buf(bdist),
+                    Arg::Buf(cur),
+                    Arg::Buf(nxt),
+                    Arg::Buf(bch),
+                    Arg::I32(level),
+                    Arg::I32(n as i32),
+                ],
+                NdRange::dim1(n as u64, 32),
+            )?;
+            let changed = read_i32(r, bch)[0];
+            if changed == 0 || level > n as i32 {
+                break;
+            }
+            // Clear the consumed frontier and the changed flag, then swap.
+            r.launch(
+                "bfs_clear",
+                &[Arg::Buf(cur), Arg::Buf(bch), Arg::I32(n as i32)],
+                NdRange::dim1(n as u64, 32),
+            )?;
+            std::mem::swap(&mut cur, &mut nxt);
+            level += 1;
+        }
+        let got = read_i32(r, bdist);
+
+        // Host BFS.
+        let mut want = vec![i32::MAX; n];
+        want[0] = 0;
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(u) = queue.pop_front() {
+            for e in row_ptr[u] as usize..row_ptr[u + 1] as usize {
+                let v = col_idx[e] as usize;
+                if want[v] > want[u] + 1 {
+                    want[v] = want[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        Ok(got == want)
+    }
+    App {
+        name: "117.bfs",
+        suite: Suite::SpecAccel,
+        features: feats(true, true, true),
+        source: BFS_SRC,
+        run,
+    }
+}
+
+
+
+// ---- 118.cutcp (L, B) --------------------------------------------------------
+// Cutoff Coulomb potential: work-groups cache atoms in local memory.
+
+const CUTCP_SRC: &str = r#"
+__kernel void cutcp(__global const float* ax, __global const float* ay,
+                    __global const float* aq, __global float* grid,
+                    int natoms, int gdim, float cutoff2) {
+    __local float lx[64];
+    __local float ly[64];
+    __local float lq[64];
+    int l = get_local_id(0);
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    float px = (float)gx * 0.5f;
+    float py = (float)gy * 0.5f;
+    float energy = 0.0f;
+    for (int base = 0; base < natoms; base += 64) {
+        // Cooperative load: the 8x8 work-group covers all 64 slots.
+        // Out-of-range slots load a clamped atom (never used: the inner
+        // loop is bounded by `limit`), keeping local accesses branch-free
+        // so SDAccel accepts the kernel.
+        int flat = (int)(get_local_id(1) * get_local_size(0) + get_local_id(0));
+        int src = base + flat;
+        src = src < natoms ? src : natoms - 1;
+        lx[flat] = ax[src];
+        ly[flat] = ay[src];
+        lq[flat] = aq[src];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        int limit = natoms - base;
+        if (limit > 64) limit = 64;
+        for (int a = 0; a < limit; a++) {
+            float dx = lx[a] - px;
+            float dy = ly[a] - py;
+            float qa = lq[a];
+            float r2 = dx * dx + dy * dy;
+            if (r2 < cutoff2 && r2 > 0.0001f) energy += qa / sqrt(r2);
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    grid[gy * gdim + gx] = energy;
+}
+"#;
+
+fn app_cutcp() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let gdim = scale.pick(8, 16);
+        let natoms = scale.pick(48, 128);
+        let cutoff2 = 9.0f32;
+        let mut g = DataGen::new(0xc07c);
+        let ax = g.f32s(natoms, 0.0, gdim as f32 * 0.5);
+        let ay = g.f32s(natoms, 0.0, gdim as f32 * 0.5);
+        let aq = g.f32s(natoms, -1.0, 1.0);
+        let bx = alloc_f32(r, &ax);
+        let by = alloc_f32(r, &ay);
+        let bq = alloc_f32(r, &aq);
+        let bg = alloc_f32(r, &vec![0.0; gdim * gdim]);
+        r.launch(
+            "cutcp",
+            &[
+                Arg::Buf(bx),
+                Arg::Buf(by),
+                Arg::Buf(bq),
+                Arg::Buf(bg),
+                Arg::I32(natoms as i32),
+                Arg::I32(gdim as i32),
+                Arg::F32(cutoff2),
+            ],
+            NdRange::dim2([gdim as u64, gdim as u64], [8, 8]),
+        )?;
+        let got = read_f32(r, bg);
+        let mut want = vec![0.0f32; gdim * gdim];
+        for gy in 0..gdim {
+            for gx in 0..gdim {
+                let (px, py) = (gx as f32 * 0.5, gy as f32 * 0.5);
+                let mut e = 0.0f32;
+                for a in 0..natoms {
+                    let dx = ax[a] - px;
+                    let dy = ay[a] - py;
+                    let r2 = dx * dx + dy * dy;
+                    if r2 < cutoff2 && r2 > 0.0001 {
+                        e += aq[a] / r2.sqrt();
+                    }
+                }
+                want[gy * gdim + gx] = e;
+            }
+        }
+        Ok(floats_close(&got, &want, 1e-2))
+    }
+    App {
+        name: "118.cutcp",
+        suite: Suite::SpecAccel,
+        features: feats(true, true, false),
+        source: CUTCP_SRC,
+        run,
+    }
+}
+
+// ---- 120.kmeans ------------------------------------------------------------
+
+const KMEANS_SRC: &str = r#"
+__kernel void kmeans_assign(__global const float* px, __global const float* py,
+                            __global const float* cx, __global const float* cy,
+                            __global int* assign, int k) {
+    int i = get_global_id(0);
+    float best = 1.0e30f;
+    int bestc = 0;
+    for (int c = 0; c < k; c++) {
+        float dx = px[i] - cx[c];
+        float dy = py[i] - cy[c];
+        float d = dx * dx + dy * dy;
+        if (d < best) { best = d; bestc = c; }
+    }
+    assign[i] = bestc;
+}
+"#;
+
+fn app_kmeans() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(128, 2048);
+        let k = 8;
+        let mut g = DataGen::new(0x3e45);
+        let px = g.f32s(n, 0.0, 10.0);
+        let py = g.f32s(n, 0.0, 10.0);
+        let cx = g.f32s(k, 0.0, 10.0);
+        let cy = g.f32s(k, 0.0, 10.0);
+        let bpx = alloc_f32(r, &px);
+        let bpy = alloc_f32(r, &py);
+        let bcx = alloc_f32(r, &cx);
+        let bcy = alloc_f32(r, &cy);
+        let ba = alloc_i32(r, &vec![0; n]);
+        r.launch(
+            "kmeans_assign",
+            &[Arg::Buf(bpx), Arg::Buf(bpy), Arg::Buf(bcx), Arg::Buf(bcy), Arg::Buf(ba), Arg::I32(k as i32)],
+            NdRange::dim1(n as u64, 32),
+        )?;
+        let got = read_i32(r, ba);
+        let mut want = vec![0i32; n];
+        for i in 0..n {
+            let mut best = f32::MAX;
+            let mut bc = 0;
+            for c in 0..k {
+                let d = (px[i] - cx[c]).powi(2) + (py[i] - cy[c]).powi(2);
+                if d < best {
+                    best = d;
+                    bc = c as i32;
+                }
+            }
+            want[i] = bc;
+        }
+        Ok(got == want)
+    }
+    App {
+        name: "120.kmeans",
+        suite: Suite::SpecAccel,
+        features: feats(false, false, false),
+        source: KMEANS_SRC,
+        run,
+    }
+}
+
+// ---- 121.lavamd (L, B) -------------------------------------------------------
+// Particle interactions per box with locally cached neighbor particles.
+
+const LAVAMD_SRC: &str = r#"
+__kernel void lavamd(__global const float* posq, __global float* force,
+                     int per_box, int nboxes) {
+    __local float lp[256];
+    int l = get_local_id(0);
+    int box = get_group_id(0);
+    int me = box * per_box + l;
+    float fx = 0.0f;
+    // Home and neighboring boxes (1D box chain).
+    for (int nb = -1; nb <= 1; nb++) {
+        int ob = box + nb;
+        if (ob < 0 || ob >= nboxes) continue;
+        // Cooperative load of the other box's particles.
+        lp[l] = posq[ob * per_box + l];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        float my = posq[me];
+        for (int j = 0; j < per_box; j++) {
+            float d = my - lp[j];
+            float r2 = d * d + 0.1f;
+            fx += d * exp(-r2) / r2;
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    force[me] = fx;
+}
+"#;
+
+fn app_lavamd() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let per_box = 16;
+        let nboxes = scale.pick(4, 8);
+        let n = per_box * nboxes;
+        let mut g = DataGen::new(0x1a1a);
+        let posq = g.f32s(n, -2.0, 2.0);
+        let bp = alloc_f32(r, &posq);
+        let bf = alloc_f32(r, &vec![0.0; n]);
+        r.launch(
+            "lavamd",
+            &[Arg::Buf(bp), Arg::Buf(bf), Arg::I32(per_box as i32), Arg::I32(nboxes as i32)],
+            NdRange::dim1(n as u64, per_box as u64),
+        )?;
+        let got = read_f32(r, bf);
+        let mut want = vec![0.0f32; n];
+        for box_ in 0..nboxes {
+            for l in 0..per_box {
+                let me = box_ * per_box + l;
+                let mut fx = 0.0f32;
+                for nb in -1i32..=1 {
+                    let ob = box_ as i32 + nb;
+                    if ob < 0 || ob >= nboxes as i32 {
+                        continue;
+                    }
+                    for j in 0..per_box {
+                        let d = posq[me] - posq[ob as usize * per_box + j];
+                        let r2 = d * d + 0.1;
+                        fx += d * (-r2).exp() / r2;
+                    }
+                }
+                want[me] = fx;
+            }
+        }
+        Ok(floats_close(&got, &want, 1e-2))
+    }
+    App {
+        name: "121.lavamd",
+        suite: Suite::SpecAccel,
+        features: feats(true, true, false),
+        source: LAVAMD_SRC,
+        run,
+    }
+}
+
+// ---- 122.cfd ------------------------------------------------------------
+// Unstructured Euler flux: per-cell neighbor gather over 5 conserved
+// variables, with a large private workspace (the resource killer).
+
+const CFD_SRC: &str = r#"
+#define NVAR 5
+__kernel void cfd_flux(__global const float* vars, __global const int* neigh,
+                       __global float* out, int ncells) {
+    float w[4096]; // per-cell reconstruction workspace (large private array)
+    int c = get_global_id(0);
+    for (int v = 0; v < NVAR; v++) w[v] = vars[c * NVAR + v];
+    float flux0 = 0.0f, flux1 = 0.0f, flux2 = 0.0f, flux3 = 0.0f, flux4 = 0.0f;
+    for (int f = 0; f < 4; f++) {
+        int nb = neigh[c * 4 + f];
+        for (int v = 0; v < NVAR; v++) w[NVAR + v] = vars[nb * NVAR + v];
+        float rho = w[NVAR + 0] + 0.01f;
+        float pr = 0.4f * (w[NVAR + 4] - 0.5f * (w[NVAR + 1] * w[NVAR + 1]
+                    + w[NVAR + 2] * w[NVAR + 2] + w[NVAR + 3] * w[NVAR + 3]) / rho);
+        float c2 = sqrt(fabs(1.4f * pr / rho) + 0.001f);
+        flux0 += (w[0] - w[NVAR + 0]) * c2;
+        flux1 += (w[1] - w[NVAR + 1]) * c2 + pr;
+        flux2 += (w[2] - w[NVAR + 2]) * c2;
+        flux3 += (w[3] - w[NVAR + 3]) * c2;
+        flux4 += (w[4] - w[NVAR + 4]) * c2 + pr * c2;
+    }
+    out[c * NVAR + 0] = flux0;
+    out[c * NVAR + 1] = flux1;
+    out[c * NVAR + 2] = flux2;
+    out[c * NVAR + 3] = flux3;
+    out[c * NVAR + 4] = flux4;
+}
+"#;
+
+fn app_cfd() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(32, 128);
+        let mut g = DataGen::new(0xcfd);
+        let vars = g.f32s(n * 5, 0.5, 2.0);
+        let neigh: Vec<i32> = (0..n * 4).map(|_| g.i32(0, n as i32)).collect();
+        let bv = alloc_f32(r, &vars);
+        let bn = alloc_i32(r, &neigh);
+        let bo = alloc_f32(r, &vec![0.0; n * 5]);
+        r.launch(
+            "cfd_flux",
+            &[Arg::Buf(bv), Arg::Buf(bn), Arg::Buf(bo), Arg::I32(n as i32)],
+            NdRange::dim1(n as u64, 16),
+        )?;
+        let got = read_f32(r, bo);
+        let mut want = vec![0.0f32; n * 5];
+        for c in 0..n {
+            let w0: Vec<f32> = (0..5).map(|v| vars[c * 5 + v]).collect();
+            let mut flux = [0.0f32; 5];
+            for f in 0..4 {
+                let nb = neigh[c * 4 + f] as usize;
+                let wn: Vec<f32> = (0..5).map(|v| vars[nb * 5 + v]).collect();
+                let rho = wn[0] + 0.01;
+                let pr = 0.4 * (wn[4] - 0.5 * (wn[1] * wn[1] + wn[2] * wn[2] + wn[3] * wn[3]) / rho);
+                let c2 = ((1.4f32 * pr / rho).abs() + 0.001).sqrt();
+                flux[0] += (w0[0] - wn[0]) * c2;
+                flux[1] += (w0[1] - wn[1]) * c2 + pr;
+                flux[2] += (w0[2] - wn[2]) * c2;
+                flux[3] += (w0[3] - wn[3]) * c2;
+                flux[4] += (w0[4] - wn[4]) * c2 + pr * c2;
+            }
+            for v in 0..5 {
+                want[c * 5 + v] = flux[v];
+            }
+        }
+        Ok(floats_close(&got, &want, 1e-2))
+    }
+    App {
+        name: "122.cfd",
+        suite: Suite::SpecAccel,
+        features: feats(false, false, false),
+        source: CFD_SRC,
+        run,
+    }
+}
+
+// ---- 123.nw (L, B) -----------------------------------------------------------
+// Needleman-Wunsch: each work-group fills one tile of the DP matrix in
+// local memory, wavefront by wavefront; the host walks tile diagonals.
+
+const NW_SRC: &str = r#"
+#define TILE 8
+__kernel void nw_tile(__global int* score, __global const int* sub,
+                      int bx_start, int diag, int nblk, int n, int penalty) {
+    __local int tile[(TILE + 1) * (TILE + 1)];
+    int l = get_local_id(0);
+    int bx = bx_start + (int)get_group_id(0);
+    int by = diag - bx;
+    int x0 = bx * TILE;
+    int y0 = by * TILE;
+    // Load the halo row/column computed by earlier tiles.
+    for (int i = l; i <= TILE; i += (int)get_local_size(0)) {
+        tile[i] = score[(y0) * (n + 1) + (x0 + i)];
+        tile[i * (TILE + 1)] = score[(y0 + i) * (n + 1) + x0];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    // Wavefront inside the tile: each work-item owns one column.
+    for (int wave = 0; wave < 2 * TILE - 1; wave++) {
+        int i = wave - l; // row index this work-item may fill
+        if (i >= 0 && i < TILE) {
+            int x = l + 1;
+            int y = i + 1;
+            int m = tile[(y - 1) * (TILE + 1) + (x - 1)]
+                + sub[(y0 + i) * n + (x0 + l)];
+            int del = tile[(y - 1) * (TILE + 1) + x] - penalty;
+            int ins = tile[y * (TILE + 1) + (x - 1)] - penalty;
+            int best = m;
+            if (del > best) best = del;
+            if (ins > best) best = ins;
+            tile[y * (TILE + 1) + x] = best;
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    // Write back the tile body.
+    for (int i = 0; i < TILE; i++) {
+        score[(y0 + 1 + i) * (n + 1) + (x0 + 1 + l)] = tile[(i + 1) * (TILE + 1) + (l + 1)];
+    }
+}
+"#;
+
+fn app_nw() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let tile = 8usize;
+        let nblk = scale.pick(2, 4);
+        let n = tile * nblk;
+        let penalty = 2i32;
+        let mut g = DataGen::new(0x4325);
+        let sub: Vec<i32> = (0..n * n).map(|_| g.i32(-2, 3)).collect();
+        // score is (n+1) x (n+1); first row/col initialized to -i*penalty.
+        let mut score0 = vec![0i32; (n + 1) * (n + 1)];
+        for i in 0..=n {
+            score0[i] = -(i as i32) * penalty;
+            score0[i * (n + 1)] = -(i as i32) * penalty;
+        }
+        let bscore = alloc_i32(r, &score0);
+        let bsub = alloc_i32(r, &sub);
+        for diag in 0..(2 * nblk - 1) as i32 {
+            let bx_lo = 0.max(diag - (nblk as i32 - 1));
+            let bx_hi = diag.min(nblk as i32 - 1);
+            let blocks = (bx_hi - bx_lo + 1) as u64;
+            r.launch(
+                "nw_tile",
+                &[
+                    Arg::Buf(bscore),
+                    Arg::Buf(bsub),
+                    Arg::I32(bx_lo),
+                    Arg::I32(diag),
+                    Arg::I32(nblk as i32),
+                    Arg::I32(n as i32),
+                    Arg::I32(penalty),
+                ],
+                NdRange::dim1(blocks * tile as u64, tile as u64),
+            )?;
+        }
+        let got = read_i32(r, bscore);
+        // Host DP.
+        let mut want = score0.clone();
+        for y in 1..=n {
+            for x in 1..=n {
+                let m = want[(y - 1) * (n + 1) + x - 1] + sub[(y - 1) * n + (x - 1)];
+                let del = want[(y - 1) * (n + 1) + x] - penalty;
+                let ins = want[y * (n + 1) + x - 1] - penalty;
+                want[y * (n + 1) + x] = m.max(del).max(ins);
+            }
+        }
+        Ok(got == want)
+    }
+    App {
+        name: "123.nw",
+        suite: Suite::SpecAccel,
+        features: feats(true, true, false),
+        source: NW_SRC,
+        run,
+    }
+}
+
+// ---- 124.hotspot (L, B) --------------------------------------------------------
+
+const HOTSPOT_SRC: &str = r#"
+#define TILE 8
+__kernel void hotspot(__global const float* temp, __global const float* power,
+                      __global float* out, int n, float cap, float cond) {
+    __local float lt[TILE * TILE];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    lt[ly * TILE + lx] = temp[y * n + x];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float c = lt[ly * TILE + lx];
+    float north = (ly > 0) ? lt[(ly - 1) * TILE + lx] : ((y > 0) ? temp[(y - 1) * n + x] : c);
+    float south = (ly < TILE - 1) ? lt[(ly + 1) * TILE + lx]
+                                  : ((y < n - 1) ? temp[(y + 1) * n + x] : c);
+    float west = (lx > 0) ? lt[ly * TILE + lx - 1] : ((x > 0) ? temp[y * n + x - 1] : c);
+    float east = (lx < TILE - 1) ? lt[ly * TILE + lx + 1]
+                                 : ((x < n - 1) ? temp[y * n + x + 1] : c);
+    out[y * n + x] = c + cap * (power[y * n + x] + cond * (north + south + east + west - 4.0f * c));
+}
+"#;
+
+fn app_hotspot() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 32);
+        let (cap, cond) = (0.5f32, 0.2f32);
+        let mut g = DataGen::new(0x4075);
+        let temp = g.f32s(n * n, 20.0, 90.0);
+        let power = g.f32s(n * n, 0.0, 1.0);
+        let bt = alloc_f32(r, &temp);
+        let bp = alloc_f32(r, &power);
+        let bo = alloc_f32(r, &vec![0.0; n * n]);
+        r.launch(
+            "hotspot",
+            &[Arg::Buf(bt), Arg::Buf(bp), Arg::Buf(bo), Arg::I32(n as i32), Arg::F32(cap), Arg::F32(cond)],
+            NdRange::dim2([n as u64, n as u64], [8, 8]),
+        )?;
+        let got = read_f32(r, bo);
+        let mut want = vec![0.0f32; n * n];
+        for y in 0..n {
+            for x in 0..n {
+                let c = temp[y * n + x];
+                let north = if y > 0 { temp[(y - 1) * n + x] } else { c };
+                let south = if y < n - 1 { temp[(y + 1) * n + x] } else { c };
+                let west = if x > 0 { temp[y * n + x - 1] } else { c };
+                let east = if x < n - 1 { temp[y * n + x + 1] } else { c };
+                want[y * n + x] =
+                    c + cap * (power[y * n + x] + cond * (north + south + east + west - 4.0 * c));
+            }
+        }
+        Ok(floats_close(&got, &want, 1e-3))
+    }
+    App {
+        name: "124.hotspot",
+        suite: Suite::SpecAccel,
+        features: feats(true, true, false),
+        source: HOTSPOT_SRC,
+        run,
+    }
+}
+
+// ---- 125.lud (L, B) -----------------------------------------------------------
+// Unblocked LU with a locally cached pivot row.
+
+const LUD_SRC: &str = r#"
+__kernel void lud_col(__global float* a, int k, int n) {
+    int i = get_global_id(0);
+    if (i > k && i < n) a[i * n + k] = a[i * n + k] / a[k * n + k];
+}
+
+#define TILE 16
+__kernel void lud_update(__global float* a, int k, int n) {
+    __local float prow[TILE];
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    int lx = get_local_id(1);
+    // Branch-free cooperative load of the pivot row (local accesses in
+    // branches would be rejected by SDAccel).
+    int col = k + 1 + (int)(get_group_id(1) * get_local_size(1)) + lx;
+    int ccol = col < n ? col : n - 1;
+    float pv = a[k * n + ccol];
+    prow[lx] = col < n ? pv : 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    int row = k + 1 + i;
+    int colj = k + 1 + j;
+    float piv = prow[lx];
+    if (row < n && colj < n) {
+        a[row * n + colj] = a[row * n + colj] - a[row * n + k] * piv;
+    }
+}
+"#;
+
+fn app_lud() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 32);
+        let mut g = DataGen::new(0x15d);
+        // Diagonally dominant for stability.
+        let mut a0 = g.f32s(n * n, 0.1, 1.0);
+        for i in 0..n {
+            a0[i * n + i] += n as f32;
+        }
+        let ba = alloc_f32(r, &a0);
+        for k in 0..n - 1 {
+            r.launch(
+                "lud_col",
+                &[Arg::Buf(ba), Arg::I32(k as i32), Arg::I32(n as i32)],
+                NdRange::dim1(n as u64, 8),
+            )?;
+            let rem = (n - 1 - k) as u64;
+            let rounded = rem.div_ceil(16) * 16;
+            r.launch(
+                "lud_update",
+                &[Arg::Buf(ba), Arg::I32(k as i32), Arg::I32(n as i32)],
+                NdRange::dim2([rounded, rounded.max(16)], [16.min(rounded), 16]),
+            )?;
+        }
+        let got = read_f32(r, ba);
+        let mut want = a0.clone();
+        for k in 0..n - 1 {
+            for i in k + 1..n {
+                want[i * n + k] /= want[k * n + k];
+            }
+            for i in k + 1..n {
+                for j in k + 1..n {
+                    want[i * n + j] -= want[i * n + k] * want[k * n + j];
+                }
+            }
+        }
+        Ok(floats_close(&got, &want, 1e-2))
+    }
+    App {
+        name: "125.lud",
+        suite: Suite::SpecAccel,
+        features: feats(true, true, false),
+        source: LUD_SRC,
+        run,
+    }
+}
+
+// ---- 126.ge ------------------------------------------------------------
+
+const GE_SRC: &str = r#"
+__kernel void ge_mult(__global const float* a, __global float* m, int k, int n) {
+    int i = get_global_id(0);
+    if (i > k && i < n) m[i] = a[i * n + k] / a[k * n + k];
+}
+
+__kernel void ge_update(__global float* a, __global const float* m, int k, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i > k && i < n && j >= k && j < n) {
+        a[i * n + j] = a[i * n + j] - m[i] * a[k * n + j];
+    }
+}
+"#;
+
+fn app_ge() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 32);
+        let mut g = DataGen::new(0x9e11);
+        let mut a0 = g.f32s(n * n, 0.1, 1.0);
+        for i in 0..n {
+            a0[i * n + i] += n as f32;
+        }
+        let ba = alloc_f32(r, &a0);
+        let bm = alloc_f32(r, &vec![0.0; n]);
+        let nd1 = NdRange::dim1(n as u64, 8);
+        let nd2 = NdRange::dim2([n as u64, n as u64], [8, 8]);
+        for k in 0..n - 1 {
+            r.launch("ge_mult", &[Arg::Buf(ba), Arg::Buf(bm), Arg::I32(k as i32), Arg::I32(n as i32)], nd1)?;
+            r.launch("ge_update", &[Arg::Buf(ba), Arg::Buf(bm), Arg::I32(k as i32), Arg::I32(n as i32)], nd2)?;
+        }
+        let got = read_f32(r, ba);
+        let mut want = a0.clone();
+        for k in 0..n - 1 {
+            let mut m = vec![0.0f32; n];
+            for i in k + 1..n {
+                m[i] = want[i * n + k] / want[k * n + k];
+            }
+            for i in k + 1..n {
+                for j in k..n {
+                    want[i * n + j] -= m[i] * want[k * n + j];
+                }
+            }
+        }
+        Ok(floats_close(&got, &want, 1e-2))
+    }
+    App {
+        name: "126.ge",
+        suite: Suite::SpecAccel,
+        features: feats(false, false, false),
+        source: GE_SRC,
+        run,
+    }
+}
+
+// ---- 127.srad (L, B) -----------------------------------------------------------
+
+const SRAD_SRC: &str = r#"
+#define TILE 8
+__kernel void srad(__global const float* img, __global float* out,
+                   int n, float lambda, float q0sq) {
+    __local float lt[TILE * TILE];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    lt[ly * TILE + lx] = img[y * n + x];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float c = lt[ly * TILE + lx];
+    // Halo handling with local-memory loads inside branches — this is the
+    // construct SDAccel rejects (Table II: CE for 127.srad).
+    float north = c;
+    float south = c;
+    float west = c;
+    float east = c;
+    if (ly > 0) north = lt[(ly - 1) * TILE + lx];
+    else if (y > 0) north = img[(y - 1) * n + x];
+    if (ly < TILE - 1) south = lt[(ly + 1) * TILE + lx];
+    else if (y < n - 1) south = img[(y + 1) * n + x];
+    if (lx > 0) west = lt[ly * TILE + lx - 1];
+    else if (x > 0) west = img[y * n + x - 1];
+    if (lx < TILE - 1) east = lt[ly * TILE + lx + 1];
+    else if (x < n - 1) east = img[y * n + x + 1];
+    float dn = north - c;
+    float ds = south - c;
+    float dw = west - c;
+    float de = east - c;
+    float g2 = (dn * dn + ds * ds + dw * dw + de * de) / (c * c + 0.0001f);
+    float l = (dn + ds + dw + de) / (c + 0.0001f);
+    float num = 0.5f * g2 - 0.0625f * l * l;
+    float den = 1.0f + 0.25f * l;
+    float qsq = num / (den * den + 0.0001f);
+    float cd = 1.0f / (1.0f + (qsq - q0sq) / (q0sq * (1.0f + q0sq) + 0.0001f));
+    if (cd < 0.0f) cd = 0.0f;
+    if (cd > 1.0f) cd = 1.0f;
+    out[y * n + x] = c + lambda * 0.25f * cd * (dn + ds + dw + de);
+}
+"#;
+
+fn app_srad() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 32);
+        let (lambda, q0sq) = (0.5f32, 0.05f32);
+        let mut g = DataGen::new(0x52ad);
+        let img = g.f32s(n * n, 0.5, 2.0);
+        let bi = alloc_f32(r, &img);
+        let bo = alloc_f32(r, &vec![0.0; n * n]);
+        r.launch(
+            "srad",
+            &[Arg::Buf(bi), Arg::Buf(bo), Arg::I32(n as i32), Arg::F32(lambda), Arg::F32(q0sq)],
+            NdRange::dim2([n as u64, n as u64], [8, 8]),
+        )?;
+        let got = read_f32(r, bo);
+        let mut want = vec![0.0f32; n * n];
+        for y in 0..n {
+            for x in 0..n {
+                let c = img[y * n + x];
+                let north = if y > 0 { img[(y - 1) * n + x] } else { c };
+                let south = if y < n - 1 { img[(y + 1) * n + x] } else { c };
+                let west = if x > 0 { img[y * n + x - 1] } else { c };
+                let east = if x < n - 1 { img[y * n + x + 1] } else { c };
+                let (dn, ds, dw, de) = (north - c, south - c, west - c, east - c);
+                let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (c * c + 0.0001);
+                let l = (dn + ds + dw + de) / (c + 0.0001);
+                let num = 0.5 * g2 - 0.0625 * l * l;
+                let den = 1.0 + 0.25 * l;
+                let qsq = num / (den * den + 0.0001);
+                let cd = (1.0 / (1.0 + (qsq - q0sq) / (q0sq * (1.0 + q0sq) + 0.0001)))
+                    .clamp(0.0, 1.0);
+                want[y * n + x] = c + lambda * 0.25 * cd * (dn + ds + dw + de);
+            }
+        }
+        Ok(floats_close(&got, &want, 1e-2))
+    }
+    App {
+        name: "127.srad",
+        suite: Suite::SpecAccel,
+        features: feats(true, true, false),
+        source: SRAD_SRC,
+        run,
+    }
+}
+
+// ---- 128.heartwall (L) ---------------------------------------------------------
+// Template tracking: each work-item correlates a big private template
+// window against the frame. The per-work-item template is what makes the
+// kernel exceed the Arria 10 (Table II: `IR` for SOFF).
+
+const HEARTWALL_SRC: &str = r#"
+#define TPTS 8192
+__kernel void heartwall(__global const float* frame, __global const float* tmpl,
+                        __global float* scores, int n, int tlen) {
+    __local float cache[64];
+    float priv_t[TPTS];
+    int i = get_global_id(0);
+    int l = get_local_id(0);
+    cache[l] = frame[i];
+    for (int t = 0; t < tlen; t++) priv_t[t] = tmpl[t];
+    float acc = 0.0f;
+    for (int t = 0; t < tlen; t++) {
+        float d = frame[(i + t) % n] - priv_t[t];
+        acc += d * d;
+    }
+    scores[i] = acc + cache[l] * 0.0f;
+}
+"#;
+
+fn app_heartwall() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(64, 128);
+        let tlen = 16;
+        let mut g = DataGen::new(0x4ea7);
+        let frame = g.f32s(n, 0.0, 1.0);
+        let tmpl = g.f32s(tlen, 0.0, 1.0);
+        let bf = alloc_f32(r, &frame);
+        let bt = alloc_f32(r, &tmpl);
+        let bs = alloc_f32(r, &vec![0.0; n]);
+        r.launch(
+            "heartwall",
+            &[Arg::Buf(bf), Arg::Buf(bt), Arg::Buf(bs), Arg::I32(n as i32), Arg::I32(tlen as i32)],
+            NdRange::dim1(n as u64, 16),
+        )?;
+        let got = read_f32(r, bs);
+        let mut want = vec![0.0f32; n];
+        for i in 0..n {
+            let mut acc = 0.0f32;
+            for t in 0..tlen {
+                let d = frame[(i + t) % n] - tmpl[t];
+                acc += d * d;
+            }
+            want[i] = acc;
+        }
+        Ok(floats_close(&got, &want, 1e-3))
+    }
+    App {
+        name: "128.heartwall",
+        suite: Suite::SpecAccel,
+        features: feats(true, false, false),
+        source: HEARTWALL_SRC,
+        run,
+    }
+}
+
+// ---- 140.bplustree (L) ----------------------------------------------------------
+// B+-tree range queries with *indirect pointers*: child links are stored
+// as encoded addresses and dereferenced through a cast — the feature
+// SDAccel miscompiles (Table II: IA) — plus a large private key buffer
+// (`IR` for SOFF on the Arria 10).
+
+const BPLUSTREE_SRC: &str = r#"
+#define FANOUT 8
+#define PRIV 8192
+__kernel void btree_search(__global const ulong* node_addr,
+                           __global const int* keys_flat,
+                           __global const int* queries,
+                           __global int* results, int depth) {
+    __local int kcache[64];
+    int q = get_global_id(0);
+    int l = get_local_id(0);
+    int priv_keys[PRIV];
+    int key = queries[q];
+    kcache[l] = key;
+    // Walk from the root: each level reads the node's key array through
+    // its stored (indirect) address.
+    ulong cur = node_addr[0];
+    int node = 0;
+    for (int d = 0; d < depth; d++) {
+        __global const int* nk = (__global const int*)cur;
+        int child = 0;
+        for (int f = 0; f < FANOUT - 1; f++) {
+            priv_keys[d * FANOUT + f] = nk[node * (FANOUT - 1) + f];
+            if (key >= priv_keys[d * FANOUT + f]) child = f + 1;
+        }
+        node = node * FANOUT + child;
+        cur = node_addr[0];
+    }
+    results[q] = node + kcache[l] * 0;
+}
+"#;
+
+fn app_bplustree() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let depth = 2usize;
+        let fanout = 8usize;
+        let nq = scale.pick(32, 64);
+        let mut g = DataGen::new(0xb9);
+        // keys_flat holds (fanout-1) sorted separators per node for the
+        // maximum node count at the deepest level.
+        let total_nodes = (0..depth).map(|d| fanout.pow(d as u32)).sum::<usize>();
+        let mut keys_flat = Vec::new();
+        for _ in 0..total_nodes {
+            let mut ks = g.i32s(fanout - 1, 0, 1000);
+            ks.sort_unstable();
+            keys_flat.extend(ks);
+        }
+        let queries = g.i32s(nq, 0, 1000);
+        let bkeys = alloc_i32(r, &keys_flat);
+        let bq = alloc_i32(r, &queries);
+        let bres = alloc_i32(r, &vec![0; nq]);
+        // node_addr[0] holds the *encoded device address* of keys_flat —
+        // the host writes a pointer into a buffer (indirect pointer).
+        // Buffer ids are assigned in allocation order; the encoding
+        // matches soff_ir::mem::global_addr(buffer_index, 0). The keys
+        // buffer was the first allocation of this app, but the runner may
+        // have allocated others before; we reconstruct its id from a probe.
+        let keys_dev_addr = crate::device_addr_of(bkeys);
+        let bnode = r.alloc_bytes(&keys_dev_addr.to_le_bytes());
+        r.launch(
+            "btree_search",
+            &[Arg::Buf(bnode), Arg::Buf(bkeys), Arg::Buf(bq), Arg::Buf(bres), Arg::I32(depth as i32)],
+            NdRange::dim1(nq as u64, 16),
+        )?;
+        let got = read_i32(r, bres);
+        let mut want = vec![0i32; nq];
+        for (qi, &key) in queries.iter().enumerate() {
+            let mut node = 0usize;
+            for d in 0..depth {
+                let _ = d;
+                let mut child = 0usize;
+                for f in 0..fanout - 1 {
+                    if key >= keys_flat[node * (fanout - 1) + f] {
+                        child = f + 1;
+                    }
+                }
+                node = node * fanout + child;
+            }
+            want[qi] = node as i32;
+        }
+        Ok(got == want)
+    }
+    App {
+        name: "140.bplustree",
+        suite: Suite::SpecAccel,
+        features: feats(true, false, false),
+        source: BPLUSTREE_SRC,
+        run,
+    }
+}

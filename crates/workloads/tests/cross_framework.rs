@@ -1,0 +1,53 @@
+//! Cross-framework agreement: for every application all three frameworks
+//! can run, they must reach the same verdict (correct), since the
+//! simulated device is functionally exact regardless of the timing model.
+
+use soff_baseline::{Framework, Outcome};
+use soff_workloads::{all_apps, data::Scale, execute};
+
+#[test]
+fn frameworks_agree_where_they_all_run() {
+    let mut compared = 0;
+    for app in all_apps() {
+        let soff = execute(&app, Framework::Soff, Scale::Small);
+        if soff.outcome != Outcome::Ok {
+            continue;
+        }
+        for fw in [Framework::IntelLike, Framework::XilinxLike] {
+            let r = execute(&app, fw, Scale::Small);
+            match r.outcome {
+                // Vendor-specific failures (Table II) are expected; what
+                // must never happen is a *wrong answer* from a framework
+                // whose gates accepted the app.
+                Outcome::Ok => compared += 1,
+                Outcome::IncorrectAnswer
+                    if soff_baseline::known_issue(fw, app.name).is_some()
+                        || fw == Framework::XilinxLike =>
+                {
+                    // published defect or indirect-pointer gate
+                }
+                Outcome::CompileError | Outcome::Hang | Outcome::RuntimeError
+                | Outcome::InsufficientResources => {}
+                other => panic!("{}: {fw} produced {other:?}", app.name),
+            }
+        }
+    }
+    assert!(compared >= 30, "expected ≥30 agreeing runs, got {compared}");
+}
+
+#[test]
+fn timing_differs_but_results_do_not() {
+    // Pick one app that all frameworks run and check SOFF is not slower
+    // than the single-instance SDAccel model (the Fig. 12 (a) direction).
+    let app = all_apps().into_iter().find(|a| a.name == "112.spmv").unwrap();
+    let soff = execute(&app, Framework::Soff, Scale::Small);
+    let xil = execute(&app, Framework::XilinxLike, Scale::Small);
+    assert_eq!(soff.outcome, Outcome::Ok);
+    assert_eq!(xil.outcome, Outcome::Ok);
+    assert!(
+        soff.seconds < xil.seconds,
+        "SOFF ({}) should beat single-CU SDAccel ({})",
+        soff.seconds,
+        xil.seconds
+    );
+}

@@ -1,0 +1,28 @@
+//! End-to-end Table II check at small scale: every application must run
+//! correctly on SOFF except the three that exceed the Arria 10's capacity
+//! (122.cfd, 128.heartwall, 140.bplustree → `IR`).
+
+use soff_baseline::{Framework, Outcome};
+use soff_workloads::{all_apps, data::Scale, execute};
+
+#[test]
+fn soff_runs_31_of_34_correctly() {
+    let mut failures = Vec::new();
+    let mut ir = Vec::new();
+    for app in all_apps() {
+        let res = execute(&app, Framework::Soff, Scale::Small);
+        match res.outcome {
+            Outcome::Ok => {}
+            Outcome::InsufficientResources => ir.push(app.name),
+            other => failures.push((app.name, other)),
+        }
+    }
+    assert!(failures.is_empty(), "unexpected failures: {failures:?}");
+    let mut ir_sorted = ir.clone();
+    ir_sorted.sort_unstable();
+    assert_eq!(
+        ir_sorted,
+        vec!["122.cfd", "128.heartwall", "140.bplustree"],
+        "IR set mismatch"
+    );
+}

@@ -1,0 +1,239 @@
+//! Workspace-level integration tests: the full stack (frontend → IR →
+//! datapath → simulator → runtime) exercised through the public `soff`
+//! API, plus cross-crate invariants the unit tests cannot see.
+
+use soff::baseline::{self, Framework};
+use soff::prelude::*;
+use soff::runtime::BuildError;
+
+#[test]
+fn quickstart_flow_works() {
+    let device = Device::system_a();
+    let program = Program::build(
+        "__kernel void axb(__global const float* a, __global float* b, float k) {
+            int i = get_global_id(0);
+            b[i] = a[i] * k + 1.0f;
+        }",
+        &[],
+        &device,
+    )
+    .unwrap();
+    let mut ctx = Context::new(device);
+    let a = ctx.create_buffer(64 * 4);
+    let b = ctx.create_buffer(64 * 4);
+    ctx.write_buffer_f32(a, &(0..64).map(|i| i as f32).collect::<Vec<_>>());
+    let mut k = program.kernel("axb").unwrap();
+    k.set_arg_buffer(0, a).set_arg_buffer(1, b).set_arg_f32(2, 0.5);
+    let stats = ctx.enqueue_ndrange(&k, NdRange::dim1(64, 16)).unwrap();
+    assert_eq!(stats.sim.retired, 64);
+    let out = ctx.read_buffer_f32(b);
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, i as f32 * 0.5 + 1.0);
+    }
+}
+
+#[test]
+fn multi_kernel_program_runs_both() {
+    let device = Device::system_a();
+    let program = Program::build(
+        "__kernel void init(__global int* a, int v) { a[get_global_id(0)] = v; }
+         __kernel void dbl(__global int* a) { a[get_global_id(0)] *= 2; }",
+        &[],
+        &device,
+    )
+    .unwrap();
+    assert_eq!(program.kernels().len(), 2);
+    let mut ctx = Context::new(device);
+    let a = ctx.create_buffer(16 * 4);
+    let mut init = program.kernel("init").unwrap();
+    init.set_arg_buffer(0, a).set_arg_i32(1, 21);
+    ctx.enqueue_ndrange(&init, NdRange::dim1(16, 4)).unwrap();
+    let mut dbl = program.kernel("dbl").unwrap();
+    dbl.set_arg_buffer(0, a);
+    ctx.enqueue_ndrange(&dbl, NdRange::dim1(16, 4)).unwrap();
+    assert_eq!(ctx.read_buffer_i32(a), vec![42; 16]);
+}
+
+#[test]
+fn simulator_matches_interpreter_through_public_api() {
+    // Compile once; run via the runtime (simulator) and via the reference
+    // interpreter; memory images must agree bit-for-bit.
+    let src = "__kernel void k(__global int* a, __global const int* b, int n) {
+        int i = get_global_id(0);
+        int s = 0;
+        for (int j = 0; j <= i % 5; j++) s += b[(i + j) % n];
+        a[i] = s;
+    }";
+    let n = 48u64;
+    let device = Device::system_a();
+    let program = Program::build(src, &[], &device).unwrap();
+    let mut ctx = Context::new(device);
+    let a = ctx.create_buffer((n * 4) as usize);
+    let b = ctx.create_buffer((n * 4) as usize);
+    let data: Vec<i32> = (0..n as i32).map(|i| i * 3 - 7).collect();
+    ctx.write_buffer_i32(b, &data);
+    let mut k = program.kernel("k").unwrap();
+    k.set_arg_buffer(0, a).set_arg_buffer(1, b).set_arg_i32(2, n as i32);
+    ctx.enqueue_ndrange(&k, NdRange::dim1(n, 8)).unwrap();
+    let sim_out = ctx.read_buffer_i32(a);
+
+    // Interpreter.
+    let parsed = soff::frontend::compile(src, &[]).unwrap();
+    let module = soff::ir::build::lower(&parsed).unwrap();
+    let mut gm = soff::ir::mem::GlobalMemory::new();
+    let ga = gm.alloc((n * 4) as usize);
+    let gb = gm.alloc((n * 4) as usize);
+    for (i, v) in data.iter().enumerate() {
+        gm.buffer_mut(gb).write_scalar(
+            i as u64 * 4,
+            soff::frontend::types::Scalar::I32,
+            *v as u32 as u64,
+        );
+    }
+    soff::ir::interp::run(
+        module.kernel("k").unwrap(),
+        &NdRange::dim1(n, 8),
+        &[
+            soff::ir::mem::ArgValue::Buffer(ga),
+            soff::ir::mem::ArgValue::Buffer(gb),
+            soff::ir::mem::ArgValue::Scalar(n),
+        ],
+        &mut gm,
+        soff::ir::interp::DEFAULT_BUDGET,
+    )
+    .unwrap();
+    let interp_out: Vec<i32> = gm
+        .buffer(ga)
+        .bytes()
+        .chunks_exact(4)
+        .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    assert_eq!(sim_out, interp_out);
+}
+
+#[test]
+fn oversized_kernel_reports_insufficient_resources() {
+    let device = Device::system_a();
+    let err = Program::build(
+        // A 64 KB private array per work-item cannot fit the Arria 10 once
+        // replicated across the in-flight work-items (§ resource model).
+        "__kernel void big(__global float* a) {
+            float scratch[16384];
+            int i = get_global_id(0);
+            for (int j = 0; j < 16384; j++) scratch[j] = (float)j + a[i];
+            float s = 0.0f;
+            for (int j = 0; j < 16384; j++) s += scratch[j];
+            a[i] = s;
+        }",
+        &[],
+        &device,
+    )
+    .unwrap_err();
+    assert!(matches!(err, BuildError::InsufficientResources { .. }), "got {err}");
+}
+
+#[test]
+fn rtl_and_simulation_agree_on_structure() {
+    // The RTL must instantiate exactly as many barrier units as the
+    // datapath tree contains.
+    let src = "__kernel void k(__global float* a) {
+        __local float t[8];
+        int l = get_local_id(0);
+        t[l] = a[get_global_id(0)];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        a[get_global_id(0)] = t[7 - l];
+    }";
+    let c = soff::compiler::compile(src, 3).unwrap();
+    let barriers_in_rtl = c.rtl[0].source.matches("soff_barrier #").count();
+    assert_eq!(barriers_in_rtl, 3, "one barrier unit per datapath instance");
+}
+
+#[test]
+fn baselines_run_the_same_binary_correctly() {
+    // All three frameworks must produce identical results for a kernel
+    // they all support.
+    let src = "__kernel void sq(__global float* a) {
+        int i = get_global_id(0);
+        a[i] = a[i] * a[i];
+    }";
+    let mut images = Vec::new();
+    for fw in [Framework::Soff, Framework::IntelLike, Framework::XilinxLike] {
+        let (program, device) = baseline::build(fw, src, &[]).unwrap();
+        let mut ctx = Context::new(device);
+        baseline::configure_context(fw, &mut ctx, 2);
+        let a = ctx.create_buffer(32 * 4);
+        ctx.write_buffer_f32(a, &(0..32).map(|i| i as f32 - 16.0).collect::<Vec<_>>());
+        let mut k = program.kernel("sq").unwrap();
+        k.set_arg_buffer(0, a);
+        ctx.enqueue_ndrange(&k, NdRange::dim1(32, 8)).unwrap();
+        images.push(ctx.read_buffer_f32(a));
+    }
+    assert_eq!(images[0], images[1]);
+    assert_eq!(images[0], images[2]);
+}
+
+#[test]
+fn deadlock_freedom_on_pathological_loop_nest() {
+    // Wildly imbalanced nested loops with branches — the §IV-E bounds must
+    // keep the pipeline deadlock-free.
+    let device = Device::system_a();
+    let program = Program::build(
+        "__kernel void gnarl(__global int* a, int n) {
+            int i = get_global_id(0);
+            int acc = 0;
+            for (int x = 0; x < n; x++) {
+                if ((i + x) % 3 == 0) {
+                    for (int y = 0; y < (i % 7); y++) {
+                        if (y % 2 == 0) acc += y * x;
+                        else acc -= y;
+                    }
+                } else if ((i + x) % 3 == 1) {
+                    int z = 0;
+                    do { acc += z; z++; } while (z < (x % 5));
+                }
+            }
+            a[i] = acc;
+        }",
+        &[],
+        &device,
+    )
+    .unwrap();
+    let mut ctx = Context::new(device);
+    let a = ctx.create_buffer(64 * 4);
+    let mut k = program.kernel("gnarl").unwrap();
+    k.set_arg_buffer(0, a).set_arg_i32(1, 9);
+    let stats = ctx.enqueue_ndrange(&k, NdRange::dim1(64, 16)).unwrap();
+    assert_eq!(stats.sim.retired, 64);
+    // Cross-check against the interpreter.
+    let out = ctx.read_buffer_i32(a);
+    let mut want = vec![0i32; 64];
+    for i in 0..64i32 {
+        let mut acc = 0i32;
+        for x in 0..9 {
+            match (i + x) % 3 {
+                0 => {
+                    for y in 0..(i % 7) {
+                        if y % 2 == 0 {
+                            acc += y * x;
+                        } else {
+                            acc -= y;
+                        }
+                    }
+                }
+                1 => {
+                    let mut z = 0;
+                    loop {
+                        acc += z;
+                        z += 1;
+                        if z >= (x % 5) {
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        want[i as usize] = acc;
+    }
+    assert_eq!(out, want);
+}
