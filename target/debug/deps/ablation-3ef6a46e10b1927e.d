@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-3ef6a46e10b1927e.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-3ef6a46e10b1927e: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

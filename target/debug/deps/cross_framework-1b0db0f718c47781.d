@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_framework-1b0db0f718c47781.d: crates/workloads/tests/cross_framework.rs
+
+/root/repo/target/debug/deps/cross_framework-1b0db0f718c47781: crates/workloads/tests/cross_framework.rs
+
+crates/workloads/tests/cross_framework.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-15c064e8c7cf58c9.d: crates/sim/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-15c064e8c7cf58c9: crates/sim/tests/equivalence.rs
+
+crates/sim/tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-9ca8b541486c5396.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-9ca8b541486c5396: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

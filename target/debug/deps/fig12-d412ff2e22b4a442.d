@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-d412ff2e22b4a442.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-d412ff2e22b4a442: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-1f7f53c24fee5aa7.d: crates/core/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-1f7f53c24fee5aa7: crates/core/../../tests/integration.rs
+
+crates/core/../../tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine_edge_cases-2652038c9ea23631.d: crates/sim/tests/machine_edge_cases.rs
+
+/root/repo/target/debug/deps/machine_edge_cases-2652038c9ea23631: crates/sim/tests/machine_edge_cases.rs
+
+crates/sim/tests/machine_edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pipeline-8dbcb14856d49eb3.d: crates/core/../../tests/proptest_pipeline.rs
+
+/root/repo/target/debug/deps/proptest_pipeline-8dbcb14856d49eb3: crates/core/../../tests/proptest_pipeline.rs
+
+crates/core/../../tests/proptest_pipeline.rs:

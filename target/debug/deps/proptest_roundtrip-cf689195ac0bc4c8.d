@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-cf689195ac0bc4c8.d: crates/frontend/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-cf689195ac0bc4c8: crates/frontend/tests/proptest_roundtrip.rs
+
+crates/frontend/tests/proptest_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all_soff-9594fa197d2e1296.d: crates/workloads/tests/run_all_soff.rs
+
+/root/repo/target/debug/deps/run_all_soff-9594fa197d2e1296: crates/workloads/tests/run_all_soff.rs
+
+crates/workloads/tests/run_all_soff.rs:

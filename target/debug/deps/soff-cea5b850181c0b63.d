@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/soff-cea5b850181c0b63.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libsoff-cea5b850181c0b63.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libsoff-cea5b850181c0b63.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soff-ff679f190a9ee712.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/soff-ff679f190a9ee712: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

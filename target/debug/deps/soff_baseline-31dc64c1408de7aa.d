@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/soff_baseline-31dc64c1408de7aa.d: crates/baseline/src/lib.rs
+
+/root/repo/target/debug/deps/libsoff_baseline-31dc64c1408de7aa.rlib: crates/baseline/src/lib.rs
+
+/root/repo/target/debug/deps/libsoff_baseline-31dc64c1408de7aa.rmeta: crates/baseline/src/lib.rs
+
+crates/baseline/src/lib.rs:

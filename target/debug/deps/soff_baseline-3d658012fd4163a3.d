@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soff_baseline-3d658012fd4163a3.d: crates/baseline/src/lib.rs
+
+/root/repo/target/debug/deps/soff_baseline-3d658012fd4163a3: crates/baseline/src/lib.rs
+
+crates/baseline/src/lib.rs:

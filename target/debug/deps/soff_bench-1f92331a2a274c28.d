@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/soff_bench-1f92331a2a274c28.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsoff_bench-1f92331a2a274c28.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsoff_bench-1f92331a2a274c28.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soff_bench-2d63647219ce34c7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/soff_bench-2d63647219ce34c7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/soff_datapath-a80f489a12ed40a2.d: crates/datapath/src/lib.rs crates/datapath/src/hierarchy.rs crates/datapath/src/latency.rs crates/datapath/src/pipeline.rs crates/datapath/src/resource.rs
+
+/root/repo/target/debug/deps/libsoff_datapath-a80f489a12ed40a2.rlib: crates/datapath/src/lib.rs crates/datapath/src/hierarchy.rs crates/datapath/src/latency.rs crates/datapath/src/pipeline.rs crates/datapath/src/resource.rs
+
+/root/repo/target/debug/deps/libsoff_datapath-a80f489a12ed40a2.rmeta: crates/datapath/src/lib.rs crates/datapath/src/hierarchy.rs crates/datapath/src/latency.rs crates/datapath/src/pipeline.rs crates/datapath/src/resource.rs
+
+crates/datapath/src/lib.rs:
+crates/datapath/src/hierarchy.rs:
+crates/datapath/src/latency.rs:
+crates/datapath/src/pipeline.rs:
+crates/datapath/src/resource.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soff_datapath-f7175aa89ced956f.d: crates/datapath/src/lib.rs crates/datapath/src/hierarchy.rs crates/datapath/src/latency.rs crates/datapath/src/pipeline.rs crates/datapath/src/resource.rs
+
+/root/repo/target/debug/deps/soff_datapath-f7175aa89ced956f: crates/datapath/src/lib.rs crates/datapath/src/hierarchy.rs crates/datapath/src/latency.rs crates/datapath/src/pipeline.rs crates/datapath/src/resource.rs
+
+crates/datapath/src/lib.rs:
+crates/datapath/src/hierarchy.rs:
+crates/datapath/src/latency.rs:
+crates/datapath/src/pipeline.rs:
+crates/datapath/src/resource.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/soff_ilp-59ef8d68f98f331b.d: crates/ilp/src/lib.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/libsoff_ilp-59ef8d68f98f331b.rlib: crates/ilp/src/lib.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/libsoff_ilp-59ef8d68f98f331b.rmeta: crates/ilp/src/lib.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/simplex.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/soff_ilp-f119c9a8dc81fa88.d: crates/ilp/src/lib.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/soff_ilp-f119c9a8dc81fa88: crates/ilp/src/lib.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/simplex.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/soff_ir-8ac8e21170730e60.d: crates/ir/src/lib.rs crates/ir/src/build.rs crates/ir/src/ctree.rs crates/ir/src/dfg.rs crates/ir/src/eval.rs crates/ir/src/interp.rs crates/ir/src/ir.rs crates/ir/src/liveness.rs crates/ir/src/mem.rs crates/ir/src/opt.rs crates/ir/src/pointer.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/soff_ir-8ac8e21170730e60: crates/ir/src/lib.rs crates/ir/src/build.rs crates/ir/src/ctree.rs crates/ir/src/dfg.rs crates/ir/src/eval.rs crates/ir/src/interp.rs crates/ir/src/ir.rs crates/ir/src/liveness.rs crates/ir/src/mem.rs crates/ir/src/opt.rs crates/ir/src/pointer.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/build.rs:
+crates/ir/src/ctree.rs:
+crates/ir/src/dfg.rs:
+crates/ir/src/eval.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/ir.rs:
+crates/ir/src/liveness.rs:
+crates/ir/src/mem.rs:
+crates/ir/src/opt.rs:
+crates/ir/src/pointer.rs:
+crates/ir/src/verify.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/soff_mem-1955299dce60144d.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/local.rs crates/mem/src/private.rs crates/mem/src/request.rs
+
+/root/repo/target/debug/deps/soff_mem-1955299dce60144d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/local.rs crates/mem/src/private.rs crates/mem/src/request.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/local.rs:
+crates/mem/src/private.rs:
+crates/mem/src/request.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/soff_mem-6f4b2807648285f3.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/local.rs crates/mem/src/private.rs crates/mem/src/request.rs
+
+/root/repo/target/debug/deps/libsoff_mem-6f4b2807648285f3.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/local.rs crates/mem/src/private.rs crates/mem/src/request.rs
+
+/root/repo/target/debug/deps/libsoff_mem-6f4b2807648285f3.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/local.rs crates/mem/src/private.rs crates/mem/src/request.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/local.rs:
+crates/mem/src/private.rs:
+crates/mem/src/request.rs:

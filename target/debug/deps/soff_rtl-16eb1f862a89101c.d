@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/soff_rtl-16eb1f862a89101c.d: crates/rtl/src/lib.rs crates/rtl/src/ipcores.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/debug/deps/soff_rtl-16eb1f862a89101c: crates/rtl/src/lib.rs crates/rtl/src/ipcores.rs crates/rtl/src/verilog.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/ipcores.rs:
+crates/rtl/src/verilog.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soff_rtl-4350585a311d33d4.d: crates/rtl/src/lib.rs crates/rtl/src/ipcores.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/debug/deps/libsoff_rtl-4350585a311d33d4.rlib: crates/rtl/src/lib.rs crates/rtl/src/ipcores.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/debug/deps/libsoff_rtl-4350585a311d33d4.rmeta: crates/rtl/src/lib.rs crates/rtl/src/ipcores.rs crates/rtl/src/verilog.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/ipcores.rs:
+crates/rtl/src/verilog.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/soff_runtime-503333eedb1c419e.d: crates/runtime/src/lib.rs crates/runtime/src/device.rs
+
+/root/repo/target/debug/deps/soff_runtime-503333eedb1c419e: crates/runtime/src/lib.rs crates/runtime/src/device.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/device.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/soff_runtime-97cd1ac1e13624ca.d: crates/runtime/src/lib.rs crates/runtime/src/device.rs
+
+/root/repo/target/debug/deps/libsoff_runtime-97cd1ac1e13624ca.rlib: crates/runtime/src/lib.rs crates/runtime/src/device.rs
+
+/root/repo/target/debug/deps/libsoff_runtime-97cd1ac1e13624ca.rmeta: crates/runtime/src/lib.rs crates/runtime/src/device.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/device.rs:

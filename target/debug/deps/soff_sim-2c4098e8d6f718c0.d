@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/soff_sim-2c4098e8d6f718c0.d: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/glue.rs crates/sim/src/launch.rs crates/sim/src/machine.rs crates/sim/src/memsys.rs crates/sim/src/token.rs crates/sim/src/units.rs
+
+/root/repo/target/debug/deps/soff_sim-2c4098e8d6f718c0: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/glue.rs crates/sim/src/launch.rs crates/sim/src/machine.rs crates/sim/src/memsys.rs crates/sim/src/token.rs crates/sim/src/units.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/channel.rs:
+crates/sim/src/glue.rs:
+crates/sim/src/launch.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/memsys.rs:
+crates/sim/src/token.rs:
+crates/sim/src/units.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/soff_sim-884335975371920a.d: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/glue.rs crates/sim/src/launch.rs crates/sim/src/machine.rs crates/sim/src/memsys.rs crates/sim/src/token.rs crates/sim/src/units.rs
+
+/root/repo/target/debug/deps/libsoff_sim-884335975371920a.rlib: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/glue.rs crates/sim/src/launch.rs crates/sim/src/machine.rs crates/sim/src/memsys.rs crates/sim/src/token.rs crates/sim/src/units.rs
+
+/root/repo/target/debug/deps/libsoff_sim-884335975371920a.rmeta: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/glue.rs crates/sim/src/launch.rs crates/sim/src/machine.rs crates/sim/src/memsys.rs crates/sim/src/token.rs crates/sim/src/units.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/channel.rs:
+crates/sim/src/glue.rs:
+crates/sim/src/launch.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/memsys.rs:
+crates/sim/src/token.rs:
+crates/sim/src/units.rs:

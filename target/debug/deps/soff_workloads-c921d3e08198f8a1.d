@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/soff_workloads-c921d3e08198f8a1.d: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/polybench.rs crates/workloads/src/runner.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libsoff_workloads-c921d3e08198f8a1.rlib: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/polybench.rs crates/workloads/src/runner.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libsoff_workloads-c921d3e08198f8a1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/polybench.rs crates/workloads/src/runner.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/polybench.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/spec.rs:

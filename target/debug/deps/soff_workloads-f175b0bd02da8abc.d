@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soff_workloads-f175b0bd02da8abc.d: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/polybench.rs crates/workloads/src/runner.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/soff_workloads-f175b0bd02da8abc: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/polybench.rs crates/workloads/src/runner.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/polybench.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/spec.rs:

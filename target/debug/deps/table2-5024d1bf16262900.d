@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-5024d1bf16262900.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-5024d1bf16262900: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/emit_verilog-7c8a4b562f2d3861.d: crates/core/../../examples/emit_verilog.rs
+
+/root/repo/target/debug/examples/emit_verilog-7c8a4b562f2d3861: crates/core/../../examples/emit_verilog.rs
+
+crates/core/../../examples/emit_verilog.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_regimes-2fe7a77ef71028b9.d: crates/core/../../examples/memory_regimes.rs
+
+/root/repo/target/debug/examples/memory_regimes-2fe7a77ef71028b9: crates/core/../../examples/memory_regimes.rs
+
+crates/core/../../examples/memory_regimes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_cost-641fb38b92b6d6d2.d: crates/workloads/examples/probe_cost.rs
+
+/root/repo/target/debug/examples/probe_cost-641fb38b92b6d6d2: crates/workloads/examples/probe_cost.rs
+
+crates/workloads/examples/probe_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b9ee4a64ae52a932.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b9ee4a64ae52a932: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

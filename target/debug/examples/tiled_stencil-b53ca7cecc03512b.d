@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tiled_stencil-b53ca7cecc03512b.d: crates/core/../../examples/tiled_stencil.rs
+
+/root/repo/target/debug/examples/tiled_stencil-b53ca7cecc03512b: crates/core/../../examples/tiled_stencil.rs
+
+crates/core/../../examples/tiled_stencil.rs:

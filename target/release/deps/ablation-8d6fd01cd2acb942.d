@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-8d6fd01cd2acb942.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-8d6fd01cd2acb942: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

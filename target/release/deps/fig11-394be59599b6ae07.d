@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-394be59599b6ae07.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-394be59599b6ae07: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

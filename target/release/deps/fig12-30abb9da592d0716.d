@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-30abb9da592d0716.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-30abb9da592d0716: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-8e302689c310898f.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-8e302689c310898f.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-8e302689c310898f.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

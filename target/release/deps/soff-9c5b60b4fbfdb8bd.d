@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/soff-9c5b60b4fbfdb8bd.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libsoff-9c5b60b4fbfdb8bd.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libsoff-9c5b60b4fbfdb8bd.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/soff_baseline-cde02cdcd6632ead.d: crates/baseline/src/lib.rs
+
+/root/repo/target/release/deps/libsoff_baseline-cde02cdcd6632ead.rlib: crates/baseline/src/lib.rs
+
+/root/repo/target/release/deps/libsoff_baseline-cde02cdcd6632ead.rmeta: crates/baseline/src/lib.rs
+
+crates/baseline/src/lib.rs:

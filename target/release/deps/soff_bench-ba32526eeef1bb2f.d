@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/soff_bench-ba32526eeef1bb2f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsoff_bench-ba32526eeef1bb2f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsoff_bench-ba32526eeef1bb2f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/soff_datapath-dccbf7dcd2d9d145.d: crates/datapath/src/lib.rs crates/datapath/src/hierarchy.rs crates/datapath/src/latency.rs crates/datapath/src/pipeline.rs crates/datapath/src/resource.rs
+
+/root/repo/target/release/deps/libsoff_datapath-dccbf7dcd2d9d145.rlib: crates/datapath/src/lib.rs crates/datapath/src/hierarchy.rs crates/datapath/src/latency.rs crates/datapath/src/pipeline.rs crates/datapath/src/resource.rs
+
+/root/repo/target/release/deps/libsoff_datapath-dccbf7dcd2d9d145.rmeta: crates/datapath/src/lib.rs crates/datapath/src/hierarchy.rs crates/datapath/src/latency.rs crates/datapath/src/pipeline.rs crates/datapath/src/resource.rs
+
+crates/datapath/src/lib.rs:
+crates/datapath/src/hierarchy.rs:
+crates/datapath/src/latency.rs:
+crates/datapath/src/pipeline.rs:
+crates/datapath/src/resource.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/soff_frontend-201ebe8e157ca903.d: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/builtins.rs crates/frontend/src/error.rs crates/frontend/src/lexer.rs crates/frontend/src/parser.rs crates/frontend/src/preprocess.rs crates/frontend/src/sema.rs crates/frontend/src/span.rs crates/frontend/src/token.rs crates/frontend/src/types.rs
+
+/root/repo/target/release/deps/libsoff_frontend-201ebe8e157ca903.rlib: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/builtins.rs crates/frontend/src/error.rs crates/frontend/src/lexer.rs crates/frontend/src/parser.rs crates/frontend/src/preprocess.rs crates/frontend/src/sema.rs crates/frontend/src/span.rs crates/frontend/src/token.rs crates/frontend/src/types.rs
+
+/root/repo/target/release/deps/libsoff_frontend-201ebe8e157ca903.rmeta: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/builtins.rs crates/frontend/src/error.rs crates/frontend/src/lexer.rs crates/frontend/src/parser.rs crates/frontend/src/preprocess.rs crates/frontend/src/sema.rs crates/frontend/src/span.rs crates/frontend/src/token.rs crates/frontend/src/types.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/ast.rs:
+crates/frontend/src/builtins.rs:
+crates/frontend/src/error.rs:
+crates/frontend/src/lexer.rs:
+crates/frontend/src/parser.rs:
+crates/frontend/src/preprocess.rs:
+crates/frontend/src/sema.rs:
+crates/frontend/src/span.rs:
+crates/frontend/src/token.rs:
+crates/frontend/src/types.rs:

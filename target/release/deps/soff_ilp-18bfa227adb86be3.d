@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/soff_ilp-18bfa227adb86be3.d: crates/ilp/src/lib.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/release/deps/libsoff_ilp-18bfa227adb86be3.rlib: crates/ilp/src/lib.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/release/deps/libsoff_ilp-18bfa227adb86be3.rmeta: crates/ilp/src/lib.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/simplex.rs:

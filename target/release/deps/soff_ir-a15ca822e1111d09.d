@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/soff_ir-a15ca822e1111d09.d: crates/ir/src/lib.rs crates/ir/src/build.rs crates/ir/src/ctree.rs crates/ir/src/dfg.rs crates/ir/src/eval.rs crates/ir/src/interp.rs crates/ir/src/ir.rs crates/ir/src/liveness.rs crates/ir/src/mem.rs crates/ir/src/opt.rs crates/ir/src/pointer.rs crates/ir/src/verify.rs
+
+/root/repo/target/release/deps/libsoff_ir-a15ca822e1111d09.rlib: crates/ir/src/lib.rs crates/ir/src/build.rs crates/ir/src/ctree.rs crates/ir/src/dfg.rs crates/ir/src/eval.rs crates/ir/src/interp.rs crates/ir/src/ir.rs crates/ir/src/liveness.rs crates/ir/src/mem.rs crates/ir/src/opt.rs crates/ir/src/pointer.rs crates/ir/src/verify.rs
+
+/root/repo/target/release/deps/libsoff_ir-a15ca822e1111d09.rmeta: crates/ir/src/lib.rs crates/ir/src/build.rs crates/ir/src/ctree.rs crates/ir/src/dfg.rs crates/ir/src/eval.rs crates/ir/src/interp.rs crates/ir/src/ir.rs crates/ir/src/liveness.rs crates/ir/src/mem.rs crates/ir/src/opt.rs crates/ir/src/pointer.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/build.rs:
+crates/ir/src/ctree.rs:
+crates/ir/src/dfg.rs:
+crates/ir/src/eval.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/ir.rs:
+crates/ir/src/liveness.rs:
+crates/ir/src/mem.rs:
+crates/ir/src/opt.rs:
+crates/ir/src/pointer.rs:
+crates/ir/src/verify.rs:

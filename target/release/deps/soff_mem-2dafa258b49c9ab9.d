@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/soff_mem-2dafa258b49c9ab9.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/local.rs crates/mem/src/private.rs crates/mem/src/request.rs
+
+/root/repo/target/release/deps/libsoff_mem-2dafa258b49c9ab9.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/local.rs crates/mem/src/private.rs crates/mem/src/request.rs
+
+/root/repo/target/release/deps/libsoff_mem-2dafa258b49c9ab9.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/local.rs crates/mem/src/private.rs crates/mem/src/request.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/local.rs:
+crates/mem/src/private.rs:
+crates/mem/src/request.rs:

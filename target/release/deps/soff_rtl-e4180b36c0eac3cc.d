@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/soff_rtl-e4180b36c0eac3cc.d: crates/rtl/src/lib.rs crates/rtl/src/ipcores.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/release/deps/libsoff_rtl-e4180b36c0eac3cc.rlib: crates/rtl/src/lib.rs crates/rtl/src/ipcores.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/release/deps/libsoff_rtl-e4180b36c0eac3cc.rmeta: crates/rtl/src/lib.rs crates/rtl/src/ipcores.rs crates/rtl/src/verilog.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/ipcores.rs:
+crates/rtl/src/verilog.rs:

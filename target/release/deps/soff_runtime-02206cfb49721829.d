@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/soff_runtime-02206cfb49721829.d: crates/runtime/src/lib.rs crates/runtime/src/device.rs
+
+/root/repo/target/release/deps/libsoff_runtime-02206cfb49721829.rlib: crates/runtime/src/lib.rs crates/runtime/src/device.rs
+
+/root/repo/target/release/deps/libsoff_runtime-02206cfb49721829.rmeta: crates/runtime/src/lib.rs crates/runtime/src/device.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/device.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/soff_sim-f6ad6f8db5176888.d: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/glue.rs crates/sim/src/launch.rs crates/sim/src/machine.rs crates/sim/src/memsys.rs crates/sim/src/token.rs crates/sim/src/units.rs
+
+/root/repo/target/release/deps/libsoff_sim-f6ad6f8db5176888.rlib: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/glue.rs crates/sim/src/launch.rs crates/sim/src/machine.rs crates/sim/src/memsys.rs crates/sim/src/token.rs crates/sim/src/units.rs
+
+/root/repo/target/release/deps/libsoff_sim-f6ad6f8db5176888.rmeta: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/glue.rs crates/sim/src/launch.rs crates/sim/src/machine.rs crates/sim/src/memsys.rs crates/sim/src/token.rs crates/sim/src/units.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/channel.rs:
+crates/sim/src/glue.rs:
+crates/sim/src/launch.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/memsys.rs:
+crates/sim/src/token.rs:
+crates/sim/src/units.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/soff_workloads-fca446a0286d47d6.d: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/polybench.rs crates/workloads/src/runner.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libsoff_workloads-fca446a0286d47d6.rlib: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/polybench.rs crates/workloads/src/runner.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libsoff_workloads-fca446a0286d47d6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/polybench.rs crates/workloads/src/runner.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/polybench.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/spec.rs:

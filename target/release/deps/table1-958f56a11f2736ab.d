@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-958f56a11f2736ab.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-958f56a11f2736ab: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

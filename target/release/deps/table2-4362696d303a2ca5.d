@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-4362696d303a2ca5.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-4362696d303a2ca5: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

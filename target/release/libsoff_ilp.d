@@ -1,0 +1,1 @@
+/root/repo/target/release/libsoff_ilp.rlib: /root/repo/crates/ilp/src/lib.rs /root/repo/crates/ilp/src/simplex.rs
