@@ -50,7 +50,7 @@ struct Variant {
     shared_cache: bool,
 }
 
-fn run_variant(v: &Variant) -> u64 {
+fn run_variant(v: &Variant) -> Result<u64, soff_sim::SimError> {
     let parsed = soff_frontend::compile(SRC, &[]).expect("ablation kernel compiles");
     let module = soff_ir::build::lower(&parsed).expect("ablation kernel lowers");
     let kernel = module.kernel("reduce").expect("kernel present");
@@ -87,9 +87,8 @@ fn run_variant(v: &Variant) -> u64 {
         NdRange::dim1(n * 16, 16),
         &[ArgValue::Buffer(a), ArgValue::Buffer(b), ArgValue::Buffer(o), ArgValue::Scalar(n)],
         &mut gm,
-    )
-    .expect("ablation run completes");
-    res.cycles
+    )?;
+    Ok(res.cycles)
 }
 
 fn main() {
@@ -141,11 +140,32 @@ fn main() {
     println!("{:-<58}", "");
     println!("{:<30} {:>10} {:>12}", "variant", "cycles", "vs baseline");
     println!("{:-<58}", "");
-    let base_cycles = run_variant(&base);
-    println!("{:<30} {:>10} {:>11.2}x", base.name, base_cycles, 1.0);
+    // A variant that hangs or times out becomes a failure row (the
+    // deadlock forensics go to stderr); the sweep always completes.
+    let base_cycles = match run_variant(&base) {
+        Ok(c) => {
+            println!("{:<30} {:>10} {:>11.2}x", base.name, c, 1.0);
+            Some(c)
+        }
+        Err(e) => {
+            eprintln!("{}", e);
+            println!("{:<30} {:>10} {:>11}", base.name, "FAILED", "-");
+            None
+        }
+    };
     for v in &variants {
-        let c = run_variant(v);
-        println!("{:<30} {:>10} {:>11.2}x", v.name, c, c as f64 / base_cycles as f64);
+        match run_variant(v) {
+            Ok(c) => match base_cycles {
+                Some(b) => {
+                    println!("{:<30} {:>10} {:>11.2}x", v.name, c, c as f64 / b as f64)
+                }
+                None => println!("{:<30} {:>10} {:>11}", v.name, c, "-"),
+            },
+            Err(e) => {
+                eprintln!("{}", e);
+                println!("{:<30} {:>10} {:>11}", v.name, "FAILED", "-");
+            }
+        }
     }
     println!("{:-<58}", "");
     println!("(>1.00x = slower than full SOFF; each mechanism should cost when removed)");
@@ -153,13 +173,26 @@ fn main() {
     // The §IV-F1 uniform-loop optimization, on a barrier kernel.
     println!();
     println!("Uniform-trip-count loop analysis (§IV-F1), barrier kernel:");
-    let with = run_barrier_variant(true);
-    let without = run_barrier_variant(false);
-    println!("  with analysis (no SWGR)    : {with:>10} cycles");
-    println!(
-        "  without (SWGR serializes)  : {without:>10} cycles  ({:.2}x)",
-        without as f64 / with as f64
-    );
+    match (run_barrier_variant(true), run_barrier_variant(false)) {
+        (Ok(with), Ok(without)) => {
+            println!("  with analysis (no SWGR)    : {with:>10} cycles");
+            println!(
+                "  without (SWGR serializes)  : {without:>10} cycles  ({:.2}x)",
+                without as f64 / with as f64
+            );
+        }
+        (with, without) => {
+            for (name, r) in [("with analysis", with), ("without", without)] {
+                match r {
+                    Ok(c) => println!("  {name:<27}: {c:>10} cycles"),
+                    Err(e) => {
+                        eprintln!("{}", e);
+                        println!("  {name:<27}:     FAILED");
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A barrier kernel whose loop bound is a kernel argument: §IV-F1's
@@ -181,7 +214,7 @@ __kernel void neigh(__global float* tmp, __global const float* a,
 }
 "#;
 
-fn run_barrier_variant(uniform_opt: bool) -> u64 {
+fn run_barrier_variant(uniform_opt: bool) -> Result<u64, soff_sim::SimError> {
     let parsed = soff_frontend::compile(BARRIER_SRC, &[]).expect("barrier kernel compiles");
     let module = soff_ir::build::lower(&parsed).expect("barrier kernel lowers");
     let kernel = module.kernel("neigh").expect("kernel present");
@@ -206,8 +239,7 @@ fn run_barrier_variant(uniform_opt: bool) -> u64 {
         ],
         &mut gm,
     )
-    .expect("barrier variant completes")
-    .cycles
+    .map(|r| r.cycles)
 }
 
 fn make_like(base: &Variant) -> Variant {

@@ -80,6 +80,16 @@ pub fn fmt_ratio(x: f64) -> String {
     }
 }
 
+/// Aggregated per-framework simulation counters over a run (hit ratios,
+/// stall breakdown) — printed by `fig11 --verbose` style analyses and
+/// reused by tests.
+pub fn summarize(result: &AppResult) -> String {
+    format!(
+        "{} cycles over {} launches ({} instances)",
+        result.cycles, result.launches, result.replication
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,14 +105,4 @@ mod tests {
     fn fig11_has_26_apps() {
         assert_eq!(fig11_apps().len(), 26, "Fig. 11 covers 26 applications");
     }
-}
-
-/// Aggregated per-framework simulation counters over a run (hit ratios,
-/// stall breakdown) — printed by `fig11 --verbose` style analyses and
-/// reused by tests.
-pub fn summarize(result: &AppResult) -> String {
-    format!(
-        "{} cycles over {} launches ({} instances)",
-        result.cycles, result.launches, result.replication
-    )
 }

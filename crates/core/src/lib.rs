@@ -40,12 +40,12 @@
 //! )?;
 //! let mut ctx = Context::new(device);
 //! let (a, b, c) = (ctx.create_buffer(64), ctx.create_buffer(64), ctx.create_buffer(64));
-//! ctx.write_buffer_f32(a, &[1.0; 16]);
-//! ctx.write_buffer_f32(b, &[2.0; 16]);
+//! ctx.write_buffer_f32(a, &[1.0; 16])?;
+//! ctx.write_buffer_f32(b, &[2.0; 16])?;
 //! let mut kernel = program.kernel("vadd").unwrap();
 //! kernel.set_arg_buffer(0, a).set_arg_buffer(1, b).set_arg_buffer(2, c);
 //! let stats = ctx.enqueue_ndrange(&kernel, soff::NdRange::dim1(16, 4))?;
-//! assert_eq!(ctx.read_buffer_f32(c), vec![3.0; 16]);
+//! assert_eq!(ctx.read_buffer_f32(c)?, vec![3.0; 16]);
 //! println!("executed in {} simulated cycles on {} datapath instance(s)",
 //!          stats.sim.cycles, stats.num_instances);
 //! # Ok::<(), Box<dyn std::error::Error>>(())

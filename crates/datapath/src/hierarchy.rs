@@ -271,7 +271,7 @@ fn build_node(
 /// incoming values are themselves uniform-inductive. Anything touching
 /// memory, work-item identity, or values defined outside the loop (which
 /// may differ per work-item) disqualifies the loop.
-pub fn loop_trip_is_uniform(kernel: &Kernel, cond_block: BlockId, body: &Region) -> bool {
+pub fn loop_trip_is_uniform(kernel: &Kernel, cond_block: BlockId, _body: &Region) -> bool {
     use soff_ir::ir::{InstKind, Terminator, ValueId};
     use std::collections::HashSet;
 
@@ -279,9 +279,6 @@ pub fn loop_trip_is_uniform(kernel: &Kernel, cond_block: BlockId, body: &Region)
         Terminator::CondBr { cond, .. } => *cond,
         _ => return false,
     };
-    let mut loop_blocks: HashSet<BlockId> = body.blocks().into_iter().collect();
-    loop_blocks.insert(cond_block);
-
     // Block each value is defined in.
     let mut def_block = std::collections::HashMap::new();
     for (bid, b) in kernel.iter_blocks() {
@@ -294,7 +291,6 @@ pub fn loop_trip_is_uniform(kernel: &Kernel, cond_block: BlockId, body: &Region)
         kernel: &Kernel,
         v: ValueId,
         cond_block: BlockId,
-        loop_blocks: &HashSet<BlockId>,
         def_block: &std::collections::HashMap<ValueId, BlockId>,
         visiting: &mut HashSet<ValueId>,
     ) -> bool {
@@ -308,23 +304,23 @@ pub fn loop_trip_is_uniform(kernel: &Kernel, cond_block: BlockId, body: &Region)
         }
         let ok = match &instr.kind {
             InstKind::Bin { a, b, .. } => {
-                check(kernel, *a, cond_block, loop_blocks, def_block, visiting)
-                    && check(kernel, *b, cond_block, loop_blocks, def_block, visiting)
+                check(kernel, *a, cond_block, def_block, visiting)
+                    && check(kernel, *b, cond_block, def_block, visiting)
             }
             InstKind::Un { a, .. } | InstKind::Cast { a, .. } => {
-                check(kernel, *a, cond_block, loop_blocks, def_block, visiting)
+                check(kernel, *a, cond_block, def_block, visiting)
             }
             InstKind::Select { cond, a, b } => {
-                check(kernel, *cond, cond_block, loop_blocks, def_block, visiting)
-                    && check(kernel, *a, cond_block, loop_blocks, def_block, visiting)
-                    && check(kernel, *b, cond_block, loop_blocks, def_block, visiting)
+                check(kernel, *cond, cond_block, def_block, visiting)
+                    && check(kernel, *a, cond_block, def_block, visiting)
+                    && check(kernel, *b, cond_block, def_block, visiting)
             }
             InstKind::Phi { incoming } => {
                 // Only induction phis of the loop header qualify; their
                 // incoming values (initial + step) must also be uniform.
                 def_block.get(&v) == Some(&cond_block)
                     && incoming.iter().all(|(_, pv)| {
-                        check(kernel, *pv, cond_block, loop_blocks, def_block, visiting)
+                        check(kernel, *pv, cond_block, def_block, visiting)
                     })
             }
             // Memory, atomics, work-item identity: per-work-item values.
@@ -339,7 +335,7 @@ pub fn loop_trip_is_uniform(kernel: &Kernel, cond_block: BlockId, body: &Region)
 
     let _ = InstKind::Const(0);
     let mut visiting = HashSet::new();
-    check(kernel, cond, cond_block, &loop_blocks, &def_block, &mut visiting)
+    check(kernel, cond, cond_block, &def_block, &mut visiting)
 }
 
 impl PipeNode {
@@ -408,8 +404,8 @@ fn path_lmin(node: &PipeNode, basics: &[BasicPipeline]) -> (u64, u64) {
         PipeNode::Barrier { .. } => (0, 0),
         PipeNode::IfThen { cond, then, .. } => {
             let c = basics[*cond].lmin;
-            let (tlo, thi) = path_lmin(then, basics);
-            (c + 0.min(tlo), c + thi) // not-taken path contributes 0
+            let (_, thi) = path_lmin(then, basics);
+            (c, c + thi) // not-taken path contributes 0, so the low bound is just `c`
         }
         PipeNode::IfThenElse { cond, then, els, .. } => {
             let c = basics[*cond].lmin;

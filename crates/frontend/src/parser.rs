@@ -266,8 +266,12 @@ impl Parser {
         };
         self.bump();
         // `long long` → long; `long int` → long, `short int` → short.
-        if matches!(t, Type::Scalar(Scalar::I64)) && self.eat_keyword(Keyword::Long) {}
-        if matches!(t.as_scalar(), Some(s) if s.is_int()) && self.eat_keyword(Keyword::Int) {}
+        if matches!(t, Type::Scalar(Scalar::I64)) {
+            self.eat_keyword(Keyword::Long);
+        }
+        if matches!(t.as_scalar(), Some(s) if s.is_int()) {
+            self.eat_keyword(Keyword::Int);
+        }
         Ok(t)
     }
 

@@ -75,6 +75,8 @@ pub enum Keyword {
 impl Keyword {
     /// Looks up a keyword from its identifier spelling, including the
     /// double-underscore OpenCL qualifier spellings (`__kernel` etc.).
+    // Not `FromStr`: lookup failure is ordinary (any identifier), not an error.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {

@@ -133,8 +133,8 @@ pub fn solve_lp(c: &[f64], constraints: &[Constraint]) -> Result<LpSolution, LpE
     // Phase 1: minimize the sum of artificial variables.
     if n_art > 0 {
         let mut obj = vec![0.0; total + 1];
-        for j in (n + n_slack)..total {
-            obj[j] = 1.0;
+        for o in &mut obj[(n + n_slack)..total] {
+            *o = 1.0;
         }
         // Price out basic artificials.
         for i in 0..m {
@@ -231,6 +231,9 @@ fn run_simplex_restricted(
     }
 }
 
+// Index loops stay: `t[i][j] -= f * t[row][j]` reads one row while
+// mutating another, which slice iterators cannot express without splits.
+#[allow(clippy::needless_range_loop)]
 fn pivot_full(
     t: &mut [Vec<f64>],
     obj: &mut [f64],
@@ -241,8 +244,8 @@ fn pivot_full(
 ) {
     let m = t.len();
     let p = t[row][col];
-    for j in 0..=total {
-        t[row][j] /= p;
+    for x in &mut t[row][..=total] {
+        *x /= p;
     }
     for i in 0..m {
         if i != row && t[i][col].abs() > EPS {
@@ -263,7 +266,7 @@ fn pivot_full(
 
 fn pivot(
     t: &mut [Vec<f64>],
-    obj: &mut Vec<f64>,
+    obj: &mut [f64],
     basis: &mut [usize],
     row: usize,
     col: usize,

@@ -980,8 +980,8 @@ impl<'a> Lowerer<'a> {
             let at = self.value_scalar(a);
             let bt = self.value_scalar(b);
             // Normalize each side to 0/1 so bitwise AND/OR is correct.
-            let a = self.to_bool(a, at);
-            let b = self.to_bool(b, bt);
+            let a = self.coerce_bool(a, at);
+            let b = self.coerce_bool(b, bt);
             let bop = if op == BinOp::LogAnd { BinOp::And } else { BinOp::Or };
             return Ok(self.emit(
                 InstKind::Bin { op: bop, ty: Scalar::I32, a, b },
@@ -993,7 +993,7 @@ impl<'a> Lowerer<'a> {
         Ok(self.apply_binop(op, a, self.expr_type(lhs).clone(), b, self.expr_type(rhs).clone()))
     }
 
-    fn to_bool(&mut self, v: ValueId, ty: Scalar) -> ValueId {
+    fn coerce_bool(&mut self, v: ValueId, ty: Scalar) -> ValueId {
         let zero = self.emit_const(0, ty);
         self.emit(InstKind::Bin { op: BinOp::Ne, ty, a: v, b: zero }, Some(Scalar::I32))
     }

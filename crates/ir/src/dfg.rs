@@ -221,10 +221,8 @@ pub fn build_dfg(k: &Kernel, b: BlockId, live: &Liveness, pa: &PointerAnalysis) 
 
     // Guarantee the source reaches something even in an empty block, so
     // every source-sink path exists.
-    if !edges.iter().any(|e| e.from == SOURCE) {
-        edges.push(Edge { from: SOURCE, to: SINK, kind: EdgeKind::Order });
-    } else if !edges.iter().any(|e| e.to == SINK && e.from == SOURCE)
-        && body.is_empty()
+    if !edges.iter().any(|e| e.from == SOURCE)
+        || (body.is_empty() && !edges.iter().any(|e| e.to == SINK && e.from == SOURCE))
     {
         edges.push(Edge { from: SOURCE, to: SINK, kind: EdgeKind::Order });
     }

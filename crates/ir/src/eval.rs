@@ -146,20 +146,8 @@ pub fn eval_bin(op: BinOp, ty: Scalar, a: u64, b: u64) -> u64 {
             Add => x.wrapping_add(y),
             Sub => x.wrapping_sub(y),
             Mul => x.wrapping_mul(y),
-            Div => {
-                if y == 0 {
-                    0
-                } else {
-                    x / y
-                }
-            }
-            Rem => {
-                if y == 0 {
-                    0
-                } else {
-                    x % y
-                }
-            }
+            Div => x.checked_div(y).unwrap_or(0),
+            Rem => x.checked_rem(y).unwrap_or(0),
             And => x & y,
             Or => x | y,
             Xor => x ^ y,

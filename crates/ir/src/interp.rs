@@ -456,8 +456,8 @@ mod tests {
         )
         .unwrap();
         let out = f32s(g.buffer(c).bytes());
-        for i in 0..16 {
-            assert_eq!(out[i], 3.0 * i as f32);
+        for (i, &o) in out.iter().enumerate().take(16) {
+            assert_eq!(o, 3.0 * i as f32);
         }
     }
 
@@ -497,8 +497,8 @@ mod tests {
         .unwrap();
         let out = f32s(g.buffer(o).bytes());
         let expect: f32 = (0..n).map(|x| x as f32).sum();
-        for r in 0..n as usize {
-            assert_eq!(out[r], expect);
+        for &o in out.iter().take(n as usize) {
+            assert_eq!(o, expect);
         }
     }
 
@@ -604,8 +604,8 @@ mod tests {
         let a = g.alloc(8 * 4);
         run(&k, &NdRange::dim1(8, 4), &[ArgValue::Buffer(a)], &mut g, DEFAULT_BUDGET).unwrap();
         let out = i32s(g.buffer(a).bytes());
-        for i in 0..8usize {
-            assert_eq!(out[i], ((i % 4) * 10 + i) as i32);
+        for (i, &o) in out.iter().enumerate().take(8) {
+            assert_eq!(o, ((i % 4) * 10 + i) as i32);
         }
     }
 
@@ -625,8 +625,8 @@ mod tests {
         }
         run(&k, &NdRange::dim1(8, 8), &[ArgValue::Buffer(a)], &mut g, DEFAULT_BUDGET).unwrap();
         let out = f32s(g.buffer(a).bytes());
-        for i in 0..8usize {
-            assert_eq!(out[i], (i as f32 - 4.0).abs());
+        for (i, &o) in out.iter().enumerate().take(8) {
+            assert_eq!(o, (i as f32 - 4.0).abs());
         }
     }
 

@@ -411,7 +411,7 @@ impl NdRange {
     ///
     /// Panics if `local` does not divide `global` or either is 0.
     pub fn dim1(global: u64, local: u64) -> Self {
-        assert!(global > 0 && local > 0 && global % local == 0, "invalid NDRange");
+        assert!(global > 0 && local > 0 && global.is_multiple_of(local), "invalid NDRange");
         NdRange { work_dim: 1, global: [global, 1, 1], local: [local, 1, 1] }
     }
 

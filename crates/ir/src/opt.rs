@@ -128,10 +128,8 @@ pub fn dce(k: &mut Kernel) {
         }
         for &v in &b.instrs {
             let i = &k.values[v.0 as usize];
-            if i.writes_memory() {
-                if live.insert(v) {
-                    work.push(v);
-                }
+            if i.writes_memory() && live.insert(v) {
+                work.push(v);
             }
         }
     }

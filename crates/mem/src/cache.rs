@@ -99,6 +99,12 @@ pub struct Cache {
     out: Vec<VecDeque<MemResponse>>,
     /// Atomic locks: cycle each lock frees up.
     lock_free_at: [u64; NUM_LOCKS],
+    /// Fault injection: while set, ports refuse to latch new requests
+    /// (stuck request wires between datapath and cache).
+    fault_jam_ports: bool,
+    /// Fault injection: while set, the datapath-cache arbiter withholds
+    /// every grant (latched requests are never accepted).
+    fault_withhold_grants: bool,
     /// Statistics.
     pub stats: CacheStats,
 }
@@ -116,8 +122,20 @@ impl Cache {
             inflight: VecDeque::new(),
             out: Vec::new(),
             lock_free_at: [0; NUM_LOCKS],
+            fault_jam_ports: false,
+            fault_withhold_grants: false,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Fault injection: wedges or releases the port request latches.
+    pub fn set_fault_jam_ports(&mut self, jam: bool) {
+        self.fault_jam_ports = jam;
+    }
+
+    /// Fault injection: makes the arbiter withhold (or resume) grants.
+    pub fn set_fault_withhold_grants(&mut self, withhold: bool) {
+        self.fault_withhold_grants = withhold;
     }
 
     /// The configuration.
@@ -140,7 +158,7 @@ impl Cache {
 
     /// Whether port `p` can latch a new request this cycle.
     pub fn can_request(&self, p: PortId) -> bool {
-        self.latches[p.0].is_none()
+        self.latches[p.0].is_none() && !self.fault_jam_ports
     }
 
     /// Latches a request on port `p`.
@@ -177,6 +195,9 @@ impl Cache {
         }
 
         // Round-robin accept.
+        if self.fault_withhold_grants {
+            return;
+        }
         let n = self.latches.len();
         if n == 0 {
             return;
@@ -286,6 +307,30 @@ impl Cache {
         self.inflight.is_empty() && self.latches.iter().all(|l| l.is_none())
     }
 
+    /// Whether the cache still has timed events scheduled in the future:
+    /// accepted requests whose responses are not yet deliverable. Used by
+    /// the simulator's progress watchdog to avoid declaring a deadlock
+    /// while memory is merely slow (e.g. under a DRAM latency spike).
+    pub fn has_pending_events(&self, now: u64) -> bool {
+        self.inflight.iter().any(|f| f.ready > now)
+    }
+
+    /// Number of ports with a latched, not-yet-accepted request.
+    pub fn latched_requests(&self) -> usize {
+        self.latches.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Number of accepted requests awaiting response delivery.
+    pub fn inflight_requests(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether fault injection currently wedges this cache (either the
+    /// port latches or the arbiter grants).
+    pub fn fault_active(&self) -> bool {
+        self.fault_jam_ports || self.fault_withhold_grants
+    }
+
     /// Flushes all dirty lines (end-of-kernel, §III-B); returns the cycle
     /// the flush completes.
     pub fn flush(&mut self, now: u64, dram: &mut Dram) -> u64 {
@@ -379,7 +424,7 @@ mod tests {
     fn conflict_misses_in_direct_mapped_cache() {
         let (mut c, mut d, mut gm, buf) = setup();
         let p = c.add_port();
-        let sets = (c.config().bytes / c.config().line as u64) as u64;
+        let sets = c.config().bytes / c.config().line as u64;
         // Two addresses mapping to the same set (same index, different tag).
         let a1 = global_addr(buf, 0);
         let a2 = global_addr(buf, sets * 64);

@@ -41,6 +41,8 @@ pub struct Dram {
     cfg: DramConfig,
     chan_free_at: Vec<u64>,
     next_chan: usize,
+    /// Fault injection: extra latency added to every access while set.
+    fault_extra_latency: u32,
     /// Statistics.
     pub stats: DramStats,
 }
@@ -52,6 +54,7 @@ impl Dram {
             chan_free_at: vec![0; cfg.channels as usize],
             next_chan: 0,
             cfg,
+            fault_extra_latency: 0,
             stats: DramStats::default(),
         }
     }
@@ -59,6 +62,12 @@ impl Dram {
     /// The configuration.
     pub fn config(&self) -> DramConfig {
         self.cfg
+    }
+
+    /// Fault injection: adds `extra` cycles of latency to every access
+    /// until cleared (0). Models a refresh storm / thermal-throttle spike.
+    pub fn set_fault_extra_latency(&mut self, extra: u32) {
+        self.fault_extra_latency = extra;
     }
 
     /// Requests one line transfer at cycle `now`; returns the cycle the
@@ -76,7 +85,9 @@ impl Dram {
         } else {
             self.stats.reads += 1;
         }
-        start + self.cfg.cycles_per_line as u64 + self.cfg.latency as u64
+        start + self.cfg.cycles_per_line as u64
+            + self.cfg.latency as u64
+            + self.fault_extra_latency as u64
     }
 
     /// Round-robin variant for requests without a meaningful address

@@ -102,6 +102,12 @@ impl LocalBlock {
         None
     }
 
+    /// Whether the block still has responses scheduled for a future cycle
+    /// (used by the simulator's progress watchdog).
+    pub fn has_pending_events(&self, now: u64) -> bool {
+        self.out.iter().any(|q| q.iter().any(|(ready, _)| *ready > now))
+    }
+
     /// Advances one cycle: services at most one request per bank.
     pub fn tick(&mut self, now: u64) {
         let mut bank_used = vec![false; self.banks as usize];

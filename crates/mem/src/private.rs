@@ -30,10 +30,8 @@ impl PrivateMemory {
     /// issuing unit applies its own latency).
     pub fn access(&mut self, req: &MemRequest) -> MemResponse {
         let bytes = self.bytes_per_wi as usize;
-        if !self.segments.contains_key(&req.wi) {
-            self.segments.insert(req.wi, ByteStore::new(bytes));
-            self.peak_segments = self.peak_segments.max(self.segments.len());
-        }
+        self.segments.entry(req.wi).or_insert_with(|| ByteStore::new(bytes));
+        self.peak_segments = self.peak_segments.max(self.segments.len());
         let seg = self.segments.get_mut(&req.wi).expect("inserted above");
         let value = match &req.op {
             MemOp::Load => seg.read_scalar(req.addr, req.ty),

@@ -25,21 +25,31 @@
 //!
 //! let mut ctx = Context::new(device);
 //! let buf = ctx.create_buffer(16 * 4);
-//! ctx.write_buffer_f32(buf, &[1.0; 16]);
+//! ctx.write_buffer_f32(buf, &[1.0; 16]).unwrap();
 //!
 //! let mut kernel = program.kernel("scale").unwrap();
 //! kernel.set_arg_buffer(0, buf);
 //! kernel.set_arg_f32(1, 2.5);
 //! let stats = ctx.enqueue_ndrange(&kernel, soff_ir::NdRange::dim1(16, 4)).unwrap();
 //! assert!(stats.seconds > 0.0);
-//! assert_eq!(ctx.read_buffer_f32(buf)[0], 2.5);
+//! assert_eq!(ctx.read_buffer_f32(buf).unwrap()[0], 2.5);
 //! ```
+//!
+//! ## Error handling
+//!
+//! Host-API misuse never panics: every reachable failure is a typed error
+//! with an OpenCL-style status code ([`ApiError::status`]). Argument
+//! binding is deferred-validated like `clSetKernelArg`: an out-of-range
+//! or ill-typed `set_arg_*` is remembered and surfaced by
+//! [`Context::enqueue_ndrange`], so the builder-style chaining stays
+//! ergonomic while misuse still maps to `CL_INVALID_ARG_INDEX` /
+//! `CL_INVALID_ARG_VALUE` instead of aborting the host process.
 
 pub mod device;
 
 use soff_datapath::resource::{self, Replication};
 use soff_datapath::{Datapath, LatencyModel};
-use soff_ir::ir::Kernel;
+use soff_ir::ir::{Kernel, ParamKind};
 use soff_ir::mem::{ArgValue, GlobalMemory};
 use soff_ir::NdRange;
 use soff_sim::{SimConfig, SimError, SimResult};
@@ -49,9 +59,100 @@ use std::sync::Arc;
 
 pub use device::Device;
 
-/// A buffer handle in the device's global memory.
+/// A buffer handle in the device's global memory, tagged with the
+/// context that created it so a handle from another context is caught
+/// (`CL_INVALID_MEM_OBJECT`) instead of silently aliasing a buffer of
+/// this one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Buffer(u32);
+pub struct Buffer {
+    id: u32,
+    ctx: u32,
+}
+
+/// Host-API misuse, reported as a typed error instead of a panic.
+///
+/// Each variant corresponds to an OpenCL status code (see
+/// [`ApiError::status`]); the payload carries enough context for a
+/// actionable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// A `set_arg_*` call used an index outside the kernel's parameters
+    /// (`CL_INVALID_ARG_INDEX`). Detected at enqueue, like the deferred
+    /// validation of `clSetKernelArg` + `clEnqueueNDRangeKernel`.
+    InvalidArgIndex {
+        /// The offending index.
+        index: usize,
+        /// How many parameters the kernel has.
+        num_params: usize,
+    },
+    /// The bound value's kind does not match the parameter
+    /// (`CL_INVALID_ARG_VALUE`), e.g. a scalar bound to a `__global`
+    /// pointer.
+    ArgKindMismatch {
+        /// Parameter position.
+        index: usize,
+        /// Parameter source name.
+        name: String,
+        /// What the kernel signature requires.
+        expected: &'static str,
+        /// What the host bound.
+        got: &'static str,
+    },
+    /// A buffer handle does not belong to this context
+    /// (`CL_INVALID_MEM_OBJECT`).
+    InvalidMemObject {
+        /// The raw handle.
+        handle: u32,
+    },
+    /// A host transfer is larger than the buffer (`CL_INVALID_VALUE`).
+    BufferOverrun {
+        /// The buffer handle.
+        handle: u32,
+        /// The buffer's capacity in bytes.
+        capacity: usize,
+        /// The transfer length in bytes.
+        len: usize,
+    },
+}
+
+impl ApiError {
+    /// The OpenCL status code this error maps to.
+    pub fn status(&self) -> &'static str {
+        match self {
+            ApiError::InvalidArgIndex { .. } => "CL_INVALID_ARG_INDEX",
+            ApiError::ArgKindMismatch { .. } => "CL_INVALID_ARG_VALUE",
+            ApiError::InvalidMemObject { .. } => "CL_INVALID_MEM_OBJECT",
+            ApiError::BufferOverrun { .. } => "CL_INVALID_VALUE",
+        }
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::InvalidArgIndex { index, num_params } => write!(
+                f,
+                "{}: argument index {index} out of range (kernel has {num_params} parameters)",
+                self.status()
+            ),
+            ApiError::ArgKindMismatch { index, name, expected, got } => write!(
+                f,
+                "{}: argument {index} (`{name}`) expects {expected}, host bound {got}",
+                self.status()
+            ),
+            ApiError::InvalidMemObject { handle } => {
+                write!(f, "{}: buffer handle {handle} is not valid in this context", self.status())
+            }
+            ApiError::BufferOverrun { handle, capacity, len } => write!(
+                f,
+                "{}: transfer of {len} bytes exceeds buffer {handle}'s {capacity} bytes",
+                self.status()
+            ),
+        }
+    }
+}
+
+impl Error for ApiError {}
 
 /// Why a program failed to build.
 #[derive(Debug)]
@@ -168,7 +269,13 @@ impl Program {
     pub fn kernel(&self, name: &str) -> Option<KernelHandle> {
         let idx = self.kernels.iter().position(|k| k.kernel.name == name)?;
         let n = self.kernels[idx].kernel.params.len();
-        Some(KernelHandle { program: self.clone(), index: idx, args: vec![None; n] })
+        Some(KernelHandle {
+            program: self.clone(),
+            index: idx,
+            args: vec![None; n],
+            buffer_ctx: vec![None; n],
+            invalid_arg: None,
+        })
     }
 }
 
@@ -179,6 +286,12 @@ pub struct KernelHandle {
     program: Program,
     index: usize,
     args: Vec<Option<ArgValue>>,
+    /// Owning-context tag of each bound buffer argument, checked at
+    /// enqueue against the launching context.
+    buffer_ctx: Vec<Option<u32>>,
+    /// First out-of-range `set_arg_*` index, surfaced at enqueue
+    /// (deferred validation, like `clSetKernelArg`).
+    invalid_arg: Option<usize>,
 }
 
 impl KernelHandle {
@@ -187,46 +300,62 @@ impl KernelHandle {
         &self.program.kernels[self.index]
     }
 
+    fn set(&mut self, i: usize, v: ArgValue) -> &mut Self {
+        if let Some(slot) = self.args.get_mut(i) {
+            *slot = Some(v);
+            self.buffer_ctx[i] = None;
+        } else if self.invalid_arg.is_none() {
+            self.invalid_arg = Some(i);
+        }
+        self
+    }
+
     /// Binds a buffer argument.
     pub fn set_arg_buffer(&mut self, i: usize, b: Buffer) -> &mut Self {
-        self.args[i] = Some(ArgValue::Buffer(b.0));
+        self.set(i, ArgValue::Buffer(b.id));
+        if i < self.buffer_ctx.len() {
+            self.buffer_ctx[i] = Some(b.ctx);
+        }
         self
     }
 
     /// Binds a 32-bit integer argument.
     pub fn set_arg_i32(&mut self, i: usize, v: i32) -> &mut Self {
-        self.args[i] = Some(ArgValue::Scalar(v as u32 as u64));
-        self
+        self.set(i, ArgValue::Scalar(v as u32 as u64))
     }
 
     /// Binds a 64-bit integer argument.
     pub fn set_arg_u64(&mut self, i: usize, v: u64) -> &mut Self {
-        self.args[i] = Some(ArgValue::Scalar(v));
-        self
+        self.set(i, ArgValue::Scalar(v))
     }
 
     /// Binds a float argument.
     pub fn set_arg_f32(&mut self, i: usize, v: f32) -> &mut Self {
-        self.args[i] = Some(ArgValue::Scalar(v.to_bits() as u64));
-        self
+        self.set(i, ArgValue::Scalar(v.to_bits() as u64))
     }
 
     /// Binds a double argument.
     pub fn set_arg_f64(&mut self, i: usize, v: f64) -> &mut Self {
-        self.args[i] = Some(ArgValue::Scalar(v.to_bits()));
-        self
+        self.set(i, ArgValue::Scalar(v.to_bits()))
     }
 
     /// Sets the byte size of a `__local` pointer argument
     /// (`clSetKernelArg(…, size, NULL)`).
     pub fn set_arg_local(&mut self, i: usize, bytes: u64) -> &mut Self {
-        self.args[i] = Some(ArgValue::LocalSize(bytes));
-        self
+        self.set(i, ArgValue::LocalSize(bytes))
     }
 
     fn collect_args(&self) -> Result<Vec<ArgValue>, LaunchError> {
         let ck = self.compiled();
-        self.args
+        if let Some(index) = self.invalid_arg {
+            return Err(ApiError::InvalidArgIndex {
+                index,
+                num_params: ck.kernel.params.len(),
+            }
+            .into());
+        }
+        let args: Vec<ArgValue> = self
+            .args
             .iter()
             .enumerate()
             .map(|(i, a)| {
@@ -235,7 +364,31 @@ impl KernelHandle {
                     name: ck.kernel.params[i].name.clone(),
                 })
             })
-            .collect()
+            .collect::<Result<_, _>>()?;
+        for (i, (p, a)) in ck.kernel.params.iter().zip(&args).enumerate() {
+            let (expected, ok) = match p.kind {
+                ParamKind::Scalar(_) => ("a scalar", matches!(a, ArgValue::Scalar(_))),
+                ParamKind::Buffer { .. } => ("a buffer", matches!(a, ArgValue::Buffer(_))),
+                ParamKind::LocalPointer { .. } => {
+                    ("a __local size", matches!(a, ArgValue::LocalSize(_)))
+                }
+            };
+            if !ok {
+                let got = match a {
+                    ArgValue::Scalar(_) => "a scalar",
+                    ArgValue::Buffer(_) => "a buffer",
+                    ArgValue::LocalSize(_) => "a __local size",
+                };
+                return Err(ApiError::ArgKindMismatch {
+                    index: i,
+                    name: p.name.clone(),
+                    expected,
+                    got,
+                }
+                .into());
+            }
+        }
+        Ok(args)
     }
 }
 
@@ -249,6 +402,8 @@ pub enum LaunchError {
         /// Its source name.
         name: String,
     },
+    /// Host-API misuse (bad argument index/kind, foreign buffer handle).
+    Api(ApiError),
     /// The simulated hardware failed (deadlock, timeout, bad arguments).
     Sim(SimError),
 }
@@ -259,6 +414,7 @@ impl fmt::Display for LaunchError {
             LaunchError::MissingArgument { index, name } => {
                 write!(f, "kernel argument {index} (`{name}`) was never set")
             }
+            LaunchError::Api(e) => write!(f, "{e}"),
             LaunchError::Sim(e) => write!(f, "{e}"),
         }
     }
@@ -269,6 +425,12 @@ impl Error for LaunchError {}
 impl From<SimError> for LaunchError {
     fn from(e: SimError) -> Self {
         LaunchError::Sim(e)
+    }
+}
+
+impl From<ApiError> for LaunchError {
+    fn from(e: ApiError) -> Self {
+        LaunchError::Api(e)
     }
 }
 
@@ -293,7 +455,12 @@ pub struct Context {
     pub force_instances: Option<u32>,
     /// Hard cycle budget per launch.
     pub max_cycles: u64,
+    /// Unique tag baked into this context's buffer handles.
+    ctx_id: u32,
 }
+
+/// Tags contexts so buffer handles cannot cross between them unnoticed.
+static NEXT_CTX_ID: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
 
 impl Context {
     /// Creates a context on `device`.
@@ -304,6 +471,7 @@ impl Context {
             registers: device::Registers::default(),
             force_instances: None,
             max_cycles: 2_000_000_000,
+            ctx_id: NEXT_CTX_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -320,49 +488,100 @@ impl Context {
 
     /// Allocates a buffer of `size` bytes in device global memory.
     pub fn create_buffer(&mut self, size: usize) -> Buffer {
-        Buffer(self.gm.alloc(size))
+        Buffer { id: self.gm.alloc(size), ctx: self.ctx_id }
+    }
+
+    /// Allocates a buffer sized and initialized from `data`
+    /// (`clCreateBuffer` with `CL_MEM_COPY_HOST_PTR`). Cannot fail: the
+    /// buffer is created to fit.
+    pub fn create_buffer_init(&mut self, data: &[u8]) -> Buffer {
+        let b = Buffer { id: self.gm.alloc(data.len()), ctx: self.ctx_id };
+        self.gm.buffer_mut(b.id).bytes_mut()[..data.len()].copy_from_slice(data);
+        b
+    }
+
+    fn check_handle(&self, b: Buffer) -> Result<(), ApiError> {
+        if b.ctx == self.ctx_id && (b.id as usize) < self.gm.num_buffers() {
+            Ok(())
+        } else {
+            Err(ApiError::InvalidMemObject { handle: b.id })
+        }
     }
 
     /// Writes raw bytes to a buffer (DMA host → device).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `data` exceeds the buffer size.
-    pub fn write_buffer(&mut self, b: Buffer, data: &[u8]) {
-        self.gm.buffer_mut(b.0).bytes_mut()[..data.len()].copy_from_slice(data);
+    /// [`ApiError::InvalidMemObject`] for a foreign handle,
+    /// [`ApiError::BufferOverrun`] when `data` exceeds the buffer size.
+    pub fn write_buffer(&mut self, b: Buffer, data: &[u8]) -> Result<(), ApiError> {
+        self.check_handle(b)?;
+        let dst = self.gm.buffer_mut(b.id).bytes_mut();
+        if data.len() > dst.len() {
+            return Err(ApiError::BufferOverrun {
+                handle: b.id,
+                capacity: dst.len(),
+                len: data.len(),
+            });
+        }
+        dst[..data.len()].copy_from_slice(data);
+        Ok(())
     }
 
     /// Reads the whole buffer back (DMA device → host).
-    pub fn read_buffer(&self, b: Buffer) -> Vec<u8> {
-        self.gm.buffer(b.0).bytes().to_vec()
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::InvalidMemObject`] for a foreign handle.
+    pub fn read_buffer(&self, b: Buffer) -> Result<Vec<u8>, ApiError> {
+        self.check_handle(b)?;
+        Ok(self.gm.buffer(b.id).bytes().to_vec())
     }
 
     /// Writes a slice of `f32` to a buffer.
-    pub fn write_buffer_f32(&mut self, b: Buffer, data: &[f32]) {
+    ///
+    /// # Errors
+    ///
+    /// See [`Context::write_buffer`].
+    pub fn write_buffer_f32(&mut self, b: Buffer, data: &[f32]) -> Result<(), ApiError> {
         let bytes: Vec<u8> = data.iter().flat_map(|x| x.to_le_bytes()).collect();
-        self.write_buffer(b, &bytes);
+        self.write_buffer(b, &bytes)
     }
 
     /// Reads a buffer as `f32`s.
-    pub fn read_buffer_f32(&self, b: Buffer) -> Vec<f32> {
-        self.read_buffer(b)
+    ///
+    /// # Errors
+    ///
+    /// See [`Context::read_buffer`].
+    pub fn read_buffer_f32(&self, b: Buffer) -> Result<Vec<f32>, ApiError> {
+        Ok(self
+            .read_buffer(b)?
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect()
+            .collect())
     }
 
     /// Writes a slice of `i32` to a buffer.
-    pub fn write_buffer_i32(&mut self, b: Buffer, data: &[i32]) {
+    ///
+    /// # Errors
+    ///
+    /// See [`Context::write_buffer`].
+    pub fn write_buffer_i32(&mut self, b: Buffer, data: &[i32]) -> Result<(), ApiError> {
         let bytes: Vec<u8> = data.iter().flat_map(|x| x.to_le_bytes()).collect();
-        self.write_buffer(b, &bytes);
+        self.write_buffer(b, &bytes)
     }
 
     /// Reads a buffer as `i32`s.
-    pub fn read_buffer_i32(&self, b: Buffer) -> Vec<i32> {
-        self.read_buffer(b)
+    ///
+    /// # Errors
+    ///
+    /// See [`Context::read_buffer`].
+    pub fn read_buffer_i32(&self, b: Buffer) -> Result<Vec<i32>, ApiError> {
+        Ok(self
+            .read_buffer(b)?
             .chunks_exact(4)
             .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect()
+            .collect())
     }
 
     /// Direct access to global memory (for the benchmark harness and the
@@ -383,6 +602,14 @@ impl Context {
         nd: NdRange,
     ) -> Result<ExecStats, LaunchError> {
         let args = kernel.collect_args()?;
+        for (i, a) in args.iter().enumerate() {
+            if let ArgValue::Buffer(h) = a {
+                let ctx = kernel.buffer_ctx.get(i).copied().flatten();
+                if ctx != Some(self.ctx_id) || *h as usize >= self.gm.num_buffers() {
+                    return Err(ApiError::InvalidMemObject { handle: *h }.into());
+                }
+            }
+        }
         let ck = kernel.compiled();
 
         // Execution flow of §III-C1: write argument/kernel-pointer/trigger
@@ -432,14 +659,14 @@ mod tests {
         let a = ctx.create_buffer(32 * 4);
         let b = ctx.create_buffer(32 * 4);
         let c = ctx.create_buffer(32 * 4);
-        ctx.write_buffer_f32(a, &(0..32).map(|i| i as f32).collect::<Vec<_>>());
-        ctx.write_buffer_f32(b, &(0..32).map(|i| (i * 2) as f32).collect::<Vec<_>>());
+        ctx.write_buffer_f32(a, &(0..32).map(|i| i as f32).collect::<Vec<_>>()).unwrap();
+        ctx.write_buffer_f32(b, &(0..32).map(|i| (i * 2) as f32).collect::<Vec<_>>()).unwrap();
         let mut k = program.kernel("vadd").unwrap();
         k.set_arg_buffer(0, a).set_arg_buffer(1, b).set_arg_buffer(2, c);
         let stats = ctx.enqueue_ndrange(&k, NdRange::dim1(32, 8)).unwrap();
         assert_eq!(stats.sim.retired, 32);
         assert!(ctx.registers().completion);
-        let out = ctx.read_buffer_f32(c);
+        let out = ctx.read_buffer_f32(c).unwrap();
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, (i * 3) as f32);
         }
@@ -463,6 +690,102 @@ mod tests {
         let err = Program::build("__kernel void k() { undeclared = 1; }", &[], &device)
             .unwrap_err();
         assert!(matches!(err, BuildError::Compile(_)));
+    }
+
+    #[test]
+    fn out_of_range_arg_index_is_deferred_to_enqueue() {
+        let device = Device::system_a();
+        let program = Program::build(VADD, &[], &device).unwrap();
+        let mut ctx = Context::new(device);
+        let a = ctx.create_buffer(16);
+        let mut k = program.kernel("vadd").unwrap();
+        // Index 7 is out of range for a 3-parameter kernel; must not panic.
+        k.set_arg_buffer(0, a)
+            .set_arg_buffer(1, a)
+            .set_arg_buffer(2, a)
+            .set_arg_f32(7, 1.0);
+        let err = ctx.enqueue_ndrange(&k, NdRange::dim1(4, 4)).unwrap_err();
+        match err {
+            LaunchError::Api(e @ ApiError::InvalidArgIndex { index: 7, num_params: 3 }) => {
+                assert_eq!(e.status(), "CL_INVALID_ARG_INDEX");
+            }
+            other => panic!("expected InvalidArgIndex, got {other}"),
+        }
+    }
+
+    #[test]
+    fn arg_kind_mismatch_is_reported() {
+        let device = Device::system_a();
+        let program = Program::build(VADD, &[], &device).unwrap();
+        let mut ctx = Context::new(device);
+        let a = ctx.create_buffer(16);
+        let mut k = program.kernel("vadd").unwrap();
+        // Parameter 1 is a __global pointer; binding a scalar is misuse.
+        k.set_arg_buffer(0, a).set_arg_f32(1, 3.0).set_arg_buffer(2, a);
+        let err = ctx.enqueue_ndrange(&k, NdRange::dim1(4, 4)).unwrap_err();
+        match err {
+            LaunchError::Api(e @ ApiError::ArgKindMismatch { index: 1, .. }) => {
+                assert_eq!(e.status(), "CL_INVALID_ARG_VALUE");
+            }
+            other => panic!("expected ArgKindMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn foreign_buffer_handle_is_rejected() {
+        let device = Device::system_a();
+        let program = Program::build(VADD, &[], &device).unwrap();
+        let mut other_ctx = Context::new(device.clone());
+        for _ in 0..5 {
+            other_ctx.create_buffer(16);
+        }
+        let foreign = other_ctx.create_buffer(16);
+        let mut ctx = Context::new(device);
+        assert!(matches!(
+            ctx.read_buffer(foreign),
+            Err(ApiError::InvalidMemObject { .. })
+        ));
+        assert!(matches!(
+            ctx.write_buffer(foreign, &[0; 4]),
+            Err(ApiError::InvalidMemObject { .. })
+        ));
+        let mut k = program.kernel("vadd").unwrap();
+        k.set_arg_buffer(0, foreign).set_arg_buffer(1, foreign).set_arg_buffer(2, foreign);
+        let err = ctx.enqueue_ndrange(&k, NdRange::dim1(4, 4)).unwrap_err();
+        assert!(matches!(err, LaunchError::Api(ApiError::InvalidMemObject { .. })));
+
+        // A foreign handle whose index *collides* with a live local buffer
+        // must still be rejected — the context tag catches it, not the
+        // index range check.
+        let local = ctx.create_buffer(16);
+        let mut other_ctx2 = Context::new(ctx.device().clone());
+        let colliding = other_ctx2.create_buffer(16);
+        assert!(matches!(
+            ctx.read_buffer(colliding),
+            Err(ApiError::InvalidMemObject { .. })
+        ));
+        assert!(ctx.read_buffer(local).is_ok());
+    }
+
+    #[test]
+    fn oversized_transfer_is_rejected() {
+        let device = Device::system_a();
+        let mut ctx = Context::new(device);
+        let b = ctx.create_buffer(8);
+        let err = ctx.write_buffer(b, &[0u8; 16]).unwrap_err();
+        assert!(matches!(err, ApiError::BufferOverrun { capacity: 8, len: 16, .. }));
+        assert_eq!(err.status(), "CL_INVALID_VALUE");
+        // A fitting transfer still works afterwards.
+        ctx.write_buffer(b, &[1u8; 8]).unwrap();
+        assert_eq!(ctx.read_buffer(b).unwrap(), vec![1u8; 8]);
+    }
+
+    #[test]
+    fn create_buffer_init_round_trips() {
+        let device = Device::system_a();
+        let mut ctx = Context::new(device);
+        let b = ctx.create_buffer_init(&[1, 2, 3, 4]);
+        assert_eq!(ctx.read_buffer(b).unwrap(), vec![1, 2, 3, 4]);
     }
 
     #[test]
@@ -523,13 +846,13 @@ mod register_tests {
         .unwrap();
         let mut ctx = Context::new(device);
         let buf = ctx.create_buffer(8 * 4);
-        ctx.write_buffer_i32(buf, &[0; 8]);
+        ctx.write_buffer_i32(buf, &[0; 8]).unwrap();
         let mut k = program.kernel("add1").unwrap();
         k.set_arg_buffer(0, buf);
         for _ in 0..5 {
             ctx.enqueue_ndrange(&k, NdRange::dim1(8, 4)).unwrap();
         }
-        assert_eq!(ctx.read_buffer_i32(buf), vec![5; 8]);
+        assert_eq!(ctx.read_buffer_i32(buf).unwrap(), vec![5; 8]);
     }
 
     #[test]

@@ -25,12 +25,15 @@ pub struct Channel<T> {
     occ_start: usize,
     /// Total tokens ever pushed (for stats/debug).
     pub total: u64,
+    /// Fault injection: while set, the channel refuses both ends of the
+    /// handshake (stuck-stall), exactly like a wedged valid/stall pair.
+    jammed: bool,
 }
 
 impl<T> Channel<T> {
     /// Creates a channel with the given capacity (≥ 1).
     pub fn new(cap: usize) -> Channel<T> {
-        Channel { q: VecDeque::new(), cap: cap.max(1), visible: 0, occ_start: 0, total: 0 }
+        Channel { q: VecDeque::new(), cap: cap.max(1), visible: 0, occ_start: 0, total: 0, jammed: false }
     }
 
     /// Called once at the start of every cycle.
@@ -39,9 +42,19 @@ impl<T> Channel<T> {
         self.occ_start = self.q.len();
     }
 
+    /// Fault injection: wedges or releases the handshake.
+    pub fn set_jammed(&mut self, jammed: bool) {
+        self.jammed = jammed;
+    }
+
+    /// Whether the handshake is currently wedged by fault injection.
+    pub fn is_jammed(&self) -> bool {
+        self.jammed
+    }
+
     /// Whether a consumer can pop this cycle.
     pub fn can_pop(&self) -> bool {
-        self.visible > 0
+        self.visible > 0 && !self.jammed
     }
 
     /// Peeks the front token (only if visible).
@@ -66,7 +79,7 @@ impl<T> Channel<T> {
 
     /// Whether a producer can push this cycle.
     pub fn can_push(&self) -> bool {
-        self.occ_start < self.cap
+        self.occ_start < self.cap && !self.jammed
     }
 
     /// Pushes a token.
@@ -94,6 +107,36 @@ impl<T> Channel<T> {
     /// Capacity.
     pub fn capacity(&self) -> usize {
         self.cap
+    }
+
+    /// Fault injection: silently removes the front token (models a lost
+    /// valid pulse). Call between `begin_cycle` and the component ticks;
+    /// the cycle-start snapshot is adjusted so consumers never see it.
+    pub fn fault_drop_front(&mut self) -> bool {
+        if self.q.pop_front().is_some() {
+            self.visible = self.visible.saturating_sub(1);
+            self.occ_start = self.occ_start.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<T: Clone> Channel<T> {
+    /// Fault injection: duplicates the front token (models a repeated
+    /// valid pulse). The copy becomes visible next cycle, like any push;
+    /// no-op when the channel is full or empty.
+    pub fn fault_duplicate_front(&mut self) -> bool {
+        if self.q.len() < self.cap {
+            if let Some(front) = self.q.front().cloned() {
+                self.occ_start += 1;
+                self.total += 1;
+                self.q.push_back(front);
+                return true;
+            }
+        }
+        false
     }
 }
 

@@ -1,0 +1,246 @@
+//! Deterministic fault injection for the cycle simulator.
+//!
+//! A [`FaultPlan`] is a list of [`Fault`]s with absolute activation
+//! cycles, carried inside [`crate::machine::SimConfig`]. The machine
+//! applies the plan once per cycle *before* any component ticks, so a
+//! plan is a pure function of the cycle number: the same plan against the
+//! same launch always perturbs the machine identically, which is what
+//! makes the deadlock-forensics self-tests (and bug reproductions)
+//! deterministic.
+//!
+//! The fault classes mirror the ways a real synthesized design wedges:
+//!
+//! * [`Fault::ChannelStuckStall`] — a valid/stall handshake pair stuck
+//!   asserted, so the channel neither accepts nor delivers tokens.
+//! * [`Fault::DramLatencySpike`] — every external-memory access pays
+//!   extra latency for a while (refresh storm, thermal throttling). A
+//!   healthy machine must *tolerate* this: the watchdog may not cry
+//!   deadlock while memory merely runs slow.
+//! * [`Fault::CachePortJam`] — the request wires between the datapath
+//!   and one cache wedge: no new request latches.
+//! * [`Fault::ArbiterWithhold`] — the datapath-cache arbiter stops
+//!   granting: latched requests are never accepted.
+//! * [`Fault::TokenDrop`] / [`Fault::TokenDup`] — a single valid pulse
+//!   lost or repeated on one channel. These corrupt the work-item
+//!   accounting and exist to self-test the detectors: a drop must be
+//!   classified as token loss, a dup must trip an invariant check.
+//!
+//! Channel and cache indices in a plan are taken modulo the machine's
+//! actual component counts, so randomly generated plans
+//! ([`FaultPlan::random`]) stay valid for any kernel.
+
+use crate::channel::Channel;
+use crate::memsys::MemorySystem;
+use crate::token::Token;
+use rand::{Rng, SeedableRng};
+
+/// One injected hardware fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Channel `chan` is stuck-stalled for `cycles` starting at `from`.
+    ChannelStuckStall {
+        /// Machine channel index (modulo the channel count).
+        chan: usize,
+        /// First affected cycle.
+        from: u64,
+        /// Duration; `u64::MAX` = forever.
+        cycles: u64,
+    },
+    /// Every DRAM access pays `extra_latency` more cycles during the window.
+    DramLatencySpike {
+        /// First affected cycle.
+        from: u64,
+        /// Duration.
+        cycles: u64,
+        /// Additional cycles per access.
+        extra_latency: u32,
+    },
+    /// Cache `cache` refuses to latch new requests during the window.
+    CachePortJam {
+        /// Cache index (modulo the cache count).
+        cache: usize,
+        /// First affected cycle.
+        from: u64,
+        /// Duration; `u64::MAX` = forever.
+        cycles: u64,
+    },
+    /// Cache `cache`'s arbiter withholds all grants during the window.
+    ArbiterWithhold {
+        /// Cache index (modulo the cache count).
+        cache: usize,
+        /// First affected cycle.
+        from: u64,
+        /// Duration; `u64::MAX` = forever.
+        cycles: u64,
+    },
+    /// A single token vanishes from channel `chan`: the fault arms at
+    /// cycle `at` and fires once, at the first cycle the channel has a
+    /// front token.
+    TokenDrop {
+        /// Machine channel index (modulo the channel count).
+        chan: usize,
+        /// The cycle the fault arms.
+        at: u64,
+    },
+    /// The front token of channel `chan` is repeated: the fault arms at
+    /// cycle `at` and fires once, at the first cycle the channel holds a
+    /// token and has room for the copy.
+    TokenDup {
+        /// Machine channel index (modulo the channel count).
+        chan: usize,
+        /// The cycle the fault arms.
+        at: u64,
+    },
+}
+
+/// A deterministic schedule of faults for one simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scheduled faults (order irrelevant; effects are idempotent
+    /// within a cycle).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the default: no faults).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Builder-style: adds one fault.
+    #[must_use]
+    pub fn with(mut self, f: Fault) -> FaultPlan {
+        self.faults.push(f);
+        self
+    }
+
+    /// Generates `count` random faults from `seed`, all activating inside
+    /// `[0, horizon)`. Fully deterministic: the same seed always yields
+    /// the same plan.
+    pub fn random(seed: u64, count: usize, horizon: u64) -> FaultPlan {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let horizon = horizon.max(1);
+        let faults = (0..count)
+            .map(|_| {
+                let from = rng.gen_range(0..horizon);
+                let cycles = rng.gen_range(1..horizon.saturating_mul(2).max(2));
+                match rng.gen_range(0..6u32) {
+                    0 => Fault::ChannelStuckStall { chan: rng.gen_range(0..64), from, cycles },
+                    1 => Fault::DramLatencySpike {
+                        from,
+                        cycles,
+                        extra_latency: rng.gen_range(1..2048),
+                    },
+                    2 => Fault::CachePortJam { cache: rng.gen_range(0..8), from, cycles },
+                    3 => Fault::ArbiterWithhold { cache: rng.gen_range(0..8), from, cycles },
+                    4 => Fault::TokenDrop { chan: rng.gen_range(0..64), at: from },
+                    _ => Fault::TokenDup { chan: rng.gen_range(0..64), at: from },
+                }
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+}
+
+fn window_active(now: u64, from: u64, cycles: u64) -> bool {
+    now >= from && now - from < cycles
+}
+
+/// Applies the plan's effects for cycle `now`. Called by the machine
+/// right after `begin_cycle` and before any component ticks; recomputes
+/// every wedge flag from scratch so overlapping windows compose and
+/// expired windows release cleanly. `fired` has one slot per fault and
+/// records which one-shot faults (token drop/dup) already went off, so
+/// an armed fault waits for its first opportunity but never repeats.
+pub(crate) fn apply(
+    plan: &FaultPlan,
+    fired: &mut [bool],
+    now: u64,
+    chans: &mut [Channel<Token>],
+    mem: &mut MemorySystem,
+) {
+    for c in chans.iter_mut() {
+        c.set_jammed(false);
+    }
+    for c in &mut mem.caches {
+        c.set_fault_jam_ports(false);
+        c.set_fault_withhold_grants(false);
+    }
+    let mut dram_extra = 0u32;
+    let nchans = chans.len().max(1);
+    let ncaches = mem.caches.len();
+    for (f, fired) in plan.faults.iter().zip(fired.iter_mut()) {
+        match f {
+            Fault::ChannelStuckStall { chan, from, cycles } => {
+                if window_active(now, *from, *cycles) {
+                    chans[chan % nchans].set_jammed(true);
+                }
+            }
+            Fault::DramLatencySpike { from, cycles, extra_latency } => {
+                if window_active(now, *from, *cycles) {
+                    dram_extra = dram_extra.max(*extra_latency);
+                }
+            }
+            Fault::CachePortJam { cache, from, cycles } => {
+                if ncaches > 0 && window_active(now, *from, *cycles) {
+                    mem.caches[cache % ncaches].set_fault_jam_ports(true);
+                }
+            }
+            Fault::ArbiterWithhold { cache, from, cycles } => {
+                if ncaches > 0 && window_active(now, *from, *cycles) {
+                    mem.caches[cache % ncaches].set_fault_withhold_grants(true);
+                }
+            }
+            Fault::TokenDrop { chan, at } => {
+                if now >= *at && !*fired {
+                    *fired = chans[chan % nchans].fault_drop_front();
+                }
+            }
+            Fault::TokenDup { chan, at } => {
+                if now >= *at && !*fired {
+                    *fired = chans[chan % nchans].fault_duplicate_front();
+                }
+            }
+        }
+    }
+    mem.dram.set_fault_extra_latency(dram_extra);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_edges() {
+        assert!(!window_active(9, 10, 5));
+        assert!(window_active(10, 10, 5));
+        assert!(window_active(14, 10, 5));
+        assert!(!window_active(15, 10, 5));
+        assert!(window_active(u64::MAX - 1, 0, u64::MAX));
+    }
+
+    #[test]
+    fn random_plans_are_deterministic() {
+        let a = FaultPlan::random(42, 8, 10_000);
+        let b = FaultPlan::random(42, 8, 10_000);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 8);
+        let c = FaultPlan::random(43, 8, 10_000);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let p = FaultPlan::none()
+            .with(Fault::TokenDrop { chan: 3, at: 100 })
+            .with(Fault::DramLatencySpike { from: 0, cycles: 50, extra_latency: 10 });
+        assert_eq!(p.faults.len(), 2);
+        assert!(!p.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+}

@@ -81,6 +81,10 @@ pub struct LoopExit {
     pub out: ChanId,
     /// Shared occupancy counter index.
     pub counter: usize,
+    /// Sticky flag: a work-item left the loop while the occupancy counter
+    /// was already zero (e.g. a duplicated token). The machine surfaces
+    /// this as an invariant violation instead of wrapping the counter.
+    pub underflow: bool,
 }
 
 /// The work-group barrier unit: a FIFO that releases one complete
@@ -97,6 +101,11 @@ pub struct BarrierUnit {
     pub buf: VecDeque<Token>,
     /// Tokens of the released work-group still to emit.
     pub releasing: u64,
+    /// Sticky flag: a release window contained work-items of more than one
+    /// work-group — the upstream order-preservation machinery failed (or a
+    /// token was dropped/duplicated by fault injection). The machine
+    /// surfaces this as an invariant violation.
+    pub order_violation: bool,
 }
 
 /// A bounded side FIFO of work-group ids (§IV-F1: "the branch glue
@@ -219,8 +228,14 @@ impl LoopExit {
     pub fn tick(&mut self, chans: &mut [Channel<Token>], counters: &mut [u64]) {
         if chans[self.inp.0].can_pop() && chans[self.out.0].can_push() {
             let tok = chans[self.inp.0].pop();
-            debug_assert!(counters[self.counter] > 0, "loop exit with zero occupancy");
-            counters[self.counter] -= 1;
+            if counters[self.counter] == 0 {
+                // Never happens in a correct machine (Theorem 1); reachable
+                // under token-duplication fault injection. Saturate instead
+                // of wrapping and let the machine report it.
+                self.underflow = true;
+            } else {
+                counters[self.counter] -= 1;
+            }
             chans[self.out.0].push(tok);
         }
     }
@@ -237,10 +252,12 @@ impl BarrierUnit {
         // Begin releasing when a full work-group has arrived.
         if self.releasing == 0 && self.buf.len() as u64 >= self.wg_size {
             let wg = self.buf[0].wg;
-            debug_assert!(
-                self.buf.iter().take(self.wg_size as usize).all(|t| t.wg == wg),
-                "barrier received interleaved work-groups (work-group order violated)"
-            );
+            if !self.buf.iter().take(self.wg_size as usize).all(|t| t.wg == wg) {
+                // Work-group order violated upstream; record it (the
+                // machine reports it when invariant checking is on) and
+                // release anyway so the hang does not mask the root cause.
+                self.order_violation = true;
+            }
             self.releasing = self.wg_size;
         }
         if self.releasing > 0 && chans[self.out.0].can_push() {
@@ -416,6 +433,7 @@ mod tests {
             wg_size: 2,
             buf: VecDeque::new(),
             releasing: 0,
+            order_violation: false,
         };
         begin(&mut chans);
         chans[0].push(tok(1, 0, &[]));

@@ -38,6 +38,8 @@
 //! ```
 
 pub mod channel;
+pub mod diag;
+pub mod fault;
 pub mod glue;
 pub mod launch;
 pub mod machine;
@@ -45,4 +47,6 @@ pub mod memsys;
 pub mod token;
 pub mod units;
 
+pub use diag::{derived_deadlock_window, DeadlockReport, HangKind};
+pub use fault::{Fault, FaultPlan};
 pub use machine::{run, SimConfig, SimError, SimResult};

@@ -3,6 +3,8 @@
 //! work-item counter that triggers the final cache flush.
 
 use crate::channel::{ChanId, Channel};
+use crate::diag::{self, DeadlockReport};
+use crate::fault::{self, FaultPlan};
 use crate::glue::{BarrierUnit, Branch, DecisionFifo, LoopEnter, LoopExit, Select};
 use crate::launch::LaunchCtx;
 use crate::memsys::{CachePlan, MemTarget, MemorySystem};
@@ -29,8 +31,22 @@ pub struct SimConfig {
     pub num_instances: u32,
     /// Hard cycle budget.
     pub max_cycles: u64,
-    /// Cycles without progress before reporting a deadlock.
+    /// Cycles without progress before reporting a deadlock. `0` (the
+    /// default) derives the window from the machine itself — see
+    /// [`crate::diag::derived_deadlock_window`] for the formula.
     pub deadlock_window: u64,
+    /// Cycles without a single work-item retiring before reporting a
+    /// livelock, even though tokens are still moving (an infinite loop
+    /// looks like this). `0` (the default) = 64× the deadlock window.
+    pub livelock_window: u64,
+    /// Deterministic fault-injection schedule (empty = no faults).
+    pub faults: FaultPlan,
+    /// Promote the machine's internal debug assertions (unit capacity
+    /// `≤ L_F + 1`, loop occupancy `≤ N_max`, work-group order at
+    /// barriers) to structured [`SimError::InvariantViolation`] returns,
+    /// checked every cycle. Off by default: the checks cost time and the
+    /// invariants hold by construction in a fault-free machine.
+    pub check_invariants: bool,
     /// Ablation: collapse all global accesses into one shared cache
     /// instead of one per (buffer × datapath) (§V-A).
     pub force_shared_cache: bool,
@@ -43,7 +59,10 @@ impl Default for SimConfig {
             dram: DramConfig::default(),
             num_instances: 1,
             max_cycles: 2_000_000_000,
-            deadlock_window: 100_000,
+            deadlock_window: 0,
+            livelock_window: 0,
+            faults: FaultPlan::default(),
+            check_invariants: false,
             force_shared_cache: false,
         }
     }
@@ -52,16 +71,29 @@ impl Default for SimConfig {
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
-    /// No token moved for the configured window (a real deadlock would
-    /// look like this; so does an infinite single-work-item loop).
+    /// A watchdog fired: no progress (or no retirement) for the
+    /// configured window. The attached forensic report classifies the
+    /// hang (cyclic wait / livelock / starvation / token loss) and names
+    /// the culprit components.
     Deadlock {
         /// Cycle at which progress stopped.
         cycle: u64,
+        /// Structured forensics built from the frozen machine state.
+        report: Box<DeadlockReport>,
     },
     /// The cycle budget ran out.
     Timeout {
         /// The configured budget.
         max_cycles: u64,
+    },
+    /// An internal machine invariant broke (only reported with
+    /// [`SimConfig::check_invariants`], or on work-item over-retirement,
+    /// which is always checked).
+    InvariantViolation {
+        /// Cycle of the violation.
+        cycle: u64,
+        /// Which invariant, and where.
+        what: String,
     },
     /// Bad launch arguments.
     Args(InterpError),
@@ -70,8 +102,13 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { cycle } => write!(f, "datapath made no progress after cycle {cycle}"),
+            SimError::Deadlock { cycle, report } => {
+                write!(f, "datapath made no progress after cycle {cycle}: {}", report.summary())
+            }
             SimError::Timeout { max_cycles } => write!(f, "exceeded {max_cycles} simulated cycles"),
+            SimError::InvariantViolation { cycle, what } => {
+                write!(f, "machine invariant violated at cycle {cycle}: {what}")
+            }
             SimError::Args(e) => write!(f, "{e}"),
         }
     }
@@ -108,7 +145,7 @@ pub struct SimResult {
     pub issue_stalls: u64,
 }
 
-enum Comp {
+pub(crate) enum Comp {
     Pipe(PipelineSim),
     Branch(Branch),
     Select(Select),
@@ -161,6 +198,7 @@ pub fn run(
         mem: &mut mem,
         chans: Vec::new(),
         comps: Vec::new(),
+        metas: Vec::new(),
         fifos: Vec::new(),
         counters: Vec::new(),
         local_next_port: vec![0; kernel.local_vars.len() * n_inst],
@@ -183,18 +221,23 @@ pub fn run(
         dispatchers.push(Dispatcher { entry, retire, cur: None, active: HashMap::new() });
     }
 
-    let Builder { mut chans, mut comps, mut fifos, mut counters, .. } = b;
+    let Builder { mut chans, mut comps, mut fifos, mut counters, metas, .. } = b;
 
     // ---- main clock loop -------------------------------------------------
     let total = launch.total_work_items();
     let num_wgs = nd.num_groups();
     let wg_size = launch.wg_size();
     let gate_wgs = kernel.uses_local;
+    let (deadlock_window, livelock_window) =
+        diag::effective_windows(cfg, dp.l_datapath, wg_size);
     let mut next_wg = 0u64;
     let mut retired = 0u64;
     let mut now = 0u64;
+    let mut faults_fired = vec![false; cfg.faults.faults.len()];
     let mut last_metric = u64::MAX;
     let mut last_progress = 0u64;
+    let mut last_retired = u64::MAX;
+    let mut last_retire_progress = 0u64;
 
     loop {
         if now > cfg.max_cycles {
@@ -202,6 +245,9 @@ pub fn run(
         }
         for c in &mut chans {
             c.begin_cycle();
+        }
+        if !cfg.faults.is_empty() {
+            fault::apply(&cfg.faults, &mut faults_fired, now, &mut chans, &mut mem);
         }
         // Work-item dispatcher (§III-B): one work-item per cycle per
         // datapath, work-groups streamed contiguously.
@@ -245,12 +291,41 @@ pub fn run(
                 let tok = chans[d.retire.0].pop();
                 retired += 1;
                 mem.private.release(tok.wi);
-                if let Some(rem) = d.active.get_mut(&tok.wg) {
-                    *rem -= 1;
-                    if *rem == 0 {
-                        d.active.remove(&tok.wg);
+                // A retirement for a work-group that already completed
+                // means a token was duplicated somewhere; always checked
+                // (the global `retired > total` check below cannot see it,
+                // because the run would terminate at `total` first).
+                match d.active.get_mut(&tok.wg) {
+                    Some(rem) => {
+                        *rem -= 1;
+                        if *rem == 0 {
+                            d.active.remove(&tok.wg);
+                        }
+                    }
+                    None => {
+                        return Err(SimError::InvariantViolation {
+                            cycle: now,
+                            what: format!(
+                                "work-item {} of work-group {} retired after the \
+                                 group already completed (duplicated token)",
+                                tok.wi, tok.wg
+                            ),
+                        });
                     }
                 }
+            }
+        }
+        // Over-retirement means corrupted work-item accounting (reachable
+        // only under token-duplication faults); always checked.
+        if retired > total {
+            return Err(SimError::InvariantViolation {
+                cycle: now,
+                what: format!("{retired} work-items retired but only {total} were launched"),
+            });
+        }
+        if cfg.check_invariants {
+            if let Some(what) = check_invariants(&comps, &counters, &metas) {
+                return Err(SimError::InvariantViolation { cycle: now, what });
             }
         }
 
@@ -275,70 +350,110 @@ pub fn run(
             });
         }
 
-        // Progress / deadlock detection.
+        // Progress / deadlock detection. Two watchdogs: the progress
+        // watchdog (no token moved anywhere) and the retire-progress
+        // watchdog (tokens move but nothing ever finishes — a livelock).
         let metric = retired
             + chans.iter().map(|c| c.total).sum::<u64>()
             + mem.cache_stats().accesses;
         if metric != last_metric {
             last_metric = metric;
             last_progress = now;
-        } else if now - last_progress > cfg.deadlock_window {
+        }
+        if retired != last_retired {
+            last_retired = retired;
+            last_retire_progress = now;
+        }
+        if mem.has_pending_events(now) {
+            // Memory has responses scheduled for future cycles: the
+            // machine is slow, not stuck (e.g. a DRAM latency spike).
+            last_progress = now;
+        }
+        let fired = if now - last_progress > deadlock_window {
+            Some((last_progress, false))
+        } else if now - last_retire_progress > livelock_window {
+            Some((last_retire_progress, true))
+        } else {
+            None
+        };
+        if let Some((stalled_since, tokens_flowing)) = fired {
+            let report = diag::build_report(&diag::MachineView {
+                chans: &chans,
+                comps: &comps,
+                metas: &metas,
+                counters: &counters,
+                fifos: &fifos,
+                mem: &mem,
+                dispatchers: dispatchers
+                    .iter()
+                    .map(|d| diag::DispatcherView {
+                        entry: d.entry.0,
+                        retire: d.retire.0,
+                        pending: d.cur.is_some() || next_wg < num_wgs,
+                        slots_full: gate_wgs && (d.active.len() as u64) >= dp.wg_slots,
+                        active: {
+                            let mut a: Vec<(u32, u64)> =
+                                d.active.iter().map(|(&wg, &rem)| (wg, rem)).collect();
+                            a.sort_unstable();
+                            a
+                        },
+                    })
+                    .collect(),
+                retired,
+                total,
+                stalled_since,
+                tokens_flowing,
+            });
+            // The legacy SOFF_SIM_DEBUG dump is now a thin wrapper over
+            // the structured report.
             if std::env::var_os("SOFF_SIM_DEBUG").is_some() {
-                dump_state(&chans, &comps, &counters, &fifos);
+                eprintln!("{report}");
             }
-            return Err(SimError::Deadlock { cycle: last_progress });
+            return Err(SimError::Deadlock { cycle: stalled_since, report: Box::new(report) });
         }
         now += 1;
     }
 }
 
-/// Prints the stuck state (enable with `SOFF_SIM_DEBUG=1`).
-fn dump_state(chans: &[Channel<Token>], comps: &[Comp], counters: &[u64], fifos: &[DecisionFifo]) {
-    eprintln!("--- deadlock dump ---");
-    for (i, c) in chans.iter().enumerate() {
-        if !c.is_empty() {
-            eprintln!("chan {i}: {}/{} tokens (front wi {:?})", c.len(), c.capacity(), c.front().map(|t| t.wi));
-        }
-    }
-    eprintln!("counters: {counters:?}");
-    for (i, f) in fifos.iter().enumerate() {
-        if !f.q.is_empty() {
-            eprintln!("decision fifo {i}: {} entries, head={:?} cap={}", f.q.len(), f.q.front(), f.cap);
-        }
-    }
-    for (i, c) in comps.iter().enumerate() {
-        match c {
+/// Per-cycle invariant sweep ([`SimConfig::check_invariants`]): the debug
+/// assertions of the fault-free machine, promoted to structured errors.
+fn check_invariants(comps: &[Comp], counters: &[u64], metas: &[String]) -> Option<String> {
+    for (ci, comp) in comps.iter().enumerate() {
+        let name = || {
+            metas.get(ci).cloned().unwrap_or_else(|| format!("comp {ci}"))
+        };
+        match comp {
             Comp::Pipe(p) => {
-                eprintln!(
-                    "comp {i}: pipeline in={} out={}{}",
-                    p.in_chan.0,
-                    p.out_chan.0,
-                    if p.is_empty() { "" } else { " HOLDING" }
-                );
+                if let Some(what) = p.check_capacity_invariant() {
+                    return Some(format!("{}: {what}", name()));
+                }
             }
-            Comp::Barrier(b) => {
-                eprintln!(
-                    "comp {i}: barrier in={} out={} buf={} releasing={}",
-                    b.inp.0, b.out.0, b.buf.len(), b.releasing
-                );
+            Comp::Enter(e) if counters[e.counter] > e.nmax => {
+                return Some(format!(
+                    "{}: loop occupancy {} exceeds N_max {}",
+                    name(),
+                    counters[e.counter],
+                    e.nmax
+                ));
             }
-            Comp::Enter(e) => {
-                eprintln!(
-                    "comp {i}: enter outside={} back={} out={} counter#{}={} nmax={} swgr={} cur_wg={}",
-                    e.outside.0, e.backedge.0, e.out.0, e.counter, counters[e.counter], e.nmax, e.swgr, e.cur_wg
-                );
+            Comp::Exit(x) if x.underflow => {
+                return Some(format!(
+                    "{}: work-item left the loop with occupancy already zero \
+                     (duplicated token?)",
+                    name()
+                ));
             }
-            Comp::Exit(x) => eprintln!("comp {i}: exit in={} out={} counter#{}", x.inp.0, x.out.0, x.counter),
-            Comp::Branch(b) => eprintln!(
-                "comp {i}: branch in={} t={} f={} fifo={:?}",
-                b.inp.0, b.taken.0 .0, b.not_taken.0 .0, b.decisions
-            ),
-            Comp::Select(sl) => eprintln!(
-                "comp {i}: select t={} f={} out={} fifo={:?}",
-                sl.from_taken.0, sl.from_not_taken.0, sl.out.0, sl.decisions
-            ),
+            Comp::Barrier(b) if b.order_violation => {
+                return Some(format!(
+                    "{}: barrier release window mixed work-groups \
+                     (work-group order violated upstream)",
+                    name()
+                ));
+            }
+            _ => {}
         }
     }
+    None
 }
 
 /// Extension used by the machine: the entry block of the datapath root.
@@ -378,6 +493,9 @@ struct Builder<'a> {
     mem: &'a mut MemorySystem,
     chans: Vec<Channel<Token>>,
     comps: Vec<Comp>,
+    /// Human-readable name per component (parallel to `comps`), consumed
+    /// by the deadlock forensics to name culprits.
+    metas: Vec<String>,
     fifos: Vec<DecisionFifo>,
     counters: Vec<u64>,
     local_next_port: Vec<usize>,
@@ -394,6 +512,11 @@ impl<'a> Builder<'a> {
     fn new_chan(&mut self, cap: usize) -> ChanId {
         self.chans.push(Channel::new(cap));
         ChanId(self.chans.len() - 1)
+    }
+
+    fn push_comp(&mut self, c: Comp, label: String) {
+        self.comps.push(c);
+        self.metas.push(label);
     }
 
     fn basic_idx(&self, b: BlockId) -> usize {
@@ -434,6 +557,7 @@ impl<'a> Builder<'a> {
         map: Option<Mapping>,
     ) {
         let bp = &self.dp.basics[bidx];
+        let block = bp.dfg.block;
         let k = self.k;
         let plan = self.plan;
         let pa = self.pa;
@@ -484,7 +608,8 @@ impl<'a> Builder<'a> {
                 }
             },
         );
-        self.comps.push(Comp::Pipe(pipe));
+        let label = format!("pipeline {} (inst {})", block, self.inst);
+        self.push_comp(Comp::Pipe(pipe), label);
     }
 
     /// Builds `node`, consuming tokens from `in_chan` (signature =
@@ -513,21 +638,27 @@ impl<'a> Builder<'a> {
                 let sel_f = self.new_chan(GLUE_CAP);
                 let then_cap = then.max_capacity(&self.dp.basics);
                 let decisions = if *order_fifo { Some(self.new_fifo(then_cap)) } else { None };
-                self.comps.push(Comp::Branch(Branch {
-                    inp: raw,
-                    cond_idx: self.cond_index(b),
-                    taken: (then_in, self.map_edge(b, Some(then_entry))),
-                    not_taken: (sel_f, self.map_edge(b, succ)),
-                    decisions,
-                }));
+                self.push_comp(
+                    Comp::Branch(Branch {
+                        inp: raw,
+                        cond_idx: self.cond_index(b),
+                        taken: (then_in, self.map_edge(b, Some(then_entry))),
+                        not_taken: (sel_f, self.map_edge(b, succ)),
+                        decisions,
+                    }),
+                    format!("branch {b} (inst {})", self.inst),
+                );
                 self.build_node(then, then_in, sel_t, succ);
-                self.comps.push(Comp::Select(Select {
-                    from_taken: sel_t,
-                    from_not_taken: sel_f,
-                    out: out_chan,
-                    decisions,
-                    rr: false,
-                }));
+                self.push_comp(
+                    Comp::Select(Select {
+                        from_taken: sel_t,
+                        from_not_taken: sel_f,
+                        out: out_chan,
+                        decisions,
+                        rr: false,
+                    }),
+                    format!("select {b} (inst {})", self.inst),
+                );
             }
             PipeNode::IfThenElse { cond, then, els, order_fifo } => {
                 let b = self.dp.basics[*cond].dfg.block;
@@ -543,22 +674,28 @@ impl<'a> Builder<'a> {
                     .max_capacity(&self.dp.basics)
                     .max(els.max_capacity(&self.dp.basics));
                 let decisions = if *order_fifo { Some(self.new_fifo(cap)) } else { None };
-                self.comps.push(Comp::Branch(Branch {
-                    inp: raw,
-                    cond_idx: self.cond_index(b),
-                    taken: (then_in, self.map_edge(b, Some(then_entry))),
-                    not_taken: (els_in, self.map_edge(b, Some(els_entry))),
-                    decisions,
-                }));
+                self.push_comp(
+                    Comp::Branch(Branch {
+                        inp: raw,
+                        cond_idx: self.cond_index(b),
+                        taken: (then_in, self.map_edge(b, Some(then_entry))),
+                        not_taken: (els_in, self.map_edge(b, Some(els_entry))),
+                        decisions,
+                    }),
+                    format!("branch {b} (inst {})", self.inst),
+                );
                 self.build_node(then, then_in, sel_t, succ);
                 self.build_node(els, els_in, sel_f, succ);
-                self.comps.push(Comp::Select(Select {
-                    from_taken: sel_t,
-                    from_not_taken: sel_f,
-                    out: out_chan,
-                    decisions,
-                    rr: false,
-                }));
+                self.push_comp(
+                    Comp::Select(Select {
+                        from_taken: sel_t,
+                        from_not_taken: sel_f,
+                        out: out_chan,
+                        decisions,
+                        rr: false,
+                    }),
+                    format!("select {b} (inst {})", self.inst),
+                );
             }
             PipeNode::While { cond, body, nmax, backedge_fifo, swgr } => {
                 let b = self.dp.basics[*cond].dfg.block;
@@ -567,28 +704,37 @@ impl<'a> Builder<'a> {
                 let backedge = self.new_chan(*backedge_fifo as usize + 1);
                 let counter = self.new_counter();
                 let nmax_eff = self.effective_nmax(*nmax, body);
-                self.comps.push(Comp::Enter(LoopEnter {
-                    outside: in_chan,
-                    backedge,
-                    out: enter_out,
-                    counter,
-                    nmax: nmax_eff,
-                    swgr: *swgr,
-                    cur_wg: 0,
-                }));
+                self.push_comp(
+                    Comp::Enter(LoopEnter {
+                        outside: in_chan,
+                        backedge,
+                        out: enter_out,
+                        counter,
+                        nmax: nmax_eff,
+                        swgr: *swgr,
+                        cur_wg: 0,
+                    }),
+                    format!("loop-enter {b} (inst {})", self.inst),
+                );
                 let raw = self.new_chan(GLUE_CAP);
                 self.build_basic(*cond, enter_out, raw, None);
                 let body_in = self.new_chan(GLUE_CAP);
                 let exit_in = self.new_chan(GLUE_CAP);
-                self.comps.push(Comp::Branch(Branch {
-                    inp: raw,
-                    cond_idx: self.cond_index(b),
-                    taken: (body_in, self.map_edge(b, Some(body_entry))),
-                    not_taken: (exit_in, self.map_edge(b, succ)),
-                    decisions: None,
-                }));
+                self.push_comp(
+                    Comp::Branch(Branch {
+                        inp: raw,
+                        cond_idx: self.cond_index(b),
+                        taken: (body_in, self.map_edge(b, Some(body_entry))),
+                        not_taken: (exit_in, self.map_edge(b, succ)),
+                        decisions: None,
+                    }),
+                    format!("loop-branch {b} (inst {})", self.inst),
+                );
                 self.build_node(body, body_in, backedge, Some(b));
-                self.comps.push(Comp::Exit(LoopExit { inp: exit_in, out: out_chan, counter }));
+                self.push_comp(
+                    Comp::Exit(LoopExit { inp: exit_in, out: out_chan, counter, underflow: false }),
+                    format!("loop-exit {b} (inst {})", self.inst),
+                );
             }
             PipeNode::SelfLoop { body, nmax, backedge_fifo, swgr } => {
                 let body_entry = entry_of(body, &self.dp.basics);
@@ -596,15 +742,18 @@ impl<'a> Builder<'a> {
                 let backedge = self.new_chan(*backedge_fifo as usize + 1);
                 let counter = self.new_counter();
                 let nmax_eff = self.effective_nmax(*nmax, body);
-                self.comps.push(Comp::Enter(LoopEnter {
-                    outside: in_chan,
-                    backedge,
-                    out: enter_out,
-                    counter,
-                    nmax: nmax_eff,
-                    swgr: *swgr,
-                    cur_wg: 0,
-                }));
+                self.push_comp(
+                    Comp::Enter(LoopEnter {
+                        outside: in_chan,
+                        backedge,
+                        out: enter_out,
+                        counter,
+                        nmax: nmax_eff,
+                        swgr: *swgr,
+                        cur_wg: 0,
+                    }),
+                    format!("loop-enter {body_entry} (inst {})", self.inst),
+                );
                 // The body's last block computes the loop condition; split
                 // it off and route its raw output through the back branch.
                 let (prefix, last): (&[PipeNode], usize) = match body.as_ref() {
@@ -629,14 +778,25 @@ impl<'a> Builder<'a> {
                 let raw = self.new_chan(GLUE_CAP);
                 self.build_basic(last, last_in, raw, None);
                 let exit_in = self.new_chan(GLUE_CAP);
-                self.comps.push(Comp::Branch(Branch {
-                    inp: raw,
-                    cond_idx: self.cond_index(last_block),
-                    taken: (backedge, self.map_edge(last_block, Some(body_entry))),
-                    not_taken: (exit_in, self.map_edge(last_block, succ)),
-                    decisions: None,
-                }));
-                self.comps.push(Comp::Exit(LoopExit { inp: exit_in, out: out_chan, counter }));
+                self.push_comp(
+                    Comp::Branch(Branch {
+                        inp: raw,
+                        cond_idx: self.cond_index(last_block),
+                        taken: (backedge, self.map_edge(last_block, Some(body_entry))),
+                        not_taken: (exit_in, self.map_edge(last_block, succ)),
+                        decisions: None,
+                    }),
+                    format!("loop-branch {last_block} (inst {})", self.inst),
+                );
+                self.push_comp(
+                    Comp::Exit(LoopExit {
+                        inp: exit_in,
+                        out: out_chan,
+                        counter,
+                        underflow: false,
+                    }),
+                    format!("loop-exit {last_block} (inst {})", self.inst),
+                );
             }
         }
     }
@@ -665,13 +825,17 @@ impl<'a> Builder<'a> {
             match child {
                 PipeNode::Barrier { .. } => {
                     let out = if is_last { out_chan } else { self.new_chan(GLUE_CAP) };
-                    self.comps.push(Comp::Barrier(BarrierUnit {
-                        inp: cur_in,
-                        out,
-                        wg_size: self.wg_size,
-                        buf: VecDeque::new(),
-                        releasing: 0,
-                    }));
+                    self.push_comp(
+                        Comp::Barrier(BarrierUnit {
+                            inp: cur_in,
+                            out,
+                            wg_size: self.wg_size,
+                            buf: VecDeque::new(),
+                            releasing: 0,
+                            order_violation: false,
+                        }),
+                        format!("barrier (inst {})", self.inst),
+                    );
                     cur_in = out;
                 }
                 _ => {

@@ -183,6 +183,20 @@ impl MemorySystem {
         }
     }
 
+    /// Whether any memory component still has a timed event scheduled in
+    /// the future (in-flight cache fills, undelivered local/private
+    /// responses). While true, lack of datapath progress means "memory is
+    /// slow", not "the machine is wedged" — the deadlock watchdog must
+    /// hold fire.
+    pub fn has_pending_events(&self, now: u64) -> bool {
+        self.caches.iter().any(|c| c.has_pending_events(now))
+            || self.locals.iter().any(|l| l.has_pending_events(now))
+            || self
+                .responses_private
+                .values()
+                .any(|q| q.iter().any(|(ready, _)| *ready > now))
+    }
+
     /// Advances caches and local blocks one cycle.
     pub fn tick(&mut self, now: u64, gm: &mut GlobalMemory) {
         for c in &mut self.caches {

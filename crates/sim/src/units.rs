@@ -235,6 +235,82 @@ impl PipelineSim {
         self.units.iter().all(|u| u.held() == 0) && self.edges.iter().all(|e| e.is_empty())
     }
 
+    /// Total work-item tokens inside the pipeline (units + internal edges).
+    pub fn holding(&self) -> usize {
+        self.units.iter().map(|u| u.held()).sum::<usize>()
+            + self.edges.iter().map(|e| e.len()).sum::<usize>()
+    }
+
+    /// Memory targets this pipeline is currently waiting on: one entry per
+    /// memory unit with issued-but-unanswered requests (target, count).
+    pub fn mem_waits(&self) -> Vec<(MemTarget, usize)> {
+        self.units
+            .iter()
+            .filter_map(|u| match &u.engine {
+                Engine::Mem { target, pending, .. } if !pending.is_empty() => {
+                    Some((*target, pending.len()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Per-unit hold state for deadlock forensics: `(unit index, kind,
+    /// held, capacity L_F + 1)` for every unit currently holding tokens.
+    pub fn unit_holds(&self) -> Vec<(usize, &'static str, usize, usize)> {
+        self.units
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.held() > 0)
+            .map(|(i, u)| {
+                let kind = match &u.engine {
+                    Engine::Source { .. } => "source",
+                    Engine::Sink { .. } => "sink",
+                    Engine::Compute { .. } => "compute",
+                    Engine::Mem { .. } => "mem",
+                };
+                (i, kind, u.held(), u.lf as usize + 1)
+            })
+            .collect()
+    }
+
+    /// Memory targets this pipeline wants to issue to but cannot: a unit
+    /// has operands ready and free capacity, yet the target refuses the
+    /// request (port latch busy or jammed). Distinguishes "waiting on a
+    /// wedged cache" from ordinary pipeline stalls in the wait-for graph.
+    pub fn mem_issue_blocked(&self, mem: &MemorySystem) -> Vec<MemTarget> {
+        self.units
+            .iter()
+            .filter_map(|u| match &u.engine {
+                Engine::Mem { target, port, pending, .. } => {
+                    let ready = !u.ins.is_empty()
+                        && u.ins.iter().all(|&ei| self.edges[ei].can_pop());
+                    let has_room = pending.len() + u.internal.len() < u.lf as usize + 1;
+                    if ready && has_room && !mem.can_request(*target, *port) {
+                        Some(*target)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Checks the fully-pipelined capacity invariant (§IV-C): no unit may
+    /// ever hold more than `L_F + 1` work-items. Returns a description of
+    /// the first violation found.
+    pub fn check_capacity_invariant(&self) -> Option<String> {
+        self.units.iter().enumerate().find_map(|(i, u)| {
+            let cap = u.lf as usize + 1;
+            if u.held() > cap {
+                Some(format!("unit {i} holds {} work-items, capacity L_F+1 = {cap}", u.held()))
+            } else {
+                None
+            }
+        })
+    }
+
     /// Advances one cycle.
     pub fn tick(
         &mut self,

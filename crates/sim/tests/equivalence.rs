@@ -12,7 +12,6 @@ use soff_ir::interp;
 use soff_ir::ir::NdRange;
 use soff_ir::mem::{ArgValue, GlobalMemory};
 use soff_sim::machine::{run, SimConfig};
-use soff_frontend::types::Scalar;
 
 /// Compiles a kernel, builds buffers from the spec, runs both the
 /// interpreter and the simulator (with `instances` datapaths), and
@@ -108,7 +107,7 @@ fn vadd_with_two_instances() {
 
 #[test]
 fn branches_match() {
-    let a: Vec<i32> = (0..96).map(|i| (i * 37 % 19) as i32 - 9).collect();
+    let a: Vec<i32> = (0..96).map(|i| (i * 37 % 19) - 9).collect();
     check(
         "__kernel void k(__global int* a) {
             int i = get_global_id(0);
@@ -164,7 +163,7 @@ fn nested_loops_match() {
 fn break_continue_return_match() {
     // Reads come from a separate read-only buffer: work-items write only
     // their own slot of `o`, so interpreter and simulator orders agree.
-    let a: Vec<i32> = (0..32).map(|i| (i % 11) as i32).collect();
+    let a: Vec<i32> = (0..32).map(|i| i % 11).collect();
     check(
         "__kernel void k(__global int* a, __global int* o, int n) {
             int i = get_global_id(0);
@@ -244,7 +243,7 @@ fn barrier_in_loop_matches() {
 
 #[test]
 fn atomics_match() {
-    let d: Vec<i32> = (0..128).map(|i| (i * 13 % 8) as i32).collect();
+    let d: Vec<i32> = (0..128).map(|i| i * 13 % 8).collect();
     check(
         "__kernel void hist(__global int* data, __global int* bins) {
             int i = get_global_id(0);
@@ -329,7 +328,7 @@ fn select_and_ternary_match() {
 fn irregular_gather_matches() {
     // Indirect accesses (spmv-style): exercises per-buffer caches with an
     // index stream.
-    let idx: Vec<i32> = (0..64).map(|i| ((i * 29) % 64) as i32).collect();
+    let idx: Vec<i32> = (0..64).map(|i| (i * 29) % 64).collect();
     let x: Vec<f32> = (0..64).map(|i| i as f32 * 0.1).collect();
     check(
         "__kernel void gather(__global int* idx, __global float* x, __global float* y) {

@@ -1,0 +1,299 @@
+//! Fault-injection regression tests: every fault class must be detected
+//! within two watchdog windows, classified correctly, and the report must
+//! name the culprit. Fault-free runs must never yield a report, and the
+//! invariant checker must not perturb results.
+
+use proptest::prelude::*;
+use soff_datapath::{Datapath, LatencyModel};
+use soff_ir::ir::NdRange;
+use soff_ir::mem::{ArgValue, GlobalMemory};
+use soff_sim::diag::HangKind;
+use soff_sim::fault::{Fault, FaultPlan};
+use soff_sim::machine::{run, SimConfig, SimError};
+
+fn compile(src: &str) -> (soff_ir::ir::Kernel, Datapath) {
+    let parsed = soff_frontend::compile(src, &[]).unwrap();
+    let module = soff_ir::build::lower(&parsed).unwrap();
+    let kernel = module.kernels.into_iter().next().unwrap();
+    let dp = Datapath::build(&kernel, &LatencyModel::default());
+    (kernel, dp)
+}
+
+/// A memory-touching kernel that keeps the cache and channels busy.
+const MEMCOPY: &str = "__kernel void mc(__global const int* a, __global int* b) {
+    int i = get_global_id(0);
+    b[i] = a[i] + 1;
+}";
+
+const WINDOW: u64 = 2_000;
+
+/// Runs MEMCOPY with `plan`; `budget` bounds detection latency — if the
+/// watchdog were slower than that, the run returns `Timeout` and the
+/// caller's match fails.
+fn run_memcopy(plan: FaultPlan, budget: u64) -> Result<soff_sim::SimResult, SimError> {
+    let (kernel, dp) = compile(MEMCOPY);
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc(256 * 4);
+    let b = gm.alloc(256 * 4);
+    let cfg = SimConfig {
+        deadlock_window: WINDOW,
+        livelock_window: 64 * WINDOW,
+        max_cycles: budget,
+        faults: plan,
+        ..SimConfig::default()
+    };
+    run(
+        &kernel,
+        &dp,
+        &cfg,
+        NdRange::dim1(256, 8),
+        &[ArgValue::Buffer(a), ArgValue::Buffer(b)],
+        &mut gm,
+    )
+}
+
+fn expect_report(r: Result<soff_sim::SimResult, SimError>) -> soff_sim::DeadlockReport {
+    match r {
+        Err(SimError::Deadlock { report, .. }) => *report,
+        other => panic!("expected a deadlock report, got {other:?}"),
+    }
+}
+
+#[test]
+fn stuck_stall_channel_is_starvation_with_named_channel() {
+    // Channel 0 is instance 0's dispatcher entry; wedging it stops the
+    // whole machine once in-flight work drains.
+    let plan = FaultPlan::none().with(Fault::ChannelStuckStall {
+        chan: 0,
+        from: 10,
+        cycles: u64::MAX,
+    });
+    // Detection must fit in fault time + drain slack + 2 windows.
+    let report = expect_report(run_memcopy(plan, 10 + 1_000 + 2 * WINDOW));
+    assert_eq!(report.kind, HangKind::Starvation, "report: {report}");
+    assert!(
+        report.culprits.iter().any(|c| c.contains("channel 0")),
+        "culprits must name the wedged channel: {:?}",
+        report.culprits
+    );
+    assert!(
+        report.channels.iter().any(|c| c.id == 0 && c.jammed),
+        "channel snapshot must show the jam"
+    );
+}
+
+#[test]
+fn cache_port_jam_is_starvation_with_named_cache() {
+    let plan = FaultPlan::none().with(Fault::CachePortJam {
+        cache: 0,
+        from: 100,
+        cycles: u64::MAX,
+    });
+    let report = expect_report(run_memcopy(plan, 100 + 1_000 + 2 * WINDOW));
+    assert_eq!(report.kind, HangKind::Starvation, "report: {report}");
+    assert!(
+        report.culprits.iter().any(|c| c.contains("cache")),
+        "culprits must name a cache: {:?}",
+        report.culprits
+    );
+}
+
+#[test]
+fn arbiter_withhold_is_starvation_with_named_cache() {
+    let plan = FaultPlan::none().with(Fault::ArbiterWithhold {
+        cache: 0,
+        from: 100,
+        cycles: u64::MAX,
+    });
+    let report = expect_report(run_memcopy(plan, 100 + 1_000 + 2 * WINDOW));
+    assert_eq!(report.kind, HangKind::Starvation, "report: {report}");
+    assert!(
+        report.culprits.iter().any(|c| c.contains("cache")),
+        "culprits must name a cache: {:?}",
+        report.culprits
+    );
+}
+
+#[test]
+fn token_drop_is_classified_as_token_loss() {
+    // Drop the front of the entry channel a few cycles in: one work-item
+    // vanishes, the machine drains, and the report must say which
+    // work-group is incomplete.
+    let plan = FaultPlan::none().with(Fault::TokenDrop { chan: 0, at: 5 });
+    let report = expect_report(run_memcopy(plan, 1_000 + 2 * WINDOW));
+    assert_eq!(report.kind, HangKind::TokenLoss, "report: {report}");
+    assert_eq!(report.retired, report.total - 1);
+    assert!(
+        report.culprits.iter().any(|c| c.contains("lost")),
+        "culprits must describe the loss: {:?}",
+        report.culprits
+    );
+}
+
+#[test]
+fn token_duplication_trips_the_always_on_invariant() {
+    let plan = FaultPlan::none().with(Fault::TokenDup { chan: 0, at: 5 });
+    match run_memcopy(plan, 1_000 + 2 * WINDOW) {
+        Err(SimError::InvariantViolation { what, .. }) => {
+            assert!(what.contains("retired"), "unexpected invariant: {what}");
+        }
+        other => panic!("expected an invariant violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn dram_latency_spike_is_tolerated_not_reported() {
+    // The spike is far longer than the watchdog window; pending memory
+    // events must keep the watchdog quiet and the run must complete with
+    // correct results.
+    let plan = FaultPlan::none().with(Fault::DramLatencySpike {
+        from: 0,
+        cycles: 1_000_000,
+        extra_latency: 20_000,
+    });
+    let (kernel, dp) = compile(MEMCOPY);
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc(256 * 4);
+    let b = gm.alloc(256 * 4);
+    for i in 0..256u64 {
+        gm.buffer_mut(a).write_scalar(i * 4, soff_frontend::types::Scalar::I32, i);
+    }
+    let cfg = SimConfig {
+        deadlock_window: WINDOW,
+        faults: plan,
+        ..SimConfig::default()
+    };
+    let res = run(
+        &kernel,
+        &dp,
+        &cfg,
+        NdRange::dim1(256, 8),
+        &[ArgValue::Buffer(a), ArgValue::Buffer(b)],
+        &mut gm,
+    )
+    .expect("a slow machine is not a hung machine");
+    assert_eq!(res.retired, 256);
+    for i in 0..256u64 {
+        assert_eq!(
+            gm.buffer(b).read_scalar(i * 4, soff_frontend::types::Scalar::I32),
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn infinite_loop_is_classified_as_livelock_naming_the_loop() {
+    let (kernel, dp) = compile(
+        "__kernel void spin(__global int* a) {
+            while (a[0] == 0) { }
+            a[1] = 1;
+        }",
+    );
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc(16);
+    let cfg = SimConfig {
+        deadlock_window: WINDOW,
+        livelock_window: 10 * WINDOW,
+        max_cycles: 40 * WINDOW,
+        ..SimConfig::default()
+    };
+    let report = expect_report(run(
+        &kernel,
+        &dp,
+        &cfg,
+        NdRange::dim1(4, 4),
+        &[ArgValue::Buffer(a)],
+        &mut gm,
+    ));
+    assert_eq!(report.kind, HangKind::Livelock, "report: {report}");
+    assert!(
+        report.culprits.iter().any(|c| c.contains("loop")),
+        "culprits must name the live loop: {:?}",
+        report.culprits
+    );
+    assert!(
+        report.loops.iter().any(|l| l.occupancy > 0),
+        "loop snapshot must show held work-items"
+    );
+}
+
+#[test]
+fn report_renders_all_sections() {
+    let plan = FaultPlan::none().with(Fault::ChannelStuckStall {
+        chan: 0,
+        from: 10,
+        cycles: u64::MAX,
+    });
+    let report = expect_report(run_memcopy(plan, 10 + 1_000 + 2 * WINDOW));
+    let text = report.to_string();
+    assert!(text.contains("hang forensics"), "{text}");
+    assert!(text.contains("classification: starvation"), "{text}");
+    assert!(text.contains("culprit:"), "{text}");
+    assert!(text.contains("[JAMMED]"), "{text}");
+    let summary = report.summary();
+    assert!(summary.contains("starvation") && summary.contains("culprit"), "{summary}");
+}
+
+#[test]
+fn random_fault_plans_always_produce_a_typed_outcome() {
+    // Whatever a random plan does — wedge, slow, corrupt, or nothing —
+    // the simulator must return a typed result, never panic or hang past
+    // its budget.
+    for seed in 0..12 {
+        let plan = FaultPlan::random(seed, 4, 2_000);
+        let _ = run_memcopy(plan, 200_000);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Fault-free random loop kernels never produce a hang report, and
+    /// enabling the invariant checker changes neither the results nor the
+    /// cycle count.
+    #[test]
+    fn fault_free_loops_are_silent_and_checker_is_transparent(
+        trip in 1u64..24,
+        wgs in 0usize..3,
+        stride in 1u64..7,
+    ) {
+        let wg = [2u64, 4, 8][wgs];
+        let src = "__kernel void lp(__global int* a, int n) {
+            int i = get_global_id(0);
+            int s = 0;
+            for (int j = 0; j < n; j++) s += a[(i + j * STRIDE) % 64];
+            a[i % 64] = s + i;
+        }"
+        .replace("STRIDE", &stride.to_string());
+        let (kernel, dp) = compile(&src);
+
+        let mut results = Vec::new();
+        for check in [false, true] {
+            let mut gm = GlobalMemory::new();
+            let a = gm.alloc(64 * 4);
+            for i in 0..64u64 {
+                gm.buffer_mut(a).write_scalar(
+                    i * 4,
+                    soff_frontend::types::Scalar::I32,
+                    i * 3 + 1,
+                );
+            }
+            let cfg = SimConfig { check_invariants: check, ..SimConfig::default() };
+            let res = run(
+                &kernel,
+                &dp,
+                &cfg,
+                NdRange::dim1(64, wg),
+                &[ArgValue::Buffer(a), ArgValue::Scalar(trip)],
+                &mut gm,
+            );
+            let res = match res {
+                Ok(r) => r,
+                Err(e) => return Err(TestCaseError::fail(format!("fault-free run failed: {e}"))),
+            };
+            let bytes = gm.buffer(a).bytes().to_vec();
+            results.push((res.cycles, res.retired, bytes));
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+    }
+}

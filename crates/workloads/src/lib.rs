@@ -116,17 +116,25 @@ pub fn execute(app: &App, fw: Framework, scale: Scale) -> AppResult {
         Err(outcome) => return fail(outcome),
     };
     let replication = runner.replication();
-    match (app.run)(&mut runner, scale) {
-        Ok(true) => AppResult {
-            outcome: Outcome::Ok,
-            seconds: runner.total_seconds,
-            cycles: runner.total_cycles,
-            launches: runner.launches,
-            replication,
+    // A buggy host program must produce a failure row (Table II `RE`),
+    // not abort the whole sweep.
+    let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        (app.run)(&mut runner, scale)
+    }));
+    match ran {
+        Err(_) => fail(Outcome::RuntimeError),
+        Ok(run) => match run {
+            Ok(true) => AppResult {
+                outcome: Outcome::Ok,
+                seconds: runner.total_seconds,
+                cycles: runner.total_cycles,
+                launches: runner.launches,
+                replication,
+            },
+            Ok(false) => fail(Outcome::IncorrectAnswer),
+            Err(RunError::Outcome(o)) => fail(o),
+            Err(RunError::MissingKernel(_)) => fail(Outcome::CompileError),
         },
-        Ok(false) => fail(Outcome::IncorrectAnswer),
-        Err(RunError::Outcome(o)) => fail(o),
-        Err(RunError::MissingKernel(_)) => fail(Outcome::CompileError),
     }
 }
 

@@ -880,10 +880,8 @@ fn app_fdtd_2d() -> App {
         }
         let ghz = read_f32(r, bhz);
 
-        for t in 0..t_steps {
-            for j in 0..n {
-                ey[j] = fict[t];
-            }
+        for &f in fict.iter().take(t_steps) {
+            ey[..n].fill(f);
             for i in 1..n {
                 for j in 0..n {
                     ey[i * n + j] -= 0.5 * (hz[i * n + j] - hz[(i - 1) * n + j]);

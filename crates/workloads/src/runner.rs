@@ -158,8 +158,7 @@ impl SimRunner {
 
 impl Runner for SimRunner {
     fn alloc_bytes(&mut self, data: &[u8]) -> BufId {
-        let b = self.ctx.create_buffer(data.len());
-        self.ctx.write_buffer(b, data);
+        let b = self.ctx.create_buffer_init(data);
         self.buffers.push(b);
         BufId(self.buffers.len() - 1)
     }
@@ -185,7 +184,9 @@ impl Runner for SimRunner {
     }
 
     fn read_bytes(&mut self, b: BufId) -> Vec<u8> {
-        self.ctx.read_buffer(self.buffers[b.0])
+        // Handles in `self.buffers` came from this context's
+        // `create_buffer_init`, so the read cannot fail.
+        self.ctx.read_buffer(self.buffers[b.0]).expect("runner-owned buffer handle")
     }
 }
 

@@ -453,7 +453,7 @@ fn app_mriq() -> App {
         for v in 0..voxels {
             let (mut ar, mut ai) = (0.0f32, 0.0f32);
             for k in 0..numk {
-                let phi = 6.283_185_3_f32 * (kx[k] * x[v] + ky[k] * y[v] + kz[k] * z[v]);
+                let phi = std::f32::consts::TAU * (kx[k] * x[v] + ky[k] * y[v] + kz[k] * z[v]);
                 ar += mag[k] * phi.cos();
                 ai += mag[k] * phi.sin();
             }
@@ -624,8 +624,8 @@ fn app_bfs() -> App {
         want[0] = 0;
         let mut queue = std::collections::VecDeque::from([0usize]);
         while let Some(u) = queue.pop_front() {
-            for e in row_ptr[u] as usize..row_ptr[u + 1] as usize {
-                let v = col_idx[e] as usize;
+            for &c in &col_idx[row_ptr[u] as usize..row_ptr[u + 1] as usize] {
+                let v = c as usize;
                 if want[v] > want[u] + 1 {
                     want[v] = want[u] + 1;
                     queue.push_back(v);

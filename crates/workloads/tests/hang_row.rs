@@ -1,0 +1,70 @@
+//! A deadlocking or panicking application must become a failure row in
+//! the sweep (Table II's `H`/`RE` classes), never abort the harness.
+
+use soff_baseline::{Framework, Outcome};
+use soff_ir::NdRange;
+use soff_workloads::data::Scale;
+use soff_workloads::runner::{Arg, RunError, Runner};
+use soff_workloads::{execute, App, Features, Suite};
+
+fn hang_app() -> App {
+    fn run(r: &mut dyn Runner, _scale: Scale) -> Result<bool, RunError> {
+        let a = r.alloc_bytes(&[0u8; 16]);
+        r.launch("spin", &[Arg::Buf(a)], NdRange::dim1(4, 4))?;
+        Ok(true)
+    }
+    App {
+        name: "999.spin",
+        suite: Suite::PolyBench,
+        features: Features { local: false, barrier: false, atomics: false },
+        source: "__kernel void spin(__global int* a) {
+            while (a[0] == 0) { }
+            a[1] = 1;
+        }",
+        run,
+    }
+}
+
+fn panicky_app() -> App {
+    fn run(_r: &mut dyn Runner, _scale: Scale) -> Result<bool, RunError> {
+        panic!("host program bug");
+    }
+    App {
+        name: "998.panic",
+        suite: Suite::PolyBench,
+        features: Features { local: false, barrier: false, atomics: false },
+        source: "__kernel void k(__global int* a) { a[get_global_id(0)] = 1; }",
+        run,
+    }
+}
+
+fn good_app() -> App {
+    fn run(r: &mut dyn Runner, _scale: Scale) -> Result<bool, RunError> {
+        let a = r.alloc_bytes(&[0u8; 16]);
+        r.launch("k", &[Arg::Buf(a)], NdRange::dim1(4, 4))?;
+        Ok(r.read_bytes(a).chunks_exact(4).all(|c| c == [1, 0, 0, 0]))
+    }
+    App {
+        name: "997.fill",
+        suite: Suite::PolyBench,
+        features: Features { local: false, barrier: false, atomics: false },
+        source: "__kernel void k(__global int* a) { a[get_global_id(0)] = 1; }",
+        run,
+    }
+}
+
+#[test]
+fn sweep_survives_hanging_and_panicking_apps() {
+    // The hanging app comes first: if it aborted the process or hung the
+    // harness, the later rows would never materialize.
+    let apps = [hang_app(), panicky_app(), good_app()];
+    let rows: Vec<Outcome> = apps
+        .iter()
+        .map(|a| execute(a, Framework::Soff, Scale::Small).outcome)
+        .collect();
+    assert_eq!(
+        rows,
+        [Outcome::Hang, Outcome::RuntimeError, Outcome::Ok],
+        "each failing app must become its own failure row"
+    );
+}

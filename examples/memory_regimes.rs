@@ -14,7 +14,7 @@
 //! ```
 
 use soff::baseline::{self, Framework};
-use soff::runtime::{Context, Program};
+use soff::runtime::Context;
 use soff::NdRange;
 
 const KERNELS: &str = r#"
@@ -56,8 +56,8 @@ fn run_on(fw: Framework, kernel_name: &str) -> Result<(u64, f64, Vec<f32>), Box<
     let ba = ctx.create_buffer(TABLE * 4);
     let bidx = ctx.create_buffer(idx.len() * 4);
     let bo = ctx.create_buffer(N.max(TABLE) * 4);
-    ctx.write_buffer_f32(ba, &table);
-    ctx.write_buffer_i32(bidx, &idx);
+    ctx.write_buffer_f32(ba, &table)?;
+    ctx.write_buffer_i32(bidx, &idx)?;
 
     let mut k = program.kernel(kernel_name).expect("kernel exists");
     let nd = match kernel_name {
@@ -75,7 +75,7 @@ fn run_on(fw: Framework, kernel_name: &str) -> Result<(u64, f64, Vec<f32>), Box<
     };
     let stats = ctx.enqueue_ndrange(&k, nd)?;
     let secs = baseline::cycles_to_seconds(fw, &device, stats.sim.cycles);
-    Ok((stats.sim.cycles, secs, ctx.read_buffer_f32(bo)))
+    Ok((stats.sim.cycles, secs, ctx.read_buffer_f32(bo)?))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

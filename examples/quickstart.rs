@@ -33,15 +33,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ctx = Context::new(device);
     let x = ctx.create_buffer(n * 4);
     let y = ctx.create_buffer(n * 4);
-    ctx.write_buffer_f32(x, &(0..n).map(|i| i as f32).collect::<Vec<_>>());
-    ctx.write_buffer_f32(y, &vec![1.0; n]);
+    ctx.write_buffer_f32(x, &(0..n).map(|i| i as f32).collect::<Vec<_>>())?;
+    ctx.write_buffer_f32(y, &vec![1.0; n])?;
 
     let mut kernel = program.kernel("saxpy").expect("kernel exists");
     kernel.set_arg_buffer(0, x).set_arg_buffer(1, y).set_arg_f32(2, 2.0);
     let stats = ctx.enqueue_ndrange(&kernel, NdRange::dim1(n as u64, 64))?;
 
     // 3. Results and the §III-B counters.
-    let out = ctx.read_buffer_f32(y);
+    let out = ctx.read_buffer_f32(y)?;
     assert_eq!(out[10], 2.0 * 10.0 + 1.0);
     println!(
         "ran {} work-items in {} cycles ({:.2} µs at {} MHz): {} cache accesses, {:.1}% hits",

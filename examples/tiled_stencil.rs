@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             grid[y * n + x] = 100.0;
         }
     }
-    ctx.write_buffer_f32(a, &grid);
+    ctx.write_buffer_f32(a, &grid)?;
 
     // Host time loop, ping-ponging the two buffers (each launch is one
     // trigger/completion round trip, §III-C1).
@@ -69,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::mem::swap(&mut src, &mut dst);
     }
 
-    let out = ctx.read_buffer_f32(src);
+    let out = ctx.read_buffer_f32(src)?;
     let total_heat: f32 = out.iter().sum();
     let peak = out.iter().cloned().fold(f32::MIN, f32::max);
     println!(

@@ -21,12 +21,12 @@ fn quickstart_flow_works() {
     let mut ctx = Context::new(device);
     let a = ctx.create_buffer(64 * 4);
     let b = ctx.create_buffer(64 * 4);
-    ctx.write_buffer_f32(a, &(0..64).map(|i| i as f32).collect::<Vec<_>>());
+    ctx.write_buffer_f32(a, &(0..64).map(|i| i as f32).collect::<Vec<_>>()).unwrap();
     let mut k = program.kernel("axb").unwrap();
     k.set_arg_buffer(0, a).set_arg_buffer(1, b).set_arg_f32(2, 0.5);
     let stats = ctx.enqueue_ndrange(&k, NdRange::dim1(64, 16)).unwrap();
     assert_eq!(stats.sim.retired, 64);
-    let out = ctx.read_buffer_f32(b);
+    let out = ctx.read_buffer_f32(b).unwrap();
     for (i, v) in out.iter().enumerate() {
         assert_eq!(*v, i as f32 * 0.5 + 1.0);
     }
@@ -51,7 +51,7 @@ fn multi_kernel_program_runs_both() {
     let mut dbl = program.kernel("dbl").unwrap();
     dbl.set_arg_buffer(0, a);
     ctx.enqueue_ndrange(&dbl, NdRange::dim1(16, 4)).unwrap();
-    assert_eq!(ctx.read_buffer_i32(a), vec![42; 16]);
+    assert_eq!(ctx.read_buffer_i32(a).unwrap(), vec![42; 16]);
 }
 
 #[test]
@@ -71,11 +71,11 @@ fn simulator_matches_interpreter_through_public_api() {
     let a = ctx.create_buffer((n * 4) as usize);
     let b = ctx.create_buffer((n * 4) as usize);
     let data: Vec<i32> = (0..n as i32).map(|i| i * 3 - 7).collect();
-    ctx.write_buffer_i32(b, &data);
+    ctx.write_buffer_i32(b, &data).unwrap();
     let mut k = program.kernel("k").unwrap();
     k.set_arg_buffer(0, a).set_arg_buffer(1, b).set_arg_i32(2, n as i32);
     ctx.enqueue_ndrange(&k, NdRange::dim1(n, 8)).unwrap();
-    let sim_out = ctx.read_buffer_i32(a);
+    let sim_out = ctx.read_buffer_i32(a).unwrap();
 
     // Interpreter.
     let parsed = soff::frontend::compile(src, &[]).unwrap();
@@ -162,11 +162,11 @@ fn baselines_run_the_same_binary_correctly() {
         let mut ctx = Context::new(device);
         baseline::configure_context(fw, &mut ctx, 2);
         let a = ctx.create_buffer(32 * 4);
-        ctx.write_buffer_f32(a, &(0..32).map(|i| i as f32 - 16.0).collect::<Vec<_>>());
+        ctx.write_buffer_f32(a, &(0..32).map(|i| i as f32 - 16.0).collect::<Vec<_>>()).unwrap();
         let mut k = program.kernel("sq").unwrap();
         k.set_arg_buffer(0, a);
         ctx.enqueue_ndrange(&k, NdRange::dim1(32, 8)).unwrap();
-        images.push(ctx.read_buffer_f32(a));
+        images.push(ctx.read_buffer_f32(a).unwrap());
     }
     assert_eq!(images[0], images[1]);
     assert_eq!(images[0], images[2]);
@@ -205,7 +205,7 @@ fn deadlock_freedom_on_pathological_loop_nest() {
     let stats = ctx.enqueue_ndrange(&k, NdRange::dim1(64, 16)).unwrap();
     assert_eq!(stats.sim.retired, 64);
     // Cross-check against the interpreter.
-    let out = ctx.read_buffer_i32(a);
+    let out = ctx.read_buffer_i32(a).unwrap();
     let mut want = vec![0i32; 64];
     for i in 0..64i32 {
         let mut acc = 0i32;

@@ -441,6 +441,7 @@ mod tests {
     }
 
     #[derive(Debug, Clone)]
+    #[allow(dead_code)] // Leaf payload exercises prop_map; never read back
     enum Tree {
         Leaf(i8),
         Node(Box<Tree>, Box<Tree>),
