@@ -15,9 +15,10 @@
 //!    separate barrier kernel whose loop bound is a kernel argument.
 //!
 //! ```text
-//! cargo run --release -p soff-bench --bin ablation
+//! cargo run --release -p soff-bench --bin ablation [--json]
 //! ```
 
+use soff_bench::json::{write_bench_rows, Json};
 use soff_datapath::hierarchy::DatapathOptions;
 use soff_datapath::{Datapath, LatencyModel};
 use soff_ir::mem::{ArgValue, GlobalMemory};
@@ -136,6 +137,16 @@ fn main() {
         },
     ];
 
+    let json = std::env::args().any(|a| a == "--json");
+    let mut jrows = Vec::new();
+    let jrow = |name: &str, cycles: Option<u64>, vs: Option<f64>| {
+        Json::obj(vec![
+            ("variant", Json::str(name)),
+            ("cycles", cycles.map_or(Json::Null, |c| Json::Int(c as i64))),
+            ("vs_baseline", vs.map_or(Json::Null, Json::Num)),
+        ])
+    };
+
     println!("Ablations on the branchy memory-bound reduction kernel");
     println!("{:-<58}", "");
     println!("{:<30} {:>10} {:>12}", "variant", "cycles", "vs baseline");
@@ -153,17 +164,21 @@ fn main() {
             None
         }
     };
+    jrows.push(jrow(base.name, base_cycles, base_cycles.map(|_| 1.0)));
     for v in &variants {
         match run_variant(v) {
-            Ok(c) => match base_cycles {
-                Some(b) => {
-                    println!("{:<30} {:>10} {:>11.2}x", v.name, c, c as f64 / b as f64)
+            Ok(c) => {
+                let vs = base_cycles.map(|b| c as f64 / b as f64);
+                match vs {
+                    Some(r) => println!("{:<30} {:>10} {:>11.2}x", v.name, c, r),
+                    None => println!("{:<30} {:>10} {:>11}", v.name, c, "-"),
                 }
-                None => println!("{:<30} {:>10} {:>11}", v.name, c, "-"),
-            },
+                jrows.push(jrow(v.name, Some(c), vs));
+            }
             Err(e) => {
                 eprintln!("{}", e);
                 println!("{:<30} {:>10} {:>11}", v.name, "FAILED", "-");
+                jrows.push(jrow(v.name, None, None));
             }
         }
     }
@@ -180,17 +195,34 @@ fn main() {
                 "  without (SWGR serializes)  : {without:>10} cycles  ({:.2}x)",
                 without as f64 / with as f64
             );
+            jrows.push(jrow("uniform-loop analysis on (§IV-F1)", Some(with), Some(1.0)));
+            jrows.push(jrow(
+                "uniform-loop analysis off (SWGR)",
+                Some(without),
+                Some(without as f64 / with as f64),
+            ));
         }
         (with, without) => {
             for (name, r) in [("with analysis", with), ("without", without)] {
                 match r {
-                    Ok(c) => println!("  {name:<27}: {c:>10} cycles"),
+                    Ok(c) => {
+                        println!("  {name:<27}: {c:>10} cycles");
+                        jrows.push(jrow(name, Some(c), None));
+                    }
                     Err(e) => {
                         eprintln!("{}", e);
                         println!("  {name:<27}:     FAILED");
+                        jrows.push(jrow(name, None, None));
                     }
                 }
             }
+        }
+    }
+
+    if json {
+        match write_bench_rows("ablation", jrows) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write JSON: {e}"),
         }
     }
 }

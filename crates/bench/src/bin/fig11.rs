@@ -2,19 +2,22 @@
 //! OpenCL, 26 applications, geometric mean).
 //!
 //! ```text
-//! cargo run --release -p soff-bench --bin fig11 [--full]
+//! cargo run --release -p soff-bench --bin fig11 [--full] [--json]
 //! ```
 //!
 //! Both stacks maximally replicate datapath instances (the paper inserts
 //! `num_compute_units(N)` into Intel's builds for fairness; our harness
-//! forces the same replication on both).
+//! forces the same replication on both). `--json` additionally writes the
+//! rows to `BENCH_fig11.json`.
 
 use soff_baseline::Framework;
-use soff_bench::{fmt_ratio, geomean, paper, speedups_vs};
+use soff_bench::json::{write_bench_rows, Json};
+use soff_bench::{fmt_geomean, fmt_ratio, paper, speedups_vs};
 use soff_workloads::data::Scale;
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--full") { Scale::Full } else { Scale::Small };
+    let json = std::env::args().any(|a| a == "--json");
     println!("Fig. 11: Speedup of SOFF over Intel FPGA SDK for OpenCL ({scale:?} scale)");
     println!("{:-<64}", "");
     println!("{:<16} {:>9} {:>11} {:>11} {:>6}", "Application", "speedup", "SOFF cyc", "Intel cyc", "inst");
@@ -34,11 +37,11 @@ fn main() {
             soff.replication,
         );
     }
-    let gm = geomean(&rows.iter().map(|(_, s, _, _)| *s).collect::<Vec<_>>());
+    let sps: Vec<f64> = rows.iter().map(|(_, s, _, _)| *s).collect();
     println!("{:-<64}", "");
     println!(
-        "Geomean speedup: {:.2}   (paper: {:.2});  SOFF wins {wins}/{} (paper: {}/{})",
-        gm,
+        "Geomean speedup: {}   (paper: {:.2});  SOFF wins {wins}/{} (paper: {}/{})",
+        fmt_geomean(&sps),
         paper::FIG11_GEOMEAN,
         rows.len(),
         paper::FIG11_WINS.0,
@@ -50,6 +53,25 @@ fn main() {
         match got {
             Some(s) => println!("  {name:<10} paper {v:>6.2}x   measured {s:>6.2}x"),
             None => println!("  {name:<10} paper {v:>6.2}x   (not run)"),
+        }
+    }
+
+    if json {
+        let jrows = rows
+            .iter()
+            .map(|(name, sp, soff, intel)| {
+                Json::obj(vec![
+                    ("app", Json::str(*name)),
+                    ("speedup", Json::Num(*sp)),
+                    ("soff_cycles", Json::Int(soff.cycles as i64)),
+                    ("intel_cycles", Json::Int(intel.cycles as i64)),
+                    ("instances", Json::Int(soff.replication as i64)),
+                ])
+            })
+            .collect();
+        match write_bench_rows("fig11", jrows) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write JSON: {e}"),
         }
     }
 }

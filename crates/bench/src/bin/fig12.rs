@@ -7,15 +7,17 @@
 //!   hold — divide its time by SOFF's replication factor.
 //!
 //! ```text
-//! cargo run --release -p soff-bench --bin fig12 [--full]
+//! cargo run --release -p soff-bench --bin fig12 [--full] [--json]
 //! ```
 
 use soff_baseline::Framework;
-use soff_bench::{fmt_ratio, geomean, paper, speedups_vs};
+use soff_bench::json::{write_bench_rows, Json};
+use soff_bench::{fmt_geomean, fmt_ratio, paper, speedups_vs};
 use soff_workloads::data::Scale;
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--full") { Scale::Full } else { Scale::Small };
+    let json = std::env::args().any(|a| a == "--json");
     let rows = speedups_vs(Framework::XilinxLike, scale);
 
     println!("Fig. 12 (a): Xilinx-vs-SOFF I — SOFF speedup over SDAccel ({scale:?} scale)");
@@ -43,8 +45,8 @@ fn main() {
     }
     println!("{:-<56}", "");
     println!(
-        "Geomean: {:.1}x  (paper: {:.1}x — SDAccel ~25x slower despite the larger FPGA)",
-        geomean(&sp1),
+        "Geomean: {}x  (paper: {:.1}x — SDAccel ~25x slower despite the larger FPGA)",
+        fmt_geomean(&sp1),
         paper::FIG12A_GEOMEAN
     );
 
@@ -56,8 +58,28 @@ fn main() {
     }
     println!("{:-<40}", "");
     println!(
-        "Geomean: {:.2}x  (paper: {:.2}x — SOFF still ~30% faster under the optimistic assumption)",
-        geomean(&sp2.iter().map(|(_, s)| *s).collect::<Vec<_>>()),
+        "Geomean: {}x  (paper: {:.2}x — SOFF still ~30% faster under the optimistic assumption)",
+        fmt_geomean(&sp2.iter().map(|(_, s)| *s).collect::<Vec<_>>()),
         paper::FIG12B_GEOMEAN
     );
+
+    if json {
+        let jrows = rows
+            .iter()
+            .zip(&sp2)
+            .map(|((name, sp, soff, xil), (_, linear))| {
+                Json::obj(vec![
+                    ("app", Json::str(*name)),
+                    ("speedup_a", Json::Num(*sp)),
+                    ("speedup_b_linear", Json::Num(*linear)),
+                    ("soff_seconds", Json::Num(soff.seconds)),
+                    ("xilinx_seconds", Json::Num(xil.seconds)),
+                ])
+            })
+            .collect();
+        match write_bench_rows("fig12", jrows) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write JSON: {e}"),
+        }
+    }
 }

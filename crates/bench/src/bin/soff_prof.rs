@@ -1,0 +1,501 @@
+//! `soff-prof` — bottleneck profiler for the simulated SOFF machine.
+//!
+//! Runs one benchmark application with cycle-attribution profiling on and
+//! reports, per kernel: the busy / issue-stall / output-stall / idle
+//! breakdown of every component and functional unit (the categories sum
+//! to the observed cycles — the conservation invariant is checked and
+//! printed), the per-cache counters (per buffer-group × instance, not
+//! lumped), DRAM queue pressure, and the ranked dominant stall chains
+//! ("cache X back-pressures pipeline Y for Z% of cycles").
+//!
+//! ```text
+//! cargo run --release -p soff-bench --bin soff_prof -- [options] <app>
+//!   --list             list application names and exit
+//!   --scale small|full input scale (default small)
+//!   --json             machine-readable JSON on stdout instead of tables
+//!   --trace FILE       write a Chrome trace-event / Perfetto timeline of
+//!                      the longest launch to FILE
+//!   --sample-interval N  cycles between time-series samples (default 64)
+//! ```
+
+use soff_bench::json::Json;
+use soff_mem::CacheStats;
+use soff_sim::{write_chrome_trace, CycleBreakdown, ProfileConfig, ProfileReport};
+use soff_workloads::data::Scale;
+use soff_workloads::{all_apps, App};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+struct Options {
+    app: String,
+    scale: Scale,
+    json: bool,
+    trace: Option<String>,
+    sample_interval: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: soff_prof [--list] [--scale small|full] [--json] \
+         [--trace FILE] [--sample-interval N] <app>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        app: String::new(),
+        scale: Scale::Small,
+        json: false,
+        trace: None,
+        sample_interval: 64,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--list" => {
+                for app in all_apps() {
+                    println!("{:<16} {}", app.name, app.suite);
+                }
+                std::process::exit(0);
+            }
+            "--scale" => match args.next().as_deref() {
+                Some("small") => opts.scale = Scale::Small,
+                Some("full") => opts.scale = Scale::Full,
+                _ => usage(),
+            },
+            "--json" => opts.json = true,
+            "--trace" => match args.next() {
+                Some(f) => opts.trace = Some(f),
+                None => usage(),
+            },
+            "--sample-interval" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.sample_interval = n,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            name if !name.starts_with('-') && opts.app.is_empty() => opts.app = name.to_string(),
+            _ => usage(),
+        }
+    }
+    if opts.app.is_empty() {
+        usage();
+    }
+    opts
+}
+
+/// One functional unit's aggregated breakdown: (index, kind, breakdown).
+type UnitRow = (usize, String, CycleBreakdown);
+
+/// Per-kernel aggregation over all launches of that kernel.
+struct KernelAgg {
+    kernel: String,
+    launches: u32,
+    cycles_observed: u64,
+    total_cycles: u64,
+    /// (label, kind, comp breakdown, per-unit rows).
+    comps: Vec<(String, String, CycleBreakdown, Vec<UnitRow>)>,
+    /// (label, breakdown, final counters).
+    caches: Vec<(String, CycleBreakdown, CacheStats)>,
+    /// (victim, blocker, reason) → cycles.
+    bottlenecks: HashMap<(String, String, String), u64>,
+}
+
+fn add_cache_stats(a: &mut CacheStats, b: &CacheStats) {
+    a.accesses += b.accesses;
+    a.hits += b.hits;
+    a.misses += b.misses;
+    a.writebacks += b.writebacks;
+    a.arbitration_stalls += b.arbitration_stalls;
+    a.mshr_stalls += b.mshr_stalls;
+    a.lock_delay += b.lock_delay;
+    a.prefetch_hits += b.prefetch_hits;
+}
+
+/// Folds per-launch reports into per-kernel aggregates (launch order
+/// preserved) and verifies the conservation invariant on every report.
+/// Returns the aggregates and the number of (unit, launch) pairs checked;
+/// any violation is returned as a message.
+fn aggregate(reports: &[ProfileReport]) -> (Vec<KernelAgg>, u64, Option<String>) {
+    let mut by_kernel: Vec<KernelAgg> = Vec::new();
+    let mut checked = 0u64;
+    let mut violation = None;
+
+    for rep in reports {
+        let mut check = |label: &str, cyc: &CycleBreakdown| {
+            checked += 1;
+            if cyc.total() != rep.cycles_observed && violation.is_none() {
+                violation = Some(format!(
+                    "{label}: busy {} + issue {} + output {} + idle {} = {} != observed {}",
+                    cyc.busy,
+                    cyc.issue_stall,
+                    cyc.output_stall,
+                    cyc.idle,
+                    cyc.total(),
+                    rep.cycles_observed
+                ));
+            }
+        };
+        for c in &rep.comps {
+            if c.units.is_empty() {
+                check(&c.label, &c.cycles);
+            } else {
+                for u in &c.units {
+                    check(&format!("{} unit {}", c.label, u.unit), &u.cycles);
+                }
+            }
+        }
+        for c in &rep.caches {
+            check(&c.label, &c.cycles);
+        }
+
+        let agg = match by_kernel.iter_mut().find(|a| a.kernel == rep.kernel) {
+            Some(a) => a,
+            None => {
+                by_kernel.push(KernelAgg {
+                    kernel: rep.kernel.clone(),
+                    launches: 0,
+                    cycles_observed: 0,
+                    total_cycles: 0,
+                    comps: rep
+                        .comps
+                        .iter()
+                        .map(|c| {
+                            let units = c
+                                .units
+                                .iter()
+                                .map(|u| (u.unit, u.kind.clone(), CycleBreakdown::default()))
+                                .collect();
+                            (
+                                c.label.clone(),
+                                c.kind.clone(),
+                                CycleBreakdown::default(),
+                                units,
+                            )
+                        })
+                        .collect(),
+                    caches: rep
+                        .caches
+                        .iter()
+                        .map(|c| (c.label.clone(), CycleBreakdown::default(), CacheStats::default()))
+                        .collect(),
+                    bottlenecks: HashMap::new(),
+                });
+                by_kernel.last_mut().expect("just pushed")
+            }
+        };
+        agg.launches += 1;
+        agg.cycles_observed += rep.cycles_observed;
+        agg.total_cycles += rep.total_cycles;
+        for (slot, c) in agg.comps.iter_mut().zip(&rep.comps) {
+            slot.2.add(&c.cycles);
+            for (uslot, u) in slot.3.iter_mut().zip(&c.units) {
+                uslot.2.add(&u.cycles);
+            }
+        }
+        for (slot, c) in agg.caches.iter_mut().zip(&rep.caches) {
+            slot.1.add(&c.cycles);
+            add_cache_stats(&mut slot.2, &c.stats);
+        }
+        for b in &rep.bottlenecks {
+            *agg.bottlenecks
+                .entry((b.victim.clone(), b.blocker.clone(), b.reason.clone()))
+                .or_insert(0) += b.cycles;
+        }
+    }
+    (by_kernel, checked, violation)
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+fn print_tables(
+    app: &App,
+    correct: bool,
+    total_cycles: u64,
+    kernels: &[KernelAgg],
+    dram: &soff_mem::DramStats,
+    checked: u64,
+    violation: &Option<String>,
+) {
+    println!("soff-prof — cycle attribution for `{}` ({})", app.name, app.suite);
+    println!(
+        "result: {}, {} kernel(s), {} total cycles",
+        if correct { "correct" } else { "INCORRECT ANSWER" },
+        kernels.len(),
+        total_cycles,
+    );
+    match violation {
+        None => println!(
+            "conservation: OK — {checked} unit×launch breakdowns each sum to the \
+             observed cycles"
+        ),
+        Some(v) => println!("conservation: VIOLATED — {v}"),
+    }
+
+    for k in kernels {
+        let obs = k.cycles_observed;
+        println!();
+        println!(
+            "kernel `{}` — {} launch(es), {} cycles observed ({} incl. flush)",
+            k.kernel, k.launches, obs, k.total_cycles
+        );
+        println!(
+            "  {:<34} {:>10} {:>10} {:>10} {:>10}",
+            "component", "busy", "issue-st", "output-st", "idle"
+        );
+        for (label, kind, cyc, units) in &k.comps {
+            println!(
+                "  {:<34} {:>10} {:>10} {:>10} {:>10}",
+                format!("{label} [{kind}]"),
+                cyc.busy,
+                cyc.issue_stall,
+                cyc.output_stall,
+                cyc.idle
+            );
+            for (ui, ukind, ucyc) in units {
+                println!(
+                    "  {:<34} {:>10} {:>10} {:>10} {:>10}",
+                    format!("    unit {ui} [{ukind}]"),
+                    ucyc.busy,
+                    ucyc.issue_stall,
+                    ucyc.output_stall,
+                    ucyc.idle
+                );
+            }
+        }
+
+        if !k.caches.is_empty() {
+            println!("  caches (per buffer-group × instance):");
+            println!(
+                "  {:<28} {:>8} {:>8} {:>8} {:>6} {:>9} {:>9} {:>9}",
+                "cache", "accesses", "hits", "misses", "hit%", "arb-st", "mshr-st", "pref-hits"
+            );
+            let mut idle = 0usize;
+            for (label, _cyc, s) in &k.caches {
+                if s.accesses == 0 {
+                    idle += 1;
+                    continue;
+                }
+                println!(
+                    "  {:<28} {:>8} {:>8} {:>8} {:>5.1} {:>9} {:>9} {:>9}",
+                    label,
+                    s.accesses,
+                    s.hits,
+                    s.misses,
+                    pct(s.hits, s.accesses),
+                    s.arbitration_stalls,
+                    s.mshr_stalls,
+                    s.prefetch_hits
+                );
+            }
+            if idle > 0 {
+                println!("  ({idle} caches with zero accesses omitted)");
+            }
+        }
+
+        let mut ranked: Vec<(&(String, String, String), &u64)> = k.bottlenecks.iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        if !ranked.is_empty() {
+            println!("  dominant stall chains:");
+            for ((victim, blocker, reason), cycles) in ranked.iter().take(8) {
+                println!(
+                    "  {:>5.1}%  {victim} ← {blocker}  [{reason}; {cycles} cycles]",
+                    pct(**cycles, obs)
+                );
+            }
+        }
+    }
+
+    println!();
+    println!(
+        "DRAM: {} line reads, {} line writes, {} queued requests, {} cycles total queue delay",
+        dram.reads, dram.writes, dram.queued_requests, dram.queue_delay
+    );
+}
+
+fn breakdown_json(c: &CycleBreakdown) -> Json {
+    Json::obj(vec![
+        ("busy", Json::Int(c.busy as i64)),
+        ("issue_stall", Json::Int(c.issue_stall as i64)),
+        ("output_stall", Json::Int(c.output_stall as i64)),
+        ("idle", Json::Int(c.idle as i64)),
+    ])
+}
+
+fn print_json(
+    app: &App,
+    correct: bool,
+    total_cycles: u64,
+    kernels: &[KernelAgg],
+    dram: &soff_mem::DramStats,
+    violation: &Option<String>,
+) {
+    let kernel_objs = kernels
+        .iter()
+        .map(|k| {
+            let comps = k
+                .comps
+                .iter()
+                .map(|(label, kind, cyc, units)| {
+                    let unit_objs = units
+                        .iter()
+                        .map(|(ui, ukind, ucyc)| {
+                            Json::obj(vec![
+                                ("unit", Json::Int(*ui as i64)),
+                                ("kind", Json::str(ukind.clone())),
+                                ("cycles", breakdown_json(ucyc)),
+                            ])
+                        })
+                        .collect();
+                    Json::obj(vec![
+                        ("label", Json::str(label.clone())),
+                        ("kind", Json::str(kind.clone())),
+                        ("cycles", breakdown_json(cyc)),
+                        ("units", Json::Arr(unit_objs)),
+                    ])
+                })
+                .collect();
+            let caches = k
+                .caches
+                .iter()
+                .map(|(label, cyc, s)| {
+                    Json::obj(vec![
+                        ("label", Json::str(label.clone())),
+                        ("cycles", breakdown_json(cyc)),
+                        ("accesses", Json::Int(s.accesses as i64)),
+                        ("hits", Json::Int(s.hits as i64)),
+                        ("misses", Json::Int(s.misses as i64)),
+                        ("writebacks", Json::Int(s.writebacks as i64)),
+                        ("arbitration_stalls", Json::Int(s.arbitration_stalls as i64)),
+                        ("mshr_stalls", Json::Int(s.mshr_stalls as i64)),
+                        ("prefetch_hits", Json::Int(s.prefetch_hits as i64)),
+                    ])
+                })
+                .collect();
+            let mut ranked: Vec<(&(String, String, String), &u64)> =
+                k.bottlenecks.iter().collect();
+            ranked.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+            let bottlenecks = ranked
+                .iter()
+                .map(|((victim, blocker, reason), cycles)| {
+                    Json::obj(vec![
+                        ("victim", Json::str(victim.clone())),
+                        ("blocker", Json::str(blocker.clone())),
+                        ("reason", Json::str(reason.clone())),
+                        ("cycles", Json::Int(**cycles as i64)),
+                    ])
+                })
+                .collect();
+            Json::obj(vec![
+                ("kernel", Json::str(k.kernel.clone())),
+                ("launches", Json::Int(k.launches as i64)),
+                ("cycles_observed", Json::Int(k.cycles_observed as i64)),
+                ("total_cycles", Json::Int(k.total_cycles as i64)),
+                ("comps", Json::Arr(comps)),
+                ("caches", Json::Arr(caches)),
+                ("bottlenecks", Json::Arr(bottlenecks)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("app", Json::str(app.name)),
+        ("correct", Json::Bool(correct)),
+        ("total_cycles", Json::Int(total_cycles as i64)),
+        (
+            "conservation",
+            match violation {
+                None => Json::str("ok"),
+                Some(v) => Json::str(v.clone()),
+            },
+        ),
+        ("kernels", Json::Arr(kernel_objs)),
+        (
+            "dram",
+            Json::obj(vec![
+                ("reads", Json::Int(dram.reads as i64)),
+                ("writes", Json::Int(dram.writes as i64)),
+                ("queued_requests", Json::Int(dram.queued_requests as i64)),
+                ("queue_delay", Json::Int(dram.queue_delay as i64)),
+            ]),
+        ),
+    ]);
+    println!("{doc}");
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let apps = all_apps();
+    let Some(app) = apps.iter().find(|a| a.name == opts.app) else {
+        eprintln!("unknown application `{}`; --list prints all names", opts.app);
+        return ExitCode::from(2);
+    };
+
+    let mut runner =
+        match soff_workloads::runner::SimRunner::new(soff_baseline::Framework::Soff, app.source, &[])
+        {
+            Ok(r) => r,
+            Err(outcome) => {
+                eprintln!("SOFF cannot build `{}`: {}", app.name, outcome.code());
+                return ExitCode::FAILURE;
+            }
+        };
+    runner.enable_profiling(ProfileConfig {
+        sample_interval: opts.sample_interval,
+        ..ProfileConfig::default()
+    });
+    let correct = match (app.run)(&mut runner, opts.scale) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("`{}` failed to run: {e}", app.name);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (kernels, checked, violation) = aggregate(&runner.profiles);
+    let mut dram = soff_mem::DramStats::default();
+    for r in &runner.launch_results {
+        dram.reads += r.dram.reads;
+        dram.writes += r.dram.writes;
+        dram.queued_requests += r.dram.queued_requests;
+        dram.queue_delay += r.dram.queue_delay;
+    }
+
+    if opts.json {
+        print_json(app, correct, runner.total_cycles, &kernels, &dram, &violation);
+    } else {
+        print_tables(app, correct, runner.total_cycles, &kernels, &dram, checked, &violation);
+    }
+
+    if let Some(path) = &opts.trace {
+        // The longest launch carries the most interesting timeline.
+        match runner.profiles.iter().max_by_key(|r| r.cycles_observed) {
+            Some(rep) => {
+                let mut buf = Vec::new();
+                if let Err(e) = write_chrome_trace(rep, &mut buf) {
+                    eprintln!("could not serialize trace: {e}");
+                    return ExitCode::FAILURE;
+                }
+                if let Err(e) = std::fs::write(path, buf) {
+                    eprintln!("could not write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "wrote {path} (kernel `{}`, {} cycles; load in Perfetto or chrome://tracing)",
+                    rep.kernel, rep.cycles_observed
+                );
+            }
+            None => eprintln!("no profiled launches; {path} not written"),
+        }
+    }
+
+    if violation.is_some() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

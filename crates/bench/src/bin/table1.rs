@@ -1,12 +1,14 @@
 //! Regenerates **Table I** (target systems).
 //!
 //! ```text
-//! cargo run -p soff-bench --bin table1
+//! cargo run -p soff-bench --bin table1 [--json]
 //! ```
 
+use soff_bench::json::{write_bench_rows, Json};
 use soff_datapath::resource::{SYSTEM_A, SYSTEM_B};
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     println!("Table I: Target systems");
     println!("{:-<78}", "");
     println!("{:<22} {:<28} {:<28}", "", SYSTEM_A.name, SYSTEM_B.name);
@@ -51,4 +53,26 @@ fn main() {
         "This model exposes 80% of each device to the reconfigurable region \
          (the static region keeps the rest)."
     );
+
+    if json {
+        let jrows = [&SYSTEM_A, &SYSTEM_B]
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("system", Json::str(s.name)),
+                    ("fpga", Json::str(s.fpga)),
+                    ("luts", Json::Num(s.capacity.luts)),
+                    ("dsps", Json::Num(s.capacity.dsps)),
+                    ("membits", Json::Num(s.capacity.membits)),
+                    ("dram_channels", Json::Int(s.dram_channels as i64)),
+                    ("clock_soff_mhz", Json::Num(s.clock_soff_mhz)),
+                    ("clock_vendor_mhz", Json::Num(s.clock_vendor_mhz)),
+                ])
+            })
+            .collect();
+        match write_bench_rows("table1", jrows) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write JSON: {e}"),
+        }
+    }
 }

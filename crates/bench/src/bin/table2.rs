@@ -2,15 +2,18 @@
 //! Xilinx SDAccel, and SOFF on all 34 applications).
 //!
 //! ```text
-//! cargo run --release -p soff-bench --bin table2
+//! cargo run --release -p soff-bench --bin table2 [--json]
 //! ```
 
 use soff_baseline::{Framework, Outcome};
+use soff_bench::json::{write_bench_rows, Json};
 use soff_bench::paper;
 use soff_workloads::{all_apps, data::Scale, execute, Suite};
 
 fn main() {
     let scale = Scale::Small;
+    let json = std::env::args().any(|a| a == "--json");
+    let mut jrows = Vec::new();
     println!("Table II: Applications (L = local memory, B = barrier, A = atomics)");
     println!("{:-<72}", "");
     println!(
@@ -48,6 +51,18 @@ fn main() {
             xilinx.code(),
             soff.code(),
         );
+        if json {
+            jrows.push(Json::obj(vec![
+                ("app", Json::str(app.name)),
+                ("suite", Json::str(suite)),
+                ("local", Json::Bool(app.features.local)),
+                ("barrier", Json::Bool(app.features.barrier)),
+                ("atomics", Json::Bool(app.features.atomics)),
+                ("intel", Json::str(intel.code())),
+                ("xilinx", Json::str(xilinx.code())),
+                ("soff", Json::str(soff.code())),
+            ]));
+        }
     }
     println!("{:-<72}", "");
     println!(
@@ -62,4 +77,11 @@ fn main() {
         "Codes: CE compile error, IA incorrect answer, RE run-time error, \
          H hang, IR insufficient FPGA resources."
     );
+
+    if json {
+        match write_bench_rows("table2", jrows) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write JSON: {e}"),
+        }
+    }
 }

@@ -9,12 +9,25 @@
 use soff_baseline::Framework;
 use soff_workloads::{all_apps, data::Scale, execute, App, AppResult};
 
-/// Geometric mean of positive values.
-pub fn geomean(vals: &[f64]) -> f64 {
+pub mod json;
+
+/// Geometric mean of positive values; `None` for an empty slice (the
+/// caller decides how to report "no overlapping apps" — a silent NaN
+/// propagates into every downstream summary).
+pub fn geomean(vals: &[f64]) -> Option<f64> {
     if vals.is_empty() {
-        return f64::NAN;
+        return None;
     }
-    (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+    Some((vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp())
+}
+
+/// [`geomean`] formatted for table output: `(no overlapping apps)` when
+/// empty.
+pub fn fmt_geomean(vals: &[f64]) -> String {
+    match geomean(vals) {
+        Some(g) => format!("{g:.2}"),
+        None => "(no overlapping apps)".to_string(),
+    }
 }
 
 /// The 26 applications Intel OpenCL can run (Fig. 11's x-axis).
@@ -96,9 +109,10 @@ mod tests {
 
     #[test]
     fn geomean_basics() {
-        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
-        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
-        assert!(geomean(&[]).is_nan());
+        assert!((geomean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(fmt_geomean(&[]), "(no overlapping apps)");
     }
 
     #[test]

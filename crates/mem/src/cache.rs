@@ -69,6 +69,9 @@ pub struct CacheStats {
     pub mshr_stalls: u64,
     /// Atomic lock-contention delay cycles.
     pub lock_delay: u64,
+    /// Hits on a line that was brought in by the next-line prefetcher and
+    /// had not been demand-touched yet (first touch only).
+    pub prefetch_hits: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -89,6 +92,8 @@ pub struct Cache {
     /// Tag per set; `None` = invalid.
     tags: Vec<Option<u64>>,
     dirty: Vec<bool>,
+    /// Set was filled by the prefetcher and not yet demand-touched.
+    prefetched: Vec<bool>,
     /// One-deep request latch per port.
     latches: Vec<Option<MemRequest>>,
     /// Round-robin pointer of the datapath-cache arbiter.
@@ -117,6 +122,7 @@ impl Cache {
             cfg,
             tags: vec![None; sets],
             dirty: vec![false; sets],
+            prefetched: vec![false; sets],
             latches: Vec::new(),
             rr: 0,
             inflight: VecDeque::new(),
@@ -244,6 +250,10 @@ impl Cache {
         let mut ready = now + self.cfg.hit_latency as u64;
         if hit {
             self.stats.hits += 1;
+            if self.prefetched[set] {
+                self.stats.prefetch_hits += 1;
+                self.prefetched[set] = false;
+            }
         } else {
             self.stats.misses += 1;
             // Write back a dirty victim first (timing only; data is
@@ -256,6 +266,7 @@ impl Cache {
             ready = fill_done + self.cfg.hit_latency as u64;
             self.tags[set] = Some(line_addr);
             self.dirty[set] = false;
+            self.prefetched[set] = false;
             // Burst/prefetch: also fill the next sequential line.
             if self.cfg.prefetch_next {
                 let next = line_addr + 1;
@@ -268,6 +279,7 @@ impl Cache {
                     dram.request_line(now, next, false);
                     self.tags[nset] = Some(next);
                     self.dirty[nset] = false;
+                    self.prefetched[nset] = true;
                 }
             }
         }
@@ -342,6 +354,7 @@ impl Cache {
                 self.dirty[set] = false;
             }
             self.tags[set] = None;
+            self.prefetched[set] = false;
         }
         done
     }
@@ -515,6 +528,24 @@ mod tests {
         assert_eq!(done, 2);
         assert_eq!(gm.buffer(buf).read_scalar(0, Scalar::I32), 2);
         assert!(c.stats.lock_delay > 0, "second atomic should wait for the lock");
+    }
+
+    #[test]
+    fn prefetch_hits_counted_on_first_touch_only() {
+        let (_c0, mut d, mut gm, buf) = setup();
+        let mut c = Cache::new(CacheConfig { prefetch_next: true, ..CacheConfig::default() });
+        let p = c.add_port();
+        // Miss on line 0 prefetches line 1.
+        c.request(p, load(global_addr(buf, 0)));
+        run_until_response(&mut c, &mut d, &mut gm, p, 0);
+        assert_eq!(c.stats.prefetch_hits, 0);
+        // First touch of line 1 is a prefetch hit; second touch is a plain hit.
+        c.request(p, load(global_addr(buf, 64)));
+        run_until_response(&mut c, &mut d, &mut gm, p, 10_000);
+        c.request(p, load(global_addr(buf, 68)));
+        run_until_response(&mut c, &mut d, &mut gm, p, 20_000);
+        assert_eq!(c.stats.prefetch_hits, 1);
+        assert_eq!(c.stats.hits, 2);
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub struct DramStats {
     pub writes: u64,
     /// Cycles of accumulated queueing delay (service start − request).
     pub queue_delay: u64,
+    /// Requests that found their channel busy and had to queue.
+    pub queued_requests: u64,
 }
 
 /// The shared external memory.
@@ -79,6 +81,9 @@ impl Dram {
         let ch = (line_addr as usize) % self.chan_free_at.len();
         let start = now.max(self.chan_free_at[ch]);
         self.stats.queue_delay += start - now;
+        if start > now {
+            self.stats.queued_requests += 1;
+        }
         self.chan_free_at[ch] = start + self.cfg.cycles_per_line as u64;
         if is_write {
             self.stats.writes += 1;
@@ -96,6 +101,12 @@ impl Dram {
         let ch = self.next_chan;
         self.next_chan = (self.next_chan + 1) % self.chan_free_at.len();
         self.request_line(now, ch as u64, is_write)
+    }
+
+    /// Number of channels still occupied by a transfer at cycle `now`
+    /// (instantaneous in-flight view for the profiler's time series).
+    pub fn busy_channels(&self, now: u64) -> u32 {
+        self.chan_free_at.iter().filter(|&&free| free > now).count() as u32
     }
 }
 

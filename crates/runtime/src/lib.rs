@@ -435,7 +435,7 @@ impl From<ApiError> for LaunchError {
 }
 
 /// Timing and counters of one kernel execution.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecStats {
     /// Raw simulation result.
     pub sim: SimResult,
@@ -455,6 +455,9 @@ pub struct Context {
     pub force_instances: Option<u32>,
     /// Hard cycle budget per launch.
     pub max_cycles: u64,
+    /// Cycle-attribution profiling for every launch (`None` = off; the
+    /// report lands in [`ExecStats::sim`]'s `profile` field).
+    pub profile: Option<soff_sim::ProfileConfig>,
     /// Unique tag baked into this context's buffer handles.
     ctx_id: u32,
 }
@@ -471,6 +474,7 @@ impl Context {
             registers: device::Registers::default(),
             force_instances: None,
             max_cycles: 2_000_000_000,
+            profile: None,
             ctx_id: NEXT_CTX_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
@@ -626,17 +630,15 @@ impl Context {
             dram: self.device.dram_config(),
             num_instances,
             max_cycles: self.max_cycles,
+            profile: self.profile,
             ..SimConfig::default()
         };
         let sim = soff_sim::run(&ck.kernel, &ck.datapath, &cfg, nd, &args, &mut self.gm)?;
 
         self.registers.trigger = false;
         self.registers.completion = true;
-        Ok(ExecStats {
-            sim,
-            seconds: self.device.cycles_to_seconds(sim.cycles),
-            num_instances,
-        })
+        let seconds = self.device.cycles_to_seconds(sim.cycles);
+        Ok(ExecStats { sim, seconds, num_instances })
     }
 }
 

@@ -250,13 +250,69 @@ pub(crate) struct MachineView<'a> {
     pub tokens_flowing: bool,
 }
 
-/// Wait-for graph node.
+/// Wait-for graph node. Shared with the profiler's bottleneck analyzer
+/// ([`crate::profile`]), which ranks stall chains over the same topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Node {
+pub(crate) enum Node {
     Comp(usize),
     Cache(usize),
     Chan(usize),
     Dispatcher(usize),
+}
+
+/// Static channel/FIFO/counter wiring of a built machine: who produces
+/// into and consumes from each channel, which select drains each decision
+/// FIFO, and which exit glue frees each loop counter. Built once from the
+/// component list; used by both the deadlock forensics and the profiler's
+/// bottleneck analyzer.
+#[derive(Debug, Default)]
+pub(crate) struct ChannelWiring {
+    pub producer: HashMap<usize, Node>,
+    pub consumer: HashMap<usize, Node>,
+    pub fifo_select: HashMap<usize, Node>,
+    pub counter_exit: HashMap<usize, Node>,
+}
+
+/// Derives the [`ChannelWiring`] from the component list.
+pub(crate) fn channel_wiring(comps: &[Comp]) -> ChannelWiring {
+    let mut w = ChannelWiring::default();
+    for (ci, comp) in comps.iter().enumerate() {
+        let me = Node::Comp(ci);
+        match comp {
+            Comp::Pipe(p) => {
+                w.consumer.insert(p.in_chan.0, me);
+                w.producer.insert(p.out_chan.0, me);
+            }
+            Comp::Branch(b) => {
+                w.consumer.insert(b.inp.0, me);
+                w.producer.insert(b.taken.0 .0, me);
+                w.producer.insert(b.not_taken.0 .0, me);
+            }
+            Comp::Select(s) => {
+                w.consumer.insert(s.from_taken.0, me);
+                w.consumer.insert(s.from_not_taken.0, me);
+                w.producer.insert(s.out.0, me);
+                if let Some(fi) = s.decisions {
+                    w.fifo_select.insert(fi, me);
+                }
+            }
+            Comp::Enter(e) => {
+                w.consumer.insert(e.outside.0, me);
+                w.consumer.insert(e.backedge.0, me);
+                w.producer.insert(e.out.0, me);
+            }
+            Comp::Exit(x) => {
+                w.consumer.insert(x.inp.0, me);
+                w.producer.insert(x.out.0, me);
+                w.counter_exit.insert(x.counter, me);
+            }
+            Comp::Barrier(b) => {
+                w.consumer.insert(b.inp.0, me);
+                w.producer.insert(b.out.0, me);
+            }
+        }
+    }
+    w
 }
 
 struct Graph {
@@ -331,49 +387,9 @@ pub(crate) fn build_report(v: &MachineView<'_>) -> DeadlockReport {
         }
     };
 
-    // Who produces into / consumes from each machine channel.
-    let mut producer: HashMap<usize, Node> = HashMap::new();
-    let mut consumer: HashMap<usize, Node> = HashMap::new();
-    // Decision FIFO wiring: the branch fills it, the select drains it.
-    let mut fifo_select: HashMap<usize, Node> = HashMap::new();
-    // Loop counter wiring: the exit glue is what frees occupancy.
-    let mut counter_exit: HashMap<usize, Node> = HashMap::new();
-    for (ci, comp) in v.comps.iter().enumerate() {
-        let me = Node::Comp(ci);
-        match comp {
-            Comp::Pipe(p) => {
-                consumer.insert(p.in_chan.0, me);
-                producer.insert(p.out_chan.0, me);
-            }
-            Comp::Branch(b) => {
-                consumer.insert(b.inp.0, me);
-                producer.insert(b.taken.0 .0, me);
-                producer.insert(b.not_taken.0 .0, me);
-            }
-            Comp::Select(s) => {
-                consumer.insert(s.from_taken.0, me);
-                consumer.insert(s.from_not_taken.0, me);
-                producer.insert(s.out.0, me);
-                if let Some(fi) = s.decisions {
-                    fifo_select.insert(fi, me);
-                }
-            }
-            Comp::Enter(e) => {
-                consumer.insert(e.outside.0, me);
-                consumer.insert(e.backedge.0, me);
-                producer.insert(e.out.0, me);
-            }
-            Comp::Exit(x) => {
-                consumer.insert(x.inp.0, me);
-                producer.insert(x.out.0, me);
-                counter_exit.insert(x.counter, me);
-            }
-            Comp::Barrier(b) => {
-                consumer.insert(b.inp.0, me);
-                producer.insert(b.out.0, me);
-            }
-        }
-    }
+    // Static wiring, shared with the profiler's bottleneck analyzer.
+    let ChannelWiring { mut producer, mut consumer, fifo_select, counter_exit } =
+        channel_wiring(v.comps);
     for (di, d) in v.dispatchers.iter().enumerate() {
         producer.insert(d.entry, Node::Dispatcher(di));
         consumer.insert(d.retire, Node::Dispatcher(di));

@@ -18,6 +18,7 @@
 //! * [`BarrierUnit`] is the work-group barrier FIFO (§IV-F1).
 
 use crate::channel::{ChanId, Channel};
+use crate::profile::CycleBreakdown;
 use crate::token::{Mapping, Token};
 use std::collections::VecDeque;
 
@@ -35,6 +36,8 @@ pub struct Branch {
     /// Order-preservation side FIFO of work-group ids (shared with the
     /// matching select glue).
     pub decisions: Option<usize>,
+    /// Cycle attribution (exactly one category per tick).
+    pub cycles: CycleBreakdown,
 }
 
 /// Select glue merging the two arms of a branch.
@@ -50,6 +53,8 @@ pub struct Select {
     pub decisions: Option<usize>,
     /// Round-robin pointer for the unordered variant.
     pub rr: bool,
+    /// Cycle attribution (exactly one category per tick).
+    pub cycles: CycleBreakdown,
 }
 
 /// Loop entrance glue (plain or SWGR).
@@ -70,6 +75,8 @@ pub struct LoopEnter {
     pub swgr: bool,
     /// Current work-group when `swgr` (valid while the loop is non-empty).
     pub cur_wg: u32,
+    /// Cycle attribution (exactly one category per tick).
+    pub cycles: CycleBreakdown,
 }
 
 /// Loop exit glue: decrements the shared counter.
@@ -85,6 +92,8 @@ pub struct LoopExit {
     /// was already zero (e.g. a duplicated token). The machine surfaces
     /// this as an invariant violation instead of wrapping the counter.
     pub underflow: bool,
+    /// Cycle attribution (exactly one category per tick).
+    pub cycles: CycleBreakdown,
 }
 
 /// The work-group barrier unit: a FIFO that releases one complete
@@ -106,6 +115,8 @@ pub struct BarrierUnit {
     /// token was dropped/duplicated by fault injection). The machine
     /// surfaces this as an invariant violation.
     pub order_violation: bool,
+    /// Cycle attribution (exactly one category per tick).
+    pub cycles: CycleBreakdown,
 }
 
 /// A bounded side FIFO of work-group ids (§IV-F1: "the branch glue
@@ -121,14 +132,19 @@ pub struct DecisionFifo {
 impl Branch {
     /// Advances one cycle.
     pub fn tick(&mut self, chans: &mut [Channel<Token>], fifos: &mut [DecisionFifo]) {
-        let Some(front) = chans[self.inp.0].front() else { return };
+        let Some(front) = chans[self.inp.0].front() else {
+            self.cycles.idle += 1;
+            return;
+        };
         let taken = front.vals[self.cond_idx] != 0;
         let (dst, map) = if taken { &self.taken } else { &self.not_taken };
         if !chans[dst.0].can_push() {
+            self.cycles.output_stall += 1;
             return;
         }
         if let Some(f) = self.decisions {
             if fifos[f].q.len() >= fifos[f].cap {
+                self.cycles.output_stall += 1;
                 return;
             }
         }
@@ -139,13 +155,21 @@ impl Branch {
         if let Some(f) = self.decisions {
             fifos[f].q.push_back(wg);
         }
+        self.cycles.busy += 1;
     }
 }
 
 impl Select {
     /// Advances one cycle (delivers at most one work-item).
     pub fn tick(&mut self, chans: &mut [Channel<Token>], fifos: &mut [DecisionFifo]) {
+        let has_input =
+            chans[self.from_taken.0].can_pop() || chans[self.from_not_taken.0].can_pop();
         if !chans[self.out.0].can_push() {
+            if has_input {
+                self.cycles.output_stall += 1;
+            } else {
+                self.cycles.idle += 1;
+            }
             return;
         }
         match self.decisions {
@@ -153,7 +177,16 @@ impl Select {
                 // Work-group-order preservation: deliver any work-item of
                 // the work-group at the head of the id queue, from either
                 // arm (both arms preserve work-group order internally).
-                let Some(&head_wg) = fifos[f].q.front() else { return };
+                let Some(&head_wg) = fifos[f].q.front() else {
+                    // An input without a decision means the branch has not
+                    // recorded the routing yet: the merge cannot issue.
+                    if has_input {
+                        self.cycles.issue_stall += 1;
+                    } else {
+                        self.cycles.idle += 1;
+                    }
+                    return;
+                };
                 let order = if self.rr {
                     [self.from_taken, self.from_not_taken]
                 } else {
@@ -167,9 +200,12 @@ impl Select {
                         let tok = chans[src.0].pop();
                         chans[self.out.0].push(tok);
                         self.rr = !self.rr;
+                        self.cycles.busy += 1;
                         return;
                     }
                 }
+                // Waiting on the ordered work-group to arrive upstream.
+                self.cycles.idle += 1;
             }
             None => {
                 // Free merging: round-robin between the arms.
@@ -183,9 +219,11 @@ impl Select {
                         let tok = chans[src.0].pop();
                         chans[self.out.0].push(tok);
                         self.rr = !self.rr;
+                        self.cycles.busy += 1;
                         return;
                     }
                 }
+                self.cycles.idle += 1;
             }
         }
     }
@@ -196,48 +234,74 @@ impl LoopEnter {
     /// work-item re-entering the loop must never be blocked by new
     /// arrivals, or the loop deadlocks at capacity.
     pub fn tick(&mut self, chans: &mut [Channel<Token>], counters: &mut [u64]) {
+        let has_input =
+            chans[self.backedge.0].can_pop() || chans[self.outside.0].can_pop();
         if !chans[self.out.0].can_push() {
+            if has_input {
+                self.cycles.output_stall += 1;
+            } else {
+                self.cycles.idle += 1;
+            }
             return;
         }
         if chans[self.backedge.0].can_pop() {
             let tok = chans[self.backedge.0].pop();
             chans[self.out.0].push(tok);
+            self.cycles.busy += 1;
             return;
         }
         if counters[self.counter] >= self.nmax {
+            // Occupancy at N_max: new arrivals cannot be admitted (Case-1).
+            if chans[self.outside.0].can_pop() {
+                self.cycles.issue_stall += 1;
+            } else {
+                self.cycles.idle += 1;
+            }
             return;
         }
-        let Some(front) = chans[self.outside.0].front() else { return };
+        let Some(front) = chans[self.outside.0].front() else {
+            self.cycles.idle += 1;
+            return;
+        };
         if self.swgr {
             // Admit only work-items of the current work-group; adopt a new
             // group only when the loop is empty.
             if counters[self.counter] == 0 {
                 self.cur_wg = front.wg;
             } else if front.wg != self.cur_wg {
+                self.cycles.issue_stall += 1;
                 return;
             }
         }
         let tok = chans[self.outside.0].pop();
         counters[self.counter] += 1;
         chans[self.out.0].push(tok);
+        self.cycles.busy += 1;
     }
 }
 
 impl LoopExit {
     /// Advances one cycle.
     pub fn tick(&mut self, chans: &mut [Channel<Token>], counters: &mut [u64]) {
-        if chans[self.inp.0].can_pop() && chans[self.out.0].can_push() {
-            let tok = chans[self.inp.0].pop();
-            if counters[self.counter] == 0 {
-                // Never happens in a correct machine (Theorem 1); reachable
-                // under token-duplication fault injection. Saturate instead
-                // of wrapping and let the machine report it.
-                self.underflow = true;
-            } else {
-                counters[self.counter] -= 1;
-            }
-            chans[self.out.0].push(tok);
+        if !chans[self.inp.0].can_pop() {
+            self.cycles.idle += 1;
+            return;
         }
+        if !chans[self.out.0].can_push() {
+            self.cycles.output_stall += 1;
+            return;
+        }
+        let tok = chans[self.inp.0].pop();
+        if counters[self.counter] == 0 {
+            // Never happens in a correct machine (Theorem 1); reachable
+            // under token-duplication fault injection. Saturate instead
+            // of wrapping and let the machine report it.
+            self.underflow = true;
+        } else {
+            counters[self.counter] -= 1;
+        }
+        chans[self.out.0].push(tok);
+        self.cycles.busy += 1;
     }
 }
 
@@ -245,9 +309,11 @@ impl BarrierUnit {
     /// Advances one cycle: accepts one arrival and emits one release.
     pub fn tick(&mut self, chans: &mut [Channel<Token>]) {
         // Accept (the barrier's storage is its own embedded-memory FIFO).
+        let mut accepted = false;
         if chans[self.inp.0].can_pop() {
             let tok = chans[self.inp.0].pop();
             self.buf.push_back(tok);
+            accepted = true;
         }
         // Begin releasing when a full work-group has arrived.
         if self.releasing == 0 && self.buf.len() as u64 >= self.wg_size {
@@ -260,10 +326,21 @@ impl BarrierUnit {
             }
             self.releasing = self.wg_size;
         }
+        let mut released = false;
         if self.releasing > 0 && chans[self.out.0].can_push() {
             let tok = self.buf.pop_front().expect("releasing implies non-empty");
             chans[self.out.0].push(tok);
             self.releasing -= 1;
+            released = true;
+        }
+        if accepted || released {
+            self.cycles.busy += 1;
+        } else if self.releasing > 0 {
+            // Wanted to release but the output channel refused (Case-2).
+            self.cycles.output_stall += 1;
+        } else {
+            // Empty, or holding a partial work-group waiting for stragglers.
+            self.cycles.idle += 1;
         }
     }
 
@@ -296,6 +373,7 @@ mod tests {
             taken: (ChanId(1), Mapping::identity()),
             not_taken: (ChanId(2), Mapping::identity()),
             decisions: None,
+            cycles: CycleBreakdown::default(),
         };
         begin(&mut chans);
         chans[0].push(tok(1, 0, &[1]));
@@ -323,6 +401,7 @@ mod tests {
             out: ChanId(2),
             decisions: Some(0),
             rr: false,
+            cycles: CycleBreakdown::default(),
         };
         begin(&mut chans);
         chans[0].push(tok(1, 0, &[]));
@@ -351,6 +430,7 @@ mod tests {
             out: ChanId(2),
             decisions: Some(0),
             rr: false,
+            cycles: CycleBreakdown::default(),
         };
         begin(&mut chans);
         // Only the not-taken arm has a token (the taken one is stuck at a
@@ -376,6 +456,7 @@ mod tests {
             nmax: 1,
             swgr: false,
             cur_wg: 0,
+            cycles: CycleBreakdown::default(),
         };
         begin(&mut chans);
         chans[0].push(tok(1, 0, &[]));
@@ -408,6 +489,7 @@ mod tests {
             nmax: 100,
             swgr: true,
             cur_wg: 0,
+            cycles: CycleBreakdown::default(),
         };
         begin(&mut chans);
         chans[0].push(tok(1, 0, &[]));
@@ -434,6 +516,7 @@ mod tests {
             buf: VecDeque::new(),
             releasing: 0,
             order_violation: false,
+            cycles: CycleBreakdown::default(),
         };
         begin(&mut chans);
         chans[0].push(tok(1, 0, &[]));

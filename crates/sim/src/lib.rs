@@ -44,9 +44,14 @@ pub mod glue;
 pub mod launch;
 pub mod machine;
 pub mod memsys;
+pub mod profile;
 pub mod token;
 pub mod units;
 
 pub use diag::{derived_deadlock_window, DeadlockReport, HangKind};
 pub use fault::{Fault, FaultPlan};
 pub use machine::{run, SimConfig, SimError, SimResult};
+pub use profile::{
+    write_chrome_trace, Bottleneck, CacheProfile, CompProfile, CycleBreakdown, FifoDepth,
+    ProfileConfig, ProfileReport, Sample, Span, SpanTrack, UnitProfile,
+};

@@ -8,6 +8,7 @@ use crate::fault::{self, FaultPlan};
 use crate::glue::{BarrierUnit, Branch, DecisionFifo, LoopEnter, LoopExit, Select};
 use crate::launch::LaunchCtx;
 use crate::memsys::{CachePlan, MemTarget, MemorySystem};
+use crate::profile::{self, CycleBreakdown, ProfileConfig, ProfileReport, Profiler};
 use crate::token::{edge_mapping, Mapping, Token};
 use crate::units::PipelineSim;
 use soff_datapath::{Datapath, PipeNode};
@@ -50,6 +51,11 @@ pub struct SimConfig {
     /// Ablation: collapse all global accesses into one shared cache
     /// instead of one per (buffer × datapath) (§V-A).
     pub force_shared_cache: bool,
+    /// Cycle-attribution profiling (`None` = off). When off, the per-unit
+    /// counter vectors are never allocated and the per-cycle observation
+    /// pass is skipped; simulated cycle counts are bit-identical either
+    /// way (the profiler only observes).
+    pub profile: Option<ProfileConfig>,
 }
 
 impl Default for SimConfig {
@@ -64,6 +70,7 @@ impl Default for SimConfig {
             faults: FaultPlan::default(),
             check_invariants: false,
             force_shared_cache: false,
+            profile: None,
         }
     }
 }
@@ -123,7 +130,7 @@ impl From<InterpError> for SimError {
 }
 
 /// Result of one simulated kernel execution.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Total cycles including the final cache flush.
     pub cycles: u64,
@@ -133,6 +140,10 @@ pub struct SimResult {
     pub retired: u64,
     /// Aggregated cache statistics.
     pub cache: CacheStats,
+    /// Per-cache statistics, indexed like the machine's cache array
+    /// (buffer-group-major, instance-minor; see
+    /// [`crate::memsys::CachePlan::cache_index`]). Sums to `cache`.
+    pub per_cache: Vec<CacheStats>,
     /// DRAM statistics.
     pub dram: DramStats,
     /// Datapath instances used.
@@ -143,6 +154,9 @@ pub struct SimResult {
     /// Cycles memory units could not issue (Case-1 stalls: the unit was
     /// holding `L_F + 1` work-items, or its cache port was busy).
     pub issue_stalls: u64,
+    /// Full cycle-attribution profile (only when [`SimConfig::profile`]
+    /// was set).
+    pub profile: Option<Box<ProfileReport>>,
 }
 
 pub(crate) enum Comp {
@@ -205,6 +219,7 @@ pub fn run(
         inst: 0,
         nvars: kernel.local_vars.len(),
         wg_size: launch.wg_size(),
+        profile: cfg.profile.is_some(),
     };
 
     let root = dp.root.clone();
@@ -222,6 +237,15 @@ pub fn run(
     }
 
     let Builder { mut chans, mut comps, mut fifos, mut counters, metas, .. } = b;
+
+    let mut profiler = cfg.profile.map(|pcfg| {
+        Profiler::new(
+            pcfg,
+            chans.len(),
+            metas.clone(),
+            profile::cache_labels(&plan, mem.caches.len()),
+        )
+    });
 
     // ---- main clock loop -------------------------------------------------
     let total = launch.total_work_items();
@@ -261,6 +285,9 @@ pub fn run(
             {
                 d.cur = Some((next_wg, 0));
                 d.active.insert(next_wg as u32, wg_size);
+                if let Some(p) = profiler.as_mut() {
+                    p.wg_dispatched(next_wg as u32, now);
+                }
                 next_wg += 1;
             }
             if let Some((wg, lid)) = &mut d.cur {
@@ -300,6 +327,9 @@ pub fn run(
                         *rem -= 1;
                         if *rem == 0 {
                             d.active.remove(&tok.wg);
+                            if let Some(p) = profiler.as_mut() {
+                                p.wg_completed(tok.wg, now);
+                            }
                         }
                     }
                     None => {
@@ -329,6 +359,10 @@ pub fn run(
             }
         }
 
+        if let Some(p) = profiler.as_mut() {
+            p.observe(now, &chans, &comps, &mem, retired);
+        }
+
         if retired == total {
             let done = mem.flush_all(now);
             let (output_stalls, issue_stalls) = comps
@@ -338,15 +372,20 @@ pub fn run(
                     _ => None,
                 })
                 .fold((0, 0), |(o, i), (po, pi)| (o + po, i + pi));
+            let profile = profiler.take().map(|p| {
+                Box::new(p.finish(kernel.name.clone(), &comps, &mem, &chans, now, done))
+            });
             return Ok(SimResult {
                 cycles: done,
                 compute_cycles: now,
                 retired,
                 cache: mem.cache_stats(),
+                per_cache: mem.per_cache_stats(),
                 dram: mem.dram.stats,
                 num_instances: n_inst as u32,
                 output_stalls,
                 issue_stalls,
+                profile,
             });
         }
 
@@ -502,6 +541,8 @@ struct Builder<'a> {
     inst: usize,
     nvars: usize,
     wg_size: u64,
+    /// Allocate per-unit cycle-attribution counters in the pipelines.
+    profile: bool,
 }
 
 /// Capacity of plain inter-pipeline channels (a registered handshake plus
@@ -563,6 +604,7 @@ impl<'a> Builder<'a> {
         let pa = self.pa;
         let inst = self.inst;
         let nvars = self.nvars;
+        let profile = self.profile;
         let mem = &mut *self.mem;
         let local_next_port = &mut self.local_next_port;
         let pipe = PipelineSim::build(
@@ -572,6 +614,7 @@ impl<'a> Builder<'a> {
             out_chan,
             map,
             &self.launch.params,
+            profile,
             |v: ValueId, _class| -> (MemTarget, PortId) {
                 let (space, addr) = match &k.instr(v).kind {
                     InstKind::Load { space, addr, .. }
@@ -645,6 +688,7 @@ impl<'a> Builder<'a> {
                         taken: (then_in, self.map_edge(b, Some(then_entry))),
                         not_taken: (sel_f, self.map_edge(b, succ)),
                         decisions,
+                        cycles: CycleBreakdown::default(),
                     }),
                     format!("branch {b} (inst {})", self.inst),
                 );
@@ -656,6 +700,7 @@ impl<'a> Builder<'a> {
                         out: out_chan,
                         decisions,
                         rr: false,
+                        cycles: CycleBreakdown::default(),
                     }),
                     format!("select {b} (inst {})", self.inst),
                 );
@@ -681,6 +726,7 @@ impl<'a> Builder<'a> {
                         taken: (then_in, self.map_edge(b, Some(then_entry))),
                         not_taken: (els_in, self.map_edge(b, Some(els_entry))),
                         decisions,
+                        cycles: CycleBreakdown::default(),
                     }),
                     format!("branch {b} (inst {})", self.inst),
                 );
@@ -693,6 +739,7 @@ impl<'a> Builder<'a> {
                         out: out_chan,
                         decisions,
                         rr: false,
+                        cycles: CycleBreakdown::default(),
                     }),
                     format!("select {b} (inst {})", self.inst),
                 );
@@ -713,6 +760,7 @@ impl<'a> Builder<'a> {
                         nmax: nmax_eff,
                         swgr: *swgr,
                         cur_wg: 0,
+                        cycles: CycleBreakdown::default(),
                     }),
                     format!("loop-enter {b} (inst {})", self.inst),
                 );
@@ -727,12 +775,19 @@ impl<'a> Builder<'a> {
                         taken: (body_in, self.map_edge(b, Some(body_entry))),
                         not_taken: (exit_in, self.map_edge(b, succ)),
                         decisions: None,
+                        cycles: CycleBreakdown::default(),
                     }),
                     format!("loop-branch {b} (inst {})", self.inst),
                 );
                 self.build_node(body, body_in, backedge, Some(b));
                 self.push_comp(
-                    Comp::Exit(LoopExit { inp: exit_in, out: out_chan, counter, underflow: false }),
+                    Comp::Exit(LoopExit {
+                        inp: exit_in,
+                        out: out_chan,
+                        counter,
+                        underflow: false,
+                        cycles: CycleBreakdown::default(),
+                    }),
                     format!("loop-exit {b} (inst {})", self.inst),
                 );
             }
@@ -751,6 +806,7 @@ impl<'a> Builder<'a> {
                         nmax: nmax_eff,
                         swgr: *swgr,
                         cur_wg: 0,
+                        cycles: CycleBreakdown::default(),
                     }),
                     format!("loop-enter {body_entry} (inst {})", self.inst),
                 );
@@ -785,6 +841,7 @@ impl<'a> Builder<'a> {
                         taken: (backedge, self.map_edge(last_block, Some(body_entry))),
                         not_taken: (exit_in, self.map_edge(last_block, succ)),
                         decisions: None,
+                        cycles: CycleBreakdown::default(),
                     }),
                     format!("loop-branch {last_block} (inst {})", self.inst),
                 );
@@ -794,6 +851,7 @@ impl<'a> Builder<'a> {
                         out: out_chan,
                         counter,
                         underflow: false,
+                        cycles: CycleBreakdown::default(),
                     }),
                     format!("loop-exit {last_block} (inst {})", self.inst),
                 );
@@ -833,6 +891,7 @@ impl<'a> Builder<'a> {
                             buf: VecDeque::new(),
                             releasing: 0,
                             order_violation: false,
+                            cycles: CycleBreakdown::default(),
                         }),
                         format!("barrier (inst {})", self.inst),
                     );

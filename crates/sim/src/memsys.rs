@@ -229,8 +229,15 @@ impl MemorySystem {
             agg.arbitration_stalls += s.arbitration_stalls;
             agg.mshr_stalls += s.mshr_stalls;
             agg.lock_delay += s.lock_delay;
+            agg.prefetch_hits += s.prefetch_hits;
         }
         agg
+    }
+
+    /// Per-cache statistics, indexed like `caches` (see
+    /// [`CachePlan::cache_index`] for the layout).
+    pub fn per_cache_stats(&self) -> Vec<CacheStats> {
+        self.caches.iter().map(|c| c.stats).collect()
     }
 }
 

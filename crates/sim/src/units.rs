@@ -11,6 +11,7 @@
 use crate::channel::{ChanId, Channel};
 use crate::launch::LaunchCtx;
 use crate::memsys::{MemTarget, MemorySystem};
+use crate::profile::{CycleBreakdown, UnitProfile};
 use crate::token::{Mapping, Token};
 use soff_datapath::pipeline::BasicPipeline;
 use soff_datapath::UnitClass;
@@ -128,6 +129,30 @@ pub struct PipelineSim {
     edges: Vec<Channel<Micro>>,
     /// Statistics.
     pub stats: PipelineStats,
+    /// Per-unit cycle attribution, allocated only when profiling is on
+    /// (the machine's flag gate — `None` keeps the per-cycle cost at one
+    /// branch per unit).
+    unit_stats: Option<Vec<CycleBreakdown>>,
+}
+
+/// Exclusive per-cycle activity classification of one unit.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Act {
+    Busy,
+    IssueStall,
+    OutputStall,
+    Idle,
+}
+
+/// What the output stage of a unit did this cycle.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Drain {
+    /// No finished token was due.
+    NoneReady,
+    /// A finished token moved onto the out edges.
+    Emitted,
+    /// A finished token was due but an out edge was full (Case-2).
+    Blocked,
 }
 
 impl PipelineSim {
@@ -135,6 +160,7 @@ impl PipelineSim {
     ///
     /// `port_of` assigns each memory instruction its memory target and
     /// port (built by the machine).
+    #[allow(clippy::too_many_arguments)]
     pub fn build(
         k: &Kernel,
         bp: &BasicPipeline,
@@ -142,6 +168,7 @@ impl PipelineSim {
         out_chan: ChanId,
         out_map: Option<Mapping>,
         launch_params: &[u64],
+        profile: bool,
         mut port_of: impl FnMut(ValueId, UnitClass) -> (MemTarget, PortId),
     ) -> PipelineSim {
         let dfg = &bp.dfg;
@@ -220,6 +247,7 @@ impl PipelineSim {
             units.push(UnitSim { engine, lf: unit.lf, ins, outs, internal: VecDeque::new() });
         }
 
+        let unit_stats = profile.then(|| vec![CycleBreakdown::default(); units.len()]);
         PipelineSim {
             in_chan,
             out_chan,
@@ -227,7 +255,44 @@ impl PipelineSim {
             units,
             edges,
             stats: PipelineStats::default(),
+            unit_stats,
         }
+    }
+
+    /// Per-unit cycle attribution (`None` unless built with profiling).
+    pub(crate) fn unit_profiles(&self) -> Option<Vec<UnitProfile>> {
+        let us = self.unit_stats.as_ref()?;
+        Some(
+            self.units
+                .iter()
+                .enumerate()
+                .map(|(i, u)| UnitProfile {
+                    unit: i,
+                    kind: match &u.engine {
+                        Engine::Source { .. } => "source",
+                        Engine::Sink { .. } => "sink",
+                        Engine::Compute { .. } => "compute",
+                        Engine::Mem { .. } => "mem",
+                    }
+                    .to_string(),
+                    cycles: us[i],
+                })
+                .collect(),
+        )
+    }
+
+    /// Issue-stall cycles per memory unit with its static target, for the
+    /// bottleneck analyzer (empty unless built with profiling).
+    pub(crate) fn mem_unit_issue_stalls(&self) -> Vec<(MemTarget, u64)> {
+        let Some(us) = self.unit_stats.as_ref() else { return Vec::new() };
+        self.units
+            .iter()
+            .enumerate()
+            .filter_map(|(i, u)| match &u.engine {
+                Engine::Mem { target, .. } => Some((*target, us[i].issue_stall)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Whether the pipeline holds no work-items.
@@ -349,7 +414,7 @@ impl PipelineSim {
             },
         );
 
-        match &mut unit.engine {
+        let act = match &mut unit.engine {
             Engine::Source { drive } => {
                 // Fire: needs an input token and space on every out edge.
                 if ext[self.in_chan.0].can_pop() {
@@ -363,9 +428,13 @@ impl PipelineSim {
                             };
                             self.edges[ei].push(Micro { wi: t.wi, wg: t.wg, val });
                         }
+                        Act::Busy
                     } else {
                         self.stats.output_stalls += 1;
+                        Act::OutputStall
                     }
+                } else {
+                    Act::Idle
                 }
             }
             Engine::Sink { out_pos, width } => {
@@ -395,19 +464,30 @@ impl PipelineSim {
                         };
                         ext[self.out_chan.0].push(tok);
                         self.stats.completed += 1;
+                        Act::Busy
                     } else {
                         self.stats.output_stalls += 1;
+                        Act::OutputStall
                     }
+                } else {
+                    Act::Idle
                 }
             }
             Engine::Compute { value, ops } => {
                 // Output stage.
-                drain_internal(&mut unit.internal, &mut self.edges, &unit.outs, now, &mut self.stats);
+                let drained = drain_internal(
+                    &mut unit.internal,
+                    &mut self.edges,
+                    &unit.outs,
+                    now,
+                    &mut self.stats,
+                );
                 // Fire stage (fully pipelined: capacity L_F + 1).
-                if unit.ins.iter().all(|&ei| self.edges[ei].can_pop())
-                    && !unit.ins.is_empty()
-                    && unit.internal.len() < (unit.lf as usize + 1)
-                {
+                let inputs_ready = unit.ins.iter().all(|&ei| self.edges[ei].can_pop())
+                    && !unit.ins.is_empty();
+                let capacity_ok = unit.internal.len() < (unit.lf as usize + 1);
+                let mut fired = false;
+                if inputs_ready && capacity_ok {
                     let (wi, wg, vals) = pop_operands(&mut self.edges, &unit.ins);
                     let opvals: Vec<u64> = ops
                         .iter()
@@ -418,20 +498,41 @@ impl PipelineSim {
                         .collect();
                     let result = eval_compute(k, *value, &opvals, wi, launch);
                     unit.internal.push_back((now + unit.lf as u64, Micro { wi, wg, val: result }));
+                    fired = true;
+                }
+                if drained == Drain::Blocked {
+                    Act::OutputStall
+                } else if inputs_ready && !fired {
+                    Act::IssueStall
+                } else if fired || drained == Drain::Emitted || !unit.internal.is_empty() {
+                    Act::Busy
+                } else {
+                    Act::Idle
                 }
             }
             Engine::Mem { value, target, port, ops, pending } => {
                 // Drain a memory response (at most one per cycle).
+                let mut delivered = false;
                 if let Some(resp) = mem.pop_response(*target, *port, now) {
                     let (wi, wg) = pending.pop_front().expect("response without pending request");
                     unit.internal.push_back((now, Micro { wi, wg, val: resp.value }));
+                    delivered = true;
                 }
                 // Output stage.
-                drain_internal(&mut unit.internal, &mut self.edges, &unit.outs, now, &mut self.stats);
+                let drained = drain_internal(
+                    &mut unit.internal,
+                    &mut self.edges,
+                    &unit.outs,
+                    now,
+                    &mut self.stats,
+                );
                 // Fire stage: the unit never stalls while holding ≤ L_F
                 // work-items (§IV-C); enforce the capacity L_F + 1.
                 let held = unit.internal.len() + pending.len();
-                if unit.ins.iter().all(|&ei| self.edges[ei].can_pop()) && !unit.ins.is_empty() {
+                let inputs_ready = unit.ins.iter().all(|&ei| self.edges[ei].can_pop())
+                    && !unit.ins.is_empty();
+                let mut fired = false;
+                if inputs_ready {
                     if held < (unit.lf as usize + 1) && mem.can_request(*target, *port) {
                         let (wi, wg, vals) = pop_operands(&mut self.edges, &unit.ins);
                         let opvals: Vec<u64> = ops
@@ -444,10 +545,35 @@ impl PipelineSim {
                         let req = build_request(k, *value, &opvals, wi, wg);
                         mem.request(*target, *port, req, now);
                         pending.push_back((wi, wg));
+                        fired = true;
                     } else {
                         self.stats.issue_stalls += 1;
                     }
                 }
+                if drained == Drain::Blocked {
+                    Act::OutputStall
+                } else if inputs_ready && !fired {
+                    Act::IssueStall
+                } else if fired
+                    || delivered
+                    || drained == Drain::Emitted
+                    || !unit.internal.is_empty()
+                    || !pending.is_empty()
+                {
+                    Act::Busy
+                } else {
+                    Act::Idle
+                }
+            }
+        };
+
+        if let Some(us) = self.unit_stats.as_mut() {
+            let c = &mut us[ui];
+            match act {
+                Act::Busy => c.busy += 1,
+                Act::IssueStall => c.issue_stall += 1,
+                Act::OutputStall => c.output_stall += 1,
+                Act::Idle => c.idle += 1,
             }
         }
 
@@ -461,7 +587,7 @@ fn drain_internal(
     outs: &[usize],
     now: u64,
     stats: &mut PipelineStats,
-) {
+) -> Drain {
     if let Some((ready, _)) = internal.front() {
         if *ready <= now {
             if outs.iter().all(|&ei| edges[ei].can_push()) {
@@ -469,11 +595,13 @@ fn drain_internal(
                 for &ei in outs {
                     edges[ei].push(m);
                 }
-            } else {
-                stats.output_stalls += 1;
+                return Drain::Emitted;
             }
+            stats.output_stalls += 1;
+            return Drain::Blocked;
         }
     }
+    Drain::NoneReady
 }
 
 fn pop_operands(edges: &mut [Channel<Micro>], ins: &[usize]) -> (u32, u32, Vec<u64>) {

@@ -104,6 +104,11 @@ pub struct SimRunner {
     pub total_seconds: f64,
     /// Number of kernel launches.
     pub launches: u32,
+    /// One profile per launch, in launch order (only filled after
+    /// [`SimRunner::enable_profiling`]).
+    pub profiles: Vec<soff_sim::ProfileReport>,
+    /// Per-launch simulation results, in launch order.
+    pub launch_results: Vec<soff_sim::SimResult>,
     fw: Framework,
     device: soff_runtime::Device,
 }
@@ -127,9 +132,17 @@ impl SimRunner {
             total_cycles: 0,
             total_seconds: 0.0,
             launches: 0,
+            profiles: Vec::new(),
+            launch_results: Vec::new(),
             fw,
             device,
         })
+    }
+
+    /// Turns on cycle-attribution profiling for every subsequent launch;
+    /// the reports accumulate in [`SimRunner::profiles`].
+    pub fn enable_profiling(&mut self, cfg: soff_sim::ProfileConfig) {
+        self.ctx.profile = Some(cfg);
     }
 
     /// The replication factor of the first kernel (for the Fig. 12 (b)
@@ -180,6 +193,11 @@ impl Runner for SimRunner {
         self.total_seconds +=
             soff_baseline::cycles_to_seconds(self.fw, &self.device, stats.sim.cycles);
         self.launches += 1;
+        let mut sim = stats.sim;
+        if let Some(p) = sim.profile.take() {
+            self.profiles.push(*p);
+        }
+        self.launch_results.push(sim);
         Ok(())
     }
 
