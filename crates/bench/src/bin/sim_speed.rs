@@ -1,0 +1,139 @@
+//! Wall-clock benchmark of the event-driven scheduler.
+//!
+//! Runs each selected application twice — once under the dense reference
+//! loop, once under the event-driven scheduler — checks that every
+//! per-launch `SimResult` is bit-identical, and reports the wall-clock
+//! speedup. Exits nonzero if the schedulers disagree anywhere or any app
+//! fails to run.
+//!
+//! ```text
+//! cargo run --release -p soff-bench --bin sim_speed [--apps atax,mvt] [--full]
+//! ```
+//!
+//! Writes `BENCH_sim_speed.json` in the current directory.
+
+use soff_baseline::Framework;
+use soff_bench::json::{write_bench_rows, Json};
+use soff_bench::{fmt_geomean, geomean};
+use soff_sim::Scheduler;
+use soff_workloads::data::Scale;
+use soff_workloads::runner::SimRunner;
+use soff_workloads::{all_apps, App, Suite};
+use std::time::Instant;
+
+struct Measured {
+    wall_seconds: f64,
+    cycles: u64,
+    launches: u32,
+    results: Vec<soff_sim::SimResult>,
+}
+
+fn run_once(app: &App, scale: Scale, scheduler: Scheduler) -> Result<Measured, String> {
+    let mut runner = SimRunner::new(Framework::Soff, app.source, &[])
+        .map_err(|o| format!("build failed ({})", o.code()))?;
+    runner.set_scheduler(scheduler);
+    let start = Instant::now();
+    let correct = (app.run)(&mut runner, scale).map_err(|e| e.to_string())?;
+    let wall_seconds = start.elapsed().as_secs_f64();
+    if !correct {
+        return Err("incorrect answer".to_string());
+    }
+    Ok(Measured {
+        wall_seconds,
+        cycles: runner.total_cycles,
+        launches: runner.launches,
+        results: runner.launch_results,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Small };
+    let only: Option<Vec<String>> = args
+        .iter()
+        .position(|a| a == "--apps")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| list.split(',').map(|s| s.trim().to_string()).collect());
+
+    let apps: Vec<App> = all_apps()
+        .into_iter()
+        .filter(|a| match &only {
+            Some(names) => names.iter().any(|n| n == a.name),
+            // Default sweep: the PolyBench suite (every app runs on SOFF).
+            None => a.suite == Suite::PolyBench,
+        })
+        .collect();
+    if apps.is_empty() {
+        eprintln!("no matching applications");
+        std::process::exit(2);
+    }
+
+    println!("Simulator wall-clock: dense vs. event-driven scheduler ({scale:?} scale)");
+    println!("{:-<76}", "");
+    println!(
+        "{:<12} {:>12} {:>12} {:>9} {:>14} {:>9}",
+        "app", "dense (ms)", "event (ms)", "speedup", "cycles", "agree"
+    );
+    println!("{:-<76}", "");
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    let mut failed = false;
+    for app in &apps {
+        let dense = run_once(app, scale, Scheduler::Dense);
+        let event = run_once(app, scale, Scheduler::EventDriven);
+        let (dense, event) = match (dense, event) {
+            (Ok(d), Ok(e)) => (d, e),
+            (d, e) => {
+                let why = d.err().or_else(|| e.err()).unwrap_or_default();
+                println!("{:<12} failed: {why}", app.name);
+                failed = true;
+                continue;
+            }
+        };
+        // Bit-identity: every launch's full SimResult (cycle counts,
+        // per-cache statistics, stall counters) must match.
+        let agree = dense.results == event.results
+            && dense.cycles == event.cycles
+            && dense.launches == event.launches;
+        if !agree {
+            failed = true;
+        }
+        let speedup = dense.wall_seconds / event.wall_seconds.max(1e-9);
+        speedups.push(speedup);
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>8.2}x {:>14} {:>9}",
+            app.name,
+            dense.wall_seconds * 1e3,
+            event.wall_seconds * 1e3,
+            speedup,
+            dense.cycles,
+            if agree { "yes" } else { "NO" },
+        );
+        rows.push(Json::obj(vec![
+            ("app", Json::str(app.name)),
+            ("dense_seconds", Json::Num(dense.wall_seconds)),
+            ("event_seconds", Json::Num(event.wall_seconds)),
+            ("speedup", Json::Num(speedup)),
+            ("cycles", Json::Int(dense.cycles as i64)),
+            ("launches", Json::Int(dense.launches as i64)),
+            ("agree", Json::Bool(agree)),
+        ]));
+    }
+    println!("{:-<76}", "");
+    println!("geomean speedup: {}", fmt_geomean(&speedups));
+    if let Some(g) = geomean(&speedups) {
+        rows.push(Json::obj(vec![("geomean_speedup", Json::Num(g))]));
+    }
+    match write_bench_rows("sim_speed", rows) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write results: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("FAILED: scheduler disagreement or app failure (see above)");
+        std::process::exit(1);
+    }
+}

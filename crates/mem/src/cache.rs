@@ -52,6 +52,79 @@ impl Default for CacheConfig {
     }
 }
 
+/// Why a [`CacheConfig`] cannot describe a real cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// `line == 0`: a line must hold at least one byte.
+    ZeroLine,
+    /// `bytes < line` (including `bytes == 0`): the capacity holds no
+    /// complete line, so the cache would have zero sets and every set
+    /// lookup would divide by zero.
+    ZeroSets {
+        /// Configured capacity.
+        bytes: u64,
+        /// Configured line size.
+        line: u32,
+    },
+    /// `bytes` is not a multiple of `line`: the trailing partial line
+    /// cannot be indexed.
+    UnalignedCapacity {
+        /// Configured capacity.
+        bytes: u64,
+        /// Configured line size.
+        line: u32,
+    },
+    /// `max_outstanding_misses == 0`: no miss could ever be accepted, so
+    /// the first miss would stall forever.
+    ZeroMshrs,
+}
+
+impl std::fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheConfigError::ZeroLine => write!(f, "cache line size is zero"),
+            CacheConfigError::ZeroSets { bytes, line } => write!(
+                f,
+                "cache capacity ({bytes} B) is smaller than one line ({line} B): zero sets"
+            ),
+            CacheConfigError::UnalignedCapacity { bytes, line } => write!(
+                f,
+                "cache capacity ({bytes} B) is not a multiple of the line size ({line} B)"
+            ),
+            CacheConfigError::ZeroMshrs => {
+                write!(f, "max_outstanding_misses is zero: no miss could ever complete")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
+
+impl CacheConfig {
+    /// Checks that the geometry describes a buildable cache.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheConfigError`] when the line size is zero, the capacity
+    /// holds no complete line, the capacity is not line-aligned, or no
+    /// MSHRs are configured.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        if self.line == 0 {
+            return Err(CacheConfigError::ZeroLine);
+        }
+        if self.bytes < self.line as u64 {
+            return Err(CacheConfigError::ZeroSets { bytes: self.bytes, line: self.line });
+        }
+        if !self.bytes.is_multiple_of(self.line as u64) {
+            return Err(CacheConfigError::UnalignedCapacity { bytes: self.bytes, line: self.line });
+        }
+        if self.max_outstanding_misses == 0 {
+            return Err(CacheConfigError::ZeroMshrs);
+        }
+        Ok(())
+    }
+}
+
 /// Cache statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -100,6 +173,11 @@ pub struct Cache {
     rr: usize,
     /// Accepted requests, in order; responses pop from the front.
     inflight: VecDeque<InFlight>,
+    /// Ready cycles of in-flight *misses*, in acceptance order. Because
+    /// in-order delivery clamps every ready to be monotone, the front is
+    /// always the next miss to age out, which makes MSHR occupancy an
+    /// O(1) pop-and-count instead of an O(n) rescan of `inflight`.
+    miss_readies: VecDeque<u64>,
     /// Completed responses per port.
     out: Vec<VecDeque<MemResponse>>,
     /// Atomic locks: cycle each lock frees up.
@@ -116,9 +194,25 @@ pub struct Cache {
 
 impl Cache {
     /// Creates a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid (see
+    /// [`CacheConfig::validate`]); use [`Cache::try_new`] to handle that
+    /// as an error instead.
     pub fn new(cfg: CacheConfig) -> Self {
+        Cache::try_new(cfg).expect("invalid cache configuration")
+    }
+
+    /// Creates a cache, rejecting ungeometric configurations.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheConfigError`] when [`CacheConfig::validate`] fails.
+    pub fn try_new(cfg: CacheConfig) -> Result<Self, CacheConfigError> {
+        cfg.validate()?;
         let sets = (cfg.bytes / cfg.line as u64) as usize;
-        Cache {
+        Ok(Cache {
             cfg,
             tags: vec![None; sets],
             dirty: vec![false; sets],
@@ -126,12 +220,13 @@ impl Cache {
             latches: Vec::new(),
             rr: 0,
             inflight: VecDeque::new(),
+            miss_readies: VecDeque::new(),
             out: Vec::new(),
             lock_free_at: [0; NUM_LOCKS],
             fault_jam_ports: false,
             fault_withhold_grants: false,
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// Fault injection: wedges or releases the port request latches.
@@ -185,12 +280,21 @@ impl Cache {
 
     /// Advances the cache by one cycle: completes at most one in-flight
     /// request and accepts at most one latched request (round-robin).
-    pub fn tick(&mut self, now: u64, dram: &mut Dram, gm: &mut GlobalMemory) {
+    ///
+    /// Returns whether the cache made *observable progress* this cycle —
+    /// delivered a response or accepted a request. A `false` return also
+    /// guarantees the next cycle would behave identically except for the
+    /// round-robin rotation and stall counters, which
+    /// [`Cache::replay_blocked`] can reproduce in closed form; the
+    /// event-driven scheduler relies on this to fast-forward idle gaps.
+    pub fn tick(&mut self, now: u64, dram: &mut Dram, gm: &mut GlobalMemory) -> bool {
+        let mut moved = false;
         // Single-ported SRAM: one response per cycle, strictly in order.
         if let Some(head) = self.inflight.front() {
             if head.ready <= now {
                 let h = self.inflight.pop_front().expect("front checked");
                 self.out[h.port].push_back(MemResponse { value: h.value });
+                moved = true;
             }
         }
 
@@ -202,11 +306,11 @@ impl Cache {
 
         // Round-robin accept.
         if self.fault_withhold_grants {
-            return;
+            return moved;
         }
         let n = self.latches.len();
         if n == 0 {
-            return;
+            return moved;
         }
         for k in 0..n {
             let p = (self.rr + k) % n;
@@ -218,20 +322,106 @@ impl Cache {
             let line_addr = req.addr / self.cfg.line as u64;
             let set = (line_addr % self.tags.len() as u64) as usize;
             let hit = self.tags[set] == Some(line_addr);
-            let outstanding_misses =
-                self.inflight.iter().filter(|f| f.was_miss && f.ready > now).count() as u32;
+            let outstanding_misses = self.mshr_occupancy(now);
             if !hit && outstanding_misses >= self.cfg.max_outstanding_misses {
                 self.stats.mshr_stalls += 1;
                 // A blocked miss blocks the port (in-order), but the
-                // arbiter moves on to other ports next cycle.
+                // arbiter moves on to other ports next cycle. The
+                // rotation can land on a port whose request *would* be
+                // served, so this only counts as no-progress when every
+                // latched request would stall the same way.
                 self.rr = (p + 1) % n;
-                break;
+                let all_blocked = self.latches.iter().flatten().all(|r| {
+                    let la = r.addr / self.cfg.line as u64;
+                    self.tags[(la % self.tags.len() as u64) as usize] != Some(la)
+                });
+                return moved || !all_blocked;
             }
             let req = self.latches[p].take().expect("checked above");
             self.accept(now, p, req, hit, set, line_addr, dram, gm);
             self.rr = (p + 1) % n;
-            break;
+            return true;
         }
+        moved
+    }
+
+    /// MSHR occupancy at `now`: misses accepted but not yet aged past
+    /// their ready cycle. Incremental replacement for the old O(n)
+    /// `inflight` rescan — `miss_readies` is monotone (in-order delivery
+    /// clamps readies), so expired entries pop from the front.
+    fn mshr_occupancy(&mut self, now: u64) -> u32 {
+        while self.miss_readies.front().is_some_and(|&r| r <= now) {
+            self.miss_readies.pop_front();
+        }
+        debug_assert!(
+            self.mshr_counter_consistent(now),
+            "incremental MSHR counter diverged from the inflight recount"
+        );
+        self.miss_readies.len() as u32
+    }
+
+    /// Whether the incremental MSHR counter agrees with a full recount of
+    /// `inflight` (the invariant the simulator checks under
+    /// `check_invariants`).
+    pub fn mshr_counter_consistent(&self, now: u64) -> bool {
+        let incremental = self.miss_readies.iter().filter(|&&r| r > now).count();
+        let recount = self.inflight.iter().filter(|f| f.was_miss && f.ready > now).count();
+        incremental == recount
+    }
+
+    /// The cycle the next in-order response becomes deliverable, if any
+    /// request is in flight.
+    pub fn next_response_ready(&self) -> Option<u64> {
+        self.inflight.front().map(|f| f.ready)
+    }
+
+    /// Replays `cycles` consecutive no-progress cycles starting after
+    /// `now` in closed form: arbitration/MSHR stall counters and the
+    /// round-robin rotation advance exactly as `cycles` dense
+    /// [`Cache::tick`] calls would, without accepting or delivering
+    /// anything.
+    ///
+    /// Only valid when the tick at `now` reported no progress and no
+    /// response becomes deliverable within the window (both hold by
+    /// construction when the event-driven scheduler fast-forwards).
+    pub fn replay_blocked(&mut self, now: u64, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        debug_assert!(
+            self.inflight.front().is_none_or(|f| f.ready > now + cycles),
+            "replay window overlaps a response delivery"
+        );
+        let waiting = self.latches.iter().filter(|l| l.is_some()).count() as u64;
+        if waiting > 1 {
+            self.stats.arbitration_stalls += (waiting - 1) * cycles;
+        }
+        if self.fault_withhold_grants || waiting == 0 {
+            return;
+        }
+        // Every latched request is a miss against full MSHRs (otherwise
+        // the preceding tick would have reported progress), so each
+        // replayed cycle charges one MSHR stall to the cyclically-next
+        // occupied port and rotates past it.
+        #[cfg(debug_assertions)]
+        {
+            let occupied =
+                self.inflight.iter().filter(|f| f.was_miss && f.ready > now).count() as u32;
+            debug_assert!(occupied >= self.cfg.max_outstanding_misses, "MSHRs not actually full");
+            for r in self.latches.iter().flatten() {
+                let la = r.addr / self.cfg.line as u64;
+                debug_assert!(
+                    self.tags[(la % self.tags.len() as u64) as usize] != Some(la),
+                    "latched hit would have been accepted"
+                );
+            }
+        }
+        self.stats.mshr_stalls += cycles;
+        let n = self.latches.len();
+        let occ: Vec<usize> = (0..n).filter(|&i| self.latches[i].is_some()).collect();
+        let first = occ.iter().position(|&i| i >= self.rr).unwrap_or(0);
+        let last = occ[(first + ((cycles - 1) % occ.len() as u64) as usize) % occ.len()];
+        self.rr = (last + 1) % n;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -310,6 +500,10 @@ impl Cache {
         // In-order delivery: never earlier than the previous response.
         if let Some(last) = self.inflight.back() {
             ready = ready.max(last.ready);
+        }
+        if !hit {
+            // Clamped readies are monotone, so this queue stays sorted.
+            self.miss_readies.push_back(ready);
         }
         self.inflight.push_back(InFlight { port, ready, value, was_miss: !hit });
     }
@@ -559,6 +753,89 @@ mod tests {
         c.tick(0, &mut d, &mut gm); // accepts p1's miss
         c.tick(1, &mut d, &mut gm); // p2 blocked: MSHR full
         assert!(c.stats.mshr_stalls > 0);
+    }
+
+    /// Regression: `bytes < line` used to build a zero-set cache whose
+    /// first access panicked with a divide-by-zero at the set lookup.
+    #[test]
+    fn degenerate_geometries_are_rejected_not_built() {
+        let small = CacheConfig { bytes: 32, line: 64, ..CacheConfig::default() };
+        assert_eq!(Cache::try_new(small).err(), Some(CacheConfigError::ZeroSets { bytes: 32, line: 64 }));
+        let empty = CacheConfig { bytes: 0, line: 64, ..CacheConfig::default() };
+        assert_eq!(Cache::try_new(empty).err(), Some(CacheConfigError::ZeroSets { bytes: 0, line: 64 }));
+        let ragged = CacheConfig { bytes: 100, line: 64, ..CacheConfig::default() };
+        assert_eq!(
+            Cache::try_new(ragged).err(),
+            Some(CacheConfigError::UnalignedCapacity { bytes: 100, line: 64 })
+        );
+        let zero_line = CacheConfig { line: 0, ..CacheConfig::default() };
+        assert_eq!(Cache::try_new(zero_line).err(), Some(CacheConfigError::ZeroLine));
+        let no_mshrs = CacheConfig { max_outstanding_misses: 0, ..CacheConfig::default() };
+        assert_eq!(Cache::try_new(no_mshrs).err(), Some(CacheConfigError::ZeroMshrs));
+        assert!(Cache::try_new(CacheConfig::default()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache configuration")]
+    fn new_panics_on_invalid_geometry() {
+        let _ = Cache::new(CacheConfig { bytes: 16, line: 64, ..CacheConfig::default() });
+    }
+
+    /// The incremental MSHR counter must track the O(n) recount through
+    /// misses, hits, deliveries, and stalls.
+    #[test]
+    fn incremental_mshr_counter_matches_recount() {
+        let (_c0, mut d, mut gm, buf) = setup();
+        let mut c = Cache::new(CacheConfig { max_outstanding_misses: 2, ..CacheConfig::default() });
+        let ports: Vec<PortId> = (0..3).map(|_| c.add_port()).collect();
+        let mut t = 0u64;
+        for round in 0..40u64 {
+            for (i, p) in ports.iter().enumerate() {
+                if c.can_request(*p) {
+                    // Mix of conflicting lines: some hit, most miss.
+                    let addr = global_addr(buf, ((round * 3 + i as u64) % 24) * 512);
+                    c.request(*p, load(addr));
+                }
+            }
+            for _ in 0..7 {
+                c.tick(t, &mut d, &mut gm);
+                for p in &ports {
+                    c.pop_response(*p);
+                }
+                assert!(c.mshr_counter_consistent(t), "diverged at cycle {t}");
+                t += 1;
+            }
+        }
+        assert!(c.stats.misses > 2, "test should exercise misses");
+    }
+
+    /// `replay_blocked(now, k)` must equal `k` dense ticks of a fully
+    /// blocked cache: same stats, same round-robin pointer.
+    #[test]
+    fn replay_blocked_matches_dense_ticks() {
+        let (_c0, mut d, mut gm, buf) = setup();
+        let mut c = Cache::new(CacheConfig { max_outstanding_misses: 1, ..CacheConfig::default() });
+        let ports: Vec<PortId> = (0..3).map(|_| c.add_port()).collect();
+        // Fill the single MSHR with a long miss, then latch misses on all
+        // ports: the cache is now fully blocked until the miss returns.
+        c.request(ports[0], load(global_addr(buf, 0)));
+        assert!(c.tick(0, &mut d, &mut gm), "first miss is accepted");
+        for (i, p) in ports.iter().enumerate() {
+            c.request(*p, load(global_addr(buf, 4096 * (i as u64 + 1))));
+        }
+        assert!(!c.tick(1, &mut d, &mut gm), "fully blocked cache reports no progress");
+        let ready = c.next_response_ready().expect("miss in flight");
+        assert!(ready > 16);
+        let mut dense = c.clone();
+        let mut replayed = c;
+        // Dense: tick cycles 2..=9; replay: one closed-form call.
+        for t in 2..10u64 {
+            assert!(!dense.tick(t, &mut d, &mut gm));
+        }
+        replayed.replay_blocked(1, 8);
+        assert_eq!(dense.stats, replayed.stats);
+        assert_eq!(dense.rr, replayed.rr);
+        assert_eq!(dense.latched_requests(), replayed.latched_requests());
     }
 }
 

@@ -17,7 +17,7 @@ pub mod local;
 pub mod private;
 pub mod request;
 
-pub use cache::{Cache, CacheConfig, CacheStats};
+pub use cache::{Cache, CacheConfig, CacheConfigError, CacheStats};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use local::LocalBlock;
 pub use private::PrivateMemory;

@@ -108,8 +108,21 @@ impl LocalBlock {
         self.out.iter().any(|q| q.iter().any(|(ready, _)| *ready > now))
     }
 
+    /// The ready cycle of the earliest queued response, if any.
+    pub fn next_response_ready(&self) -> Option<u64> {
+        self.out.iter().filter_map(|q| q.front().map(|(ready, _)| *ready)).min()
+    }
+
     /// Advances one cycle: services at most one request per bank.
-    pub fn tick(&mut self, now: u64) {
+    ///
+    /// Returns whether any request was accepted. The first occupied latch
+    /// always wins its bank, so any latched request guarantees progress —
+    /// a `false` return means the block was completely idle.
+    pub fn tick(&mut self, now: u64) -> bool {
+        if self.latches.iter().all(|l| l.is_none()) {
+            return false;
+        }
+        let mut moved = false;
         let mut bank_used = vec![false; self.banks as usize];
         for p in 0..self.latches.len() {
             let Some(req) = self.latches[p].as_ref() else { continue };
@@ -127,7 +140,9 @@ impl LocalBlock {
             let slot = (req.wg as usize) % self.slots.len();
             let value = self.apply(slot, &req);
             self.out[p].push_back((now + self.latency as u64, MemResponse { value }));
+            moved = true;
         }
+        moved
     }
 
     fn apply(&mut self, slot: usize, req: &MemRequest) -> u64 {

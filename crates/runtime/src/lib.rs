@@ -113,6 +113,22 @@ pub enum ApiError {
         /// The transfer length in bytes.
         len: usize,
     },
+    /// The NDRange's global size is zero or exceeds the device's 2³²
+    /// work-item id space (`CL_INVALID_GLOBAL_WORK_SIZE`). Work-item
+    /// serials are 32-bit in the synthesized machine; a larger launch
+    /// would silently alias distinct work-items onto one id.
+    InvalidGlobalWorkSize {
+        /// Total work-items requested.
+        total: u64,
+    },
+    /// A local size is zero or does not divide its global size
+    /// (`CL_INVALID_WORK_GROUP_SIZE`).
+    InvalidWorkGroupSize {
+        /// Global size of the offending dimension.
+        global: u64,
+        /// Local size of the offending dimension.
+        local: u64,
+    },
 }
 
 impl ApiError {
@@ -123,6 +139,8 @@ impl ApiError {
             ApiError::ArgKindMismatch { .. } => "CL_INVALID_ARG_VALUE",
             ApiError::InvalidMemObject { .. } => "CL_INVALID_MEM_OBJECT",
             ApiError::BufferOverrun { .. } => "CL_INVALID_VALUE",
+            ApiError::InvalidGlobalWorkSize { .. } => "CL_INVALID_GLOBAL_WORK_SIZE",
+            ApiError::InvalidWorkGroupSize { .. } => "CL_INVALID_WORK_GROUP_SIZE",
         }
     }
 }
@@ -146,6 +164,18 @@ impl fmt::Display for ApiError {
             ApiError::BufferOverrun { handle, capacity, len } => write!(
                 f,
                 "{}: transfer of {len} bytes exceeds buffer {handle}'s {capacity} bytes",
+                self.status()
+            ),
+            ApiError::InvalidGlobalWorkSize { total } => write!(
+                f,
+                "{}: global work size of {total} work-items is outside the \
+                 device's supported range (1 ..= 2^32)",
+                self.status()
+            ),
+            ApiError::InvalidWorkGroupSize { global, local } => write!(
+                f,
+                "{}: local size {local} must be nonzero and divide the \
+                 global size {global}",
                 self.status()
             ),
         }
@@ -458,6 +488,9 @@ pub struct Context {
     /// Cycle-attribution profiling for every launch (`None` = off; the
     /// report lands in [`ExecStats::sim`]'s `profile` field).
     pub profile: Option<soff_sim::ProfileConfig>,
+    /// Simulator main-loop strategy for every launch; results are
+    /// bit-identical either way (see [`soff_sim::Scheduler`]).
+    pub scheduler: soff_sim::Scheduler,
     /// Unique tag baked into this context's buffer handles.
     ctx_id: u32,
 }
@@ -475,6 +508,7 @@ impl Context {
             force_instances: None,
             max_cycles: 2_000_000_000,
             profile: None,
+            scheduler: soff_sim::Scheduler::default(),
             ctx_id: NEXT_CTX_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
@@ -605,6 +639,21 @@ impl Context {
         kernel: &KernelHandle,
         nd: NdRange,
     ) -> Result<ExecStats, LaunchError> {
+        // Geometry validation (`clEnqueueNDRangeKernel` semantics): the
+        // machine carries work-item/work-group serials in 32-bit fields,
+        // so launches beyond 2^32 work-items (or degenerate ones) must be
+        // rejected here instead of truncating ids downstream.
+        let dims = nd.work_dim.max(1) as usize;
+        for d in 0..dims {
+            let (global, local) = (nd.global[d], nd.local[d]);
+            if local == 0 || global % local != 0 {
+                return Err(ApiError::InvalidWorkGroupSize { global, local }.into());
+            }
+        }
+        let total = nd.total_work_items();
+        if total == 0 || total > 1 << 32 {
+            return Err(ApiError::InvalidGlobalWorkSize { total }.into());
+        }
         let args = kernel.collect_args()?;
         for (i, a) in args.iter().enumerate() {
             if let ArgValue::Buffer(h) = a {
@@ -631,6 +680,7 @@ impl Context {
             num_instances,
             max_cycles: self.max_cycles,
             profile: self.profile,
+            scheduler: self.scheduler,
             ..SimConfig::default()
         };
         let sim = soff_sim::run(&ck.kernel, &ck.datapath, &cfg, nd, &args, &mut self.gm)?;
@@ -713,6 +763,75 @@ mod tests {
             }
             other => panic!("expected InvalidArgIndex, got {other}"),
         }
+    }
+
+    #[test]
+    fn invalid_launch_geometry_is_rejected() {
+        let device = Device::system_a();
+        let program = Program::build(VADD, &[], &device).unwrap();
+        let mut ctx = Context::new(device);
+        let a = ctx.create_buffer(32 * 4);
+        let mut k = program.kernel("vadd").unwrap();
+        k.set_arg_buffer(0, a).set_arg_buffer(1, a).set_arg_buffer(2, a);
+
+        // Local size does not divide the global size (the constructors
+        // assert this, but the struct fields are public host inputs).
+        let nd = NdRange { work_dim: 1, global: [30, 1, 1], local: [8, 1, 1] };
+        match ctx.enqueue_ndrange(&k, nd).unwrap_err() {
+            LaunchError::Api(e @ ApiError::InvalidWorkGroupSize { global: 30, local: 8 }) => {
+                assert_eq!(e.status(), "CL_INVALID_WORK_GROUP_SIZE");
+            }
+            other => panic!("expected InvalidWorkGroupSize, got {other}"),
+        }
+
+        // Zero-sized local.
+        let nd = NdRange { work_dim: 1, global: [32, 1, 1], local: [0, 1, 1] };
+        assert!(matches!(
+            ctx.enqueue_ndrange(&k, nd).unwrap_err(),
+            LaunchError::Api(ApiError::InvalidWorkGroupSize { .. })
+        ));
+
+        // A launch beyond the 2^32 work-item id space must be rejected,
+        // not truncated into aliased 32-bit serials.
+        let nd = NdRange { work_dim: 1, global: [1 << 33, 1, 1], local: [8, 1, 1] };
+        match ctx.enqueue_ndrange(&k, nd).unwrap_err() {
+            LaunchError::Api(e @ ApiError::InvalidGlobalWorkSize { total }) => {
+                assert_eq!(total, 1 << 33);
+                assert_eq!(e.status(), "CL_INVALID_GLOBAL_WORK_SIZE");
+            }
+            other => panic!("expected InvalidGlobalWorkSize, got {other}"),
+        }
+
+        // Zero-sized global.
+        let nd = NdRange { work_dim: 1, global: [0, 1, 1], local: [1, 1, 1] };
+        assert!(matches!(
+            ctx.enqueue_ndrange(&k, nd).unwrap_err(),
+            LaunchError::Api(ApiError::InvalidGlobalWorkSize { total: 0 })
+        ));
+    }
+
+    #[test]
+    fn scheduler_knob_is_transparent() {
+        // Same launch under both schedulers through the host API: the
+        // simulated results and output buffers must be bit-identical.
+        let device = Device::system_a();
+        let program = Program::build(VADD, &[], &device).unwrap();
+        let mut results = Vec::new();
+        for scheduler in [soff_sim::Scheduler::Dense, soff_sim::Scheduler::EventDriven] {
+            let mut ctx = Context::new(device.clone());
+            ctx.scheduler = scheduler;
+            let a = ctx.create_buffer(32 * 4);
+            let b = ctx.create_buffer(32 * 4);
+            let c = ctx.create_buffer(32 * 4);
+            ctx.write_buffer_f32(a, &(0..32).map(|i| i as f32).collect::<Vec<_>>()).unwrap();
+            ctx.write_buffer_f32(b, &(0..32).map(|i| (i * 2) as f32).collect::<Vec<_>>())
+                .unwrap();
+            let mut k = program.kernel("vadd").unwrap();
+            k.set_arg_buffer(0, a).set_arg_buffer(1, b).set_arg_buffer(2, c);
+            let stats = ctx.enqueue_ndrange(&k, NdRange::dim1(32, 8)).unwrap();
+            results.push((stats.sim, ctx.read_buffer(c).unwrap()));
+        }
+        assert_eq!(results[0], results[1], "schedulers diverged through the host API");
     }
 
     #[test]

@@ -28,22 +28,43 @@ pub struct Channel<T> {
     /// Fault injection: while set, the channel refuses both ends of the
     /// handshake (stuck-stall), exactly like a wedged valid/stall pair.
     jammed: bool,
+    /// Whether any state-changing operation (push, pop, fault mutation,
+    /// jam flip) hit this channel since the last `begin_cycle`. The
+    /// event-driven scheduler reads this to detect globally idle cycles.
+    touched: bool,
 }
 
 impl<T> Channel<T> {
     /// Creates a channel with the given capacity (≥ 1).
     pub fn new(cap: usize) -> Channel<T> {
-        Channel { q: VecDeque::new(), cap: cap.max(1), visible: 0, occ_start: 0, total: 0, jammed: false }
+        Channel {
+            q: VecDeque::new(),
+            cap: cap.max(1),
+            visible: 0,
+            occ_start: 0,
+            total: 0,
+            jammed: false,
+            touched: false,
+        }
     }
 
     /// Called once at the start of every cycle.
     pub fn begin_cycle(&mut self) {
         self.visible = self.q.len();
         self.occ_start = self.q.len();
+        self.touched = false;
+    }
+
+    /// Whether the channel changed state since the last `begin_cycle`.
+    pub fn touched(&self) -> bool {
+        self.touched
     }
 
     /// Fault injection: wedges or releases the handshake.
     pub fn set_jammed(&mut self, jammed: bool) {
+        if self.jammed != jammed {
+            self.touched = true;
+        }
         self.jammed = jammed;
     }
 
@@ -74,6 +95,7 @@ impl<T> Channel<T> {
     pub fn pop(&mut self) -> T {
         assert!(self.visible > 0, "pop from channel with no visible token");
         self.visible -= 1;
+        self.touched = true;
         self.q.pop_front().expect("visible implies non-empty")
     }
 
@@ -91,6 +113,7 @@ impl<T> Channel<T> {
         assert!(self.occ_start < self.cap, "push into full channel");
         self.occ_start += 1; // single producer: count this push against the limit
         self.total += 1;
+        self.touched = true;
         self.q.push_back(t);
     }
 
@@ -116,6 +139,7 @@ impl<T> Channel<T> {
         if self.q.pop_front().is_some() {
             self.visible = self.visible.saturating_sub(1);
             self.occ_start = self.occ_start.saturating_sub(1);
+            self.touched = true;
             true
         } else {
             false
@@ -132,6 +156,7 @@ impl<T: Clone> Channel<T> {
             if let Some(front) = self.q.front().cloned() {
                 self.occ_start += 1;
                 self.total += 1;
+                self.touched = true;
                 self.q.push_back(front);
                 return true;
             }
@@ -186,6 +211,25 @@ mod tests {
         assert_eq!(c.pop().wi, 1);
         assert_eq!(c.pop().wi, 2);
         assert!(!c.can_pop());
+    }
+
+    #[test]
+    fn touched_tracks_state_changes_per_cycle() {
+        let mut c = Channel::new(2);
+        c.begin_cycle();
+        assert!(!c.touched());
+        c.push(tok(1));
+        assert!(c.touched());
+        c.begin_cycle();
+        assert!(!c.touched(), "begin_cycle clears the touch flag");
+        let _ = c.pop();
+        assert!(c.touched());
+        c.begin_cycle();
+        c.set_jammed(true);
+        assert!(c.touched(), "jam flip is a state change");
+        c.begin_cycle();
+        c.set_jammed(true);
+        assert!(!c.touched(), "re-asserting the same jam is not a change");
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod units;
 
 pub use diag::{derived_deadlock_window, DeadlockReport, HangKind};
 pub use fault::{Fault, FaultPlan};
-pub use machine::{run, SimConfig, SimError, SimResult};
+pub use machine::{run, Scheduler, SimConfig, SimError, SimResult};
 pub use profile::{
     write_chrome_trace, Bottleneck, CacheProfile, CompProfile, CycleBreakdown, FifoDepth,
     ProfileConfig, ProfileReport, Sample, Span, SpanTrack, UnitProfile,

@@ -21,6 +21,28 @@ use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 
+/// Which main-loop strategy drives the machine.
+///
+/// Both schedulers execute the *same* per-cycle semantics and produce
+/// bit-identical [`SimResult`]s (cycle counts, per-cache statistics,
+/// memory contents, error reports). `EventDriven` merely skips work it
+/// can prove is a no-op: component ticks whose handshakes cannot fire,
+/// and whole stretches of cycles where the entire machine is idle
+/// waiting on a scheduled memory event (which it fast-forwards across,
+/// replaying the stall counters in closed form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Tick every component every cycle — the reference model.
+    Dense,
+    /// Active-set scheduling with quiescent-gap fast-forward.
+    ///
+    /// Falls back to dense stepping while profiling is enabled: the
+    /// profiler observes the machine once per simulated cycle by design,
+    /// so there are no skippable cycles to exploit.
+    #[default]
+    EventDriven,
+}
+
 /// Simulator configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -56,6 +78,9 @@ pub struct SimConfig {
     /// pass is skipped; simulated cycle counts are bit-identical either
     /// way (the profiler only observes).
     pub profile: Option<ProfileConfig>,
+    /// Main-loop strategy (see [`Scheduler`]); results are bit-identical
+    /// either way.
+    pub scheduler: Scheduler,
 }
 
 impl Default for SimConfig {
@@ -71,6 +96,7 @@ impl Default for SimConfig {
             check_invariants: false,
             force_shared_cache: false,
             profile: None,
+            scheduler: Scheduler::default(),
         }
     }
 }
@@ -92,7 +118,13 @@ pub enum SimError {
     Timeout {
         /// The configured budget.
         max_cycles: u64,
+        /// The cycle at which the run was cut off (always equals
+        /// `max_cycles`: the budget counts simulated cycles, so the run
+        /// stops *before* executing cycle `max_cycles`).
+        cycle: u64,
     },
+    /// The cache configuration describes an unbuildable geometry.
+    Config(soff_mem::CacheConfigError),
     /// An internal machine invariant broke (only reported with
     /// [`SimConfig::check_invariants`], or on work-item over-retirement,
     /// which is always checked).
@@ -112,7 +144,10 @@ impl fmt::Display for SimError {
             SimError::Deadlock { cycle, report } => {
                 write!(f, "datapath made no progress after cycle {cycle}: {}", report.summary())
             }
-            SimError::Timeout { max_cycles } => write!(f, "exceeded {max_cycles} simulated cycles"),
+            SimError::Timeout { max_cycles, cycle } => {
+                write!(f, "cycle budget of {max_cycles} exhausted at cycle {cycle}")
+            }
+            SimError::Config(e) => write!(f, "invalid simulator configuration: {e}"),
             SimError::InvariantViolation { cycle, what } => {
                 write!(f, "machine invariant violated at cycle {cycle}: {what}")
             }
@@ -190,6 +225,22 @@ pub fn run(
     args: &[ArgValue],
     gm: &mut GlobalMemory,
 ) -> Result<SimResult, SimError> {
+    cfg.cache.validate().map_err(SimError::Config)?;
+    // Work-item and work-group serials are carried in 32-bit token
+    // fields; a launch that cannot be represented must be rejected up
+    // front instead of silently truncating ids (which would alias distinct
+    // work-items onto the same serial).
+    let total_wi = nd.total_work_items();
+    if total_wi == 0 || nd.work_group_size() == 0 {
+        return Err(SimError::Args(InterpError::BadArguments(
+            "launch geometry has zero work-items or a zero work-group size".into(),
+        )));
+    }
+    if total_wi > 1 << 32 {
+        return Err(SimError::Args(InterpError::BadArguments(format!(
+            "launch of {total_wi} work-items exceeds the 2^32 work-item id space"
+        ))));
+    }
     let launch = LaunchCtx::bind(kernel, nd, args)?;
     let pa = pointer::analyze(kernel);
     let mut plan = CachePlan::plan(kernel, &pa);
@@ -262,10 +313,17 @@ pub fn run(
     let mut last_progress = 0u64;
     let mut last_retired = u64::MAX;
     let mut last_retire_progress = 0u64;
+    // Event-driven scheduling degenerates to dense stepping while the
+    // profiler is on: it observes the machine once per simulated cycle,
+    // so no cycle is skippable.
+    let ed = cfg.scheduler == Scheduler::EventDriven && cfg.profile.is_none();
 
     loop {
-        if now > cfg.max_cycles {
-            return Err(SimError::Timeout { max_cycles: cfg.max_cycles });
+        if now >= cfg.max_cycles {
+            // The budget counts simulated cycles: cycles 0..max_cycles-1
+            // may execute, cycle max_cycles may not (the old `>` check
+            // here ran one cycle past the budget).
+            return Err(SimError::Timeout { max_cycles: cfg.max_cycles, cycle: now });
         }
         for c in &mut chans {
             c.begin_cycle();
@@ -299,19 +357,66 @@ pub fn run(
                 }
             }
         }
-        // Datapath components.
+        // Datapath components. Under event-driven scheduling, a component
+        // whose handshakes provably cannot fire this cycle is skipped —
+        // its tick would only advance profile-gated attribution counters,
+        // and the profiler is off whenever `ed` is set. Skip conditions
+        // mirror each component's own gating exactly (note: branch/select
+        // pop through `front()`, which ignores jamming, so their skip
+        // conditions must too).
+        let mut comp_moved = false;
         for c in &mut comps {
             match c {
-                Comp::Pipe(p) => p.tick(now, &mut chans, &mut mem, &launch, kernel),
-                Comp::Branch(x) => x.tick(&mut chans, &mut fifos),
-                Comp::Select(x) => x.tick(&mut chans, &mut fifos),
-                Comp::Enter(x) => x.tick(&mut chans, &mut counters),
-                Comp::Exit(x) => x.tick(&mut chans, &mut counters),
-                Comp::Barrier(x) => x.tick(&mut chans),
+                Comp::Pipe(p) => {
+                    if ed && p.quiescent(&chans) {
+                        continue;
+                    }
+                    comp_moved |= p.tick(now, &mut chans, &mut mem, &launch, kernel);
+                }
+                Comp::Branch(x) => {
+                    if ed && chans[x.inp.0].front().is_none() {
+                        continue;
+                    }
+                    x.tick(&mut chans, &mut fifos);
+                }
+                Comp::Select(x) => {
+                    if ed
+                        && chans[x.from_taken.0].front().is_none()
+                        && chans[x.from_not_taken.0].front().is_none()
+                    {
+                        continue;
+                    }
+                    x.tick(&mut chans, &mut fifos);
+                }
+                Comp::Enter(x) => {
+                    if ed
+                        && (!chans[x.out.0].can_push()
+                            || (!chans[x.backedge.0].can_pop()
+                                && chans[x.outside.0].front().is_none()))
+                    {
+                        continue;
+                    }
+                    x.tick(&mut chans, &mut counters);
+                }
+                Comp::Exit(x) => {
+                    if ed && (!chans[x.inp.0].can_pop() || !chans[x.out.0].can_push()) {
+                        continue;
+                    }
+                    x.tick(&mut chans, &mut counters);
+                }
+                Comp::Barrier(x) => {
+                    let can_act = chans[x.inp.0].can_pop()
+                        || (x.releasing == 0 && x.buf.len() as u64 >= x.wg_size)
+                        || (x.releasing > 0 && chans[x.out.0].can_push());
+                    if ed && !can_act {
+                        continue;
+                    }
+                    x.tick(&mut chans);
+                }
             }
         }
         // Memory subsystem.
-        mem.tick(now, gm);
+        let mem_moved = mem.tick(now, gm);
         // Work-item counter (§III-B).
         for d in &mut dispatchers {
             while chans[d.retire.0].can_pop() {
@@ -354,7 +459,7 @@ pub fn run(
             });
         }
         if cfg.check_invariants {
-            if let Some(what) = check_invariants(&comps, &counters, &metas) {
+            if let Some(what) = check_invariants(&comps, &counters, &metas, &mem, now) {
                 return Err(SimError::InvariantViolation { cycle: now, what });
             }
         }
@@ -450,13 +555,90 @@ pub fn run(
             }
             return Err(SimError::Deadlock { cycle: stalled_since, report: Box::new(report) });
         }
+
+        // Quiescent-gap fast-forward: if this cycle moved nothing at all —
+        // no component fired, no memory delivery or grant, no channel
+        // push/pop/fault — then the machine state is a fixpoint of the
+        // cycle function and every following cycle repeats it verbatim
+        // until the next *scheduled* event. Jump straight to that cycle,
+        // replaying in closed form the only per-cycle side effects dense
+        // stepping would have produced (stall counters).
+        if ed && !comp_moved && !mem_moved && !chans.iter().any(|c| c.touched()) {
+            let t_mem = mem.next_event_cycle(now);
+            debug_assert_eq!(
+                t_mem.is_some(),
+                mem.has_pending_events(now),
+                "in a quiescent machine every queued response is in the future"
+            );
+            let t_unit = comps
+                .iter()
+                .filter_map(|c| match c {
+                    Comp::Pipe(p) => p.next_internal_event(now),
+                    _ => None,
+                })
+                .min();
+            // The budget check at the loop top must still fire at
+            // `max_cycles`, and the watchdogs at their deadlines; the
+            // target cycle is processed normally, so capping the jump at
+            // each forcing cycle reproduces dense behaviour exactly.
+            let mut target = cfg.max_cycles;
+            if let Some(t) = t_mem {
+                target = target.min(t);
+            }
+            if let Some(t) = t_unit {
+                target = target.min(t);
+            }
+            if t_mem.is_none() {
+                // No pending memory events: the progress watchdog stays
+                // frozen and fires one cycle past its window.
+                target = target.min(last_progress.saturating_add(deadlock_window).saturating_add(1));
+            }
+            target =
+                target.min(last_retire_progress.saturating_add(livelock_window).saturating_add(1));
+            if let Some(t) = fault::next_boundary(&cfg.faults, &faults_fired, now) {
+                target = target.min(t);
+            }
+            debug_assert!(target > now, "every forcing event lies strictly in the future");
+            let skipped = target - now - 1;
+            if skipped > 0 {
+                for c in &mut comps {
+                    if let Comp::Pipe(p) = c {
+                        if !p.quiescent(&chans) {
+                            p.replay_stalls(now, &mut chans, &mut mem, &launch, kernel, skipped);
+                        }
+                    }
+                }
+                mem.replay_blocked(now, skipped);
+                if t_mem.is_some() {
+                    // Dense stepping refreshes the progress watchdog every
+                    // cycle while memory has scheduled events.
+                    last_progress = target - 1;
+                }
+                now = target;
+                continue;
+            }
+        }
         now += 1;
     }
 }
 
 /// Per-cycle invariant sweep ([`SimConfig::check_invariants`]): the debug
 /// assertions of the fault-free machine, promoted to structured errors.
-fn check_invariants(comps: &[Comp], counters: &[u64], metas: &[String]) -> Option<String> {
+fn check_invariants(
+    comps: &[Comp],
+    counters: &[u64],
+    metas: &[String],
+    mem: &MemorySystem,
+    now: u64,
+) -> Option<String> {
+    for (i, c) in mem.caches.iter().enumerate() {
+        if !c.mshr_counter_consistent(now) {
+            return Some(format!(
+                "cache {i}: incremental MSHR occupancy counter diverged from the \
+                 in-flight recount"
+            ));
+        }
+    }
     for (ci, comp) in comps.iter().enumerate() {
         let name = || {
             metas.get(ci).cloned().unwrap_or_else(|| format!("comp {ci}"))

@@ -197,13 +197,46 @@ impl MemorySystem {
                 .any(|q| q.iter().any(|(ready, _)| *ready > now))
     }
 
-    /// Advances caches and local blocks one cycle.
-    pub fn tick(&mut self, now: u64, gm: &mut GlobalMemory) {
+    /// Advances caches and local blocks one cycle. Returns whether any
+    /// component delivered or accepted anything. Completely idle caches
+    /// and locals are skipped — their tick is a provable no-op (no state,
+    /// no stall counters), so skipping is exact in both scheduler modes.
+    pub fn tick(&mut self, now: u64, gm: &mut GlobalMemory) -> bool {
+        let mut moved = false;
         for c in &mut self.caches {
-            c.tick(now, &mut self.dram, gm);
+            if c.is_idle() {
+                continue;
+            }
+            moved |= c.tick(now, &mut self.dram, gm);
         }
         for l in &mut self.locals {
-            l.tick(now);
+            moved |= l.tick(now);
+        }
+        moved
+    }
+
+    /// The earliest future cycle at which a queued response matures (cache
+    /// fills, local-block latencies, private latencies); `None` when no
+    /// timed event is scheduled. Undelivered responses already past their
+    /// ready cycle do not count — they act on the very next tick, which
+    /// the caller accounts for separately.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        let caches = self.caches.iter().filter_map(|c| c.next_response_ready());
+        let locals = self.locals.iter().filter_map(|l| l.next_response_ready());
+        let private = self
+            .responses_private
+            .values()
+            .filter_map(|q| q.front().map(|(ready, _)| *ready));
+        caches.chain(locals).chain(private).filter(|&r| r > now).min()
+    }
+
+    /// Replays `cycles` blocked cycles on every cache in closed form (see
+    /// [`Cache::replay_blocked`]); locals and private memory have nothing
+    /// to replay (any latched local request makes progress, so a frozen
+    /// machine has none).
+    pub fn replay_blocked(&mut self, now: u64, cycles: u64) {
+        for c in &mut self.caches {
+            c.replay_blocked(now, cycles);
         }
     }
 

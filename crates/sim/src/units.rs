@@ -376,7 +376,28 @@ impl PipelineSim {
         })
     }
 
-    /// Advances one cycle.
+    /// Whether the pipeline provably does nothing this cycle: it holds no
+    /// work and its input channel offers no token. Ticking it would only
+    /// classify every unit as idle. The event-driven scheduler skips such
+    /// pipelines (never under profiling, which wants the idle attribution).
+    pub fn quiescent(&self, ext: &[Channel<Token>]) -> bool {
+        !ext[self.in_chan.0].can_pop() && self.is_empty()
+    }
+
+    /// The earliest future cycle at which a unit-internal completion
+    /// becomes emittable (the only time-driven transition inside a
+    /// pipeline); `None` when no unit holds a future-dated result.
+    pub fn next_internal_event(&self, now: u64) -> Option<u64> {
+        self.units
+            .iter()
+            .filter_map(|u| u.internal.front().map(|&(ready, _)| ready))
+            .filter(|&r| r > now)
+            .min()
+    }
+
+    /// Advances one cycle. Returns whether any token moved: a unit fired,
+    /// a memory response was delivered, or a completed result drained onto
+    /// an edge or the output channel.
     pub fn tick(
         &mut self,
         now: u64,
@@ -384,15 +405,52 @@ impl PipelineSim {
         mem: &mut MemorySystem,
         launch: &LaunchCtx,
         k: &Kernel,
+    ) -> bool {
+        self.step(now, ext, mem, launch, k, 1)
+    }
+
+    /// Replays `cycles` consecutive stalled cycles in one pass: every
+    /// stall counter a dense tick would bump gets bumped `cycles` times,
+    /// and nothing moves. Only valid when the machine state is frozen
+    /// across the window (the tick at `now` reported no movement and no
+    /// internal completion or memory response matures inside it), which
+    /// makes every per-cycle decision identical to the one at `now`.
+    pub fn replay_stalls(
+        &mut self,
+        now: u64,
+        ext: &mut [Channel<Token>],
+        mem: &mut MemorySystem,
+        launch: &LaunchCtx,
+        k: &Kernel,
+        cycles: u64,
     ) {
+        if cycles == 0 {
+            return;
+        }
+        let moved = self.step(now, ext, mem, launch, k, cycles);
+        debug_assert!(!moved, "replay of a stalled pipeline must not move tokens");
+    }
+
+    fn step(
+        &mut self,
+        now: u64,
+        ext: &mut [Channel<Token>],
+        mem: &mut MemorySystem,
+        launch: &LaunchCtx,
+        k: &Kernel,
+        mult: u64,
+    ) -> bool {
         for e in &mut self.edges {
             e.begin_cycle();
         }
+        let mut moved = false;
         for ui in 0..self.units.len() {
-            self.tick_unit(ui, now, ext, mem, launch, k);
+            moved |= self.tick_unit(ui, now, ext, mem, launch, k, mult);
         }
+        moved
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn tick_unit(
         &mut self,
         ui: usize,
@@ -401,7 +459,8 @@ impl PipelineSim {
         mem: &mut MemorySystem,
         launch: &LaunchCtx,
         k: &Kernel,
-    ) {
+        mult: u64,
+    ) -> bool {
         // Split-borrow: temporarily take the unit out.
         let mut unit = std::mem::replace(
             &mut self.units[ui],
@@ -414,7 +473,7 @@ impl PipelineSim {
             },
         );
 
-        let act = match &mut unit.engine {
+        let (act, moved) = match &mut unit.engine {
             Engine::Source { drive } => {
                 // Fire: needs an input token and space on every out edge.
                 if ext[self.in_chan.0].can_pop() {
@@ -428,13 +487,13 @@ impl PipelineSim {
                             };
                             self.edges[ei].push(Micro { wi: t.wi, wg: t.wg, val });
                         }
-                        Act::Busy
+                        (Act::Busy, true)
                     } else {
-                        self.stats.output_stalls += 1;
-                        Act::OutputStall
+                        self.stats.output_stalls += mult;
+                        (Act::OutputStall, false)
                     }
                 } else {
-                    Act::Idle
+                    (Act::Idle, false)
                 }
             }
             Engine::Sink { out_pos, width } => {
@@ -464,13 +523,13 @@ impl PipelineSim {
                         };
                         ext[self.out_chan.0].push(tok);
                         self.stats.completed += 1;
-                        Act::Busy
+                        (Act::Busy, true)
                     } else {
-                        self.stats.output_stalls += 1;
-                        Act::OutputStall
+                        self.stats.output_stalls += mult;
+                        (Act::OutputStall, false)
                     }
                 } else {
-                    Act::Idle
+                    (Act::Idle, false)
                 }
             }
             Engine::Compute { value, ops } => {
@@ -481,6 +540,7 @@ impl PipelineSim {
                     &unit.outs,
                     now,
                     &mut self.stats,
+                    mult,
                 );
                 // Fire stage (fully pipelined: capacity L_F + 1).
                 let inputs_ready = unit.ins.iter().all(|&ei| self.edges[ei].can_pop())
@@ -500,7 +560,7 @@ impl PipelineSim {
                     unit.internal.push_back((now + unit.lf as u64, Micro { wi, wg, val: result }));
                     fired = true;
                 }
-                if drained == Drain::Blocked {
+                let act = if drained == Drain::Blocked {
                     Act::OutputStall
                 } else if inputs_ready && !fired {
                     Act::IssueStall
@@ -508,7 +568,8 @@ impl PipelineSim {
                     Act::Busy
                 } else {
                     Act::Idle
-                }
+                };
+                (act, fired || drained == Drain::Emitted)
             }
             Engine::Mem { value, target, port, ops, pending } => {
                 // Drain a memory response (at most one per cycle).
@@ -525,6 +586,7 @@ impl PipelineSim {
                     &unit.outs,
                     now,
                     &mut self.stats,
+                    mult,
                 );
                 // Fire stage: the unit never stalls while holding ≤ L_F
                 // work-items (§IV-C); enforce the capacity L_F + 1.
@@ -547,10 +609,10 @@ impl PipelineSim {
                         pending.push_back((wi, wg));
                         fired = true;
                     } else {
-                        self.stats.issue_stalls += 1;
+                        self.stats.issue_stalls += mult;
                     }
                 }
-                if drained == Drain::Blocked {
+                let act = if drained == Drain::Blocked {
                     Act::OutputStall
                 } else if inputs_ready && !fired {
                     Act::IssueStall
@@ -563,21 +625,23 @@ impl PipelineSim {
                     Act::Busy
                 } else {
                     Act::Idle
-                }
+                };
+                (act, fired || delivered || drained == Drain::Emitted)
             }
         };
 
         if let Some(us) = self.unit_stats.as_mut() {
             let c = &mut us[ui];
             match act {
-                Act::Busy => c.busy += 1,
-                Act::IssueStall => c.issue_stall += 1,
-                Act::OutputStall => c.output_stall += 1,
-                Act::Idle => c.idle += 1,
+                Act::Busy => c.busy += mult,
+                Act::IssueStall => c.issue_stall += mult,
+                Act::OutputStall => c.output_stall += mult,
+                Act::Idle => c.idle += mult,
             }
         }
 
         self.units[ui] = unit;
+        moved
     }
 }
 
@@ -587,6 +651,7 @@ fn drain_internal(
     outs: &[usize],
     now: u64,
     stats: &mut PipelineStats,
+    mult: u64,
 ) -> Drain {
     if let Some((ready, _)) = internal.front() {
         if *ready <= now {
@@ -597,7 +662,7 @@ fn drain_internal(
                 }
                 return Drain::Emitted;
             }
-            stats.output_stalls += 1;
+            stats.output_stalls += mult;
             return Drain::Blocked;
         }
     }

@@ -54,7 +54,38 @@ fn cycle_budget_is_respected() {
         &mut gm,
     )
     .unwrap_err();
-    assert_eq!(err, SimError::Timeout { max_cycles: 100 });
+    assert_eq!(err, SimError::Timeout { max_cycles: 100, cycle: 100 });
+}
+
+#[test]
+fn cycle_budget_boundary_is_exact() {
+    // A budget of N permits cycles 0..N-1; the run must be cut off
+    // *before* executing cycle N (the old check ran one cycle past the
+    // budget), and both schedulers must agree on the cutoff cycle.
+    let (kernel, dp) = compile(
+        "__kernel void spin(__global int* a) {
+            while (a[0] == 0) { }
+            a[1] = 1;
+        }",
+    );
+    for scheduler in [soff_sim::Scheduler::Dense, soff_sim::Scheduler::EventDriven] {
+        let mut gm = GlobalMemory::new();
+        let a = gm.alloc(16);
+        let cfg = SimConfig {
+            max_cycles: 77,
+            deadlock_window: 1_000_000,
+            livelock_window: 1_000_000,
+            scheduler,
+            ..Default::default()
+        };
+        let err = run(&kernel, &dp, &cfg, NdRange::dim1(4, 4), &[ArgValue::Buffer(a)], &mut gm)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Timeout { max_cycles: 77, cycle: 77 },
+            "scheduler {scheduler:?}"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,251 @@
+//! Dense vs. event-driven scheduler differential suite.
+//!
+//! The event-driven scheduler is an optimization, not a model change: for
+//! any launch — any kernel shape, geometry, replication, fault plan, and
+//! profiling setting — it must produce the *bit-identical* outcome of the
+//! dense reference loop: the same `SimResult` (cycle counts, per-cache
+//! statistics, stall counters), the same memory contents, and on failing
+//! runs the same `SimError` (including the forensic deadlock report and
+//! the cycle numbers inside it).
+
+use proptest::prelude::*;
+use soff_datapath::{Datapath, LatencyModel};
+use soff_ir::ir::NdRange;
+use soff_ir::mem::{ArgValue, GlobalMemory};
+use soff_sim::machine::{run, Scheduler, SimConfig, SimError, SimResult};
+use soff_sim::{FaultPlan, ProfileConfig};
+
+fn compile(src: &str) -> (soff_ir::ir::Kernel, Datapath) {
+    let parsed = soff_frontend::compile(src, &[]).unwrap();
+    let module = soff_ir::build::lower(&parsed).unwrap();
+    let kernel = module.kernels.into_iter().next().unwrap();
+    let dp = Datapath::build(&kernel, &LatencyModel::default());
+    (kernel, dp)
+}
+
+/// Feature-covering kernel zoo (same shape as the profiler suite): each
+/// takes one int buffer (64 × i32) and one scalar `n`.
+const KERNELS: &[&str] = &[
+    // Straight-line memory traffic.
+    "__kernel void k(__global int* a, int n) {
+        int i = get_global_id(0);
+        a[i % 64] = a[(i + 1) % 64] + n;
+    }",
+    // Branchy data-dependent loop.
+    "__kernel void k(__global int* a, int n) {
+        int i = get_global_id(0);
+        int s = 0;
+        for (int j = 0; j < n; j++) {
+            int x = a[(i + j * 3) % 64];
+            if (x > 32) s += x; else s -= x;
+        }
+        a[i % 64] = s;
+    }",
+    // Barrier + local memory.
+    "__kernel void k(__global int* a, int n) {
+        __local int t[8];
+        int l = get_local_id(0);
+        int g = get_global_id(0);
+        t[l] = a[g % 64] + n;
+        barrier(CLK_LOCAL_MEM_FENCE);
+        a[g % 64] = t[7 - l];
+    }",
+    // Atomics (forces a shared cache).
+    "__kernel void k(__global int* a, int n) {
+        int i = get_global_id(0);
+        atomic_add(&a[i % 8], n);
+    }",
+];
+
+/// Runs one launch under `scheduler` and returns the full outcome:
+/// simulation result plus final memory bytes, or the error.
+fn run_one(
+    src: &str,
+    nd: NdRange,
+    instances: u32,
+    faults: FaultPlan,
+    profile: Option<ProfileConfig>,
+    check_invariants: bool,
+    scheduler: Scheduler,
+) -> Result<(SimResult, Vec<u8>), SimError> {
+    let (kernel, dp) = compile(src);
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc(64 * 4);
+    for i in 0..64u64 {
+        gm.buffer_mut(a).write_scalar(i * 4, soff_frontend::types::Scalar::I32, i * 7 % 64);
+    }
+    let cfg = SimConfig {
+        num_instances: instances,
+        faults,
+        profile,
+        check_invariants,
+        scheduler,
+        // Bounded windows so wedged fault plans converge quickly under
+        // the dense reference loop too.
+        deadlock_window: 2_000,
+        livelock_window: 20_000,
+        max_cycles: 300_000,
+        ..SimConfig::default()
+    };
+    let res =
+        run(&kernel, &dp, &cfg, nd, &[ArgValue::Buffer(a), ArgValue::Scalar(5)], &mut gm)?;
+    Ok((res, gm.buffer(a).bytes().to_vec()))
+}
+
+/// Runs the launch under both schedulers and asserts bit-identity of the
+/// complete outcome.
+#[allow(clippy::result_large_err)]
+fn assert_schedulers_agree(
+    src: &str,
+    nd: NdRange,
+    instances: u32,
+    faults: FaultPlan,
+    profile: Option<ProfileConfig>,
+    check_invariants: bool,
+) -> Result<(SimResult, Vec<u8>), SimError> {
+    let dense =
+        run_one(src, nd, instances, faults.clone(), profile, check_invariants, Scheduler::Dense);
+    let ed = run_one(src, nd, instances, faults, profile, check_invariants, Scheduler::EventDriven);
+    assert_eq!(dense, ed, "dense and event-driven outcomes diverged");
+    dense
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Fault-free launches: every kernel class, randomized geometry and
+    /// replication, invariant checking on (which also cross-checks the
+    /// incremental MSHR occupancy counter against the recount).
+    #[test]
+    fn schedulers_agree_fault_free(
+        ki in 0usize..4,
+        wgs in 0usize..3,
+        groups in 1u64..5,
+        instances in 1u32..3,
+    ) {
+        let wg = [4u64, 8, 16][wgs];
+        // The barrier kernel's local array is sized for work-groups of 8.
+        let wg = if ki == 2 { 8 } else { wg };
+        let nd = NdRange::dim1(groups * wg, wg);
+        let out = assert_schedulers_agree(KERNELS[ki], nd, instances, FaultPlan::none(), None, true);
+        let (res, _) = out.expect("fault-free launches must complete");
+        prop_assert_eq!(res.retired, groups * wg);
+    }
+
+    /// Randomized fault plans: outcomes (success, deadlock forensics,
+    /// invariant violations, timeouts) must match cycle-for-cycle.
+    #[test]
+    fn schedulers_agree_under_faults(
+        ki in 0usize..4,
+        seed in 0u64..1_000_000,
+        nfaults in 1usize..5,
+        instances in 1u32..3,
+    ) {
+        let wg = 8u64;
+        let nd = NdRange::dim1(4 * wg, wg);
+        let faults = FaultPlan::random(seed, nfaults, 5_000);
+        let _ = assert_schedulers_agree(KERNELS[ki], nd, instances, faults, None, false);
+    }
+
+    /// With profiling on, event-driven scheduling degenerates to dense
+    /// stepping; reports and results still must match exactly.
+    #[test]
+    fn schedulers_agree_with_profiling(
+        ki in 0usize..4,
+        groups in 1u64..4,
+    ) {
+        let wg = 8u64;
+        let nd = NdRange::dim1(groups * wg, wg);
+        let pcfg = ProfileConfig { sample_interval: 16, ..ProfileConfig::default() };
+        let out =
+            assert_schedulers_agree(KERNELS[ki], nd, 1, FaultPlan::none(), Some(pcfg), false);
+        let (res, _) = out.expect("fault-free launches must complete");
+        prop_assert!(res.profile.is_some());
+    }
+}
+
+#[test]
+fn degenerate_cache_geometry_is_a_config_error() {
+    let (kernel, dp) = compile(KERNELS[0]);
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc(64 * 4);
+    let mut cache = soff_mem::CacheConfig::default();
+    cache.bytes = (cache.line as u64 / 2).max(1); // smaller than one line
+    let cfg = SimConfig { cache, ..SimConfig::default() };
+    let err = run(
+        &kernel,
+        &dp,
+        &cfg,
+        NdRange::dim1(8, 8),
+        &[ArgValue::Buffer(a), ArgValue::Scalar(5)],
+        &mut gm,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, SimError::Config(_)),
+        "a sub-line cache must be rejected as a config error, got {err}"
+    );
+}
+
+#[test]
+fn oversized_launch_is_rejected_not_truncated() {
+    // Work-item serials are 32-bit; a launch beyond 2^32 work-items used
+    // to truncate ids (aliasing distinct work-items) instead of erroring.
+    // The struct fields are public, so the constructor asserts can be
+    // bypassed — the machine must still catch it.
+    let (kernel, dp) = compile(KERNELS[0]);
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc(64 * 4);
+    let nd = NdRange { work_dim: 1, global: [1 << 33, 1, 1], local: [64, 1, 1] };
+    let err = run(
+        &kernel,
+        &dp,
+        &SimConfig::default(),
+        nd,
+        &[ArgValue::Buffer(a), ArgValue::Scalar(5)],
+        &mut gm,
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::Args(_)), "got {err}");
+}
+
+#[test]
+fn zero_sized_launch_is_rejected() {
+    let (kernel, dp) = compile(KERNELS[0]);
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc(64 * 4);
+    for nd in [
+        NdRange { work_dim: 1, global: [0, 1, 1], local: [1, 1, 1] },
+        NdRange { work_dim: 1, global: [8, 1, 1], local: [0, 1, 1] },
+    ] {
+        let err = run(
+            &kernel,
+            &dp,
+            &SimConfig::default(),
+            nd,
+            &[ArgValue::Buffer(a), ArgValue::Scalar(5)],
+            &mut gm,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Args(_)), "got {err}");
+    }
+}
+
+/// The event-driven scheduler must actually skip work on an idle machine:
+/// a single-work-item launch on a long-latency kernel spends most cycles
+/// waiting on memory, so both schedulers agreeing (above) plus this
+/// completing quickly is the smoke check that fast-forwarding engages.
+/// (The wall-clock benchmark in `crates/bench` measures the speedup.)
+#[test]
+fn event_driven_handles_long_idle_gaps() {
+    let src = "__kernel void k(__global int* a, int n) {
+        int i = get_global_id(0);
+        int s = 0;
+        for (int j = 0; j < n; j++) s += a[(i * 37 + j * 13) % 64];
+        a[i % 64] = s;
+    }";
+    let nd = NdRange::dim1(4, 4);
+    let out = assert_schedulers_agree(src, nd, 1, FaultPlan::none(), None, true);
+    let (res, _) = out.expect("fault-free launch");
+    assert_eq!(res.retired, 4);
+}

@@ -145,6 +145,13 @@ impl SimRunner {
         self.ctx.profile = Some(cfg);
     }
 
+    /// Selects the simulator scheduling strategy for every subsequent
+    /// launch (the wall-clock benchmark runs the same workload under
+    /// both; simulated results are bit-identical either way).
+    pub fn set_scheduler(&mut self, s: soff_sim::Scheduler) {
+        self.ctx.scheduler = s;
+    }
+
     /// The replication factor of the first kernel (for the Fig. 12 (b)
     /// linear-scaling extrapolation).
     pub fn replication(&self) -> u32 {
