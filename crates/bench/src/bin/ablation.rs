@@ -15,9 +15,10 @@
 //!    separate barrier kernel whose loop bound is a kernel argument.
 //!
 //! ```text
-//! cargo run --release -p soff-bench --bin ablation [--json]
+//! cargo run --release -p soff-bench --bin ablation [--json] [--jobs N]
 //! ```
 
+use soff_bench::jobs_flag;
 use soff_bench::json::{write_bench_rows, Json};
 use soff_datapath::hierarchy::DatapathOptions;
 use soff_datapath::{Datapath, LatencyModel};
@@ -51,10 +52,12 @@ struct Variant {
     shared_cache: bool,
 }
 
-fn run_variant(v: &Variant) -> Result<u64, soff_sim::SimError> {
-    let parsed = soff_frontend::compile(SRC, &[]).expect("ablation kernel compiles");
-    let module = soff_ir::build::lower(&parsed).expect("ablation kernel lowers");
-    let kernel = module.kernel("reduce").expect("kernel present");
+fn run_variant(v: &Variant) -> Result<u64, String> {
+    // The compile cache makes the nine variants share one frontend+lower
+    // pass — only the datapath/simulation differs between them.
+    let module = soff_runtime::cache::lower_cached(SRC, &[])
+        .map_err(|d| format!("compile failed: {d}"))?;
+    let kernel = module.kernel("reduce").ok_or("kernel `reduce` missing")?;
     let dp = Datapath::build_opts(kernel, &v.lat, v.opts);
 
     let n = 64u64;
@@ -88,7 +91,8 @@ fn run_variant(v: &Variant) -> Result<u64, soff_sim::SimError> {
         NdRange::dim1(n * 16, 16),
         &[ArgValue::Buffer(a), ArgValue::Buffer(b), ArgValue::Buffer(o), ArgValue::Scalar(n)],
         &mut gm,
-    )?;
+    )
+    .map_err(|e| e.to_string())?;
     Ok(res.cycles)
 }
 
@@ -137,7 +141,9 @@ fn main() {
         },
     ];
 
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let jobs = jobs_flag(&args);
     let mut jrows = Vec::new();
     let jrow = |name: &str, cycles: Option<u64>, vs: Option<f64>| {
         Json::obj(vec![
@@ -151,9 +157,22 @@ fn main() {
     println!("{:-<58}", "");
     println!("{:<30} {:>10} {:>12}", "variant", "cycles", "vs baseline");
     println!("{:-<58}", "");
-    // A variant that hangs or times out becomes a failure row (the
-    // deadlock forensics go to stderr); the sweep always completes.
-    let base_cycles = match run_variant(&base) {
+    // Fan all nine variants (baseline + ablations) across the pool. A
+    // variant that fails — or whose task panics — becomes a failure row
+    // (the deadlock forensics go to stderr); the sweep always completes.
+    let all: Vec<&Variant> = std::iter::once(&base).chain(variants.iter()).collect();
+    let mut measured: Vec<Result<u64, String>> =
+        soff_exec::run_tasks(jobs, all, |_, v| run_variant(v))
+            .into_iter()
+            .map(|r| match r {
+                Ok(inner) => inner,
+                Err(soff_exec::TaskError::Panicked { message }) => {
+                    Err(format!("variant panicked: {message}"))
+                }
+            })
+            .collect();
+    let rest = measured.split_off(1);
+    let base_cycles = match measured.remove(0) {
         Ok(c) => {
             println!("{:<30} {:>10} {:>11.2}x", base.name, c, 1.0);
             Some(c)
@@ -165,8 +184,8 @@ fn main() {
         }
     };
     jrows.push(jrow(base.name, base_cycles, base_cycles.map(|_| 1.0)));
-    for v in &variants {
-        match run_variant(v) {
+    for (v, r) in variants.iter().zip(rest) {
+        match r {
             Ok(c) => {
                 let vs = base_cycles.map(|b| c as f64 / b as f64);
                 match vs {
@@ -184,6 +203,11 @@ fn main() {
     }
     println!("{:-<58}", "");
     println!("(>1.00x = slower than full SOFF; each mechanism should cost when removed)");
+    let cache = soff_runtime::cache::stats();
+    println!(
+        "compile cache: {} hits / {} misses (one frontend+lower pass shared by all variants)",
+        cache.frontend_hits, cache.frontend_misses
+    );
 
     // The §IV-F1 uniform-loop optimization, on a barrier kernel.
     println!();
@@ -246,10 +270,10 @@ __kernel void neigh(__global float* tmp, __global const float* a,
 }
 "#;
 
-fn run_barrier_variant(uniform_opt: bool) -> Result<u64, soff_sim::SimError> {
-    let parsed = soff_frontend::compile(BARRIER_SRC, &[]).expect("barrier kernel compiles");
-    let module = soff_ir::build::lower(&parsed).expect("barrier kernel lowers");
-    let kernel = module.kernel("neigh").expect("kernel present");
+fn run_barrier_variant(uniform_opt: bool) -> Result<u64, String> {
+    let module = soff_runtime::cache::lower_cached(BARRIER_SRC, &[])
+        .map_err(|d| format!("compile failed: {d}"))?;
+    let kernel = module.kernel("neigh").ok_or("kernel `neigh` missing")?;
     let opts = DatapathOptions { uniform_loop_opt: uniform_opt, ..Default::default() };
     let dp = Datapath::build_opts(kernel, &LatencyModel::default(), opts);
     let n = 32u64;
@@ -272,6 +296,7 @@ fn run_barrier_variant(uniform_opt: bool) -> Result<u64, soff_sim::SimError> {
         &mut gm,
     )
     .map(|r| r.cycles)
+    .map_err(|e| e.to_string())
 }
 
 fn make_like(base: &Variant) -> Variant {

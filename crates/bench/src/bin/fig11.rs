@@ -2,7 +2,7 @@
 //! OpenCL, 26 applications, geometric mean).
 //!
 //! ```text
-//! cargo run --release -p soff-bench --bin fig11 [--full] [--json]
+//! cargo run --release -p soff-bench --bin fig11 [--full] [--json] [--jobs N]
 //! ```
 //!
 //! Both stacks maximally replicate datapath instances (the paper inserts
@@ -12,17 +12,19 @@
 
 use soff_baseline::Framework;
 use soff_bench::json::{write_bench_rows, Json};
-use soff_bench::{fmt_geomean, fmt_ratio, paper, speedups_vs};
+use soff_bench::{fmt_geomean, fmt_ratio, jobs_flag, paper, speedups_vs};
 use soff_workloads::data::Scale;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--full") { Scale::Full } else { Scale::Small };
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Small };
+    let json = args.iter().any(|a| a == "--json");
+    let jobs = jobs_flag(&args);
     println!("Fig. 11: Speedup of SOFF over Intel FPGA SDK for OpenCL ({scale:?} scale)");
     println!("{:-<64}", "");
     println!("{:<16} {:>9} {:>11} {:>11} {:>6}", "Application", "speedup", "SOFF cyc", "Intel cyc", "inst");
     println!("{:-<64}", "");
-    let rows = speedups_vs(Framework::IntelLike, scale);
+    let rows = speedups_vs(Framework::IntelLike, scale, jobs);
     let mut wins = 0;
     for (name, sp, soff, intel) in &rows {
         if *sp > 1.0 {

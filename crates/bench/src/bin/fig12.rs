@@ -7,18 +7,19 @@
 //!   hold — divide its time by SOFF's replication factor.
 //!
 //! ```text
-//! cargo run --release -p soff-bench --bin fig12 [--full] [--json]
+//! cargo run --release -p soff-bench --bin fig12 [--full] [--json] [--jobs N]
 //! ```
 
 use soff_baseline::Framework;
 use soff_bench::json::{write_bench_rows, Json};
-use soff_bench::{fmt_geomean, fmt_ratio, paper, speedups_vs};
+use soff_bench::{fmt_geomean, fmt_ratio, jobs_flag, paper, speedups_vs};
 use soff_workloads::data::Scale;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--full") { Scale::Full } else { Scale::Small };
-    let json = std::env::args().any(|a| a == "--json");
-    let rows = speedups_vs(Framework::XilinxLike, scale);
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Small };
+    let json = args.iter().any(|a| a == "--json");
+    let rows = speedups_vs(Framework::XilinxLike, scale, jobs_flag(&args));
 
     println!("Fig. 12 (a): Xilinx-vs-SOFF I — SOFF speedup over SDAccel ({scale:?} scale)");
     println!("{:-<56}", "");

@@ -7,14 +7,14 @@
 //! fails to run.
 //!
 //! ```text
-//! cargo run --release -p soff-bench --bin sim_speed [--apps atax,mvt] [--full]
+//! cargo run --release -p soff-bench --bin sim_speed [--apps atax,mvt] [--full] [--jobs N]
 //! ```
 //!
-//! Writes `BENCH_sim_speed.json` in the current directory.
+//! Writes `BENCH_sim_speed.json` in the repo root.
 
 use soff_baseline::Framework;
 use soff_bench::json::{write_bench_rows, Json};
-use soff_bench::{fmt_geomean, geomean};
+use soff_bench::{fmt_geomean, geomean, jobs_flag};
 use soff_sim::Scheduler;
 use soff_workloads::data::Scale;
 use soff_workloads::runner::SimRunner;
@@ -79,9 +79,24 @@ fn main() {
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
     let mut failed = false;
-    for app in &apps {
-        let dense = run_once(app, scale, Scheduler::Dense);
-        let event = run_once(app, scale, Scheduler::EventDriven);
+    // One pool task per app runs its dense+event pair back to back on the
+    // same thread, so each row's wall-clock comparison stays
+    // apples-to-apples even when apps run concurrently.
+    let jobs = jobs_flag(&args);
+    let pairs = soff_exec::run_tasks(jobs, apps.clone(), |_, app: App| {
+        let dense = run_once(&app, scale, Scheduler::Dense);
+        let event = run_once(&app, scale, Scheduler::EventDriven);
+        (dense, event)
+    });
+    for (app, pair) in apps.iter().zip(pairs) {
+        let (dense, event) = match pair {
+            Ok(p) => p,
+            Err(soff_exec::TaskError::Panicked { message }) => {
+                println!("{:<12} failed: task panicked: {message}", app.name);
+                failed = true;
+                continue;
+            }
+        };
         let (dense, event) = match (dense, event) {
             (Ok(d), Ok(e)) => (d, e),
             (d, e) => {

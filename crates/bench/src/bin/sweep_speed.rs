@@ -1,0 +1,224 @@
+//! Wall-clock benchmark of the parallel sweep engine + compile cache.
+//!
+//! Runs the combined §VI evaluation sweep — for every selected app, the
+//! cells Table II, Fig. 11, and Fig. 12 each execute (7 cells per app, 3
+//! unique (app, framework, scale) identities) — twice:
+//!
+//! 1. **sequential**: `--jobs 1`, no memoization — the exact legacy loop;
+//! 2. **parallel**: `--jobs N` workers with identical-cell memoization.
+//!
+//! It checks the two runs' canonical digests are byte-identical (exit 1
+//! otherwise), reports the wall-clock speedup and the compile-cache hit
+//! rates of both phases, and writes `BENCH_sweep_speed.json` in the repo
+//! root.
+//!
+//! ```text
+//! cargo run --release -p soff-bench --bin sweep_speed [--apps atax,mvt] [--jobs N] [--full]
+//! ```
+
+use soff_baseline::Framework;
+use soff_bench::jobs_flag;
+use soff_bench::json::{write_bench_rows, Json};
+use soff_runtime::cache;
+use soff_workloads::data::Scale;
+use soff_workloads::sweep::{digest, run_cells, Cell, CellResult, SweepOptions};
+use soff_workloads::{all_apps, App, Suite};
+use std::time::Instant;
+
+/// The cells the §VI tables/figures execute for one app, in the order
+/// the bins run them: Table II's three frameworks, then Fig. 11's SOFF
+/// + Intel pair, then Fig. 12's SOFF + Xilinx pair.
+fn evaluation_cells(app: App, scale: Scale) -> Vec<Cell> {
+    [
+        Framework::IntelLike,
+        Framework::XilinxLike,
+        Framework::Soff,
+        Framework::Soff,
+        Framework::IntelLike,
+        Framework::Soff,
+        Framework::XilinxLike,
+    ]
+    .into_iter()
+    .map(|fw| Cell::new(app, fw, scale))
+    .collect()
+}
+
+struct Phase {
+    wall_seconds: f64,
+    results: Vec<CellResult>,
+    cache: cache::CacheStats,
+}
+
+fn run_phase(cells: &[Cell], opts: &SweepOptions) -> Phase {
+    // Each phase measures a cold cache: hits within a phase come from
+    // the phase's own repeated configurations, not from the other phase.
+    cache::clear();
+    cache::reset_stats();
+    let start = Instant::now();
+    let results = run_cells(cells, opts);
+    Phase { wall_seconds: start.elapsed().as_secs_f64(), results, cache: cache::stats() }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Small };
+    let jobs = jobs_flag(&args);
+    let only: Option<Vec<String>> = args
+        .iter()
+        .position(|a| a == "--apps")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| list.split(',').map(|s| s.trim().to_string()).collect());
+
+    let apps: Vec<App> = all_apps()
+        .into_iter()
+        .filter(|a| match &only {
+            Some(names) => names.iter().any(|n| n == a.name),
+            // Default sweep: the PolyBench suite (every app runs on SOFF).
+            None => a.suite == Suite::PolyBench,
+        })
+        .collect();
+    if apps.is_empty() {
+        eprintln!("no matching applications");
+        std::process::exit(2);
+    }
+
+    let cells: Vec<Cell> =
+        apps.iter().flat_map(|&app| evaluation_cells(app, scale)).collect();
+    let per_app = cells.len() / apps.len();
+
+    println!(
+        "Sweep engine: sequential vs. {jobs} jobs + memoization ({scale:?} scale, \
+         {} cells over {} apps)",
+        cells.len(),
+        apps.len()
+    );
+
+    let seq = run_phase(&cells, &SweepOptions::sequential());
+    let par = run_phase(&cells, &SweepOptions { jobs, dedup: true });
+
+    // Soundness gate: the deterministic content of the two sweeps must
+    // be byte-identical.
+    let (dseq, dpar) = (digest(&seq.results), digest(&par.results));
+    let identical = dseq == dpar;
+
+    println!("{:-<68}", "");
+    println!(
+        "{:<12} {:>5} {:>6} {:>12} {:>12} {:>9}",
+        "app", "cells", "uniq", "seq (ms)", "par (ms)", "ratio"
+    );
+    println!("(per-app columns sum each executed cell's own wall time; with more");
+    println!(" jobs than cores, timeslicing inflates them — the headline wall-clock");
+    println!(" line below is the end-to-end comparison)");
+    println!("{:-<68}", "");
+    let mut memoized_total = 0usize;
+    for (i, app) in apps.iter().enumerate() {
+        let rows = i * per_app..(i + 1) * per_app;
+        // Executed wall time per app: memoized cells cost (almost)
+        // nothing, so only count cells that actually ran.
+        let seq_ms: f64 =
+            seq.results[rows.clone()].iter().map(|c| c.result.wall_seconds).sum::<f64>() * 1e3;
+        let par_ms: f64 = par.results[rows.clone()]
+            .iter()
+            .filter(|c| c.memo_of.is_none())
+            .map(|c| c.result.wall_seconds)
+            .sum::<f64>()
+            * 1e3;
+        let memoized = par.results[rows].iter().filter(|c| c.memo_of.is_some()).count();
+        memoized_total += memoized;
+        println!(
+            "{:<12} {:>5} {:>6} {:>12.1} {:>12.1} {:>8.2}x",
+            app.name,
+            per_app,
+            per_app - memoized,
+            seq_ms,
+            par_ms,
+            seq_ms / par_ms.max(1e-9),
+        );
+    }
+    println!("{:-<68}", "");
+
+    let speedup = seq.wall_seconds / par.wall_seconds.max(1e-9);
+    println!(
+        "wall clock: sequential {:.2}s, parallel {:.2}s  ->  {speedup:.2}x \
+         ({jobs} jobs, {} core(s) available, {memoized_total} of {} cells memoized)",
+        seq.wall_seconds,
+        par.wall_seconds,
+        soff_exec::default_jobs(),
+        cells.len()
+    );
+    println!(
+        "compile cache: sequential {}+{} hits / {}+{} misses (hit rate {:.0}%), \
+         parallel {}+{} hits / {}+{} misses (hit rate {:.0}%)",
+        seq.cache.frontend_hits,
+        seq.cache.program_hits,
+        seq.cache.frontend_misses,
+        seq.cache.program_misses,
+        seq.cache.hit_rate() * 100.0,
+        par.cache.frontend_hits,
+        par.cache.program_hits,
+        par.cache.frontend_misses,
+        par.cache.program_misses,
+        par.cache.hit_rate() * 100.0,
+    );
+    println!("digests {}", if identical { "identical" } else { "DIVERGED" });
+
+    let mut rows: Vec<Json> = par
+        .results
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("app", Json::str(c.app)),
+                ("fw", Json::str(format!("{}", c.fw))),
+                ("outcome", Json::str(c.result.outcome.code())),
+                ("seconds", Json::Num(c.result.seconds)),
+                ("cycles", Json::Int(c.result.cycles as i64)),
+                ("launches", Json::Int(c.result.launches as i64)),
+                ("replication", Json::Int(c.result.replication as i64)),
+                ("memoized", Json::Bool(c.memo_of.is_some())),
+            ])
+        })
+        .collect();
+    let cache_pairs = |s: &cache::CacheStats| {
+        vec![
+            ("frontend_hits", Json::Int(s.frontend_hits as i64)),
+            ("frontend_misses", Json::Int(s.frontend_misses as i64)),
+            ("program_hits", Json::Int(s.program_hits as i64)),
+            ("program_misses", Json::Int(s.program_misses as i64)),
+            ("cache_hit_rate", Json::Num(s.hit_rate())),
+        ]
+    };
+    let mut summary = vec![
+        ("jobs", Json::Int(jobs as i64)),
+        ("cores", Json::Int(soff_exec::default_jobs() as i64)),
+        ("cells", Json::Int(cells.len() as i64)),
+        ("unique_cells", Json::Int((cells.len() - memoized_total) as i64)),
+        ("memoized", Json::Int(memoized_total as i64)),
+        ("sequential_seconds", Json::Num(seq.wall_seconds)),
+        ("parallel_seconds", Json::Num(par.wall_seconds)),
+        ("speedup", Json::Num(speedup)),
+        ("identical", Json::Bool(identical)),
+    ];
+    summary.extend(
+        cache_pairs(&seq.cache)
+            .into_iter()
+            .map(|(k, v)| (match k {
+                "frontend_hits" => "seq_frontend_hits",
+                "frontend_misses" => "seq_frontend_misses",
+                "program_hits" => "seq_program_hits",
+                "program_misses" => "seq_program_misses",
+                _ => "seq_cache_hit_rate",
+            }, v)),
+    );
+    summary.extend(cache_pairs(&par.cache));
+    rows.push(Json::obj(summary));
+    match write_bench_rows("sweep_speed", rows) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write results: {e}"),
+    }
+
+    if !identical {
+        eprintln!("FAILED: parallel sweep diverged from sequential");
+        eprintln!("--- sequential\n{dseq}\n--- parallel\n{dpar}");
+        std::process::exit(1);
+    }
+}

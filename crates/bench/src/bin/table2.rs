@@ -2,17 +2,20 @@
 //! Xilinx SDAccel, and SOFF on all 34 applications).
 //!
 //! ```text
-//! cargo run --release -p soff-bench --bin table2 [--json]
+//! cargo run --release -p soff-bench --bin table2 [--json] [--jobs N]
 //! ```
 
 use soff_baseline::{Framework, Outcome};
 use soff_bench::json::{write_bench_rows, Json};
-use soff_bench::paper;
-use soff_workloads::{all_apps, data::Scale, execute, Suite};
+use soff_bench::{jobs_flag, paper, sweep_options};
+use soff_workloads::sweep::run_suite_parallel;
+use soff_workloads::{all_apps, data::Scale, Suite};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let scale = Scale::Small;
-    let json = std::env::args().any(|a| a == "--json");
+    let json = args.iter().any(|a| a == "--json");
+    let jobs = jobs_flag(&args);
     let mut jrows = Vec::new();
     println!("Table II: Applications (L = local memory, B = barrier, A = atomics)");
     println!("{:-<72}", "");
@@ -23,10 +26,15 @@ fn main() {
     println!("{:-<72}", "");
     let mut fails = [0u32; 3];
     let mut soff_correct = 0u32;
-    for app in all_apps() {
-        let intel = execute(&app, Framework::IntelLike, scale).outcome;
-        let xilinx = execute(&app, Framework::XilinxLike, scale).outcome;
-        let soff = execute(&app, Framework::Soff, scale).outcome;
+    let apps = all_apps();
+    // Fan the whole 34 × 3 grid across the pool; rows come back in
+    // app-major input order, so printing stays a straight walk.
+    let fws = [Framework::IntelLike, Framework::XilinxLike, Framework::Soff];
+    let grid = run_suite_parallel(&apps, &fws, scale, &sweep_options(jobs));
+    for (app, row) in apps.iter().zip(grid.chunks(fws.len())) {
+        let intel = row[0].result.outcome;
+        let xilinx = row[1].result.outcome;
+        let soff = row[2].result.outcome;
         for (i, o) in [intel, xilinx, soff].iter().enumerate() {
             if *o != Outcome::Ok {
                 fails[i] += 1;

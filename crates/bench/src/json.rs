@@ -93,16 +93,30 @@ impl fmt::Display for Json {
     }
 }
 
-/// Writes one benchmark's rows to `BENCH_<name>.json` in the current
-/// directory: `{"bench": <name>, "rows": [...]}`. Returns the path
-/// written, for the binary to report.
+/// The workspace root (two levels above this crate's manifest), where
+/// `BENCH_*.json` artifacts live so they can be committed and tracked
+/// as the perf trajectory. Falls back to the current directory when the
+/// compile-time path no longer exists (e.g. an installed binary).
+fn artifact_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .filter(|p| p.is_dir())
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| Path::new(".").to_path_buf())
+}
+
+/// Writes one benchmark's rows to `BENCH_<name>.json` in the repo root
+/// (`{"bench": <name>, "rows": [...]}`), so the artifact lands in the
+/// same tracked place no matter which directory the binary runs from.
+/// Returns the path written, for the binary to report.
 ///
 /// # Errors
 ///
 /// Propagates file-creation/write errors.
 pub fn write_bench_rows(name: &str, rows: Vec<Json>) -> io::Result<std::path::PathBuf> {
     let doc = Json::obj(vec![("bench", Json::str(name)), ("rows", Json::Arr(rows))]);
-    let path = Path::new(&format!("BENCH_{name}.json")).to_path_buf();
+    let path = artifact_dir().join(format!("BENCH_{name}.json"));
     fs::write(&path, format!("{doc}\n"))?;
     Ok(path)
 }

@@ -7,9 +7,34 @@
 //! so paper-vs-measured comparison is mechanical (see EXPERIMENTS.md).
 
 use soff_baseline::Framework;
-use soff_workloads::{all_apps, data::Scale, execute, App, AppResult};
+use soff_workloads::sweep::{run_cells, Cell, SweepOptions};
+use soff_workloads::{all_apps, data::Scale, App, AppResult};
 
 pub mod json;
+
+/// Parses the shared `--jobs N` flag of the bench bins; the default is
+/// the machine's available parallelism. `--jobs 1` reproduces the
+/// historical sequential sweep exactly.
+pub fn jobs_flag(args: &[String]) -> usize {
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or_else(soff_exec::default_jobs)
+}
+
+/// The sweep options implied by a `--jobs` value: parallel runs may
+/// memoize identical cells (results are bit-identical either way — the
+/// differential tests hold the engine to that); `--jobs 1` keeps the
+/// plain sequential loop, duplicates and all.
+pub fn sweep_options(jobs: usize) -> SweepOptions {
+    if jobs <= 1 {
+        SweepOptions::sequential()
+    } else {
+        SweepOptions { jobs, dedup: true }
+    }
+}
 
 /// Geometric mean of positive values; `None` for an empty slice (the
 /// caller decides how to report "no overlapping apps" — a silent NaN
@@ -44,24 +69,39 @@ pub fn fig11_apps() -> Vec<App> {
 
 /// Per-app speedup of SOFF over a baseline framework at the given scale.
 /// Returns `(name, speedup, soff_result, baseline_result)` for apps both
-/// frameworks run.
+/// frameworks run, in `all_apps` order.
+///
+/// Runs as two parallel waves on `jobs` workers: all SOFF cells first,
+/// then the baseline cells of the apps SOFF completed (preserving the
+/// historical behaviour of never simulating a baseline whose SOFF side
+/// already failed).
 pub fn speedups_vs(
     baseline: Framework,
     scale: Scale,
+    jobs: usize,
 ) -> Vec<(&'static str, f64, AppResult, AppResult)> {
-    let mut rows = Vec::new();
-    for app in all_apps() {
-        let soff = execute(&app, Framework::Soff, scale);
-        if soff.outcome != soff_baseline::Outcome::Ok {
-            continue;
-        }
-        let base = execute(&app, baseline, scale);
-        if base.outcome != soff_baseline::Outcome::Ok {
-            continue;
-        }
-        rows.push((app.name, base.seconds / soff.seconds, soff, base));
-    }
-    rows
+    let opts = sweep_options(jobs);
+    let apps = all_apps();
+    let soff_cells: Vec<Cell> =
+        apps.iter().map(|a| Cell::new(*a, Framework::Soff, scale)).collect();
+    let soff = run_cells(&soff_cells, &opts);
+
+    let runnable: Vec<usize> = (0..apps.len())
+        .filter(|&i| soff[i].result.outcome == soff_baseline::Outcome::Ok)
+        .collect();
+    let base_cells: Vec<Cell> =
+        runnable.iter().map(|&i| Cell::new(apps[i], baseline, scale)).collect();
+    let base = run_cells(&base_cells, &opts);
+
+    runnable
+        .iter()
+        .zip(&base)
+        .filter(|(_, b)| b.result.outcome == soff_baseline::Outcome::Ok)
+        .map(|(&i, b)| {
+            let s = soff[i].result;
+            (apps[i].name, b.result.seconds / s.seconds, s, b.result)
+        })
+        .collect()
 }
 
 /// Published Fig. 11 data points (the bars tall enough for the paper to

@@ -1,0 +1,144 @@
+//! Work-stealing deques, API-shaped like `crossbeam_deque`.
+//!
+//! The workspace vendors no external crates, so this is an in-repo
+//! stand-in: each worker owns a deque it pushes/pops at the *back*
+//! (LIFO, keeps the owner's working set warm), while [`Stealer`]s held
+//! by other workers take from the *front* (FIFO, steals the oldest —
+//! and for a sweep, typically largest-remaining — batch of work).
+//!
+//! Unlike the lock-free Chase–Lev original, the implementation guards
+//! the buffer with a [`Mutex`]. Sweep tasks are coarse (milliseconds of
+//! simulation each), so a sub-microsecond critical section per
+//! push/pop/steal is noise; in exchange the deque is trivially correct
+//! and contains no `unsafe`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The owner's end of a deque.
+#[derive(Debug)]
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// A handle other workers use to steal from a [`Worker`]'s deque.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+/// Outcome of a steal attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+}
+
+/// A poisoned deque lock means a thread panicked *while holding it*;
+/// every critical section below is a plain queue operation that cannot
+/// panic, so recover the guard instead of propagating the poison (the
+/// pool's whole job is to outlive task panics).
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<T> Worker<T> {
+    /// Creates an empty deque.
+    pub fn new() -> Worker<T> {
+        Worker { inner: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        lock(&self.inner).push_back(task);
+    }
+
+    /// Pops the most recently pushed task (owner side, LIFO).
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.inner).pop_back()
+    }
+
+    /// Creates a stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Number of queued tasks (for tests and load reporting).
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Worker::new()
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest queued task (opposite end from the owner).
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.inner).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_stealer_is_fifo() {
+        let w = Worker::new();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3), "owner pops the newest");
+        assert_eq!(s.steal(), Steal::Success(1), "stealer takes the oldest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn steals_race_safely() {
+        let w = Worker::new();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let stolen: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let s = w.stealer();
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Steal::Success(t) = s.steal() {
+                            got.push(t);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let mut all = stolen;
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>(), "each task stolen exactly once");
+    }
+}

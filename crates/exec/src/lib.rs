@@ -1,0 +1,239 @@
+//! # soff-exec
+//!
+//! The execution layer of the SOFF benchmark sweeps: a dependency-free
+//! scoped thread pool with work-stealing deques ([`deque`]) and
+//! per-task panic isolation.
+//!
+//! Benchmark sweeps (Table II, Fig. 11/12, ablations) are
+//! embarrassingly parallel grids of *independent* simulations — each
+//! cell builds its own context and global memory, so fanning cells
+//! across threads preserves bit-identical per-cell results while
+//! multiplying throughput by core count. [`run_tasks`] is the one
+//! entry point: it takes an ordered work list, executes it on `jobs`
+//! workers, and returns results **in input order**, so callers are
+//! oblivious to scheduling.
+//!
+//! Two properties the sweep drivers rely on:
+//!
+//! * **Determinism** — results are keyed by input index, never by
+//!   completion order. `jobs = 1` executes the items in order on the
+//!   caller's thread (no pool is spawned), reproducing a plain
+//!   sequential `for` loop exactly.
+//! * **Panic isolation** — every task runs under `catch_unwind`; a
+//!   panicking task becomes `Err(`[`TaskError::Panicked`]`)` in its own
+//!   slot while sibling tasks keep running. A buggy benchmark cell
+//!   produces one failure row, not a torn-down sweep (composing with
+//!   the hang/fault tolerance of the workload harness).
+//!
+//! ## Example
+//!
+//! ```
+//! let results = soff_exec::run_tasks(4, vec![1u64, 2, 3, 4], |_, n| n * n);
+//! let squares: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+pub mod deque;
+
+use std::any::Any;
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Why a task produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// The task panicked; the payload's message (if it was a string).
+    Panicked {
+        /// The panic payload rendered as text.
+        message: String,
+    },
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::Panicked { message } => write!(f, "task panicked: {message}"),
+        }
+    }
+}
+
+impl Error for TaskError {}
+
+/// Renders a panic payload (almost always a `&str` or `String`).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "(non-string panic payload)".to_string()
+    }
+}
+
+/// The number of workers to use when the caller does not say: the
+/// machine's available parallelism (1 if it cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn run_guarded<I, T>(f: &(impl Fn(usize, I) -> T + Sync), index: usize, item: I) -> Result<T, TaskError> {
+    catch_unwind(AssertUnwindSafe(|| f(index, item)))
+        .map_err(|p| TaskError::Panicked { message: panic_message(p.as_ref()) })
+}
+
+/// Executes `f(index, item)` for every item on a pool of `jobs`
+/// workers and returns the results **in input order**.
+///
+/// Items are dealt round-robin onto per-worker deques; an idle worker
+/// first drains its own deque (LIFO), then steals the oldest task from
+/// a sibling (FIFO). Because the work list is fixed up front, "all
+/// deques empty" is a sound termination condition — no task can appear
+/// after a worker observes emptiness and exits.
+///
+/// A panicking task yields `Err(TaskError::Panicked)` in its slot;
+/// all other slots are unaffected. With `jobs <= 1` (or fewer than two
+/// items) no threads are spawned and items run in order on the calling
+/// thread — byte-for-byte the sequential loop it replaces, except that
+/// panics are still converted into per-task errors.
+pub fn run_tasks<I, T, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<Result<T, TaskError>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| run_guarded(&f, i, item)).collect();
+    }
+    let jobs = jobs.min(n);
+
+    // Items live in indexed slots; deques carry indices. A slot is
+    // taken exactly once (the deques never duplicate an index, but the
+    // take-once discipline makes that locally evident).
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let workers: Vec<deque::Worker<usize>> = (0..jobs).map(|_| deque::Worker::new()).collect();
+    let stealers: Vec<deque::Stealer<usize>> = workers.iter().map(|w| w.stealer()).collect();
+    for i in 0..n {
+        workers[i % jobs].push(i);
+    }
+
+    let (tx, rx) = mpsc::channel::<(usize, Result<T, TaskError>)>();
+    std::thread::scope(|scope| {
+        for (wid, worker) in workers.into_iter().enumerate() {
+            let tx = tx.clone();
+            let (f, slots, stealers) = (&f, &slots, &stealers);
+            scope.spawn(move || loop {
+                let next = worker.pop().or_else(|| {
+                    // Steal round-robin starting after ourselves, so
+                    // workers do not all gang up on worker 0.
+                    (1..stealers.len()).find_map(|off| {
+                        match stealers[(wid + off) % stealers.len()].steal() {
+                            deque::Steal::Success(i) => Some(i),
+                            deque::Steal::Empty => None,
+                        }
+                    })
+                });
+                let Some(index) = next else { break };
+                let item = slots[index]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take();
+                if let Some(item) = item {
+                    // The receiver outlives the scope; send cannot fail.
+                    let _ = tx.send((index, run_guarded(f, index, item)));
+                }
+            });
+        }
+        drop(tx); // workers hold the remaining clones
+    });
+
+    let mut out: Vec<Option<Result<T, TaskError>>> = (0..n).map(|_| None).collect();
+    for (index, result) in rx {
+        out[index] = Some(result);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("scope joined all workers, every task reported"))
+        .collect()
+}
+
+// Compile-time audit: sweep cells and their results cross thread
+// boundaries, so the error type must be freely shareable.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TaskError>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        for jobs in [1, 2, 4, 9] {
+            let items: Vec<usize> = (0..37).collect();
+            let results = run_tasks(jobs, items, |i, item| {
+                assert_eq!(i, item, "index matches the item's input position");
+                item * 10
+            });
+            let got: Vec<usize> = results.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(got, (0..37).map(|i| i * 10).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let results = run_tasks(4, vec![(); 100], |_, ()| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn a_panicking_task_does_not_lose_its_siblings() {
+        let results = run_tasks(3, (0..10).collect::<Vec<u32>>(), |_, n| {
+            if n == 4 {
+                panic!("injected failure on {n}");
+            }
+            n + 1
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i == 4 {
+                match r {
+                    Err(TaskError::Panicked { message }) => {
+                        assert!(message.contains("injected failure on 4"), "got: {message}")
+                    }
+                    other => panic!("expected a panic error, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r, Ok(i as u32 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_mode_spawns_no_threads() {
+        // Observable proxy: the closure always runs on the caller's thread.
+        let caller = std::thread::current().id();
+        let results = run_tasks(1, vec![0; 8], |_, _| std::thread::current().id());
+        assert!(results.into_iter().all(|r| r.unwrap() == caller));
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let results = run_tasks(64, vec![1, 2], |_, n| n * 2);
+        let got: Vec<i32> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, vec![2, 4]);
+    }
+
+    #[test]
+    fn empty_work_list_is_fine() {
+        let results = run_tasks(4, Vec::<u8>::new(), |_, n| n);
+        assert!(results.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Property suite for the pool's panic isolation: an arbitrary subset
+//! of tasks panicking must surface as per-task errors in exactly those
+//! slots, with every sibling's result intact and in input order.
+
+use proptest::prelude::*;
+use soff_exec::{run_tasks, TaskError};
+use std::sync::Once;
+
+/// The default panic hook prints a backtrace per injected panic, which
+/// turns a 64-case property run into pages of noise; the panics here
+/// are expected, so silence the hook once for the whole binary.
+fn quiet_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| std::panic::set_hook(Box::new(|_| {})));
+}
+
+/// A deterministic "does task `i` panic" predicate derived from `seed`
+/// (splitmix64 bit-mix, one bit per task).
+fn panics(seed: u64, i: usize) -> bool {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) & 1 == 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Injected task panics become per-cell errors without losing any
+    /// sibling result, at every pool width.
+    #[test]
+    fn injected_panics_surface_per_cell(
+        n in 0usize..40,
+        jobs in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        quiet_panics();
+        let items: Vec<usize> = (0..n).collect();
+        let results = run_tasks(jobs, items, |_, i| {
+            if panics(seed, i) {
+                panic!("injected panic in task {i}");
+            }
+            i * 3 + 1
+        });
+        prop_assert_eq!(results.len(), n);
+        for (i, r) in results.iter().enumerate() {
+            if panics(seed, i) {
+                match r {
+                    Err(TaskError::Panicked { message }) => {
+                        let expected = format!("injected panic in task {i}");
+                        prop_assert!(
+                            message.contains(&expected),
+                            "slot {} carries the wrong panic: {}", i, message
+                        );
+                    }
+                    Ok(v) => prop_assert!(false, "slot {} should have panicked, got {}", i, v),
+                }
+            } else {
+                prop_assert_eq!(r.clone(), Ok(i * 3 + 1), "sibling {} lost or corrupted", i);
+            }
+        }
+    }
+
+    /// The parallel pool and the sequential path agree on the full
+    /// result vector (values and error slots) for any panic pattern.
+    #[test]
+    fn parallel_matches_sequential(
+        n in 0usize..32,
+        jobs in 2usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        quiet_panics();
+        let work = |_, i: usize| {
+            if panics(seed, i) {
+                panic!("boom {i}");
+            }
+            i as u64 * 7
+        };
+        let seq = run_tasks(1, (0..n).collect(), work);
+        let par = run_tasks(jobs, (0..n).collect(), work);
+        prop_assert_eq!(seq, par);
+    }
+}

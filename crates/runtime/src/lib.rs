@@ -45,6 +45,7 @@
 //! ergonomic while misuse still maps to `CL_INVALID_ARG_INDEX` /
 //! `CL_INVALID_ARG_VALUE` instead of aborting the host process.
 
+pub mod cache;
 pub mod device;
 
 use soff_datapath::resource::{self, Replication};
@@ -253,16 +254,36 @@ impl Program {
 
     /// As [`Program::build`] with an explicit latency model (used by the
     /// baseline framework models and the ablation benches).
+    ///
+    /// Builds are memoized in the content-hashed compile cache (see
+    /// [`cache`]): a repeated build of the same source/defines/device/
+    /// latency model returns a `Program` sharing the original's
+    /// `CompiledKernel`s via `Arc`, and builds that differ only in
+    /// device or latency model share the frontend + lowering work.
     pub fn build_with_latencies(
         source: &str,
         defines: &[(String, String)],
         device: &Device,
         lat: &LatencyModel,
     ) -> Result<Program, BuildError> {
-        let parsed = soff_frontend::compile(source, defines)?;
-        let module = soff_ir::build::lower(&parsed)?;
+        // The device description and latency model are plain data; their
+        // Debug rendering is a faithful fingerprint of every field that
+        // feeds datapath synthesis and the replication choice.
+        let fingerprint = format!("{device:?}|{lat:?}");
+        cache::program_cached(source, defines, &fingerprint, || {
+            Self::build_uncached(source, defines, device, lat)
+        })
+    }
+
+    fn build_uncached(
+        source: &str,
+        defines: &[(String, String)],
+        device: &Device,
+        lat: &LatencyModel,
+    ) -> Result<Program, BuildError> {
+        let module = cache::lower_cached(source, defines)?;
         let mut kernels = Vec::new();
-        for kernel in module.kernels {
+        for kernel in module.kernels.iter().cloned() {
             debug_assert!(soff_ir::verify::verify(&kernel).is_ok());
             let datapath = Datapath::build(&kernel, lat);
             let pa = soff_ir::pointer::analyze(&kernel);
@@ -497,6 +518,25 @@ pub struct Context {
 
 /// Tags contexts so buffer handles cannot cross between them unnoticed.
 static NEXT_CTX_ID: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+// Compile-time audit for the parallel sweep engine: compiled programs
+// (and therefore kernels, datapaths, and replication choices) are shared
+// across worker threads through the compile cache's `Arc`s, and whole
+// contexts/results move into and out of sweep tasks. `Send`-only types
+// (owned per cell) are checked separately from the shared `Sync` ones.
+const _: () = {
+    const fn shared<T: Send + Sync>() {}
+    const fn owned<T: Send>() {}
+    shared::<Program>();
+    shared::<CompiledKernel>();
+    shared::<Device>();
+    shared::<cache::CacheStats>();
+    owned::<Context>();
+    owned::<KernelHandle>();
+    owned::<ExecStats>();
+    owned::<BuildError>();
+    owned::<LaunchError>();
+};
 
 impl Context {
     /// Creates a context on `device`.

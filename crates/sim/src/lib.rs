@@ -55,3 +55,23 @@ pub use profile::{
     write_chrome_trace, Bottleneck, CacheProfile, CompProfile, CycleBreakdown, FifoDepth,
     ProfileConfig, ProfileReport, Sample, Span, SpanTrack, UnitProfile,
 };
+
+// Compile-time audit for the parallel sweep engine: simulation results —
+// including the profiler's reports with their sampled ring buffers and
+// span tracks — are produced inside worker threads and shipped back to
+// the reassembling thread, so every type crossing that boundary must be
+// `Send`; the configs are shared by reference across cells (`Sync`).
+const _: () = {
+    const fn shared<T: Send + Sync>() {}
+    const fn owned<T: Send>() {}
+    shared::<SimConfig>();
+    shared::<ProfileConfig>();
+    shared::<Scheduler>();
+    owned::<SimResult>();
+    owned::<SimError>();
+    owned::<ProfileReport>();
+    owned::<Sample>();
+    owned::<SpanTrack>();
+    owned::<DeadlockReport>();
+    owned::<FaultPlan>();
+};

@@ -41,7 +41,7 @@ impl DataGen {
 
 /// Problem-size selector. `Small` keeps simulations fast for tests;
 /// `Full` is what the benchmark harness uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Test-sized problems (sub-second simulations).
     Small,

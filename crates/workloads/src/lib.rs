@@ -10,6 +10,7 @@ pub mod data;
 pub mod polybench;
 pub mod runner;
 pub mod spec;
+pub mod sweep;
 
 use data::Scale;
 use runner::{BufId, RunError, Runner, SimRunner};
@@ -45,7 +46,9 @@ pub struct Features {
     pub atomics: bool,
 }
 
-/// One benchmark application.
+/// One benchmark application. `Copy`: the fields are static references
+/// and a function pointer, so sweep cells can carry apps by value.
+#[derive(Clone, Copy)]
 pub struct App {
     /// The paper's benchmark name (e.g. `"117.bfs"`).
     pub name: &'static str,
@@ -100,13 +103,64 @@ pub struct AppResult {
     /// Datapath replication the framework used (for the Fig. 12 (b)
     /// linear-scaling extrapolation).
     pub replication: u32,
+    /// Host wall-clock seconds spent producing this cell, measured
+    /// *inside* [`execute`] (per-cell, so a parallel sweep reports
+    /// honest per-app times instead of a share of the whole sweep).
+    /// Unlike every other field it is nondeterministic; comparisons of
+    /// sweep results use [`AppResult::det_eq`], which ignores it.
+    pub wall_seconds: f64,
+}
+
+impl AppResult {
+    /// Equality over the deterministic fields (everything except
+    /// [`AppResult::wall_seconds`]): two runs of the same cell must
+    /// agree on these bit-for-bit regardless of scheduling.
+    pub fn det_eq(&self, other: &AppResult) -> bool {
+        self.outcome == other.outcome
+            && self.seconds == other.seconds
+            && self.cycles == other.cycles
+            && self.launches == other.launches
+            && self.replication == other.replication
+    }
+}
+
+/// Compiles and lowers an application source, mapping frontend and
+/// lowering failures to the Table II `CE` outcome instead of panicking
+/// (the "no user-reachable panics" rule). Successful results are shared
+/// process-wide through the compile cache.
+///
+/// # Errors
+///
+/// [`Outcome::CompileError`] when the frontend or lowering rejects the
+/// source.
+pub fn lower_app(
+    source: &str,
+    defines: &[(String, String)],
+) -> Result<std::sync::Arc<soff_ir::ir::Module>, Outcome> {
+    soff_runtime::cache::lower_cached(source, defines).map_err(|_| Outcome::CompileError)
 }
 
 /// Builds and runs `app` on `fw` exactly as §VI does: vendor known issues
 /// first (the closed-source tools crash/hang before producing results),
 /// then compile (feature gates, resource model), then execute and verify.
+/// The returned [`AppResult::wall_seconds`] is measured around this call
+/// alone, so sweep drivers get per-cell host timing for free.
 pub fn execute(app: &App, fw: Framework, scale: Scale) -> AppResult {
-    let fail = |outcome| AppResult { outcome, seconds: 0.0, cycles: 0, launches: 0, replication: 0 };
+    let start = std::time::Instant::now();
+    let mut result = execute_inner(app, fw, scale);
+    result.wall_seconds = start.elapsed().as_secs_f64();
+    result
+}
+
+fn execute_inner(app: &App, fw: Framework, scale: Scale) -> AppResult {
+    let fail = |outcome| AppResult {
+        outcome,
+        seconds: 0.0,
+        cycles: 0,
+        launches: 0,
+        replication: 0,
+        wall_seconds: 0.0,
+    };
 
     if let Some(issue) = soff_baseline::known_issue(fw, app.name) {
         return fail(issue);
@@ -130,6 +184,7 @@ pub fn execute(app: &App, fw: Framework, scale: Scale) -> AppResult {
                 cycles: runner.total_cycles,
                 launches: runner.launches,
                 replication,
+                wall_seconds: 0.0,
             },
             Ok(false) => fail(Outcome::IncorrectAnswer),
             Err(RunError::Outcome(o)) => fail(o),
@@ -174,11 +229,9 @@ mod tests {
     fn declared_features_match_compiled_kernels() {
         // The L/B/A columns must agree with what the compiler finds.
         for a in all_apps() {
-            let parsed = soff_frontend::compile(a.source, &[]).unwrap_or_else(|e| {
-                panic!("{}: frontend rejected source: {e}", a.name)
+            let module = lower_app(a.source, &[]).unwrap_or_else(|o| {
+                panic!("{}: compilation failed ({})", a.name, o.code())
             });
-            let module = soff_ir::build::lower(&parsed)
-                .unwrap_or_else(|e| panic!("{}: lowering failed: {e}", a.name));
             let local = module.kernels.iter().any(|k| k.uses_local);
             let barrier = module.kernels.iter().any(|k| k.uses_barrier);
             let atomics = module.kernels.iter().any(|k| k.uses_atomics);
@@ -191,12 +244,31 @@ mod tests {
     #[test]
     fn all_kernels_verify() {
         for a in all_apps() {
-            let parsed = soff_frontend::compile(a.source, &[]).unwrap();
-            let module = soff_ir::build::lower(&parsed).unwrap();
+            let module = lower_app(a.source, &[]).unwrap_or_else(|o| {
+                panic!("{}: compilation failed ({})", a.name, o.code())
+            });
             for k in &module.kernels {
                 soff_ir::verify::verify(k)
                     .unwrap_or_else(|e| panic!("{} kernel {}: {e}", a.name, k.name));
             }
         }
+    }
+
+    #[test]
+    fn lower_app_maps_failure_to_outcome() {
+        // A broken source must surface as a Table II `CE` outcome, not a
+        // panic — the sweep engine turns it into a failure row.
+        let got = lower_app("__kernel void k() { undeclared = 1; }", &[]);
+        assert_eq!(got.err(), Some(Outcome::CompileError));
+    }
+
+    #[test]
+    fn wall_seconds_is_per_cell_and_det_eq_ignores_it() {
+        let apps = all_apps();
+        let app = apps.iter().find(|a| a.name == "atax").unwrap();
+        let a = execute(app, Framework::Soff, Scale::Small);
+        let b = execute(app, Framework::Soff, Scale::Small);
+        assert!(a.wall_seconds > 0.0, "wall time measured inside the cell");
+        assert!(a.det_eq(&b), "deterministic fields identical across reruns");
     }
 }

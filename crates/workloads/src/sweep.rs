@@ -1,0 +1,240 @@
+//! The parallel sweep driver: fans app × framework cells across the
+//! `soff-exec` work-stealing pool and reassembles results in
+//! deterministic input order.
+//!
+//! Every cell is an independent simulation — it builds (or fetches from
+//! the compile cache) its own program, allocates its own context and
+//! global memory, and verifies its own outputs — so cells can run on
+//! any thread in any order without observable effect. The driver adds
+//! two optimizations on top of the raw pool:
+//!
+//! * **Identical-cell memoization** ([`SweepOptions::dedup`]): the §VI
+//!   evaluation re-runs the same (app, framework, scale) cell in
+//!   several tables/figures (Table II, Fig. 11, and Fig. 12 all execute
+//!   the SOFF column). Cells are deterministic (seeded inputs, exact
+//!   simulation), so duplicates of an executed cell can share its
+//!   result. The differential tests pin this soundness claim down: a
+//!   deduplicated parallel sweep digests byte-identically to the plain
+//!   sequential one.
+//! * **Panic containment**: a pool-level task panic (i.e. a bug that
+//!   escapes [`execute`]'s own `catch_unwind`) becomes a per-cell
+//!   failure row with the panic message attached, never a torn-down
+//!   sweep.
+//!
+//! `jobs = 1` with `dedup` off executes the cells in input order on the
+//! calling thread — exactly the sequential loop the bench bins used to
+//! contain.
+
+use crate::data::Scale;
+use crate::{execute, App, AppResult};
+use soff_baseline::{Framework, Outcome};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One sweep cell: run `app` on `fw` at `scale`.
+#[derive(Clone, Copy)]
+pub struct Cell {
+    /// The application.
+    pub app: App,
+    /// The framework executing it.
+    pub fw: Framework,
+    /// The problem size.
+    pub scale: Scale,
+}
+
+impl Cell {
+    /// Builds a cell.
+    pub fn new(app: App, fw: Framework, scale: Scale) -> Cell {
+        Cell { app, fw, scale }
+    }
+
+    /// The memoization identity of this cell. Apps are identified by
+    /// their (unique, static) name; the host program and source are
+    /// functions of it. Defines are not part of a [`Cell`] — cells
+    /// always build with the app's source verbatim.
+    fn key(&self) -> (&'static str, Framework, Scale) {
+        (self.app.name, self.fw, self.scale)
+    }
+}
+
+/// The outcome of one cell, tagged with enough identity to print a row.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Application name.
+    pub app: &'static str,
+    /// Framework the cell ran on.
+    pub fw: Framework,
+    /// The execution result (a failure row if the task panicked).
+    pub result: AppResult,
+    /// The panic message, when the pool had to contain a task panic.
+    pub panic: Option<String>,
+    /// `Some(i)` when this cell's result was shared from the identical
+    /// cell at input index `i` instead of being re-executed.
+    pub memo_of: Option<usize>,
+}
+
+/// How to run a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Worker threads; 1 runs sequentially on the caller's thread.
+    pub jobs: usize,
+    /// Share results between identical cells instead of re-executing.
+    pub dedup: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions { jobs: soff_exec::default_jobs(), dedup: true }
+    }
+}
+
+impl SweepOptions {
+    /// The exact legacy path: one cell after another, every duplicate
+    /// re-executed.
+    pub fn sequential() -> SweepOptions {
+        SweepOptions { jobs: 1, dedup: false }
+    }
+}
+
+/// Runs every cell and returns results **in input order**.
+pub fn run_cells(cells: &[Cell], opts: &SweepOptions) -> Vec<CellResult> {
+    // Pick the representative (first occurrence) of each identity.
+    let mut rep_of_key: HashMap<(&'static str, Framework, Scale), usize> = HashMap::new();
+    let mut rep_index: Vec<usize> = Vec::with_capacity(cells.len()); // cell -> representative cell
+    let mut unique: Vec<usize> = Vec::with_capacity(cells.len()); // representative cells, input order
+    for (i, cell) in cells.iter().enumerate() {
+        if opts.dedup {
+            let rep = *rep_of_key.entry(cell.key()).or_insert_with(|| {
+                unique.push(i);
+                i
+            });
+            rep_index.push(rep);
+        } else {
+            unique.push(i);
+            rep_index.push(i);
+        }
+    }
+
+    let work: Vec<Cell> = unique.iter().map(|&i| cells[i]).collect();
+    let executed = soff_exec::run_tasks(opts.jobs, work, |_, cell: Cell| {
+        execute(&cell.app, cell.fw, cell.scale)
+    });
+    let mut by_rep: HashMap<usize, &Result<AppResult, soff_exec::TaskError>> =
+        HashMap::with_capacity(unique.len());
+    for (slot, &cell_index) in unique.iter().enumerate() {
+        by_rep.insert(cell_index, &executed[slot]);
+    }
+
+    cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            let rep = rep_index[i];
+            let (result, panic) = match by_rep[&rep] {
+                Ok(r) => (*r, None),
+                // A contained pool-level panic: the sweep keeps going,
+                // this cell becomes a runtime-error row.
+                Err(soff_exec::TaskError::Panicked { message }) => (
+                    AppResult {
+                        outcome: Outcome::RuntimeError,
+                        seconds: 0.0,
+                        cycles: 0,
+                        launches: 0,
+                        replication: 0,
+                        wall_seconds: 0.0,
+                    },
+                    Some(message.clone()),
+                ),
+            };
+            CellResult {
+                app: cell.app.name,
+                fw: cell.fw,
+                result,
+                panic,
+                memo_of: (rep != i).then_some(rep),
+            }
+        })
+        .collect()
+}
+
+/// Runs the full `apps` × `frameworks` grid (app-major, matching the
+/// Table II row order) and returns one [`CellResult`] per cell in that
+/// order.
+pub fn run_suite_parallel(
+    apps: &[App],
+    frameworks: &[Framework],
+    scale: Scale,
+    opts: &SweepOptions,
+) -> Vec<CellResult> {
+    let cells: Vec<Cell> = apps
+        .iter()
+        .flat_map(|app| frameworks.iter().map(|&fw| Cell::new(*app, fw, scale)))
+        .collect();
+    run_cells(&cells, opts)
+}
+
+/// Canonical rendering of a sweep's *deterministic* content: one JSON
+/// line per cell covering every field two runs of the same cell must
+/// agree on (outcome, device seconds/cycles, launches, replication,
+/// whether the cell panicked). Host wall time, panic messages, and
+/// memoization provenance are excluded — they legitimately vary between
+/// runs. Two sweeps over the same cells are correct iff their digests
+/// are byte-identical, which is exactly what the differential tests and
+/// the `sweep_speed` bench assert.
+pub fn digest(results: &[CellResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        // f64 `{}` formatting is Rust's shortest round-trip form:
+        // deterministic for a deterministic value.
+        writeln!(
+            out,
+            "{{\"app\":\"{}\",\"fw\":\"{}\",\"outcome\":\"{}\",\"seconds\":{},\
+             \"cycles\":{},\"launches\":{},\"replication\":{},\"panicked\":{}}}",
+            r.app,
+            r.fw,
+            r.result.outcome.code(),
+            r.result.seconds,
+            r.result.cycles,
+            r.result.launches,
+            r.result.replication,
+            r.panic.is_some(),
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_apps;
+
+    fn polybench_pair() -> Vec<App> {
+        all_apps().into_iter().filter(|a| a.name == "atax" || a.name == "bicg").collect()
+    }
+
+    #[test]
+    fn dedup_shares_results_between_identical_cells() {
+        let apps = polybench_pair();
+        let cells = vec![
+            Cell::new(apps[0], Framework::Soff, Scale::Small),
+            Cell::new(apps[1], Framework::Soff, Scale::Small),
+            Cell::new(apps[0], Framework::Soff, Scale::Small), // dup of 0
+        ];
+        let results = run_cells(&cells, &SweepOptions { jobs: 2, dedup: true });
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].memo_of, None);
+        assert_eq!(results[2].memo_of, Some(0), "third cell shares the first's result");
+        assert!(results[0].result.det_eq(&results[2].result));
+    }
+
+    #[test]
+    fn sequential_and_parallel_digests_agree() {
+        let apps = polybench_pair();
+        let fws = [Framework::Soff, Framework::IntelLike];
+        let seq = run_suite_parallel(&apps, &fws, Scale::Small, &SweepOptions::sequential());
+        let par =
+            run_suite_parallel(&apps, &fws, Scale::Small, &SweepOptions { jobs: 4, dedup: true });
+        assert_eq!(digest(&seq), digest(&par));
+    }
+}
