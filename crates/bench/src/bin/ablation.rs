@@ -15,16 +15,57 @@
 //!    separate barrier kernel whose loop bound is a kernel argument.
 //!
 //! ```text
-//! cargo run --release -p soff-bench --bin ablation [--json] [--jobs N]
+//! cargo run --release -p soff-bench --bin ablation [--json] [--jobs N] [--resume <journal>]
 //! ```
+//!
+//! `--resume <journal>` makes the study crash-recoverable: each
+//! variant's cycle count is durably appended as it completes, and a
+//! journal left by a killed run replays those variants instead of
+//! re-simulating them.
 
-use soff_bench::jobs_flag;
+use soff_baseline::Outcome;
 use soff_bench::json::{write_bench_rows, Json};
+use soff_bench::{jobs_flag, resume_flag};
 use soff_datapath::hierarchy::DatapathOptions;
 use soff_datapath::{Datapath, LatencyModel};
 use soff_ir::mem::{ArgValue, GlobalMemory};
 use soff_ir::NdRange;
 use soff_sim::{run, SimConfig};
+use soff_workloads::journal::{self, Journal, JournalError, Record};
+use soff_workloads::AppResult;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The study's journal identity: FNV-1a over the ordered variant keys
+/// (a journal from a different variant list must read as stale).
+fn study_identity(keys: &[&str]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in keys.join("\n").as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A variant's journal record: the cycle count rides in the standard
+/// sweep-record shape (`fw` marks it as an ablation row).
+fn variant_record(name: &str, cycles: u64) -> Record {
+    Record {
+        app: name.to_string(),
+        fw: "ablation".to_string(),
+        scale: "-".to_string(),
+        result: AppResult {
+            outcome: Outcome::Ok,
+            seconds: 0.0,
+            cycles,
+            launches: 1,
+            replication: 1,
+            wall_seconds: 0.0,
+        },
+        panicked: false,
+        attempts: 1,
+    }
+}
 
 /// A memory-bound reduction kernel with a branchy loop: every ablated
 /// mechanism matters for it.
@@ -144,6 +185,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json = args.iter().any(|a| a == "--json");
     let jobs = jobs_flag(&args);
+    let resume = resume_flag(&args);
     let mut jrows = Vec::new();
     let jrow = |name: &str, cycles: Option<u64>, vs: Option<f64>| {
         Json::obj(vec![
@@ -161,16 +203,76 @@ fn main() {
     // variant that fails — or whose task panics — becomes a failure row
     // (the deadlock forensics go to stderr); the sweep always completes.
     let all: Vec<&Variant> = std::iter::once(&base).chain(variants.iter()).collect();
-    let mut measured: Vec<Result<u64, String>> =
-        soff_exec::run_tasks(jobs, all, |_, v| run_variant(v))
-            .into_iter()
-            .map(|r| match r {
-                Ok(inner) => inner,
-                Err(soff_exec::TaskError::Panicked { message }) => {
-                    Err(format!("variant panicked: {message}"))
+
+    // Crash recovery: replay a resume journal (variants it holds are not
+    // re-simulated) and append each fresh completion durably, in-worker.
+    let barrier_keys = ["uniform-loop-on", "uniform-loop-off"];
+    let keys: Vec<&str> =
+        all.iter().map(|v| v.name).chain(barrier_keys.iter().copied()).collect();
+    let identity = study_identity(&keys);
+    let mut replayed: HashMap<String, u64> = HashMap::new();
+    let journal = match &resume {
+        Some(path) => {
+            let opened = if path.exists() {
+                journal::replay(path, identity).and_then(|records| {
+                    for r in records {
+                        replayed.insert(r.app, r.result.cycles);
+                    }
+                    Journal::append_to(path)
+                })
+            } else {
+                Journal::create(path, identity)
+            };
+            match opened {
+                Ok(j) => Some(j),
+                Err(e) => {
+                    eprintln!("cannot resume: {e}");
+                    std::process::exit(1);
                 }
-            })
-            .collect();
+            }
+        }
+        None => None,
+    };
+    let append_error: Mutex<Option<JournalError>> = Mutex::new(None);
+    let append = |name: &str, cycles: u64| {
+        if let Some(j) = &journal {
+            if let Err(e) = j.append(&variant_record(name, cycles)) {
+                append_error.lock().unwrap_or_else(|e| e.into_inner()).get_or_insert(e);
+            }
+        }
+    };
+
+    let todo: Vec<(usize, &Variant)> = all
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !replayed.contains_key(v.name))
+        .map(|(i, v)| (i, *v))
+        .collect();
+    let ran = soff_exec::run_tasks(jobs, todo.clone(), |_, (_, v): (usize, &Variant)| {
+        let r = run_variant(v);
+        if let Ok(c) = r {
+            append(v.name, c);
+        }
+        r
+    });
+    let mut measured: Vec<Result<u64, String>> = all
+        .iter()
+        .map(|v| {
+            replayed
+                .get(v.name)
+                .map(|&c| Ok(c))
+                .unwrap_or_else(|| Err("variant did not run".to_string()))
+        })
+        .collect();
+    for ((i, _), r) in todo.iter().zip(ran) {
+        measured[*i] = match r {
+            Ok(inner) => inner,
+            Err(soff_exec::TaskError::Panicked { message }) => {
+                Err(format!("variant panicked: {message}"))
+            }
+            Err(soff_exec::TaskError::Cancelled) => Err("variant cancelled".to_string()),
+        };
+    }
     let rest = measured.split_off(1);
     let base_cycles = match measured.remove(0) {
         Ok(c) => {
@@ -212,7 +314,17 @@ fn main() {
     // The §IV-F1 uniform-loop optimization, on a barrier kernel.
     println!();
     println!("Uniform-trip-count loop analysis (§IV-F1), barrier kernel:");
-    match (run_barrier_variant(true), run_barrier_variant(false)) {
+    let barrier = |key: &str, uniform: bool| -> Result<u64, String> {
+        if let Some(&c) = replayed.get(key) {
+            return Ok(c);
+        }
+        let r = run_barrier_variant(uniform);
+        if let Ok(c) = r {
+            append(key, c);
+        }
+        r
+    };
+    match (barrier("uniform-loop-on", true), barrier("uniform-loop-off", false)) {
         (Ok(with), Ok(without)) => {
             println!("  with analysis (no SWGR)    : {with:>10} cycles");
             println!(
@@ -248,6 +360,13 @@ fn main() {
             Ok(p) => println!("wrote {}", p.display()),
             Err(e) => eprintln!("could not write JSON: {e}"),
         }
+    }
+
+    // A journal append failing means durability silently degraded — the
+    // next resume would redo (or worse, misreport) work. Fail loudly.
+    if let Some(e) = append_error.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        eprintln!("journal append failed: {e}");
+        std::process::exit(1);
     }
 }
 

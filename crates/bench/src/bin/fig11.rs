@@ -12,7 +12,7 @@
 
 use soff_baseline::Framework;
 use soff_bench::json::{write_bench_rows, Json};
-use soff_bench::{fmt_geomean, fmt_ratio, jobs_flag, paper, speedups_vs};
+use soff_bench::{fmt_geomean, fmt_ratio, jobs_flag, paper, resume_flag, speedups_vs_resumable};
 use soff_workloads::data::Scale;
 
 fn main() {
@@ -20,11 +20,16 @@ fn main() {
     let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Small };
     let json = args.iter().any(|a| a == "--json");
     let jobs = jobs_flag(&args);
+    let resume = resume_flag(&args);
     println!("Fig. 11: Speedup of SOFF over Intel FPGA SDK for OpenCL ({scale:?} scale)");
     println!("{:-<64}", "");
     println!("{:<16} {:>9} {:>11} {:>11} {:>6}", "Application", "speedup", "SOFF cyc", "Intel cyc", "inst");
     println!("{:-<64}", "");
-    let rows = speedups_vs(Framework::IntelLike, scale, jobs);
+    let rows = speedups_vs_resumable(Framework::IntelLike, scale, jobs, resume.as_deref())
+        .unwrap_or_else(|e| {
+            eprintln!("cannot resume: {e}");
+            std::process::exit(1);
+        });
     let mut wins = 0;
     for (name, sp, soff, intel) in &rows {
         if *sp > 1.0 {

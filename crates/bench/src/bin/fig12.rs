@@ -12,14 +12,20 @@
 
 use soff_baseline::Framework;
 use soff_bench::json::{write_bench_rows, Json};
-use soff_bench::{fmt_geomean, fmt_ratio, jobs_flag, paper, speedups_vs};
+use soff_bench::{fmt_geomean, fmt_ratio, jobs_flag, paper, resume_flag, speedups_vs_resumable};
 use soff_workloads::data::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Small };
     let json = args.iter().any(|a| a == "--json");
-    let rows = speedups_vs(Framework::XilinxLike, scale, jobs_flag(&args));
+    let resume = resume_flag(&args);
+    let rows =
+        speedups_vs_resumable(Framework::XilinxLike, scale, jobs_flag(&args), resume.as_deref())
+            .unwrap_or_else(|e| {
+                eprintln!("cannot resume: {e}");
+                std::process::exit(1);
+            });
 
     println!("Fig. 12 (a): Xilinx-vs-SOFF I — SOFF speedup over SDAccel ({scale:?} scale)");
     println!("{:-<56}", "");

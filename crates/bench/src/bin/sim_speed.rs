@@ -96,6 +96,11 @@ fn main() {
                 failed = true;
                 continue;
             }
+            Err(soff_exec::TaskError::Cancelled) => {
+                println!("{:<12} failed: cancelled", app.name);
+                failed = true;
+                continue;
+            }
         };
         let (dense, event) = match (dense, event) {
             (Ok(d), Ok(e)) => (d, e),

@@ -94,7 +94,7 @@ fn main() {
     );
 
     let seq = run_phase(&cells, &SweepOptions::sequential());
-    let par = run_phase(&cells, &SweepOptions { jobs, dedup: true });
+    let par = run_phase(&cells, &SweepOptions { jobs, dedup: true, ..SweepOptions::default() });
 
     // Soundness gate: the deterministic content of the two sweeps must
     // be byte-identical.

@@ -2,20 +2,30 @@
 //! Xilinx SDAccel, and SOFF on all 34 applications).
 //!
 //! ```text
-//! cargo run --release -p soff-bench --bin table2 [--json] [--jobs N]
+//! cargo run --release -p soff-bench --bin table2 \
+//!     [--json] [--jobs N] [--resume <journal>] [--digest]
 //! ```
+//!
+//! `--resume <journal>` makes the sweep crash-recoverable: completed
+//! cells are durably appended to the journal, and a journal left by a
+//! killed run of the same sweep is replayed (its cells skipped) — the
+//! resumed output is byte-identical to an uninterrupted run. `--digest`
+//! prints the sweep-digest fingerprint on its own line so the CI smoke
+//! can compare runs with `grep`.
 
 use soff_baseline::{Framework, Outcome};
 use soff_bench::json::{write_bench_rows, Json};
-use soff_bench::{jobs_flag, paper, sweep_options};
-use soff_workloads::sweep::run_suite_parallel;
+use soff_bench::{jobs_flag, paper, resume_flag, sweep_options};
+use soff_workloads::sweep::{digest_fingerprint, run_suite_resumable};
 use soff_workloads::{all_apps, data::Scale, Suite};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = Scale::Small;
     let json = args.iter().any(|a| a == "--json");
+    let want_digest = args.iter().any(|a| a == "--digest");
     let jobs = jobs_flag(&args);
+    let resume = resume_flag(&args);
     let mut jrows = Vec::new();
     println!("Table II: Applications (L = local memory, B = barrier, A = atomics)");
     println!("{:-<72}", "");
@@ -30,7 +40,17 @@ fn main() {
     // Fan the whole 34 × 3 grid across the pool; rows come back in
     // app-major input order, so printing stays a straight walk.
     let fws = [Framework::IntelLike, Framework::XilinxLike, Framework::Soff];
-    let grid = run_suite_parallel(&apps, &fws, scale, &sweep_options(jobs));
+    let mut opts = sweep_options(jobs);
+    opts.journal = resume;
+    let grid = match run_suite_resumable(&apps, &fws, scale, &opts) {
+        Ok(grid) => grid,
+        // Typed journal failures (stale, corrupt, unwritable) — never a
+        // panic, never a silently mixed resume.
+        Err(e) => {
+            eprintln!("cannot resume: {e}");
+            std::process::exit(1);
+        }
+    };
     for (app, row) in apps.iter().zip(grid.chunks(fws.len())) {
         let intel = row[0].result.outcome;
         let xilinx = row[1].result.outcome;
@@ -86,7 +106,32 @@ fn main() {
          H hang, IR insufficient FPGA resources."
     );
 
+    let resumed = grid.iter().filter(|c| c.from_journal).count();
+    let retried = grid.iter().filter(|c| c.attempts > 1).count();
+    let cancelled = grid.iter().filter(|c| c.cancelled).count();
+    let partial = cancelled > 0;
+    if resumed > 0 {
+        println!("resumed: {resumed} of {} cells replayed from the journal", grid.len());
+    }
+    if want_digest {
+        println!("sweep digest: {:016x}", digest_fingerprint(&grid));
+    }
+
     if json {
+        // The audit trailer: enough to tell a resumed run from a fresh
+        // one (and a partial, cancelled run from a complete one).
+        let cache = soff_runtime::cache::stats();
+        jrows.push(Json::obj(vec![
+            ("partial", Json::Bool(partial)),
+            ("cancelled_cells", Json::Int(cancelled as i64)),
+            ("resumed_cells", Json::Int(resumed as i64)),
+            ("retried_cells", Json::Int(retried as i64)),
+            ("digest", Json::str(format!("{:016x}", digest_fingerprint(&grid)))),
+            ("frontend_hits", Json::Int(cache.frontend_hits as i64)),
+            ("frontend_misses", Json::Int(cache.frontend_misses as i64)),
+            ("program_hits", Json::Int(cache.program_hits as i64)),
+            ("program_misses", Json::Int(cache.program_misses as i64)),
+        ]));
         match write_bench_rows("table2", jrows) {
             Ok(p) => println!("wrote {}", p.display()),
             Err(e) => eprintln!("could not write JSON: {e}"),

@@ -7,7 +7,8 @@
 //! so paper-vs-measured comparison is mechanical (see EXPERIMENTS.md).
 
 use soff_baseline::Framework;
-use soff_workloads::sweep::{run_cells, Cell, SweepOptions};
+use soff_workloads::journal::JournalError;
+use soff_workloads::sweep::{run_cells_resumable, Cell, SweepOptions};
 use soff_workloads::{all_apps, data::Scale, App, AppResult};
 
 pub mod json;
@@ -15,13 +16,57 @@ pub mod json;
 /// Parses the shared `--jobs N` flag of the bench bins; the default is
 /// the machine's available parallelism. `--jobs 1` reproduces the
 /// historical sequential sweep exactly.
+///
+/// # Errors
+///
+/// A one-line usage message when the value is missing, not a number, or
+/// zero (a zero-wide pool is always a typo, never a request).
+pub fn parse_jobs_flag(args: &[String]) -> Result<usize, String> {
+    let Some(i) = args.iter().position(|a| a == "--jobs") else {
+        return Ok(soff_exec::default_jobs());
+    };
+    let Some(raw) = args.get(i + 1) else {
+        return Err("usage: --jobs <N> requires a positive integer".to_string());
+    };
+    match raw.parse::<usize>() {
+        Ok(0) => Err("usage: --jobs must be at least 1 (got 0)".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("usage: --jobs must be a positive integer (got {raw:?})")),
+    }
+}
+
+/// [`parse_jobs_flag`] for `main`: prints the usage error to stderr and
+/// exits with status 2 instead of silently guessing a value.
 pub fn jobs_flag(args: &[String]) -> usize {
-    args.iter()
-        .position(|a| a == "--jobs")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|n| n.parse::<usize>().ok())
-        .map(|n| n.max(1))
-        .unwrap_or_else(soff_exec::default_jobs)
+    parse_jobs_flag(args).unwrap_or_else(|usage| {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    })
+}
+
+/// Parses the shared `--resume <journal>` flag: the crash-recovery
+/// journal path the sweep appends to and replays from.
+///
+/// # Errors
+///
+/// A one-line usage message when the path operand is missing.
+pub fn parse_resume_flag(args: &[String]) -> Result<Option<std::path::PathBuf>, String> {
+    let Some(i) = args.iter().position(|a| a == "--resume") else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(p) if !p.starts_with("--") => Ok(Some(std::path::PathBuf::from(p))),
+        _ => Err("usage: --resume <journal-path> requires a path".to_string()),
+    }
+}
+
+/// [`parse_resume_flag`] for `main`: prints the usage error to stderr
+/// and exits with status 2.
+pub fn resume_flag(args: &[String]) -> Option<std::path::PathBuf> {
+    parse_resume_flag(args).unwrap_or_else(|usage| {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    })
 }
 
 /// The sweep options implied by a `--jobs` value: parallel runs may
@@ -32,7 +77,7 @@ pub fn sweep_options(jobs: usize) -> SweepOptions {
     if jobs <= 1 {
         SweepOptions::sequential()
     } else {
-        SweepOptions { jobs, dedup: true }
+        SweepOptions { jobs, dedup: true, ..SweepOptions::default() }
     }
 }
 
@@ -80,20 +125,44 @@ pub fn speedups_vs(
     scale: Scale,
     jobs: usize,
 ) -> Vec<(&'static str, f64, AppResult, AppResult)> {
-    let opts = sweep_options(jobs);
+    speedups_vs_resumable(baseline, scale, jobs, None)
+        .expect("a journal-free sweep cannot fail")
+}
+
+/// [`speedups_vs`] with crash recovery: with a journal path, each wave
+/// journals to its own derived file (`<path>.soff` / `<path>.base` — the
+/// two waves run different cell sets, hence different sweep identities)
+/// and a killed run resumes from whatever the files already hold.
+///
+/// # Errors
+///
+/// [`JournalError`] when either wave's journal is unwritable, stale, or
+/// damaged beyond a torn tail.
+pub fn speedups_vs_resumable(
+    baseline: Framework,
+    scale: Scale,
+    jobs: usize,
+    journal: Option<&std::path::Path>,
+) -> Result<Vec<(&'static str, f64, AppResult, AppResult)>, JournalError> {
+    let wave_opts = |suffix: &str| {
+        let mut opts = sweep_options(jobs);
+        opts.journal =
+            journal.map(|p| std::path::PathBuf::from(format!("{}.{suffix}", p.display())));
+        opts
+    };
     let apps = all_apps();
     let soff_cells: Vec<Cell> =
         apps.iter().map(|a| Cell::new(*a, Framework::Soff, scale)).collect();
-    let soff = run_cells(&soff_cells, &opts);
+    let soff = run_cells_resumable(&soff_cells, &wave_opts("soff"))?;
 
     let runnable: Vec<usize> = (0..apps.len())
         .filter(|&i| soff[i].result.outcome == soff_baseline::Outcome::Ok)
         .collect();
     let base_cells: Vec<Cell> =
         runnable.iter().map(|&i| Cell::new(apps[i], baseline, scale)).collect();
-    let base = run_cells(&base_cells, &opts);
+    let base = run_cells_resumable(&base_cells, &wave_opts("base"))?;
 
-    runnable
+    Ok(runnable
         .iter()
         .zip(&base)
         .filter(|(_, b)| b.result.outcome == soff_baseline::Outcome::Ok)
@@ -101,7 +170,7 @@ pub fn speedups_vs(
             let s = soff[i].result;
             (apps[i].name, b.result.seconds / s.seconds, s, b.result)
         })
-        .collect()
+        .collect())
 }
 
 /// Published Fig. 11 data points (the bars tall enough for the paper to
@@ -158,5 +227,33 @@ mod tests {
     #[test]
     fn fig11_has_26_apps() {
         assert_eq!(fig11_apps().len(), 26, "Fig. 11 covers 26 applications");
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn jobs_flag_rejects_zero_and_garbage_with_usage_errors() {
+        assert_eq!(parse_jobs_flag(&argv(&["--jobs", "4"])), Ok(4));
+        assert_eq!(parse_jobs_flag(&argv(&[])), Ok(soff_exec::default_jobs()));
+        for bad in [&["--jobs", "0"][..], &["--jobs", "four"], &["--jobs", "-2"], &["--jobs"]] {
+            let err = parse_jobs_flag(&argv(bad)).unwrap_err();
+            assert!(err.starts_with("usage:"), "one-line usage error, got: {err}");
+            assert!(!err.contains('\n'), "usage error must be one line");
+        }
+    }
+
+    #[test]
+    fn resume_flag_parses_paths_and_rejects_missing_operand() {
+        assert_eq!(parse_resume_flag(&argv(&[])), Ok(None));
+        assert_eq!(
+            parse_resume_flag(&argv(&["--resume", "/tmp/j.log"])),
+            Ok(Some(std::path::PathBuf::from("/tmp/j.log")))
+        );
+        for bad in [&["--resume"][..], &["--resume", "--jobs"]] {
+            let err = parse_resume_flag(&argv(bad)).unwrap_err();
+            assert!(err.starts_with("usage:"), "one-line usage error, got: {err}");
+        }
     }
 }

@@ -53,7 +53,7 @@ proptest! {
                             "slot {} carries the wrong panic: {}", i, message
                         );
                     }
-                    Ok(v) => prop_assert!(false, "slot {} should have panicked, got {}", i, v),
+                    other => prop_assert!(false, "slot {} should have panicked, got {:?}", i, other),
                 }
             } else {
                 prop_assert_eq!(r.clone(), Ok(i * 3 + 1), "sibling {} lost or corrupted", i);

@@ -512,6 +512,11 @@ pub struct Context {
     /// Simulator main-loop strategy for every launch; results are
     /// bit-identical either way (see [`soff_sim::Scheduler`]).
     pub scheduler: soff_sim::Scheduler,
+    /// Preemption drill: when set, every launch is interrupted every `N`
+    /// cycles, snapshotted, and resumed on a **freshly built** machine
+    /// (checkpoint/restore on the production path). Results are
+    /// bit-identical to an uninterrupted launch — the restore contract.
+    pub checkpoint_interval: Option<u64>,
     /// Unique tag baked into this context's buffer handles.
     ctx_id: u32,
 }
@@ -549,6 +554,7 @@ impl Context {
             max_cycles: 2_000_000_000,
             profile: None,
             scheduler: soff_sim::Scheduler::default(),
+            checkpoint_interval: None,
             ctx_id: NEXT_CTX_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
@@ -723,7 +729,38 @@ impl Context {
             scheduler: self.scheduler,
             ..SimConfig::default()
         };
-        let sim = soff_sim::run(&ck.kernel, &ck.datapath, &cfg, nd, &args, &mut self.gm)?;
+        let sim = match self.checkpoint_interval {
+            None => soff_sim::run(&ck.kernel, &ck.datapath, &cfg, nd, &args, &mut self.gm)?,
+            Some(interval) => {
+                // Preemptible launch: run in `interval`-cycle slices. Each
+                // deadline carries a snapshot; it is restored onto a
+                // machine built from scratch, so the drill proves the
+                // snapshot holds the *complete* architectural state.
+                let interval = interval.max(1);
+                let mut machine =
+                    soff_sim::Machine::new(&ck.kernel, &ck.datapath, &cfg, nd, &args)?;
+                let mut ctl = soff_sim::RunControl::unlimited();
+                ctl.cycle_deadline = Some(interval);
+                loop {
+                    match machine.run_with(&mut self.gm, &ctl) {
+                        Ok(sim) => break sim,
+                        Err(soff_sim::SimError::DeadlineExceeded { cycle, snapshot }) => {
+                            let mut fresh = soff_sim::Machine::new(
+                                &ck.kernel,
+                                &ck.datapath,
+                                &cfg,
+                                nd,
+                                &args,
+                            )?;
+                            fresh.restore(&snapshot, &mut self.gm)?;
+                            ctl.cycle_deadline = Some(cycle + interval);
+                            machine = fresh;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+        };
 
         self.registers.trigger = false;
         self.registers.completion = true;
@@ -762,6 +799,33 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, (i * 3) as f32);
         }
+    }
+
+    #[test]
+    fn checkpointed_launch_is_bit_identical() {
+        // The preemption drill: slicing a launch into 64-cycle pieces
+        // (snapshot → fresh machine → restore, repeatedly) must produce
+        // the same results, cycles, and memory as one uninterrupted run.
+        let run = |interval: Option<u64>| {
+            let device = Device::system_a();
+            let program = Program::build(VADD, &[], &device).unwrap();
+            let mut ctx = Context::new(device);
+            ctx.checkpoint_interval = interval;
+            let a = ctx.create_buffer(32 * 4);
+            let b = ctx.create_buffer(32 * 4);
+            let c = ctx.create_buffer(32 * 4);
+            ctx.write_buffer_f32(a, &(0..32).map(|i| i as f32).collect::<Vec<_>>()).unwrap();
+            ctx.write_buffer_f32(b, &(0..32).map(|i| (i * 2) as f32).collect::<Vec<_>>())
+                .unwrap();
+            let mut k = program.kernel("vadd").unwrap();
+            k.set_arg_buffer(0, a).set_arg_buffer(1, b).set_arg_buffer(2, c);
+            let stats = ctx.enqueue_ndrange(&k, NdRange::dim1(32, 8)).unwrap();
+            (stats.sim, ctx.read_buffer_f32(c).unwrap())
+        };
+        let (plain, plain_out) = run(None);
+        let (sliced, sliced_out) = run(Some(64));
+        assert_eq!(plain, sliced, "interrupted launch diverged from uninterrupted");
+        assert_eq!(plain_out, sliced_out);
     }
 
     #[test]

@@ -25,11 +25,17 @@
 //!   accounting and exist to self-test the detectors: a drop must be
 //!   classified as token loss, a dup must trip an invariant check.
 //!
-//! Channel and cache indices in a plan are taken modulo the machine's
-//! actual component counts, so randomly generated plans
-//! ([`FaultPlan::random`]) stay valid for any kernel.
+//! Channel and cache indices in a plan must target components the
+//! machine actually has: the machine validates the plan against its real
+//! channel/cache counts at build time ([`FaultPlan::validate`]) and
+//! returns a typed [`crate::machine::SimError::Config`] for
+//! out-of-range targets instead of silently wrapping or dropping them.
+//! Randomly generated plans ([`FaultPlan::random`]) draw indices from a
+//! fixed universe and must be fitted to a concrete machine with
+//! [`FaultPlan::normalized`] before use.
 
 use crate::channel::Channel;
+use crate::machine::ConfigError;
 use crate::memsys::MemorySystem;
 use crate::token::Token;
 use rand::{Rng, SeedableRng};
@@ -39,7 +45,8 @@ use rand::{Rng, SeedableRng};
 pub enum Fault {
     /// Channel `chan` is stuck-stalled for `cycles` starting at `from`.
     ChannelStuckStall {
-        /// Machine channel index (modulo the channel count).
+        /// Machine channel index (must be in range; see
+        /// [`FaultPlan::validate`]).
         chan: usize,
         /// First affected cycle.
         from: u64,
@@ -57,7 +64,7 @@ pub enum Fault {
     },
     /// Cache `cache` refuses to latch new requests during the window.
     CachePortJam {
-        /// Cache index (modulo the cache count).
+        /// Cache index (must be in range; see [`FaultPlan::validate`]).
         cache: usize,
         /// First affected cycle.
         from: u64,
@@ -66,7 +73,7 @@ pub enum Fault {
     },
     /// Cache `cache`'s arbiter withholds all grants during the window.
     ArbiterWithhold {
-        /// Cache index (modulo the cache count).
+        /// Cache index (must be in range; see [`FaultPlan::validate`]).
         cache: usize,
         /// First affected cycle.
         from: u64,
@@ -77,7 +84,8 @@ pub enum Fault {
     /// cycle `at` and fires once, at the first cycle the channel has a
     /// front token.
     TokenDrop {
-        /// Machine channel index (modulo the channel count).
+        /// Machine channel index (must be in range; see
+        /// [`FaultPlan::validate`]).
         chan: usize,
         /// The cycle the fault arms.
         at: u64,
@@ -86,7 +94,8 @@ pub enum Fault {
     /// cycle `at` and fires once, at the first cycle the channel holds a
     /// token and has room for the copy.
     TokenDup {
-        /// Machine channel index (modulo the channel count).
+        /// Machine channel index (must be in range; see
+        /// [`FaultPlan::validate`]).
         chan: usize,
         /// The cycle the fault arms.
         at: u64,
@@ -145,6 +154,73 @@ impl FaultPlan {
             .collect();
         FaultPlan { faults }
     }
+
+    /// Checks every fault against a machine's actual channel and cache
+    /// counts. Called by `Machine::new` at config time so out-of-range
+    /// injections fail with a typed error instead of silently doing
+    /// nothing (or perturbing the wrong component).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Fault`] naming the first offending fault.
+    pub fn validate(&self, nchans: usize, ncaches: usize) -> Result<(), ConfigError> {
+        for (index, f) in self.faults.iter().enumerate() {
+            match f {
+                Fault::ChannelStuckStall { chan, .. }
+                | Fault::TokenDrop { chan, .. }
+                | Fault::TokenDup { chan, .. } => {
+                    if *chan >= nchans {
+                        return Err(ConfigError::Fault {
+                            index,
+                            what: format!(
+                                "channel {chan} out of range (machine has {nchans} channels)"
+                            ),
+                        });
+                    }
+                }
+                Fault::CachePortJam { cache, .. } | Fault::ArbiterWithhold { cache, .. } => {
+                    if *cache >= ncaches {
+                        return Err(ConfigError::Fault {
+                            index,
+                            what: format!(
+                                "cache {cache} out of range (machine has {ncaches} caches)"
+                            ),
+                        });
+                    }
+                }
+                Fault::DramLatencySpike { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Fits a plan (typically a [`FaultPlan::random`] one, whose indices
+    /// are drawn from a fixed universe) to a concrete machine: channel
+    /// and cache indices are reduced modulo the machine's counts, and
+    /// cache faults are dropped entirely when the machine has no caches.
+    /// The result always passes [`FaultPlan::validate`] for those counts.
+    #[must_use]
+    pub fn normalized(mut self, nchans: usize, ncaches: usize) -> FaultPlan {
+        let nchans = nchans.max(1);
+        self.faults.retain_mut(|f| match f {
+            Fault::ChannelStuckStall { chan, .. }
+            | Fault::TokenDrop { chan, .. }
+            | Fault::TokenDup { chan, .. } => {
+                *chan %= nchans;
+                true
+            }
+            Fault::CachePortJam { cache, .. } | Fault::ArbiterWithhold { cache, .. } => {
+                if ncaches == 0 {
+                    false
+                } else {
+                    *cache %= ncaches;
+                    true
+                }
+            }
+            Fault::DramLatencySpike { .. } => true,
+        });
+        self
+    }
 }
 
 fn window_active(now: u64, from: u64, cycles: u64) -> bool {
@@ -172,13 +248,13 @@ pub(crate) fn apply(
         c.set_fault_withhold_grants(false);
     }
     let mut dram_extra = 0u32;
-    let nchans = chans.len().max(1);
-    let ncaches = mem.caches.len();
+    // Indices are in range by construction: the machine validated the
+    // plan against its real component counts before the clock started.
     for (f, fired) in plan.faults.iter().zip(fired.iter_mut()) {
         match f {
             Fault::ChannelStuckStall { chan, from, cycles } => {
                 if window_active(now, *from, *cycles) {
-                    chans[chan % nchans].set_jammed(true);
+                    chans[*chan].set_jammed(true);
                 }
             }
             Fault::DramLatencySpike { from, cycles, extra_latency } => {
@@ -187,23 +263,23 @@ pub(crate) fn apply(
                 }
             }
             Fault::CachePortJam { cache, from, cycles } => {
-                if ncaches > 0 && window_active(now, *from, *cycles) {
-                    mem.caches[cache % ncaches].set_fault_jam_ports(true);
+                if window_active(now, *from, *cycles) {
+                    mem.caches[*cache].set_fault_jam_ports(true);
                 }
             }
             Fault::ArbiterWithhold { cache, from, cycles } => {
-                if ncaches > 0 && window_active(now, *from, *cycles) {
-                    mem.caches[cache % ncaches].set_fault_withhold_grants(true);
+                if window_active(now, *from, *cycles) {
+                    mem.caches[*cache].set_fault_withhold_grants(true);
                 }
             }
             Fault::TokenDrop { chan, at } => {
                 if now >= *at && !*fired {
-                    *fired = chans[chan % nchans].fault_drop_front();
+                    *fired = chans[*chan].fault_drop_front();
                 }
             }
             Fault::TokenDup { chan, at } => {
                 if now >= *at && !*fired {
-                    *fired = chans[chan % nchans].fault_duplicate_front();
+                    *fired = chans[*chan].fault_duplicate_front();
                 }
             }
         }
@@ -265,6 +341,31 @@ mod tests {
         assert_eq!(a.faults.len(), 8);
         let c = FaultPlan::random(43, 8, 10_000);
         assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_targets() {
+        let p = FaultPlan::none().with(Fault::ChannelStuckStall { chan: 9, from: 0, cycles: 5 });
+        assert!(p.validate(10, 0).is_ok());
+        assert!(matches!(p.validate(9, 0), Err(ConfigError::Fault { index: 0, .. })));
+        let p = FaultPlan::none().with(Fault::CachePortJam { cache: 2, from: 0, cycles: 5 });
+        assert!(p.validate(1, 3).is_ok());
+        assert!(matches!(p.validate(1, 2), Err(ConfigError::Fault { index: 0, .. })));
+        // DRAM spikes target no indexed component and always pass.
+        let p = FaultPlan::none()
+            .with(Fault::DramLatencySpike { from: 0, cycles: 5, extra_latency: 9 });
+        assert!(p.validate(0, 0).is_ok());
+    }
+
+    #[test]
+    fn normalized_always_validates() {
+        for seed in 0..32 {
+            let p = FaultPlan::random(seed, 12, 1000);
+            for &(nchans, ncaches) in &[(1usize, 0usize), (7, 1), (64, 8), (3, 5)] {
+                let n = p.clone().normalized(nchans, ncaches);
+                assert_eq!(n.validate(nchans, ncaches), Ok(()));
+            }
+        }
     }
 
     #[test]

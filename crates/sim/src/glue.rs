@@ -23,7 +23,7 @@ use crate::token::{Mapping, Token};
 use std::collections::VecDeque;
 
 /// Branch glue.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Branch {
     /// Input channel (raw live-out signature of the condition block).
     pub inp: ChanId,
@@ -41,7 +41,7 @@ pub struct Branch {
 }
 
 /// Select glue merging the two arms of a branch.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Select {
     /// Arm delivering "taken" work-items.
     pub from_taken: ChanId,
@@ -58,7 +58,7 @@ pub struct Select {
 }
 
 /// Loop entrance glue (plain or SWGR).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LoopEnter {
     /// Channel from outside the loop.
     pub outside: ChanId,
@@ -80,7 +80,7 @@ pub struct LoopEnter {
 }
 
 /// Loop exit glue: decrements the shared counter.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LoopExit {
     /// Input (the not-taken arm of the loop condition's branch).
     pub inp: ChanId,
@@ -98,7 +98,7 @@ pub struct LoopExit {
 
 /// The work-group barrier unit: a FIFO that releases one complete
 /// work-group at a time (§IV-F1).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BarrierUnit {
     /// Input channel.
     pub inp: ChanId,
@@ -121,7 +121,7 @@ pub struct BarrierUnit {
 
 /// A bounded side FIFO of work-group ids (§IV-F1: "the branch glue
 /// enqueues the work-group ID of every incoming work-item").
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DecisionFifo {
     /// Stored work-group ids, one per routed work-item.
     pub q: VecDeque<u32>,

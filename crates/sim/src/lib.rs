@@ -50,7 +50,10 @@ pub mod units;
 
 pub use diag::{derived_deadlock_window, DeadlockReport, HangKind};
 pub use fault::{Fault, FaultPlan};
-pub use machine::{run, Scheduler, SimConfig, SimError, SimResult};
+pub use machine::{
+    run, CancelToken, ConfigError, Machine, RunControl, Scheduler, SimConfig, SimError,
+    SimResult, Snapshot,
+};
 pub use profile::{
     write_chrome_trace, Bottleneck, CacheProfile, CompProfile, CycleBreakdown, FifoDepth,
     ProfileConfig, ProfileReport, Sample, Span, SpanTrack, UnitProfile,
@@ -74,4 +77,11 @@ const _: () = {
     owned::<SpanTrack>();
     owned::<DeadlockReport>();
     owned::<FaultPlan>();
+    // Resilient-execution layer: cancel tokens are cloned across threads
+    // (shared), and snapshots ride inside `SimError` back to the
+    // reassembling thread (owned).
+    shared::<CancelToken>();
+    shared::<RunControl>();
+    owned::<Snapshot>();
+    owned::<ConfigError>();
 };

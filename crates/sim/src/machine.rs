@@ -1,6 +1,15 @@
 //! The whole reconfigurable region (§III-B, Fig. 2): work-item
 //! dispatcher, replicated datapath instances, memory subsystem, and the
 //! work-item counter that triggers the final cache flush.
+//!
+//! The machine is **preemptible**: [`Machine`] exposes the construction /
+//! stepping split behind [`run`], and [`Machine::snapshot`] /
+//! [`Machine::restore`] capture and reinstate the *complete*
+//! architectural state (channel queues, unit latches, glue state, MSHRs,
+//! cache arrays, barrier buffers, work-group accounting, fault-plan
+//! cursor, watchdog timers, profiler counters, and global memory).
+//! Restore-then-run is bit-identical to an uninterrupted run under both
+//! schedulers — the checkpoint differential tests pin that down.
 
 use crate::channel::{ChanId, Channel};
 use crate::diag::{self, DeadlockReport};
@@ -20,6 +29,9 @@ use soff_mem::{CacheConfig, CacheStats, DramConfig, DramStats, PortId};
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Which main-loop strategy drives the machine.
 ///
@@ -101,6 +113,109 @@ impl Default for SimConfig {
     }
 }
 
+/// A cooperative cancellation handle: cloneable, thread-safe, one-way.
+///
+/// The owner keeps one clone and hands another to
+/// [`RunControl::cancel`]; calling [`CancelToken::cancel`] makes the
+/// machine return [`SimError::Cancelled`] (with a resumable snapshot) at
+/// the next poll point. Cancellation is level-triggered and permanent:
+/// once set, every run observing the token stops.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Per-run budgets and cancellation, checked inside both scheduler
+/// loops. The default is unlimited (exactly the historical behaviour of
+/// [`run`]).
+///
+/// Cycle deadlines are *deterministic*: the run stops before executing
+/// the deadline cycle, so two runs with the same deadline stop at the
+/// same machine state. Wall budgets and cancellation are polled every
+/// [`RunControl::POLL_CYCLES`] simulated cycles and therefore stop at a
+/// run-dependent cycle — which is harmless, because the snapshot carried
+/// by the error resumes bit-identically from *any* cut point.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    /// Cooperative cancellation (`None` = not cancellable).
+    pub cancel: Option<CancelToken>,
+    /// Absolute simulated-cycle deadline: the run returns
+    /// [`SimError::DeadlineExceeded`] instead of executing this cycle.
+    pub cycle_deadline: Option<u64>,
+    /// Wall-clock budget for this `run_with` call.
+    pub wall_budget: Option<Duration>,
+}
+
+impl RunControl {
+    /// How often (in simulated cycles) the wall clock and the cancel
+    /// token are polled.
+    pub const POLL_CYCLES: u64 = 1024;
+
+    /// No budgets, no cancellation — the historical [`run`] behaviour.
+    pub fn unlimited() -> RunControl {
+        RunControl::default()
+    }
+}
+
+/// An invalid simulator configuration, rejected before the clock starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The cache configuration describes an unbuildable geometry.
+    Cache(soff_mem::CacheConfigError),
+    /// A fault in [`SimConfig::faults`] targets a component the machine
+    /// does not have (checked against the *actual* channel/cache counts
+    /// at config time, instead of silently wrapping the index).
+    Fault {
+        /// Index of the offending fault within the plan.
+        index: usize,
+        /// What was out of range.
+        what: String,
+    },
+    /// A snapshot was restored into a machine with a different identity
+    /// (different kernel, geometry, fault plan, or configuration).
+    SnapshotMismatch {
+        /// Human-readable mismatch description.
+        what: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Cache(e) => write!(f, "{e}"),
+            ConfigError::Fault { index, what } => {
+                write!(f, "fault {index} targets a missing component: {what}")
+            }
+            ConfigError::SnapshotMismatch { what } => {
+                write!(f, "snapshot does not match this machine: {what}")
+            }
+        }
+    }
+}
+
+impl From<soff_mem::CacheConfigError> for ConfigError {
+    fn from(e: soff_mem::CacheConfigError) -> Self {
+        ConfigError::Cache(e)
+    }
+}
+
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -123,8 +238,9 @@ pub enum SimError {
         /// stops *before* executing cycle `max_cycles`).
         cycle: u64,
     },
-    /// The cache configuration describes an unbuildable geometry.
-    Config(soff_mem::CacheConfigError),
+    /// The configuration describes an unbuildable machine (bad cache
+    /// geometry, out-of-range fault target, mismatched snapshot).
+    Config(ConfigError),
     /// An internal machine invariant broke (only reported with
     /// [`SimConfig::check_invariants`], or on work-item over-retirement,
     /// which is always checked).
@@ -136,6 +252,22 @@ pub enum SimError {
     },
     /// Bad launch arguments.
     Args(InterpError),
+    /// The run was cancelled via [`RunControl::cancel`]. Not a terminal
+    /// failure: the snapshot resumes the run bit-identically.
+    Cancelled {
+        /// Cycle at which the run stopped (= the snapshot's cycle).
+        cycle: u64,
+        /// Resumable checkpoint of the full architectural state.
+        snapshot: Box<Snapshot>,
+    },
+    /// A [`RunControl`] deadline (cycle or wall) expired. Not a terminal
+    /// failure: the snapshot resumes the run bit-identically.
+    DeadlineExceeded {
+        /// Cycle at which the run stopped (= the snapshot's cycle).
+        cycle: u64,
+        /// Resumable checkpoint of the full architectural state.
+        snapshot: Box<Snapshot>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -152,6 +284,12 @@ impl fmt::Display for SimError {
                 write!(f, "machine invariant violated at cycle {cycle}: {what}")
             }
             SimError::Args(e) => write!(f, "{e}"),
+            SimError::Cancelled { cycle, .. } => {
+                write!(f, "run cancelled at cycle {cycle} (resumable snapshot attached)")
+            }
+            SimError::DeadlineExceeded { cycle, .. } => {
+                write!(f, "run deadline reached at cycle {cycle} (resumable snapshot attached)")
+            }
         }
     }
 }
@@ -194,6 +332,7 @@ pub struct SimResult {
     pub profile: Option<Box<ProfileReport>>,
 }
 
+#[derive(Clone)]
 pub(crate) enum Comp {
     Pipe(PipelineSim),
     Branch(Branch),
@@ -203,6 +342,7 @@ pub(crate) enum Comp {
     Barrier(BarrierUnit),
 }
 
+#[derive(Clone)]
 struct Dispatcher {
     entry: ChanId,
     retire: ChanId,
@@ -212,7 +352,97 @@ struct Dispatcher {
     active: HashMap<u32, u64>,
 }
 
-/// Runs `kernel`'s datapath `dp` over `nd` against `gm`.
+/// The complete mutable state of a machine: everything the clock loop
+/// writes. [`Machine::snapshot`] deep-copies this struct (construction
+/// from `(kernel, datapath, config, launch)` is deterministic, so the
+/// static scaffolding — channel topology, unit wiring, port assignments —
+/// never needs to be serialized; rebuilding it reproduces it exactly).
+#[derive(Clone)]
+struct MachineState {
+    chans: Vec<Channel<Token>>,
+    comps: Vec<Comp>,
+    fifos: Vec<DecisionFifo>,
+    counters: Vec<u64>,
+    dispatchers: Vec<Dispatcher>,
+    mem: MemorySystem,
+    profiler: Option<Profiler>,
+    /// One-shot fault cursor (parallel to the plan's fault list).
+    faults_fired: Vec<bool>,
+    next_wg: u64,
+    retired: u64,
+    now: u64,
+    last_metric: u64,
+    last_progress: u64,
+    last_retired: u64,
+    last_retire_progress: u64,
+}
+
+/// A resumable checkpoint of a [`Machine`] plus the global memory it was
+/// mutating: channels, unit latches, glue, MSHRs, caches, barrier and
+/// work-group state, fault-plan cursor, watchdog timers, profiler
+/// counters, and a full copy of global memory.
+///
+/// Restoring a snapshot into a machine built from the same kernel,
+/// datapath, launch, and configuration (checked via a structural
+/// fingerprint) and running to completion is bit-identical to the
+/// uninterrupted run — same [`SimResult`], same per-cache statistics,
+/// same forensics, same profile, same memory bytes.
+#[derive(Clone)]
+pub struct Snapshot {
+    fingerprint: u64,
+    st: MachineState,
+    gm: GlobalMemory,
+}
+
+impl Snapshot {
+    /// The simulated cycle the snapshot was taken at (the next cycle to
+    /// execute after a restore).
+    pub fn cycle(&self) -> u64 {
+        self.st.now
+    }
+
+    /// Work-items retired at the snapshot point.
+    pub fn retired(&self) -> u64 {
+        self.st.retired
+    }
+}
+
+/// Snapshots compare by identity (machine fingerprint + clock position +
+/// dispatch/retire progress), not by deep state: two snapshots of the
+/// same machine at the same cycle are interchangeable because the cycle
+/// function is deterministic.
+impl PartialEq for Snapshot {
+    fn eq(&self, other: &Snapshot) -> bool {
+        self.fingerprint == other.fingerprint
+            && self.st.now == other.st.now
+            && self.st.retired == other.st.retired
+            && self.st.next_wg == other.st.next_wg
+    }
+}
+
+impl fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("fingerprint", &format_args!("{:016x}", self.fingerprint))
+            .field("cycle", &self.st.now)
+            .field("retired", &self.st.retired)
+            .field("next_wg", &self.st.next_wg)
+            .finish_non_exhaustive()
+    }
+}
+
+/// FNV-1a over a byte string (the machine identity fingerprint).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `kernel`'s datapath `dp` over `nd` against `gm` to completion
+/// with no budgets and no cancellation.
 ///
 /// # Errors
 ///
@@ -225,134 +455,366 @@ pub fn run(
     args: &[ArgValue],
     gm: &mut GlobalMemory,
 ) -> Result<SimResult, SimError> {
-    cfg.cache.validate().map_err(SimError::Config)?;
-    // Work-item and work-group serials are carried in 32-bit token
-    // fields; a launch that cannot be represented must be rejected up
-    // front instead of silently truncating ids (which would alias distinct
-    // work-items onto the same serial).
-    let total_wi = nd.total_work_items();
-    if total_wi == 0 || nd.work_group_size() == 0 {
-        return Err(SimError::Args(InterpError::BadArguments(
-            "launch geometry has zero work-items or a zero work-group size".into(),
-        )));
-    }
-    if total_wi > 1 << 32 {
-        return Err(SimError::Args(InterpError::BadArguments(format!(
-            "launch of {total_wi} work-items exceeds the 2^32 work-item id space"
-        ))));
-    }
-    let launch = LaunchCtx::bind(kernel, nd, args)?;
-    let pa = pointer::analyze(kernel);
-    let mut plan = CachePlan::plan(kernel, &pa);
-    if cfg.force_shared_cache && plan.num_groups > 0 {
-        for g in plan.group_of_value.iter_mut().flatten() {
-            *g = 0;
+    Machine::new(kernel, dp, cfg, nd, args)?.run(gm)
+}
+
+/// A built, steppable machine: the construction/execution split behind
+/// [`run`]. Use it directly to checkpoint ([`Machine::snapshot`]),
+/// resume ([`Machine::restore`]), or run under budgets
+/// ([`Machine::run_with`]).
+pub struct Machine<'a> {
+    kernel: &'a Kernel,
+    dp: &'a Datapath,
+    cfg: SimConfig,
+    launch: LaunchCtx,
+    /// Human-readable name per component (parallel to `st.comps`).
+    metas: Vec<String>,
+    total: u64,
+    num_wgs: u64,
+    wg_size: u64,
+    gate_wgs: bool,
+    deadlock_window: u64,
+    livelock_window: u64,
+    /// Event-driven stepping enabled (scheduler = EventDriven and the
+    /// profiler is off).
+    ed: bool,
+    fingerprint: u64,
+    st: MachineState,
+}
+
+impl<'a> Machine<'a> {
+    /// Builds the machine for one launch, validating the configuration
+    /// (cache geometry, launch geometry, fault-plan component targets).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] / [`SimError::Args`] on invalid
+    /// configuration or launch.
+    pub fn new(
+        kernel: &'a Kernel,
+        dp: &'a Datapath,
+        cfg: &SimConfig,
+        nd: NdRange,
+        args: &[ArgValue],
+    ) -> Result<Machine<'a>, SimError> {
+        cfg.cache.validate().map_err(|e| SimError::Config(e.into()))?;
+        // Work-item and work-group serials are carried in 32-bit token
+        // fields; a launch that cannot be represented must be rejected up
+        // front instead of silently truncating ids (which would alias
+        // distinct work-items onto the same serial).
+        let total_wi = nd.total_work_items();
+        if total_wi == 0 || nd.work_group_size() == 0 {
+            return Err(SimError::Args(InterpError::BadArguments(
+                "launch geometry has zero work-items or a zero work-group size".into(),
+            )));
         }
-        plan.num_groups = 1;
-        plan.shared = true;
-    }
-    let n_inst = cfg.num_instances.max(1) as usize;
-    let mut mem = MemorySystem::build(kernel, dp, &plan, n_inst, cfg.cache, cfg.dram, &launch);
+        if total_wi > 1 << 32 {
+            return Err(SimError::Args(InterpError::BadArguments(format!(
+                "launch of {total_wi} work-items exceeds the 2^32 work-item id space"
+            ))));
+        }
+        let launch = LaunchCtx::bind(kernel, nd, args)?;
+        let pa = pointer::analyze(kernel);
+        let mut plan = CachePlan::plan(kernel, &pa);
+        if cfg.force_shared_cache && plan.num_groups > 0 {
+            for g in plan.group_of_value.iter_mut().flatten() {
+                *g = 0;
+            }
+            plan.num_groups = 1;
+            plan.shared = true;
+        }
+        let n_inst = cfg.num_instances.max(1) as usize;
+        let mut mem =
+            MemorySystem::build(kernel, dp, &plan, n_inst, cfg.cache, cfg.dram, &launch);
 
-    let mut b = Builder {
-        k: kernel,
-        dp,
-        launch: &launch,
-        plan: &plan,
-        pa: &pa,
-        mem: &mut mem,
-        chans: Vec::new(),
-        comps: Vec::new(),
-        metas: Vec::new(),
-        fifos: Vec::new(),
-        counters: Vec::new(),
-        local_next_port: vec![0; kernel.local_vars.len() * n_inst],
-        inst: 0,
-        nvars: kernel.local_vars.len(),
-        wg_size: launch.wg_size(),
-        profile: cfg.profile.is_some(),
-    };
+        let mut b = Builder {
+            k: kernel,
+            dp,
+            launch: &launch,
+            plan: &plan,
+            pa: &pa,
+            mem: &mut mem,
+            chans: Vec::new(),
+            comps: Vec::new(),
+            metas: Vec::new(),
+            fifos: Vec::new(),
+            counters: Vec::new(),
+            local_next_port: vec![0; kernel.local_vars.len() * n_inst],
+            inst: 0,
+            nvars: kernel.local_vars.len(),
+            wg_size: launch.wg_size(),
+            profile: cfg.profile.is_some(),
+        };
 
-    let root = dp.root.clone();
-    let mut dispatchers = Vec::with_capacity(n_inst);
-    for inst in 0..n_inst {
-        b.inst = inst;
-        let entry = b.new_chan(2);
-        let retire = b.new_chan(4);
-        debug_assert!(
-            b.live_in_sig(dp.root_entry_block()).is_empty(),
-            "entry block must have an empty live-in signature"
+        let root = dp.root.clone();
+        let mut dispatchers = Vec::with_capacity(n_inst);
+        for inst in 0..n_inst {
+            b.inst = inst;
+            let entry = b.new_chan(2);
+            let retire = b.new_chan(4);
+            debug_assert!(
+                b.live_in_sig(dp.root_entry_block()).is_empty(),
+                "entry block must have an empty live-in signature"
+            );
+            b.build_node(&root, entry, retire, None);
+            dispatchers.push(Dispatcher { entry, retire, cur: None, active: HashMap::new() });
+        }
+
+        let Builder { chans, comps, fifos, counters, metas, .. } = b;
+
+        // Config-time fault validation: every fault must target a
+        // component this machine actually has (see `FaultPlan::validate`).
+        cfg.faults
+            .validate(chans.len(), mem.caches.len())
+            .map_err(SimError::Config)?;
+
+        let profiler = cfg.profile.map(|pcfg| {
+            Profiler::new(
+                pcfg,
+                chans.len(),
+                metas.clone(),
+                profile::cache_labels(&plan, mem.caches.len()),
+            )
+        });
+
+        let total = launch.total_work_items();
+        let num_wgs = nd.num_groups();
+        let wg_size = launch.wg_size();
+        let gate_wgs = kernel.uses_local;
+        let (deadlock_window, livelock_window) =
+            diag::effective_windows(cfg, dp.l_datapath, wg_size);
+        // Event-driven scheduling degenerates to dense stepping while the
+        // profiler is on: it observes the machine once per simulated
+        // cycle, so no cycle is skippable.
+        let ed = cfg.scheduler == Scheduler::EventDriven && cfg.profile.is_none();
+
+        // The identity a snapshot must match to be restorable here:
+        // kernel, machine topology, launch shape, and every configuration
+        // field that influences state evolution. `max_cycles`,
+        // `check_invariants`, and the scheduler are deliberately NOT part
+        // of the identity — a resumed run may extend the budget, toggle
+        // checking, or switch scheduler without changing the semantics
+        // (the schedulers are bit-identical by construction).
+        let fingerprint = fnv1a(
+            format!(
+                "{}|chans={}|comps={}|fifos={}|counters={}|caches={}|locals={}|\
+                 cache={:?}|dram={:?}|inst={}|dw={}|lw={}|faults={:?}|shared={}|\
+                 profile={:?}|total={}|wgs={}|wg={}",
+                kernel.name,
+                chans.len(),
+                comps.len(),
+                fifos.len(),
+                counters.len(),
+                mem.caches.len(),
+                mem.locals.len(),
+                cfg.cache,
+                cfg.dram,
+                n_inst,
+                deadlock_window,
+                livelock_window,
+                cfg.faults,
+                cfg.force_shared_cache,
+                cfg.profile,
+                total,
+                num_wgs,
+                wg_size,
+            )
+            .as_bytes(),
         );
-        b.build_node(&root, entry, retire, None);
-        dispatchers.push(Dispatcher { entry, retire, cur: None, active: HashMap::new() });
+
+        let faults_fired = vec![false; cfg.faults.faults.len()];
+        Ok(Machine {
+            kernel,
+            dp,
+            cfg: cfg.clone(),
+            launch,
+            metas,
+            total,
+            num_wgs,
+            wg_size,
+            gate_wgs,
+            deadlock_window,
+            livelock_window,
+            ed,
+            fingerprint,
+            st: MachineState {
+                chans,
+                comps,
+                fifos,
+                counters,
+                dispatchers,
+                mem,
+                profiler,
+                faults_fired,
+                next_wg: 0,
+                retired: 0,
+                now: 0,
+                last_metric: u64::MAX,
+                last_progress: 0,
+                last_retired: u64::MAX,
+                last_retire_progress: 0,
+            },
+        })
     }
 
-    let Builder { mut chans, mut comps, mut fifos, mut counters, metas, .. } = b;
+    /// The simulated cycle the machine is at (the next cycle to execute).
+    pub fn cycle(&self) -> u64 {
+        self.st.now
+    }
 
-    let mut profiler = cfg.profile.map(|pcfg| {
-        Profiler::new(
-            pcfg,
-            chans.len(),
-            metas.clone(),
-            profile::cache_labels(&plan, mem.caches.len()),
-        )
-    });
+    /// Work-items retired so far.
+    pub fn retired(&self) -> u64 {
+        self.st.retired
+    }
 
-    // ---- main clock loop -------------------------------------------------
-    let total = launch.total_work_items();
-    let num_wgs = nd.num_groups();
-    let wg_size = launch.wg_size();
-    let gate_wgs = kernel.uses_local;
-    let (deadlock_window, livelock_window) =
-        diag::effective_windows(cfg, dp.l_datapath, wg_size);
-    let mut next_wg = 0u64;
-    let mut retired = 0u64;
-    let mut now = 0u64;
-    let mut faults_fired = vec![false; cfg.faults.faults.len()];
-    let mut last_metric = u64::MAX;
-    let mut last_progress = 0u64;
-    let mut last_retired = u64::MAX;
-    let mut last_retire_progress = 0u64;
-    // Event-driven scheduling degenerates to dense stepping while the
-    // profiler is on: it observes the machine once per simulated cycle,
-    // so no cycle is skippable.
-    let ed = cfg.scheduler == Scheduler::EventDriven && cfg.profile.is_none();
+    /// Number of inter-component channels (fault plans index into this).
+    pub fn num_channels(&self) -> usize {
+        self.st.chans.len()
+    }
 
-    loop {
-        if now >= cfg.max_cycles {
-            // The budget counts simulated cycles: cycles 0..max_cycles-1
-            // may execute, cycle max_cycles may not (the old `>` check
-            // here ran one cycle past the budget).
-            return Err(SimError::Timeout { max_cycles: cfg.max_cycles, cycle: now });
+    /// Number of cache instances (fault plans index into this).
+    pub fn num_caches(&self) -> usize {
+        self.st.mem.caches.len()
+    }
+
+    /// Captures the complete architectural state plus a copy of `gm`.
+    /// `gm` must be the global memory the machine has been running
+    /// against (the snapshot stores it so a restore is self-contained).
+    pub fn snapshot(&self, gm: &GlobalMemory) -> Snapshot {
+        Snapshot { fingerprint: self.fingerprint, st: self.st.clone(), gm: gm.clone() }
+    }
+
+    /// Reinstates a snapshot taken from a machine with the same identity
+    /// (same kernel, datapath, launch, and configuration), overwriting
+    /// this machine's state and `gm` with the checkpointed copies.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] with [`ConfigError::SnapshotMismatch`] when
+    /// the snapshot's fingerprint does not match this machine (stale or
+    /// foreign snapshot).
+    pub fn restore(&mut self, snap: &Snapshot, gm: &mut GlobalMemory) -> Result<(), SimError> {
+        if snap.fingerprint != self.fingerprint {
+            return Err(SimError::Config(ConfigError::SnapshotMismatch {
+                what: format!(
+                    "snapshot fingerprint {:016x} != machine fingerprint {:016x} \
+                     (kernel `{}`)",
+                    snap.fingerprint, self.fingerprint, self.kernel.name
+                ),
+            }));
         }
-        for c in &mut chans {
+        self.st = snap.st.clone();
+        *gm = snap.gm.clone();
+        Ok(())
+    }
+
+    /// Runs to completion with no budgets ([`RunControl::unlimited`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run(&mut self, gm: &mut GlobalMemory) -> Result<SimResult, SimError> {
+        self.run_with(gm, &RunControl::unlimited())
+    }
+
+    /// Runs the clock until completion, failure, or a [`RunControl`]
+    /// stop (cancellation / deadline). A budget stop carries a
+    /// [`Snapshot`]; restoring it (into this machine or a freshly built
+    /// identical one) and calling `run_with` again continues the run
+    /// bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_with(
+        &mut self,
+        gm: &mut GlobalMemory,
+        ctl: &RunControl,
+    ) -> Result<SimResult, SimError> {
+        let started = Instant::now();
+        let polled = ctl.cancel.is_some() || ctl.wall_budget.is_some();
+        let mut next_poll = self.st.now;
+        loop {
+            if self.st.now >= self.cfg.max_cycles {
+                // The budget counts simulated cycles: cycles
+                // 0..max_cycles-1 may execute, cycle max_cycles may not.
+                return Err(SimError::Timeout {
+                    max_cycles: self.cfg.max_cycles,
+                    cycle: self.st.now,
+                });
+            }
+            if let Some(d) = ctl.cycle_deadline {
+                // Deterministic cut: stop *before* executing cycle `d`,
+                // so the snapshot is the state after cycle d-1 — exactly
+                // the state an uninterrupted run passes through.
+                if self.st.now >= d {
+                    return Err(SimError::DeadlineExceeded {
+                        cycle: self.st.now,
+                        snapshot: Box::new(self.snapshot(gm)),
+                    });
+                }
+            }
+            if polled && self.st.now >= next_poll {
+                next_poll = self.st.now + RunControl::POLL_CYCLES;
+                if ctl.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    return Err(SimError::Cancelled {
+                        cycle: self.st.now,
+                        snapshot: Box::new(self.snapshot(gm)),
+                    });
+                }
+                if ctl.wall_budget.is_some_and(|b| started.elapsed() >= b) {
+                    return Err(SimError::DeadlineExceeded {
+                        cycle: self.st.now,
+                        snapshot: Box::new(self.snapshot(gm)),
+                    });
+                }
+            }
+            match self.step(gm, ctl) {
+                Step::Continue => {}
+                Step::Done(r) => return Ok(r),
+                Step::Fail(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Executes one simulated cycle (or, event-driven, a quiescent gap).
+    fn step(&mut self, gm: &mut GlobalMemory, ctl: &RunControl) -> Step {
+        let now = self.st.now;
+        for c in &mut self.st.chans {
             c.begin_cycle();
         }
-        if !cfg.faults.is_empty() {
-            fault::apply(&cfg.faults, &mut faults_fired, now, &mut chans, &mut mem);
+        if !self.cfg.faults.is_empty() {
+            fault::apply(
+                &self.cfg.faults,
+                &mut self.st.faults_fired,
+                now,
+                &mut self.st.chans,
+                &mut self.st.mem,
+            );
         }
         // Work-item dispatcher (§III-B): one work-item per cycle per
         // datapath, work-groups streamed contiguously.
-        for d in &mut dispatchers {
-            if !chans[d.entry.0].can_push() {
+        for d in &mut self.st.dispatchers {
+            if !self.st.chans[d.entry.0].can_push() {
                 continue;
             }
             if d.cur.is_none()
-                && next_wg < num_wgs
-                && (!gate_wgs || (d.active.len() as u64) < dp.wg_slots)
+                && self.st.next_wg < self.num_wgs
+                && (!self.gate_wgs || (d.active.len() as u64) < self.dp.wg_slots)
             {
-                d.cur = Some((next_wg, 0));
-                d.active.insert(next_wg as u32, wg_size);
-                if let Some(p) = profiler.as_mut() {
-                    p.wg_dispatched(next_wg as u32, now);
+                d.cur = Some((self.st.next_wg, 0));
+                d.active.insert(self.st.next_wg as u32, self.wg_size);
+                if let Some(p) = self.st.profiler.as_mut() {
+                    p.wg_dispatched(self.st.next_wg as u32, now);
                 }
-                next_wg += 1;
+                self.st.next_wg += 1;
             }
             if let Some((wg, lid)) = &mut d.cur {
-                let wi = (*wg * wg_size + *lid) as u32;
-                chans[d.entry.0].push(Token { wi, wg: *wg as u32, vals: Box::new([]) });
+                let wi = (*wg * self.wg_size + *lid) as u32;
+                self.st.chans[d.entry.0]
+                    .push(Token { wi, wg: *wg as u32, vals: Box::new([]) });
                 *lid += 1;
-                if *lid == wg_size {
+                if *lid == self.wg_size {
                     d.cur = None;
                 }
             }
@@ -364,20 +826,23 @@ pub fn run(
         // mirror each component's own gating exactly (note: branch/select
         // pop through `front()`, which ignores jamming, so their skip
         // conditions must too).
+        let ed = self.ed;
+        let chans = &mut self.st.chans;
         let mut comp_moved = false;
-        for c in &mut comps {
+        for c in &mut self.st.comps {
             match c {
                 Comp::Pipe(p) => {
-                    if ed && p.quiescent(&chans) {
+                    if ed && p.quiescent(chans) {
                         continue;
                     }
-                    comp_moved |= p.tick(now, &mut chans, &mut mem, &launch, kernel);
+                    comp_moved |=
+                        p.tick(now, chans, &mut self.st.mem, &self.launch, self.kernel);
                 }
                 Comp::Branch(x) => {
                     if ed && chans[x.inp.0].front().is_none() {
                         continue;
                     }
-                    x.tick(&mut chans, &mut fifos);
+                    x.tick(chans, &mut self.st.fifos);
                 }
                 Comp::Select(x) => {
                     if ed
@@ -386,7 +851,7 @@ pub fn run(
                     {
                         continue;
                     }
-                    x.tick(&mut chans, &mut fifos);
+                    x.tick(chans, &mut self.st.fifos);
                 }
                 Comp::Enter(x) => {
                     if ed
@@ -396,13 +861,13 @@ pub fn run(
                     {
                         continue;
                     }
-                    x.tick(&mut chans, &mut counters);
+                    x.tick(chans, &mut self.st.counters);
                 }
                 Comp::Exit(x) => {
                     if ed && (!chans[x.inp.0].can_pop() || !chans[x.out.0].can_push()) {
                         continue;
                     }
-                    x.tick(&mut chans, &mut counters);
+                    x.tick(chans, &mut self.st.counters);
                 }
                 Comp::Barrier(x) => {
                     let can_act = chans[x.inp.0].can_pop()
@@ -411,18 +876,18 @@ pub fn run(
                     if ed && !can_act {
                         continue;
                     }
-                    x.tick(&mut chans);
+                    x.tick(chans);
                 }
             }
         }
         // Memory subsystem.
-        let mem_moved = mem.tick(now, gm);
+        let mem_moved = self.st.mem.tick(now, gm);
         // Work-item counter (§III-B).
-        for d in &mut dispatchers {
-            while chans[d.retire.0].can_pop() {
-                let tok = chans[d.retire.0].pop();
-                retired += 1;
-                mem.private.release(tok.wi);
+        for d in &mut self.st.dispatchers {
+            while self.st.chans[d.retire.0].can_pop() {
+                let tok = self.st.chans[d.retire.0].pop();
+                self.st.retired += 1;
+                self.st.mem.private.release(tok.wi);
                 // A retirement for a work-group that already completed
                 // means a token was duplicated somewhere; always checked
                 // (the global `retired > total` check below cannot see it,
@@ -432,13 +897,13 @@ pub fn run(
                         *rem -= 1;
                         if *rem == 0 {
                             d.active.remove(&tok.wg);
-                            if let Some(p) = profiler.as_mut() {
+                            if let Some(p) = self.st.profiler.as_mut() {
                                 p.wg_completed(tok.wg, now);
                             }
                         }
                     }
                     None => {
-                        return Err(SimError::InvariantViolation {
+                        return Step::Fail(SimError::InvariantViolation {
                             cycle: now,
                             what: format!(
                                 "work-item {} of work-group {} retired after the \
@@ -452,42 +917,56 @@ pub fn run(
         }
         // Over-retirement means corrupted work-item accounting (reachable
         // only under token-duplication faults); always checked.
-        if retired > total {
-            return Err(SimError::InvariantViolation {
+        if self.st.retired > self.total {
+            return Step::Fail(SimError::InvariantViolation {
                 cycle: now,
-                what: format!("{retired} work-items retired but only {total} were launched"),
+                what: format!(
+                    "{} work-items retired but only {} were launched",
+                    self.st.retired, self.total
+                ),
             });
         }
-        if cfg.check_invariants {
-            if let Some(what) = check_invariants(&comps, &counters, &metas, &mem, now) {
-                return Err(SimError::InvariantViolation { cycle: now, what });
+        if self.cfg.check_invariants {
+            if let Some(what) =
+                check_invariants(&self.st.comps, &self.st.counters, &self.metas, &self.st.mem, now)
+            {
+                return Step::Fail(SimError::InvariantViolation { cycle: now, what });
             }
         }
 
-        if let Some(p) = profiler.as_mut() {
-            p.observe(now, &chans, &comps, &mem, retired);
+        if let Some(p) = self.st.profiler.as_mut() {
+            p.observe(now, &self.st.chans, &self.st.comps, &self.st.mem, self.st.retired);
         }
 
-        if retired == total {
-            let done = mem.flush_all(now);
-            let (output_stalls, issue_stalls) = comps
+        if self.st.retired == self.total {
+            let done = self.st.mem.flush_all(now);
+            let (output_stalls, issue_stalls) = self
+                .st
+                .comps
                 .iter()
                 .filter_map(|c| match c {
                     Comp::Pipe(p) => Some((p.stats.output_stalls, p.stats.issue_stalls)),
                     _ => None,
                 })
                 .fold((0, 0), |(o, i), (po, pi)| (o + po, i + pi));
-            let profile = profiler.take().map(|p| {
-                Box::new(p.finish(kernel.name.clone(), &comps, &mem, &chans, now, done))
+            let profile = self.st.profiler.take().map(|p| {
+                Box::new(p.finish(
+                    self.kernel.name.clone(),
+                    &self.st.comps,
+                    &self.st.mem,
+                    &self.st.chans,
+                    now,
+                    done,
+                ))
             });
-            return Ok(SimResult {
+            return Step::Done(SimResult {
                 cycles: done,
                 compute_cycles: now,
-                retired,
-                cache: mem.cache_stats(),
-                per_cache: mem.per_cache_stats(),
-                dram: mem.dram.stats,
-                num_instances: n_inst as u32,
+                retired: self.st.retired,
+                cache: self.st.mem.cache_stats(),
+                per_cache: self.st.mem.per_cache_stats(),
+                dram: self.st.mem.dram.stats,
+                num_instances: self.cfg.num_instances.max(1),
                 output_stalls,
                 issue_stalls,
                 profile,
@@ -497,44 +976,47 @@ pub fn run(
         // Progress / deadlock detection. Two watchdogs: the progress
         // watchdog (no token moved anywhere) and the retire-progress
         // watchdog (tokens move but nothing ever finishes — a livelock).
-        let metric = retired
-            + chans.iter().map(|c| c.total).sum::<u64>()
-            + mem.cache_stats().accesses;
-        if metric != last_metric {
-            last_metric = metric;
-            last_progress = now;
+        let metric = self.st.retired
+            + self.st.chans.iter().map(|c| c.total).sum::<u64>()
+            + self.st.mem.cache_stats().accesses;
+        if metric != self.st.last_metric {
+            self.st.last_metric = metric;
+            self.st.last_progress = now;
         }
-        if retired != last_retired {
-            last_retired = retired;
-            last_retire_progress = now;
+        if self.st.retired != self.st.last_retired {
+            self.st.last_retired = self.st.retired;
+            self.st.last_retire_progress = now;
         }
-        if mem.has_pending_events(now) {
+        if self.st.mem.has_pending_events(now) {
             // Memory has responses scheduled for future cycles: the
             // machine is slow, not stuck (e.g. a DRAM latency spike).
-            last_progress = now;
+            self.st.last_progress = now;
         }
-        let fired = if now - last_progress > deadlock_window {
-            Some((last_progress, false))
-        } else if now - last_retire_progress > livelock_window {
-            Some((last_retire_progress, true))
+        let fired = if now - self.st.last_progress > self.deadlock_window {
+            Some((self.st.last_progress, false))
+        } else if now - self.st.last_retire_progress > self.livelock_window {
+            Some((self.st.last_retire_progress, true))
         } else {
             None
         };
         if let Some((stalled_since, tokens_flowing)) = fired {
             let report = diag::build_report(&diag::MachineView {
-                chans: &chans,
-                comps: &comps,
-                metas: &metas,
-                counters: &counters,
-                fifos: &fifos,
-                mem: &mem,
-                dispatchers: dispatchers
+                chans: &self.st.chans,
+                comps: &self.st.comps,
+                metas: &self.metas,
+                counters: &self.st.counters,
+                fifos: &self.st.fifos,
+                mem: &self.st.mem,
+                dispatchers: self
+                    .st
+                    .dispatchers
                     .iter()
                     .map(|d| diag::DispatcherView {
                         entry: d.entry.0,
                         retire: d.retire.0,
-                        pending: d.cur.is_some() || next_wg < num_wgs,
-                        slots_full: gate_wgs && (d.active.len() as u64) >= dp.wg_slots,
+                        pending: d.cur.is_some() || self.st.next_wg < self.num_wgs,
+                        slots_full: self.gate_wgs
+                            && (d.active.len() as u64) >= self.dp.wg_slots,
                         active: {
                             let mut a: Vec<(u32, u64)> =
                                 d.active.iter().map(|(&wg, &rem)| (wg, rem)).collect();
@@ -543,8 +1025,8 @@ pub fn run(
                         },
                     })
                     .collect(),
-                retired,
-                total,
+                retired: self.st.retired,
+                total: self.total,
                 stalled_since,
                 tokens_flowing,
             });
@@ -553,7 +1035,10 @@ pub fn run(
             if std::env::var_os("SOFF_SIM_DEBUG").is_some() {
                 eprintln!("{report}");
             }
-            return Err(SimError::Deadlock { cycle: stalled_since, report: Box::new(report) });
+            return Step::Fail(SimError::Deadlock {
+                cycle: stalled_since,
+                report: Box::new(report),
+            });
         }
 
         // Quiescent-gap fast-forward: if this cycle moved nothing at all —
@@ -563,14 +1048,16 @@ pub fn run(
         // until the next *scheduled* event. Jump straight to that cycle,
         // replaying in closed form the only per-cycle side effects dense
         // stepping would have produced (stall counters).
-        if ed && !comp_moved && !mem_moved && !chans.iter().any(|c| c.touched()) {
-            let t_mem = mem.next_event_cycle(now);
+        if self.ed && !comp_moved && !mem_moved && !self.st.chans.iter().any(|c| c.touched()) {
+            let t_mem = self.st.mem.next_event_cycle(now);
             debug_assert_eq!(
                 t_mem.is_some(),
-                mem.has_pending_events(now),
+                self.st.mem.has_pending_events(now),
                 "in a quiescent machine every queued response is in the future"
             );
-            let t_unit = comps
+            let t_unit = self
+                .st
+                .comps
                 .iter()
                 .filter_map(|c| match c {
                     Comp::Pipe(p) => p.next_internal_event(now),
@@ -578,10 +1065,14 @@ pub fn run(
                 })
                 .min();
             // The budget check at the loop top must still fire at
-            // `max_cycles`, and the watchdogs at their deadlines; the
-            // target cycle is processed normally, so capping the jump at
-            // each forcing cycle reproduces dense behaviour exactly.
-            let mut target = cfg.max_cycles;
+            // `max_cycles`, the cycle deadline at its cut, and the
+            // watchdogs at their deadlines; the target cycle is processed
+            // normally, so capping the jump at each forcing cycle
+            // reproduces dense behaviour exactly.
+            let mut target = self.cfg.max_cycles;
+            if let Some(d) = ctl.cycle_deadline {
+                target = target.min(d);
+            }
             if let Some(t) = t_mem {
                 target = target.min(t);
             }
@@ -591,35 +1082,61 @@ pub fn run(
             if t_mem.is_none() {
                 // No pending memory events: the progress watchdog stays
                 // frozen and fires one cycle past its window.
-                target = target.min(last_progress.saturating_add(deadlock_window).saturating_add(1));
+                target = target.min(
+                    self.st
+                        .last_progress
+                        .saturating_add(self.deadlock_window)
+                        .saturating_add(1),
+                );
             }
-            target =
-                target.min(last_retire_progress.saturating_add(livelock_window).saturating_add(1));
-            if let Some(t) = fault::next_boundary(&cfg.faults, &faults_fired, now) {
+            target = target.min(
+                self.st
+                    .last_retire_progress
+                    .saturating_add(self.livelock_window)
+                    .saturating_add(1),
+            );
+            if let Some(t) =
+                fault::next_boundary(&self.cfg.faults, &self.st.faults_fired, now)
+            {
                 target = target.min(t);
             }
             debug_assert!(target > now, "every forcing event lies strictly in the future");
             let skipped = target - now - 1;
             if skipped > 0 {
-                for c in &mut comps {
+                for c in &mut self.st.comps {
                     if let Comp::Pipe(p) = c {
-                        if !p.quiescent(&chans) {
-                            p.replay_stalls(now, &mut chans, &mut mem, &launch, kernel, skipped);
+                        if !p.quiescent(&self.st.chans) {
+                            p.replay_stalls(
+                                now,
+                                &mut self.st.chans,
+                                &mut self.st.mem,
+                                &self.launch,
+                                self.kernel,
+                                skipped,
+                            );
                         }
                     }
                 }
-                mem.replay_blocked(now, skipped);
+                self.st.mem.replay_blocked(now, skipped);
                 if t_mem.is_some() {
                     // Dense stepping refreshes the progress watchdog every
                     // cycle while memory has scheduled events.
-                    last_progress = target - 1;
+                    self.st.last_progress = target - 1;
                 }
-                now = target;
-                continue;
+                self.st.now = target;
+                return Step::Continue;
             }
         }
-        now += 1;
+        self.st.now = now + 1;
+        Step::Continue
     }
+}
+
+/// Outcome of one [`Machine::step`].
+enum Step {
+    Continue,
+    Done(SimResult),
+    Fail(SimError),
 }
 
 /// Per-cycle invariant sweep ([`SimConfig::check_invariants`]): the debug

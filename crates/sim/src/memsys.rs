@@ -25,7 +25,7 @@ pub enum MemTarget {
 }
 
 /// The full memory subsystem.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemorySystem {
     /// All caches (shared across datapath instances when the kernel uses
     /// atomics, per instance otherwise, §V-A).

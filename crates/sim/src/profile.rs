@@ -259,6 +259,7 @@ fn depth_bucket(len: usize) -> usize {
 }
 
 /// The live profiler the machine drives while the clock runs.
+#[derive(Debug, Clone)]
 pub(crate) struct Profiler {
     cfg: ProfileConfig,
     ticks: u64,

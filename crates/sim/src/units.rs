@@ -53,7 +53,7 @@ enum SourceOut {
     Order,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Engine {
     Source {
         /// Per out-edge value source (parallel to `outs`).
@@ -80,7 +80,7 @@ enum Engine {
     },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct UnitSim {
     engine: Engine,
     lf: u32,
@@ -116,7 +116,7 @@ pub struct PipelineStats {
 }
 
 /// Simulates one basic pipeline.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PipelineSim {
     /// External input channel (tokens with the block's live-in signature).
     pub in_chan: ChanId,

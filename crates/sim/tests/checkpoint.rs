@@ -1,0 +1,282 @@
+//! Checkpoint/restore differential suite.
+//!
+//! The resilient-execution invariant: interrupting a run at *any* cycle
+//! with a deadline, restoring the snapshot into a **freshly built**
+//! machine, and running on must produce the bit-identical outcome of the
+//! uninterrupted run — the same `SimResult` (cycle counts, per-cache
+//! statistics, stall counters, profile), the same memory contents, and on
+//! failing runs the same `SimError` (including forensic reports) — under
+//! both schedulers, with and without active fault plans, and across
+//! repeated interruptions.
+
+use proptest::prelude::*;
+use soff_datapath::{Datapath, LatencyModel};
+use soff_ir::ir::NdRange;
+use soff_ir::mem::{ArgValue, GlobalMemory};
+use soff_sim::machine::{
+    CancelToken, ConfigError, Machine, RunControl, Scheduler, SimConfig, SimError, SimResult,
+};
+use soff_sim::{FaultPlan, ProfileConfig};
+
+fn compile(src: &str) -> (soff_ir::ir::Kernel, Datapath) {
+    let parsed = soff_frontend::compile(src, &[]).unwrap();
+    let module = soff_ir::build::lower(&parsed).unwrap();
+    let kernel = module.kernels.into_iter().next().unwrap();
+    let dp = Datapath::build(&kernel, &LatencyModel::default());
+    (kernel, dp)
+}
+
+/// Feature-covering kernel zoo (same shape as the scheduler suite): each
+/// takes one int buffer (64 × i32) and one scalar `n`.
+const KERNELS: &[&str] = &[
+    // Straight-line memory traffic.
+    "__kernel void k(__global int* a, int n) {
+        int i = get_global_id(0);
+        a[i % 64] = a[(i + 1) % 64] + n;
+    }",
+    // Branchy data-dependent loop.
+    "__kernel void k(__global int* a, int n) {
+        int i = get_global_id(0);
+        int s = 0;
+        for (int j = 0; j < n; j++) {
+            int x = a[(i + j * 3) % 64];
+            if (x > 32) s += x; else s -= x;
+        }
+        a[i % 64] = s;
+    }",
+    // Barrier + local memory.
+    "__kernel void k(__global int* a, int n) {
+        __local int t[8];
+        int l = get_local_id(0);
+        int g = get_global_id(0);
+        t[l] = a[g % 64] + n;
+        barrier(CLK_LOCAL_MEM_FENCE);
+        a[g % 64] = t[7 - l];
+    }",
+    // Atomics (forces a shared cache).
+    "__kernel void k(__global int* a, int n) {
+        int i = get_global_id(0);
+        atomic_add(&a[i % 8], n);
+    }",
+];
+
+fn fresh_memory() -> (GlobalMemory, u32) {
+    let mut gm = GlobalMemory::new();
+    let a = gm.alloc(64 * 4);
+    for i in 0..64u64 {
+        gm.buffer_mut(a).write_scalar(i * 4, soff_frontend::types::Scalar::I32, i * 7 % 64);
+    }
+    (gm, a)
+}
+
+fn config(scheduler: Scheduler, faults: FaultPlan, profile: Option<ProfileConfig>) -> SimConfig {
+    SimConfig {
+        faults,
+        profile,
+        scheduler,
+        // Bounded windows so wedged fault plans converge quickly.
+        deadlock_window: 2_000,
+        livelock_window: 20_000,
+        max_cycles: 300_000,
+        ..SimConfig::default()
+    }
+}
+
+type Outcome = Result<(SimResult, Vec<u8>), SimError>;
+
+/// Uninterrupted reference run.
+fn run_straight(src: &str, nd: NdRange, cfg: &SimConfig) -> Outcome {
+    let (kernel, dp) = compile(src);
+    let (mut gm, a) = fresh_memory();
+    let args = [ArgValue::Buffer(a), ArgValue::Scalar(5)];
+    let res = Machine::new(&kernel, &dp, cfg, nd, &args)?.run(&mut gm)?;
+    Ok((res, gm.buffer(a).bytes().to_vec()))
+}
+
+/// The same launch, interrupted at every cycle in `cuts` (ascending): each
+/// deadline yields a snapshot, which is restored into a *freshly built*
+/// machine before continuing — exercising the full serialize/rebuild path
+/// rather than just resuming in place.
+fn run_interrupted(src: &str, nd: NdRange, cfg: &SimConfig, cuts: &[u64]) -> Outcome {
+    let (kernel, dp) = compile(src);
+    let (mut gm, a) = fresh_memory();
+    let args = [ArgValue::Buffer(a), ArgValue::Scalar(5)];
+    let mut machine = Machine::new(&kernel, &dp, cfg, nd, &args)?;
+    for &cut in cuts {
+        let ctl = RunControl { cycle_deadline: Some(cut), ..RunControl::default() };
+        match machine.run_with(&mut gm, &ctl) {
+            Err(SimError::DeadlineExceeded { cycle, snapshot }) => {
+                assert!(cycle <= cut, "deadline fired late: {cycle} > {cut}");
+                assert_eq!(snapshot.cycle(), cycle);
+                let mut rebuilt = Machine::new(&kernel, &dp, cfg, nd, &args)?;
+                rebuilt.restore(&snapshot, &mut gm)?;
+                assert_eq!(rebuilt.cycle(), cycle);
+                machine = rebuilt;
+            }
+            // The run finished (or failed) before the cut; the reference
+            // outcome must match it, so just report it.
+            Err(e) => return Err(e),
+            Ok(res) => return Ok((res, gm.buffer(a).bytes().to_vec())),
+        }
+    }
+    let res = machine.run(&mut gm)?;
+    Ok((res, gm.buffer(a).bytes().to_vec()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Snapshot at a random cycle + restore into a fresh machine is
+    /// bit-identical to the uninterrupted run, under both schedulers.
+    #[test]
+    fn restore_then_run_is_bit_identical(
+        ki in 0usize..4,
+        groups in 1u64..5,
+        cut in 1u64..4_000,
+    ) {
+        let nd = NdRange::dim1(groups * 8, 8);
+        for sched in [Scheduler::Dense, Scheduler::EventDriven] {
+            let cfg = config(sched, FaultPlan::none(), None);
+            let straight = run_straight(KERNELS[ki], nd, &cfg);
+            let resumed = run_interrupted(KERNELS[ki], nd, &cfg, &[cut]);
+            prop_assert_eq!(&straight, &resumed, "scheduler {:?}, cut {}", sched, cut);
+        }
+    }
+
+    /// Same, with an active random fault plan (fitted to the machine):
+    /// the fault cursor and wedge windows are part of the checkpoint, so
+    /// even failing outcomes (deadlock forensics, invariant violations)
+    /// must reproduce exactly.
+    #[test]
+    fn restore_is_bit_identical_under_faults(
+        ki in 0usize..4,
+        seed in 0u64..1_000_000,
+        nfaults in 1usize..5,
+        cut in 1u64..6_000,
+    ) {
+        let nd = NdRange::dim1(4 * 8, 8);
+        let (kernel, dp) = compile(KERNELS[ki]);
+        let (gm, a) = fresh_memory();
+        drop(gm);
+        let probe = Machine::new(
+            &kernel, &dp, &SimConfig::default(), nd,
+            &[ArgValue::Buffer(a), ArgValue::Scalar(5)],
+        ).expect("probe machine");
+        let faults = FaultPlan::random(seed, nfaults, 5_000)
+            .normalized(probe.num_channels(), probe.num_caches());
+        for sched in [Scheduler::Dense, Scheduler::EventDriven] {
+            let cfg = config(sched, faults.clone(), None);
+            let straight = run_straight(KERNELS[ki], nd, &cfg);
+            let resumed = run_interrupted(KERNELS[ki], nd, &cfg, &[cut]);
+            prop_assert_eq!(&straight, &resumed, "scheduler {:?}, cut {}", sched, cut);
+        }
+    }
+
+    /// Repeated interruptions (a chain of snapshots, each restored into a
+    /// fresh machine) still land on the uninterrupted outcome, including
+    /// with the profiler on (whose counters ride in the checkpoint).
+    #[test]
+    fn repeated_interruptions_compose(
+        ki in 0usize..4,
+        c1 in 1u64..1_500,
+        step in 1u64..1_500,
+        profiled in 0usize..2,
+    ) {
+        let nd = NdRange::dim1(2 * 8, 8);
+        let cuts = [c1, c1 + step, c1 + 2 * step];
+        let pcfg = (profiled == 1)
+            .then(|| ProfileConfig { sample_interval: 16, ..ProfileConfig::default() });
+        let cfg = config(Scheduler::Dense, FaultPlan::none(), pcfg);
+        let straight = run_straight(KERNELS[ki], nd, &cfg);
+        let resumed = run_interrupted(KERNELS[ki], nd, &cfg, &cuts);
+        prop_assert_eq!(&straight, &resumed, "cuts {:?}", cuts);
+    }
+}
+
+#[test]
+fn deadline_is_typed_and_deterministic() {
+    let (kernel, dp) = compile(KERNELS[1]);
+    let nd = NdRange::dim1(16, 8);
+    let cfg = config(Scheduler::EventDriven, FaultPlan::none(), None);
+    for _ in 0..2 {
+        let (mut gm, a) = fresh_memory();
+        let args = [ArgValue::Buffer(a), ArgValue::Scalar(5)];
+        let mut m = Machine::new(&kernel, &dp, &cfg, nd, &args).unwrap();
+        let ctl = RunControl { cycle_deadline: Some(100), ..RunControl::default() };
+        match m.run_with(&mut gm, &ctl) {
+            Err(SimError::DeadlineExceeded { cycle, snapshot }) => {
+                // Cycle deadlines are deterministic cut points: the run
+                // stops before executing the deadline cycle even under
+                // event-driven fast-forward.
+                assert_eq!(cycle, 100);
+                assert_eq!(snapshot.cycle(), 100);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn cancellation_is_typed_and_resumable() {
+    let (kernel, dp) = compile(KERNELS[1]);
+    let nd = NdRange::dim1(16, 8);
+    let cfg = config(Scheduler::Dense, FaultPlan::none(), None);
+    let (mut gm, a) = fresh_memory();
+    let args = [ArgValue::Buffer(a), ArgValue::Scalar(5)];
+    let mut m = Machine::new(&kernel, &dp, &cfg, nd, &args).unwrap();
+    let token = CancelToken::new();
+    token.cancel();
+    let ctl = RunControl { cancel: Some(token.clone()), ..RunControl::default() };
+    let snapshot = match m.run_with(&mut gm, &ctl) {
+        Err(SimError::Cancelled { cycle, snapshot }) => {
+            assert_eq!(snapshot.cycle(), cycle);
+            snapshot
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    };
+    // Restoring the snapshot and running without the token completes and
+    // matches the uninterrupted run.
+    let mut resumed = Machine::new(&kernel, &dp, &cfg, nd, &args).unwrap();
+    resumed.restore(&snapshot, &mut gm).unwrap();
+    let res = resumed.run(&mut gm).unwrap();
+    let straight = run_straight(KERNELS[1], nd, &cfg).unwrap();
+    assert_eq!(res, straight.0);
+    assert_eq!(gm.buffer(a).bytes(), &straight.1[..]);
+}
+
+#[test]
+fn foreign_snapshot_is_rejected_with_typed_error() {
+    let nd = NdRange::dim1(16, 8);
+    let cfg = config(Scheduler::Dense, FaultPlan::none(), None);
+    let (kernel_a, dp_a) = compile(KERNELS[0]);
+    let (kernel_b, dp_b) = compile(KERNELS[2]);
+    let (mut gm, a) = fresh_memory();
+    let args = [ArgValue::Buffer(a), ArgValue::Scalar(5)];
+    let ma = Machine::new(&kernel_a, &dp_a, &cfg, nd, &args).unwrap();
+    let snap = ma.snapshot(&gm);
+    let mut mb = Machine::new(&kernel_b, &dp_b, &cfg, nd, &args).unwrap();
+    match mb.restore(&snap, &mut gm) {
+        Err(SimError::Config(ConfigError::SnapshotMismatch { .. })) => {}
+        other => panic!("expected SnapshotMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_fault_plan_is_a_config_error() {
+    let (kernel, dp) = compile(KERNELS[0]);
+    let nd = NdRange::dim1(16, 8);
+    let (_gm, a) = fresh_memory();
+    let args = [ArgValue::Buffer(a), ArgValue::Scalar(5)];
+    let cfg = SimConfig {
+        faults: FaultPlan::none().with(soff_sim::Fault::ChannelStuckStall {
+            chan: 100_000,
+            from: 0,
+            cycles: 10,
+        }),
+        ..SimConfig::default()
+    };
+    match Machine::new(&kernel, &dp, &cfg, nd, &args) {
+        Err(SimError::Config(ConfigError::Fault { index: 0, .. })) => {}
+        other => panic!("expected a fault config error, got {:?}", other.map(|_| ())),
+    }
+}

@@ -35,6 +35,18 @@ fn run_memcopy(plan: FaultPlan, budget: u64) -> Result<soff_sim::SimResult, SimE
     let mut gm = GlobalMemory::new();
     let a = gm.alloc(256 * 4);
     let b = gm.alloc(256 * 4);
+    // Fit the plan to this machine's real component counts (random plans
+    // draw indices from a fixed universe; the machine rejects
+    // out-of-range targets at config time).
+    let probe = soff_sim::Machine::new(
+        &kernel,
+        &dp,
+        &SimConfig::default(),
+        NdRange::dim1(256, 8),
+        &[ArgValue::Buffer(a), ArgValue::Buffer(b)],
+    )
+    .expect("probe machine");
+    let plan = plan.normalized(probe.num_channels(), probe.num_caches());
     let cfg = SimConfig {
         deadlock_window: WINDOW,
         livelock_window: 64 * WINDOW,

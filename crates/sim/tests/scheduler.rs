@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use soff_datapath::{Datapath, LatencyModel};
 use soff_ir::ir::NdRange;
 use soff_ir::mem::{ArgValue, GlobalMemory};
-use soff_sim::machine::{run, Scheduler, SimConfig, SimError, SimResult};
+use soff_sim::machine::{run, Machine, Scheduler, SimConfig, SimError, SimResult};
 use soff_sim::{FaultPlan, ProfileConfig};
 
 fn compile(src: &str) -> (soff_ir::ir::Kernel, Datapath) {
@@ -74,6 +74,13 @@ fn run_one(
     for i in 0..64u64 {
         gm.buffer_mut(a).write_scalar(i * 4, soff_frontend::types::Scalar::I32, i * 7 % 64);
     }
+    // Fit fault plans (random ones draw indices from a fixed universe) to
+    // this machine's real component counts; the machine rejects
+    // out-of-range targets at config time.
+    let probe_cfg = SimConfig { num_instances: instances, ..SimConfig::default() };
+    let args = [ArgValue::Buffer(a), ArgValue::Scalar(5)];
+    let probe = Machine::new(&kernel, &dp, &probe_cfg, nd, &args).expect("probe machine");
+    let faults = faults.normalized(probe.num_channels(), probe.num_caches());
     let cfg = SimConfig {
         num_instances: instances,
         faults,

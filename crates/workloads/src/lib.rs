@@ -7,6 +7,7 @@
 //! ingredients of Table II, Fig. 11, and Fig. 12.
 
 pub mod data;
+pub mod journal;
 pub mod polybench;
 pub mod runner;
 pub mod spec;

@@ -152,6 +152,14 @@ impl SimRunner {
         self.ctx.scheduler = s;
     }
 
+    /// Interrupts every subsequent launch each `cycles` cycles,
+    /// snapshotting and restoring onto a freshly built machine (the
+    /// checkpoint/restore drill on the production launch path; results
+    /// are bit-identical to uninterrupted runs).
+    pub fn set_checkpoint_interval(&mut self, cycles: Option<u64>) {
+        self.ctx.checkpoint_interval = cycles;
+    }
+
     /// The replication factor of the first kernel (for the Fig. 12 (b)
     /// linear-scaling extrapolation).
     pub fn replication(&self) -> u32 {

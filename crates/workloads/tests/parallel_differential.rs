@@ -21,8 +21,12 @@ fn parallel_polybench_sweep_is_byte_identical_to_sequential() {
     let apps = polybench();
     let fws = [Framework::Soff];
     let seq = run_suite_parallel(&apps, &fws, Scale::Small, &SweepOptions::sequential());
-    let par =
-        run_suite_parallel(&apps, &fws, Scale::Small, &SweepOptions { jobs: 4, dedup: true });
+    let par = run_suite_parallel(
+        &apps,
+        &fws,
+        Scale::Small,
+        &SweepOptions { jobs: 4, dedup: true, ..SweepOptions::default() },
+    );
     assert_eq!(seq.len(), apps.len());
     let (dseq, dpar) = (digest(&seq), digest(&par));
     assert!(
@@ -52,8 +56,12 @@ fn repeated_cells_memoize_without_changing_results() {
     tripled.extend(apps.iter().copied());
 
     let seq = run_suite_parallel(&tripled, &fws, Scale::Small, &SweepOptions::sequential());
-    let par =
-        run_suite_parallel(&tripled, &fws, Scale::Small, &SweepOptions { jobs: 4, dedup: true });
+    let par = run_suite_parallel(
+        &tripled,
+        &fws,
+        Scale::Small,
+        &SweepOptions { jobs: 4, dedup: true, ..SweepOptions::default() },
+    );
     assert_eq!(digest(&seq), digest(&par));
 
     let memoized = par.iter().filter(|c| c.memo_of.is_some()).count();
