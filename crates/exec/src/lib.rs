@@ -69,7 +69,9 @@ impl fmt::Display for TaskError {
 impl Error for TaskError {}
 
 /// Renders a panic payload (almost always a `&str` or `String`).
-fn panic_message(payload: &(dyn Any + Send)) -> String {
+/// Public so other layers that `catch_unwind` (the serve layer's fault
+/// containment) report panics identically to this pool.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

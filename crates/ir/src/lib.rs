@@ -43,6 +43,7 @@
 //! ```
 
 pub mod build;
+pub mod codec;
 pub mod ctree;
 pub mod dfg;
 pub mod eval;

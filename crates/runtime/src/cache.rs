@@ -25,12 +25,39 @@
 //! profiling) are deliberately *not* part of the key: they are applied
 //! at enqueue and do not affect compilation.
 //!
+//! Both in-memory layers are **bounded**: each shelf holds at most its
+//! configured capacity ([`set_capacity`], default
+//! [`DEFAULT_CAPACITY`]) and evicts the least-recently-used entry on
+//! overflow, so a long-lived serving process cannot grow without
+//! bound. Evictions are counted in [`CacheStats`].
+//!
+//! When a [`store::DiskStore`] is attached ([`set_disk_store`]), the
+//! cache additionally persists compiles **on disk** so they survive
+//! restarts and are shared across processes:
+//!
+//! - the frontend layer stores the lowered module in the
+//!   `soff_ir::codec` binary format (`fe-*` objects) — a disk hit
+//!   skips the frontend and lowering entirely (modules are re-verified
+//!   on load as a corruption defense);
+//! - the program layer stores the per-kernel replication vector
+//!   (`pg-*` objects) as a cross-process consistency record: datapaths
+//!   are cheap to rebuild deterministically from the module and are
+//!   not serialized, so a `pg` hit rebuilds them and cross-checks the
+//!   stored replication (a mismatch counts as corruption and the
+//!   entry self-heals).
+//!
+//! The disk store is best-effort: I/O failures fall back to
+//! recompiling, and corrupt objects are deleted and rebuilt.
+//!
 //! Errors are never cached — a failing build re-diagnoses each time,
 //! keeping diagnostics paths identical with and without the cache.
 
+use crate::store::{DiskStore, Lookup};
 use crate::{BuildError, Program};
 use soff_ir::ir::Module;
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
@@ -47,6 +74,11 @@ pub fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
 
 /// The FNV-1a offset basis (initial state).
 pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Default per-layer entry capacity. Far above what one sweep needs
+/// (34 apps × a handful of define/device combinations) while bounding
+/// a serving process that sees endless distinct sources.
+pub const DEFAULT_CAPACITY: usize = 512;
 
 /// Hashes a source + define list (the frontend-layer key).
 pub fn frontend_key(source: &str, defines: &[(String, String)]) -> u64 {
@@ -76,28 +108,61 @@ fn key_material(source: &str, defines: &[(String, String)], extra: &str) -> Stri
     m
 }
 
+struct Entry<T> {
+    material: String,
+    value: T,
+    /// Logical access time for LRU eviction (the shelf's tick at the
+    /// last hit or insert).
+    last_used: u64,
+}
+
+struct ShelfInner<T> {
+    map: HashMap<u64, Vec<Entry<T>>>,
+    /// Total entries across all buckets.
+    len: usize,
+    capacity: usize,
+    tick: u64,
+}
+
 struct Shelf<T> {
-    map: Mutex<HashMap<u64, Vec<(String, T)>>>,
+    inner: Mutex<ShelfInner<T>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<T: Clone> Shelf<T> {
     fn new() -> Shelf<T> {
-        Shelf { map: Mutex::new(HashMap::new()), hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+        Shelf {
+            inner: Mutex::new(ShelfInner {
+                map: HashMap::new(),
+                len: 0,
+                capacity: DEFAULT_CAPACITY,
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
-    fn lock(&self) -> MutexGuard<'_, HashMap<u64, Vec<(String, T)>>> {
+    fn lock(&self) -> MutexGuard<'_, ShelfInner<T>> {
         // Inserts/lookups below cannot panic mid-update; recover from
         // poison so one panicked sweep cell cannot wedge the cache.
-        self.map.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn get(&self, key: u64, material: &str) -> Option<T> {
-        let found = self
-            .lock()
-            .get(&key)
-            .and_then(|bucket| bucket.iter().find(|(m, _)| m == material).map(|(_, v)| v.clone()));
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let found = inner.map.get_mut(&key).and_then(|bucket| {
+            bucket.iter_mut().find(|e| e.material == material).map(|e| {
+                e.last_used = tick;
+                e.value.clone()
+            })
+        });
+        drop(inner);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -106,12 +171,68 @@ impl<T: Clone> Shelf<T> {
     }
 
     fn put(&self, key: u64, material: String, value: T) {
-        let mut map = self.lock();
-        let bucket = map.entry(key).or_default();
-        // A racing builder may have inserted the same entry; keep one.
-        if !bucket.iter().any(|(m, _)| *m == material) {
-            bucket.push((material, value));
+        let mut inner = self.lock();
+        if inner.capacity == 0 {
+            return;
         }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let bucket = inner.map.entry(key).or_default();
+        // A racing builder may have inserted the same entry; keep one.
+        if bucket.iter().any(|e| e.material == material) {
+            return;
+        }
+        bucket.push(Entry { material, value, last_used: tick });
+        inner.len += 1;
+        let mut evicted = 0u64;
+        while inner.len > inner.capacity {
+            evict_lru(&mut inner);
+            evicted += 1;
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Changes the capacity, evicting LRU entries if already over it.
+    fn resize(&self, capacity: usize) {
+        let mut inner = self.lock();
+        inner.capacity = capacity;
+        let mut evicted = 0u64;
+        while inner.len > inner.capacity {
+            evict_lru(&mut inner);
+            evicted += 1;
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.lock().len
+    }
+}
+
+/// Removes the least-recently-used entry. O(entries), which is fine:
+/// capacities are a few hundred and eviction is off every hot path.
+fn evict_lru<T>(inner: &mut ShelfInner<T>) {
+    let mut victim: Option<(u64, usize, u64)> = None;
+    for (key, bucket) in &inner.map {
+        for (i, e) in bucket.iter().enumerate() {
+            if victim.is_none_or(|(_, _, lru)| e.last_used < lru) {
+                victim = Some((*key, i, e.last_used));
+            }
+        }
+    }
+    if let Some((key, i, _)) = victim {
+        let bucket = inner.map.get_mut(&key).expect("victim bucket exists");
+        bucket.remove(i);
+        if bucket.is_empty() {
+            inner.map.remove(&key);
+        }
+        inner.len -= 1;
     }
 }
 
@@ -125,9 +246,88 @@ fn program_shelf() -> &'static Shelf<Program> {
     SHELF.get_or_init(Shelf::new)
 }
 
+// ------------------------------------------------------------- disk layer
+
+struct DiskState {
+    store: Mutex<Option<Arc<DiskStore>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+fn disk_state() -> &'static DiskState {
+    static STATE: OnceLock<DiskState> = OnceLock::new();
+    STATE.get_or_init(|| DiskState {
+        store: Mutex::new(None),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+        writes: AtomicU64::new(0),
+        corrupt: AtomicU64::new(0),
+    })
+}
+
+/// Attaches (or with `None` detaches) an on-disk store under `dir`.
+/// While attached, compiles are persisted and restart-reusable; see the
+/// module docs for the layer split. Attachment is explicit — nothing is
+/// written to disk unless a caller opts in.
+///
+/// # Errors
+///
+/// I/O errors creating the store directory.
+pub fn set_disk_store(dir: Option<&Path>) -> io::Result<()> {
+    let store = match dir {
+        Some(d) => Some(Arc::new(DiskStore::open(d)?)),
+        None => None,
+    };
+    let state = disk_state();
+    *state.store.lock().unwrap_or_else(|e| e.into_inner()) = store;
+    Ok(())
+}
+
+fn disk() -> Option<Arc<DiskStore>> {
+    disk_state().store.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Looks up `(kind, key)` on disk, folding every non-hit into the right
+/// counter. Returns the payload on a verified hit.
+fn disk_get(store: &DiskStore, kind: &str, key: u64, material: &str) -> Option<Vec<u8>> {
+    let state = disk_state();
+    match store.get(kind, key, material) {
+        Lookup::Hit(payload) => {
+            state.hits.fetch_add(1, Ordering::Relaxed);
+            Some(payload)
+        }
+        Lookup::Miss => {
+            state.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+        Lookup::Corrupt => {
+            state.corrupt.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Best-effort disk write; I/O failure is invisible to callers (the
+/// memory layers already hold the value).
+fn disk_put(store: &DiskStore, kind: &str, key: u64, material: &str, payload: &[u8]) {
+    if store.put(kind, key, material, payload).is_ok() {
+        disk_state().writes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Marks a decoded-but-invalid object corrupt: deletes it and counts it.
+fn disk_discredit(store: &DiskStore, kind: &str, key: u64) {
+    let _ = std::fs::remove_file(store.dir().join(format!("{kind}-{key:016x}.obj")));
+    disk_state().corrupt.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Compiles and lowers `source`, sharing the result process-wide: the
 /// first call pays the frontend + lowering cost, repeats get the same
-/// `Arc<Module>`. Errors are recomputed (never cached).
+/// `Arc<Module>`. With a disk store attached, the lowered module is
+/// persisted and later processes deserialize instead of compiling.
+/// Errors are recomputed (never cached).
 ///
 /// # Errors
 ///
@@ -142,15 +342,35 @@ pub fn lower_cached(
     if let Some(m) = frontend_shelf().get(key, &material) {
         return Ok(m);
     }
+    if let Some(store) = disk() {
+        if let Some(payload) = disk_get(&store, "fe", key, &material) {
+            match soff_ir::codec::decode_module(&payload) {
+                // Re-verify on load: the checksum catches bit rot, the
+                // verifier catches a well-formed stream that is not a
+                // well-formed module (e.g. written by a buggy version).
+                Ok(m) if m.kernels.iter().all(|k| soff_ir::verify::verify(k).is_ok()) => {
+                    let module = Arc::new(m);
+                    frontend_shelf().put(key, material, Arc::clone(&module));
+                    return Ok(module);
+                }
+                _ => disk_discredit(&store, "fe", key),
+            }
+        }
+    }
     let parsed = soff_frontend::compile(source, defines)?;
     let module = Arc::new(soff_ir::build::lower(&parsed)?);
-    frontend_shelf().put(key, material, Arc::clone(&module));
+    frontend_shelf().put(key, material.clone(), Arc::clone(&module));
+    if let Some(store) = disk() {
+        disk_put(&store, "fe", key, &material, &soff_ir::codec::encode_module(&module));
+    }
     Ok(module)
 }
 
 /// Program-layer lookup/build used by `Program::build_with_latencies`:
-/// `build` runs only on a miss, and its successful result is shared
-/// with every later identical build.
+/// `build` runs only on a memory miss, and its successful result is
+/// shared with every later identical build. With a disk store attached,
+/// the per-kernel replication vector is persisted and cross-checked
+/// (see the module docs).
 pub(crate) fn program_cached(
     source: &str,
     defines: &[(String, String)],
@@ -162,9 +382,41 @@ pub(crate) fn program_cached(
     if let Some(p) = program_shelf().get(key, &material) {
         return Ok(p);
     }
+    let disk_record = disk().and_then(|store| {
+        disk_get(&store, "pg", key, &material).map(|payload| (store, payload))
+    });
+    // `build` goes through `lower_cached`, so the expensive frontend work
+    // is already disk-accelerated; datapaths rebuild deterministically.
     let program = build()?;
+    let replication = encode_replication(&program);
+    match disk_record {
+        Some((_, payload)) if payload == replication => {}
+        Some((store, _)) => {
+            // The stored record disagrees with a deterministic rebuild:
+            // the object is stale or damaged. Replace it.
+            disk_discredit(&store, "pg", key);
+            disk_put(&store, "pg", key, &material, &replication);
+        }
+        None => {
+            if let Some(store) = disk() {
+                disk_put(&store, "pg", key, &material, &replication);
+            }
+        }
+    }
     program_shelf().put(key, material, program.clone());
     Ok(program)
+}
+
+/// The `pg` object payload: kernel count, then each kernel's datapath
+/// replication, all u32 LE.
+fn encode_replication(program: &Program) -> Vec<u8> {
+    let kernels = program.kernels();
+    let mut bytes = Vec::with_capacity(4 + kernels.len() * 4);
+    bytes.extend_from_slice(&(kernels.len() as u32).to_le_bytes());
+    for ck in kernels {
+        bytes.extend_from_slice(&ck.replication.num_datapaths.to_le_bytes());
+    }
+    bytes
 }
 
 /// Cache hit/miss counters since the last [`reset_stats`].
@@ -174,15 +426,27 @@ pub struct CacheStats {
     pub frontend_hits: u64,
     /// Frontend+lowering layer misses.
     pub frontend_misses: u64,
+    /// Frontend+lowering entries evicted by the LRU bound.
+    pub frontend_evictions: u64,
     /// Whole-program layer hits.
     pub program_hits: u64,
     /// Whole-program layer misses.
     pub program_misses: u64,
+    /// Whole-program entries evicted by the LRU bound.
+    pub program_evictions: u64,
+    /// On-disk store hits (verified payloads served).
+    pub disk_hits: u64,
+    /// On-disk store misses (no object under the key).
+    pub disk_misses: u64,
+    /// Objects written to the on-disk store.
+    pub disk_writes: u64,
+    /// Damaged/stale on-disk objects detected (and self-healed).
+    pub disk_corrupt: u64,
 }
 
 impl CacheStats {
-    /// Hits over lookups across both layers (0 when nothing was looked
-    /// up).
+    /// Hits over lookups across both in-memory layers (0 when nothing
+    /// was looked up).
     pub fn hit_rate(&self) -> f64 {
         let hits = self.frontend_hits + self.program_hits;
         let total = hits + self.frontend_misses + self.program_misses;
@@ -196,30 +460,63 @@ impl CacheStats {
 
 /// Current counters.
 pub fn stats() -> CacheStats {
-    let (f, p) = (frontend_shelf(), program_shelf());
+    let (f, p, d) = (frontend_shelf(), program_shelf(), disk_state());
     CacheStats {
         frontend_hits: f.hits.load(Ordering::Relaxed),
         frontend_misses: f.misses.load(Ordering::Relaxed),
+        frontend_evictions: f.evictions.load(Ordering::Relaxed),
         program_hits: p.hits.load(Ordering::Relaxed),
         program_misses: p.misses.load(Ordering::Relaxed),
+        program_evictions: p.evictions.load(Ordering::Relaxed),
+        disk_hits: d.hits.load(Ordering::Relaxed),
+        disk_misses: d.misses.load(Ordering::Relaxed),
+        disk_writes: d.writes.load(Ordering::Relaxed),
+        disk_corrupt: d.corrupt.load(Ordering::Relaxed),
     }
 }
 
 /// Zeroes the counters (entries stay cached).
 pub fn reset_stats() {
-    for shelf in [&frontend_shelf().hits, &frontend_shelf().misses] {
-        shelf.store(0, Ordering::Relaxed);
-    }
-    for shelf in [&program_shelf().hits, &program_shelf().misses] {
-        shelf.store(0, Ordering::Relaxed);
+    let (f, p, d) = (frontend_shelf(), program_shelf(), disk_state());
+    for counter in [
+        &f.hits,
+        &f.misses,
+        &f.evictions,
+        &p.hits,
+        &p.misses,
+        &p.evictions,
+        &d.hits,
+        &d.misses,
+        &d.writes,
+        &d.corrupt,
+    ] {
+        counter.store(0, Ordering::Relaxed);
     }
 }
 
-/// Drops every cached entry (for cold-phase benchmarking); counters
-/// are left alone — pair with [`reset_stats`] as needed.
+/// Sets the per-layer in-memory capacities, evicting LRU entries if a
+/// layer is already over its new bound. Zero disables a layer.
+pub fn set_capacity(frontend: usize, program: usize) {
+    frontend_shelf().resize(frontend);
+    program_shelf().resize(program);
+}
+
+/// Current entry counts `(frontend, program)` of the in-memory layers.
+pub fn len() -> (usize, usize) {
+    (frontend_shelf().len(), program_shelf().len())
+}
+
+/// Drops every cached in-memory entry (for cold-phase benchmarking and
+/// restart simulation in tests); counters and the disk store are left
+/// alone — pair with [`reset_stats`] / [`set_disk_store`] as needed.
 pub fn clear() {
-    frontend_shelf().lock().clear();
-    program_shelf().lock().clear();
+    let mut f = frontend_shelf().lock();
+    f.map.clear();
+    f.len = 0;
+    drop(f);
+    let mut p = program_shelf().lock();
+    p.map.clear();
+    p.len = 0;
 }
 
 #[cfg(test)]
@@ -258,5 +555,46 @@ mod tests {
         let bad = "__kernel void k() { undeclared = 1; }";
         assert!(lower_cached(bad, &[]).is_err());
         assert!(lower_cached(bad, &[]).is_err(), "second failure re-diagnoses identically");
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded_and_counted() {
+        let shelf: Shelf<u32> = Shelf::new();
+        shelf.resize(3);
+        for i in 0..3u32 {
+            shelf.put(i as u64, format!("m{i}"), i);
+        }
+        // Touch 0 so 1 becomes the LRU entry.
+        assert_eq!(shelf.get(0, "m0"), Some(0));
+        shelf.put(99, "m99".to_string(), 99);
+        assert_eq!(shelf.len(), 3);
+        assert_eq!(shelf.evictions.load(Ordering::Relaxed), 1);
+        assert_eq!(shelf.get(1, "m1"), None, "LRU entry evicted");
+        assert_eq!(shelf.get(0, "m0"), Some(0), "recently used entry kept");
+        assert_eq!(shelf.get(99, "m99"), Some(99), "new entry kept");
+    }
+
+    #[test]
+    fn resize_below_len_evicts_immediately() {
+        let shelf: Shelf<u32> = Shelf::new();
+        for i in 0..10u32 {
+            shelf.put(i as u64, format!("m{i}"), i);
+        }
+        shelf.resize(4);
+        assert_eq!(shelf.len(), 4);
+        assert_eq!(shelf.evictions.load(Ordering::Relaxed), 6);
+        // The four most recently inserted entries survive.
+        for i in 6..10u32 {
+            assert_eq!(shelf.get(i as u64, &format!("m{i}")), Some(i));
+        }
+    }
+
+    #[test]
+    fn zero_capacity_disables_a_shelf() {
+        let shelf: Shelf<u32> = Shelf::new();
+        shelf.resize(0);
+        shelf.put(1, "m".to_string(), 1);
+        assert_eq!(shelf.len(), 0);
+        assert_eq!(shelf.get(1, "m"), None);
     }
 }

@@ -47,6 +47,7 @@
 
 pub mod cache;
 pub mod device;
+pub mod store;
 
 use soff_datapath::resource::{self, Replication};
 use soff_datapath::{Datapath, LatencyModel};
@@ -685,30 +686,7 @@ impl Context {
         kernel: &KernelHandle,
         nd: NdRange,
     ) -> Result<ExecStats, LaunchError> {
-        // Geometry validation (`clEnqueueNDRangeKernel` semantics): the
-        // machine carries work-item/work-group serials in 32-bit fields,
-        // so launches beyond 2^32 work-items (or degenerate ones) must be
-        // rejected here instead of truncating ids downstream.
-        let dims = nd.work_dim.max(1) as usize;
-        for d in 0..dims {
-            let (global, local) = (nd.global[d], nd.local[d]);
-            if local == 0 || global % local != 0 {
-                return Err(ApiError::InvalidWorkGroupSize { global, local }.into());
-            }
-        }
-        let total = nd.total_work_items();
-        if total == 0 || total > 1 << 32 {
-            return Err(ApiError::InvalidGlobalWorkSize { total }.into());
-        }
-        let args = kernel.collect_args()?;
-        for (i, a) in args.iter().enumerate() {
-            if let ArgValue::Buffer(h) = a {
-                let ctx = kernel.buffer_ctx.get(i).copied().flatten();
-                if ctx != Some(self.ctx_id) || *h as usize >= self.gm.num_buffers() {
-                    return Err(ApiError::InvalidMemObject { handle: *h }.into());
-                }
-            }
-        }
+        let args = self.prepare_launch(kernel, nd)?;
         let ck = kernel.compiled();
 
         // Execution flow of §III-C1: write argument/kernel-pointer/trigger
@@ -718,17 +696,8 @@ impl Context {
         self.registers.trigger = true;
         self.registers.completion = false;
 
-        let num_instances =
-            self.force_instances.unwrap_or(ck.replication.num_datapaths).max(1);
-        let cfg = SimConfig {
-            cache: self.device.cache,
-            dram: self.device.dram_config(),
-            num_instances,
-            max_cycles: self.max_cycles,
-            profile: self.profile,
-            scheduler: self.scheduler,
-            ..SimConfig::default()
-        };
+        let cfg = self.launch_config(ck);
+        let num_instances = cfg.num_instances;
         let sim = match self.checkpoint_interval {
             None => soff_sim::run(&ck.kernel, &ck.datapath, &cfg, nd, &args, &mut self.gm)?,
             Some(interval) => {
@@ -767,6 +736,78 @@ impl Context {
         let seconds = self.device.cycles_to_seconds(sim.cycles);
         Ok(ExecStats { sim, seconds, num_instances })
     }
+
+    /// Everything [`Context::enqueue_ndrange`] checks *before* touching
+    /// the device, as a separate step: geometry validation, argument
+    /// completeness/kind checks, and buffer-handle ownership. Returns the
+    /// validated argument vector ready for the simulator.
+    ///
+    /// Exposed so schedulers layered on top (the serve layer) can admit
+    /// or reject a launch without running it, with error semantics
+    /// identical to a direct enqueue.
+    ///
+    /// # Errors
+    ///
+    /// See [`LaunchError`]; never [`LaunchError::Sim`].
+    pub fn prepare_launch(
+        &self,
+        kernel: &KernelHandle,
+        nd: NdRange,
+    ) -> Result<Vec<ArgValue>, LaunchError> {
+        validate_ndrange(&nd)?;
+        let args = kernel.collect_args()?;
+        for (i, a) in args.iter().enumerate() {
+            if let ArgValue::Buffer(h) = a {
+                let ctx = kernel.buffer_ctx.get(i).copied().flatten();
+                if ctx != Some(self.ctx_id) || *h as usize >= self.gm.num_buffers() {
+                    return Err(ApiError::InvalidMemObject { handle: *h }.into());
+                }
+            }
+        }
+        Ok(args)
+    }
+
+    /// The simulator configuration a launch of `ck` from this context
+    /// would use (replication override, cycle budget, profiling,
+    /// scheduler). Exposed for schedulers that drive [`soff_sim::Machine`]
+    /// directly to slice launches across tenants.
+    pub fn launch_config(&self, ck: &CompiledKernel) -> SimConfig {
+        let num_instances =
+            self.force_instances.unwrap_or(ck.replication.num_datapaths).max(1);
+        SimConfig {
+            cache: self.device.cache,
+            dram: self.device.dram_config(),
+            num_instances,
+            max_cycles: self.max_cycles,
+            profile: self.profile,
+            scheduler: self.scheduler,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// Geometry validation (`clEnqueueNDRangeKernel` semantics): the machine
+/// carries work-item/work-group serials in 32-bit fields, so launches
+/// beyond 2^32 work-items (or degenerate ones) must be rejected up front
+/// instead of truncating ids downstream.
+///
+/// # Errors
+///
+/// [`ApiError::InvalidWorkGroupSize`] /
+/// [`ApiError::InvalidGlobalWorkSize`].
+pub fn validate_ndrange(nd: &NdRange) -> Result<(), ApiError> {
+    let dims = nd.work_dim.max(1) as usize;
+    for d in 0..dims {
+        let (global, local) = (nd.global[d], nd.local[d]);
+        if local == 0 || global % local != 0 {
+            return Err(ApiError::InvalidWorkGroupSize { global, local });
+        }
+    }
+    let total = nd.total_work_items();
+    if total == 0 || total > 1 << 32 {
+        return Err(ApiError::InvalidGlobalWorkSize { total });
+    }
+    Ok(())
 }
 
 #[cfg(test)]

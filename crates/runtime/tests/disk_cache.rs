@@ -1,0 +1,162 @@
+//! The on-disk compile store end to end, through the public
+//! `Program::build` path: restart reuse, corruption self-healing, and
+//! concurrent builders.
+//!
+//! The disk store is process-global (`cache::set_disk_store`), so every
+//! test serialises on one mutex and detaches the store before releasing
+//! it.
+
+use soff_runtime::{cache, Context, Device, Program};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static GATE: Mutex<()> = Mutex::new(());
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "soff-disk-cache-{}-{tag}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Distinct sources per test so the content-addressed keys never collide
+/// across tests (the in-memory cache is process-global too).
+fn source(tag: &str) -> String {
+    format!(
+        r#"
+__kernel void k{tag}(__global float* a, float s) {{
+    int i = get_global_id(0);
+    a[i] = a[i] * s + {tag}.0f;
+}}
+"#
+    )
+}
+
+fn run_once(src: &str, name: &str) -> Vec<u8> {
+    let device = Device::system_a();
+    let program = Program::build(src, &[], &device).expect("build");
+    let mut ctx = Context::new(device);
+    let buf = ctx.create_buffer(16 * 4);
+    ctx.write_buffer_f32(buf, &[1.5; 16]).unwrap();
+    let mut k = program.kernel(name).unwrap();
+    k.set_arg_buffer(0, buf).set_arg_f32(1, 2.0);
+    ctx.enqueue_ndrange(&k, soff_ir::NdRange::dim1(16, 4)).unwrap();
+    ctx.read_buffer(buf).unwrap()
+}
+
+#[test]
+fn restart_reuses_disk_compiles_with_identical_results() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = fresh_dir("restart");
+    cache::set_disk_store(Some(&dir)).unwrap();
+    cache::clear();
+    cache::reset_stats();
+
+    let src = source("7");
+    let first = run_once(&src, "k7");
+    let cold = cache::stats();
+    assert!(cold.disk_misses > 0, "first build must miss the disk: {cold:?}");
+    assert!(cold.disk_writes > 0, "first build must persist compiles: {cold:?}");
+
+    // "Restart": drop all in-memory state, keep the directory.
+    cache::clear();
+    cache::reset_stats();
+    let second = run_once(&src, "k7");
+    let warm = cache::stats();
+    assert!(warm.disk_hits > 0, "restart must reuse on-disk compiles: {warm:?}");
+    assert_eq!(warm.disk_corrupt, 0, "no corruption on a clean restart: {warm:?}");
+    assert_eq!(first, second, "disk-restored compile produced different results");
+
+    cache::set_disk_store(None).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_and_truncated_entries_self_heal() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = fresh_dir("corrupt");
+    cache::set_disk_store(Some(&dir)).unwrap();
+    cache::clear();
+    cache::reset_stats();
+
+    let src = source("11");
+    let clean = run_once(&src, "k11");
+    let objects: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "obj"))
+        .collect();
+    assert!(!objects.is_empty(), "build left no objects in {dir:?}");
+
+    // Damage every object a different way: truncate, bit-flip, empty.
+    for (i, path) in objects.iter().enumerate() {
+        let bytes = std::fs::read(path).unwrap();
+        let damaged = match i % 3 {
+            0 => bytes[..bytes.len() / 2].to_vec(),
+            1 => {
+                let mut b = bytes.clone();
+                let mid = b.len() / 2;
+                b[mid] ^= 0xff;
+                b
+            }
+            _ => Vec::new(),
+        };
+        std::fs::write(path, damaged).unwrap();
+    }
+
+    cache::clear();
+    cache::reset_stats();
+    let healed = run_once(&src, "k11");
+    let stats = cache::stats();
+    assert!(stats.disk_corrupt > 0, "damage must be detected: {stats:?}");
+    assert_eq!(clean, healed, "self-healed rebuild produced different results");
+
+    // The store rewrote good entries: a further restart hits disk again.
+    cache::clear();
+    cache::reset_stats();
+    let again = run_once(&src, "k11");
+    let warm = cache::stats();
+    assert!(warm.disk_hits > 0, "healed entries must be reusable: {warm:?}");
+    assert_eq!(warm.disk_corrupt, 0, "healed entries must verify: {warm:?}");
+    assert_eq!(clean, again);
+
+    cache::set_disk_store(None).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_builders_agree_and_persist_once() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = fresh_dir("concurrent");
+    cache::set_disk_store(Some(&dir)).unwrap();
+    cache::clear();
+    cache::reset_stats();
+
+    let src = source("23");
+    let results: Vec<Vec<u8>> = std::thread::scope(|s| {
+        let handles: Vec<_> =
+            (0..8).map(|_| s.spawn(|| run_once(&src, "k23"))).collect();
+        handles.into_iter().map(|h| h.join().expect("builder thread")).collect()
+    });
+    for r in &results[1..] {
+        assert_eq!(&results[0], r, "concurrent builders disagreed");
+    }
+
+    // Whatever interleaving happened on disk, the store must be readable
+    // and reused after a restart.
+    cache::clear();
+    cache::reset_stats();
+    let after = run_once(&src, "k23");
+    let warm = cache::stats();
+    assert!(warm.disk_hits > 0, "store unreadable after concurrent writes: {warm:?}");
+    assert_eq!(warm.disk_corrupt, 0, "concurrent writes corrupted the store: {warm:?}");
+    assert_eq!(results[0], after);
+
+    cache::set_disk_store(None).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -140,6 +140,21 @@ fn key_strings(cell: &Cell) -> (String, String, String) {
 /// The identity of a sweep: the FNV-1a hash of its ordered cell keys. A
 /// resume journal must carry this exact identity — a journal from a
 /// different sweep (different cells or a different order) is stale.
+///
+/// **What is deliberately *excluded*:** run-control knobs — the
+/// simulator scheduler ([`soff_sim::Scheduler`]) and the preemption
+/// checkpoint interval (`Context::checkpoint_interval`), and with them
+/// the serve layer's slice length. The determinism contract (enforced by
+/// the `checkpoint_apps` and serve test suites) makes every digest-
+/// visible field of an [`AppResult`] invariant under those knobs, so a
+/// journal written under one configuration is *valid* to resume under
+/// another: rows replayed from the journal and rows recomputed under the
+/// new knobs combine into the same digest an uninterrupted run produces.
+/// Keying them would needlessly strand journals across a knob change;
+/// the `resume_across_run_control_knob_change` regression test pins this
+/// invariant. Anything that *does* change results (app set, framework,
+/// scale, cell order) must go through [`Cell::key`] and therefore this
+/// hash.
 pub fn sweep_identity(cells: &[Cell]) -> u64 {
     let mut desc = String::new();
     for cell in cells {

@@ -257,3 +257,83 @@ fn pre_cancelled_sweep_is_all_placeholders_and_journals_nothing() {
     assert_eq!(digest(&resumed), digest(&run_cells_with(&cells, &opts(None), fake).unwrap()));
     let _ = fs::remove_file(&path);
 }
+
+/// Run-control knobs (simulator scheduler, checkpoint interval) are
+/// deliberately *not* part of [`soff_workloads::sweep::sweep_identity`]:
+/// the determinism contract makes results invariant under them, so a
+/// journal written under one configuration must resume cleanly under
+/// another and still reproduce the uninterrupted digest. This pins that
+/// invariant with *real* simulations (the synthetic executor above
+/// cannot witness it).
+#[test]
+fn resume_across_run_control_knob_change() {
+    use soff_sim::Scheduler;
+    use soff_workloads::runner::SimRunner;
+
+    // Two real PolyBench apps, one framework, small scale: enough to be
+    // meaningful, cheap enough for a tier-1 suite.
+    let apps: Vec<_> =
+        all_apps().into_iter().filter(|a| matches!(a.name, "atax" | "bicg")).collect();
+    assert_eq!(apps.len(), 2);
+    let cells: Vec<Cell> =
+        apps.iter().map(|a| Cell::new(*a, Framework::Soff, Scale::Small)).collect();
+
+    // The real executor, parameterized over the run-control knobs.
+    let run = |cell: &Cell, scheduler: Scheduler, ckpt: Option<u64>| -> AppResult {
+        let mut runner = SimRunner::new(cell.fw, cell.app.source, &[])
+            .unwrap_or_else(|o| panic!("{}: build failed ({})", cell.app.name, o.code()));
+        runner.set_scheduler(scheduler);
+        runner.set_checkpoint_interval(ckpt);
+        let correct = (cell.app.run)(&mut runner, cell.scale)
+            .unwrap_or_else(|e| panic!("{}: host program failed: {e}", cell.app.name));
+        AppResult {
+            outcome: if correct { Outcome::Ok } else { Outcome::IncorrectAnswer },
+            seconds: runner.total_seconds,
+            cycles: runner.total_cycles,
+            launches: runner.launches,
+            replication: runner.replication(),
+            wall_seconds: 0.0,
+        }
+    };
+
+    // Ground truth: uninterrupted, dense scheduler, no preemption.
+    let baseline = run_cells_with(&cells, &opts(None), |c, _| {
+        run(c, Scheduler::Dense, None)
+    })
+    .unwrap();
+    let want = digest(&baseline);
+
+    // Phase 1: journal the first cell under (Dense, uninterrupted), then
+    // "crash".
+    let path = scratch("knobs");
+    let cancel = CancelFlag::new();
+    let phase1 = {
+        let mut o = opts(Some(path.clone()));
+        o.cancel = Some(cancel.clone());
+        run_cells_with(&cells, &o, |c, _| {
+            let r = run(c, Scheduler::Dense, None);
+            cancel.cancel(); // kill after the first completion
+            r
+        })
+        .unwrap()
+    };
+    assert!(phase1.iter().any(|c| c.cancelled), "phase 1 must be cut short");
+
+    // Phase 2: resume the *same* journal under completely different
+    // run-control knobs (event-driven scheduling, aggressive preemption).
+    let resumed = run_cells_with(&cells, &opts(Some(path.clone())), |c, _| {
+        run(c, Scheduler::EventDriven, Some(2048))
+    })
+    .unwrap();
+    assert!(
+        resumed.iter().any(|c| c.from_journal),
+        "the knob change must not invalidate the journal"
+    );
+    assert_eq!(
+        digest(&resumed),
+        want,
+        "digest diverged across a run-control knob change — either the \
+         determinism contract broke or a knob leaked into results"
+    );
+    let _ = fs::remove_file(&path);
+}
