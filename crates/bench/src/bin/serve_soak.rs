@@ -12,18 +12,35 @@
 //! Usage:
 //!   serve_soak [--slots N] [--tenants N] [--jobs N] [--seed S]
 //!              [--slice CYCLES] [--cache-dir DIR] [--overload]
+//!              [--metrics FILE] [--trace FILE]
 //!
 //! `--overload` runs one device slot with tight queue bounds and exits
 //! non-zero unless backpressure was exercised (typed queue/quota
 //! rejections observed), preemption happened, and no tenant starved.
+//!
+//! `--metrics FILE` writes the process-global metrics registry as
+//! Prometheus-style text exposition after the run: the serve layer's
+//! per-tenant queue-wait / slice-duration histograms and per-class
+//! rejection counters, the runtime's cache counters, and this binary's
+//! own turnaround histogram all come from the same registry.
+//!
+//! `--trace FILE` records request-path spans and samples every 4th job
+//! per tenant through the simulator's cycle profiler, then writes one
+//! merged Chrome trace (open in Perfetto / `chrome://tracing`): pid 0 is
+//! the serve layer on the wall clock, pids 100+ are sampled kernels on
+//! their simulated-cycle clocks. Profiling is observational — the run
+//! digest is unchanged.
 
 use soff_bench::json::{write_bench_rows, Json};
+use soff_obs::{pair_spans, ChromeTraceWriter, SpanKind, TraceBuf};
 use soff_serve::{
-    JobId, NdRange, ServeError, Server, ServerConfig, Session, TenantQuota,
+    JobId, NdRange, ProfileSampling, ServeError, Server, ServerConfig, Session, TenantQuota,
 };
 use std::collections::VecDeque;
+use std::io::{BufWriter, Write};
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Three kernel variants so a soak populates the compile store with more
 /// than one object and a restart exercises more than one disk hit.
@@ -106,7 +123,8 @@ fn input_bytes(spec: &JobSpec) -> Vec<u8> {
 /// What one tenant thread brings home.
 struct TenantRun {
     digest: u64,
-    turnarounds: Vec<Duration>,
+    /// Per-job turnaround (enqueue → result), µs.
+    turnarounds: Vec<u64>,
     backpressure_waits: u64,
 }
 
@@ -136,10 +154,10 @@ fn run_tenant(sess: &Session, specs: &[JobSpec], variant: u64) -> TenantRun {
 
     let drain_one = |pending: &mut VecDeque<(JobId, Instant)>,
                      digest: &mut u64,
-                     turnarounds: &mut Vec<Duration>| {
+                     turnarounds: &mut Vec<u64>| {
         let (id, t0) = pending.pop_front().expect("backpressure with empty queue");
         let out = sess.wait(id).expect("soak job failed");
-        turnarounds.push(t0.elapsed());
+        turnarounds.push(t0.elapsed().as_micros() as u64);
         *digest = fnv(*digest, &out.cycles.to_le_bytes());
     };
 
@@ -182,12 +200,15 @@ struct Opts {
     slice: u64,
     cache_dir: Option<PathBuf>,
     overload: bool,
+    metrics: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve_soak [--slots N] [--tenants N] [--jobs N] [--seed S] \
-         [--slice CYCLES] [--cache-dir DIR] [--overload]"
+         [--slice CYCLES] [--cache-dir DIR] [--overload] \
+         [--metrics FILE] [--trace FILE]"
     );
     std::process::exit(2);
 }
@@ -201,6 +222,8 @@ fn parse(args: &[String]) -> Opts {
         slice: 2_000,
         cache_dir: None,
         overload: false,
+        metrics: None,
+        trace: None,
     };
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
@@ -217,6 +240,8 @@ fn parse(args: &[String]) -> Opts {
             "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--slice" => o.slice = val("--slice").parse().unwrap_or_else(|_| usage()),
             "--cache-dir" => o.cache_dir = Some(PathBuf::from(val("--cache-dir"))),
+            "--metrics" => o.metrics = Some(PathBuf::from(val("--metrics"))),
+            "--trace" => o.trace = Some(PathBuf::from(val("--trace"))),
             "--overload" => o.overload = true,
             "--help" | "-h" => usage(),
             other => {
@@ -232,22 +257,71 @@ fn parse(args: &[String]) -> Opts {
     o
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
+/// Writes the merged Chrome trace: serve spans on pid 0 (wall-clock µs,
+/// one track per session), each sampled kernel profile on its own pid
+/// (simulated cycles rendered as µs — a different clock, hence a
+/// different process group).
+fn write_merged_trace(
+    path: &PathBuf,
+    buf: &TraceBuf,
+    profiles: &[soff_serve::JobProfile],
+) -> std::io::Result<usize> {
+    let events = buf.snapshot();
+    let f = std::fs::File::create(path)?;
+    let mut w = ChromeTraceWriter::new(BufWriter::new(f))?;
+    w.process_name(0, "soff-serve (wall clock, µs)")?;
+    let mut named: Vec<u64> = Vec::new();
+    for e in &events {
+        if !named.contains(&e.corr.session) {
+            named.push(e.corr.session);
+            w.thread_name(0, e.corr.session, &e.tenant)?;
+        }
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let paired = pair_spans(&events);
+    for s in &paired.complete {
+        w.complete(
+            0,
+            s.corr.session,
+            s.name,
+            s.start_us,
+            s.end_us - s.start_us,
+            &[("tenant", s.tenant.to_string()), ("seq", s.corr.seq.to_string())],
+        )?;
+    }
+    for e in &events {
+        if e.kind == SpanKind::Instant {
+            w.instant(0, e.corr.session, e.name, e.ts_us, &[("seq", e.corr.seq.to_string())])?;
+        }
+    }
+    for (k, jp) in profiles.iter().enumerate() {
+        let pid = 100 + k as u64;
+        w.process_name(pid, &format!("sim {} job {} (cycles as µs)", jp.tenant, jp.seq))?;
+        let (wr, first) = w.parts();
+        soff_sim::chrome_trace_events(&jp.report, wr, pid, 0, first)?;
+    }
+    let mut out = w.finish()?;
+    out.flush()?;
+    Ok(events.len())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let o = parse(&args);
 
+    let trace_buf = o.trace.as_ref().map(|_| Arc::new(TraceBuf::new(1 << 16)));
     let mut cfg = ServerConfig {
         device_slots: o.slots,
         slice_cycles: o.slice,
         cache_dir: o.cache_dir.clone(),
+        trace: trace_buf.clone(),
+        // Sample every 4th job per tenant through the cycle profiler when
+        // a trace is requested. Profiling only observes: cycle counts and
+        // the run digest are unchanged.
+        profile: o.trace.as_ref().map(|_| ProfileSampling {
+            every: 4,
+            max_reports: 32,
+            ..ProfileSampling::default()
+        }),
         ..ServerConfig::default()
     };
     if o.overload {
@@ -297,11 +371,20 @@ fn main() {
         digest = fnv(digest, &run.digest.to_le_bytes());
     }
 
-    let mut turnarounds: Vec<Duration> =
-        runs.iter().flat_map(|r| r.turnarounds.iter().copied()).collect();
-    turnarounds.sort_unstable();
-    let p50 = percentile(&turnarounds, 0.50);
-    let p99 = percentile(&turnarounds, 0.99);
+    // Turnarounds go through the shared log-scale histogram; percentiles
+    // use its explicit nearest-rank rule (rank = clamp(ceil(p·N), 1, N),
+    // reported as the bucket's upper bound — an "at most" value). The
+    // old sorted-vec `round((len-1)·p)` index was off by one at the
+    // boundaries: p99 of 100 samples picked index 98, i.e. rank 99.
+    let turnaround = soff_obs::global().histogram("soff_soak_turnaround_us", &[]);
+    for r in &runs {
+        for &us in &r.turnarounds {
+            turnaround.record(us);
+        }
+    }
+    let tsnap = turnaround.snapshot();
+    let p50_us = tsnap.percentile(0.50);
+    let p99_us = tsnap.percentile(0.99);
     let backpressure: u64 = runs.iter().map(|r| r.backpressure_waits).sum();
 
     let stats = server.stats();
@@ -320,14 +403,15 @@ fn main() {
             t.name, t.completed, t.failed, t.cycles, t.rejected_queue_full, t.rejected_quota
         );
     }
+    let (profiles, profiles_dropped) = server.take_profiles();
     server.shutdown();
     let cache = soff_runtime::cache::stats();
 
     println!(
-        "jobs: completed={completed} failed={failed} in {:.2}s  turnaround p50={:.1}ms p99={:.1}ms",
+        "jobs: completed={completed} failed={failed} in {:.2}s  turnaround p50<={:.1}ms p99<={:.1}ms",
         wall.as_secs_f64(),
-        p50.as_secs_f64() * 1e3,
-        p99.as_secs_f64() * 1e3,
+        p50_us as f64 / 1e3,
+        p99_us as f64 / 1e3,
     );
     println!(
         "scheduling: slices={} preemptions={} fairness(max/min completed)={fairness:.2} \
@@ -359,8 +443,23 @@ fn main() {
         ("preemptions", Json::Int(stats.preemptions as i64)),
         ("fairness", Json::Num(fairness)),
         ("wall_seconds", Json::Num(wall.as_secs_f64())),
-        ("p50_ms", Json::Num(p50.as_secs_f64() * 1e3)),
-        ("p99_ms", Json::Num(p99.as_secs_f64() * 1e3)),
+        ("p50_ms", Json::Num(p50_us as f64 / 1e3)),
+        ("p99_ms", Json::Num(p99_us as f64 / 1e3)),
+        ("turnaround_count", Json::Int(tsnap.count as i64)),
+        ("turnaround_sum_us", Json::Int(tsnap.sum.min(i64::MAX as u64) as i64)),
+        // Nonzero log-scale buckets as [upper_bound_us, count] pairs.
+        ("turnaround_buckets", Json::Arr(
+            tsnap
+                .nonzero_buckets()
+                .iter()
+                .map(|&(le, c)| {
+                    Json::Arr(vec![
+                        Json::Int(le.min(i64::MAX as u64) as i64),
+                        Json::Int(c as i64),
+                    ])
+                })
+                .collect(),
+        )),
         ("disk_hits", Json::Int(cache.disk_hits as i64)),
         ("disk_misses", Json::Int(cache.disk_misses as i64)),
         ("disk_writes", Json::Int(cache.disk_writes as i64)),
@@ -370,6 +469,36 @@ fn main() {
     match write_bench_rows("serve_soak", vec![row]) {
         Ok(p) => println!("wrote {}", p.display()),
         Err(e) => eprintln!("could not write BENCH_serve_soak.json: {e}"),
+    }
+
+    if let Some(path) = &o.metrics {
+        // Serve histograms/counters, runtime cache counters, and the
+        // turnaround histogram above all live on the global registry, so
+        // one exposition covers the whole run.
+        match std::fs::write(path, soff_obs::global().expose()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("could not write metrics to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &o.trace {
+        let buf = trace_buf.as_ref().expect("trace buffer exists with --trace");
+        if buf.dropped() > 0 {
+            eprintln!("trace ring wrapped: {} oldest events dropped", buf.dropped());
+        }
+        if profiles_dropped > 0 {
+            eprintln!("profile reports dropped to max_reports bound: {profiles_dropped}");
+        }
+        match write_merged_trace(path, buf, &profiles) {
+            Ok(n) => println!("wrote {} ({n} serve events, {} sim profiles)", path.display(), profiles.len()),
+            Err(e) => {
+                eprintln!("could not write trace to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 
     if o.overload {

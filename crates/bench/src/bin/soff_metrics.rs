@@ -1,0 +1,224 @@
+//! Inspects observability artifacts produced by `serve_soak` and the
+//! serve layer: validates a Prometheus-style text exposition (or a
+//! Chrome-trace / registry-snapshot JSON file) and prints a per-series
+//! summary, so CI can smoke-check metrics output without a Prometheus
+//! server in the loop.
+//!
+//! Usage:
+//!   soff_metrics FILE...
+//!
+//! `.json` files are checked for JSON well-formedness (the vendored
+//! RFC 8259 checker in `soff-obs`). Anything else is parsed as text
+//! exposition: every non-comment line must be `name{labels} value`,
+//! every histogram must have cumulative non-decreasing `_bucket` series
+//! ending in `+Inf` consistent with its `_count`. Exits non-zero on the
+//! first malformed file.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    labels: String,
+    value: f64,
+}
+
+fn parse_line(line: &str) -> Result<Sample, String> {
+    let line = line.trim_end();
+    let (series, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("no value separator in `{line}`"))?;
+    let value: f64 = match value {
+        "NaN" => f64::NAN,
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse().map_err(|e| format!("bad value `{v}`: {e}"))?,
+    };
+    let (name, labels) = match series.split_once('{') {
+        Some((n, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label set in `{series}`"))?;
+            (n, labels)
+        }
+        None => (series, ""),
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("invalid metric name `{name}`"));
+    }
+    Ok(Sample { name: name.to_string(), labels: labels.to_string(), value })
+}
+
+/// Validates one exposition text; returns (series count, histogram count).
+fn check_exposition(text: &str) -> Result<(usize, usize), String> {
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let at = |msg: String| format!("line {}: {msg}", i + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| at("malformed TYPE comment".into()))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(at(format!("unknown metric type `{kind}`")));
+            }
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_line(line).map_err(at)?);
+    }
+
+    // Every sample must belong to a declared family (histograms declare
+    // the base name; their samples are `_bucket`/`_sum`/`_count`).
+    let family = |name: &str| -> Option<String> {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if types.get(base).is_some_and(|k| k == "histogram") {
+                    return Some(base.to_string());
+                }
+            }
+        }
+        types.contains_key(name).then(|| name.to_string())
+    };
+    for s in &samples {
+        if family(&s.name).is_none() {
+            return Err(format!("sample `{}` has no # TYPE declaration", s.name));
+        }
+    }
+
+    // Histogram shape: per (base, non-le labels), buckets must be
+    // cumulative, end with +Inf, and agree with _count.
+    let mut histograms: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for s in &samples {
+        if let Some(base) = s.name.strip_suffix("_bucket") {
+            if types.get(base).is_some_and(|k| k == "histogram") {
+                let mut le = f64::NAN;
+                let rest: Vec<&str> = s
+                    .labels
+                    .split(',')
+                    .filter(|part| match part.strip_prefix("le=\"") {
+                        Some(v) => {
+                            let v = v.trim_end_matches('"');
+                            le = if v == "+Inf" { f64::INFINITY } else { v.parse().unwrap_or(f64::NAN) };
+                            false
+                        }
+                        None => true,
+                    })
+                    .collect();
+                if le.is_nan() {
+                    return Err(format!("bucket of `{base}` lacks a parseable le label"));
+                }
+                histograms
+                    .entry((base.to_string(), rest.join(",")))
+                    .or_default()
+                    .push((le, s.value));
+            }
+        } else if let Some(base) = s.name.strip_suffix("_count") {
+            if types.get(base).is_some_and(|k| k == "histogram") {
+                counts.insert((base.to_string(), s.labels.clone()), s.value);
+            }
+        }
+    }
+    for ((base, labels), buckets) in &histograms {
+        let mut prev = -1.0f64;
+        for &(le, cum) in buckets {
+            if cum < prev {
+                return Err(format!(
+                    "histogram `{base}{{{labels}}}`: bucket le={le} count {cum} < previous {prev}"
+                ));
+            }
+            prev = cum;
+        }
+        let Some(&(last_le, last_cum)) = buckets.last() else { continue };
+        if !last_le.is_infinite() {
+            return Err(format!("histogram `{base}{{{labels}}}` does not end with le=\"+Inf\""));
+        }
+        if let Some(&count) = counts.get(&(base.clone(), labels.clone())) {
+            if count != last_cum {
+                return Err(format!(
+                    "histogram `{base}{{{labels}}}`: +Inf bucket {last_cum} != _count {count}"
+                ));
+            }
+        } else {
+            return Err(format!("histogram `{base}{{{labels}}}` has no _count sample"));
+        }
+    }
+
+    Ok((samples.len(), histograms.len()))
+}
+
+fn summarize(text: &str) {
+    let mut by_name: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Ok(s) = parse_line(line) {
+            // Summarize base families only; bucket lines would drown them.
+            if s.name.ends_with("_bucket") {
+                continue;
+            }
+            let name = line.split(['{', ' ']).next().unwrap_or("");
+            let slot = by_name.entry(name).or_insert((0, 0.0));
+            slot.0 += 1;
+            if s.value.is_finite() {
+                slot.1 += s.value;
+            }
+        }
+    }
+    for (name, (series, total)) in by_name {
+        println!("  {name}: {series} series, total {total}");
+    }
+}
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: soff_metrics FILE...");
+        return ExitCode::from(2);
+    }
+    let mut ok = true;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        if path.ends_with(".json") {
+            match soff_obs::jsonlint::validate(&text) {
+                Ok(()) => println!("{path}: well-formed JSON ({} bytes)", text.len()),
+                Err(e) => {
+                    eprintln!("{path}: INVALID JSON: {e}");
+                    ok = false;
+                }
+            }
+        } else {
+            match check_exposition(&text) {
+                Ok((samples, hists)) => {
+                    println!("{path}: valid exposition — {samples} samples, {hists} histogram series");
+                    summarize(&text);
+                }
+                Err(e) => {
+                    eprintln!("{path}: INVALID exposition: {e}");
+                    ok = false;
+                }
+            }
+        }
+    }
+    if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+}

@@ -92,6 +92,27 @@ fn run_guarded<I, T>(f: &(impl Fn(usize, I) -> T + Sync), index: usize, item: I)
         .map_err(|p| TaskError::Panicked { message: panic_message(p.as_ref()) })
 }
 
+/// Pool metrics, registered once on the global `soff-obs` registry:
+/// successful steals (how often the round-robin deal was unbalanced
+/// enough for idle workers to poach) and per-task queue latency (push
+/// into a deque → dequeued for execution, in microseconds — the direct
+/// measure of pool backlog).
+struct PoolMetrics {
+    steals: soff_obs::Counter,
+    task_wait_us: soff_obs::Histogram,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: std::sync::OnceLock<PoolMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = soff_obs::global();
+        PoolMetrics {
+            steals: r.counter("soff_exec_steals_total", &[]),
+            task_wait_us: r.histogram("soff_exec_task_wait_us", &[]),
+        }
+    })
+}
+
 /// Executes `f(index, item)` for every item on a pool of `jobs`
 /// workers and returns the results **in input order**.
 ///
@@ -129,6 +150,8 @@ where
     }
 
     let (tx, rx) = mpsc::channel::<(usize, Result<T, TaskError>)>();
+    let metrics = pool_metrics();
+    let pool_start = Instant::now();
     std::thread::scope(|scope| {
         for (wid, worker) in workers.into_iter().enumerate() {
             let tx = tx.clone();
@@ -139,12 +162,16 @@ where
                     // workers do not all gang up on worker 0.
                     (1..stealers.len()).find_map(|off| {
                         match stealers[(wid + off) % stealers.len()].steal() {
-                            deque::Steal::Success(i) => Some(i),
+                            deque::Steal::Success(i) => {
+                                metrics.steals.inc();
+                                Some(i)
+                            }
                             deque::Steal::Empty => None,
                         }
                     })
                 });
                 let Some(index) = next else { break };
+                metrics.task_wait_us.record(pool_start.elapsed().as_micros() as u64);
                 let item = slots[index]
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
@@ -366,6 +393,8 @@ where
         workers[i % jobs].push(i);
     }
     let (tx, rx) = mpsc::channel::<(usize, Result<Completed<T>, TaskError>)>();
+    let metrics = pool_metrics();
+    let pool_start = Instant::now();
     std::thread::scope(|scope| {
         for (wid, worker) in workers.into_iter().enumerate() {
             let tx = tx.clone();
@@ -374,12 +403,16 @@ where
                 let next = worker.pop().or_else(|| {
                     (1..stealers.len()).find_map(|off| {
                         match stealers[(wid + off) % stealers.len()].steal() {
-                            deque::Steal::Success(i) => Some(i),
+                            deque::Steal::Success(i) => {
+                                metrics.steals.inc();
+                                Some(i)
+                            }
                             deque::Steal::Empty => None,
                         }
                     })
                 });
                 let Some(index) = next else { break };
+                metrics.task_wait_us.record(pool_start.elapsed().as_micros() as u64);
                 // The receiver outlives the scope; send cannot fail.
                 let _ = tx.send((index, exec_one(index)));
             });

@@ -1,0 +1,304 @@
+//! Span tracing: begin/end events with correlation IDs, recorded into a
+//! bounded ring buffer.
+//!
+//! A span is two events — `Begin` and `End` — sharing a name and a
+//! [`CorrId`]. Instant events mark points (admit, reject, complete).
+//! The buffer is a fixed-capacity ring guarded by a mutex: recording is
+//! a push + two index bumps, cheap enough for the serve control path
+//! (which already serializes on the server mutex), and bounded so a
+//! soak run cannot grow memory without limit. When the ring wraps, the
+//! oldest events are dropped and `dropped()` counts them, so exports can
+//! say explicitly what they lost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Correlates every event of one request: which tenant session it
+/// belongs to and its per-session sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CorrId {
+    /// Session (tenant connection) identifier.
+    pub session: u64,
+    /// Job sequence number within the session.
+    pub seq: u64,
+}
+
+/// What an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Start of a named interval.
+    Begin,
+    /// End of the most recent matching `Begin`.
+    End,
+    /// A zero-duration point event.
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Interval or point name (static on purpose: span names are code,
+    /// not data, which keeps recording allocation-free).
+    pub name: &'static str,
+    /// Which request this event belongs to.
+    pub corr: CorrId,
+    /// Tenant name (shared: one `Arc<str>` per session, cloned per
+    /// event, so recording stays allocation-free).
+    pub tenant: Arc<str>,
+    /// Marker kind.
+    pub kind: SpanKind,
+    /// Microseconds since the buffer's epoch.
+    pub ts_us: u64,
+    /// Free slot for a small payload (device slot, cycle count, …).
+    pub arg: u64,
+}
+
+struct Ring {
+    events: Vec<SpanEvent>,
+    /// Index of the oldest event.
+    head: usize,
+    /// Number of live events (<= capacity).
+    len: usize,
+}
+
+/// A bounded ring buffer of [`SpanEvent`]s with a shared epoch.
+pub struct TraceBuf {
+    ring: Mutex<Ring>,
+    capacity: usize,
+    epoch: Instant,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let r = self.lock();
+        write!(f, "TraceBuf({}/{} events)", r.len, self.capacity)
+    }
+}
+
+impl TraceBuf {
+    /// A buffer holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> TraceBuf {
+        let capacity = capacity.max(1);
+        TraceBuf {
+            ring: Mutex::new(Ring { events: Vec::with_capacity(capacity), head: 0, len: 0 }),
+            capacity,
+            epoch: Instant::now(),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Ring> {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Microseconds since this buffer's epoch (the timestamp recorded
+    /// by the convenience methods below).
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records a pre-built event.
+    pub fn push(&self, ev: SpanEvent) {
+        let mut r = self.lock();
+        if r.len < self.capacity {
+            if r.events.len() < self.capacity {
+                r.events.push(ev);
+            } else {
+                let idx = (r.head + r.len) % self.capacity;
+                r.events[idx] = ev;
+            }
+            r.len += 1;
+        } else {
+            // Overwrite the oldest.
+            let idx = r.head;
+            r.events[idx] = ev;
+            r.head = (r.head + 1) % self.capacity;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn push_kind(
+        &self,
+        name: &'static str,
+        corr: CorrId,
+        tenant: &Arc<str>,
+        kind: SpanKind,
+        arg: u64,
+    ) {
+        let ts_us = self.now_us();
+        self.push(SpanEvent { name, corr, tenant: Arc::clone(tenant), kind, ts_us, arg });
+    }
+
+    /// Records a `Begin` event now.
+    pub fn begin(&self, name: &'static str, corr: CorrId, tenant: &Arc<str>, arg: u64) {
+        self.push_kind(name, corr, tenant, SpanKind::Begin, arg);
+    }
+
+    /// Records an `End` event now.
+    pub fn end(&self, name: &'static str, corr: CorrId, tenant: &Arc<str>, arg: u64) {
+        self.push_kind(name, corr, tenant, SpanKind::End, arg);
+    }
+
+    /// Records an `Instant` event now.
+    pub fn instant(&self, name: &'static str, corr: CorrId, tenant: &Arc<str>, arg: u64) {
+        self.push_kind(name, corr, tenant, SpanKind::Instant, arg);
+    }
+
+    /// Events dropped because the ring wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Live events, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        let r = self.lock();
+        let mut out = Vec::with_capacity(r.len);
+        for i in 0..r.len {
+            out.push(r.events[(r.head + i) % self.capacity].clone());
+        }
+        out
+    }
+
+    /// Number of live events.
+    pub fn len(&self) -> usize {
+        self.lock().len
+    }
+
+    /// Whether the buffer holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Pairs `Begin`/`End` events from a snapshot into completed intervals,
+/// keyed by `(name, corr)`. Nested/repeated spans with the same key pair
+/// LIFO (innermost `End` closes the most recent `Begin`). Returns the
+/// completed intervals plus any unmatched begins/ends (balance check
+/// material for tests).
+pub fn pair_spans(events: &[SpanEvent]) -> PairedSpans {
+    use std::collections::HashMap;
+    let mut open: HashMap<(&'static str, CorrId), Vec<usize>> = HashMap::new();
+    let mut complete = Vec::new();
+    let mut unmatched_ends = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        match ev.kind {
+            SpanKind::Begin => open.entry((ev.name, ev.corr)).or_default().push(i),
+            SpanKind::End => match open.get_mut(&(ev.name, ev.corr)).and_then(Vec::pop) {
+                Some(b) => complete.push(CompletedSpan {
+                    name: ev.name,
+                    corr: ev.corr,
+                    tenant: Arc::clone(&ev.tenant),
+                    start_us: events[b].ts_us,
+                    end_us: ev.ts_us,
+                    arg: ev.arg,
+                }),
+                None => unmatched_ends.push(i),
+            },
+            SpanKind::Instant => {}
+        }
+    }
+    let mut unmatched_begins: Vec<usize> =
+        open.into_values().flatten().collect();
+    unmatched_begins.sort_unstable();
+    complete.sort_by_key(|s| (s.start_us, s.end_us));
+    PairedSpans { complete, unmatched_begins, unmatched_ends }
+}
+
+/// A matched `Begin`/`End` interval.
+#[derive(Debug, Clone)]
+pub struct CompletedSpan {
+    /// Span name.
+    pub name: &'static str,
+    /// Correlation ID shared by both endpoints.
+    pub corr: CorrId,
+    /// Tenant recorded on the `End` event.
+    pub tenant: Arc<str>,
+    /// Begin timestamp (µs since epoch).
+    pub start_us: u64,
+    /// End timestamp (µs since epoch).
+    pub end_us: u64,
+    /// Payload from the `End` event.
+    pub arg: u64,
+}
+
+/// Result of [`pair_spans`].
+#[derive(Debug, Clone)]
+pub struct PairedSpans {
+    /// Completed intervals sorted by start time.
+    pub complete: Vec<CompletedSpan>,
+    /// Indices of `Begin` events with no matching `End`.
+    pub unmatched_begins: Vec<usize>,
+    /// Indices of `End` events with no matching `Begin`.
+    pub unmatched_ends: Vec<usize>,
+}
+
+impl PairedSpans {
+    /// Whether every begin matched an end and vice versa.
+    pub fn balanced(&self) -> bool {
+        self.unmatched_begins.is_empty() && self.unmatched_ends.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, seq: u64, kind: SpanKind, ts_us: u64) -> SpanEvent {
+        SpanEvent {
+            name,
+            corr: CorrId { session: 1, seq },
+            tenant: Arc::from("t"),
+            kind,
+            ts_us,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let buf = TraceBuf::new(3);
+        for i in 0..5u64 {
+            buf.push(ev("a", i, SpanKind::Instant, i));
+        }
+        let snap = buf.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(
+            snap.iter().map(|e| e.corr.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(buf.dropped(), 2);
+    }
+
+    #[test]
+    fn pairing_is_lifo_per_key_and_reports_imbalance() {
+        let events = vec![
+            ev("slice", 0, SpanKind::Begin, 10),
+            ev("slice", 1, SpanKind::Begin, 11), // different corr, own stack
+            ev("slice", 0, SpanKind::End, 20),
+            ev("queue", 0, SpanKind::End, 21), // never began
+            ev("slice", 1, SpanKind::End, 30),
+            ev("queue", 1, SpanKind::Begin, 31), // never ends
+        ];
+        let paired = pair_spans(&events);
+        assert_eq!(paired.complete.len(), 2);
+        assert_eq!(paired.complete[0].start_us, 10);
+        assert_eq!(paired.complete[0].end_us, 20);
+        assert_eq!(paired.unmatched_ends, vec![3]);
+        assert_eq!(paired.unmatched_begins, vec![5]);
+        assert!(!paired.balanced());
+    }
+
+    #[test]
+    fn timestamps_are_monotone_per_buffer() {
+        let buf = TraceBuf::new(8);
+        let c = CorrId::default();
+        let t: Arc<str> = Arc::from("t");
+        buf.begin("x", c, &t, 0);
+        buf.end("x", c, &t, 0);
+        let snap = buf.snapshot();
+        assert!(snap[0].ts_us <= snap[1].ts_us);
+        assert!(pair_spans(&snap).balanced());
+    }
+}

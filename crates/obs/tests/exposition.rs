@@ -1,0 +1,96 @@
+//! Exposition-format tests: deterministic ordering, label escaping,
+//! empty-registry output, and histogram series shape.
+
+use soff_obs::Registry;
+
+#[test]
+fn empty_registry_exposes_empty_string() {
+    let r = Registry::new();
+    assert_eq!(r.expose(), "");
+    assert_eq!(r.snapshot_json(), "{\"metrics\":[]}");
+    soff_obs::jsonlint::validate(&r.snapshot_json()).unwrap();
+}
+
+#[test]
+fn exposition_order_is_deterministic_and_sorted() {
+    // Register in scrambled order; output must sort by name then labels.
+    let r = Registry::new();
+    r.counter("zeta_total", &[]).inc();
+    r.counter("alpha_total", &[("tenant", "t1")]).add(2);
+    r.counter("alpha_total", &[("tenant", "t0")]).add(1);
+    r.gauge("mid_gauge", &[]).set(1.5);
+
+    let text = r.expose();
+    let expected = "\
+# TYPE alpha_total counter
+alpha_total{tenant=\"t0\"} 1
+alpha_total{tenant=\"t1\"} 2
+# TYPE mid_gauge gauge
+mid_gauge 1.5
+# TYPE zeta_total counter
+zeta_total 1
+";
+    assert_eq!(text, expected);
+
+    // Two renders of the same state are byte-identical.
+    assert_eq!(text, r.expose());
+
+    // A second registry populated in a different order renders the same.
+    let r2 = Registry::new();
+    r2.gauge("mid_gauge", &[]).set(1.5);
+    r2.counter("alpha_total", &[("tenant", "t0")]).add(1);
+    r2.counter("zeta_total", &[]).inc();
+    r2.counter("alpha_total", &[("tenant", "t1")]).add(2);
+    assert_eq!(r2.expose(), expected);
+}
+
+#[test]
+fn label_values_are_escaped() {
+    let r = Registry::new();
+    r.counter("m", &[("path", "a\\b"), ("msg", "say \"hi\"\nbye")]).inc();
+    let text = r.expose();
+    assert!(text.contains("msg=\"say \\\"hi\\\"\\nbye\""), "{text}");
+    assert!(text.contains("path=\"a\\\\b\""), "{text}");
+    // And the JSON snapshot must survive its own escaping.
+    soff_obs::jsonlint::validate(&r.snapshot_json()).unwrap();
+}
+
+#[test]
+fn histogram_series_are_cumulative_and_end_with_inf() {
+    let r = Registry::new();
+    let h = r.histogram("latency_us", &[("tenant", "t0")]);
+    // Values 1, 1, 3, 9: buckets le=1 -> 2, le=3 -> 1, le=15 -> 1.
+    for v in [1u64, 1, 3, 9] {
+        h.record(v);
+    }
+    let text = r.expose();
+    assert!(text.contains("# TYPE latency_us histogram"), "{text}");
+    assert!(text.contains("latency_us_bucket{tenant=\"t0\",le=\"1\"} 2"), "{text}");
+    assert!(text.contains("latency_us_bucket{tenant=\"t0\",le=\"3\"} 3"), "{text}");
+    assert!(text.contains("latency_us_bucket{tenant=\"t0\",le=\"15\"} 4"), "{text}");
+    assert!(text.contains("latency_us_bucket{tenant=\"t0\",le=\"+Inf\"} 4"), "{text}");
+    assert!(text.contains("latency_us_sum{tenant=\"t0\"} 14"), "{text}");
+    assert!(text.contains("latency_us_count{tenant=\"t0\"} 4"), "{text}");
+
+    // Cumulative counts never decrease down the bucket list.
+    let mut last = 0u64;
+    for line in text.lines().filter(|l| l.starts_with("latency_us_bucket")) {
+        let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(v >= last, "bucket series not cumulative: {text}");
+        last = v;
+    }
+}
+
+#[test]
+fn non_finite_gauges_render_prometheus_spellings() {
+    let r = Registry::new();
+    r.gauge("g_nan", &[]).set(f64::NAN);
+    r.gauge("g_pinf", &[]).set(f64::INFINITY);
+    r.gauge("g_ninf", &[]).set(f64::NEG_INFINITY);
+    let text = r.expose();
+    assert!(text.contains("g_nan NaN"), "{text}");
+    assert!(text.contains("g_pinf +Inf"), "{text}");
+    assert!(text.contains("g_ninf -Inf"), "{text}");
+    // JSON snapshot must stay valid despite non-finite values.
+    soff_obs::jsonlint::validate(&r.snapshot_json()).unwrap();
+}

@@ -1,0 +1,118 @@
+//! Histogram property suite: merge associativity/commutativity, bucket
+//! monotonicity, recorded-count conservation, and nearest-rank
+//! percentile agreement with a sorted-vector oracle.
+
+use proptest::prelude::*;
+use soff_obs::metrics::{bucket_index, bucket_upper_bound, NUM_BUCKETS};
+use soff_obs::{Histogram, HistogramSnapshot};
+
+/// Deterministic value stream: splitmix64 over `seed`, scaled into a
+/// mixed range so small and huge values both occur.
+fn values(seed: u64, n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut z = seed;
+    for _ in 0..n {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        // Mix magnitudes: shift by 0..=63 bits depending on the value.
+        out.push(x >> (x % 64));
+    }
+    out
+}
+
+fn snap_of(vals: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::detached();
+    for &v in vals {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Merging is associative and commutative: any grouping of three
+    /// shards produces the same snapshot.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        seed in 0u64..1_000_000,
+        na in 0usize..50,
+        nb in 0usize..50,
+        nc in 0usize..50,
+    ) {
+        let a = snap_of(&values(seed, na));
+        let b = snap_of(&values(seed ^ 0xdead_beef, nb));
+        let c = snap_of(&values(seed ^ 0x1234_5678, nc));
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&a.merge(&b), &b.merge(&a));
+        // Merge of shards equals histogram of the concatenation.
+        let mut all = values(seed, na);
+        all.extend(values(seed ^ 0xdead_beef, nb));
+        all.extend(values(seed ^ 0x1234_5678, nc));
+        prop_assert_eq!(&left, &snap_of(&all));
+    }
+
+    /// Conservation: count equals the number of recorded values, equals
+    /// the bucket sum; sum equals the value total.
+    #[test]
+    fn recorded_count_is_conserved(seed in 0u64..1_000_000, n in 0usize..200) {
+        let vals = values(seed, n);
+        let s = snap_of(&vals);
+        prop_assert_eq!(s.count, n as u64);
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        let total: u64 = vals.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(s.sum, total);
+    }
+
+    /// Every value lands in the unique bucket whose bounds contain it.
+    #[test]
+    fn bucket_bounds_are_monotone_and_tight(v in proptest::arbitrary::any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_upper_bound(i) >= v);
+        if i > 0 {
+            prop_assert!(bucket_upper_bound(i - 1) < v);
+        }
+    }
+
+    /// The histogram's nearest-rank percentile equals the bucket upper
+    /// bound of the sorted-vector nearest-rank oracle — the exact
+    /// semantics `serve_soak` switched to.
+    #[test]
+    fn percentile_matches_sorted_oracle(
+        seed in 0u64..1_000_000,
+        n in 1usize..200,
+        p_mil in 1u32..1001,
+    ) {
+        let p = p_mil as f64 / 1000.0;
+        let mut vals = values(seed, n);
+        let s = snap_of(&vals);
+        vals.sort_unstable();
+        // Nearest rank: 1-based rank ceil(p*N).
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+        let oracle = vals[rank - 1];
+        prop_assert_eq!(s.percentile(p), bucket_upper_bound(bucket_index(oracle)));
+    }
+}
+
+#[test]
+fn bucket_monotonicity_exhaustive_over_powers_of_two() {
+    // Bucket index is non-decreasing in the value, stepping at powers
+    // of two exactly.
+    let mut last = 0;
+    for bit in 0..64u32 {
+        let v = 1u64 << bit;
+        let i = bucket_index(v);
+        assert!(i >= last);
+        assert_eq!(i, bucket_index(v + (v - 1).min(1)));
+        if v > 1 {
+            assert_eq!(bucket_index(v - 1), i - 1, "boundary at 2^{bit}");
+        }
+        last = i;
+    }
+}

@@ -55,10 +55,10 @@
 use crate::store::{DiskStore, Lookup};
 use crate::{BuildError, Program};
 use soff_ir::ir::Module;
+use soff_obs::Counter;
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// FNV-1a over a byte slice, folded into a running state (so multiple
@@ -126,13 +126,24 @@ struct ShelfInner<T> {
 
 struct Shelf<T> {
     inner: Mutex<ShelfInner<T>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    // `soff-obs` counters: the process-wide shelves register theirs on
+    // the global registry (see `frontend_shelf`/`program_shelf`), so
+    // cache traffic shows up in the metrics exposition with no second
+    // bookkeeping path; plain `Shelf::new` uses detached cells.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl<T: Clone> Shelf<T> {
+    /// A shelf with detached (unregistered) counters — the generic
+    /// tests exercise LRU behavior without touching the global registry.
+    #[cfg(test)]
     fn new() -> Shelf<T> {
+        Shelf::with_counters(Counter::detached(), Counter::detached(), Counter::detached())
+    }
+
+    fn with_counters(hits: Counter, misses: Counter, evictions: Counter) -> Shelf<T> {
         Shelf {
             inner: Mutex::new(ShelfInner {
                 map: HashMap::new(),
@@ -140,9 +151,9 @@ impl<T: Clone> Shelf<T> {
                 capacity: DEFAULT_CAPACITY,
                 tick: 0,
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits,
+            misses,
+            evictions,
         }
     }
 
@@ -164,8 +175,8 @@ impl<T: Clone> Shelf<T> {
         });
         drop(inner);
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
         };
         found
     }
@@ -191,7 +202,7 @@ impl<T: Clone> Shelf<T> {
         }
         drop(inner);
         if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.evictions.add(evicted);
         }
     }
 
@@ -206,7 +217,7 @@ impl<T: Clone> Shelf<T> {
         }
         drop(inner);
         if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.evictions.add(evicted);
         }
     }
 
@@ -236,34 +247,54 @@ fn evict_lru<T>(inner: &mut ShelfInner<T>) {
     }
 }
 
+/// Registers the three shelf counters for one cache tier on the global
+/// metrics registry.
+fn tier_counters(tier: &str) -> (Counter, Counter, Counter) {
+    let r = soff_obs::global();
+    (
+        r.counter("soff_cache_hits_total", &[("tier", tier)]),
+        r.counter("soff_cache_misses_total", &[("tier", tier)]),
+        r.counter("soff_cache_evictions_total", &[("tier", tier)]),
+    )
+}
+
 fn frontend_shelf() -> &'static Shelf<Arc<Module>> {
     static SHELF: OnceLock<Shelf<Arc<Module>>> = OnceLock::new();
-    SHELF.get_or_init(Shelf::new)
+    SHELF.get_or_init(|| {
+        let (h, m, e) = tier_counters("frontend");
+        Shelf::with_counters(h, m, e)
+    })
 }
 
 fn program_shelf() -> &'static Shelf<Program> {
     static SHELF: OnceLock<Shelf<Program>> = OnceLock::new();
-    SHELF.get_or_init(Shelf::new)
+    SHELF.get_or_init(|| {
+        let (h, m, e) = tier_counters("program");
+        Shelf::with_counters(h, m, e)
+    })
 }
 
 // ------------------------------------------------------------- disk layer
 
 struct DiskState {
     store: Mutex<Option<Arc<DiskStore>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    writes: AtomicU64,
-    corrupt: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    writes: Counter,
+    corrupt: Counter,
 }
 
 fn disk_state() -> &'static DiskState {
     static STATE: OnceLock<DiskState> = OnceLock::new();
-    STATE.get_or_init(|| DiskState {
-        store: Mutex::new(None),
-        hits: AtomicU64::new(0),
-        misses: AtomicU64::new(0),
-        writes: AtomicU64::new(0),
-        corrupt: AtomicU64::new(0),
+    STATE.get_or_init(|| {
+        let r = soff_obs::global();
+        DiskState {
+            store: Mutex::new(None),
+            hits: r.counter("soff_cache_hits_total", &[("tier", "disk")]),
+            misses: r.counter("soff_cache_misses_total", &[("tier", "disk")]),
+            writes: r.counter("soff_cache_disk_writes_total", &[]),
+            corrupt: r.counter("soff_cache_disk_corrupt_total", &[]),
+        }
     })
 }
 
@@ -295,15 +326,15 @@ fn disk_get(store: &DiskStore, kind: &str, key: u64, material: &str) -> Option<V
     let state = disk_state();
     match store.get(kind, key, material) {
         Lookup::Hit(payload) => {
-            state.hits.fetch_add(1, Ordering::Relaxed);
+            state.hits.inc();
             Some(payload)
         }
         Lookup::Miss => {
-            state.misses.fetch_add(1, Ordering::Relaxed);
+            state.misses.inc();
             None
         }
         Lookup::Corrupt => {
-            state.corrupt.fetch_add(1, Ordering::Relaxed);
+            state.corrupt.inc();
             None
         }
     }
@@ -313,14 +344,14 @@ fn disk_get(store: &DiskStore, kind: &str, key: u64, material: &str) -> Option<V
 /// memory layers already hold the value).
 fn disk_put(store: &DiskStore, kind: &str, key: u64, material: &str, payload: &[u8]) {
     if store.put(kind, key, material, payload).is_ok() {
-        disk_state().writes.fetch_add(1, Ordering::Relaxed);
+        disk_state().writes.inc();
     }
 }
 
 /// Marks a decoded-but-invalid object corrupt: deletes it and counts it.
 fn disk_discredit(store: &DiskStore, kind: &str, key: u64) {
     let _ = std::fs::remove_file(store.dir().join(format!("{kind}-{key:016x}.obj")));
-    disk_state().corrupt.fetch_add(1, Ordering::Relaxed);
+    disk_state().corrupt.inc();
 }
 
 /// Compiles and lowers `source`, sharing the result process-wide: the
@@ -458,20 +489,23 @@ impl CacheStats {
     }
 }
 
-/// Current counters.
+/// Current counters. `CacheStats` is a snapshot *view* of the
+/// registry-backed counters: the same cells feed the metrics
+/// exposition, so this struct and `soff_cache_*` series can never
+/// disagree.
 pub fn stats() -> CacheStats {
     let (f, p, d) = (frontend_shelf(), program_shelf(), disk_state());
     CacheStats {
-        frontend_hits: f.hits.load(Ordering::Relaxed),
-        frontend_misses: f.misses.load(Ordering::Relaxed),
-        frontend_evictions: f.evictions.load(Ordering::Relaxed),
-        program_hits: p.hits.load(Ordering::Relaxed),
-        program_misses: p.misses.load(Ordering::Relaxed),
-        program_evictions: p.evictions.load(Ordering::Relaxed),
-        disk_hits: d.hits.load(Ordering::Relaxed),
-        disk_misses: d.misses.load(Ordering::Relaxed),
-        disk_writes: d.writes.load(Ordering::Relaxed),
-        disk_corrupt: d.corrupt.load(Ordering::Relaxed),
+        frontend_hits: f.hits.get(),
+        frontend_misses: f.misses.get(),
+        frontend_evictions: f.evictions.get(),
+        program_hits: p.hits.get(),
+        program_misses: p.misses.get(),
+        program_evictions: p.evictions.get(),
+        disk_hits: d.hits.get(),
+        disk_misses: d.misses.get(),
+        disk_writes: d.writes.get(),
+        disk_corrupt: d.corrupt.get(),
     }
 }
 
@@ -490,7 +524,7 @@ pub fn reset_stats() {
         &d.writes,
         &d.corrupt,
     ] {
-        counter.store(0, Ordering::Relaxed);
+        counter.reset();
     }
 }
 
@@ -568,7 +602,7 @@ mod tests {
         assert_eq!(shelf.get(0, "m0"), Some(0));
         shelf.put(99, "m99".to_string(), 99);
         assert_eq!(shelf.len(), 3);
-        assert_eq!(shelf.evictions.load(Ordering::Relaxed), 1);
+        assert_eq!(shelf.evictions.get(), 1);
         assert_eq!(shelf.get(1, "m1"), None, "LRU entry evicted");
         assert_eq!(shelf.get(0, "m0"), Some(0), "recently used entry kept");
         assert_eq!(shelf.get(99, "m99"), Some(99), "new entry kept");
@@ -582,7 +616,7 @@ mod tests {
         }
         shelf.resize(4);
         assert_eq!(shelf.len(), 4);
-        assert_eq!(shelf.evictions.load(Ordering::Relaxed), 6);
+        assert_eq!(shelf.evictions.get(), 6);
         // The four most recently inserted entries survive.
         for i in 6..10u32 {
             assert_eq!(shelf.get(i as u64, &format!("m{i}")), Some(i));

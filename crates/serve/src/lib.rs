@@ -31,7 +31,19 @@
 //!   error and a bounded retry (via [`soff_exec::RetryPolicy`] backoff);
 //!   its device memory is rolled back to the pre-launch state, and no
 //!   other tenant observes anything but scheduling latency.
+//! - **First-class observability.** Every server instruments the full
+//!   request path on a `soff-obs` registry ([`ServerConfig::registry`];
+//!   the process-global one by default): per-tenant queue-wait and
+//!   slice-duration histograms, per-class rejection counters, slice /
+//!   preemption counters, a queue-depth gauge, and a completion-fairness
+//!   gauge. With [`ServerConfig::trace`] set, the admit → queue → slice
+//!   → settle path additionally records begin/end spans with
+//!   tenant/session/job correlation IDs into a bounded ring buffer, and
+//!   [`ServerConfig::profile`] samples jobs through the simulator's
+//!   cycle profiler so serve-level spans and in-kernel timelines export
+//!   into one merged Chrome trace ([`Server::take_profiles`]).
 
+use soff_obs::{CorrId, Counter, Gauge, Histogram, Registry, TraceBuf};
 use soff_runtime::{CompiledKernel, Context};
 use soff_sim::{CancelToken, FaultPlan, RunControl, Scheduler, SimError, Snapshot};
 use std::collections::{HashMap, VecDeque};
@@ -109,6 +121,58 @@ pub struct ServerConfig {
     /// Directory for the crash-safe shared compile store; `None` keeps
     /// compiles in memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Metrics registry to instrument on. `None` (the default) uses the
+    /// process-global [`soff_obs::global`] registry; tests pass their own
+    /// for isolation.
+    pub registry: Option<Arc<Registry>>,
+    /// Span ring buffer for request-path tracing (admit → queue → slice
+    /// → settle). `None` (the default) disables span recording entirely.
+    pub trace: Option<Arc<TraceBuf>>,
+    /// Sampled simulator profiling: every N-th job per session runs with
+    /// the cycle profiler attached. `None` (the default) disables it.
+    /// Profiling is observational — job results and cycle counts stay
+    /// bit-identical (see [`soff_sim`]'s profiler contract).
+    pub profile: Option<ProfileSampling>,
+}
+
+/// Sampled-profiling policy ([`ServerConfig::profile`]).
+#[derive(Debug, Clone)]
+pub struct ProfileSampling {
+    /// Profiler configuration for sampled jobs.
+    pub config: soff_sim::ProfileConfig,
+    /// Sample every N-th job per session (1 = every job; 0 behaves as 1).
+    /// The decision is made at admission and fixed for the job's whole
+    /// life, so slice snapshots stay self-consistent.
+    pub every: u64,
+    /// Bound on retained [`JobProfile`] reports (oldest kept; further
+    /// reports are dropped). Collect with [`Server::take_profiles`].
+    pub max_reports: usize,
+}
+
+impl Default for ProfileSampling {
+    fn default() -> Self {
+        ProfileSampling {
+            config: soff_sim::ProfileConfig::default(),
+            every: 1,
+            max_reports: 64,
+        }
+    }
+}
+
+/// A sampled job's simulator profile, tagged with its origin.
+#[derive(Debug)]
+pub struct JobProfile {
+    /// Tenant name.
+    pub tenant: String,
+    /// Session id the job ran under.
+    pub session: u32,
+    /// Job sequence number within the session.
+    pub seq: u64,
+    /// When the job settled, in µs on the server's trace clock (0 when
+    /// no trace buffer is configured).
+    pub settled_us: u64,
+    /// The simulator's cycle-level report for the whole job.
+    pub report: Box<soff_sim::ProfileReport>,
 }
 
 impl Default for ServerConfig {
@@ -123,6 +187,9 @@ impl Default for ServerConfig {
             max_cycles: 500_000_000,
             retry: RetryPolicy { max_attempts: 2, ..RetryPolicy::default() },
             cache_dir: None,
+            registry: None,
+            trace: None,
+            profile: None,
         }
     }
 }
@@ -208,6 +275,35 @@ pub enum ServeError {
     /// The job id is unknown (never existed, or its result was already
     /// consumed by `wait`).
     UnknownJob,
+}
+
+impl ServeError {
+    /// Stable, low-cardinality class label for metrics (the `class`
+    /// label on `soff_serve_rejections_total`). One label per variant —
+    /// queue-full and quota variants split by scope/kind, since which
+    /// bound trips is exactly what an operator tunes.
+    pub fn class(&self) -> &'static str {
+        match self {
+            ServeError::Shedding => "shedding",
+            ServeError::Closed => "closed",
+            ServeError::QueueFull { scope: QueueScope::Tenant, .. } => "queue_full_tenant",
+            ServeError::QueueFull { scope: QueueScope::Global, .. } => "queue_full_global",
+            ServeError::QuotaExceeded { what: QuotaKind::InFlight, .. } => "quota_in_flight",
+            ServeError::QuotaExceeded { what: QuotaKind::JobCycles, .. } => "quota_job_cycles",
+            ServeError::QuotaExceeded { what: QuotaKind::TotalCycles, .. } => {
+                "quota_total_cycles"
+            }
+            ServeError::QuotaExceeded { what: QuotaKind::Wall, .. } => "quota_wall",
+            ServeError::Build(_) => "build",
+            ServeError::Launch(_) => "launch",
+            ServeError::UnknownKernel { .. } => "unknown_kernel",
+            ServeError::Hung { .. } => "hung",
+            ServeError::Faulted { .. } => "faulted",
+            ServeError::Panicked { .. } => "panicked",
+            ServeError::Cancelled => "cancelled",
+            ServeError::UnknownJob => "unknown_job",
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -297,8 +393,39 @@ pub struct TenantStats {
     pub rejected_quota: u64,
     /// Enqueues rejected while shedding.
     pub rejected_shedding: u64,
+    /// Admission rejections by [`ServeError::class`]. The legacy
+    /// `rejected_*` fields above are coarse sums over this breakdown and
+    /// stay in sync with it.
+    pub rejections: RejectionBreakdown,
     /// Retry attempts performed for this tenant's jobs.
     pub retries: u64,
+}
+
+/// Per-class admission-rejection counts (one field per class the
+/// admission path can emit; execution-time failures are not rejections).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejectionBreakdown {
+    /// Rejected while load-shedding (`shedding`).
+    pub shedding: u64,
+    /// Tenant queue bound hit (`queue_full_tenant`).
+    pub queue_full_tenant: u64,
+    /// Global queue bound hit (`queue_full_global`).
+    pub queue_full_global: u64,
+    /// In-flight quota hit (`quota_in_flight`).
+    pub quota_in_flight: u64,
+    /// Total-cycles quota already exhausted (`quota_total_cycles`).
+    pub quota_total_cycles: u64,
+}
+
+impl RejectionBreakdown {
+    /// Sum across all classes.
+    pub fn total(&self) -> u64 {
+        self.shedding
+            + self.queue_full_tenant
+            + self.queue_full_global
+            + self.quota_in_flight
+            + self.quota_total_cycles
+    }
 }
 
 /// Server-wide accounting snapshot.
@@ -359,6 +486,14 @@ struct Job {
     /// containment rollback on failure/retry. Taken lazily at first
     /// dispatch.
     gm_backup: Option<soff_ir::mem::GlobalMemory>,
+    /// Profiler config when this job was sampled for profiling. Decided
+    /// once at admission and constant for the job's life: slice snapshots
+    /// fingerprint the profiling decision, so flipping it mid-job would
+    /// invalidate resume.
+    profile: Option<soff_sim::ProfileConfig>,
+    /// When the job last entered a queue (admission or requeue), for the
+    /// queue-wait histogram.
+    queued_at: Instant,
 }
 
 enum JobState {
@@ -387,6 +522,19 @@ struct Tenant {
     pending_faults: FaultPlan,
     pending_panic: bool,
     stats: TenantStats,
+    obs: TenantObs,
+}
+
+/// Per-tenant observability handles, registered once at connect.
+struct TenantObs {
+    /// Tenant name as a shared label (also the span tenant tag).
+    label: Arc<str>,
+    /// `soff_serve_queue_wait_us{tenant}`: µs a job waited in queue
+    /// before each dispatch (one sample per dispatch, including
+    /// re-dispatch after preemption/retry).
+    queue_wait_us: Histogram,
+    /// `soff_serve_slice_us{tenant}`: host wall µs per execution slice.
+    slice_us: Histogram,
 }
 
 impl Tenant {
@@ -408,6 +556,10 @@ struct State {
     shutdown: bool,
     slices: u64,
     preemptions: u64,
+    /// Retained sampled-profiling reports (bounded by
+    /// [`ProfileSampling::max_reports`]; overflow counted in `profiles_dropped`).
+    profiles: Vec<JobProfile>,
+    profiles_dropped: u64,
 }
 
 struct Inner {
@@ -419,6 +571,63 @@ struct Inner {
     /// (clients wait here).
     progress: Condvar,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    obs: ServeObs,
+}
+
+/// Server-wide observability handles, registered once at startup.
+struct ServeObs {
+    /// `None` → the process-global registry (resolved via
+    /// [`ServeObs::registry`]; per-tenant and per-class series are
+    /// registered lazily against the same resolution).
+    registry: Option<Arc<Registry>>,
+    trace: Option<Arc<TraceBuf>>,
+    /// `soff_serve_slices_total`: execution slices run.
+    slices: Counter,
+    /// `soff_serve_preemptions_total`: slices ending in preemption.
+    preemptions: Counter,
+    /// `soff_serve_queue_depth`: jobs admitted and not yet settled
+    /// (queued + running), across all tenants.
+    queue_depth: Gauge,
+    /// `soff_serve_completion_fairness`: live max/min completed-jobs
+    /// ratio (see [`ServerStats::completion_fairness`]), recomputed at
+    /// every job completion.
+    fairness: Gauge,
+}
+
+impl ServeObs {
+    fn new(registry: Option<Arc<Registry>>, trace: Option<Arc<TraceBuf>>) -> ServeObs {
+        let r = match &registry {
+            Some(r) => r.as_ref(),
+            None => soff_obs::global(),
+        };
+        let slices = r.counter("soff_serve_slices_total", &[]);
+        let preemptions = r.counter("soff_serve_preemptions_total", &[]);
+        let queue_depth = r.gauge("soff_serve_queue_depth", &[]);
+        let fairness = r.gauge("soff_serve_completion_fairness", &[]);
+        ServeObs { registry, trace, slices, preemptions, queue_depth, fairness }
+    }
+
+    fn registry(&self) -> &Registry {
+        match &self.registry {
+            Some(r) => r.as_ref(),
+            None => soff_obs::global(),
+        }
+    }
+
+    /// Lazily-registered per-tenant/per-class rejection counter. Lookup
+    /// takes the registry mutex, which is fine on the rejection path —
+    /// rejections are the rare case, and the handle cache inside the
+    /// registry makes repeat lookups a map probe.
+    fn rejection(&self, tenant: &str, class: &'static str) -> Counter {
+        self.registry()
+            .counter("soff_serve_rejections_total", &[("tenant", tenant), ("class", class)])
+    }
+
+    /// Lazily-registered per-tenant/per-outcome job counter.
+    fn job_outcome(&self, tenant: &str, outcome: &'static str) -> Counter {
+        self.registry()
+            .counter("soff_serve_jobs_total", &[("tenant", tenant), ("outcome", outcome)])
+    }
 }
 
 /// How a slice ended (computed off-lock by a worker).
@@ -463,6 +672,7 @@ impl Server {
             soff_runtime::cache::set_disk_store(Some(dir))?;
         }
         let slots = cfg.device_slots;
+        let obs = ServeObs::new(cfg.registry.clone(), cfg.trace.clone());
         let inner = Arc::new(Inner {
             cfg,
             state: Mutex::new(State {
@@ -474,10 +684,13 @@ impl Server {
                 shutdown: false,
                 slices: 0,
                 preemptions: 0,
+                profiles: Vec::new(),
+                profiles_dropped: 0,
             }),
             work_ready: Condvar::new(),
             progress: Condvar::new(),
             workers: Mutex::new(Vec::new()),
+            obs,
         });
         let mut handles = Vec::with_capacity(slots);
         for slot in 0..slots {
@@ -523,6 +736,19 @@ impl Server {
         }
         let id = st.next_session;
         st.next_session += 1;
+        let obs = TenantObs {
+            label: Arc::from(name),
+            queue_wait_us: self
+                .inner
+                .obs
+                .registry()
+                .histogram("soff_serve_queue_wait_us", &[("tenant", name)]),
+            slice_us: self
+                .inner
+                .obs
+                .registry()
+                .histogram("soff_serve_slice_us", &[("tenant", name)]),
+        };
         st.tenants.insert(
             id,
             Tenant {
@@ -537,6 +763,7 @@ impl Server {
                 pending_faults: FaultPlan::none(),
                 pending_panic: false,
                 stats: TenantStats { name: name.to_string(), ..TenantStats::default() },
+                obs,
             },
         );
         st.session_order.push(id);
@@ -567,6 +794,16 @@ impl Server {
             slices: st.slices,
             preemptions: st.preemptions,
         }
+    }
+
+    /// Drains the retained sampled-profiling reports collected so far
+    /// (oldest first). Empty unless [`ServerConfig::profile`] is set.
+    /// Also returns how many reports were dropped to the
+    /// [`ProfileSampling::max_reports`] bound since the last call.
+    pub fn take_profiles(&self) -> (Vec<JobProfile>, u64) {
+        let mut st = lock(&self.inner.state);
+        let dropped = std::mem::take(&mut st.profiles_dropped);
+        (std::mem::take(&mut st.profiles), dropped)
     }
 
     /// Stops admitting, drains every queued job, and joins the workers.
@@ -731,46 +968,91 @@ impl Session {
                 }
                 // Admission control order: shed, global bound, tenant
                 // bound, quotas — cheapest and most systemic first.
+                // Every rejection bumps the legacy coarse stat, the
+                // per-class breakdown, and the labeled registry counter;
+                // `reject()` keeps the three in lockstep.
+                let obs = &self.inner.obs;
+                let tenant_session = self.id as u64;
+                let reject = |tenant: &mut Tenant, err: ServeError| {
+                    let b = &mut tenant.stats.rejections;
+                    match err.class() {
+                        "shedding" => {
+                            b.shedding += 1;
+                            tenant.stats.rejected_shedding += 1;
+                        }
+                        "queue_full_tenant" => {
+                            b.queue_full_tenant += 1;
+                            tenant.stats.rejected_queue_full += 1;
+                        }
+                        "queue_full_global" => {
+                            b.queue_full_global += 1;
+                            tenant.stats.rejected_queue_full += 1;
+                        }
+                        "quota_in_flight" => {
+                            b.quota_in_flight += 1;
+                            tenant.stats.rejected_quota += 1;
+                        }
+                        _ => {
+                            b.quota_total_cycles += 1;
+                            tenant.stats.rejected_quota += 1;
+                        }
+                    }
+                    obs.rejection(&tenant.stats.name, err.class()).inc();
+                    if let Some(tr) = &obs.trace {
+                        let corr = CorrId { session: tenant_session, seq: tenant.next_seq };
+                        tr.instant("reject", corr, &tenant.obs.label, 0);
+                    }
+                    Err(err)
+                };
                 if shedding {
-                    tenant.stats.rejected_shedding += 1;
-                    return Err(ServeError::Shedding);
+                    return reject(tenant, ServeError::Shedding);
                 }
                 if global_queued >= global_cap {
-                    tenant.stats.rejected_queue_full += 1;
-                    return Err(ServeError::QueueFull {
-                        scope: QueueScope::Global,
-                        limit: global_cap,
-                    });
+                    return reject(
+                        tenant,
+                        ServeError::QueueFull { scope: QueueScope::Global, limit: global_cap },
+                    );
                 }
                 if tenant.queue.len() >= tenant.quota.queue_depth {
-                    tenant.stats.rejected_queue_full += 1;
-                    return Err(ServeError::QueueFull {
-                        scope: QueueScope::Tenant,
-                        limit: tenant.quota.queue_depth,
-                    });
+                    return reject(
+                        tenant,
+                        ServeError::QueueFull {
+                            scope: QueueScope::Tenant,
+                            limit: tenant.quota.queue_depth,
+                        },
+                    );
                 }
                 if tenant.in_flight() >= tenant.quota.max_in_flight {
-                    tenant.stats.rejected_quota += 1;
-                    return Err(ServeError::QuotaExceeded {
-                        what: QuotaKind::InFlight,
-                        used: tenant.in_flight() as u64,
-                        limit: tenant.quota.max_in_flight as u64,
-                    });
+                    let used = tenant.in_flight() as u64;
+                    let limit = tenant.quota.max_in_flight as u64;
+                    return reject(
+                        tenant,
+                        ServeError::QuotaExceeded { what: QuotaKind::InFlight, used, limit },
+                    );
                 }
                 if let Some(total) = tenant.quota.max_total_cycles {
                     if tenant.stats.cycles >= total {
-                        tenant.stats.rejected_quota += 1;
-                        return Err(ServeError::QuotaExceeded {
-                            what: QuotaKind::TotalCycles,
-                            used: tenant.stats.cycles,
-                            limit: total,
-                        });
+                        let used = tenant.stats.cycles;
+                        return reject(
+                            tenant,
+                            ServeError::QuotaExceeded {
+                                what: QuotaKind::TotalCycles,
+                                used,
+                                limit: total,
+                            },
+                        );
                     }
                 }
                 if let Some(ctx) = tenant.ctx.as_ref() {
                     let args = ctx.prepare_launch(kernel, nd)?;
                     let seq = tenant.next_seq;
                     tenant.next_seq += 1;
+                    // The profiling decision is fixed here for the job's
+                    // whole life: slice snapshots fingerprint it, so it
+                    // must not change between slices.
+                    let profile = self.inner.cfg.profile.as_ref().and_then(|ps| {
+                        (seq % ps.every.max(1) == 0).then_some(ps.config)
+                    });
                     let job = Job {
                         kernel: kernel.clone(),
                         args,
@@ -785,10 +1067,19 @@ impl Session {
                         sabotage_panic: std::mem::take(&mut tenant.pending_panic),
                         not_before: None,
                         gm_backup: None,
+                        profile,
+                        queued_at: Instant::now(),
                     };
                     tenant.jobs.insert(seq, JobState::Queued(Box::new(job)));
                     tenant.queue.push_back(seq);
                     st.global_queued += 1;
+                    self.inner.obs.queue_depth.set(st.global_queued as f64);
+                    if let Some(tr) = &self.inner.obs.trace {
+                        let tenant = st.tenants.get(&self.id).expect("tenant checked above");
+                        let corr = CorrId { session: tenant_session, seq };
+                        tr.instant("admit", corr, &tenant.obs.label, 0);
+                        tr.begin("queue", corr, &tenant.obs.label, 0);
+                    }
                     self.inner.work_ready.notify_one();
                     return Ok(JobId { session: self.id, seq });
                 }
@@ -816,6 +1107,16 @@ impl Session {
                 tenant.queue.retain(|&s| s != job.seq);
                 tenant.stats.cancelled += 1;
                 state.global_queued -= 1;
+                let obs = &self.inner.obs;
+                obs.queue_depth.set(state.global_queued as f64);
+                obs.job_outcome(&tenant.stats.name, "cancelled").inc();
+                if let Some(tr) = &obs.trace {
+                    // Close the admission-time "queue" span: the job
+                    // leaves the queue here, not at a dispatch.
+                    let corr = CorrId { session: self.id as u64, seq: job.seq };
+                    tr.end("queue", corr, &tenant.obs.label, 0);
+                    tr.instant("cancel", corr, &tenant.obs.label, 0);
+                }
                 self.inner.progress.notify_all();
                 true
             }
@@ -929,14 +1230,24 @@ fn worker_loop(inner: &Inner) {
                 };
                 tenant.on_worker = true;
                 tenant.running_cancel = Some(job.cancel.clone());
+                let corr = CorrId { session: sid as u64, seq };
+                let wait_us = job.queued_at.elapsed().as_micros() as u64;
+                tenant.obs.queue_wait_us.record(wait_us);
+                if let Some(tr) = &inner.obs.trace {
+                    tr.end("queue", corr, &tenant.obs.label, wait_us);
+                    tr.begin("slice", corr, &tenant.obs.label, job.cycles_done);
+                }
                 let mut ctx = tenant.ctx.take().expect("ctx resident when not on worker");
                 st.slices += 1;
+                inner.obs.slices.inc();
                 drop(st);
 
+                let slice_started = Instant::now();
                 let outcome = run_slice(&inner.cfg, &mut ctx, &mut job);
+                let slice_us = slice_started.elapsed().as_micros() as u64;
 
                 st = lock(&inner.state);
-                settle(inner, &mut st, sid, seq, job, ctx, outcome);
+                settle(inner, &mut st, sid, seq, job, ctx, outcome, slice_us);
             }
             None => {
                 let all_drained = st.global_queued == 0
@@ -1000,6 +1311,9 @@ fn run_slice(cfg: &ServerConfig, ctx: &mut Context, job: &mut Job) -> SliceOutco
     let mut sim_cfg = ctx.launch_config(ck);
     sim_cfg.max_cycles = cfg.max_cycles;
     sim_cfg.faults = job.faults.clone();
+    // Fixed at admission (snapshots fingerprint the profiling decision);
+    // the profiler is observational, so cycle counts are unaffected.
+    sim_cfg.profile = job.profile;
     let slice_end = job.cycles_done + cfg.slice_cycles.max(1);
     let mut ctl = RunControl::unlimited();
     ctl.cycle_deadline = Some(slice_end);
@@ -1064,6 +1378,7 @@ fn run_slice(cfg: &ServerConfig, ctx: &mut Context, job: &mut Job) -> SliceOutco
 
 /// Folds a slice outcome back into the shared state: accounting, quota
 /// checks, retry/rollback, completion, and wakeups.
+#[allow(clippy::too_many_arguments)]
 fn settle(
     inner: &Inner,
     st: &mut MutexGuard<'_, State>,
@@ -1072,6 +1387,7 @@ fn settle(
     mut job: Box<Job>,
     mut ctx: Context,
     outcome: SliceOutcome,
+    slice_us: u64,
 ) {
     let device = inner.cfg.device.clone();
     let retry = inner.cfg.retry;
@@ -1080,6 +1396,8 @@ fn settle(
     let state = &mut **st;
     let tenant = state.tenants.get_mut(&sid).expect("tenant exists while job in flight");
     tenant.running_cancel = None;
+    tenant.obs.slice_us.record(slice_us);
+    let corr = CorrId { session: sid as u64, seq };
 
     // Charge consumed simulated cycles to the tenant regardless of how
     // the slice ended (consumed device time is consumed).
@@ -1092,23 +1410,46 @@ fn settle(
         }
     };
     tenant.stats.cycles += end_cycle.saturating_sub(job.cycles_done);
+    if let Some(tr) = &inner.obs.trace {
+        tr.end("slice", corr, &tenant.obs.label, end_cycle);
+    }
 
     enum Next {
         Requeue(Box<Job>),
         Finished(Result<JobOutput, ServeError>),
     }
 
+    let mut finished = false;
     let next = match outcome {
-        SliceOutcome::Done(sim) => Next::Finished(Ok(JobOutput {
-            cycles: sim.cycles,
-            retired: sim.retired,
-            seconds: device.cycles_to_seconds(sim.cycles),
-            slices: job.slices,
-            attempts: job.attempts + 1,
-        })),
+        SliceOutcome::Done(mut sim) => {
+            // A sampled job's profiler rode along in every snapshot, so
+            // the final slice's report covers the whole job.
+            if let Some(report) = sim.profile.take() {
+                let bound = inner.cfg.profile.as_ref().map_or(0, |ps| ps.max_reports);
+                if state.profiles.len() < bound {
+                    state.profiles.push(JobProfile {
+                        tenant: tenant.stats.name.clone(),
+                        session: sid,
+                        seq,
+                        settled_us: inner.obs.trace.as_ref().map_or(0, |tr| tr.now_us()),
+                        report,
+                    });
+                } else {
+                    state.profiles_dropped += 1;
+                }
+            }
+            Next::Finished(Ok(JobOutput {
+                cycles: sim.cycles,
+                retired: sim.retired,
+                seconds: device.cycles_to_seconds(sim.cycles),
+                slices: job.slices,
+                attempts: job.attempts + 1,
+            }))
+        }
         SliceOutcome::Cancelled { .. } => Next::Finished(Err(ServeError::Cancelled)),
         SliceOutcome::Preempted { cycle, snapshot } => {
             state.preemptions += 1;
+            inner.obs.preemptions.inc();
             job.cycles_done = cycle;
             job.snapshot = Some(snapshot);
             // Slice-boundary quota checks.
@@ -1167,22 +1508,51 @@ fn settle(
     };
 
     match next {
-        Next::Requeue(job) => {
+        Next::Requeue(mut job) => {
+            job.queued_at = Instant::now();
+            if let Some(tr) = &inner.obs.trace {
+                tr.begin("queue", corr, &tenant.obs.label, job.cycles_done);
+            }
             tenant.queue.push_front(seq);
             tenant.jobs.insert(seq, JobState::Queued(job));
         }
         Next::Finished(result) => {
+            let (outcome_label, marker) = match &result {
+                Ok(_) => ("completed", "complete"),
+                Err(ServeError::Cancelled) => ("cancelled", "cancel"),
+                Err(_) => ("failed", "fail"),
+            };
             match &result {
                 Ok(_) => tenant.stats.completed += 1,
                 Err(ServeError::Cancelled) => tenant.stats.cancelled += 1,
                 Err(_) => tenant.stats.failed += 1,
             }
+            inner.obs.job_outcome(&tenant.stats.name, outcome_label).inc();
+            if let Some(tr) = &inner.obs.trace {
+                tr.instant(marker, corr, &tenant.obs.label, end_cycle);
+            }
             tenant.jobs.insert(seq, JobState::Done(result));
             state.global_queued -= 1;
+            inner.obs.queue_depth.set(state.global_queued as f64);
+            finished = true;
         }
     }
     tenant.on_worker = false;
     tenant.ctx = Some(ctx);
+    if finished {
+        // Live fairness: max/min completed across tenants (mirrors
+        // ServerStats::completion_fairness), recomputed per completion.
+        let counts = state.tenants.values().map(|t| t.stats.completed);
+        let (max, min) = counts.fold((0u64, u64::MAX), |(mx, mn), c| (mx.max(c), mn.min(c)));
+        let fairness = if max == 0 {
+            1.0
+        } else if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        };
+        inner.obs.fairness.set(fairness);
+    }
     inner.work_ready.notify_all();
     inner.progress.notify_all();
 }

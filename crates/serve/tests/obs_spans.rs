@@ -1,0 +1,245 @@
+//! Observability contract of the serve layer.
+//!
+//! Three properties, each against a *private* registry and trace buffer
+//! (so the assertions cannot see another test's global-registry noise):
+//!
+//! 1. **Span balance.** Every admitted job emits balanced begin/end
+//!    spans with matching correlation IDs — across completion, multi-
+//!    slice preemption, cancellation (queued and running), retry after a
+//!    contained panic, and shutdown drain. An unbalanced trace means a
+//!    code path skipped its bookkeeping.
+//! 2. **Metric series.** Per-tenant queue-wait / slice-duration
+//!    histograms, per-class rejection counters, and per-outcome job
+//!    counters appear in the exposition with the expected values, and
+//!    the per-class breakdown on [`soff_serve::TenantStats`] stays in
+//!    lockstep with the legacy coarse counters.
+//! 3. **Sampled profiling is observational.** A profiled run returns
+//!    the same cycle counts as an unprofiled one and yields reports via
+//!    `take_profiles`.
+
+use soff_obs::{pair_spans, Registry, TraceBuf};
+use soff_serve::{
+    NdRange, ProfileSampling, ServeError, Server, ServerConfig, Session, TenantQuota,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SRC: &str = r#"
+__kernel void bump(__global float* a, int iters, float bias) {
+    int i = get_global_id(0);
+    float x = a[i];
+    for (int k = 0; k < iters; k++) {
+        x = x * 0.999f + bias;
+    }
+    a[i] = x;
+}
+"#;
+
+fn prep(sess: &Session, n: usize, iters: i32) -> soff_serve::KernelHandle {
+    let program = sess.build_program(SRC, &[]).unwrap();
+    let buf = sess.create_buffer(n * 4).unwrap();
+    let bytes: Vec<u8> = std::iter::repeat_n(1.0f32.to_le_bytes(), n).flatten().collect();
+    sess.write_buffer(buf, &bytes).unwrap();
+    let mut k = sess.kernel(&program, "bump").unwrap();
+    k.set_arg_buffer(0, buf).set_arg_i32(1, iters).set_arg_f32(2, 0.5);
+    k
+}
+
+fn obs_config() -> (ServerConfig, Arc<Registry>, Arc<TraceBuf>) {
+    let registry = Arc::new(Registry::new());
+    let trace = Arc::new(TraceBuf::new(4096));
+    let cfg = ServerConfig {
+        device_slots: 2,
+        slice_cycles: 2_000,
+        registry: Some(Arc::clone(&registry)),
+        trace: Some(Arc::clone(&trace)),
+        ..ServerConfig::default()
+    };
+    (cfg, registry, trace)
+}
+
+#[test]
+fn spans_balance_across_all_job_fates() {
+    let (cfg, _registry, trace) = obs_config();
+    let server = Server::new(cfg).unwrap();
+    let sess = server.connect("fates").unwrap();
+    let k = prep(&sess, 32, 4_000); // long enough to be preempted
+
+    // Fate 1: plain completion (multi-slice).
+    let done = sess.enqueue(&k, NdRange::dim1(32, 8)).unwrap();
+    sess.wait(done).unwrap();
+
+    // Fate 2: contained panic, retried (injected panics are transient),
+    // second attempt completes — the retry path re-queues, so it must
+    // re-open and re-close the queue span.
+    sess.inject_panic_next();
+    let shaky = sess.enqueue(&k, NdRange::dim1(32, 8)).unwrap();
+    let out = sess.wait(shaky).expect("panic contained and retried");
+    assert_eq!(out.attempts, 2);
+
+    // Fate 3: a burst where one job is cancelled while queued.
+    let a = sess.enqueue(&k, NdRange::dim1(32, 8)).unwrap();
+    let b = sess.enqueue(&k, NdRange::dim1(32, 8)).unwrap();
+    sess.cancel(b);
+    sess.wait(a).unwrap();
+    assert!(matches!(sess.wait(b), Err(ServeError::Cancelled)));
+
+    // Fate 4: jobs still queued when the server shuts down (drained).
+    for _ in 0..3 {
+        sess.enqueue(&k, NdRange::dim1(32, 8)).unwrap();
+    }
+    server.shutdown();
+
+    let events = trace.snapshot();
+    assert_eq!(trace.dropped(), 0, "test buffer must not wrap");
+    let paired = pair_spans(&events);
+    assert!(
+        paired.balanced(),
+        "unbalanced spans: {} open begins, {} orphan ends",
+        paired.unmatched_begins.len(),
+        paired.unmatched_ends.len()
+    );
+    // Every completed job ran at least one queue span and one slice span,
+    // and preemption means strictly more slice spans than jobs.
+    let queue_spans = paired.complete.iter().filter(|s| s.name == "queue").count();
+    let slice_spans = paired.complete.iter().filter(|s| s.name == "slice").count();
+    assert!(queue_spans >= 6, "one queue span per admission, got {queue_spans}");
+    assert!(slice_spans > 6, "preemption multiplies slice spans, got {slice_spans}");
+    // Correlation: every slice span's corr was admitted (has an "admit"
+    // instant), and all events of one corr share the tenant label.
+    for span in &paired.complete {
+        assert!(
+            events.iter().any(|e| e.name == "admit" && e.corr == span.corr),
+            "span {:?} has no admit event",
+            span.corr
+        );
+        assert_eq!(&*span.tenant, "fates");
+    }
+}
+
+#[test]
+fn per_tenant_series_and_rejection_classes_appear() {
+    let (cfg, registry, _trace) = obs_config();
+    let cfg = ServerConfig {
+        quota: TenantQuota { queue_depth: 2, ..TenantQuota::default() },
+        ..cfg
+    };
+    let server = Server::new(cfg).unwrap();
+    let alpha = server.connect("alpha").unwrap();
+    let beta = server.connect("beta").unwrap();
+    let ka = prep(&alpha, 16, 500);
+    let kb = prep(&beta, 16, 500);
+
+    let mut alpha_queue_full = 0u64;
+    for _ in 0..6 {
+        match alpha.enqueue(&ka, NdRange::dim1(16, 8)) {
+            Ok(id) => {
+                alpha.wait(id).unwrap();
+            }
+            Err(ServeError::QueueFull { .. }) => alpha_queue_full += 1,
+            Err(other) => panic!("unexpected rejection {other:?}"),
+        }
+    }
+    let id = beta.enqueue(&kb, NdRange::dim1(16, 8)).unwrap();
+    beta.wait(id).unwrap();
+    server.shed();
+    assert!(matches!(
+        beta.enqueue(&kb, NdRange::dim1(16, 8)),
+        Err(ServeError::Shedding)
+    ));
+    server.resume();
+    server.shutdown();
+
+    let text = registry.expose();
+    // Histograms materialize per tenant.
+    for tenant in ["alpha", "beta"] {
+        for series in ["soff_serve_queue_wait_us", "soff_serve_slice_us"] {
+            let needle = format!("{series}_count{{tenant=\"{tenant}\"}}");
+            assert!(text.contains(&needle), "missing {needle} in:\n{text}");
+        }
+    }
+    // Outcome counters.
+    assert!(text.contains("soff_serve_jobs_total{outcome=\"completed\",tenant=\"alpha\"}"));
+    // Rejections carry their class label; breakdown matches the error we saw.
+    assert!(
+        text.contains("soff_serve_rejections_total{class=\"shedding\",tenant=\"beta\"} 1"),
+        "missing beta shedding rejection in:\n{text}"
+    );
+    let stats = beta.stats();
+    assert_eq!(stats.rejections.shedding, 1);
+    assert_eq!(stats.rejections.total(), stats.rejected_shedding + stats.rejected_queue_full + stats.rejected_quota);
+    let astats = alpha.stats();
+    assert_eq!(
+        astats.rejections.queue_full_tenant + astats.rejections.queue_full_global,
+        alpha_queue_full,
+        "breakdown must be in lockstep with observed rejections"
+    );
+    assert_eq!(astats.rejected_queue_full, alpha_queue_full);
+    // Server-wide series exist.
+    assert!(text.contains("soff_serve_slices_total "));
+    assert!(text.contains("soff_serve_queue_depth 0"));
+}
+
+#[test]
+fn sampled_profiling_is_observational_and_reports_arrive() {
+    let run = |profile: Option<ProfileSampling>| {
+        let registry = Arc::new(Registry::new());
+        let server = Server::new(ServerConfig {
+            device_slots: 1,
+            slice_cycles: 1_500,
+            registry: Some(registry),
+            profile,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let sess = server.connect("prof").unwrap();
+        let k = prep(&sess, 32, 2_000);
+        let mut cycles = Vec::new();
+        for _ in 0..3 {
+            let id = sess.enqueue(&k, NdRange::dim1(32, 8)).unwrap();
+            cycles.push(sess.wait(id).unwrap().cycles);
+        }
+        let (profiles, dropped) = server.take_profiles();
+        server.shutdown();
+        (cycles, profiles, dropped)
+    };
+
+    let (plain_cycles, plain_profiles, _) = run(None);
+    assert!(plain_profiles.is_empty());
+
+    let sampling = ProfileSampling { every: 2, max_reports: 8, ..ProfileSampling::default() };
+    let (prof_cycles, profiles, dropped) = run(Some(sampling));
+    // The profiler only observes: identical deterministic cycle counts.
+    assert_eq!(plain_cycles, prof_cycles);
+    assert_eq!(dropped, 0);
+    // every=2 over seqs 0,1,2 → jobs 0 and 2 sampled.
+    assert_eq!(profiles.len(), 2);
+    assert_eq!(profiles.iter().map(|p| p.seq).collect::<Vec<_>>(), vec![0, 2]);
+    for p in &profiles {
+        assert_eq!(p.tenant, "prof");
+        assert_eq!(p.report.total_cycles, prof_cycles[p.seq as usize]);
+    }
+
+    // A job preempted across slices still yields one whole-job report.
+    assert!(prof_cycles[0] > 1_500, "test wants a multi-slice job");
+}
+
+#[test]
+fn queue_wait_is_measured_per_dispatch() {
+    let (cfg, registry, _trace) = obs_config();
+    let server = Server::new(ServerConfig { device_slots: 1, ..cfg }).unwrap();
+    let sess = server.connect("waity").unwrap();
+    let k = prep(&sess, 16, 3_000);
+    let id = sess.enqueue(&k, NdRange::dim1(16, 8)).unwrap();
+    let out = sess.wait(id).unwrap();
+    server.shutdown();
+    std::thread::sleep(Duration::from_millis(1));
+
+    let snap = registry.snapshot_json();
+    soff_obs::jsonlint::validate(&snap).expect("snapshot is well-formed JSON");
+    let text = registry.expose();
+    // One queue-wait sample per dispatch: a preempted job re-queues, so
+    // samples == slices for a single-tenant single-job run.
+    let needle = format!("soff_serve_queue_wait_us_count{{tenant=\"waity\"}} {}", out.slices);
+    assert!(text.contains(&needle), "expected {needle} in:\n{text}");
+}

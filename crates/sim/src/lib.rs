@@ -55,8 +55,9 @@ pub use machine::{
     SimResult, Snapshot,
 };
 pub use profile::{
-    write_chrome_trace, Bottleneck, CacheProfile, CompProfile, CycleBreakdown, FifoDepth,
-    ProfileConfig, ProfileReport, Sample, Span, SpanTrack, UnitProfile,
+    chrome_trace_events, write_chrome_trace, Bottleneck, CacheProfile, CompProfile,
+    CycleBreakdown, FifoDepth, ProfileConfig, ProfileReport, Sample, Span, SpanTrack,
+    UnitProfile,
 };
 
 // Compile-time audit for the parallel sweep engine: simulation results —

@@ -658,20 +658,31 @@ fn esc(s: &str) -> String {
     o
 }
 
-/// Writes the report as Chrome trace-event JSON (the format Perfetto and
-/// `chrome://tracing` load). One simulated cycle maps to one microsecond
-/// of trace time. Spans become complete (`"X"`) events on named tracks;
-/// sampled series become counter (`"C"`) events.
+/// Emits the report's trace events into an already-open Chrome
+/// trace-event array, parameterized for merging: `pid` names the
+/// process group (each report in a merged timeline gets its own),
+/// `ts_offset_us` shifts every timestamp (one simulated cycle maps to
+/// one microsecond of trace time), and `first` carries the
+/// between-events comma state across emitters sharing one array
+/// (`true` iff nothing has been written yet; left `false` afterwards).
+///
+/// [`write_chrome_trace`] is the single-report wrapper;
+/// `soff-obs`-based exporters call this directly to interleave sim
+/// profiles with serve-level spans in one timeline.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from `w`.
-pub fn write_chrome_trace<W: Write>(report: &ProfileReport, w: &mut W) -> io::Result<()> {
-    let mut first = true;
-    write!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+pub fn chrome_trace_events<W: Write>(
+    report: &ProfileReport,
+    w: &mut W,
+    pid: u64,
+    ts_offset_us: u64,
+    first: &mut bool,
+) -> io::Result<()> {
     let mut emit = |w: &mut W, s: String| -> io::Result<()> {
-        if first {
-            first = false;
+        if *first {
+            *first = false;
         } else {
             write!(w, ",")?;
         }
@@ -681,22 +692,24 @@ pub fn write_chrome_trace<W: Write>(report: &ProfileReport, w: &mut W) -> io::Re
     emit(
         w,
         format!(
-            "{{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
              \"args\":{{\"name\":\"SOFF simulator: {}\"}}}}",
             esc(&report.kernel)
         ),
     )?;
     emit(
         w,
-        "{\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\",\
-         \"args\":{\"name\":\"work-groups\"}}"
-            .to_string(),
+        format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":1,\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"work-groups\"}}}}"
+        ),
     )?;
     emit(
         w,
-        "{\"ph\":\"M\",\"pid\":0,\"tid\":2,\"name\":\"thread_name\",\
-         \"args\":{\"name\":\"barriers\"}}"
-            .to_string(),
+        format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":2,\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"barriers\"}}}}"
+        ),
     )?;
 
     for span in &report.spans {
@@ -708,46 +721,47 @@ pub fn write_chrome_trace<W: Write>(report: &ProfileReport, w: &mut W) -> io::Re
         emit(
             w,
             format!(
-                "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"name\":\"{}\",\
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{}\",\
                  \"ts\":{},\"dur\":{dur}}}",
                 esc(&span.name),
-                span.start
+                span.start + ts_offset_us
             ),
         )?;
     }
 
     for s in &report.samples {
+        let ts = s.cycle + ts_offset_us;
         emit(
             w,
             format!(
-                "{{\"ph\":\"C\",\"pid\":0,\"name\":\"tokens in flight\",\
-                 \"ts\":{},\"args\":{{\"tokens\":{}}}}}",
-                s.cycle, s.tokens_in_flight
+                "{{\"ph\":\"C\",\"pid\":{pid},\"name\":\"tokens in flight\",\
+                 \"ts\":{ts},\"args\":{{\"tokens\":{}}}}}",
+                s.tokens_in_flight
             ),
         )?;
         emit(
             w,
             format!(
-                "{{\"ph\":\"C\",\"pid\":0,\"name\":\"retired\",\
-                 \"ts\":{},\"args\":{{\"work-items\":{}}}}}",
-                s.cycle, s.retired
+                "{{\"ph\":\"C\",\"pid\":{pid},\"name\":\"retired\",\
+                 \"ts\":{ts},\"args\":{{\"work-items\":{}}}}}",
+                s.retired
             ),
         )?;
         emit(
             w,
             format!(
-                "{{\"ph\":\"C\",\"pid\":0,\"name\":\"dram busy channels\",\
-                 \"ts\":{},\"args\":{{\"channels\":{}}}}}",
-                s.cycle, s.dram_busy_channels
+                "{{\"ph\":\"C\",\"pid\":{pid},\"name\":\"dram busy channels\",\
+                 \"ts\":{ts},\"args\":{{\"channels\":{}}}}}",
+                s.dram_busy_channels
             ),
         )?;
         for (i, c) in s.caches.iter().enumerate() {
             emit(
                 w,
                 format!(
-                    "{{\"ph\":\"C\",\"pid\":0,\"name\":\"cache {i} occupancy\",\
-                     \"ts\":{},\"args\":{{\"inflight\":{},\"latched\":{}}}}}",
-                    s.cycle, c.inflight, c.latched
+                    "{{\"ph\":\"C\",\"pid\":{pid},\"name\":\"cache {i} occupancy\",\
+                     \"ts\":{ts},\"args\":{{\"inflight\":{},\"latched\":{}}}}}",
+                    c.inflight, c.latched
                 ),
             )?;
         }
@@ -755,14 +769,27 @@ pub fn write_chrome_trace<W: Write>(report: &ProfileReport, w: &mut W) -> io::Re
             emit(
                 w,
                 format!(
-                    "{{\"ph\":\"C\",\"pid\":0,\"name\":\"pipe {i} work-items\",\
-                     \"ts\":{},\"args\":{{\"holding\":{h}}}}}",
-                    s.cycle
+                    "{{\"ph\":\"C\",\"pid\":{pid},\"name\":\"pipe {i} work-items\",\
+                     \"ts\":{ts},\"args\":{{\"holding\":{h}}}}}"
                 ),
             )?;
         }
     }
+    Ok(())
+}
 
+/// Writes the report as Chrome trace-event JSON (the format Perfetto and
+/// `chrome://tracing` load). One simulated cycle maps to one microsecond
+/// of trace time. Spans become complete (`"X"`) events on named tracks;
+/// sampled series become counter (`"C"`) events.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_chrome_trace<W: Write>(report: &ProfileReport, w: &mut W) -> io::Result<()> {
+    write!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    chrome_trace_events(report, w, 0, 0, &mut first)?;
     write!(w, "]}}")
 }
 

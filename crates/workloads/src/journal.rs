@@ -241,6 +241,7 @@ impl Journal {
         let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
         file.write_all(line.as_bytes())?;
         file.sync_data()?;
+        soff_obs::global().counter("soff_journal_appends_total", &[]).inc();
         Ok(())
     }
 }
@@ -294,6 +295,9 @@ pub fn replay(path: &Path, identity: u64) -> Result<Vec<Record>, JournalError> {
             Err(what) => return Err(JournalError::Corrupt { line: i + 1, what }),
         }
     }
+    soff_obs::global()
+        .counter("soff_journal_replayed_total", &[])
+        .add(records.len() as u64);
     Ok(records)
 }
 

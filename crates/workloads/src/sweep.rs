@@ -356,7 +356,7 @@ where
         by_rep.insert(cell_index, settled);
     }
 
-    Ok(cells
+    let rows: Vec<CellResult> = cells
         .iter()
         .enumerate()
         .map(|(i, cell)| {
@@ -392,7 +392,23 @@ where
                 cancelled,
             }
         })
-        .collect())
+        .collect();
+    record_sweep_metrics(&rows);
+    Ok(rows)
+}
+
+/// Folds one finished sweep into the global `soff-obs` counters: cells
+/// that produced a row (done), cells that needed more than one attempt
+/// (retried), and cells served from a resume journal instead of
+/// re-executing (resumed).
+fn record_sweep_metrics(rows: &[CellResult]) {
+    let r = soff_obs::global();
+    let done = rows.iter().filter(|c| !c.cancelled).count() as u64;
+    let retried = rows.iter().filter(|c| c.attempts > 1).count() as u64;
+    let resumed = rows.iter().filter(|c| c.from_journal).count() as u64;
+    r.counter("soff_sweep_cells_done_total", &[]).add(done);
+    r.counter("soff_sweep_cells_retried_total", &[]).add(retried);
+    r.counter("soff_sweep_cells_resumed_total", &[]).add(resumed);
 }
 
 /// Runs the full `apps` × `frameworks` grid (app-major, matching the
