@@ -32,7 +32,7 @@
 //! digest is unchanged.
 
 use soff_bench::json::{write_bench_rows, Json};
-use soff_obs::{pair_spans, ChromeTraceWriter, SpanKind, TraceBuf};
+use soff_obs::{pair_spans_with_drops, ChromeTraceWriter, SpanKind, TraceBuf};
 use soff_serve::{
     JobId, NdRange, ProfileSampling, ServeError, Server, ServerConfig, Session, TenantQuota,
 };
@@ -277,7 +277,9 @@ fn write_merged_trace(
             w.thread_name(0, e.corr.session, &e.tenant)?;
         }
     }
-    let paired = pair_spans(&events);
+    // Drop-aware pairing: on a wrapped ring, ends whose begins were
+    // evicted are truncation, not imbalance, and are simply not drawn.
+    let paired = pair_spans_with_drops(&events, buf.dropped());
     for s in &paired.complete {
         w.complete(
             0,

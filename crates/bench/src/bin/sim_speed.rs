@@ -1,10 +1,11 @@
-//! Wall-clock benchmark of the event-driven scheduler.
+//! Wall-clock benchmark of the skipping schedulers.
 //!
-//! Runs each selected application twice — once under the dense reference
-//! loop, once under the event-driven scheduler — checks that every
-//! per-launch `SimResult` is bit-identical, and reports the wall-clock
-//! speedup. Exits nonzero if the schedulers disagree anywhere or any app
-//! fails to run.
+//! Runs each selected application three times — under the dense
+//! reference loop, the event-driven scheduler, and the compiled
+//! tick-program backend — checks that every per-launch `SimResult` is
+//! bit-identical across all three, and reports the wall-clock speedups
+//! over dense. Exits nonzero if the schedulers disagree anywhere or any
+//! app fails to run.
 //!
 //! ```text
 //! cargo run --release -p soff-bench --bin sim_speed [--apps atax,mvt] [--full] [--jobs N]
@@ -68,29 +69,31 @@ fn main() {
         std::process::exit(2);
     }
 
-    println!("Simulator wall-clock: dense vs. event-driven scheduler ({scale:?} scale)");
-    println!("{:-<76}", "");
+    println!("Simulator wall-clock: dense vs. event-driven vs. compiled ({scale:?} scale)");
+    println!("{:-<90}", "");
     println!(
-        "{:<12} {:>12} {:>12} {:>9} {:>14} {:>9}",
-        "app", "dense (ms)", "event (ms)", "speedup", "cycles", "agree"
+        "{:<12} {:>11} {:>11} {:>11} {:>8} {:>8} {:>13} {:>7}",
+        "app", "dense (ms)", "event (ms)", "comp (ms)", "ev", "comp", "cycles", "agree"
     );
-    println!("{:-<76}", "");
+    println!("{:-<90}", "");
 
     let mut rows = Vec::new();
-    let mut speedups = Vec::new();
+    let mut event_speedups = Vec::new();
+    let mut compiled_speedups = Vec::new();
     let mut failed = false;
-    // One pool task per app runs its dense+event pair back to back on the
-    // same thread, so each row's wall-clock comparison stays
+    // One pool task per app runs its dense+event+compiled triple back to
+    // back on the same thread, so each row's wall-clock comparison stays
     // apples-to-apples even when apps run concurrently.
     let jobs = jobs_flag(&args);
-    let pairs = soff_exec::run_tasks(jobs, apps.clone(), |_, app: App| {
+    let triples = soff_exec::run_tasks(jobs, apps.clone(), |_, app: App| {
         let dense = run_once(&app, scale, Scheduler::Dense);
         let event = run_once(&app, scale, Scheduler::EventDriven);
-        (dense, event)
+        let compiled = run_once(&app, scale, Scheduler::Compiled);
+        (dense, event, compiled)
     });
-    for (app, pair) in apps.iter().zip(pairs) {
-        let (dense, event) = match pair {
-            Ok(p) => p,
+    for (app, triple) in apps.iter().zip(triples) {
+        let (dense, event, compiled) = match triple {
+            Ok(t) => t,
             Err(soff_exec::TaskError::Panicked { message }) => {
                 println!("{:<12} failed: task panicked: {message}", app.name);
                 failed = true;
@@ -102,31 +105,40 @@ fn main() {
                 continue;
             }
         };
-        let (dense, event) = match (dense, event) {
-            (Ok(d), Ok(e)) => (d, e),
-            (d, e) => {
-                let why = d.err().or_else(|| e.err()).unwrap_or_default();
+        let (dense, event, compiled) = match (dense, event, compiled) {
+            (Ok(d), Ok(e), Ok(c)) => (d, e, c),
+            (d, e, c) => {
+                let why =
+                    d.err().or_else(|| e.err()).or_else(|| c.err()).unwrap_or_default();
                 println!("{:<12} failed: {why}", app.name);
                 failed = true;
                 continue;
             }
         };
         // Bit-identity: every launch's full SimResult (cycle counts,
-        // per-cache statistics, stall counters) must match.
+        // per-cache statistics, stall counters) must match across all
+        // three backends.
         let agree = dense.results == event.results
+            && dense.results == compiled.results
             && dense.cycles == event.cycles
-            && dense.launches == event.launches;
+            && dense.cycles == compiled.cycles
+            && dense.launches == event.launches
+            && dense.launches == compiled.launches;
         if !agree {
             failed = true;
         }
-        let speedup = dense.wall_seconds / event.wall_seconds.max(1e-9);
-        speedups.push(speedup);
+        let event_speedup = dense.wall_seconds / event.wall_seconds.max(1e-9);
+        let compiled_speedup = dense.wall_seconds / compiled.wall_seconds.max(1e-9);
+        event_speedups.push(event_speedup);
+        compiled_speedups.push(compiled_speedup);
         println!(
-            "{:<12} {:>12.1} {:>12.1} {:>8.2}x {:>14} {:>9}",
+            "{:<12} {:>11.1} {:>11.1} {:>11.1} {:>7.2}x {:>7.2}x {:>13} {:>7}",
             app.name,
             dense.wall_seconds * 1e3,
             event.wall_seconds * 1e3,
-            speedup,
+            compiled.wall_seconds * 1e3,
+            event_speedup,
+            compiled_speedup,
             dense.cycles,
             if agree { "yes" } else { "NO" },
         );
@@ -134,16 +146,26 @@ fn main() {
             ("app", Json::str(app.name)),
             ("dense_seconds", Json::Num(dense.wall_seconds)),
             ("event_seconds", Json::Num(event.wall_seconds)),
-            ("speedup", Json::Num(speedup)),
+            ("compiled_seconds", Json::Num(compiled.wall_seconds)),
+            ("speedup", Json::Num(event_speedup)),
+            ("compiled_speedup", Json::Num(compiled_speedup)),
             ("cycles", Json::Int(dense.cycles as i64)),
             ("launches", Json::Int(dense.launches as i64)),
             ("agree", Json::Bool(agree)),
         ]));
     }
-    println!("{:-<76}", "");
-    println!("geomean speedup: {}", fmt_geomean(&speedups));
-    if let Some(g) = geomean(&speedups) {
-        rows.push(Json::obj(vec![("geomean_speedup", Json::Num(g))]));
+    println!("{:-<90}", "");
+    println!(
+        "geomean speedup over dense: event {}, compiled {}",
+        fmt_geomean(&event_speedups),
+        fmt_geomean(&compiled_speedups),
+    );
+    if let (Some(e), Some(c)) = (geomean(&event_speedups), geomean(&compiled_speedups)) {
+        println!("compiled over event-driven: {:.2}x", c / e);
+        rows.push(Json::obj(vec![
+            ("geomean_speedup", Json::Num(e)),
+            ("geomean_compiled_speedup", Json::Num(c)),
+        ]));
     }
     match write_bench_rows("sim_speed", rows) {
         Ok(path) => println!("wrote {}", path.display()),

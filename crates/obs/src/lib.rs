@@ -37,4 +37,7 @@ pub mod span;
 
 pub use chrome::ChromeTraceWriter;
 pub use metrics::{global, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
-pub use span::{pair_spans, CompletedSpan, CorrId, PairedSpans, SpanEvent, SpanKind, TraceBuf};
+pub use span::{
+    pair_spans, pair_spans_with_drops, CompletedSpan, CorrId, PairedSpans, SpanEvent, SpanKind,
+    TraceBuf,
+};

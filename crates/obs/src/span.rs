@@ -177,11 +177,29 @@ impl TraceBuf {
 /// LIFO (innermost `End` closes the most recent `Begin`). Returns the
 /// completed intervals plus any unmatched begins/ends (balance check
 /// material for tests).
+///
+/// Assumes nothing was dropped from the snapshot's source; if the ring
+/// may have wrapped, use [`pair_spans_with_drops`] with the buffer's
+/// [`TraceBuf::dropped`] count so eviction orphans are not misreported
+/// as instrumentation imbalance.
 pub fn pair_spans(events: &[SpanEvent]) -> PairedSpans {
+    pair_spans_with_drops(events, 0)
+}
+
+/// [`pair_spans`] for a snapshot whose source ring dropped `dropped`
+/// events. The ring evicts oldest-first and an `End` is always recorded
+/// after its `Begin`, so a surviving `Begin` can never have lost its
+/// `End` to eviction — but a surviving `End` may well have lost its
+/// `Begin`. Hence, when `dropped > 0`, an `End` with no open `Begin` is
+/// classified as [`PairedSpans::dropped_ends`] (truncation, expected on
+/// a wrapped ring) rather than [`PairedSpans::unmatched_ends`] (a
+/// genuine begin/end imbalance in the instrumentation).
+pub fn pair_spans_with_drops(events: &[SpanEvent], dropped: u64) -> PairedSpans {
     use std::collections::HashMap;
     let mut open: HashMap<(&'static str, CorrId), Vec<usize>> = HashMap::new();
     let mut complete = Vec::new();
     let mut unmatched_ends = Vec::new();
+    let mut dropped_ends = Vec::new();
     for (i, ev) in events.iter().enumerate() {
         match ev.kind {
             SpanKind::Begin => open.entry((ev.name, ev.corr)).or_default().push(i),
@@ -194,6 +212,7 @@ pub fn pair_spans(events: &[SpanEvent]) -> PairedSpans {
                     end_us: ev.ts_us,
                     arg: ev.arg,
                 }),
+                None if dropped > 0 => dropped_ends.push(i),
                 None => unmatched_ends.push(i),
             },
             SpanKind::Instant => {}
@@ -203,7 +222,7 @@ pub fn pair_spans(events: &[SpanEvent]) -> PairedSpans {
         open.into_values().flatten().collect();
     unmatched_begins.sort_unstable();
     complete.sort_by_key(|s| (s.start_us, s.end_us));
-    PairedSpans { complete, unmatched_begins, unmatched_ends }
+    PairedSpans { complete, unmatched_begins, unmatched_ends, dropped_ends }
 }
 
 /// A matched `Begin`/`End` interval.
@@ -230,12 +249,20 @@ pub struct PairedSpans {
     pub complete: Vec<CompletedSpan>,
     /// Indices of `Begin` events with no matching `End`.
     pub unmatched_begins: Vec<usize>,
-    /// Indices of `End` events with no matching `Begin`.
+    /// Indices of `End` events with no matching `Begin` in a snapshot
+    /// that lost nothing — a genuine instrumentation imbalance.
     pub unmatched_ends: Vec<usize>,
+    /// Indices of `End` events whose `Begin` was (or may have been)
+    /// evicted by a ring wrap — truncation, not imbalance. Always empty
+    /// when the pairing was told nothing was dropped.
+    pub dropped_ends: Vec<usize>,
 }
 
 impl PairedSpans {
-    /// Whether every begin matched an end and vice versa.
+    /// Whether every begin matched an end and vice versa. Ends orphaned
+    /// by ring eviction ([`PairedSpans::dropped_ends`]) do not count
+    /// against balance: they indicate a bounded buffer doing its job,
+    /// not missing instrumentation.
     pub fn balanced(&self) -> bool {
         self.unmatched_begins.is_empty() && self.unmatched_ends.is_empty()
     }
@@ -288,6 +315,91 @@ mod tests {
         assert_eq!(paired.unmatched_ends, vec![3]);
         assert_eq!(paired.unmatched_begins, vec![5]);
         assert!(!paired.balanced());
+    }
+
+    #[test]
+    fn wrapped_ring_orphans_are_truncation_not_imbalance() {
+        // Two spans, four events, through a ring of three: the first
+        // span's `Begin` is evicted, its `End` survives as an orphan.
+        let buf = TraceBuf::new(3);
+        buf.push(ev("outer", 0, SpanKind::Begin, 0));
+        buf.push(ev("inner", 1, SpanKind::Begin, 1));
+        buf.push(ev("inner", 1, SpanKind::End, 2));
+        buf.push(ev("outer", 0, SpanKind::End, 3));
+        assert_eq!(buf.dropped(), 1);
+        let snap = buf.snapshot();
+        let paired = pair_spans_with_drops(&snap, buf.dropped());
+        assert_eq!(paired.complete.len(), 1, "inner span still pairs");
+        assert_eq!(paired.dropped_ends, vec![2], "orphan end is truncation");
+        assert!(paired.unmatched_ends.is_empty(), "no imbalance was recorded");
+        assert!(paired.balanced(), "a wrapped ring is not an imbalance");
+        // The drop-unaware pairing misreads the same snapshot.
+        assert!(!pair_spans(&snap).balanced());
+    }
+
+    /// Generates a balanced event stream: each step either opens a new
+    /// span or closes the most recently opened one (global LIFO, hence
+    /// LIFO per key too); whatever is left open closes at the end.
+    /// Correlation seqs collide on purpose (`mod 4`) so pairing has to
+    /// get the LIFO stacks right, not just unique keys.
+    fn balanced_events(ops: &[(bool, u8)]) -> Vec<SpanEvent> {
+        const NAMES: [&str; 3] = ["slice", "queue", "build"];
+        let mut stack: Vec<(usize, u64)> = Vec::new();
+        let mut out = Vec::new();
+        let mut next = 0u64;
+        for (ts, &(close, ni)) in ops.iter().enumerate() {
+            if close && !stack.is_empty() {
+                let (n, s) = stack.pop().unwrap();
+                out.push(ev(NAMES[n], s, SpanKind::End, ts as u64));
+            } else {
+                let n = (ni % 3) as usize;
+                let s = next % 4;
+                next += 1;
+                stack.push((n, s));
+                out.push(ev(NAMES[n], s, SpanKind::Begin, ts as u64));
+            }
+        }
+        let mut ts = ops.len() as u64;
+        while let Some((n, s)) = stack.pop() {
+            out.push(ev(NAMES[n], s, SpanKind::End, ts));
+            ts += 1;
+        }
+        out
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pushing any balanced stream through any ring must never read
+        /// as instrumentation imbalance: ends orphaned by eviction are
+        /// truncation, and a surviving begin cannot have lost its end
+        /// (the end is newer, and the ring evicts oldest-first). On a
+        /// ring large enough to hold everything, nothing drops and
+        /// every span pairs.
+        #[test]
+        fn wrapping_never_fabricates_imbalance(
+            ops in prop::collection::vec((any::<bool>(), 0u8..3), 0..60),
+            cap in 1usize..16,
+        ) {
+            let events = balanced_events(&ops);
+            let small = TraceBuf::new(cap);
+            for e in &events {
+                small.push(e.clone());
+            }
+            let paired = pair_spans_with_drops(&small.snapshot(), small.dropped());
+            prop_assert!(paired.unmatched_ends.is_empty());
+            prop_assert!(paired.balanced());
+
+            let big = TraceBuf::new(events.len().max(1));
+            for e in &events {
+                big.push(e.clone());
+            }
+            prop_assert_eq!(big.dropped(), 0);
+            let full = pair_spans_with_drops(&big.snapshot(), 0);
+            prop_assert!(full.dropped_ends.is_empty());
+            prop_assert!(full.balanced());
+            prop_assert_eq!(full.complete.len() * 2, events.len());
+        }
     }
 
     #[test]

@@ -321,14 +321,15 @@ fn disk() -> Option<Arc<DiskStore>> {
 }
 
 /// Looks up `(kind, key)` on disk, folding every non-hit into the right
-/// counter. Returns the payload on a verified hit.
+/// counter. Returns the payload on a checksum-verified read — which is
+/// *not* yet a hit: callers still decode/cross-check the payload, and
+/// exactly one of [`disk_credit`] (validated) or [`disk_discredit`]
+/// (failed validation) must follow, so every lookup lands in exactly
+/// one outcome class (`hit`/`miss`/`corrupt` are mutually exclusive).
 fn disk_get(store: &DiskStore, kind: &str, key: u64, material: &str) -> Option<Vec<u8>> {
     let state = disk_state();
     match store.get(kind, key, material) {
-        Lookup::Hit(payload) => {
-            state.hits.inc();
-            Some(payload)
-        }
+        Lookup::Hit(payload) => Some(payload),
         Lookup::Miss => {
             state.misses.inc();
             None
@@ -338,6 +339,11 @@ fn disk_get(store: &DiskStore, kind: &str, key: u64, material: &str) -> Option<V
             None
         }
     }
+}
+
+/// Counts a disk payload that survived its caller's validation as a hit.
+fn disk_credit() {
+    disk_state().hits.inc();
 }
 
 /// Best-effort disk write; I/O failure is invisible to callers (the
@@ -380,6 +386,7 @@ pub fn lower_cached(
                 // verifier catches a well-formed stream that is not a
                 // well-formed module (e.g. written by a buggy version).
                 Ok(m) if m.kernels.iter().all(|k| soff_ir::verify::verify(k).is_ok()) => {
+                    disk_credit();
                     let module = Arc::new(m);
                     frontend_shelf().put(key, material, Arc::clone(&module));
                     return Ok(module);
@@ -421,7 +428,7 @@ pub(crate) fn program_cached(
     let program = build()?;
     let replication = encode_replication(&program);
     match disk_record {
-        Some((_, payload)) if payload == replication => {}
+        Some((_, payload)) if payload == replication => disk_credit(),
         Some((store, _)) => {
             // The stored record disagrees with a deterministic rebuild:
             // the object is stale or damaged. Replace it.

@@ -957,12 +957,16 @@ mod tests {
 
     #[test]
     fn scheduler_knob_is_transparent() {
-        // Same launch under both schedulers through the host API: the
+        // Same launch under every scheduler through the host API: the
         // simulated results and output buffers must be bit-identical.
         let device = Device::system_a();
         let program = Program::build(VADD, &[], &device).unwrap();
         let mut results = Vec::new();
-        for scheduler in [soff_sim::Scheduler::Dense, soff_sim::Scheduler::EventDriven] {
+        for scheduler in [
+            soff_sim::Scheduler::Dense,
+            soff_sim::Scheduler::EventDriven,
+            soff_sim::Scheduler::Compiled,
+        ] {
             let mut ctx = Context::new(device.clone());
             ctx.scheduler = scheduler;
             let a = ctx.create_buffer(32 * 4);
@@ -977,6 +981,7 @@ mod tests {
             results.push((stats.sim, ctx.read_buffer(c).unwrap()));
         }
         assert_eq!(results[0], results[1], "schedulers diverged through the host API");
+        assert_eq!(results[0], results[2], "compiled scheduler diverged through the host API");
     }
 
     #[test]

@@ -129,6 +129,79 @@ fn corrupt_and_truncated_entries_self_heal() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Replaces every committed object's payload with garbage while keeping
+/// the container (magic, key material, checksum) valid, by re-`put`ting
+/// under the same `(kind, key, material)`. The store will serve these as
+/// checksum-verified reads; only the cache's decode/cross-check layer
+/// can reject them.
+fn plant_bogus_payloads(dir: &std::path::Path) {
+    let store = soff_runtime::store::DiskStore::open(dir).unwrap();
+    let objects: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "obj"))
+        .collect();
+    assert!(!objects.is_empty(), "build left no objects in {dir:?}");
+    for path in objects {
+        // Object layout: magic, u64-LE material length, material,
+        // u64-LE payload length, payload, checksum.
+        let bytes = std::fs::read(&path).unwrap();
+        let off = b"soff-store v1\n".len();
+        let mlen =
+            u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize;
+        let material = std::str::from_utf8(&bytes[off + 8..off + 8 + mlen]).unwrap();
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let (kind, hex) = name.split_once('-').unwrap();
+        let key = u64::from_str_radix(hex, 16).unwrap();
+        store.put(kind, key, material, b"checksum-valid but undecodable").unwrap();
+    }
+}
+
+#[test]
+fn validation_failures_count_as_corrupt_not_hits() {
+    // Regression: `disk_get` used to count a hit the moment the store's
+    // checksum verified, before the caller decoded/cross-checked the
+    // payload. A payload failing that validation then *also* counted as
+    // corrupt via `disk_discredit`, so one lookup landed in two outcome
+    // classes and `disk_hits` overstated what the disk actually served.
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = fresh_dir("classes");
+    cache::set_disk_store(Some(&dir)).unwrap();
+    cache::clear();
+    cache::reset_stats();
+
+    let src = source("31");
+    let clean = run_once(&src, "k31");
+    plant_bogus_payloads(&dir);
+
+    // "Restart" onto the poisoned store: every lookup passes the
+    // checksum but fails validation, so every one is corrupt — and
+    // *none* is a hit.
+    cache::clear();
+    cache::reset_stats();
+    let healed = run_once(&src, "k31");
+    let stats = cache::stats();
+    assert!(stats.disk_corrupt > 0, "bogus payloads must be detected: {stats:?}");
+    assert_eq!(
+        stats.disk_hits, 0,
+        "a payload that fails validation must not count as served: {stats:?}"
+    );
+    assert_eq!(clean, healed, "self-healed rebuild produced different results");
+
+    // The discredit path rewrote good objects: now they really are hits,
+    // and the classes stay mutually exclusive in the other direction.
+    cache::clear();
+    cache::reset_stats();
+    let again = run_once(&src, "k31");
+    let warm = cache::stats();
+    assert!(warm.disk_hits > 0, "healed entries must be reusable: {warm:?}");
+    assert_eq!(warm.disk_corrupt, 0, "validated hits must not count corrupt: {warm:?}");
+    assert_eq!(clean, again);
+
+    cache::set_disk_store(None).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn concurrent_builders_agree_and_persist_once() {
     let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());

@@ -1314,6 +1314,10 @@ fn run_slice(cfg: &ServerConfig, ctx: &mut Context, job: &mut Job) -> SliceOutco
     // Fixed at admission (snapshots fingerprint the profiling decision);
     // the profiler is observational, so cycle counts are unaffected.
     sim_cfg.profile = job.profile;
+    // The configured backend. Snapshot fingerprints exclude the
+    // scheduler knob, so a job's slices may even run under different
+    // backends (e.g. a config change between restarts) bit-identically.
+    sim_cfg.scheduler = cfg.scheduler;
     let slice_end = job.cycles_done + cfg.slice_cycles.max(1);
     let mut ctl = RunControl::unlimited();
     ctl.cycle_deadline = Some(slice_end);

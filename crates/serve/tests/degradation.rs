@@ -365,6 +365,48 @@ fn queued_and_running_jobs_can_be_cancelled() {
 }
 
 #[test]
+fn cancelling_queued_jobs_releases_quota_and_queue_slots() {
+    // Regression guard for the admission counters: cancelling a queued
+    // job must release its in-flight quota, its tenant queue slot, AND
+    // the global queue slot — otherwise a tenant that cancels a burst is
+    // wedged at QuotaExceeded/QueueFull forever even though nothing of
+    // theirs is queued or running. Admission-only server so occupancy is
+    // deterministic.
+    let server = admission_only(ServerConfig {
+        global_queue_cap: 3,
+        quota: TenantQuota { queue_depth: 3, max_in_flight: 3, ..TenantQuota::default() },
+        ..ServerConfig::default()
+    });
+    let sess = server.connect("burster").unwrap();
+    let k = prep(&sess, 8, 10);
+
+    // Fill every bound at once (tenant queue == in-flight == global cap).
+    for round in 0..3 {
+        let jobs: Vec<_> =
+            (0..3).map(|_| sess.enqueue(&k, NdRange::dim1(8, 4)).unwrap()).collect();
+        assert!(
+            sess.enqueue(&k, NdRange::dim1(8, 4)).is_err(),
+            "round {round}: all bounds are saturated"
+        );
+        for job in jobs {
+            assert!(sess.cancel(job), "round {round}: queued job cancels immediately");
+            match sess.wait(job) {
+                Err(ServeError::Cancelled) => {}
+                other => panic!("round {round}: expected Cancelled, got {other:?}"),
+            }
+        }
+    }
+    assert_eq!(sess.stats().cancelled, 9);
+
+    // A sibling tenant sees a fully released global queue too.
+    let sib = server.connect("sibling").unwrap();
+    let sk = prep(&sib, 8, 10);
+    for _ in 0..3 {
+        sib.enqueue(&sk, NdRange::dim1(8, 4)).expect("global slots were released");
+    }
+}
+
+#[test]
 fn closed_session_and_shutdown_reject_typed() {
     let server = Server::new(ServerConfig { device_slots: 1, ..ServerConfig::default() }).unwrap();
     let sess = server.connect("leaver").unwrap();

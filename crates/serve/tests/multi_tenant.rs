@@ -108,6 +108,44 @@ fn shared_results_match_solo_runs() {
     assert!(stats.slices as usize > works.len(), "no time-slicing happened");
 }
 
+/// The server's scheduler knob reaches the simulator (it used to be
+/// silently ignored) and every backend — including Compiled, whose
+/// hot-state mirror is rebuilt at each slice's snapshot restore — slices
+/// to the same bit-identical results as a solo unsliced run.
+#[test]
+fn sliced_results_are_backend_invariant() {
+    let works = [
+        Work { n: 32, iters: 400, bias: 0.125, seed: 21 },
+        Work { n: 16, iters: 900, bias: 0.25, seed: 22 },
+    ];
+    let expected: Vec<(u64, Vec<u8>)> = works.iter().map(solo).collect();
+
+    for scheduler in [
+        soff_sim::Scheduler::Dense,
+        soff_sim::Scheduler::EventDriven,
+        soff_sim::Scheduler::Compiled,
+    ] {
+        let server = Server::new(ServerConfig {
+            device_slots: 1,
+            slice_cycles: 1_000,
+            scheduler,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let got: Vec<(u64, Vec<u8>)> = works
+            .iter()
+            .enumerate()
+            .map(|(i, w)| serve_tenant(&server, &format!("t{i}"), w))
+            .collect();
+        for (i, (exp, got)) in expected.iter().zip(&got).enumerate() {
+            assert_eq!(exp, got, "tenant {i} diverged from solo under {scheduler:?}");
+        }
+        let stats = server.stats();
+        assert!(stats.preemptions > 0, "{scheduler:?}: slices too big, nothing preempted");
+        server.shutdown();
+    }
+}
+
 #[test]
 fn disruptive_neighbours_do_not_perturb_results() {
     let victim = Work { n: 24, iters: 600, bias: 0.0625, seed: 7 };

@@ -1,0 +1,138 @@
+//! Direct-threaded dispatch for the compiled scheduler: executes one
+//! machine cycle from a lowered [`TickProgram`].
+//!
+//! This is the execution half of [`crate::machine::Scheduler::Compiled`]
+//! (the lowering half lives in [`crate::tickvm`]). The loop walks the
+//! flat op stream — 20 bytes per component instead of the interpreted
+//! loop's large-stride `Comp` enum values — and decides skip-or-tick
+//! from the op's pre-resolved channel indices plus the one-byte
+//! hot-state mirror. The big `Comp` value is dereferenced only when the
+//! component actually executes, so a mostly-idle machine touches almost
+//! none of its component memory per cycle.
+//!
+//! The skip conditions are *exactly* the event-driven scheduler's (see
+//! the interpreted loop in `machine.rs`): a skipped tick would only
+//! advance profile-gated attribution counters, and skipping is disabled
+//! whenever the profiler is on (`skip == false` makes this loop
+//! equivalent to dense stepping, which is what profiling requires for
+//! identical attribution). Bit-identity of results therefore follows
+//! from predicate equivalence plus preserved component order — loop
+//! counters and decision FIFOs are shared, non-snapshot, intra-cycle
+//! state, so ops run in the same order the interpreted loops use.
+
+use crate::channel::Channel;
+use crate::glue::DecisionFifo;
+use crate::launch::LaunchCtx;
+use crate::machine::Comp;
+use crate::memsys::MemorySystem;
+use crate::tickvm::{
+    barrier_hot, OpCode, TickProgram, HOT_FULL_GROUP, HOT_NONEMPTY, HOT_RELEASING,
+};
+use crate::token::Token;
+use soff_ir::ir::Kernel;
+
+/// Executes every component's tick for one cycle, in component order,
+/// skipping provable no-ops when `skip` is set. Returns whether any
+/// pipeline moved a token (the `comp_moved` input to the quiescent-gap
+/// fast-forward gate; glue ticks move tokens only through channels,
+/// which the gate observes via `Channel::touched`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_cycle(
+    prog: &mut TickProgram,
+    now: u64,
+    chans: &mut [Channel<Token>],
+    comps: &mut [Comp],
+    fifos: &mut [DecisionFifo],
+    counters: &mut [u64],
+    mem: &mut MemorySystem,
+    launch: &LaunchCtx,
+    kernel: &Kernel,
+    skip: bool,
+) -> bool {
+    let mut moved = false;
+    for (op, hot) in prog.ops.iter().zip(prog.hot.iter_mut()) {
+        match op.code {
+            OpCode::Unit => {
+                // Mirror of `PipelineSim::quiescent`: empty and nothing
+                // offered on the input channel. Emptiness comes from the
+                // hot byte, refreshed below only when a tick moves a
+                // token (a no-move tick cannot change it).
+                if skip && *hot & HOT_NONEMPTY == 0 && !chans[op.a as usize].can_pop() {
+                    continue;
+                }
+                let Comp::Pipe(p) = &mut comps[op.comp as usize] else {
+                    unreachable!("Unit op lowered from a Pipe component")
+                };
+                if p.tick(now, chans, mem, launch, kernel) {
+                    moved = true;
+                    *hot = if p.is_empty() { 0 } else { HOT_NONEMPTY };
+                }
+            }
+            OpCode::Branch => {
+                // Branch pops through `front()`, which ignores jamming,
+                // so the skip condition must too.
+                if skip && chans[op.a as usize].front().is_none() {
+                    continue;
+                }
+                let Comp::Branch(x) = &mut comps[op.comp as usize] else {
+                    unreachable!("Branch op lowered from a Branch component")
+                };
+                x.tick(chans, fifos);
+            }
+            OpCode::Select => {
+                if skip
+                    && chans[op.a as usize].front().is_none()
+                    && chans[op.b as usize].front().is_none()
+                {
+                    continue;
+                }
+                let Comp::Select(x) = &mut comps[op.comp as usize] else {
+                    unreachable!("Select op lowered from a Select component")
+                };
+                x.tick(chans, fifos);
+            }
+            OpCode::Enter => {
+                if skip
+                    && (!chans[op.a as usize].can_push()
+                        || (!chans[op.b as usize].can_pop()
+                            && chans[op.c as usize].front().is_none()))
+                {
+                    continue;
+                }
+                let Comp::Enter(x) = &mut comps[op.comp as usize] else {
+                    unreachable!("Enter op lowered from an Enter component")
+                };
+                x.tick(chans, counters);
+            }
+            OpCode::Exit => {
+                if skip
+                    && (!chans[op.a as usize].can_pop() || !chans[op.b as usize].can_push())
+                {
+                    continue;
+                }
+                let Comp::Exit(x) = &mut comps[op.comp as usize] else {
+                    unreachable!("Exit op lowered from an Exit component")
+                };
+                x.tick(chans, counters);
+            }
+            OpCode::Barrier => {
+                // Mirror of the interpreted `can_act`: input available,
+                // or a full group waiting to start its release, or a
+                // release in progress with room on the output channel.
+                let h = *hot;
+                let can_act = chans[op.a as usize].can_pop()
+                    || h & HOT_FULL_GROUP != 0
+                    || (h & HOT_RELEASING != 0 && chans[op.b as usize].can_push());
+                if skip && !can_act {
+                    continue;
+                }
+                let Comp::Barrier(x) = &mut comps[op.comp as usize] else {
+                    unreachable!("Barrier op lowered from a Barrier component")
+                };
+                x.tick(chans);
+                *hot = barrier_hot(x);
+            }
+        }
+    }
+    moved
+}

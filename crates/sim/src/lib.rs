@@ -38,6 +38,7 @@
 //! ```
 
 pub mod channel;
+pub(crate) mod compiled;
 pub mod diag;
 pub mod fault;
 pub mod glue;
@@ -45,6 +46,7 @@ pub mod launch;
 pub mod machine;
 pub mod memsys;
 pub mod profile;
+pub mod tickvm;
 pub mod token;
 pub mod units;
 

@@ -12,12 +12,14 @@
 //! schedulers — the checkpoint differential tests pin that down.
 
 use crate::channel::{ChanId, Channel};
+use crate::compiled;
 use crate::diag::{self, DeadlockReport};
 use crate::fault::{self, FaultPlan};
 use crate::glue::{BarrierUnit, Branch, DecisionFifo, LoopEnter, LoopExit, Select};
 use crate::launch::LaunchCtx;
 use crate::memsys::{CachePlan, MemTarget, MemorySystem};
 use crate::profile::{self, CycleBreakdown, ProfileConfig, ProfileReport, Profiler};
+use crate::tickvm::TickProgram;
 use crate::token::{edge_mapping, Mapping, Token};
 use crate::units::PipelineSim;
 use soff_datapath::{Datapath, PipeNode};
@@ -35,13 +37,13 @@ use std::time::{Duration, Instant};
 
 /// Which main-loop strategy drives the machine.
 ///
-/// Both schedulers execute the *same* per-cycle semantics and produce
+/// All schedulers execute the *same* per-cycle semantics and produce
 /// bit-identical [`SimResult`]s (cycle counts, per-cache statistics,
-/// memory contents, error reports). `EventDriven` merely skips work it
-/// can prove is a no-op: component ticks whose handshakes cannot fire,
-/// and whole stretches of cycles where the entire machine is idle
-/// waiting on a scheduled memory event (which it fast-forwards across,
-/// replaying the stall counters in closed form).
+/// memory contents, error reports). `EventDriven` and `Compiled` merely
+/// skip work they can prove is a no-op: component ticks whose handshakes
+/// cannot fire, and whole stretches of cycles where the entire machine
+/// is idle waiting on a scheduled memory event (which they fast-forward
+/// across, replaying the stall counters in closed form).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scheduler {
     /// Tick every component every cycle — the reference model.
@@ -53,6 +55,17 @@ pub enum Scheduler {
     /// so there are no skippable cycles to exploit.
     #[default]
     EventDriven,
+    /// Lowers the component graph once into a flat tick program
+    /// ([`crate::tickvm::TickProgram`]) and dispatches it directly
+    /// ([`crate::compiled`]): same skip conditions as `EventDriven`, but
+    /// decided from pre-resolved operand indices and a hot-state mirror
+    /// instead of re-derived from the component graph every cycle.
+    ///
+    /// Like `EventDriven`, degenerates to dense stepping while profiling
+    /// is enabled. Snapshot fingerprints exclude the scheduler knob, so
+    /// a snapshot taken under any scheduler restores under this one (and
+    /// vice versa) and continues bit-identically.
+    Compiled,
 }
 
 /// Simulator configuration.
@@ -478,6 +491,13 @@ pub struct Machine<'a> {
     /// Event-driven stepping enabled (scheduler = EventDriven and the
     /// profiler is off).
     ed: bool,
+    /// Quiescent-gap fast-forward enabled (any skipping scheduler —
+    /// EventDriven or Compiled — with the profiler off).
+    ff: bool,
+    /// The lowered tick program (scheduler = Compiled). Static
+    /// scaffolding plus a dynamic hot-state mirror, so it lives outside
+    /// [`MachineState`]; [`Machine::restore`] resyncs the mirror.
+    prog: Option<TickProgram>,
     fingerprint: u64,
     st: MachineState,
 }
@@ -583,10 +603,12 @@ impl<'a> Machine<'a> {
         let gate_wgs = kernel.uses_local;
         let (deadlock_window, livelock_window) =
             diag::effective_windows(cfg, dp.l_datapath, wg_size);
-        // Event-driven scheduling degenerates to dense stepping while the
+        // The skipping schedulers degenerate to dense stepping while the
         // profiler is on: it observes the machine once per simulated
         // cycle, so no cycle is skippable.
         let ed = cfg.scheduler == Scheduler::EventDriven && cfg.profile.is_none();
+        let ff = cfg.scheduler != Scheduler::Dense && cfg.profile.is_none();
+        let prog = (cfg.scheduler == Scheduler::Compiled).then(|| TickProgram::lower(&comps));
 
         // The identity a snapshot must match to be restorable here:
         // kernel, machine topology, launch shape, and every configuration
@@ -636,6 +658,8 @@ impl<'a> Machine<'a> {
             deadlock_window,
             livelock_window,
             ed,
+            ff,
+            prog,
             fingerprint,
             st: MachineState {
                 chans,
@@ -705,6 +729,13 @@ impl<'a> Machine<'a> {
         }
         self.st = snap.st.clone();
         *gm = snap.gm.clone();
+        // The tick program's ops are pure scaffolding, but its hot-state
+        // mirror tracks the components just replaced wholesale — rebuild
+        // it (snapshots may also come from a differently-scheduled
+        // machine, which has no mirror at all).
+        if let Some(prog) = self.prog.as_mut() {
+            prog.resync(&self.st.comps);
+        }
         Ok(())
     }
 
@@ -829,54 +860,73 @@ impl<'a> Machine<'a> {
         let ed = self.ed;
         let chans = &mut self.st.chans;
         let mut comp_moved = false;
-        for c in &mut self.st.comps {
-            match c {
-                Comp::Pipe(p) => {
-                    if ed && p.quiescent(chans) {
-                        continue;
+        if let Some(prog) = self.prog.as_mut() {
+            // Compiled dispatch: same skip conditions, same component
+            // order, decided from the flat op stream (see
+            // `compiled::exec_cycle`). Skipping is disabled under
+            // profiling, exactly like the interpreted schedulers.
+            comp_moved = compiled::exec_cycle(
+                prog,
+                now,
+                chans,
+                &mut self.st.comps,
+                &mut self.st.fifos,
+                &mut self.st.counters,
+                &mut self.st.mem,
+                &self.launch,
+                self.kernel,
+                self.cfg.profile.is_none(),
+            );
+        } else {
+            for c in &mut self.st.comps {
+                match c {
+                    Comp::Pipe(p) => {
+                        if ed && p.quiescent(chans) {
+                            continue;
+                        }
+                        comp_moved |=
+                            p.tick(now, chans, &mut self.st.mem, &self.launch, self.kernel);
                     }
-                    comp_moved |=
-                        p.tick(now, chans, &mut self.st.mem, &self.launch, self.kernel);
-                }
-                Comp::Branch(x) => {
-                    if ed && chans[x.inp.0].front().is_none() {
-                        continue;
+                    Comp::Branch(x) => {
+                        if ed && chans[x.inp.0].front().is_none() {
+                            continue;
+                        }
+                        x.tick(chans, &mut self.st.fifos);
                     }
-                    x.tick(chans, &mut self.st.fifos);
-                }
-                Comp::Select(x) => {
-                    if ed
-                        && chans[x.from_taken.0].front().is_none()
-                        && chans[x.from_not_taken.0].front().is_none()
-                    {
-                        continue;
+                    Comp::Select(x) => {
+                        if ed
+                            && chans[x.from_taken.0].front().is_none()
+                            && chans[x.from_not_taken.0].front().is_none()
+                        {
+                            continue;
+                        }
+                        x.tick(chans, &mut self.st.fifos);
                     }
-                    x.tick(chans, &mut self.st.fifos);
-                }
-                Comp::Enter(x) => {
-                    if ed
-                        && (!chans[x.out.0].can_push()
-                            || (!chans[x.backedge.0].can_pop()
-                                && chans[x.outside.0].front().is_none()))
-                    {
-                        continue;
+                    Comp::Enter(x) => {
+                        if ed
+                            && (!chans[x.out.0].can_push()
+                                || (!chans[x.backedge.0].can_pop()
+                                    && chans[x.outside.0].front().is_none()))
+                        {
+                            continue;
+                        }
+                        x.tick(chans, &mut self.st.counters);
                     }
-                    x.tick(chans, &mut self.st.counters);
-                }
-                Comp::Exit(x) => {
-                    if ed && (!chans[x.inp.0].can_pop() || !chans[x.out.0].can_push()) {
-                        continue;
+                    Comp::Exit(x) => {
+                        if ed && (!chans[x.inp.0].can_pop() || !chans[x.out.0].can_push()) {
+                            continue;
+                        }
+                        x.tick(chans, &mut self.st.counters);
                     }
-                    x.tick(chans, &mut self.st.counters);
-                }
-                Comp::Barrier(x) => {
-                    let can_act = chans[x.inp.0].can_pop()
-                        || (x.releasing == 0 && x.buf.len() as u64 >= x.wg_size)
-                        || (x.releasing > 0 && chans[x.out.0].can_push());
-                    if ed && !can_act {
-                        continue;
+                    Comp::Barrier(x) => {
+                        let can_act = chans[x.inp.0].can_pop()
+                            || (x.releasing == 0 && x.buf.len() as u64 >= x.wg_size)
+                            || (x.releasing > 0 && chans[x.out.0].can_push());
+                        if ed && !can_act {
+                            continue;
+                        }
+                        x.tick(chans);
                     }
-                    x.tick(chans);
                 }
             }
         }
@@ -1048,7 +1098,7 @@ impl<'a> Machine<'a> {
         // until the next *scheduled* event. Jump straight to that cycle,
         // replaying in closed form the only per-cycle side effects dense
         // stepping would have produced (stall counters).
-        if self.ed && !comp_moved && !mem_moved && !self.st.chans.iter().any(|c| c.touched()) {
+        if self.ff && !comp_moved && !mem_moved && !self.st.chans.iter().any(|c| c.touched()) {
             let t_mem = self.st.mem.next_event_cycle(now);
             debug_assert_eq!(
                 t_mem.is_some(),

@@ -1,0 +1,195 @@
+//! Tick-program encoding for the compiled scheduler
+//! ([`crate::machine::Scheduler::Compiled`]).
+//!
+//! The machine's component graph is *resolved* at build time — every
+//! channel, decision FIFO, and loop counter a component touches is a
+//! fixed dense index — yet the interpreted main loop re-discovers that
+//! structure every cycle: it walks a `Vec` of large `Comp` enum values
+//! and re-derives each component's skip condition from its fields. The
+//! elaboration pass here lowers the graph *once* into a flat
+//! [`TickProgram`]: one compact [`Op`] per component, in component
+//! order, with the channel indices its skip condition needs pre-resolved
+//! into the operand slots. The dispatch loop
+//! ([`crate::compiled::exec_cycle`]) then decides skip-or-tick from the
+//! op stream alone and only dereferences the big `Comp` value when the
+//! component actually executes.
+//!
+//! ## Opcode table
+//!
+//! | opcode    | component            | `a`          | `b`            | `c`       |
+//! |-----------|----------------------|--------------|----------------|-----------|
+//! | `Unit`    | pipelined datapath   | input chan   | —              | —         |
+//! | `Branch`  | cond. branch glue    | input chan   | —              | —         |
+//! | `Select`  | merge glue           | taken chan   | not-taken chan | —         |
+//! | `Enter`   | loop-entry glue      | output chan  | backedge chan  | outside chan |
+//! | `Exit`    | loop-exit glue       | input chan   | output chan    | —         |
+//! | `Barrier` | work-group barrier   | input chan   | output chan    | —         |
+//!
+//! ## The hot-state mirror
+//!
+//! Two skip conditions read component-*internal* state that is expensive
+//! or awkward to reach from the op stream: a pipeline's emptiness
+//! (`PipelineSim::is_empty` is O(units + edges), the dominant cost of the
+//! event-driven scheduler's skip scan) and a barrier's release/occupancy
+//! state. Both are mirrored into one byte per op (`TickProgram::hot`),
+//! kept fresh by the dispatch loop. The mirror is sound because both
+//! facts can only change inside the component's *own* tick: tokens enter
+//! and leave a pipeline only when it ticks (a tick that moves nothing
+//! leaves emptiness unchanged, so the O(units) recomputation is paid only
+//! on movement), and a barrier's buffer and release counter are touched
+//! by nothing but its tick. Fault injection perturbs channels, caches,
+//! and DRAM — never component-internal state — so the mirror survives it;
+//! [`crate::machine::Machine::restore`] rebuilds the mirror from the
+//! restored state via [`TickProgram::resync`].
+
+use crate::machine::Comp;
+
+/// Which tick routine an [`Op`] dispatches to (one per [`Comp`] variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpCode {
+    /// A pipelined datapath segment (`Comp::Pipe`).
+    Unit,
+    /// Conditional-branch glue (`Comp::Branch`).
+    Branch,
+    /// Merge glue (`Comp::Select`).
+    Select,
+    /// Loop-entry glue (`Comp::Enter`).
+    Enter,
+    /// Loop-exit glue (`Comp::Exit`).
+    Exit,
+    /// Work-group barrier (`Comp::Barrier`).
+    Barrier,
+}
+
+/// `hot` bit: the pipeline holds at least one work-item token.
+pub const HOT_NONEMPTY: u8 = 1 << 0;
+/// `hot` bit: the barrier is mid-release (`releasing > 0`).
+pub const HOT_RELEASING: u8 = 1 << 1;
+/// `hot` bit: the barrier holds a full work-group and is not yet
+/// releasing (`releasing == 0 && buf.len() >= wg_size`).
+pub const HOT_FULL_GROUP: u8 = 1 << 2;
+
+/// One lowered component: opcode, component index, and the pre-resolved
+/// channel indices its skip condition reads (see the module-level opcode
+/// table for the operand meaning per opcode).
+#[derive(Debug, Clone, Copy)]
+pub struct Op {
+    /// Dispatch target.
+    pub code: OpCode,
+    /// Index into the machine's component vector.
+    pub comp: u32,
+    /// First operand channel index.
+    pub a: u32,
+    /// Second operand channel index (unused: 0).
+    pub b: u32,
+    /// Third operand channel index (unused: 0).
+    pub c: u32,
+}
+
+/// A lowered tick program: the static op stream plus the per-op dynamic
+/// hot-state mirror. Built once per machine ([`TickProgram::lower`]);
+/// the ops never change, the mirror is maintained by the dispatch loop
+/// and rebuilt on snapshot restore ([`TickProgram::resync`]).
+#[derive(Debug, Clone)]
+pub struct TickProgram {
+    /// One op per component, in component order (the order is
+    /// semantically load-bearing: loop counters and decision FIFOs are
+    /// read and written non-snapshot within a cycle).
+    pub ops: Vec<Op>,
+    /// Per-op hot-state byte (`HOT_*` bits), parallel to `ops`.
+    pub hot: Vec<u8>,
+}
+
+impl TickProgram {
+    /// Lowers a resolved component vector into a tick program, preserving
+    /// component order, and initializes the hot mirror from the current
+    /// state.
+    pub(crate) fn lower(comps: &[Comp]) -> TickProgram {
+        let ops = comps
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let comp = i as u32;
+                match c {
+                    Comp::Pipe(p) => Op {
+                        code: OpCode::Unit,
+                        comp,
+                        a: p.in_chan.0 as u32,
+                        b: 0,
+                        c: 0,
+                    },
+                    Comp::Branch(x) => Op {
+                        code: OpCode::Branch,
+                        comp,
+                        a: x.inp.0 as u32,
+                        b: 0,
+                        c: 0,
+                    },
+                    Comp::Select(x) => Op {
+                        code: OpCode::Select,
+                        comp,
+                        a: x.from_taken.0 as u32,
+                        b: x.from_not_taken.0 as u32,
+                        c: 0,
+                    },
+                    Comp::Enter(x) => Op {
+                        code: OpCode::Enter,
+                        comp,
+                        a: x.out.0 as u32,
+                        b: x.backedge.0 as u32,
+                        c: x.outside.0 as u32,
+                    },
+                    Comp::Exit(x) => Op {
+                        code: OpCode::Exit,
+                        comp,
+                        a: x.inp.0 as u32,
+                        b: x.out.0 as u32,
+                        c: 0,
+                    },
+                    Comp::Barrier(x) => Op {
+                        code: OpCode::Barrier,
+                        comp,
+                        a: x.inp.0 as u32,
+                        b: x.out.0 as u32,
+                        c: 0,
+                    },
+                }
+            })
+            .collect();
+        let mut prog = TickProgram { ops, hot: vec![0; comps.len()] };
+        prog.resync(comps);
+        prog
+    }
+
+    /// Rebuilds the hot-state mirror from the component vector. Called
+    /// after a snapshot restore, which replaces the components wholesale.
+    pub(crate) fn resync(&mut self, comps: &[Comp]) {
+        debug_assert_eq!(self.ops.len(), comps.len(), "program lowered from these components");
+        for (hot, c) in self.hot.iter_mut().zip(comps.iter()) {
+            *hot = match c {
+                Comp::Pipe(p) => {
+                    if p.is_empty() {
+                        0
+                    } else {
+                        HOT_NONEMPTY
+                    }
+                }
+                Comp::Barrier(x) => barrier_hot(x),
+                _ => 0,
+            };
+        }
+    }
+}
+
+/// The barrier's hot bits, recomputed from its live state (called by the
+/// dispatch loop after every barrier tick).
+pub(crate) fn barrier_hot(x: &crate::glue::BarrierUnit) -> u8 {
+    if x.releasing > 0 {
+        HOT_RELEASING
+    } else if x.buf.len() as u64 >= x.wg_size {
+        HOT_FULL_GROUP
+    } else {
+        0
+    }
+}

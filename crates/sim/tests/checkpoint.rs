@@ -6,8 +6,10 @@
 //! uninterrupted run — the same `SimResult` (cycle counts, per-cache
 //! statistics, stall counters, profile), the same memory contents, and on
 //! failing runs the same `SimError` (including forensic reports) — under
-//! both schedulers, with and without active fault plans, and across
-//! repeated interruptions.
+//! all schedulers, with and without active fault plans, and across
+//! repeated interruptions. Snapshot fingerprints exclude the scheduler
+//! knob, so a snapshot taken under one backend may be restored under
+//! another; the backend-switch tests pin that down.
 
 use proptest::prelude::*;
 use soff_datapath::{Datapath, LatencyModel};
@@ -135,7 +137,7 @@ proptest! {
         cut in 1u64..4_000,
     ) {
         let nd = NdRange::dim1(groups * 8, 8);
-        for sched in [Scheduler::Dense, Scheduler::EventDriven] {
+        for sched in [Scheduler::Dense, Scheduler::EventDriven, Scheduler::Compiled] {
             let cfg = config(sched, FaultPlan::none(), None);
             let straight = run_straight(KERNELS[ki], nd, &cfg);
             let resumed = run_interrupted(KERNELS[ki], nd, &cfg, &[cut]);
@@ -164,7 +166,7 @@ proptest! {
         ).expect("probe machine");
         let faults = FaultPlan::random(seed, nfaults, 5_000)
             .normalized(probe.num_channels(), probe.num_caches());
-        for sched in [Scheduler::Dense, Scheduler::EventDriven] {
+        for sched in [Scheduler::Dense, Scheduler::EventDriven, Scheduler::Compiled] {
             let cfg = config(sched, faults.clone(), None);
             let straight = run_straight(KERNELS[ki], nd, &cfg);
             let resumed = run_interrupted(KERNELS[ki], nd, &cfg, &[cut]);
@@ -190,6 +192,126 @@ proptest! {
         let straight = run_straight(KERNELS[ki], nd, &cfg);
         let resumed = run_interrupted(KERNELS[ki], nd, &cfg, &cuts);
         prop_assert_eq!(&straight, &resumed, "cuts {:?}", cuts);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Backend switch mid-run: snapshot under one scheduler, restore
+    /// under another (notably EventDriven → Compiled, whose hot-state
+    /// mirror must be rebuilt from the restored components), finish
+    /// bit-identically to the uninterrupted reference.
+    #[test]
+    fn checkpoint_survives_backend_switch(
+        ki in 0usize..4,
+        cut in 1u64..3_000,
+        pair in 0usize..4,
+    ) {
+        let nd = NdRange::dim1(2 * 8, 8);
+        let (from, to) = [
+            (Scheduler::EventDriven, Scheduler::Compiled),
+            (Scheduler::Compiled, Scheduler::EventDriven),
+            (Scheduler::Dense, Scheduler::Compiled),
+            (Scheduler::Compiled, Scheduler::Dense),
+        ][pair];
+        let reference = run_straight(KERNELS[ki], nd, &config(Scheduler::Dense, FaultPlan::none(), None));
+
+        let (kernel, dp) = compile(KERNELS[ki]);
+        let (mut gm, a) = fresh_memory();
+        let args = [ArgValue::Buffer(a), ArgValue::Scalar(5)];
+        let cfg_from = config(from, FaultPlan::none(), None);
+        let mut m = Machine::new(&kernel, &dp, &cfg_from, nd, &args).unwrap();
+        let ctl = RunControl { cycle_deadline: Some(cut), ..RunControl::default() };
+        let switched: Outcome = match m.run_with(&mut gm, &ctl) {
+            Err(SimError::DeadlineExceeded { cycle, snapshot }) => {
+                prop_assert!(cycle <= cut);
+                let cfg_to = config(to, FaultPlan::none(), None);
+                let mut resumed = Machine::new(&kernel, &dp, &cfg_to, nd, &args).unwrap();
+                resumed.restore(&snapshot, &mut gm).unwrap();
+                resumed.run(&mut gm).map(|r| (r, gm.buffer(a).bytes().to_vec()))
+            }
+            Err(e) => Err(e),
+            Ok(res) => Ok((res, gm.buffer(a).bytes().to_vec())),
+        };
+        prop_assert_eq!(&reference, &switched, "{:?} -> {:?} at cut {}", from, to, cut);
+    }
+}
+
+/// Regression: a cycle deadline landing *inside or exactly on* a
+/// quiescent-gap boundary must produce the same slice sequence under
+/// every scheduler — each cut lands exactly on its deadline cycle (the
+/// fast-forward caps its jump at the deadline rather than overshooting,
+/// and a cut at `now + 1` produces a normal one-cycle slice, not a
+/// zero-length one), and the number of slices is pinned by the
+/// completion cycle alone.
+#[test]
+fn deadline_slice_counts_pin_quiescent_gap_boundaries() {
+    // Long-idle-gap kernel: a single narrow work-group serializes on
+    // memory, so the machine spends most cycles quiescent and the
+    // fast-forward path dominates under the skipping schedulers.
+    let src = "__kernel void k(__global int* a, int n) {
+        int i = get_global_id(0);
+        int s = 0;
+        for (int j = 0; j < n; j++) s += a[(i * 37 + j * 13) % 64];
+        a[i % 64] = s;
+    }";
+    let nd = NdRange::dim1(4, 4);
+    let (kernel, dp) = compile(src);
+
+    // Reference completion cycle (dense, uninterrupted).
+    let dense_cfg = config(Scheduler::Dense, FaultPlan::none(), None);
+    let reference = run_straight(src, nd, &dense_cfg).expect("fault-free launch");
+    let compute_cycles = reference.0.compute_cycles;
+
+    for interval in [1u64, 7, 64, 100] {
+        let mut counts = Vec::new();
+        for sched in [Scheduler::Dense, Scheduler::EventDriven, Scheduler::Compiled] {
+            let cfg = config(sched, FaultPlan::none(), None);
+            let (mut gm, a) = fresh_memory();
+            let args = [ArgValue::Buffer(a), ArgValue::Scalar(5)];
+            let mut machine = Machine::new(&kernel, &dp, &cfg, nd, &args).unwrap();
+            let mut cuts = Vec::new();
+            let outcome = loop {
+                let deadline = (cuts.len() as u64 + 1) * interval;
+                let ctl =
+                    RunControl { cycle_deadline: Some(deadline), ..RunControl::default() };
+                match machine.run_with(&mut gm, &ctl) {
+                    Err(SimError::DeadlineExceeded { cycle, snapshot }) => {
+                        // Every cut lands exactly on its deadline: no
+                        // overshoot (a fast-forward jumping past the cut)
+                        // and no zero-length slice (a repeated cut at the
+                        // same cycle).
+                        assert_eq!(
+                            cycle, deadline,
+                            "scheduler {sched:?}, interval {interval}: cut drifted"
+                        );
+                        let mut rebuilt =
+                            Machine::new(&kernel, &dp, &cfg, nd, &args).unwrap();
+                        rebuilt.restore(&snapshot, &mut gm).unwrap();
+                        machine = rebuilt;
+                        cuts.push(cycle);
+                    }
+                    Ok(res) => break res,
+                    Err(e) => panic!("unexpected failure: {e}"),
+                }
+            };
+            assert_eq!(outcome, reference.0, "scheduler {sched:?}, interval {interval}");
+            // Deadlines are checked before executing their cycle, and the
+            // run completes at the end of cycle `compute_cycles`, so the
+            // slice count is exactly the number of interval multiples in
+            // [1, compute_cycles].
+            assert_eq!(
+                cuts.len() as u64,
+                compute_cycles / interval,
+                "scheduler {sched:?}, interval {interval}: wrong slice count"
+            );
+            counts.push(cuts);
+        }
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "interval {interval}: schedulers disagreed on cut sequence"
+        );
     }
 }
 

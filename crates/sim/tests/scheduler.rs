@@ -1,12 +1,13 @@
-//! Dense vs. event-driven scheduler differential suite.
+//! Dense vs. event-driven vs. compiled scheduler differential suite.
 //!
-//! The event-driven scheduler is an optimization, not a model change: for
-//! any launch — any kernel shape, geometry, replication, fault plan, and
-//! profiling setting — it must produce the *bit-identical* outcome of the
-//! dense reference loop: the same `SimResult` (cycle counts, per-cache
-//! statistics, stall counters), the same memory contents, and on failing
-//! runs the same `SimError` (including the forensic deadlock report and
-//! the cycle numbers inside it).
+//! The event-driven and compiled schedulers are optimizations, not model
+//! changes: for any launch — any kernel shape, geometry, replication,
+//! fault plan, and profiling setting — each must produce the
+//! *bit-identical* outcome of the dense reference loop: the same
+//! `SimResult` (cycle counts, per-cache statistics, stall counters), the
+//! same memory contents, and on failing runs the same `SimError`
+//! (including the forensic deadlock report and the cycle numbers inside
+//! it).
 
 use proptest::prelude::*;
 use soff_datapath::{Datapath, LatencyModel};
@@ -99,8 +100,8 @@ fn run_one(
     Ok((res, gm.buffer(a).bytes().to_vec()))
 }
 
-/// Runs the launch under both schedulers and asserts bit-identity of the
-/// complete outcome.
+/// Runs the launch under all three schedulers and asserts bit-identity
+/// of the complete outcome.
 #[allow(clippy::result_large_err)]
 fn assert_schedulers_agree(
     src: &str,
@@ -112,8 +113,19 @@ fn assert_schedulers_agree(
 ) -> Result<(SimResult, Vec<u8>), SimError> {
     let dense =
         run_one(src, nd, instances, faults.clone(), profile, check_invariants, Scheduler::Dense);
-    let ed = run_one(src, nd, instances, faults, profile, check_invariants, Scheduler::EventDriven);
+    let ed = run_one(
+        src,
+        nd,
+        instances,
+        faults.clone(),
+        profile,
+        check_invariants,
+        Scheduler::EventDriven,
+    );
     assert_eq!(dense, ed, "dense and event-driven outcomes diverged");
+    let compiled =
+        run_one(src, nd, instances, faults, profile, check_invariants, Scheduler::Compiled);
+    assert_eq!(dense, compiled, "dense and compiled outcomes diverged");
     dense
 }
 

@@ -263,6 +263,33 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D, E, G);
 }
 
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec<T>`; built by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with a length drawn
+    /// uniformly from `size` (`collection::vec(elem, 0..60)`).
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "collection::vec needs a non-empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
 pub mod arbitrary {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
@@ -309,6 +336,9 @@ pub mod arbitrary {
 }
 
 pub mod prelude {
+    /// The crate root under its conventional prelude alias
+    /// (`prop::collection::vec(...)`), as in the real crate.
+    pub use crate as prop;
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
