@@ -168,6 +168,12 @@ pub fn known_issue(fw: Framework, app: &str) -> Option<Outcome> {
             "124.hotspot" => RuntimeError,
             "128.heartwall" => CompileError,
             "140.bplustree" => IncorrectAnswer,
+            // Temporally-blocked stencils: the unrolled multi-step windows
+            // (dozens of guarded loads per work-item) blow past what the
+            // 2018-era static schedulers could place — the conv variants
+            // exhaust the device, the iterative ones die in scheduling.
+            "2dconv-blocked" | "3dconv-blocked" => InsufficientResources,
+            "jacobi-blocked" | "fdtd-2d-blocked" => CompileError,
             _ => return None,
         }),
         Framework::XilinxLike => Some(match app {
@@ -179,6 +185,10 @@ pub fn known_issue(fw: Framework, app: &str) -> Option<Outcome> {
             "128.heartwall" => CompileError,
             "140.bplustree" => IncorrectAnswer,
             "3mm" | "gramschm" | "syr2k" | "covar" | "fdtd-2d" => Hang,
+            // Blocked stencils choke the static pipeliner outright; the
+            // fdtd variant hangs just like its plain counterpart above.
+            "2dconv-blocked" | "3dconv-blocked" | "jacobi-blocked" => CompileError,
+            "fdtd-2d-blocked" => Hang,
             _ => return None,
         }),
     }
@@ -361,6 +371,14 @@ mod tests {
             .filter(|a| known_issue(Framework::XilinxLike, a).is_some())
             .count();
         assert_eq!(poly_fail, 5);
+        // Temporally-blocked stencils fail on BOTH vendor frameworks
+        // (only SOFF's line-buffer path handles them); plain jacobi passes.
+        for a in ["2dconv-blocked", "3dconv-blocked", "jacobi-blocked", "fdtd-2d-blocked"] {
+            assert!(known_issue(Framework::IntelLike, a).is_some(), "{a} intel");
+            assert!(known_issue(Framework::XilinxLike, a).is_some(), "{a} xilinx");
+        }
+        assert_eq!(known_issue(Framework::IntelLike, "jacobi"), None);
+        assert_eq!(known_issue(Framework::XilinxLike, "jacobi"), None);
     }
 
     #[test]

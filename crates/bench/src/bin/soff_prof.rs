@@ -214,12 +214,14 @@ fn pct(part: u64, whole: u64) -> f64 {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn print_tables(
     app: &App,
     correct: bool,
     total_cycles: u64,
     kernels: &[KernelAgg],
     dram: &soff_mem::DramStats,
+    line_buf: &soff_sim::LineBufStats,
     checked: u64,
     violation: &Option<String>,
 ) {
@@ -317,6 +319,19 @@ fn print_tables(
         "DRAM: {} line reads, {} line writes, {} queued requests, {} cycles total queue delay",
         dram.reads, dram.writes, dram.queued_requests, dram.queue_delay
     );
+    if line_buf.accesses > 0 {
+        println!(
+            "line buffer: {} accesses ({} window hits, {} underruns), {} stream refills; \
+             {} bytes from DRAM, {} bytes served ({} modeled bytes saved)",
+            line_buf.accesses,
+            line_buf.window_hits,
+            line_buf.underruns,
+            line_buf.stream_refills,
+            line_buf.bytes_from_dram,
+            line_buf.bytes_served,
+            line_buf.bytes_served.saturating_sub(line_buf.bytes_from_dram),
+        );
+    }
 }
 
 fn breakdown_json(c: &CycleBreakdown) -> Json {
@@ -334,6 +349,7 @@ fn print_json(
     total_cycles: u64,
     kernels: &[KernelAgg],
     dram: &soff_mem::DramStats,
+    line_buf: &soff_sim::LineBufStats,
     violation: &Option<String>,
 ) {
     let kernel_objs = kernels
@@ -424,6 +440,23 @@ fn print_json(
                 ("queue_delay", Json::Int(dram.queue_delay as i64)),
             ]),
         ),
+        (
+            // `bytes_saved` is modeled: bytes delivered to the datapath
+            // minus bytes actually streamed from DRAM.
+            "line_buf",
+            Json::obj(vec![
+                ("accesses", Json::Int(line_buf.accesses as i64)),
+                ("window_hits", Json::Int(line_buf.window_hits as i64)),
+                ("underruns", Json::Int(line_buf.underruns as i64)),
+                ("stream_refills", Json::Int(line_buf.stream_refills as i64)),
+                ("bytes_from_dram", Json::Int(line_buf.bytes_from_dram as i64)),
+                ("bytes_served", Json::Int(line_buf.bytes_served as i64)),
+                (
+                    "bytes_saved",
+                    Json::Int(line_buf.bytes_served.saturating_sub(line_buf.bytes_from_dram) as i64),
+                ),
+            ]),
+        ),
     ]);
     println!("{doc}");
 }
@@ -459,17 +492,28 @@ fn main() -> ExitCode {
 
     let (kernels, checked, violation) = aggregate(&runner.profiles);
     let mut dram = soff_mem::DramStats::default();
+    let mut line_buf = soff_sim::LineBufStats::default();
     for r in &runner.launch_results {
         dram.reads += r.dram.reads;
         dram.writes += r.dram.writes;
         dram.queued_requests += r.dram.queued_requests;
         dram.queue_delay += r.dram.queue_delay;
+        line_buf.merge(&r.line_buf);
     }
 
     if opts.json {
-        print_json(app, correct, runner.total_cycles, &kernels, &dram, &violation);
+        print_json(app, correct, runner.total_cycles, &kernels, &dram, &line_buf, &violation);
     } else {
-        print_tables(app, correct, runner.total_cycles, &kernels, &dram, checked, &violation);
+        print_tables(
+            app,
+            correct,
+            runner.total_cycles,
+            &kernels,
+            &dram,
+            &line_buf,
+            checked,
+            &violation,
+        );
     }
 
     if let Some(path) = &opts.trace {

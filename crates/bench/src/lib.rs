@@ -100,12 +100,14 @@ pub fn fmt_geomean(vals: &[f64]) -> String {
     }
 }
 
-/// The 26 applications Intel OpenCL can run (Fig. 11's x-axis).
+/// The 26 applications Intel OpenCL can run (Fig. 11's x-axis). The
+/// stencil suite post-dates the paper, so it never appears here.
 pub fn fig11_apps() -> Vec<App> {
     all_apps()
         .into_iter()
         .filter(|a| {
-            soff_baseline::known_issue(Framework::IntelLike, a.name).is_none()
+            a.suite != soff_workloads::Suite::Stencil
+                && soff_baseline::known_issue(Framework::IntelLike, a.name).is_none()
                 // SOFF cannot run the IR apps either, so they cannot appear.
                 && !matches!(a.name, "122.cfd" | "128.heartwall" | "140.bplustree")
         })
@@ -150,7 +152,12 @@ pub fn speedups_vs_resumable(
             journal.map(|p| std::path::PathBuf::from(format!("{}.{suffix}", p.display())));
         opts
     };
-    let apps = all_apps();
+    // Paper-figure sweeps stay on the paper's 34 apps; the stencil suite
+    // has its own harness (`stencil_speed`).
+    let apps: Vec<App> = all_apps()
+        .into_iter()
+        .filter(|a| a.suite != soff_workloads::Suite::Stencil)
+        .collect();
     let soff_cells: Vec<Cell> =
         apps.iter().map(|a| Cell::new(*a, Framework::Soff, scale)).collect();
     let soff = run_cells_resumable(&soff_cells, &wave_opts("soff"))?;

@@ -146,6 +146,22 @@ pub fn unit_cost(class: UnitClass, ty: Scalar) -> Resources {
 /// matching Intel OpenCL on the same FPGA).
 pub const CACHE_BYTES: u64 = 64 * 1024;
 
+/// Cost of one shift-register line buffer (DESIGN.md §13) serving a
+/// `taps`-tap sliding window over a `span_bytes` streamed span: window
+/// registers + stream storage in plain registers/BRAM, per-tap output
+/// muxing, and the stream engine. Deliberately much cheaper than the
+/// 64 KB cache it displaces — the whole point of window detection is
+/// trading cache BRAM for a small shift register.
+pub fn line_buffer_cost(taps: usize, span_bytes: u64) -> Resources {
+    Resources {
+        // Stream engine + address compare per tap + output mux.
+        luts: 600.0 + 150.0 * taps as f64,
+        dsps: 0.0,
+        // The shift register itself (5% tag/valid overhead).
+        membits: span_bytes as f64 * 8.0 * 1.05,
+    }
+}
+
 /// Estimates the resources of one datapath instance, including its caches
 /// and local memory blocks.
 ///
@@ -311,6 +327,24 @@ mod tests {
         let per = Resources { luts: 1.0, dsps: 0.0, membits: 0.0 };
         let r = replicate(per, &SYSTEM_B).unwrap();
         assert_eq!(r.num_datapaths, 64);
+    }
+
+    #[test]
+    fn line_buffer_is_cheaper_than_the_cache_it_displaces() {
+        // A 9-tap window over a 16 KB span must cost less than one 64 KB
+        // cache in both LUTs and memory bits; otherwise the datapath
+        // elaboration would have no reason to prefer it.
+        let lb = line_buffer_cost(9, 16 * 1024);
+        assert!(lb.luts < 2500.0, "LB LUTs {} vs cache 2500", lb.luts);
+        assert!(
+            lb.membits < CACHE_BYTES as f64 * 8.0 * 1.1,
+            "LB membits {} vs cache {}",
+            lb.membits,
+            CACHE_BYTES as f64 * 8.0 * 1.1
+        );
+        // And it scales with taps and span.
+        assert!(line_buffer_cost(25, 16 * 1024).luts > lb.luts);
+        assert!(line_buffer_cost(9, 32 * 1024).membits > lb.membits);
     }
 
     #[test]

@@ -54,5 +54,6 @@ pub mod mem;
 pub mod opt;
 pub mod pointer;
 pub mod verify;
+pub mod window;
 
 pub use ir::{Kernel, Module, NdRange};

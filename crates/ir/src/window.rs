@@ -1,0 +1,562 @@
+//! Sliding-window (stencil) access-pattern detection (ROADMAP item 4).
+//!
+//! Recognizes the *affine sliding-window* idiom on `__global` /
+//! `__constant` buffers: a cache group (one buffer argument, see
+//! [`crate::pointer::global_cache_groups`]) all of whose accesses are
+//! loads of one scalar type, and whose addresses are the *same* affine
+//! expression except for launch-constant byte offsets — the
+//! `in[y*n + x ± k]` neighborhoods of stencil kernels. Such a group can
+//! be served by a shift-register **line buffer** that streams the buffer
+//! once from DRAM and serves every tap in parallel at register latency,
+//! instead of arbitrating all taps onto a single cache port (DESIGN.md
+//! §13).
+//!
+//! Addresses are decomposed into a sum of *non-uniform atoms* (work-item
+//! queries, loop phis, loaded values, …) with launch-uniform
+//! coefficients, plus a launch-uniform remainder:
+//!
+//! ```text
+//!   addr = Σ atomᵢ · coeffᵢ(params) + offset(params)
+//! ```
+//!
+//! Two loads belong to the same window iff their atom/coefficient parts
+//! are identical; the `offset` parts — degree-≤2 polynomials over
+//! `Const` and `Param` leaves — become the taps' relative byte offsets,
+//! which the simulator evaluates against the bound arguments at launch
+//! time ([`SlidingWindow::offsets`]). Row strides like `(y-1)*n`
+//! distribute through the analysis (`y`'s coefficient becomes the
+//! symbol `n`, and `-n` lands in the offset), and the quadratic terms
+//! cover plane strides like the `n²` of `in[((i-1)*n + j)*n + k]` — so
+//! 2-D and 3-D neighborhoods with runtime extents are recognized.
+//!
+//! The decomposition treats integer arithmetic as unbounded (widening
+//! casts are peeled, wrap-around is ignored). This is benign: a
+//! mis-modeled offset can only mis-size the window, never change a
+//! served value — the line buffer serves every request from functional
+//! memory by its *actual* address.
+
+use crate::ir::{InstKind, Kernel, ValueId};
+use crate::pointer::{self, Provenance};
+use soff_frontend::ast::{BinOp, UnOp};
+use soff_frontend::types::{AddressSpace, Scalar};
+use std::collections::{BTreeMap, HashMap};
+
+/// Default cap on a window's byte span: windows wider than this fall
+/// back to the cache path (the shift register would not fit embedded
+/// memory comfortably). Also the modeled depth when the span is not a
+/// compile-time constant (see `crates/datapath/src/resource.rs`).
+pub const DEFAULT_SPAN_CAP: u64 = 16 * 1024;
+
+/// A launch-uniform integer expression: a degree-≤2 polynomial over
+/// uniform-leaf values (`Param`, `LocalBase`, `PrivBase`) with integer
+/// coefficients. Degree 2 is what 3-D stencils need: the plane stride of
+/// `in[(i*n + j)*n + k]` is `n²`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UniformExpr {
+    /// Constant part (bytes).
+    pub c: i64,
+    /// `(leaf value, coefficient)` linear terms, sorted by value id.
+    pub terms: Vec<(ValueId, i64)>,
+    /// `((leaf, leaf), coefficient)` quadratic terms; the pair is sorted
+    /// (`p.0 <= p.1`) so equal products compare equal.
+    pub quad: Vec<((ValueId, ValueId), i64)>,
+}
+
+impl UniformExpr {
+    fn constant(c: i64) -> UniformExpr {
+        UniformExpr { c, ..UniformExpr::default() }
+    }
+
+    fn leaf(v: ValueId) -> UniformExpr {
+        UniformExpr { c: 0, terms: vec![(v, 1)], quad: Vec::new() }
+    }
+
+    /// The constant value, if there are no symbolic terms.
+    pub fn as_const(&self) -> Option<i64> {
+        (self.terms.is_empty() && self.quad.is_empty()).then_some(self.c)
+    }
+
+    /// Evaluates against bound argument values (in [`Kernel::params`]
+    /// order), wrapping like the hardware would.
+    pub fn eval(&self, k: &Kernel, params: &[u64]) -> i64 {
+        let leaf = |v: ValueId| -> i64 {
+            match &k.instr(v).kind {
+                InstKind::Param(i) => params[*i] as i64,
+                InstKind::LocalBase(var) => crate::mem::local_addr(*var, 0) as i64,
+                InstKind::PrivBase(off) => *off as i64,
+                other => panic!("UniformExpr leaf is not uniform: {other:?}"),
+            }
+        };
+        let mut acc = self.c;
+        for (v, coeff) in &self.terms {
+            acc = acc.wrapping_add(leaf(*v).wrapping_mul(*coeff));
+        }
+        for ((a, b), coeff) in &self.quad {
+            acc = acc.wrapping_add(leaf(*a).wrapping_mul(leaf(*b)).wrapping_mul(*coeff));
+        }
+        acc
+    }
+
+    fn add(&self, other: &UniformExpr, sign: i64) -> UniformExpr {
+        let mut terms: BTreeMap<ValueId, i64> = self.terms.iter().copied().collect();
+        for (v, c) in &other.terms {
+            *terms.entry(*v).or_insert(0) += c.wrapping_mul(sign);
+        }
+        let mut quad: BTreeMap<(ValueId, ValueId), i64> = self.quad.iter().copied().collect();
+        for (p, c) in &other.quad {
+            *quad.entry(*p).or_insert(0) += c.wrapping_mul(sign);
+        }
+        UniformExpr {
+            c: self.c.wrapping_add(other.c.wrapping_mul(sign)),
+            terms: terms.into_iter().filter(|(_, c)| *c != 0).collect(),
+            quad: quad.into_iter().filter(|(_, c)| *c != 0).collect(),
+        }
+    }
+
+    fn scale(&self, f: i64) -> UniformExpr {
+        if f == 0 {
+            return UniformExpr::default();
+        }
+        UniformExpr {
+            c: self.c.wrapping_mul(f),
+            terms: self.terms.iter().map(|(v, c)| (*v, c.wrapping_mul(f))).collect(),
+            quad: self.quad.iter().map(|(p, c)| (*p, c.wrapping_mul(f))).collect(),
+        }
+    }
+
+    fn degree(&self) -> u32 {
+        if !self.quad.is_empty() {
+            2
+        } else if !self.terms.is_empty() {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Product; `None` when the result would exceed degree 2.
+    fn mul(&self, other: &UniformExpr) -> Option<UniformExpr> {
+        if self.degree() + other.degree() > 2 {
+            return None;
+        }
+        let mut terms: BTreeMap<ValueId, i64> = BTreeMap::new();
+        for (v, c) in &self.terms {
+            *terms.entry(*v).or_insert(0) += c.wrapping_mul(other.c);
+        }
+        for (v, c) in &other.terms {
+            *terms.entry(*v).or_insert(0) += c.wrapping_mul(self.c);
+        }
+        let mut quad: BTreeMap<(ValueId, ValueId), i64> = BTreeMap::new();
+        for (p, c) in &self.quad {
+            *quad.entry(*p).or_insert(0) += c.wrapping_mul(other.c);
+        }
+        for (p, c) in &other.quad {
+            *quad.entry(*p).or_insert(0) += c.wrapping_mul(self.c);
+        }
+        for (v1, c1) in &self.terms {
+            for (v2, c2) in &other.terms {
+                let key = if v1 <= v2 { (*v1, *v2) } else { (*v2, *v1) };
+                *quad.entry(key).or_insert(0) += c1.wrapping_mul(*c2);
+            }
+        }
+        Some(UniformExpr {
+            c: self.c.wrapping_mul(other.c),
+            terms: terms.into_iter().filter(|(_, c)| *c != 0).collect(),
+            quad: quad.into_iter().filter(|(_, c)| *c != 0).collect(),
+        })
+    }
+}
+
+/// Affine decomposition of one value: non-uniform atoms with uniform
+/// coefficients, plus a uniform remainder.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct WAffine {
+    nu: BTreeMap<ValueId, UniformExpr>,
+    u: UniformExpr,
+}
+
+impl WAffine {
+    fn leaf(k: &Kernel, v: ValueId) -> WAffine {
+        if k.instr(v).is_uniform() {
+            if let InstKind::Const(bits) = k.instr(v).kind {
+                return WAffine { nu: BTreeMap::new(), u: UniformExpr::constant(bits as i64) };
+            }
+            WAffine { nu: BTreeMap::new(), u: UniformExpr::leaf(v) }
+        } else {
+            let mut nu = BTreeMap::new();
+            nu.insert(v, UniformExpr::constant(1));
+            WAffine { nu, u: UniformExpr::default() }
+        }
+    }
+
+    fn add(&self, other: &WAffine, sign: i64) -> WAffine {
+        let mut nu = self.nu.clone();
+        for (v, c) in &other.nu {
+            let e = nu.entry(*v).or_default().add(&c.scale(sign), 1);
+            if e == UniformExpr::default() {
+                nu.remove(v);
+            } else {
+                nu.insert(*v, e);
+            }
+        }
+        WAffine { nu, u: self.u.add(&other.u, sign) }
+    }
+
+    /// Product; `None` when the result is not affine (caller falls back
+    /// to an opaque atom).
+    fn mul(&self, other: &WAffine) -> Option<WAffine> {
+        let (scaled, factor) = if self.nu.is_empty() {
+            (other, &self.u)
+        } else if other.nu.is_empty() {
+            (self, &other.u)
+        } else {
+            return None;
+        };
+        let mut nu = BTreeMap::new();
+        for (v, c) in &scaled.nu {
+            let c = c.mul(factor)?;
+            if c != UniformExpr::default() {
+                nu.insert(*v, c);
+            }
+        }
+        Some(WAffine { nu, u: scaled.u.mul(factor)? })
+    }
+}
+
+fn is_int(ty: Scalar) -> bool {
+    !matches!(ty, Scalar::F32 | Scalar::F64)
+}
+
+fn waffine(k: &Kernel, v: ValueId, memo: &mut HashMap<ValueId, WAffine>) -> WAffine {
+    if let Some(a) = memo.get(&v) {
+        return a.clone();
+    }
+    let a = match &k.instr(v).kind {
+        InstKind::Bin { op, ty, a, b } if is_int(*ty) => {
+            let la = waffine(k, *a, memo);
+            let lb = waffine(k, *b, memo);
+            match op {
+                BinOp::Add => Some(la.add(&lb, 1)),
+                BinOp::Sub => Some(la.add(&lb, -1)),
+                BinOp::Mul => la.mul(&lb),
+                BinOp::Shl => lb
+                    .u
+                    .as_const()
+                    .filter(|s| lb.nu.is_empty() && (0..63).contains(s))
+                    .and_then(|s| la.mul(&WAffine {
+                        nu: BTreeMap::new(),
+                        u: UniformExpr::constant(1i64 << s),
+                    })),
+                _ => None,
+            }
+        }
+        InstKind::Un { op: UnOp::Neg, ty, a } if is_int(*ty) => {
+            Some(WAffine::default().add(&waffine(k, *a, memo), -1))
+        }
+        // Widening integer casts are transparent (see module doc).
+        InstKind::Cast { from, to, a } if is_int(*from) && is_int(*to) && to.size() >= from.size() => {
+            Some(waffine(k, *a, memo))
+        }
+        _ => None,
+    }
+    .unwrap_or_else(|| WAffine::leaf(k, v));
+    memo.insert(v, a.clone());
+    a
+}
+
+/// One load of a detected window.
+#[derive(Debug, Clone)]
+pub struct WindowLoad {
+    /// The load instruction.
+    pub value: ValueId,
+    /// Byte offset of this tap relative to the window's first tap
+    /// (launch-uniform; evaluate with [`UniformExpr::eval`]).
+    pub offset: UniformExpr,
+}
+
+/// A detected sliding window: one read-only buffer-argument cache group
+/// whose loads differ only by launch-constant byte offsets.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    /// Cache group index (see [`pointer::global_cache_groups`]).
+    pub group: usize,
+    /// The buffer argument the window slides over.
+    pub param: usize,
+    /// Element type of every tap.
+    pub elem: Scalar,
+    /// The taps, in instruction order; `loads[0].offset` is zero.
+    pub loads: Vec<WindowLoad>,
+}
+
+impl SlidingWindow {
+    /// Concrete relative byte offsets of the taps at launch time.
+    pub fn offsets(&self, k: &Kernel, params: &[u64]) -> Vec<i64> {
+        self.loads.iter().map(|l| l.offset.eval(k, params)).collect()
+    }
+
+    /// Byte span of the window (max − min offset + element size) for the
+    /// given launch arguments.
+    pub fn span_bytes(&self, k: &Kernel, params: &[u64]) -> u64 {
+        let offs = self.offsets(k, params);
+        let min = offs.iter().copied().min().unwrap_or(0);
+        let max = offs.iter().copied().max().unwrap_or(0);
+        max.wrapping_sub(min).max(0) as u64 + self.elem.size() as u64
+    }
+
+    /// The span when every tap offset is a compile-time constant
+    /// (1-D stencils); `None` when offsets involve runtime extents.
+    pub fn static_span(&self) -> Option<u64> {
+        let offs: Option<Vec<i64>> = self.loads.iter().map(|l| l.offset.as_const()).collect();
+        let offs = offs?;
+        let min = offs.iter().copied().min()?;
+        let max = offs.iter().copied().max()?;
+        Some((max - min) as u64 + self.elem.size() as u64)
+    }
+}
+
+/// Detects every sliding window of a kernel. Windows are returned in
+/// cache-group order; a group qualifies iff
+///
+/// 1. every global access in it is a **load** (the buffer is read-only
+///    in this kernel — no anti-dependences to respect),
+/// 2. there are at least two loads, all of one scalar type,
+/// 3. all addresses share one non-empty atom/coefficient part and differ
+///    only in their launch-uniform offsets (rule 3 also rejects fully
+///    uniform addresses — a window must *slide* with the work-item), and
+/// 4. no global access in the kernel has unknown provenance (which
+///    collapses all groups into one shared cache).
+pub fn detect(k: &Kernel) -> Vec<SlidingWindow> {
+    let pa = pointer::analyze(k);
+    let (groups, unknown) = pointer::global_cache_groups(k, &pa);
+    if unknown {
+        return Vec::new();
+    }
+    // group -> (param, loads, sound)
+    let mut by_group: BTreeMap<usize, (usize, Vec<ValueId>, bool)> = BTreeMap::new();
+    for (i, instr) in k.values.iter().enumerate() {
+        let v = ValueId(i as u32);
+        let Some(space) = instr.mem_space() else { continue };
+        if space != AddressSpace::Global && space != AddressSpace::Constant {
+            continue;
+        }
+        let g = groups[i].expect("global access without cache group");
+        let (addr, is_load) = match &instr.kind {
+            InstKind::Load { addr, .. } => (*addr, true),
+            InstKind::Store { addr, .. } | InstKind::Atomic { addr, .. } => (*addr, false),
+            _ => unreachable!(),
+        };
+        let param = match pa.of(addr) {
+            Provenance::Arg(p) => p,
+            _ => unreachable!("unknown provenance handled above"),
+        };
+        let e = by_group.entry(g).or_insert((param, Vec::new(), true));
+        if is_load {
+            e.1.push(v);
+        } else {
+            e.2 = false;
+        }
+    }
+
+    let mut memo = HashMap::new();
+    let mut windows = Vec::new();
+    'groups: for (g, (param, loads, read_only)) in by_group {
+        if !read_only || loads.len() < 2 {
+            continue;
+        }
+        let mut elem = None;
+        let mut base: Option<BTreeMap<ValueId, UniformExpr>> = None;
+        let mut first_u = UniformExpr::default();
+        let mut taps = Vec::new();
+        for &v in &loads {
+            let (addr, ty) = match &k.instr(v).kind {
+                InstKind::Load { addr, ty, .. } => (*addr, *ty),
+                _ => unreachable!(),
+            };
+            if *elem.get_or_insert(ty) != ty {
+                continue 'groups;
+            }
+            let a = waffine(k, addr, &mut memo);
+            if a.nu.is_empty() {
+                continue 'groups; // uniform address: nothing slides
+            }
+            match &base {
+                None => {
+                    base = Some(a.nu.clone());
+                    first_u = a.u.clone();
+                }
+                Some(b) if *b != a.nu => continue 'groups,
+                Some(_) => {}
+            }
+            taps.push(WindowLoad { value: v, offset: a.u.add(&first_u, -1) });
+        }
+        windows.push(SlidingWindow { group: g, param, elem: elem.unwrap(), loads: taps });
+    }
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::lower;
+    use soff_frontend::compile;
+
+    fn kernel(src: &str) -> Kernel {
+        let p = compile(src, &[]).unwrap();
+        lower(&p).unwrap().kernels.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn one_dimensional_three_tap() {
+        let k = kernel(
+            "__kernel void k(__global const int* a, __global int* out, int n) {
+                int i = get_global_id(0);
+                if (i > 0 && i < n - 1)
+                    out[i] = a[i - 1] + a[i] + a[i + 1];
+            }",
+        );
+        let ws = detect(&k);
+        assert_eq!(ws.len(), 1);
+        let w = &ws[0];
+        assert_eq!(w.param, 0);
+        assert_eq!(w.loads.len(), 3);
+        assert_eq!(w.elem, Scalar::I32);
+        // Offsets are relative to the first tap (a[i - 1]).
+        let mut offs: Vec<i64> = w.loads.iter().map(|l| l.offset.as_const().unwrap()).collect();
+        offs.sort_unstable();
+        assert_eq!(offs, vec![0, 4, 8]);
+        assert_eq!(w.static_span(), Some(12));
+    }
+
+    #[test]
+    fn runtime_row_stride_distributes() {
+        let k = kernel(
+            "__kernel void k(__global const float* in, __global float* out, int n) {
+                int x = get_global_id(0);
+                int y = get_global_id(1);
+                if (x > 0 && y > 0 && x < n - 1 && y < n - 1)
+                    out[y * n + x] = in[(y - 1) * n + x]
+                        + in[y * n + x - 1] + in[y * n + x + 1]
+                        + in[(y + 1) * n + x];
+            }",
+        );
+        let ws = detect(&k);
+        assert_eq!(ws.len(), 1);
+        let w = &ws[0];
+        assert_eq!(w.loads.len(), 4);
+        // Bind n = 16 (param 2); buffer bases are irrelevant to offsets.
+        // Offsets are relative to the first tap, in[(y - 1) * n + x].
+        let params = [0u64, 0, 16];
+        let mut offs = w.offsets(&k, &params);
+        offs.sort_unstable();
+        assert_eq!(offs, vec![0, 60, 68, 128]);
+        assert_eq!(w.span_bytes(&k, &params), 132);
+        assert!(w.static_span().is_none(), "row offsets depend on n");
+    }
+
+    #[test]
+    fn plane_stride_distributes_quadratically() {
+        // The 7-point 3-D star: the plane stride is n² — representable
+        // only because UniformExpr carries quadratic terms.
+        let k = kernel(
+            "__kernel void k(__global const float* in, __global float* out, int n) {
+                int i = get_global_id(0);
+                int j = get_global_id(1);
+                int c = get_global_id(2);
+                if (i > 0 && i < n - 1 && j > 0 && j < n - 1 && c > 0 && c < n - 1)
+                    out[(i * n + j) * n + c] = in[((i - 1) * n + j) * n + c]
+                        + in[((i + 1) * n + j) * n + c]
+                        + in[(i * n + (j - 1)) * n + c]
+                        + in[(i * n + (j + 1)) * n + c]
+                        + in[(i * n + j) * n + (c - 1)]
+                        + in[(i * n + j) * n + (c + 1)]
+                        + in[(i * n + j) * n + c];
+            }",
+        );
+        let ws = detect(&k);
+        assert_eq!(ws.len(), 1);
+        let w = &ws[0];
+        assert_eq!(w.loads.len(), 7);
+        // Bind n = 8 (param 2): offsets relative to the first tap at
+        // (i-1, j, c), i.e. plane stride 8*8*4 = 256 bytes.
+        let params = [0u64, 0, 8];
+        let mut offs = w.offsets(&k, &params);
+        offs.sort_unstable();
+        assert_eq!(offs, vec![0, 224, 252, 256, 260, 288, 512]);
+        assert_eq!(w.span_bytes(&k, &params), 516);
+        assert!(w.static_span().is_none(), "plane offsets depend on n");
+    }
+
+    #[test]
+    fn read_write_group_is_rejected() {
+        let k = kernel(
+            "__kernel void k(__global int* a, int n) {
+                int i = get_global_id(0);
+                a[i] = a[i + 1] + a[i + 2];
+            }",
+        );
+        assert!(detect(&k).is_empty());
+    }
+
+    #[test]
+    fn uniform_addresses_do_not_slide() {
+        let k = kernel(
+            "__kernel void k(__global const int* a, __global int* out) {
+                int i = get_global_id(0);
+                out[i] = a[0] + a[1];
+            }",
+        );
+        assert!(detect(&k).is_empty());
+    }
+
+    #[test]
+    fn mismatched_bases_are_rejected() {
+        // i and 2*i slide at different rates: not one window.
+        let k = kernel(
+            "__kernel void k(__global const int* a, __global int* out, int n) {
+                int i = get_global_id(0);
+                out[i] = a[i] + a[2 * i];
+            }",
+        );
+        assert!(detect(&k).is_empty());
+    }
+
+    #[test]
+    fn two_buffers_give_two_windows() {
+        let k = kernel(
+            "__kernel void k(__global const int* a, __global const int* b, __global int* out) {
+                int i = get_global_id(0);
+                out[i] = a[i] + a[i + 1] + b[i] + b[i + 3];
+            }",
+        );
+        let ws = detect(&k);
+        assert_eq!(ws.len(), 2);
+        assert_eq!((ws[0].param, ws[1].param), (0, 1));
+        assert_eq!(ws[0].static_span(), Some(8));
+        assert_eq!(ws[1].static_span(), Some(16));
+    }
+
+    #[test]
+    fn indirect_pointer_disables_detection() {
+        let k = kernel(
+            "__kernel void k(__global const ulong* idx, __global float* data, __global int* out) {
+                ulong p = idx[get_global_id(0)];
+                ulong q = idx[get_global_id(0) + 1];
+                __global float* fp = (__global float*)p;
+                fp[0] = 1.0f;
+                out[0] = (int)q;
+            }",
+        );
+        assert!(detect(&k).is_empty());
+    }
+
+    #[test]
+    fn single_load_is_not_a_window() {
+        let k = kernel(
+            "__kernel void k(__global const int* a, __global int* out) {
+                int i = get_global_id(0);
+                out[i] = a[i];
+            }",
+        );
+        assert!(detect(&k).is_empty());
+    }
+}

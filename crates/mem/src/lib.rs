@@ -13,12 +13,14 @@
 
 pub mod cache;
 pub mod dram;
+pub mod linebuf;
 pub mod local;
 pub mod private;
 pub mod request;
 
 pub use cache::{Cache, CacheConfig, CacheConfigError, CacheStats};
 pub use dram::{Dram, DramConfig, DramStats};
+pub use linebuf::{LineBufConfig, LineBufStats, LineBuffer};
 pub use local::LocalBlock;
 pub use private::PrivateMemory;
 pub use request::{MemOp, MemRequest, MemResponse, PortId};

@@ -297,13 +297,26 @@ impl Program {
                 .map(|m| m + 1)
                 .unwrap_or(usize::from(unknown));
             let local_bytes: u64 = kernel.local_vars.iter().map(|v| v.size).sum();
-            let cost = resource::datapath_cost_full(
+            // Sliding windows (DESIGN.md §13) displace their group's cache
+            // with a far cheaper shift register: cost the remaining groups
+            // as caches and each window as a line buffer. Replication is
+            // decided assuming the default-on line-buffer path; the
+            // per-launch `Context::line_buffer` knob only affects timing.
+            let windows = soff_ir::window::detect(&kernel);
+            let cached_groups = num_caches.saturating_sub(windows.len());
+            let mut cost = resource::datapath_cost_full(
                 &datapath,
-                num_caches.max(1),
+                cached_groups.max(usize::from(windows.is_empty())),
                 local_bytes,
                 datapath.wg_slots,
                 kernel.private_bytes,
             );
+            for w in &windows {
+                cost.add(resource::line_buffer_cost(
+                    w.loads.len(),
+                    w.static_span().unwrap_or(soff_ir::window::DEFAULT_SPAN_CAP),
+                ));
+            }
             let replication = resource::replicate(cost, &device.system).map_err(|inner| {
                 BuildError::InsufficientResources { kernel: kernel.name.clone(), inner }
             })?;
@@ -513,6 +526,11 @@ pub struct Context {
     /// Simulator main-loop strategy for every launch; results are
     /// bit-identical either way (see [`soff_sim::Scheduler`]).
     pub scheduler: soff_sim::Scheduler,
+    /// Sliding-window line-buffer synthesis (DESIGN.md §13). On by
+    /// default; turning it off routes every global load through the
+    /// per-group caches. Result buffers are bit-identical either way —
+    /// only cycles and traffic change.
+    pub line_buffer: bool,
     /// Preemption drill: when set, every launch is interrupted every `N`
     /// cycles, snapshotted, and resumed on a **freshly built** machine
     /// (checkpoint/restore on the production path). Results are
@@ -555,6 +573,7 @@ impl Context {
             max_cycles: 2_000_000_000,
             profile: None,
             scheduler: soff_sim::Scheduler::default(),
+            line_buffer: true,
             checkpoint_interval: None,
             ctx_id: NEXT_CTX_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
@@ -781,6 +800,7 @@ impl Context {
             max_cycles: self.max_cycles,
             profile: self.profile,
             scheduler: self.scheduler,
+            line_buffer: self.line_buffer,
             ..SimConfig::default()
         }
     }

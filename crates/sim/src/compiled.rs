@@ -132,6 +132,18 @@ pub(crate) fn exec_cycle(
                 x.tick(chans);
                 *hot = barrier_hot(x);
             }
+            OpCode::LineBuf => {
+                // Purely observational attribution (see the interpreted
+                // loop's unconditional event-driven skip): ticking moves
+                // nothing, so skip whenever skipping is enabled at all.
+                if skip {
+                    continue;
+                }
+                let Comp::LineBuf(u) = &mut comps[op.comp as usize] else {
+                    unreachable!("LineBuf op lowered from a LineBuf component")
+                };
+                u.tick(mem);
+            }
         }
     }
     moved

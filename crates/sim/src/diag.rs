@@ -256,6 +256,7 @@ pub(crate) struct MachineView<'a> {
 pub(crate) enum Node {
     Comp(usize),
     Cache(usize),
+    LineBuf(usize),
     Chan(usize),
     Dispatcher(usize),
 }
@@ -310,6 +311,10 @@ pub(crate) fn channel_wiring(comps: &[Comp]) -> ChannelWiring {
                 w.consumer.insert(b.inp.0, me);
                 w.producer.insert(b.out.0, me);
             }
+            // Line-buffer observers touch no channels; datapath units
+            // reach the line buffer through `MemTarget::LineBuf`, which
+            // the wait-for pass attributes directly.
+            Comp::LineBuf(_) => {}
         }
     }
     w
@@ -382,6 +387,7 @@ pub(crate) fn build_report(v: &MachineView<'_>) -> DeadlockReport {
         match n {
             Node::Comp(i) => v.metas.get(i).cloned().unwrap_or_else(|| format!("comp {i}")),
             Node::Cache(i) => format!("cache {i}"),
+            Node::LineBuf(i) => format!("line buffer {i}"),
             Node::Chan(i) => format!("channel {i}"),
             Node::Dispatcher(i) => format!("dispatcher {i}"),
         }
@@ -434,18 +440,20 @@ pub(crate) fn build_report(v: &MachineView<'_>) -> DeadlockReport {
                 }
                 out_edge(&mut g, me, p.out_chan.0, "output");
                 for (target, n) in p.mem_waits() {
-                    if let MemTarget::Cache(c) = target {
-                        g.edges.push((
-                            me,
-                            Node::Cache(c),
-                            format!("{n} request(s) outstanding"),
-                        ));
-                    }
+                    let dst = match target {
+                        MemTarget::Cache(c) => Node::Cache(c),
+                        MemTarget::LineBuf(b) => Node::LineBuf(b),
+                        _ => continue,
+                    };
+                    g.edges.push((me, dst, format!("{n} request(s) outstanding")));
                 }
                 for target in p.mem_issue_blocked(v.mem) {
-                    if let MemTarget::Cache(c) = target {
-                        g.edges.push((me, Node::Cache(c), "cannot issue request".into()));
-                    }
+                    let dst = match target {
+                        MemTarget::Cache(c) => Node::Cache(c),
+                        MemTarget::LineBuf(b) => Node::LineBuf(b),
+                        _ => continue,
+                    };
+                    g.edges.push((me, dst, "cannot issue request".into()));
                 }
             }
             Comp::Branch(b) => {
@@ -583,6 +591,9 @@ pub(crate) fn build_report(v: &MachineView<'_>) -> DeadlockReport {
                     }
                 }
             }
+            // Pure observer; never blocked, never blocking through
+            // channels (memory waits reach it via `MemTarget::LineBuf`).
+            Comp::LineBuf(_) => {}
         }
     }
 
@@ -614,6 +625,19 @@ pub(crate) fn build_report(v: &MachineView<'_>) -> DeadlockReport {
                     "fault injection wedged this cache ({} latched, {} in flight)",
                     c.latched_requests(),
                     c.inflight_requests()
+                ),
+            );
+        }
+    }
+    for (i, b) in v.mem.line_bufs.iter().enumerate() {
+        if b.fault_active() {
+            g.terminal.insert(
+                Node::LineBuf(i),
+                format!(
+                    "fault injection jammed this line buffer ({} latched, {} fill(s) \
+                     in flight)",
+                    b.latched_requests(),
+                    b.inflight_fills()
                 ),
             );
         }

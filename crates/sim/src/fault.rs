@@ -20,6 +20,9 @@
 //!   and one cache wedge: no new request latches.
 //! * [`Fault::ArbiterWithhold`] — the datapath-cache arbiter stops
 //!   granting: latched requests are never accepted.
+//! * [`Fault::LineBufJam`] — the request wires between the datapath and
+//!   one shift-register line buffer wedge: no new request latches
+//!   (already-latched requests still serve, and streaming continues).
 //! * [`Fault::TokenDrop`] / [`Fault::TokenDup`] — a single valid pulse
 //!   lost or repeated on one channel. These corrupt the work-item
 //!   accounting and exist to self-test the detectors: a drop must be
@@ -75,6 +78,16 @@ pub enum Fault {
     ArbiterWithhold {
         /// Cache index (must be in range; see [`FaultPlan::validate`]).
         cache: usize,
+        /// First affected cycle.
+        from: u64,
+        /// Duration; `u64::MAX` = forever.
+        cycles: u64,
+    },
+    /// Line buffer `lb` refuses to latch new requests during the window.
+    LineBufJam {
+        /// Line-buffer index (must be in range; see
+        /// [`FaultPlan::validate`]).
+        lb: usize,
         /// First affected cycle.
         from: u64,
         /// Duration; `u64::MAX` = forever.
@@ -138,7 +151,7 @@ impl FaultPlan {
             .map(|_| {
                 let from = rng.gen_range(0..horizon);
                 let cycles = rng.gen_range(1..horizon.saturating_mul(2).max(2));
-                match rng.gen_range(0..6u32) {
+                match rng.gen_range(0..7u32) {
                     0 => Fault::ChannelStuckStall { chan: rng.gen_range(0..64), from, cycles },
                     1 => Fault::DramLatencySpike {
                         from,
@@ -148,7 +161,8 @@ impl FaultPlan {
                     2 => Fault::CachePortJam { cache: rng.gen_range(0..8), from, cycles },
                     3 => Fault::ArbiterWithhold { cache: rng.gen_range(0..8), from, cycles },
                     4 => Fault::TokenDrop { chan: rng.gen_range(0..64), at: from },
-                    _ => Fault::TokenDup { chan: rng.gen_range(0..64), at: from },
+                    5 => Fault::TokenDup { chan: rng.gen_range(0..64), at: from },
+                    _ => Fault::LineBufJam { lb: rng.gen_range(0..4), from, cycles },
                 }
             })
             .collect();
@@ -163,7 +177,12 @@ impl FaultPlan {
     /// # Errors
     ///
     /// [`ConfigError::Fault`] naming the first offending fault.
-    pub fn validate(&self, nchans: usize, ncaches: usize) -> Result<(), ConfigError> {
+    pub fn validate(
+        &self,
+        nchans: usize,
+        ncaches: usize,
+        nlinebufs: usize,
+    ) -> Result<(), ConfigError> {
         for (index, f) in self.faults.iter().enumerate() {
             match f {
                 Fault::ChannelStuckStall { chan, .. }
@@ -188,6 +207,17 @@ impl FaultPlan {
                         });
                     }
                 }
+                Fault::LineBufJam { lb, .. } => {
+                    if *lb >= nlinebufs {
+                        return Err(ConfigError::Fault {
+                            index,
+                            what: format!(
+                                "line buffer {lb} out of range (machine has {nlinebufs} \
+                                 line buffers)"
+                            ),
+                        });
+                    }
+                }
                 Fault::DramLatencySpike { .. } => {}
             }
         }
@@ -200,7 +230,7 @@ impl FaultPlan {
     /// cache faults are dropped entirely when the machine has no caches.
     /// The result always passes [`FaultPlan::validate`] for those counts.
     #[must_use]
-    pub fn normalized(mut self, nchans: usize, ncaches: usize) -> FaultPlan {
+    pub fn normalized(mut self, nchans: usize, ncaches: usize, nlinebufs: usize) -> FaultPlan {
         let nchans = nchans.max(1);
         self.faults.retain_mut(|f| match f {
             Fault::ChannelStuckStall { chan, .. }
@@ -214,6 +244,14 @@ impl FaultPlan {
                     false
                 } else {
                     *cache %= ncaches;
+                    true
+                }
+            }
+            Fault::LineBufJam { lb, .. } => {
+                if nlinebufs == 0 {
+                    false
+                } else {
+                    *lb %= nlinebufs;
                     true
                 }
             }
@@ -247,6 +285,9 @@ pub(crate) fn apply(
         c.set_fault_jam_ports(false);
         c.set_fault_withhold_grants(false);
     }
+    for b in &mut mem.line_bufs {
+        b.set_fault_jam(false);
+    }
     let mut dram_extra = 0u32;
     // Indices are in range by construction: the machine validated the
     // plan against its real component counts before the clock started.
@@ -270,6 +311,11 @@ pub(crate) fn apply(
             Fault::ArbiterWithhold { cache, from, cycles } => {
                 if window_active(now, *from, *cycles) {
                     mem.caches[*cache].set_fault_withhold_grants(true);
+                }
+            }
+            Fault::LineBufJam { lb, from, cycles } => {
+                if window_active(now, *from, *cycles) {
+                    mem.line_bufs[*lb].set_fault_jam(true);
                 }
             }
             Fault::TokenDrop { chan, at } => {
@@ -306,7 +352,8 @@ pub(crate) fn next_boundary(plan: &FaultPlan, fired: &[bool], now: u64) -> Optio
             Fault::ChannelStuckStall { from, cycles, .. }
             | Fault::DramLatencySpike { from, cycles, .. }
             | Fault::CachePortJam { from, cycles, .. }
-            | Fault::ArbiterWithhold { from, cycles, .. } => {
+            | Fault::ArbiterWithhold { from, cycles, .. }
+            | Fault::LineBufJam { from, cycles, .. } => {
                 consider(*from);
                 consider(from.saturating_add(*cycles));
             }
@@ -346,24 +393,29 @@ mod tests {
     #[test]
     fn validate_rejects_out_of_range_targets() {
         let p = FaultPlan::none().with(Fault::ChannelStuckStall { chan: 9, from: 0, cycles: 5 });
-        assert!(p.validate(10, 0).is_ok());
-        assert!(matches!(p.validate(9, 0), Err(ConfigError::Fault { index: 0, .. })));
+        assert!(p.validate(10, 0, 0).is_ok());
+        assert!(matches!(p.validate(9, 0, 0), Err(ConfigError::Fault { index: 0, .. })));
         let p = FaultPlan::none().with(Fault::CachePortJam { cache: 2, from: 0, cycles: 5 });
-        assert!(p.validate(1, 3).is_ok());
-        assert!(matches!(p.validate(1, 2), Err(ConfigError::Fault { index: 0, .. })));
+        assert!(p.validate(1, 3, 0).is_ok());
+        assert!(matches!(p.validate(1, 2, 0), Err(ConfigError::Fault { index: 0, .. })));
+        let p = FaultPlan::none().with(Fault::LineBufJam { lb: 1, from: 0, cycles: 5 });
+        assert!(p.validate(1, 0, 2).is_ok());
+        assert!(matches!(p.validate(1, 0, 1), Err(ConfigError::Fault { index: 0, .. })));
         // DRAM spikes target no indexed component and always pass.
         let p = FaultPlan::none()
             .with(Fault::DramLatencySpike { from: 0, cycles: 5, extra_latency: 9 });
-        assert!(p.validate(0, 0).is_ok());
+        assert!(p.validate(0, 0, 0).is_ok());
     }
 
     #[test]
     fn normalized_always_validates() {
         for seed in 0..32 {
             let p = FaultPlan::random(seed, 12, 1000);
-            for &(nchans, ncaches) in &[(1usize, 0usize), (7, 1), (64, 8), (3, 5)] {
-                let n = p.clone().normalized(nchans, ncaches);
-                assert_eq!(n.validate(nchans, ncaches), Ok(()));
+            for &(nchans, ncaches, nlbs) in
+                &[(1usize, 0usize, 0usize), (7, 1, 0), (64, 8, 4), (3, 5, 1)]
+            {
+                let n = p.clone().normalized(nchans, ncaches, nlbs);
+                assert_eq!(n.validate(nchans, ncaches, nlbs), Ok(()));
             }
         }
     }

@@ -61,6 +61,7 @@ pub use profile::{
     CycleBreakdown, FifoDepth, ProfileConfig, ProfileReport, Sample, Span, SpanTrack,
     UnitProfile,
 };
+pub use soff_mem::linebuf::LineBufStats;
 
 // Compile-time audit for the parallel sweep engine: simulation results —
 // including the profiler's reports with their sampled ring buffers and

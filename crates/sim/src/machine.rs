@@ -21,13 +21,17 @@ use crate::memsys::{CachePlan, MemTarget, MemorySystem};
 use crate::profile::{self, CycleBreakdown, ProfileConfig, ProfileReport, Profiler};
 use crate::tickvm::TickProgram;
 use crate::token::{edge_mapping, Mapping, Token};
-use crate::units::PipelineSim;
+use crate::units::{LineBufUnit, PipelineSim};
 use soff_datapath::{Datapath, PipeNode};
 use soff_ir::interp::InterpError;
 use soff_ir::ir::{BlockId, InstKind, Kernel, NdRange, ValueId};
 use soff_ir::mem::{ArgValue, GlobalMemory};
 use soff_ir::pointer::{self, Provenance};
-use soff_mem::{CacheConfig, CacheStats, DramConfig, DramStats, PortId};
+use soff_ir::window::{self, SlidingWindow};
+use soff_mem::{
+    CacheConfig, CacheStats, DramConfig, DramStats, LineBufConfig, LineBufStats, LineBuffer,
+    PortId,
+};
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
@@ -98,6 +102,13 @@ pub struct SimConfig {
     /// Ablation: collapse all global accesses into one shared cache
     /// instead of one per (buffer × datapath) (§V-A).
     pub force_shared_cache: bool,
+    /// Lower detected sliding-window read groups onto shift-register
+    /// line buffers instead of cache ports (on by default). Results are
+    /// bit-identical to the cache path in values — only cycles and
+    /// memory-traffic statistics change. Ignored (no windows are lowered)
+    /// when [`SimConfig::force_shared_cache`] is set or the kernel forces
+    /// a shared cache (atomics / unattributable pointers).
+    pub line_buffer: bool,
     /// Cycle-attribution profiling (`None` = off). When off, the per-unit
     /// counter vectors are never allocated and the per-cycle observation
     /// pass is skipped; simulated cycle counts are bit-identical either
@@ -120,6 +131,7 @@ impl Default for SimConfig {
             faults: FaultPlan::default(),
             check_invariants: false,
             force_shared_cache: false,
+            line_buffer: true,
             profile: None,
             scheduler: Scheduler::default(),
         }
@@ -340,6 +352,13 @@ pub struct SimResult {
     /// Cycles memory units could not issue (Case-1 stalls: the unit was
     /// holding `L_F + 1` work-items, or its cache port was busy).
     pub issue_stalls: u64,
+    /// Aggregated line-buffer statistics (all zero when no sliding
+    /// window was lowered).
+    pub line_buf: LineBufStats,
+    /// Per-line-buffer statistics, indexed like the machine's line-buffer
+    /// array (window-major: `window * num_instances + instance`). Sums to
+    /// `line_buf`.
+    pub per_line_buf: Vec<LineBufStats>,
     /// Full cycle-attribution profile (only when [`SimConfig::profile`]
     /// was set).
     pub profile: Option<Box<ProfileReport>>,
@@ -353,6 +372,7 @@ pub(crate) enum Comp {
     Enter(LoopEnter),
     Exit(LoopExit),
     Barrier(BarrierUnit),
+    LineBuf(LineBufUnit),
 }
 
 #[derive(Clone)]
@@ -547,6 +567,37 @@ impl<'a> Machine<'a> {
         let mut mem =
             MemorySystem::build(kernel, dp, &plan, n_inst, cfg.cache, cfg.dram, &launch);
 
+        // Sliding-window lowering (§13 of DESIGN.md): detected affine
+        // window groups whose launch-time span fits the shift register are
+        // served by line buffers instead of cache ports. Shared-cache
+        // machines keep every access on the caches — a window group there
+        // would split the coherence point the sharing exists for.
+        let windows: Vec<SlidingWindow> =
+            if cfg.line_buffer && !cfg.force_shared_cache && !plan.shared {
+                window::detect(kernel)
+                    .into_iter()
+                    .filter(|w| {
+                        w.span_bytes(kernel, &launch.params) <= window::DEFAULT_SPAN_CAP
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+        for w in &windows {
+            // The window's buffer base tells the unit its streamable
+            // extent; requests outside it are boundary taps.
+            let base = launch.params[w.param];
+            for _ in 0..n_inst {
+                mem.line_bufs.push(LineBuffer::new(LineBufConfig::default(), base));
+            }
+        }
+        let mut window_of_value: HashMap<ValueId, usize> = HashMap::new();
+        for (wi, w) in windows.iter().enumerate() {
+            for l in &w.loads {
+                window_of_value.insert(l.value, wi);
+            }
+        }
+
         let mut b = Builder {
             k: kernel,
             dp,
@@ -561,9 +612,11 @@ impl<'a> Machine<'a> {
             counters: Vec::new(),
             local_next_port: vec![0; kernel.local_vars.len() * n_inst],
             inst: 0,
+            n_inst,
             nvars: kernel.local_vars.len(),
             wg_size: launch.wg_size(),
             profile: cfg.profile.is_some(),
+            window_of_value: &window_of_value,
         };
 
         let root = dp.root.clone();
@@ -579,13 +632,26 @@ impl<'a> Machine<'a> {
             b.build_node(&root, entry, retire, None);
             dispatchers.push(Dispatcher { entry, retire, cur: None, active: HashMap::new() });
         }
+        // One observational component per line buffer, after all instances
+        // (indices into `mem.line_bufs`, window-major like the array).
+        for w in 0..windows.len() {
+            for inst in 0..n_inst {
+                b.push_comp(
+                    Comp::LineBuf(LineBufUnit {
+                        lb: w * n_inst + inst,
+                        cycles: CycleBreakdown::default(),
+                    }),
+                    format!("line buffer {w} (inst {inst})"),
+                );
+            }
+        }
 
         let Builder { chans, comps, fifos, counters, metas, .. } = b;
 
         // Config-time fault validation: every fault must target a
         // component this machine actually has (see `FaultPlan::validate`).
         cfg.faults
-            .validate(chans.len(), mem.caches.len())
+            .validate(chans.len(), mem.caches.len(), mem.line_bufs.len())
             .map_err(SimError::Config)?;
 
         let profiler = cfg.profile.map(|pcfg| {
@@ -619,15 +685,16 @@ impl<'a> Machine<'a> {
         // (the schedulers are bit-identical by construction).
         let fingerprint = fnv1a(
             format!(
-                "{}|chans={}|comps={}|fifos={}|counters={}|caches={}|locals={}|\
-                 cache={:?}|dram={:?}|inst={}|dw={}|lw={}|faults={:?}|shared={}|\
-                 profile={:?}|total={}|wgs={}|wg={}",
+                "{}|chans={}|comps={}|fifos={}|counters={}|caches={}|linebufs={}|\
+                 locals={}|cache={:?}|dram={:?}|inst={}|dw={}|lw={}|faults={:?}|\
+                 shared={}|lb={}|profile={:?}|total={}|wgs={}|wg={}",
                 kernel.name,
                 chans.len(),
                 comps.len(),
                 fifos.len(),
                 counters.len(),
                 mem.caches.len(),
+                mem.line_bufs.len(),
                 mem.locals.len(),
                 cfg.cache,
                 cfg.dram,
@@ -636,6 +703,7 @@ impl<'a> Machine<'a> {
                 livelock_window,
                 cfg.faults,
                 cfg.force_shared_cache,
+                cfg.line_buffer,
                 cfg.profile,
                 total,
                 num_wgs,
@@ -699,6 +767,12 @@ impl<'a> Machine<'a> {
     /// Number of cache instances (fault plans index into this).
     pub fn num_caches(&self) -> usize {
         self.st.mem.caches.len()
+    }
+
+    /// Number of line buffers (fault plans index into this). Zero unless
+    /// sliding windows were detected, gated, and lowered for this launch.
+    pub fn num_line_bufs(&self) -> usize {
+        self.st.mem.line_bufs.len()
     }
 
     /// Captures the complete architectural state plus a copy of `gm`.
@@ -927,6 +1001,17 @@ impl<'a> Machine<'a> {
                         }
                         x.tick(chans);
                     }
+                    Comp::LineBuf(u) => {
+                        // Purely observational (the line buffer itself
+                        // ticks inside `MemorySystem::tick`): skipped
+                        // wholesale when event-driven — profiling forces
+                        // dense stepping, which is when the attribution
+                        // matters.
+                        if ed {
+                            continue;
+                        }
+                        u.tick(&self.st.mem);
+                    }
                 }
             }
         }
@@ -1019,6 +1104,8 @@ impl<'a> Machine<'a> {
                 num_instances: self.cfg.num_instances.max(1),
                 output_stalls,
                 issue_stalls,
+                line_buf: self.st.mem.lb_stats(),
+                per_line_buf: self.st.mem.per_lb_stats(),
                 profile,
             });
         }
@@ -1028,7 +1115,8 @@ impl<'a> Machine<'a> {
         // watchdog (tokens move but nothing ever finishes — a livelock).
         let metric = self.st.retired
             + self.st.chans.iter().map(|c| c.total).sum::<u64>()
-            + self.st.mem.cache_stats().accesses;
+            + self.st.mem.cache_stats().accesses
+            + self.st.mem.lb_stats().accesses;
         if metric != self.st.last_metric {
             self.st.last_metric = metric;
             self.st.last_progress = now;
@@ -1183,6 +1271,8 @@ impl<'a> Machine<'a> {
 }
 
 /// Outcome of one [`Machine::step`].
+// `Done` is built exactly once per simulation, so the size gap is moot.
+#[allow(clippy::large_enum_variant)]
 enum Step {
     Continue,
     Done(SimResult),
@@ -1288,10 +1378,14 @@ struct Builder<'a> {
     counters: Vec<u64>,
     local_next_port: Vec<usize>,
     inst: usize,
+    n_inst: usize,
     nvars: usize,
     wg_size: u64,
     /// Allocate per-unit cycle-attribution counters in the pipelines.
     profile: bool,
+    /// Loads served by a line buffer: value → window index (window-major
+    /// indexing into `MemorySystem::line_bufs` with `n_inst`).
+    window_of_value: &'a HashMap<ValueId, usize>,
 }
 
 /// Capacity of plain inter-pipeline channels (a registered handshake plus
@@ -1352,8 +1446,10 @@ impl<'a> Builder<'a> {
         let plan = self.plan;
         let pa = self.pa;
         let inst = self.inst;
+        let n_inst = self.n_inst;
         let nvars = self.nvars;
         let profile = self.profile;
+        let windows = self.window_of_value;
         let mem = &mut *self.mem;
         let local_next_port = &mut self.local_next_port;
         let pipe = PipelineSim::build(
@@ -1374,11 +1470,21 @@ impl<'a> Builder<'a> {
                 use soff_frontend::types::AddressSpace;
                 match space {
                     AddressSpace::Global | AddressSpace::Constant => {
-                        let g = plan.group_of_value[v.0 as usize]
-                            .expect("global access without cache group");
-                        let idx = plan.cache_index(g, inst);
-                        let port = mem.caches[idx].add_port();
-                        (MemTarget::Cache(idx), port)
+                        // Window loads route to the group's line buffer;
+                        // the group's cache stays built but portless (the
+                        // inert cache preserves fault-plan and statistics
+                        // indices — synthesis would elide it).
+                        if let Some(&w) = windows.get(&v) {
+                            let idx = w * n_inst + inst;
+                            let port = mem.line_bufs[idx].add_port();
+                            (MemTarget::LineBuf(idx), port)
+                        } else {
+                            let g = plan.group_of_value[v.0 as usize]
+                                .expect("global access without cache group");
+                            let idx = plan.cache_index(g, inst);
+                            let port = mem.caches[idx].add_port();
+                            (MemTarget::Cache(idx), port)
+                        }
                     }
                     AddressSpace::Local => {
                         let var = match pa.of(addr) {

@@ -8,8 +8,8 @@ use soff_ir::ir::Kernel;
 use soff_ir::mem::GlobalMemory;
 use soff_ir::pointer::{self, PointerAnalysis};
 use soff_mem::{
-    Cache, CacheConfig, CacheStats, Dram, DramConfig, LocalBlock, MemRequest, MemResponse,
-    PortId, PrivateMemory,
+    Cache, CacheConfig, CacheStats, Dram, DramConfig, LineBufStats, LineBuffer, LocalBlock,
+    MemRequest, MemResponse, PortId, PrivateMemory,
 };
 use std::collections::HashMap;
 
@@ -18,6 +18,8 @@ use std::collections::HashMap;
 pub enum MemTarget {
     /// Cache index within [`MemorySystem::caches`].
     Cache(usize),
+    /// Line-buffer index within [`MemorySystem::line_bufs`].
+    LineBuf(usize),
     /// Local block index within [`MemorySystem::locals`].
     Local(usize),
     /// The private memory.
@@ -30,6 +32,12 @@ pub struct MemorySystem {
     /// All caches (shared across datapath instances when the kernel uses
     /// atomics, per instance otherwise, §V-A).
     pub caches: Vec<Cache>,
+    /// Shift-register line buffers, one per (sliding window × instance),
+    /// window-major (see DESIGN.md §13). The cache of a window-served
+    /// group is still built but receives no ports — synthesis would
+    /// elide it; keeping it inert preserves cache indices for fault
+    /// plans and per-cache statistics.
+    pub line_bufs: Vec<LineBuffer>,
     /// All local blocks (always per instance).
     pub locals: Vec<LocalBlock>,
     /// Private memory (keyed by work-item serial).
@@ -126,6 +134,7 @@ impl MemorySystem {
         }
         MemorySystem {
             caches,
+            line_bufs: Vec::new(), // pushed by the machine once windows are gated
             locals,
             private: PrivateMemory::new(kernel.private_bytes),
             dram: Dram::new(dram_cfg),
@@ -147,6 +156,7 @@ impl MemorySystem {
     pub fn can_request(&self, target: MemTarget, port: PortId) -> bool {
         match target {
             MemTarget::Cache(c) => self.caches[c].can_request(port),
+            MemTarget::LineBuf(b) => self.line_bufs[b].can_request(port),
             MemTarget::Local(l) => self.locals[l].can_request(port),
             MemTarget::Private => true,
         }
@@ -156,6 +166,7 @@ impl MemorySystem {
     pub fn request(&mut self, target: MemTarget, port: PortId, req: MemRequest, now: u64) {
         match target {
             MemTarget::Cache(c) => self.caches[c].request(port, req),
+            MemTarget::LineBuf(b) => self.line_bufs[b].request(port, req),
             MemTarget::Local(l) => self.locals[l].request(port, req),
             MemTarget::Private => {
                 let resp = self.private.access(&req);
@@ -171,6 +182,7 @@ impl MemorySystem {
     pub fn pop_response(&mut self, target: MemTarget, port: PortId, now: u64) -> Option<MemResponse> {
         match target {
             MemTarget::Cache(c) => self.caches[c].pop_response(port),
+            MemTarget::LineBuf(b) => self.line_bufs[b].pop_response(port, now),
             MemTarget::Local(l) => self.locals[l].pop_response(port, now),
             MemTarget::Private => {
                 let q = self.responses_private.get_mut(&port.0)?;
@@ -190,6 +202,7 @@ impl MemorySystem {
     /// hold fire.
     pub fn has_pending_events(&self, now: u64) -> bool {
         self.caches.iter().any(|c| c.has_pending_events(now))
+            || self.line_bufs.iter().any(|b| b.has_pending_events())
             || self.locals.iter().any(|l| l.has_pending_events(now))
             || self
                 .responses_private
@@ -209,6 +222,12 @@ impl MemorySystem {
             }
             moved |= c.tick(now, &mut self.dram, gm);
         }
+        for b in &mut self.line_bufs {
+            if b.is_idle() {
+                continue;
+            }
+            moved |= b.tick(now, &mut self.dram, gm);
+        }
         for l in &mut self.locals {
             moved |= l.tick(now);
         }
@@ -222,18 +241,20 @@ impl MemorySystem {
     /// the caller accounts for separately.
     pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
         let caches = self.caches.iter().filter_map(|c| c.next_response_ready());
+        let line_bufs = self.line_bufs.iter().filter_map(|b| b.next_event_cycle());
         let locals = self.locals.iter().filter_map(|l| l.next_response_ready());
         let private = self
             .responses_private
             .values()
             .filter_map(|q| q.front().map(|(ready, _)| *ready));
-        caches.chain(locals).chain(private).filter(|&r| r > now).min()
+        caches.chain(line_bufs).chain(locals).chain(private).filter(|&r| r > now).min()
     }
 
     /// Replays `cycles` blocked cycles on every cache in closed form (see
     /// [`Cache::replay_blocked`]); locals and private memory have nothing
     /// to replay (any latched local request makes progress, so a frozen
-    /// machine has none).
+    /// machine has none). Line buffers need no replay either: all their
+    /// statistics count events, never idle cycles.
     pub fn replay_blocked(&mut self, now: u64, cycles: u64) {
         for c in &mut self.caches {
             c.replay_blocked(now, cycles);
@@ -271,6 +292,27 @@ impl MemorySystem {
     /// [`CachePlan::cache_index`] for the layout).
     pub fn per_cache_stats(&self) -> Vec<CacheStats> {
         self.caches.iter().map(|c| c.stats).collect()
+    }
+
+    /// Aggregated line-buffer statistics.
+    pub fn lb_stats(&self) -> LineBufStats {
+        let mut agg = LineBufStats::default();
+        for b in &self.line_bufs {
+            let s = b.stats;
+            agg.accesses += s.accesses;
+            agg.window_hits += s.window_hits;
+            agg.underruns += s.underruns;
+            agg.stream_refills += s.stream_refills;
+            agg.bytes_from_dram += s.bytes_from_dram;
+            agg.bytes_served += s.bytes_served;
+        }
+        agg
+    }
+
+    /// Per-line-buffer statistics, indexed like `line_bufs`
+    /// (window-major: `window * num_instances + instance`).
+    pub fn per_lb_stats(&self) -> Vec<LineBufStats> {
+        self.line_bufs.iter().map(|b| b.stats).collect()
     }
 }
 

@@ -474,6 +474,7 @@ impl Profiler {
                     Comp::Enter(e) => ("loop-enter", e.cycles, Vec::new()),
                     Comp::Exit(x) => ("loop-exit", x.cycles, Vec::new()),
                     Comp::Barrier(b) => ("barrier", b.cycles, Vec::new()),
+                    Comp::LineBuf(u) => ("line-buffer", u.cycles, Vec::new()),
                 };
                 CompProfile { label: label.clone(), kind: kind.to_string(), cycles, units }
             })
@@ -529,6 +530,7 @@ fn rank_bottlenecks(
         match n {
             Node::Comp(i) => comp_labels.get(i).cloned().unwrap_or_else(|| format!("comp {i}")),
             Node::Cache(i) => cache_labels.get(i).cloned().unwrap_or_else(|| format!("cache {i}")),
+            Node::LineBuf(i) => format!("line buffer {i}"),
             Node::Chan(i) => format!("channel {i}"),
             Node::Dispatcher(i) => format!("dispatcher {i}"),
         }
@@ -571,6 +573,7 @@ fn rank_bottlenecks(
                 for (target, stalls) in p.mem_unit_issue_stalls() {
                     let blocker = match target {
                         MemTarget::Cache(c) => name_of(Node::Cache(c)),
+                        MemTarget::LineBuf(b) => name_of(Node::LineBuf(b)),
                         MemTarget::Local(l) => format!("local block {l}"),
                         MemTarget::Private => "private memory".to_string(),
                     };
@@ -634,6 +637,9 @@ fn rank_bottlenecks(
                     "release blocked by full output",
                 );
             }
+            // Pure attribution observer: stalls it reports are already
+            // charged to the memory units waiting on the line buffer.
+            Comp::LineBuf(_) => {}
         }
     }
 

@@ -24,6 +24,7 @@
 //! | `Enter`   | loop-entry glue      | output chan  | backedge chan  | outside chan |
 //! | `Exit`    | loop-exit glue       | input chan   | output chan    | —         |
 //! | `Barrier` | work-group barrier   | input chan   | output chan    | —         |
+//! | `LineBuf` | line-buffer observer | —            | —              | —         |
 //!
 //! ## The hot-state mirror
 //!
@@ -41,6 +42,15 @@
 //! and DRAM — never component-internal state — so the mirror survives it;
 //! [`crate::machine::Machine::restore`] rebuilds the mirror from the
 //! restored state via [`TickProgram::resync`].
+//!
+//! `LineBuf` deliberately has **no** hot byte: the component is a pure
+//! observer of a [`soff_mem::LineBuffer`] that lives in the memory
+//! subsystem, and the buffer's state changes on *memory* ticks — foreign
+//! to the component — so any mirrored byte would go stale without the
+//! component ever ticking. Its skip decision needs no state anyway: the
+//! tick only advances attribution counters, so it is skipped exactly
+//! when skipping is enabled (profiling off), like the event-driven
+//! scheduler's unconditional `continue`.
 
 use crate::machine::Comp;
 
@@ -60,6 +70,8 @@ pub enum OpCode {
     Exit,
     /// Work-group barrier (`Comp::Barrier`).
     Barrier,
+    /// Line-buffer attribution observer (`Comp::LineBuf`).
+    LineBuf,
 }
 
 /// `hot` bit: the pipeline holds at least one work-item token.
@@ -154,6 +166,7 @@ impl TickProgram {
                         b: x.out.0 as u32,
                         c: 0,
                     },
+                    Comp::LineBuf(_) => Op { code: OpCode::LineBuf, comp, a: 0, b: 0, c: 0 },
                 }
             })
             .collect();

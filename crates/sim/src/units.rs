@@ -645,6 +645,42 @@ impl PipelineSim {
     }
 }
 
+/// Observational stand-in for one shift-register line buffer
+/// ([`soff_mem::LineBuffer`]). All serve/stream behaviour runs inside
+/// `MemorySystem::tick` (the line buffer is a memory component, like a
+/// cache); this component exists so the profiler can attribute the line
+/// buffer's cycles under the conservation invariant and the forensics
+/// can name it. Its tick reads the buffer's state and mutates nothing
+/// the simulation observes, so the event-driven scheduler skips it
+/// unconditionally (profiling disables skipping, which is exactly when
+/// the attribution matters).
+#[derive(Debug, Clone)]
+pub struct LineBufUnit {
+    /// Index into `MemorySystem::line_bufs`.
+    pub lb: usize,
+    /// Cycle attribution (meaningful under dense stepping / profiling).
+    pub cycles: CycleBreakdown,
+}
+
+impl LineBufUnit {
+    /// Classifies the cycle from the buffer's pre-memory-tick state:
+    /// streaming fills in flight is busy work, latched requests with no
+    /// fill traffic are waiting on residency (issue side), undelivered
+    /// responses are waiting on the datapath (output side).
+    pub fn tick(&mut self, mem: &MemorySystem) {
+        let b = &mem.line_bufs[self.lb];
+        if b.inflight_fills() > 0 {
+            self.cycles.busy += 1;
+        } else if b.latched_requests() > 0 {
+            self.cycles.issue_stall += 1;
+        } else if b.pending_responses() > 0 {
+            self.cycles.output_stall += 1;
+        } else {
+            self.cycles.idle += 1;
+        }
+    }
+}
+
 fn drain_internal(
     internal: &mut VecDeque<(u64, Micro)>,
     edges: &mut [Channel<Micro>],

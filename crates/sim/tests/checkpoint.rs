@@ -60,6 +60,14 @@ const KERNELS: &[&str] = &[
         int i = get_global_id(0);
         atomic_add(&a[i % 8], n);
     }",
+    // Two-buffer sliding-window stencil: the read neighborhood on `a` is
+    // lowered onto a line buffer, so checkpoints must carry shift-register
+    // window state, latched requests, and in-flight stream fills.
+    "__kernel void k(__global const int* a, __global int* out, int n) {
+        int i = get_global_id(0);
+        int x = i % 62 + 1;
+        out[x] = a[x - 1] + a[x] * n + a[x + 1];
+    }",
 ];
 
 fn fresh_memory() -> (GlobalMemory, u32) {
@@ -69,6 +77,31 @@ fn fresh_memory() -> (GlobalMemory, u32) {
         gm.buffer_mut(a).write_scalar(i * 4, soff_frontend::types::Scalar::I32, i * 7 % 64);
     }
     (gm, a)
+}
+
+/// Kernel-aware launch setup: always the seeded 64 × i32 buffer `a`;
+/// two-buffer kernels (the sliding-window stencil) get a second output
+/// buffer. Returns memory, bound args, and the buffers whose bytes form
+/// the compared outcome.
+fn fresh_setup(kernel: &soff_ir::ir::Kernel) -> (GlobalMemory, Vec<ArgValue>, Vec<u32>) {
+    let (mut gm, a) = fresh_memory();
+    let mut args = vec![ArgValue::Buffer(a)];
+    let mut bufs = vec![a];
+    if kernel.params.len() == 3 {
+        let o = gm.alloc(64 * 4);
+        args.push(ArgValue::Buffer(o));
+        bufs.push(o);
+    }
+    args.push(ArgValue::Scalar(5));
+    (gm, args, bufs)
+}
+
+fn outcome_bytes(gm: &GlobalMemory, bufs: &[u32]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for &b in bufs {
+        bytes.extend_from_slice(gm.buffer(b).bytes());
+    }
+    bytes
 }
 
 fn config(scheduler: Scheduler, faults: FaultPlan, profile: Option<ProfileConfig>) -> SimConfig {
@@ -89,10 +122,9 @@ type Outcome = Result<(SimResult, Vec<u8>), SimError>;
 /// Uninterrupted reference run.
 fn run_straight(src: &str, nd: NdRange, cfg: &SimConfig) -> Outcome {
     let (kernel, dp) = compile(src);
-    let (mut gm, a) = fresh_memory();
-    let args = [ArgValue::Buffer(a), ArgValue::Scalar(5)];
+    let (mut gm, args, bufs) = fresh_setup(&kernel);
     let res = Machine::new(&kernel, &dp, cfg, nd, &args)?.run(&mut gm)?;
-    Ok((res, gm.buffer(a).bytes().to_vec()))
+    Ok((res, outcome_bytes(&gm, &bufs)))
 }
 
 /// The same launch, interrupted at every cycle in `cuts` (ascending): each
@@ -101,8 +133,7 @@ fn run_straight(src: &str, nd: NdRange, cfg: &SimConfig) -> Outcome {
 /// rather than just resuming in place.
 fn run_interrupted(src: &str, nd: NdRange, cfg: &SimConfig, cuts: &[u64]) -> Outcome {
     let (kernel, dp) = compile(src);
-    let (mut gm, a) = fresh_memory();
-    let args = [ArgValue::Buffer(a), ArgValue::Scalar(5)];
+    let (mut gm, args, bufs) = fresh_setup(&kernel);
     let mut machine = Machine::new(&kernel, &dp, cfg, nd, &args)?;
     for &cut in cuts {
         let ctl = RunControl { cycle_deadline: Some(cut), ..RunControl::default() };
@@ -118,11 +149,11 @@ fn run_interrupted(src: &str, nd: NdRange, cfg: &SimConfig, cuts: &[u64]) -> Out
             // The run finished (or failed) before the cut; the reference
             // outcome must match it, so just report it.
             Err(e) => return Err(e),
-            Ok(res) => return Ok((res, gm.buffer(a).bytes().to_vec())),
+            Ok(res) => return Ok((res, outcome_bytes(&gm, &bufs))),
         }
     }
     let res = machine.run(&mut gm)?;
-    Ok((res, gm.buffer(a).bytes().to_vec()))
+    Ok((res, outcome_bytes(&gm, &bufs)))
 }
 
 proptest! {
@@ -132,7 +163,7 @@ proptest! {
     /// bit-identical to the uninterrupted run, under both schedulers.
     #[test]
     fn restore_then_run_is_bit_identical(
-        ki in 0usize..4,
+        ki in 0usize..5,
         groups in 1u64..5,
         cut in 1u64..4_000,
     ) {
@@ -151,21 +182,19 @@ proptest! {
     /// must reproduce exactly.
     #[test]
     fn restore_is_bit_identical_under_faults(
-        ki in 0usize..4,
+        ki in 0usize..5,
         seed in 0u64..1_000_000,
         nfaults in 1usize..5,
         cut in 1u64..6_000,
     ) {
         let nd = NdRange::dim1(4 * 8, 8);
         let (kernel, dp) = compile(KERNELS[ki]);
-        let (gm, a) = fresh_memory();
+        let (gm, args, _) = fresh_setup(&kernel);
         drop(gm);
-        let probe = Machine::new(
-            &kernel, &dp, &SimConfig::default(), nd,
-            &[ArgValue::Buffer(a), ArgValue::Scalar(5)],
-        ).expect("probe machine");
+        let probe = Machine::new(&kernel, &dp, &SimConfig::default(), nd, &args)
+            .expect("probe machine");
         let faults = FaultPlan::random(seed, nfaults, 5_000)
-            .normalized(probe.num_channels(), probe.num_caches());
+            .normalized(probe.num_channels(), probe.num_caches(), probe.num_line_bufs());
         for sched in [Scheduler::Dense, Scheduler::EventDriven, Scheduler::Compiled] {
             let cfg = config(sched, faults.clone(), None);
             let straight = run_straight(KERNELS[ki], nd, &cfg);
@@ -179,7 +208,7 @@ proptest! {
     /// with the profiler on (whose counters ride in the checkpoint).
     #[test]
     fn repeated_interruptions_compose(
-        ki in 0usize..4,
+        ki in 0usize..5,
         c1 in 1u64..1_500,
         step in 1u64..1_500,
         profiled in 0usize..2,
@@ -204,7 +233,7 @@ proptest! {
     /// bit-identically to the uninterrupted reference.
     #[test]
     fn checkpoint_survives_backend_switch(
-        ki in 0usize..4,
+        ki in 0usize..5,
         cut in 1u64..3_000,
         pair in 0usize..4,
     ) {
@@ -218,8 +247,7 @@ proptest! {
         let reference = run_straight(KERNELS[ki], nd, &config(Scheduler::Dense, FaultPlan::none(), None));
 
         let (kernel, dp) = compile(KERNELS[ki]);
-        let (mut gm, a) = fresh_memory();
-        let args = [ArgValue::Buffer(a), ArgValue::Scalar(5)];
+        let (mut gm, args, bufs) = fresh_setup(&kernel);
         let cfg_from = config(from, FaultPlan::none(), None);
         let mut m = Machine::new(&kernel, &dp, &cfg_from, nd, &args).unwrap();
         let ctl = RunControl { cycle_deadline: Some(cut), ..RunControl::default() };
@@ -229,10 +257,10 @@ proptest! {
                 let cfg_to = config(to, FaultPlan::none(), None);
                 let mut resumed = Machine::new(&kernel, &dp, &cfg_to, nd, &args).unwrap();
                 resumed.restore(&snapshot, &mut gm).unwrap();
-                resumed.run(&mut gm).map(|r| (r, gm.buffer(a).bytes().to_vec()))
+                resumed.run(&mut gm).map(|r| (r, outcome_bytes(&gm, &bufs)))
             }
             Err(e) => Err(e),
-            Ok(res) => Ok((res, gm.buffer(a).bytes().to_vec())),
+            Ok(res) => Ok((res, outcome_bytes(&gm, &bufs))),
         };
         prop_assert_eq!(&reference, &switched, "{:?} -> {:?} at cut {}", from, to, cut);
     }

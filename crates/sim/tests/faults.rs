@@ -46,7 +46,7 @@ fn run_memcopy(plan: FaultPlan, budget: u64) -> Result<soff_sim::SimResult, SimE
         &[ArgValue::Buffer(a), ArgValue::Buffer(b)],
     )
     .expect("probe machine");
-    let plan = plan.normalized(probe.num_channels(), probe.num_caches());
+    let plan = plan.normalized(probe.num_channels(), probe.num_caches(), probe.num_line_bufs());
     let cfg = SimConfig {
         deadlock_window: WINDOW,
         livelock_window: 64 * WINDOW,

@@ -4,13 +4,16 @@
 //! stand-ins and 15 PolyBench applications, each with deterministic input
 //! generation, a host driver written against the [`runner::Runner`]
 //! abstraction, and a host-side reference used to verify results — the
-//! ingredients of Table II, Fig. 11, and Fig. 12.
+//! ingredients of Table II, Fig. 11, and Fig. 12. The [`stencil`] module
+//! adds the temporally-blocked stencil family used to evaluate the
+//! sliding-window line-buffer path (DESIGN.md §13).
 
 pub mod data;
 pub mod journal;
 pub mod polybench;
 pub mod runner;
 pub mod spec;
+pub mod stencil;
 pub mod sweep;
 
 use data::Scale;
@@ -25,6 +28,10 @@ pub enum Suite {
     SpecAccel,
     /// PolyBench (simple kernels).
     PolyBench,
+    /// The stencil family used to evaluate the sliding-window line
+    /// buffer (DESIGN.md §13): a plain jacobi plus temporally-blocked
+    /// variants of the PolyBench stencils.
+    Stencil,
 }
 
 impl fmt::Display for Suite {
@@ -32,6 +39,7 @@ impl fmt::Display for Suite {
         match self {
             Suite::SpecAccel => f.write_str("SPEC ACCEL"),
             Suite::PolyBench => f.write_str("PolyBench"),
+            Suite::Stencil => f.write_str("Stencil"),
         }
     }
 }
@@ -45,6 +53,10 @@ pub struct Features {
     pub barrier: bool,
     /// Uses atomic operations (column A).
     pub atomics: bool,
+    /// Contains a compiler-detected sliding window (column W): a group
+    /// of constant-offset `__global` loads the line buffer can serve
+    /// from shift registers instead of cache ports (DESIGN.md §13).
+    pub window: bool,
 }
 
 /// One benchmark application. `Copy`: the fields are static references
@@ -75,10 +87,12 @@ impl fmt::Debug for App {
     }
 }
 
-/// All 34 applications, SPEC ACCEL first (Table II row order).
+/// All 39 applications: the paper's 34 (SPEC ACCEL first, Table II row
+/// order) followed by the blocked-stencil family.
 pub fn all_apps() -> Vec<App> {
     let mut v = spec::apps();
     v.extend(polybench::apps());
+    v.extend(stencil::apps());
     v
 }
 
@@ -199,11 +213,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_34_apps() {
+    fn registry_has_39_apps() {
+        // The paper's 34 (19 SPEC + 15 Poly) plus the 5-app stencil
+        // family evaluating the line-buffer path.
         let apps = all_apps();
-        assert_eq!(apps.len(), 34);
+        assert_eq!(apps.len(), 39);
         assert_eq!(apps.iter().filter(|a| a.suite == Suite::SpecAccel).count(), 19);
         assert_eq!(apps.iter().filter(|a| a.suite == Suite::PolyBench).count(), 15);
+        assert_eq!(apps.iter().filter(|a| a.suite == Suite::Stencil).count(), 5);
     }
 
     #[test]
@@ -212,7 +229,7 @@ mod tests {
         let mut names: Vec<_> = apps.iter().map(|a| a.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 34);
+        assert_eq!(names.len(), 39);
     }
 
     #[test]
@@ -228,7 +245,8 @@ mod tests {
 
     #[test]
     fn declared_features_match_compiled_kernels() {
-        // The L/B/A columns must agree with what the compiler finds.
+        // The L/B/A/W columns must agree with what the compiler finds.
+        let mut bad = Vec::new();
         for a in all_apps() {
             let module = lower_app(a.source, &[]).unwrap_or_else(|o| {
                 panic!("{}: compilation failed ({})", a.name, o.code())
@@ -236,10 +254,20 @@ mod tests {
             let local = module.kernels.iter().any(|k| k.uses_local);
             let barrier = module.kernels.iter().any(|k| k.uses_barrier);
             let atomics = module.kernels.iter().any(|k| k.uses_atomics);
-            assert_eq!(local, a.features.local, "{}: L column", a.name);
-            assert_eq!(barrier, a.features.barrier, "{}: B column", a.name);
-            assert_eq!(atomics, a.features.atomics, "{}: A column", a.name);
+            let window =
+                module.kernels.iter().any(|k| !soff_ir::window::detect(k).is_empty());
+            for (col, got, want) in [
+                ("L", local, a.features.local),
+                ("B", barrier, a.features.barrier),
+                ("A", atomics, a.features.atomics),
+                ("W", window, a.features.window),
+            ] {
+                if got != want {
+                    bad.push(format!("{}: {col} column (compiled: {got})", a.name));
+                }
+            }
         }
+        assert!(bad.is_empty(), "feature columns disagree:\n{}", bad.join("\n"));
     }
 
     #[test]

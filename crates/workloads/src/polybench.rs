@@ -33,7 +33,13 @@ pub fn apps() -> Vec<App> {
 }
 
 fn plain() -> Features {
-    Features { local: false, barrier: false, atomics: false }
+    Features { local: false, barrier: false, atomics: false, window: false }
+}
+
+/// Plain kernels whose constant-offset load neighbourhoods the compiler
+/// detects as sliding windows (Table II column W, DESIGN.md §13).
+fn windowed() -> Features {
+    Features { window: true, ..plain() }
 }
 
 // Host-side helpers with kernel-identical accumulation order.
@@ -102,7 +108,7 @@ fn app_2dconv() -> App {
         }
         Ok(floats_close(&got, &want, 1e-4))
     }
-    App { name: "2dconv", suite: Suite::PolyBench, features: plain(), source: CONV2D_SRC, run }
+    App { name: "2dconv", suite: Suite::PolyBench, features: windowed(), source: CONV2D_SRC, run }
 }
 
 // ---- 3dconv ---------------------------------------------------------------
@@ -158,7 +164,7 @@ fn app_3dconv() -> App {
         }
         Ok(floats_close(&got, &want, 1e-4))
     }
-    App { name: "3dconv", suite: Suite::PolyBench, features: plain(), source: CONV3D_SRC, run }
+    App { name: "3dconv", suite: Suite::PolyBench, features: windowed(), source: CONV3D_SRC, run }
 }
 
 // ---- matrix-multiply family ------------------------------------------------
@@ -427,7 +433,7 @@ fn app_gesummv() -> App {
         }
         Ok(floats_close(&got, &want, 1e-3))
     }
-    App { name: "gesummv", suite: Suite::PolyBench, features: plain(), source: GESUMMV_SRC, run }
+    App { name: "gesummv", suite: Suite::PolyBench, features: windowed(), source: GESUMMV_SRC, run }
 }
 
 const MVT_SRC: &str = r#"
@@ -654,7 +660,7 @@ fn app_gramschm() -> App {
         }
         Ok(floats_close(&got_q, &q, 5e-2))
     }
-    App { name: "gramschm", suite: Suite::PolyBench, features: plain(), source: GRAMSCHM_SRC, run }
+    App { name: "gramschm", suite: Suite::PolyBench, features: windowed(), source: GRAMSCHM_SRC, run }
 }
 
 // ---- correlation / covariance ----------------------------------------------
@@ -902,5 +908,5 @@ fn app_fdtd_2d() -> App {
         }
         Ok(floats_close(&ghz, &hz, 1e-2))
     }
-    App { name: "fdtd-2d", suite: Suite::PolyBench, features: plain(), source: FDTD2D_SRC, run }
+    App { name: "fdtd-2d", suite: Suite::PolyBench, features: windowed(), source: FDTD2D_SRC, run }
 }

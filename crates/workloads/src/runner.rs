@@ -152,6 +152,20 @@ impl SimRunner {
         self.ctx.scheduler = s;
     }
 
+    /// Enables or disables the sliding-window line-buffer path for every
+    /// subsequent launch (DESIGN.md §13). Result buffers are bit-identical
+    /// either way; only cycles and memory traffic change.
+    pub fn set_line_buffer(&mut self, on: bool) {
+        self.ctx.line_buffer = on;
+    }
+
+    /// Snapshots the contents of every buffer the application allocated,
+    /// in allocation order — the byte-identity witness the line-buffer
+    /// differential tests compare across schedulers and modes.
+    pub fn dump_buffers(&mut self) -> Vec<Vec<u8>> {
+        (0..self.buffers.len()).map(|i| self.read_bytes(BufId(i))).collect()
+    }
+
     /// Interrupts every subsequent launch each `cycles` cycles,
     /// snapshotting and restoring onto a freshly built machine (the
     /// checkpoint/restore drill on the production launch path; results
@@ -212,6 +226,7 @@ impl Runner for SimRunner {
         if let Some(p) = sim.profile.take() {
             self.profiles.push(*p);
         }
+        record_linebuf_metrics(&sim.line_buf);
         self.launch_results.push(sim);
         Ok(())
     }
@@ -221,6 +236,24 @@ impl Runner for SimRunner {
         // `create_buffer_init`, so the read cannot fail.
         self.ctx.read_buffer(self.buffers[b.0]).expect("runner-owned buffer handle")
     }
+}
+
+/// Publishes one launch's line-buffer activity to the service-wide
+/// metrics registry. `bytes_saved` is the *modeled* DRAM traffic the
+/// window path avoided: bytes delivered to the datapath minus bytes
+/// actually streamed from DRAM.
+fn record_linebuf_metrics(lb: &soff_sim::LineBufStats) {
+    if lb.accesses == 0 {
+        return;
+    }
+    let r = soff_obs::global();
+    r.counter("soff_sim_linebuf_window_hits_total", &[]).add(lb.window_hits);
+    r.counter("soff_sim_linebuf_underruns_total", &[]).add(lb.underruns);
+    r.counter("soff_sim_linebuf_stream_refills_total", &[]).add(lb.stream_refills);
+    r.counter("soff_sim_linebuf_bytes_from_dram_total", &[]).add(lb.bytes_from_dram);
+    r.counter("soff_sim_linebuf_bytes_served_total", &[]).add(lb.bytes_served);
+    r.counter("soff_sim_linebuf_bytes_saved_total", &[])
+        .add(lb.bytes_served.saturating_sub(lb.bytes_from_dram));
 }
 
 /// Relative-tolerance float comparison for whole result vectors.

@@ -41,7 +41,7 @@ pub fn apps() -> Vec<App> {
 }
 
 fn feats(local: bool, barrier: bool, atomics: bool) -> Features {
-    Features { local, barrier, atomics }
+    Features { local, barrier, atomics, window: false }
 }
 
 // ---- 101.tpacf (L, B, A) ----------------------------------------------------
@@ -166,7 +166,7 @@ fn app_stencil() -> App {
     App {
         name: "103.stencil",
         suite: Suite::SpecAccel,
-        features: feats(false, false, false),
+        features: Features { window: true, ..feats(false, false, false) },
         source: STENCIL_SRC,
         run,
     }
@@ -389,7 +389,7 @@ fn app_spmv() -> App {
     App {
         name: "112.spmv",
         suite: Suite::SpecAccel,
-        features: feats(false, false, false),
+        features: Features { window: true, ..feats(false, false, false) },
         source: SPMV_SRC,
         run,
     }
@@ -465,7 +465,7 @@ fn app_mriq() -> App {
     App {
         name: "114.mriq",
         suite: Suite::SpecAccel,
-        features: feats(false, false, false),
+        features: Features { window: true, ..feats(false, false, false) },
         source: MRIQ_SRC,
         run,
     }
@@ -637,7 +637,7 @@ fn app_bfs() -> App {
     App {
         name: "117.bfs",
         suite: Suite::SpecAccel,
-        features: feats(true, true, true),
+        features: Features { window: true, ..feats(true, true, true) },
         source: BFS_SRC,
         run,
     }
@@ -1116,7 +1116,7 @@ fn app_hotspot() -> App {
     App {
         name: "124.hotspot",
         suite: Suite::SpecAccel,
-        features: feats(true, true, false),
+        features: Features { window: true, ..feats(true, true, false) },
         source: HOTSPOT_SRC,
         run,
     }
@@ -1339,7 +1339,7 @@ fn app_srad() -> App {
     App {
         name: "127.srad",
         suite: Suite::SpecAccel,
-        features: feats(true, true, false),
+        features: Features { window: true, ..feats(true, true, false) },
         source: SRAD_SRC,
         run,
     }

@@ -1,0 +1,658 @@
+//! The temporally-blocked stencil family (DESIGN.md §13).
+//!
+//! Five applications exercising the sliding-window line-buffer path: a
+//! plain 5-point `jacobi` smoother plus temporally-blocked variants of
+//! the PolyBench stencils (`2dconv`, `3dconv`, `fdtd-2d`, `jacobi`). A
+//! blocked kernel applies *t* time steps in a single launch by
+//! recomputing the intermediate neighbourhood values instead of storing
+//! them — the input is streamed once per *t* steps instead of once per
+//! step, which is exactly the access shape the line buffer rewards. The
+//! recomputation uses the same f32 expressions and guards as the plain
+//! kernels, so every blocked variant is verified against *t* plain
+//! host-reference passes.
+//!
+//! The conv variants' sources are generated (a degree-2 blocked 2D
+//! convolution unrolls to 81 guarded loads); the generators emit the
+//! same term order as the plain kernels so results stay comparable at
+//! the plain apps' tolerances.
+
+use crate::data::{DataGen, Scale};
+use crate::runner::{alloc_f32, floats_close, read_f32, Arg, RunError, Runner, SimRunner};
+use crate::{App, Features, Suite};
+use soff_baseline::{Framework, Outcome};
+use soff_ir::NdRange;
+use std::sync::OnceLock;
+
+/// All 5 stencil-family applications.
+pub fn apps() -> Vec<App> {
+    vec![
+        app_jacobi(),
+        app_jacobi_blocked(),
+        app_2dconv_blocked(),
+        app_3dconv_blocked(),
+        app_fdtd_2d_blocked(),
+    ]
+}
+
+fn feats() -> Features {
+    Features { local: false, barrier: false, atomics: false, window: true }
+}
+
+fn leak(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+/// `v`, `(v + k)`, or `(v - k)` — the index style of the plain kernels.
+fn idx(v: &str, off: i64) -> String {
+    match off {
+        0 => v.to_string(),
+        o if o > 0 => format!("({v} + {o})"),
+        o => format!("({v} - {})", -o),
+    }
+}
+
+/// A float literal the frontend parses in any operand position.
+fn lit(c: f32) -> String {
+    if c < 0.0 {
+        format!("(-{:?}f)", -c)
+    } else {
+        format!("{:?}f", c)
+    }
+}
+
+// ---- jacobi ---------------------------------------------------------------
+//
+// The 5-point smoother: interior cells average their von Neumann
+// neighbourhood, boundary cells copy through (so ping-ponged time steps
+// are well defined everywhere).
+
+const JACOBI_SRC: &str = r#"
+__kernel void jacobi(__global const float* in, __global float* out, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    float v = in[i * n + j];
+    if (i > 0 && i < n - 1 && j > 0 && j < n - 1)
+        v = 0.2f * (in[i * n + j] + in[i * n + (j - 1)] + in[i * n + (j + 1)]
+                    + in[(i - 1) * n + j] + in[(i + 1) * n + j]);
+    out[i * n + j] = v;
+}
+"#;
+
+/// One host-side jacobi step with the kernel's exact f32 term order.
+fn jacobi_ref(input: &[f32], n: usize) -> Vec<f32> {
+    let mut out = input.to_vec();
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            out[i * n + j] = 0.2
+                * (input[i * n + j]
+                    + input[i * n + j - 1]
+                    + input[i * n + j + 1]
+                    + input[(i - 1) * n + j]
+                    + input[(i + 1) * n + j]);
+        }
+    }
+    out
+}
+
+fn app_jacobi() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 48);
+        let t_steps = scale.pick(2, 4);
+        let mut g = DataGen::new(0x1acb);
+        let input = g.f32s(n * n, -1.0, 1.0);
+        let bufs = [alloc_f32(r, &input), alloc_f32(r, &vec![0.0; n * n])];
+        let nd = NdRange::dim2([n as u64, n as u64], [8, 8]);
+        let mut cur = 0;
+        for _ in 0..t_steps {
+            r.launch(
+                "jacobi",
+                &[Arg::Buf(bufs[cur]), Arg::Buf(bufs[1 - cur]), Arg::I32(n as i32)],
+                nd,
+            )?;
+            cur = 1 - cur;
+        }
+        let got = read_f32(r, bufs[cur]);
+        let mut want = input;
+        for _ in 0..t_steps {
+            want = jacobi_ref(&want, n);
+        }
+        Ok(floats_close(&got, &want, 1e-4))
+    }
+    App { name: "jacobi", suite: Suite::Stencil, features: feats(), source: JACOBI_SRC, run }
+}
+
+// ---- jacobi-blocked -------------------------------------------------------
+//
+// Degree-2 temporal blocking: one launch computes two jacobi steps by
+// recomputing the step-1 value at the centre and its four neighbours
+// (the 13-point diamond of radius 2), each with the plain kernel's
+// interior guard and boundary-copy fallback.
+
+fn jacobi5(di: i64, dj: i64) -> String {
+    let taps = [(0i64, 0i64), (0, -1), (0, 1), (-1, 0), (1, 0)];
+    let terms: Vec<String> = taps
+        .iter()
+        .map(|&(a, b)| format!("in[{} * n + {}]", idx("i", di + a), idx("j", dj + b)))
+        .collect();
+    format!("0.2f * ({})", terms.join("\n                      + "))
+}
+
+fn interior(di: i64, dj: i64) -> String {
+    format!(
+        "{0} > 0 && {0} < n - 1 && {1} > 0 && {1} < n - 1",
+        idx("i", di),
+        idx("j", dj)
+    )
+}
+
+fn gen_jacobi_blocked() -> String {
+    let mut s = String::from(
+        "__kernel void jacobi2(__global const float* in, __global float* out, int n) {\n\
+         \x20   int i = get_global_id(0);\n\
+         \x20   int j = get_global_id(1);\n\
+         \x20   float r = in[i * n + j];\n\
+         \x20   if (i > 0 && i < n - 1 && j > 0 && j < n - 1) {\n",
+    );
+    let name = |d: i64| match d {
+        -1 => "m",
+        0 => "z",
+        _ => "p",
+    };
+    let taps = [(0i64, 0i64), (0, -1), (0, 1), (-1, 0), (1, 0)];
+    let mut sum = Vec::new();
+    for &(a, b) in &taps {
+        let t = format!("t_{}{}", name(a), name(b));
+        s += &format!(
+            "        float {t} = in[{} * n + {}];\n\
+             \x20       if ({}) {t} = {};\n",
+            idx("i", a),
+            idx("j", b),
+            interior(a, b),
+            jacobi5(a, b),
+        );
+        sum.push(t);
+    }
+    s += &format!("        r = 0.2f * ({});\n    }}\n    out[i * n + j] = r;\n}}\n", sum.join(" + "));
+    s
+}
+
+fn jacobi_blocked_src() -> &'static str {
+    static SRC: OnceLock<&'static str> = OnceLock::new();
+    SRC.get_or_init(|| leak(gen_jacobi_blocked()))
+}
+
+fn app_jacobi_blocked() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 48);
+        let t_steps = scale.pick(2, 4);
+        let mut g = DataGen::new(0x1acb);
+        let input = g.f32s(n * n, -1.0, 1.0);
+        let bufs = [alloc_f32(r, &input), alloc_f32(r, &vec![0.0; n * n])];
+        let nd = NdRange::dim2([n as u64, n as u64], [8, 8]);
+        let mut cur = 0;
+        for _ in 0..t_steps / 2 {
+            r.launch(
+                "jacobi2",
+                &[Arg::Buf(bufs[cur]), Arg::Buf(bufs[1 - cur]), Arg::I32(n as i32)],
+                nd,
+            )?;
+            cur = 1 - cur;
+        }
+        let got = read_f32(r, bufs[cur]);
+        let mut want = input;
+        for _ in 0..t_steps {
+            want = jacobi_ref(&want, n);
+        }
+        Ok(floats_close(&got, &want, 1e-4))
+    }
+    App {
+        name: "jacobi-blocked",
+        suite: Suite::Stencil,
+        features: feats(),
+        source: jacobi_blocked_src(),
+        run,
+    }
+}
+
+// ---- 2dconv-blocked -------------------------------------------------------
+//
+// conv(conv(in)) in one launch: the step-1 value at each of the nine
+// neighbours is recomputed with the plain 9-tap formula (zero outside
+// the interior — the plain app leaves its zero-initialised output
+// untouched there), then combined with the same coefficients. 81 loads,
+// 25 distinct taps — a 5×5 sliding window.
+
+const C2: [[f32; 3]; 3] = [[0.2, -0.3, 0.4], [0.5, 0.6, -0.7], [-0.8, -0.9, 0.1]];
+
+fn conv9(di: i64, dj: i64) -> String {
+    let mut terms = Vec::new();
+    for (a, row) in C2.iter().enumerate() {
+        for (b, &c) in row.iter().enumerate() {
+            terms.push(format!(
+                "{} * in[{} * n + {}]",
+                lit(c),
+                idx("i", di + a as i64 - 1),
+                idx("j", dj + b as i64 - 1)
+            ));
+        }
+    }
+    terms.join("\n                + ")
+}
+
+fn gen_conv2d_blocked() -> String {
+    let mut s = String::from(
+        "__kernel void conv2d2(__global const float* in, __global float* out, int n) {\n\
+         \x20   int i = get_global_id(0);\n\
+         \x20   int j = get_global_id(1);\n\
+         \x20   if (i > 0 && i < n - 1 && j > 0 && j < n - 1) {\n",
+    );
+    let name = |d: i64| match d {
+        -1 => "m",
+        0 => "z",
+        _ => "p",
+    };
+    let mut combine = Vec::new();
+    for a in -1..=1i64 {
+        for b in -1..=1i64 {
+            let t = format!("t_{}{}", name(a), name(b));
+            s += &format!(
+                "        float {t} = 0.0f;\n\
+                 \x20       if ({}) {{\n            {t} = {};\n        }}\n",
+                interior(a, b),
+                conv9(a, b),
+            );
+            combine.push(format!("{} * {t}", lit(C2[(a + 1) as usize][(b + 1) as usize])));
+        }
+    }
+    s += &format!(
+        "        out[i * n + j] = {};\n    }}\n}}\n",
+        combine.join("\n            + ")
+    );
+    s
+}
+
+fn conv2d_blocked_src() -> &'static str {
+    static SRC: OnceLock<&'static str> = OnceLock::new();
+    SRC.get_or_init(|| leak(gen_conv2d_blocked()))
+}
+
+/// One host-side 2D convolution pass with the kernel's f32 term order.
+fn conv2d_ref(input: &[f32], n: usize) -> Vec<f32> {
+    let mut want = vec![0.0f32; n * n];
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            let mut acc = 0.0f32;
+            for (a, row) in C2.iter().enumerate() {
+                for (b, &c) in row.iter().enumerate() {
+                    let term = c * input[(i + a - 1) * n + (j + b - 1)];
+                    acc = if a == 0 && b == 0 { term } else { acc + term };
+                }
+            }
+            want[i * n + j] = acc;
+        }
+    }
+    want
+}
+
+fn app_2dconv_blocked() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(24, 96);
+        let mut g = DataGen::new(0x2dc0);
+        let input = g.f32s(n * n, -1.0, 1.0);
+        let bin = alloc_f32(r, &input);
+        let bout = alloc_f32(r, &vec![0.0; n * n]);
+        r.launch(
+            "conv2d2",
+            &[Arg::Buf(bin), Arg::Buf(bout), Arg::I32(n as i32)],
+            NdRange::dim2([n as u64, n as u64], [8, 8]),
+        )?;
+        let got = read_f32(r, bout);
+        let want = conv2d_ref(&conv2d_ref(&input, n), n);
+        Ok(floats_close(&got, &want, 1e-4))
+    }
+    App {
+        name: "2dconv-blocked",
+        suite: Suite::Stencil,
+        features: feats(),
+        source: conv2d_blocked_src(),
+        run,
+    }
+}
+
+// ---- 3dconv-blocked -------------------------------------------------------
+//
+// The 7-point star applied twice in one launch: 49 loads, 25 distinct
+// taps spanning five planes.
+
+const C3: [(i64, i64, i64, f32); 7] = [
+    (-1, 0, 0, 0.5),
+    (1, 0, 0, 0.7),
+    (0, -1, 0, 0.9),
+    (0, 1, 0, 1.1),
+    (0, 0, -1, 1.3),
+    (0, 0, 1, 1.5),
+    (0, 0, 0, -6.0),
+];
+
+fn star7(di: i64, dj: i64, dk: i64) -> String {
+    let terms: Vec<String> = C3
+        .iter()
+        .map(|&(a, b, c, w)| {
+            format!(
+                "{} * in[({} * n + {}) * n + {}]",
+                lit(w),
+                idx("i", di + a),
+                idx("j", dj + b),
+                idx("k", dk + c)
+            )
+        })
+        .collect();
+    terms.join("\n                + ")
+}
+
+fn interior3(di: i64, dj: i64, dk: i64) -> String {
+    format!(
+        "{0} > 0 && {0} < n - 1 && {1} > 0 && {1} < n - 1 && {2} > 0 && {2} < n - 1",
+        idx("i", di),
+        idx("j", dj),
+        idx("k", dk)
+    )
+}
+
+fn gen_conv3d_blocked() -> String {
+    let mut s = String::from(
+        "__kernel void conv3d2(__global const float* in, __global float* out, int n) {\n\
+         \x20   int i = get_global_id(0);\n\
+         \x20   int j = get_global_id(1);\n\
+         \x20   int k = get_global_id(2);\n\
+         \x20   if (i > 0 && i < n - 1 && j > 0 && j < n - 1 && k > 0 && k < n - 1) {\n",
+    );
+    let mut combine = Vec::new();
+    for (t_i, &(a, b, c, w)) in C3.iter().enumerate() {
+        let t = format!("t{t_i}");
+        s += &format!(
+            "        float {t} = 0.0f;\n\
+             \x20       if ({}) {{\n            {t} = {};\n        }}\n",
+            interior3(a, b, c),
+            star7(a, b, c),
+        );
+        combine.push(format!("{} * {t}", lit(w)));
+    }
+    s += &format!(
+        "        out[(i * n + j) * n + k] = {};\n    }}\n}}\n",
+        combine.join("\n            + ")
+    );
+    s
+}
+
+fn conv3d_blocked_src() -> &'static str {
+    static SRC: OnceLock<&'static str> = OnceLock::new();
+    SRC.get_or_init(|| leak(gen_conv3d_blocked()))
+}
+
+/// One host-side 7-point star pass with the kernel's f32 term order.
+fn conv3d_ref(input: &[f32], n: usize) -> Vec<f32> {
+    let mut want = vec![0.0f32; n * n * n];
+    let at = |i: i64, j: i64, k: i64| ((i * n as i64 + j) * n as i64 + k) as usize;
+    for i in 1..n as i64 - 1 {
+        for j in 1..n as i64 - 1 {
+            for k in 1..n as i64 - 1 {
+                let mut acc = 0.0f32;
+                for (t_i, &(a, b, c, w)) in C3.iter().enumerate() {
+                    let term = w * input[at(i + a, j + b, k + c)];
+                    acc = if t_i == 0 { term } else { acc + term };
+                }
+                want[at(i, j, k)] = acc;
+            }
+        }
+    }
+    want
+}
+
+fn app_3dconv_blocked() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(8, 16);
+        let mut g = DataGen::new(0x3dc0);
+        let input = g.f32s(n * n * n, -1.0, 1.0);
+        let bin = alloc_f32(r, &input);
+        let bout = alloc_f32(r, &vec![0.0; n * n * n]);
+        r.launch(
+            "conv3d2",
+            &[Arg::Buf(bin), Arg::Buf(bout), Arg::I32(n as i32)],
+            NdRange::dim3([n as u64, n as u64, n as u64], [4, 4, 4]),
+        )?;
+        let got = read_f32(r, bout);
+        let want = conv3d_ref(&conv3d_ref(&input, n), n);
+        Ok(floats_close(&got, &want, 1e-3))
+    }
+    App {
+        name: "3dconv-blocked",
+        suite: Suite::Stencil,
+        features: feats(),
+        source: conv3d_blocked_src(),
+        run,
+    }
+}
+
+// ---- fdtd-2d-blocked ------------------------------------------------------
+//
+// The three FDTD field updates of one time step fused into a single
+// launch: the hz update needs the *new* ex/ey at its east and south
+// neighbours, which other work-items compute — so the fused kernel
+// recomputes them from the old fields with the same f32 expressions,
+// writing all three new fields to separate ping-pong buffers. One
+// streaming pass over hz per step instead of three.
+
+const FDTD2D_BLOCKED_SRC: &str = r#"
+__kernel void fdtd_step(__global const float* ex, __global const float* ey,
+                        __global const float* hz, __global const float* fict,
+                        __global float* ex2, __global float* ey2,
+                        __global float* hz2, int t, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    float eyc = ey[i * n + j];
+    if (i == 0) eyc = fict[t];
+    else eyc = eyc - 0.5f * (hz[i * n + j] - hz[(i - 1) * n + j]);
+    float exc = ex[i * n + j];
+    if (j > 0) exc = exc - 0.5f * (hz[i * n + j] - hz[i * n + (j - 1)]);
+    ey2[i * n + j] = eyc;
+    ex2[i * n + j] = exc;
+    float hzc = hz[i * n + j];
+    if (i < n - 1 && j < n - 1) {
+        float eyd = ey[(i + 1) * n + j] - 0.5f * (hz[(i + 1) * n + j] - hz[i * n + j]);
+        float exr = ex[i * n + (j + 1)] - 0.5f * (hz[i * n + (j + 1)] - hz[i * n + j]);
+        hzc = hzc - 0.7f * (exr - exc + eyd - eyc);
+    }
+    hz2[i * n + j] = hzc;
+}
+"#;
+
+fn app_fdtd_2d_blocked() -> App {
+    fn run(r: &mut dyn Runner, scale: Scale) -> Result<bool, RunError> {
+        let n = scale.pick(16, 32);
+        let t_steps = scale.pick(2, 4);
+        let mut g = DataGen::new(0xfd7d);
+        let mut ex = g.f32s(n * n, -1.0, 1.0);
+        let mut ey = g.f32s(n * n, -1.0, 1.0);
+        let mut hz = g.f32s(n * n, -1.0, 1.0);
+        let fict: Vec<f32> = (0..t_steps).map(|t| t as f32).collect();
+        let exs = [alloc_f32(r, &ex), alloc_f32(r, &vec![0.0; n * n])];
+        let eys = [alloc_f32(r, &ey), alloc_f32(r, &vec![0.0; n * n])];
+        let hzs = [alloc_f32(r, &hz), alloc_f32(r, &vec![0.0; n * n])];
+        let bfict = alloc_f32(r, &fict);
+        let nd = NdRange::dim2([n as u64, n as u64], [8, 8]);
+        let mut cur = 0;
+        for t in 0..t_steps {
+            r.launch(
+                "fdtd_step",
+                &[
+                    Arg::Buf(exs[cur]),
+                    Arg::Buf(eys[cur]),
+                    Arg::Buf(hzs[cur]),
+                    Arg::Buf(bfict),
+                    Arg::Buf(exs[1 - cur]),
+                    Arg::Buf(eys[1 - cur]),
+                    Arg::Buf(hzs[1 - cur]),
+                    Arg::I32(t as i32),
+                    Arg::I32(n as i32),
+                ],
+                nd,
+            )?;
+            cur = 1 - cur;
+        }
+        let ghz = read_f32(r, hzs[cur]);
+
+        // The plain app's reference, verbatim: in-place sequential field
+        // updates — the fused kernel's recomputation matches it term for
+        // term.
+        for &f in fict.iter().take(t_steps) {
+            ey[..n].fill(f);
+            for i in 1..n {
+                for j in 0..n {
+                    ey[i * n + j] -= 0.5 * (hz[i * n + j] - hz[(i - 1) * n + j]);
+                }
+            }
+            for i in 0..n {
+                for j in 1..n {
+                    ex[i * n + j] -= 0.5 * (hz[i * n + j] - hz[i * n + j - 1]);
+                }
+            }
+            for i in 0..n - 1 {
+                for j in 0..n - 1 {
+                    hz[i * n + j] -= 0.7
+                        * (ex[i * n + j + 1] - ex[i * n + j] + ey[(i + 1) * n + j]
+                            - ey[i * n + j]);
+                }
+            }
+        }
+        Ok(floats_close(&ghz, &hz, 1e-2))
+    }
+    App {
+        name: "fdtd-2d-blocked",
+        suite: Suite::Stencil,
+        features: feats(),
+        source: FDTD2D_BLOCKED_SRC,
+        run,
+    }
+}
+
+// ---- the measurement harness ----------------------------------------------
+
+/// The stencil applications the line-buffer differential tests and the
+/// `stencil_speed` bench run: the blocked family plus the plain
+/// PolyBench stencils they derive from.
+pub fn stencil_app_names() -> Vec<&'static str> {
+    vec![
+        "2dconv",
+        "3dconv",
+        "fdtd-2d",
+        "jacobi",
+        "2dconv-blocked",
+        "3dconv-blocked",
+        "fdtd-2d-blocked",
+        "jacobi-blocked",
+    ]
+}
+
+/// One SOFF execution of a stencil app under an explicit scheduler and
+/// line-buffer mode: the byte-level witness the differential tests
+/// compare, and the measurement unit of the `stencil_speed` bench.
+#[derive(Debug, Clone)]
+pub struct StencilRun {
+    /// Did the device output match the host reference?
+    pub correct: bool,
+    /// Every buffer the host program allocated, in allocation order.
+    pub buffers: Vec<Vec<u8>>,
+    /// Device cycles summed over all launches.
+    pub cycles: u64,
+    /// Line-buffer statistics summed over all launches.
+    pub line_buf: soff_sim::LineBufStats,
+    /// Cache accesses summed over all launches.
+    pub cache_accesses: u64,
+    /// Cache misses summed over all launches.
+    pub cache_misses: u64,
+    /// DRAM lines transferred (reads + writes) over all launches.
+    pub dram_lines: u64,
+}
+
+/// Runs `app` on SOFF with the given scheduler and line-buffer mode.
+///
+/// # Errors
+///
+/// The Table II outcome when the build or a launch fails.
+pub fn run_stencil(
+    app: &App,
+    scale: Scale,
+    sched: soff_sim::Scheduler,
+    line_buffer: bool,
+) -> Result<StencilRun, Outcome> {
+    let mut r = SimRunner::new(Framework::Soff, app.source, &[])?;
+    r.set_scheduler(sched);
+    r.set_line_buffer(line_buffer);
+    let correct = (app.run)(&mut r, scale).map_err(|e| match e {
+        RunError::Outcome(o) => o,
+        RunError::MissingKernel(_) => Outcome::CompileError,
+    })?;
+    let mut line_buf = soff_sim::LineBufStats::default();
+    let (mut cache_accesses, mut cache_misses, mut dram_lines) = (0, 0, 0);
+    for res in &r.launch_results {
+        line_buf.merge(&res.line_buf);
+        cache_accesses += res.cache.accesses;
+        cache_misses += res.cache.misses;
+        dram_lines += res.dram.reads + res.dram.writes;
+    }
+    Ok(StencilRun {
+        correct,
+        buffers: r.dump_buffers(),
+        cycles: r.total_cycles,
+        line_buf,
+        cache_accesses,
+        cache_misses,
+        dram_lines,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_sources_compile_and_have_windows() {
+        for (name, src) in [
+            ("jacobi2", jacobi_blocked_src()),
+            ("conv2d2", conv2d_blocked_src()),
+            ("conv3d2", conv3d_blocked_src()),
+        ] {
+            let module = crate::lower_app(src, &[])
+                .unwrap_or_else(|o| panic!("{name}: generated source fails to compile ({o:?})"));
+            let k = &module.kernels[0];
+            let windows = soff_ir::window::detect(k);
+            assert!(
+                !windows.is_empty(),
+                "{name}: the blocked kernel must expose a sliding window"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_conv2d_has_a_25_tap_window() {
+        let module = crate::lower_app(conv2d_blocked_src(), &[]).unwrap();
+        let windows = soff_ir::window::detect(&module.kernels[0]);
+        let w = windows.iter().max_by_key(|w| w.loads.len()).unwrap();
+        assert_eq!(w.loads.len(), 81, "9 recomputed neighbours x 9 taps");
+    }
+
+    #[test]
+    fn linebuf_activity_reaches_the_metrics_registry() {
+        let apps = crate::all_apps();
+        let app = apps.iter().find(|a| a.name == "jacobi-blocked").unwrap();
+        let before =
+            soff_obs::global().counter("soff_sim_linebuf_window_hits_total", &[]).get();
+        let run = run_stencil(app, crate::data::Scale::Small, soff_sim::Scheduler::Dense, true)
+            .expect("jacobi-blocked runs");
+        assert!(run.correct);
+        let after =
+            soff_obs::global().counter("soff_sim_linebuf_window_hits_total", &[]).get();
+        assert!(after >= before + run.line_buf.window_hits, "counters must accumulate");
+    }
+}

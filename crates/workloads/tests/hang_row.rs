@@ -16,7 +16,7 @@ fn hang_app() -> App {
     App {
         name: "999.spin",
         suite: Suite::PolyBench,
-        features: Features { local: false, barrier: false, atomics: false },
+        features: Features { local: false, barrier: false, atomics: false, window: false },
         source: "__kernel void spin(__global int* a) {
             while (a[0] == 0) { }
             a[1] = 1;
@@ -32,7 +32,7 @@ fn panicky_app() -> App {
     App {
         name: "998.panic",
         suite: Suite::PolyBench,
-        features: Features { local: false, barrier: false, atomics: false },
+        features: Features { local: false, barrier: false, atomics: false, window: false },
         source: "__kernel void k(__global int* a) { a[get_global_id(0)] = 1; }",
         run,
     }
@@ -47,7 +47,7 @@ fn good_app() -> App {
     App {
         name: "997.fill",
         suite: Suite::PolyBench,
-        features: Features { local: false, barrier: false, atomics: false },
+        features: Features { local: false, barrier: false, atomics: false, window: false },
         source: "__kernel void k(__global int* a) { a[get_global_id(0)] = 1; }",
         run,
     }
