@@ -494,6 +494,20 @@ fn main() {
         if profiles_dropped > 0 {
             eprintln!("profile reports dropped to max_reports bound: {profiles_dropped}");
         }
+        // Self-check: with every job settled and the server shut down,
+        // any span imbalance left in the ring is an instrumentation bug
+        // (a begin without its end, or vice versa). Ring-wrap orphans
+        // are truncation and do not count — `pair_spans_with_drops`
+        // already classifies those separately.
+        let paired = pair_spans_with_drops(&buf.snapshot(), buf.dropped());
+        if !paired.balanced() {
+            eprintln!(
+                "FAIL: span imbalance — {} unmatched begins, {} unmatched ends",
+                paired.unmatched_begins.len(),
+                paired.unmatched_ends.len()
+            );
+            std::process::exit(1);
+        }
         match write_merged_trace(path, buf, &profiles) {
             Ok(n) => println!("wrote {} ({n} serve events, {} sim profiles)", path.display(), profiles.len()),
             Err(e) => {

@@ -282,6 +282,11 @@ struct DiskState {
     misses: Counter,
     writes: Counter,
     corrupt: Counter,
+    io_errors: Counter,
+    heals: Counter,
+    /// `Some(error)` while the store is browning out: the last I/O (not
+    /// corruption) failure, cleared by the next successful write.
+    degraded: Mutex<Option<String>>,
 }
 
 fn disk_state() -> &'static DiskState {
@@ -294,8 +299,32 @@ fn disk_state() -> &'static DiskState {
             misses: r.counter("soff_cache_misses_total", &[("tier", "disk")]),
             writes: r.counter("soff_cache_disk_writes_total", &[]),
             corrupt: r.counter("soff_cache_disk_corrupt_total", &[]),
+            io_errors: r.counter("soff_cache_disk_io_errors_total", &[]),
+            heals: r.counter("soff_cache_disk_heals_total", &[]),
+            degraded: Mutex::new(None),
         }
     })
+}
+
+fn mark_degraded(state: &DiskState, error: &dyn std::fmt::Display) {
+    state.io_errors.inc();
+    *state.degraded.lock().unwrap_or_else(|e| e.into_inner()) = Some(error.to_string());
+}
+
+fn mark_healthy(state: &DiskState) {
+    let mut degraded = state.degraded.lock().unwrap_or_else(|e| e.into_inner());
+    if degraded.take().is_some() {
+        state.heals.inc();
+    }
+}
+
+/// `Some(last I/O error)` while the disk store is degraded (a read or
+/// write hit a non-corruption I/O failure and no write has succeeded
+/// since), `None` when healthy or detached. Corrupt objects do NOT
+/// degrade health — they are self-healed in place; brownouts do,
+/// because the store is silently falling back to memory + recompiles.
+pub fn disk_health() -> Option<String> {
+    disk_state().degraded.lock().unwrap_or_else(|e| e.into_inner()).clone()
 }
 
 /// Attaches (or with `None` detaches) an on-disk store under `dir`.
@@ -338,6 +367,12 @@ fn disk_get(store: &DiskStore, kind: &str, key: u64, material: &str) -> Option<V
             state.corrupt.inc();
             None
         }
+        Lookup::IoError(e) => {
+            // Brownout: the object (if any) is left on disk; the caller
+            // falls back to the memory shelves or a recompile.
+            mark_degraded(state, &e);
+            None
+        }
     }
 }
 
@@ -346,11 +381,17 @@ fn disk_credit() {
     disk_state().hits.inc();
 }
 
-/// Best-effort disk write; I/O failure is invisible to callers (the
-/// memory layers already hold the value).
+/// Best-effort disk write; I/O failure never reaches callers (the
+/// memory layers already hold the value) but is not *invisible*: it
+/// marks the store degraded until a later write succeeds and heals it.
 fn disk_put(store: &DiskStore, kind: &str, key: u64, material: &str, payload: &[u8]) {
-    if store.put(kind, key, material, payload).is_ok() {
-        disk_state().writes.inc();
+    let state = disk_state();
+    match store.put(kind, key, material, payload) {
+        Ok(()) => {
+            state.writes.inc();
+            mark_healthy(state);
+        }
+        Err(e) => mark_degraded(state, &e),
     }
 }
 
@@ -480,6 +521,11 @@ pub struct CacheStats {
     pub disk_writes: u64,
     /// Damaged/stale on-disk objects detected (and self-healed).
     pub disk_corrupt: u64,
+    /// Non-corruption disk I/O failures (brownouts) absorbed by falling
+    /// back to memory/recompiles.
+    pub disk_io_errors: u64,
+    /// Degraded→healthy transitions (a write succeeded after a brownout).
+    pub disk_heals: u64,
 }
 
 impl CacheStats {
@@ -513,6 +559,8 @@ pub fn stats() -> CacheStats {
         disk_misses: d.misses.get(),
         disk_writes: d.writes.get(),
         disk_corrupt: d.corrupt.get(),
+        disk_io_errors: d.io_errors.get(),
+        disk_heals: d.heals.get(),
     }
 }
 
@@ -530,6 +578,8 @@ pub fn reset_stats() {
         &d.misses,
         &d.writes,
         &d.corrupt,
+        &d.io_errors,
+        &d.heals,
     ] {
         counter.reset();
     }

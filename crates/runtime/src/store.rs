@@ -35,6 +35,7 @@ use std::fs::{self, File};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Leading bytes of every object file.
 const MAGIC: &[u8] = b"soff-store v1\n";
@@ -54,6 +55,109 @@ pub enum Lookup {
     /// The object existed but was damaged (or held a colliding key); it
     /// has been deleted so the next write can replace it.
     Corrupt,
+    /// The object could not be *read* (EIO, permissions — a brownout,
+    /// not damage). The file is left in place: deleting a possibly-good
+    /// object on a transient error would turn a brownout into data loss.
+    IoError(io::Error),
+}
+
+/// Deterministic I/O fault injection for the disk store (the chaos
+/// harness's shim). Each vector names 0-based *operation indices* —
+/// the Nth read, put, or directory fsync since [`set_io_faults`] —
+/// at which the corresponding fault fires.
+#[derive(Debug, Clone, Default)]
+pub struct IoFaultPlan {
+    /// Read ops that fail with a synthetic EIO before touching the file.
+    pub read_errors: Vec<u64>,
+    /// Put ops that fail with a synthetic ENOSPC before staging.
+    pub write_errors: Vec<u64>,
+    /// Put ops that land *torn*: a truncated object is written straight
+    /// to the final path (simulating a non-atomic commit) and the put
+    /// reports an error. The next read classifies it `Corrupt` and heals.
+    pub torn_writes: Vec<u64>,
+    /// Put ops that land complete but with one payload byte flipped
+    /// (silent media corruption); the put reports success and the
+    /// checksum catches it on the next read.
+    pub bit_flips: Vec<u64>,
+    /// Directory-fsync ops (after rename) that fail with a synthetic EIO.
+    pub dirsync_errors: Vec<u64>,
+}
+
+#[derive(Default)]
+struct ShimState {
+    plan: Option<IoFaultPlan>,
+    reads: u64,
+    puts: u64,
+    dirsyncs: u64,
+    injected: u64,
+}
+
+fn shim() -> &'static Mutex<ShimState> {
+    static SHIM: std::sync::OnceLock<Mutex<ShimState>> = std::sync::OnceLock::new();
+    SHIM.get_or_init(Mutex::default)
+}
+
+/// Installs (or with `None`, clears) the store I/O fault plan and resets
+/// the shim's operation counters. Process-global; intended for chaos
+/// tests and the `chaos_soak` bench.
+pub fn set_io_faults(plan: Option<IoFaultPlan>) {
+    let mut s = shim().lock().unwrap_or_else(|e| e.into_inner());
+    *s = ShimState { plan, ..ShimState::default() };
+}
+
+/// Number of store I/O faults actually injected since the plan was set.
+pub fn injected_io_faults() -> u64 {
+    shim().lock().unwrap_or_else(|e| e.into_inner()).injected
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum PutFault {
+    None,
+    WriteError,
+    Torn,
+    BitFlip,
+}
+
+fn shim_read_fault() -> bool {
+    let mut s = shim().lock().unwrap_or_else(|e| e.into_inner());
+    let idx = s.reads;
+    s.reads += 1;
+    let hit = s.plan.as_ref().is_some_and(|p| p.read_errors.contains(&idx));
+    if hit {
+        s.injected += 1;
+    }
+    hit
+}
+
+fn shim_put_fault() -> PutFault {
+    let mut s = shim().lock().unwrap_or_else(|e| e.into_inner());
+    let idx = s.puts;
+    s.puts += 1;
+    let Some(plan) = s.plan.as_ref() else { return PutFault::None };
+    let fault = if plan.write_errors.contains(&idx) {
+        PutFault::WriteError
+    } else if plan.torn_writes.contains(&idx) {
+        PutFault::Torn
+    } else if plan.bit_flips.contains(&idx) {
+        PutFault::BitFlip
+    } else {
+        PutFault::None
+    };
+    if fault != PutFault::None {
+        s.injected += 1;
+    }
+    fault
+}
+
+fn shim_dirsync_fault() -> bool {
+    let mut s = shim().lock().unwrap_or_else(|e| e.into_inner());
+    let idx = s.dirsyncs;
+    s.dirsyncs += 1;
+    let hit = s.plan.as_ref().is_some_and(|p| p.dirsync_errors.contains(&idx));
+    if hit {
+        s.injected += 1;
+    }
+    hit
 }
 
 /// A directory of content-addressed compile-cache objects.
@@ -95,11 +199,15 @@ impl DiskStore {
     /// that its stored key material equals `material`.
     pub fn get(&self, kind: &str, key: u64, material: &str) -> Lookup {
         let path = self.object_path(kind, key);
+        if shim_read_fault() {
+            return Lookup::IoError(io::Error::other("injected read error"));
+        }
         let bytes = match fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Lookup::Miss,
-            // Unreadable (permissions, I/O error): treat as damage.
-            Err(_) => return self.heal(&path),
+            // Unreadable (EIO, permissions): a brownout, not damage — the
+            // object may be perfectly good, so it is NOT deleted.
+            Err(e) => return Lookup::IoError(e),
         };
         match parse_object(&bytes, material) {
             Some(payload) => Lookup::Hit(payload),
@@ -133,6 +241,27 @@ impl DiskStore {
         let sum = fnv1a(fnv1a(FNV_OFFSET, material.as_bytes()), payload);
         bytes.extend_from_slice(&sum.to_le_bytes());
 
+        match shim_put_fault() {
+            PutFault::None => {}
+            PutFault::WriteError => {
+                return Err(io::Error::new(io::ErrorKind::StorageFull, "injected write error"));
+            }
+            PutFault::Torn => {
+                // A non-atomic commit cut short: a truncated object lands
+                // on the *final* path. Readers classify it Corrupt and
+                // heal; the writer learns its put failed.
+                let cut = bytes.len() * 2 / 3;
+                let _ = fs::write(self.object_path(kind, key), &bytes[..cut]);
+                return Err(io::Error::other("injected torn write"));
+            }
+            PutFault::BitFlip => {
+                // Silent media corruption inside the checksummed region:
+                // the write "succeeds", the next read catches it.
+                let at = MAGIC.len() + 8 + material.len() + 8;
+                bytes[at] ^= 0x40;
+            }
+        }
+
         let result = (|| {
             let mut f = File::create(&tmp)?;
             f.write_all(&bytes)?;
@@ -144,12 +273,19 @@ impl DiskStore {
             let _ = fs::remove_file(&tmp);
             return result;
         }
-        // Make the rename itself durable; failure here only risks losing
-        // the entry across a power cut, never serving bad data.
-        if let Ok(d) = File::open(&self.dir) {
-            let _ = d.sync_all();
+        // Make the rename itself durable: fsync the parent directory so
+        // the dirent survives a power cut. Unlike the file-data path a
+        // failure here cannot serve bad data, but it IS a durability
+        // fault, so it is reported (callers treating the store as
+        // best-effort count it and degrade instead of trusting it).
+        self.sync_dir()
+    }
+
+    fn sync_dir(&self) -> io::Result<()> {
+        if shim_dirsync_fault() {
+            return Err(io::Error::other("injected directory fsync error"));
         }
-        Ok(())
+        File::open(&self.dir)?.sync_all()
     }
 
     /// Number of committed objects currently in the store (diagnostics).

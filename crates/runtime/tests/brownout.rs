@@ -1,0 +1,253 @@
+//! Disk-store brownout degradation, end to end through the injectable
+//! I/O shim (`store::set_io_faults`): EIO reads, ENOSPC writes, torn
+//! commits, silent bit flips, and directory-fsync crash points.
+//!
+//! The contract under test: I/O failure never reaches builders (the
+//! memory layers and the compiler are the source of truth), never
+//! destroys possibly-good on-disk objects, marks the store degraded
+//! (`cache::disk_health()`), and self-heals on the next successful
+//! write.
+//!
+//! The shim and the disk store are process-global, so every test
+//! serialises on one mutex, clears the fault plan, and heals the store
+//! before releasing it.
+
+use soff_runtime::{cache, store, Context, Device, Program};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static GATE: Mutex<()> = Mutex::new(());
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "soff-brownout-{}-{tag}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Distinct sources per use so content-addressed keys never collide
+/// across tests (in-memory cache and disk store are process-global).
+fn source(tag: &str) -> String {
+    format!(
+        r#"
+__kernel void k{tag}(__global float* a, float s) {{
+    int i = get_global_id(0);
+    a[i] = a[i] * s + {tag}.0f;
+}}
+"#
+    )
+}
+
+fn run_once(src: &str, name: &str) -> Vec<u8> {
+    let device = Device::system_a();
+    let program = Program::build(src, &[], &device).expect("build");
+    let mut ctx = Context::new(device);
+    let buf = ctx.create_buffer(16 * 4);
+    ctx.write_buffer_f32(buf, &[1.5; 16]).unwrap();
+    let mut k = program.kernel(name).unwrap();
+    k.set_arg_buffer(0, buf).set_arg_f32(1, 2.0);
+    ctx.enqueue_ndrange(&k, soff_ir::NdRange::dim1(16, 4)).unwrap();
+    ctx.read_buffer(buf).unwrap()
+}
+
+/// Fault indices covering "every op this test will perform".
+fn all_ops() -> Vec<u64> {
+    (0..64).collect()
+}
+
+/// Heals any degradation by forcing one successful cache-layer write
+/// (a build of a never-seen source), then detaches the store.
+fn heal_and_detach(dir: &std::path::Path, heal_tag: &str) {
+    store::set_io_faults(None);
+    cache::clear();
+    let src = source(heal_tag);
+    run_once(&src, &format!("k{heal_tag}"));
+    assert_eq!(cache::disk_health(), None, "store must heal before the test releases it");
+    cache::set_disk_store(None).unwrap();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn full_brownout_falls_back_degrades_and_heals_without_data_loss() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = fresh_dir("brownout");
+    cache::set_disk_store(Some(&dir)).unwrap();
+    store::set_io_faults(None);
+    cache::clear();
+    cache::reset_stats();
+
+    // Healthy baseline: the build persists its compiles.
+    let src = source("51");
+    let clean = run_once(&src, "k51");
+    assert!(cache::stats().disk_writes > 0);
+    let objects_before = store::DiskStore::open(&dir).unwrap().object_count().unwrap();
+    assert!(objects_before > 0);
+
+    // Total brownout: every read EIOs, every write ENOSPCs. The restart
+    // build must still succeed (compiler fallback) and mark the store
+    // degraded — and must NOT delete the unreadable (possibly good)
+    // objects the way corruption healing would.
+    cache::clear();
+    cache::reset_stats();
+    store::set_io_faults(Some(store::IoFaultPlan {
+        read_errors: all_ops(),
+        write_errors: all_ops(),
+        ..store::IoFaultPlan::default()
+    }));
+    let during = run_once(&src, "k51");
+    assert_eq!(clean, during, "brownout fallback must not change results");
+    let stats = cache::stats();
+    assert!(stats.disk_io_errors > 0, "brownout must be counted: {stats:?}");
+    assert_eq!(stats.disk_corrupt, 0, "brownout is not corruption: {stats:?}");
+    assert_eq!(stats.disk_hits, 0, "nothing was readable: {stats:?}");
+    let health = cache::disk_health().expect("store must be degraded during the brownout");
+    assert!(health.contains("injected"), "health carries the I/O error: {health}");
+    assert!(store::injected_io_faults() > 0);
+    assert_eq!(
+        store::DiskStore::open(&dir).unwrap().object_count().unwrap(),
+        objects_before,
+        "a brownout must never delete objects"
+    );
+
+    // Power back: the objects were preserved, so the next restart serves
+    // them — a store that deleted on EIO would recompile here.
+    store::set_io_faults(None);
+    cache::clear();
+    cache::reset_stats();
+    let after = run_once(&src, "k51");
+    assert_eq!(clean, after);
+    let warm = cache::stats();
+    assert!(warm.disk_hits > 0, "objects preserved through the brownout: {warm:?}");
+
+    // Reads alone don't heal (health means "writes are landing"); the
+    // next successful write does.
+    assert!(cache::disk_health().is_some(), "hits alone must not clear degradation");
+    let heal_src = source("52");
+    run_once(&heal_src, "k52");
+    assert_eq!(cache::disk_health(), None, "a successful write heals the store");
+    assert!(cache::stats().disk_heals >= 1);
+
+    heal_and_detach(&dir, "101");
+}
+
+#[test]
+fn torn_write_reports_failure_and_reader_self_heals() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = fresh_dir("torn");
+    cache::set_disk_store(Some(&dir)).unwrap();
+    cache::clear();
+    cache::reset_stats();
+    // Every put of the first build lands torn on the final path (a
+    // non-atomic commit cut short).
+    store::set_io_faults(Some(store::IoFaultPlan {
+        torn_writes: all_ops(),
+        ..store::IoFaultPlan::default()
+    }));
+
+    let src = source("53");
+    let clean = run_once(&src, "k53");
+    assert!(cache::disk_health().is_some(), "the torn put must degrade health");
+
+    // Restart: the torn object is *damage*, so the reader classifies it
+    // Corrupt, deletes it, recompiles, and rewrites it cleanly.
+    store::set_io_faults(None);
+    cache::clear();
+    cache::reset_stats();
+    let healed = run_once(&src, "k53");
+    assert_eq!(clean, healed);
+    let stats = cache::stats();
+    assert!(stats.disk_corrupt > 0, "torn object must be detected: {stats:?}");
+    assert_eq!(cache::disk_health(), None, "the clean rewrite heals the store");
+
+    // And the rewrite really is clean: one more restart hits disk.
+    cache::clear();
+    cache::reset_stats();
+    let again = run_once(&src, "k53");
+    assert_eq!(clean, again);
+    assert!(cache::stats().disk_hits > 0);
+
+    heal_and_detach(&dir, "102");
+}
+
+#[test]
+fn silent_bit_flip_is_caught_by_the_checksum() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = fresh_dir("bitflip");
+    cache::set_disk_store(Some(&dir)).unwrap();
+    cache::clear();
+    cache::reset_stats();
+    // The first put "succeeds" with one flipped payload byte — silent
+    // media corruption the writer cannot observe.
+    store::set_io_faults(Some(store::IoFaultPlan {
+        bit_flips: vec![0],
+        ..store::IoFaultPlan::default()
+    }));
+
+    let src = source("54");
+    let clean = run_once(&src, "k54");
+
+    store::set_io_faults(None);
+    cache::clear();
+    cache::reset_stats();
+    let healed = run_once(&src, "k54");
+    assert_eq!(clean, healed, "checksum catch must fall back to a correct recompile");
+    let stats = cache::stats();
+    assert!(stats.disk_corrupt > 0, "the flipped byte must fail the checksum: {stats:?}");
+
+    heal_and_detach(&dir, "103");
+}
+
+#[test]
+fn dirsync_crash_point_is_reported_not_swallowed() {
+    // Satellite durability audit: `DiskStore::put` fsyncs the parent
+    // directory after the rename, and a failure there is a *reported*
+    // durability fault (the dirent may not survive a power cut) even
+    // though the object content itself is fine.
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = fresh_dir("dirsync");
+    let s = store::DiskStore::open(&dir).unwrap();
+    store::set_io_faults(Some(store::IoFaultPlan {
+        dirsync_errors: vec![0],
+        ..store::IoFaultPlan::default()
+    }));
+
+    let err = s.put("fe", 9, "mat", b"payload").expect_err("dirsync failure must surface");
+    assert!(err.to_string().contains("injected"), "got: {err}");
+    // The rename itself landed: in the no-crash world the object is
+    // readable; only its durability was at risk.
+    assert!(matches!(s.get("fe", 9, "mat"), store::Lookup::Hit(p) if p == b"payload"));
+
+    // With the fault cleared the same put is fully durable.
+    store::set_io_faults(None);
+    s.put("fe", 9, "mat", b"payload").expect("clean put succeeds");
+    assert_eq!(s.object_count().unwrap(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn read_errors_surface_as_ioerror_not_corrupt_on_the_raw_store() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = fresh_dir("rawio");
+    let s = store::DiskStore::open(&dir).unwrap();
+    store::set_io_faults(None);
+    s.put("pg", 4, "m", b"good").unwrap();
+
+    store::set_io_faults(Some(store::IoFaultPlan {
+        read_errors: vec![0],
+        ..store::IoFaultPlan::default()
+    }));
+    match s.get("pg", 4, "m") {
+        store::Lookup::IoError(e) => assert!(e.to_string().contains("injected")),
+        other => panic!("expected IoError, got {other:?}"),
+    }
+    // The object survived the unreadable moment and is served afterwards.
+    assert!(matches!(s.get("pg", 4, "m"), store::Lookup::Hit(p) if p == b"good"));
+
+    store::set_io_faults(None);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,367 @@
+//! Per-tenant circuit breaker: a pure, deterministic state machine with
+//! **no wall-clock** anywhere in it.
+//!
+//! Classic breakers re-close on a timer; under a deterministic simulator
+//! a timer would make scheduling (and tests) racy, so this one advances
+//! on *counts* instead:
+//!
+//! ```text
+//!            failure_threshold consecutive job failures
+//!   Closed ──────────────────────────────────────────────▶ Open
+//!     ▲                                                      │
+//!     │ probe_budget consecutive probe successes             │ open_budget
+//!     │                                                      │ rejected
+//!     │                 any failure                          │ enqueues
+//!   HalfOpen ◀───────────────────────────────────────────────┘
+//!     │  └──────────────────────────▶ Open
+//!     └ admits one probe job at a time
+//! ```
+//!
+//! - **Closed**: everything admitted; consecutive job failures counted
+//!   (any success resets the streak).
+//! - **Open**: enqueues are rejected (shed early, before they consume
+//!   queue space or device time). After `open_budget` rejections the
+//!   breaker half-opens — the *caller's own retry pressure* is the
+//!   clock, so a tenant that stops sending stays shed and costs nothing.
+//! - **HalfOpen**: admits one probe job at a time. `probe_budget`
+//!   consecutive probe successes close the breaker; any failure (probe
+//!   or a late straggler from before the trip) re-opens it with a fresh
+//!   rejection budget. Cancelled probes return their slot without a
+//!   verdict.
+//!
+//! `failure_threshold == 0` disables the breaker entirely (it reports
+//! `Closed` forever), which is the default: breakers are opt-in via
+//! [`crate::Supervision`].
+
+/// Breaker tuning ([`crate::Supervision::breaker`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive job failures that trip Closed → Open. `0` disables
+    /// the breaker.
+    pub failure_threshold: u32,
+    /// Enqueue rejections absorbed while Open before half-opening
+    /// (minimum 1: at least one request is always shed).
+    pub open_budget: u32,
+    /// Consecutive probe successes that close a half-open breaker
+    /// (minimum 1).
+    pub probe_budget: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 0, open_budget: 4, probe_budget: 2 }
+    }
+}
+
+/// Where the breaker currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; failures are being counted.
+    Closed,
+    /// Traffic is shed with [`crate::ServeError::CircuitOpen`].
+    Open,
+    /// One probe at a time is admitted to test recovery.
+    HalfOpen,
+}
+
+/// A state transition worth reporting (gauges, recovery counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerEvent {
+    /// → [`BreakerState::Open`].
+    Opened,
+    /// → [`BreakerState::HalfOpen`].
+    HalfOpened,
+    /// → [`BreakerState::Closed`] (a recovery).
+    Closed,
+}
+
+/// One tenant's breaker.
+#[derive(Debug)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_rejections: u32,
+    probes_in_flight: u32,
+    probe_successes: u32,
+}
+
+impl Breaker {
+    /// A closed breaker under `cfg`.
+    pub fn new(cfg: BreakerConfig) -> Breaker {
+        Breaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_rejections: 0,
+            probes_in_flight: 0,
+            probe_successes: 0,
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.cfg.failure_threshold > 0
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Gauge encoding: Closed = 0, HalfOpen = 1, Open = 2.
+    pub fn gauge_value(&self) -> f64 {
+        match self.state {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
+
+    /// Admission check for one enqueue. `false` means shed this request.
+    /// Counting a rejection may half-open the breaker — the transition
+    /// is reported so the caller can update its gauge; the *admission
+    /// verdict* for the triggering request is still `false` (it was the
+    /// last shed one; the next request becomes the probe).
+    pub fn admit(&mut self) -> (bool, Option<BreakerEvent>) {
+        if !self.enabled() {
+            return (true, None);
+        }
+        match self.state {
+            BreakerState::Closed => (true, None),
+            BreakerState::HalfOpen => (self.probes_in_flight == 0, None),
+            BreakerState::Open => {
+                self.open_rejections += 1;
+                if self.open_rejections >= self.cfg.open_budget.max(1) {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes_in_flight = 0;
+                    self.probe_successes = 0;
+                    (false, Some(BreakerEvent::HalfOpened))
+                } else {
+                    (false, None)
+                }
+            }
+        }
+    }
+
+    /// Records that a job cleared *full* admission (all other checks
+    /// passed too). Returns whether that job is a probe — callers tag
+    /// the job so its settle routes back through the probe paths.
+    /// Separate from [`Breaker::admit`] so a request the breaker allowed
+    /// but a quota rejected never consumes the probe slot.
+    pub fn on_admitted(&mut self) -> bool {
+        if self.enabled() && self.state == BreakerState::HalfOpen {
+            self.probes_in_flight += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A job settled successfully.
+    pub fn on_success(&mut self, probe: bool) -> Option<BreakerEvent> {
+        if !self.enabled() {
+            return None;
+        }
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures = 0;
+                None
+            }
+            BreakerState::HalfOpen if probe => {
+                self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                self.probe_successes += 1;
+                if self.probe_successes >= self.cfg.probe_budget.max(1) {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    Some(BreakerEvent::Closed)
+                } else {
+                    None
+                }
+            }
+            // A pre-trip straggler succeeding says nothing about whether
+            // the tenant's traffic has recovered; only probes count.
+            BreakerState::HalfOpen | BreakerState::Open => None,
+        }
+    }
+
+    /// A job settled with a (terminal) failure.
+    pub fn on_failure(&mut self, probe: bool) -> Option<BreakerEvent> {
+        if !self.enabled() {
+            return None;
+        }
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.open_rejections = 0;
+                    Some(BreakerEvent::Opened)
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen => {
+                // Probe or straggler: either way the tenant is still
+                // failing — re-open with a fresh rejection budget.
+                if probe {
+                    self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                }
+                self.state = BreakerState::Open;
+                self.open_rejections = 0;
+                Some(BreakerEvent::Opened)
+            }
+            BreakerState::Open => None,
+        }
+    }
+
+    /// A job was cancelled: no verdict either way, but a cancelled probe
+    /// must return its slot or the half-open breaker wedges.
+    pub fn on_abandoned(&mut self, probe: bool) {
+        if self.enabled() && probe {
+            self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, open_budget: u32, probe_budget: u32) -> Breaker {
+        Breaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            open_budget,
+            probe_budget,
+        })
+    }
+
+    #[test]
+    fn disabled_breaker_never_leaves_closed() {
+        let mut b = breaker(0, 1, 1);
+        for _ in 0..100 {
+            assert_eq!(b.admit(), (true, None));
+            assert!(!b.on_admitted());
+            assert_eq!(b.on_failure(false), None);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn closed_counts_consecutive_failures_and_success_resets() {
+        let mut b = breaker(3, 1, 1);
+        assert_eq!(b.on_failure(false), None);
+        assert_eq!(b.on_failure(false), None);
+        assert_eq!(b.on_success(false), None); // streak broken
+        assert_eq!(b.on_failure(false), None);
+        assert_eq!(b.on_failure(false), None);
+        assert_eq!(b.on_failure(false), Some(BreakerEvent::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn open_sheds_exactly_open_budget_then_half_opens() {
+        let mut b = breaker(1, 3, 1);
+        assert_eq!(b.on_failure(false), Some(BreakerEvent::Opened));
+        assert_eq!(b.admit(), (false, None));
+        assert_eq!(b.admit(), (false, None));
+        // The open_budget-th rejection half-opens; itself still shed.
+        assert_eq!(b.admit(), (false, Some(BreakerEvent::HalfOpened)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // The next request is the probe.
+        assert_eq!(b.admit(), (true, None));
+        assert!(b.on_admitted());
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_at_a_time() {
+        let mut b = breaker(1, 1, 2);
+        b.on_failure(false);
+        b.admit(); // half-opens
+        assert_eq!(b.admit(), (true, None));
+        assert!(b.on_admitted());
+        // Probe outstanding: everything else shed, with no state churn.
+        assert_eq!(b.admit(), (false, None));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Probe succeeds (1 of 2): slot freed, next probe admitted.
+        assert_eq!(b.on_success(true), None);
+        assert_eq!(b.admit(), (true, None));
+        assert!(b.on_admitted());
+        assert_eq!(b.on_success(true), Some(BreakerEvent::Closed));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probe_failure_reopens_with_fresh_budget() {
+        let mut b = breaker(1, 2, 1);
+        b.on_failure(false);
+        b.admit();
+        assert_eq!(b.admit(), (false, Some(BreakerEvent::HalfOpened)));
+        assert_eq!(b.admit(), (true, None));
+        assert!(b.on_admitted());
+        assert_eq!(b.on_failure(true), Some(BreakerEvent::Opened));
+        // Fresh rejection budget: two sheds before the next half-open.
+        assert_eq!(b.admit(), (false, None));
+        assert_eq!(b.admit(), (false, Some(BreakerEvent::HalfOpened)));
+    }
+
+    #[test]
+    fn straggler_failure_in_half_open_reopens() {
+        let mut b = breaker(1, 1, 1);
+        b.on_failure(false);
+        b.admit(); // half-opens
+        // A job admitted before the trip fails now (probe = false).
+        assert_eq!(b.on_failure(false), Some(BreakerEvent::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn straggler_success_in_half_open_or_open_is_ignored() {
+        let mut b = breaker(1, 2, 1);
+        b.on_failure(false);
+        assert_eq!(b.on_success(false), None);
+        assert_eq!(b.state(), BreakerState::Open);
+        b.admit();
+        b.admit(); // half-opens
+        assert_eq!(b.on_success(false), None);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn cancelled_probe_returns_its_slot_without_a_verdict() {
+        let mut b = breaker(1, 1, 1);
+        b.on_failure(false);
+        b.admit(); // half-opens
+        assert_eq!(b.admit(), (true, None));
+        assert!(b.on_admitted());
+        b.on_abandoned(true);
+        // Slot free again, state unchanged: the next probe decides.
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admit(), (true, None));
+        assert!(b.on_admitted());
+        assert_eq!(b.on_success(true), Some(BreakerEvent::Closed));
+    }
+
+    #[test]
+    fn cancelled_non_probe_changes_nothing() {
+        let mut b = breaker(2, 1, 1);
+        b.on_failure(false);
+        b.on_abandoned(false);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // The failure streak is intact (cancellation is not a success).
+        assert_eq!(b.on_failure(false), Some(BreakerEvent::Opened));
+    }
+
+    #[test]
+    fn gauge_values_track_state() {
+        let mut b = breaker(1, 1, 1);
+        assert_eq!(b.gauge_value(), 0.0);
+        b.on_failure(false);
+        assert_eq!(b.gauge_value(), 2.0);
+        b.admit();
+        assert_eq!(b.gauge_value(), 1.0);
+        b.admit();
+        b.on_admitted();
+        b.on_success(true);
+        assert_eq!(b.gauge_value(), 0.0);
+    }
+}

@@ -43,6 +43,10 @@
 //!   cycle profiler so serve-level spans and in-kernel timelines export
 //!   into one merged Chrome trace ([`Server::take_profiles`]).
 
+pub mod breaker;
+pub mod chaos;
+
+use breaker::{Breaker, BreakerEvent, BreakerState};
 use soff_obs::{CorrId, Counter, Gauge, Histogram, Registry, TraceBuf};
 use soff_runtime::{CompiledKernel, Context};
 use soff_sim::{CancelToken, FaultPlan, RunControl, Scheduler, SimError, Snapshot};
@@ -55,6 +59,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+pub use breaker::BreakerConfig;
 pub use soff_exec::RetryPolicy;
 pub use soff_ir::ir::NdRange;
 // The client-facing runtime vocabulary, so `soff_serve` callers need no
@@ -133,6 +138,37 @@ pub struct ServerConfig {
     /// Profiling is observational — job results and cycle counts stay
     /// bit-identical (see [`soff_sim`]'s profiler contract).
     pub profile: Option<ProfileSampling>,
+    /// Crash-only supervision: poison-job quarantine, per-tenant circuit
+    /// breakers, and checkpoint-based slot recovery. The default leaves
+    /// quarantine and breakers disabled (pure retry semantics).
+    pub supervision: Supervision,
+}
+
+/// Supervision policy ([`ServerConfig::supervision`]).
+#[derive(Debug, Clone)]
+pub struct Supervision {
+    /// Quarantine a job after this many consecutive *retryable* failed
+    /// attempts, even if retry budget remains — the job is poison, not
+    /// unlucky. `0` (the default) disables quarantine; when enabled it
+    /// only ever fires earlier than retry exhaustion, never later.
+    pub quarantine_after: u32,
+    /// Per-tenant circuit breaker tuning; the default
+    /// (`failure_threshold: 0`) disables breakers.
+    pub breaker: BreakerConfig,
+    /// How many device-slot deaths a single job may survive (resuming
+    /// from its checkpoint each time) before it is failed as
+    /// [`ServeError::Faulted`].
+    pub max_slot_recoveries: u32,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision {
+            quarantine_after: 0,
+            breaker: BreakerConfig::default(),
+            max_slot_recoveries: 3,
+        }
+    }
 }
 
 /// Sampled-profiling policy ([`ServerConfig::profile`]).
@@ -190,8 +226,53 @@ impl Default for ServerConfig {
             registry: None,
             trace: None,
             profile: None,
+            supervision: Supervision::default(),
         }
     }
+}
+
+/// Readiness snapshot ([`Server::health`]).
+#[derive(Debug, Clone)]
+pub struct Health {
+    /// The rolled-up verdict.
+    pub state: HealthState,
+    /// Every contributing cause (empty iff `state == Ok`).
+    pub causes: Vec<HealthCause>,
+}
+
+/// Rolled-up readiness (`soff_serve_health`: Ok = 0, Degraded = 1,
+/// Shedding = 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Fully serving.
+    Ok,
+    /// Serving with a subsystem impaired (see the causes).
+    Degraded,
+    /// Deliberately rejecting new work ([`Server::shed`]).
+    Shedding,
+}
+
+/// One subsystem's contribution to a non-Ok [`Health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HealthCause {
+    /// The operator enabled load shedding.
+    Shedding,
+    /// The disk compile store is browning out (falling back to memory);
+    /// heals on its next successful write.
+    StoreDegraded {
+        /// The last I/O error observed.
+        error: String,
+    },
+    /// A tenant's circuit breaker is open (traffic shed).
+    BreakerOpen {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// A tenant's circuit breaker is half-open (probing recovery).
+    BreakerHalfOpen {
+        /// Tenant name.
+        tenant: String,
+    },
 }
 
 /// Which queue rejected an enqueue.
@@ -275,6 +356,27 @@ pub enum ServeError {
     /// The job id is unknown (never existed, or its result was already
     /// consumed by `wait`).
     UnknownJob,
+    /// The job failed [`Supervision::quarantine_after`] consecutive
+    /// attempts and was quarantined instead of burning further retry
+    /// budget. Terminal for the job; the tenant's other jobs are
+    /// unaffected.
+    Quarantined {
+        /// Attempts consumed before quarantine.
+        attempts: u32,
+        /// The final attempt's failure.
+        last: Box<ServeError>,
+    },
+    /// The tenant's circuit breaker is open: its recent jobs kept
+    /// failing, so new work is shed early. Deterministic backpressure —
+    /// re-enqueueing drains the breaker's rejection budget toward a
+    /// half-open probe.
+    CircuitOpen,
+    /// [`Session::wait_deadline`] gave up before the job settled. The
+    /// job is still in flight and its result still consumable.
+    WaitTimeout {
+        /// How long the caller waited.
+        waited: Duration,
+    },
 }
 
 impl ServeError {
@@ -302,6 +404,9 @@ impl ServeError {
             ServeError::Panicked { .. } => "panicked",
             ServeError::Cancelled => "cancelled",
             ServeError::UnknownJob => "unknown_job",
+            ServeError::Quarantined { .. } => "quarantined",
+            ServeError::CircuitOpen => "circuit_open",
+            ServeError::WaitTimeout { .. } => "wait_timeout",
         }
     }
 }
@@ -333,6 +438,15 @@ impl fmt::Display for ServeError {
             ServeError::Panicked { message } => write!(f, "job panicked: {message}"),
             ServeError::Cancelled => f.write_str("job cancelled"),
             ServeError::UnknownJob => f.write_str("unknown job id"),
+            ServeError::Quarantined { attempts, last } => {
+                write!(f, "job quarantined after {attempts} failed attempts (last: {last})")
+            }
+            ServeError::CircuitOpen => {
+                f.write_str("tenant circuit breaker open; work shed until a probe succeeds")
+            }
+            ServeError::WaitTimeout { waited } => {
+                write!(f, "wait deadline exceeded after {waited:?} (job still in flight)")
+            }
         }
     }
 }
@@ -399,6 +513,11 @@ pub struct TenantStats {
     pub rejections: RejectionBreakdown,
     /// Retry attempts performed for this tenant's jobs.
     pub retries: u64,
+    /// Jobs quarantined as poison (a subset of `failed`).
+    pub quarantined: u64,
+    /// Checkpoint recoveries after a device-slot death (per recovery,
+    /// not per job).
+    pub slot_recoveries: u64,
 }
 
 /// Per-class admission-rejection counts (one field per class the
@@ -415,6 +534,10 @@ pub struct RejectionBreakdown {
     pub quota_in_flight: u64,
     /// Total-cycles quota already exhausted (`quota_total_cycles`).
     pub quota_total_cycles: u64,
+    /// Shed by the tenant's circuit breaker (`circuit_open`); coarsely
+    /// counted under `rejected_shedding` (breaker sheds ARE load
+    /// shedding, scoped to one tenant).
+    pub circuit_open: u64,
 }
 
 impl RejectionBreakdown {
@@ -425,6 +548,7 @@ impl RejectionBreakdown {
             + self.queue_full_global
             + self.quota_in_flight
             + self.quota_total_cycles
+            + self.circuit_open
     }
 }
 
@@ -478,8 +602,13 @@ struct Job {
     /// Injected hardware faults for this job (cleared on retry: injected
     /// faults model transient events).
     faults: FaultPlan,
-    /// Test hook: panic inside the next slice.
-    sabotage_panic: bool,
+    /// Test hook: remaining slices that panic (decremented per retry, so
+    /// `n > 1` models a *poison* job that defeats transient-fault retry).
+    panics_left: u32,
+    /// Whether this job is the half-open breaker's probe.
+    probe: bool,
+    /// Device-slot deaths this job already recovered from.
+    slot_recoveries: u32,
     /// Earliest dispatch time (retry backoff).
     not_before: Option<Instant>,
     /// Device memory as it was before the job's first slice, for
@@ -520,7 +649,11 @@ struct Tenant {
     running_cancel: Option<CancelToken>,
     /// Faults to attach to the next enqueue (test hook).
     pending_faults: FaultPlan,
-    pending_panic: bool,
+    /// Panicking attempts to attach to the next enqueue (test hook).
+    pending_panics: u32,
+    /// This tenant's circuit breaker (disabled under the default
+    /// [`Supervision`]).
+    breaker: Breaker,
     stats: TenantStats,
     obs: TenantObs,
 }
@@ -535,6 +668,8 @@ struct TenantObs {
     queue_wait_us: Histogram,
     /// `soff_serve_slice_us{tenant}`: host wall µs per execution slice.
     slice_us: Histogram,
+    /// `soff_serve_breaker_state{tenant}`: 0 closed, 1 half-open, 2 open.
+    breaker_state: Gauge,
 }
 
 impl Tenant {
@@ -560,6 +695,9 @@ struct State {
     /// [`ProfileSampling::max_reports`]; overflow counted in `profiles_dropped`).
     profiles: Vec<JobProfile>,
     profiles_dropped: u64,
+    /// Global slice indices at which a device slot dies mid-slice (chaos
+    /// hook, consumed as they trigger).
+    slot_kills: std::collections::HashSet<u64>,
 }
 
 struct Inner {
@@ -592,6 +730,9 @@ struct ServeObs {
     /// ratio (see [`ServerStats::completion_fairness`]), recomputed at
     /// every job completion.
     fairness: Gauge,
+    /// `soff_serve_health`: 0 ok, 1 degraded, 2 shedding (set on every
+    /// [`Server::health`] call).
+    health: Gauge,
 }
 
 impl ServeObs {
@@ -604,7 +745,8 @@ impl ServeObs {
         let preemptions = r.counter("soff_serve_preemptions_total", &[]);
         let queue_depth = r.gauge("soff_serve_queue_depth", &[]);
         let fairness = r.gauge("soff_serve_completion_fairness", &[]);
-        ServeObs { registry, trace, slices, preemptions, queue_depth, fairness }
+        let health = r.gauge("soff_serve_health", &[]);
+        ServeObs { registry, trace, slices, preemptions, queue_depth, fairness, health }
     }
 
     fn registry(&self) -> &Registry {
@@ -628,6 +770,18 @@ impl ServeObs {
         self.registry()
             .counter("soff_serve_jobs_total", &[("tenant", tenant), ("outcome", outcome)])
     }
+
+    /// Lazily-registered per-kind recovery counter. Kinds: `retry`
+    /// (failed attempt retried), `slot` (checkpoint re-admit after a
+    /// slot death), `breaker` (a breaker re-closed).
+    fn recovery(&self, kind: &'static str) -> Counter {
+        self.registry().counter("soff_serve_recoveries_total", &[("kind", kind)])
+    }
+
+    /// Lazily-registered per-tenant quarantine counter.
+    fn quarantine(&self, tenant: &str) -> Counter {
+        self.registry().counter("soff_serve_quarantines_total", &[("tenant", tenant)])
+    }
 }
 
 /// How a slice ended (computed off-lock by a worker).
@@ -646,6 +800,9 @@ enum SliceOutcome {
         cycle: Option<u64>,
         retryable: bool,
     },
+    /// The device slot died mid-slice (chaos hook): whatever the slice
+    /// produced is lost and the job re-admits from its last checkpoint.
+    SlotDied,
 }
 
 // ---------------------------------------------------------------- server
@@ -686,6 +843,7 @@ impl Server {
                 preemptions: 0,
                 profiles: Vec::new(),
                 profiles_dropped: 0,
+                slot_kills: std::collections::HashSet::new(),
             }),
             work_ready: Condvar::new(),
             progress: Condvar::new(),
@@ -748,6 +906,11 @@ impl Server {
                 .obs
                 .registry()
                 .histogram("soff_serve_slice_us", &[("tenant", name)]),
+            breaker_state: self
+                .inner
+                .obs
+                .registry()
+                .gauge("soff_serve_breaker_state", &[("tenant", name)]),
         };
         st.tenants.insert(
             id,
@@ -761,7 +924,8 @@ impl Server {
                 closed: false,
                 running_cancel: None,
                 pending_faults: FaultPlan::none(),
-                pending_panic: false,
+                pending_panics: 0,
+                breaker: Breaker::new(self.inner.cfg.supervision.breaker),
                 stats: TenantStats { name: name.to_string(), ..TenantStats::default() },
                 obs,
             },
@@ -779,6 +943,60 @@ impl Server {
     /// Leaves load-shedding.
     pub fn resume(&self) {
         lock(&self.inner.state).shedding = false;
+    }
+
+    /// Readiness snapshot: [`HealthState::Ok`] when nothing is wrong,
+    /// [`HealthState::Degraded`] when a subsystem is impaired but the
+    /// server still serves (store brownout, a tenant breaker open or
+    /// probing), [`HealthState::Shedding`] under explicit load-shedding.
+    /// Each call also publishes the state to the `soff_serve_health`
+    /// gauge (0/1/2).
+    pub fn health(&self) -> Health {
+        let st = lock(&self.inner.state);
+        let mut causes = Vec::new();
+        if st.shedding {
+            causes.push(HealthCause::Shedding);
+        }
+        if self.inner.cfg.cache_dir.is_some() {
+            if let Some(error) = soff_runtime::cache::disk_health() {
+                causes.push(HealthCause::StoreDegraded { error });
+            }
+        }
+        for id in &st.session_order {
+            let Some(t) = st.tenants.get(id) else { continue };
+            match t.breaker.state() {
+                BreakerState::Closed => {}
+                BreakerState::Open => {
+                    causes.push(HealthCause::BreakerOpen { tenant: t.stats.name.clone() });
+                }
+                BreakerState::HalfOpen => {
+                    causes.push(HealthCause::BreakerHalfOpen { tenant: t.stats.name.clone() });
+                }
+            }
+        }
+        let state = if st.shedding {
+            HealthState::Shedding
+        } else if causes.is_empty() {
+            HealthState::Ok
+        } else {
+            HealthState::Degraded
+        };
+        self.inner.obs.health.set(match state {
+            HealthState::Ok => 0.0,
+            HealthState::Degraded => 1.0,
+            HealthState::Shedding => 2.0,
+        });
+        Health { state, causes }
+    }
+
+    /// Chaos hook: the listed *global* slice indices (the server-wide
+    /// slice counter, visible as [`ServerStats::slices`]) die mid-slice —
+    /// the slice's work is lost and the victim job re-admits from its
+    /// last checkpoint.
+    #[doc(hidden)]
+    pub fn inject_slot_deaths(&self, slices: &[u64]) {
+        let mut st = lock(&self.inner.state);
+        st.slot_kills.extend(slices.iter().copied());
     }
 
     /// Accounting snapshot.
@@ -992,6 +1210,10 @@ impl Session {
                             b.quota_in_flight += 1;
                             tenant.stats.rejected_quota += 1;
                         }
+                        "circuit_open" => {
+                            b.circuit_open += 1;
+                            tenant.stats.rejected_shedding += 1;
+                        }
                         _ => {
                             b.quota_total_cycles += 1;
                             tenant.stats.rejected_quota += 1;
@@ -1006,6 +1228,14 @@ impl Session {
                 };
                 if shedding {
                     return reject(tenant, ServeError::Shedding);
+                }
+                // The breaker sheds before any queue bookkeeping: open
+                // means this tenant's recent jobs keep failing, and the
+                // cheapest thing to do with more of them is nothing.
+                let (admit, _half_opened) = tenant.breaker.admit();
+                tenant.obs.breaker_state.set(tenant.breaker.gauge_value());
+                if !admit {
+                    return reject(tenant, ServeError::CircuitOpen);
                 }
                 if global_queued >= global_cap {
                     return reject(
@@ -1047,6 +1277,11 @@ impl Session {
                     let args = ctx.prepare_launch(kernel, nd)?;
                     let seq = tenant.next_seq;
                     tenant.next_seq += 1;
+                    // Fully admitted: only now may the job consume the
+                    // half-open breaker's probe slot (a breaker-allowed
+                    // request that a quota later rejects must not wedge
+                    // the probe).
+                    let probe = tenant.breaker.on_admitted();
                     // The profiling decision is fixed here for the job's
                     // whole life: slice snapshots fingerprint it, so it
                     // must not change between slices.
@@ -1064,7 +1299,9 @@ impl Session {
                         attempts: 0,
                         cancel: CancelToken::new(),
                         faults: std::mem::take(&mut tenant.pending_faults),
-                        sabotage_panic: std::mem::take(&mut tenant.pending_panic),
+                        panics_left: std::mem::take(&mut tenant.pending_panics),
+                        probe,
+                        slot_recoveries: 0,
                         not_before: None,
                         gm_backup: None,
                         profile,
@@ -1103,9 +1340,17 @@ impl Session {
         let Some(tenant) = state.tenants.get_mut(&self.id) else { return false };
         match tenant.jobs.get_mut(&job.seq) {
             Some(slot @ JobState::Queued(_)) => {
+                let probe = match &*slot {
+                    JobState::Queued(j) => j.probe,
+                    _ => false,
+                };
                 *slot = JobState::Done(Err(ServeError::Cancelled));
                 tenant.queue.retain(|&s| s != job.seq);
                 tenant.stats.cancelled += 1;
+                // A cancelled probe proves nothing; return its slot so
+                // the next admission can probe instead.
+                tenant.breaker.on_abandoned(probe);
+                tenant.obs.breaker_state.set(tenant.breaker.gauge_value());
                 state.global_queued -= 1;
                 let obs = &self.inner.obs;
                 obs.queue_depth.set(state.global_queued as f64);
@@ -1161,6 +1406,53 @@ impl Session {
         }
     }
 
+    /// Like [`Session::wait`], but gives up after `wall_budget` of host
+    /// wall time with [`ServeError::WaitTimeout`] — *without* consuming
+    /// the job, which keeps running (or queued). The caller decides what
+    /// a stall means: re-wait, [`Session::cancel`], or escalate.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WaitTimeout`] on deadline expiry; otherwise as
+    /// [`Session::wait`].
+    pub fn wait_deadline(
+        &self,
+        job: JobId,
+        wall_budget: Duration,
+    ) -> Result<JobOutput, ServeError> {
+        if job.session != self.id {
+            return Err(ServeError::UnknownJob);
+        }
+        let started = Instant::now();
+        let deadline = started + wall_budget;
+        let mut st = lock(&self.inner.state);
+        loop {
+            let tenant = st.tenants.get_mut(&self.id).ok_or(ServeError::Closed)?;
+            match tenant.jobs.get(&job.seq) {
+                None => return Err(ServeError::UnknownJob),
+                Some(JobState::Done(_)) => {
+                    let Some(JobState::Done(result)) = tenant.jobs.remove(&job.seq) else {
+                        unreachable!("checked Done above")
+                    };
+                    return result;
+                }
+                Some(_) => {
+                    let now = Instant::now();
+                    let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                    else {
+                        return Err(ServeError::WaitTimeout { waited: started.elapsed() });
+                    };
+                    let (guard, _timeout) = self
+                        .inner
+                        .progress
+                        .wait_timeout(st, left)
+                        .expect("progress condvar");
+                    st = guard;
+                }
+            }
+        }
+    }
+
     /// Blocks until every job this session enqueued has completed.
     pub fn drain(&self) {
         let mut st = lock(&self.inner.state);
@@ -1200,9 +1492,17 @@ impl Session {
     /// Test hook: make the next enqueued job panic inside its slice.
     #[doc(hidden)]
     pub fn inject_panic_next(&self) {
+        self.inject_sticky_panics_next(1);
+    }
+
+    /// Test hook: make the next enqueued job panic on its next `n`
+    /// attempts — `n >=` the retry budget models a poison job that only
+    /// quarantine can stop.
+    #[doc(hidden)]
+    pub fn inject_sticky_panics_next(&self, n: u32) {
         let mut st = lock(&self.inner.state);
         if let Some(t) = st.tenants.get_mut(&self.id) {
-            t.pending_panic = true;
+            t.pending_panics = n;
         }
     }
 }
@@ -1238,12 +1538,14 @@ fn worker_loop(inner: &Inner) {
                     tr.begin("slice", corr, &tenant.obs.label, job.cycles_done);
                 }
                 let mut ctx = tenant.ctx.take().expect("ctx resident when not on worker");
+                let slice_idx = st.slices;
+                let doomed = st.slot_kills.remove(&slice_idx);
                 st.slices += 1;
                 inner.obs.slices.inc();
                 drop(st);
 
                 let slice_started = Instant::now();
-                let outcome = run_slice(&inner.cfg, &mut ctx, &mut job);
+                let outcome = run_slice(&inner.cfg, &mut ctx, &mut job, doomed);
                 let slice_us = slice_started.elapsed().as_micros() as u64;
 
                 st = lock(&inner.state);
@@ -1304,8 +1606,10 @@ fn pick_tenant(st: &State, now: Instant) -> Option<u32> {
 }
 
 /// Executes one slice of `job` against the tenant's context, entirely
-/// outside the state lock.
-fn run_slice(cfg: &ServerConfig, ctx: &mut Context, job: &mut Job) -> SliceOutcome {
+/// outside the state lock. A `doomed` slice models a device slot dying
+/// mid-slice: it runs (and mutates memory) like any slice, then its
+/// result is thrown away and [`SliceOutcome::SlotDied`] is reported.
+fn run_slice(cfg: &ServerConfig, ctx: &mut Context, job: &mut Job, doomed: bool) -> SliceOutcome {
     let started = Instant::now();
     let ck: &CompiledKernel = job.kernel.compiled();
     let mut sim_cfg = ctx.launch_config(ck);
@@ -1318,7 +1622,13 @@ fn run_slice(cfg: &ServerConfig, ctx: &mut Context, job: &mut Job) -> SliceOutco
     // scheduler knob, so a job's slices may even run under different
     // backends (e.g. a config change between restarts) bit-identically.
     sim_cfg.scheduler = cfg.scheduler;
-    let slice_end = job.cycles_done + cfg.slice_cycles.max(1);
+    let slice_end = if doomed {
+        // The slot dies halfway through: partial progress that the
+        // SlotDied settle path must fully discard.
+        job.cycles_done + (cfg.slice_cycles / 2).max(1)
+    } else {
+        job.cycles_done + cfg.slice_cycles.max(1)
+    };
     let mut ctl = RunControl::unlimited();
     ctl.cycle_deadline = Some(slice_end);
     ctl.cancel = Some(job.cancel.clone());
@@ -1330,7 +1640,7 @@ fn run_slice(cfg: &ServerConfig, ctx: &mut Context, job: &mut Job) -> SliceOutco
         job.gm_backup = Some(ctx.global_memory_mut().clone());
     }
 
-    let sabotage = job.sabotage_panic;
+    let sabotage = job.panics_left > 0;
     let gm = ctx.global_memory_mut();
     let run = catch_unwind(AssertUnwindSafe(|| {
         if sabotage {
@@ -1345,6 +1655,10 @@ fn run_slice(cfg: &ServerConfig, ctx: &mut Context, job: &mut Job) -> SliceOutco
     }));
     job.wall_used += started.elapsed();
     job.slices += 1;
+
+    if doomed {
+        return SliceOutcome::SlotDied;
+    }
 
     match run {
         Err(payload) => SliceOutcome::Failed {
@@ -1412,6 +1726,9 @@ fn settle(
         SliceOutcome::Failed { cycle, .. } => {
             cycle.unwrap_or(job.cycles_done + inner.cfg.slice_cycles)
         }
+        // The dead slot's partial slice is the provider's fault, not the
+        // tenant's: charge nothing.
+        SliceOutcome::SlotDied => job.cycles_done,
     };
     tenant.stats.cycles += end_cycle.saturating_sub(job.cycles_done);
     if let Some(tr) = &inner.obs.trace {
@@ -1424,6 +1741,9 @@ fn settle(
     }
 
     let mut finished = false;
+    // `job` is moved by the Requeue arm below; the breaker feedback in
+    // the Finished arm needs the probe tag, so capture it up front.
+    let probe = job.probe;
     let next = match outcome {
         SliceOutcome::Done(mut sim) => {
             // A sampled job's profiler rode along in every snapshot, so
@@ -1484,17 +1804,24 @@ fn settle(
         }
         SliceOutcome::Failed { error, retryable, .. } => {
             job.attempts += 1;
-            if retryable && job.attempts < retry.max_attempts.max(1) {
+            // Poison-job quarantine: a job that keeps failing stops
+            // consuming retry budget (and device time) once it has
+            // burned `quarantine_after` consecutive attempts, even if
+            // the retry policy would allow more.
+            let q = inner.cfg.supervision.quarantine_after;
+            let quarantined = retryable && q > 0 && job.attempts >= q;
+            if retryable && !quarantined && job.attempts < retry.max_attempts.max(1) {
                 // Contained fault, budget left: roll memory back, clear
                 // transient injected faults, back off, try again.
                 tenant.stats.retries += 1;
+                inner.obs.recovery("retry").inc();
                 if let Some(backup) = &job.gm_backup {
                     *ctx.global_memory_mut() = backup.clone();
                 }
                 job.snapshot = None;
                 job.cycles_done = 0;
                 job.faults = FaultPlan::none();
-                job.sabotage_panic = false;
+                job.panics_left = job.panics_left.saturating_sub(1);
                 job.not_before = Some(
                     Instant::now()
                         + Duration::from_millis(retry.backoff_ms(seq as usize, job.attempts)),
@@ -1506,7 +1833,41 @@ fn settle(
                 if let Some(backup) = job.gm_backup.take() {
                     *ctx.global_memory_mut() = backup;
                 }
+                let error = if quarantined {
+                    tenant.stats.quarantined += 1;
+                    inner.obs.quarantine(&tenant.stats.name).inc();
+                    ServeError::Quarantined { attempts: job.attempts, last: Box::new(error) }
+                } else {
+                    error
+                };
                 Next::Finished(Err(error))
+            }
+        }
+        SliceOutcome::SlotDied => {
+            job.slot_recoveries += 1;
+            if job.slot_recoveries > inner.cfg.supervision.max_slot_recoveries {
+                // Slots keep dying under this job; stop re-admitting it.
+                if let Some(backup) = job.gm_backup.take() {
+                    *ctx.global_memory_mut() = backup;
+                }
+                Next::Finished(Err(ServeError::Faulted {
+                    cycle: job.cycles_done,
+                    what: format!("device slot died {} times under job", job.slot_recoveries),
+                }))
+            } else {
+                // Checkpoint recovery: the doomed slice mutated global
+                // memory, but `Machine::restore` rewrites it wholesale
+                // from the snapshot, so a checkpointed job just
+                // re-admits as-is. A job with no checkpoint yet restarts
+                // from the pre-launch image.
+                tenant.stats.slot_recoveries += 1;
+                inner.obs.recovery("slot").inc();
+                if job.snapshot.is_none() {
+                    if let Some(backup) = &job.gm_backup {
+                        *ctx.global_memory_mut() = backup.clone();
+                    }
+                }
+                Next::Requeue(job)
             }
         }
     };
@@ -1530,6 +1891,20 @@ fn settle(
                 Ok(_) => tenant.stats.completed += 1,
                 Err(ServeError::Cancelled) => tenant.stats.cancelled += 1,
                 Err(_) => tenant.stats.failed += 1,
+            }
+            // The breaker sees settled outcomes only: transient faults
+            // that retry heals never count against the tenant.
+            let ev = match &result {
+                Ok(_) => tenant.breaker.on_success(probe),
+                Err(ServeError::Cancelled) => {
+                    tenant.breaker.on_abandoned(probe);
+                    None
+                }
+                Err(_) => tenant.breaker.on_failure(probe),
+            };
+            tenant.obs.breaker_state.set(tenant.breaker.gauge_value());
+            if matches!(ev, Some(BreakerEvent::Closed)) {
+                inner.obs.recovery("breaker").inc();
             }
             inner.obs.job_outcome(&tenant.stats.name, outcome_label).inc();
             if let Some(tr) = &inner.obs.trace {

@@ -1,0 +1,380 @@
+//! Crash-only supervision: poison-job quarantine, per-tenant circuit
+//! breakers, checkpoint-based slot recovery, wait deadlines, and the
+//! readiness snapshot.
+//!
+//! Everything here is deterministic: breakers advance on caller
+//! pressure (not wall time), slot deaths are injected at exact global
+//! slice indices, and recovery correctness is asserted bit-for-bit
+//! against chaos-free reference runs.
+
+use proptest::prelude::*;
+use soff_obs::Registry;
+use soff_serve::{
+    chaos::{ChaosConfig, ChaosSchedule},
+    BreakerConfig, HealthCause, HealthState, NdRange, RetryPolicy, ServeError, Server,
+    ServerConfig, Session, Supervision,
+};
+use soff_sim::{Fault, FaultPlan};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SRC: &str = r#"
+__kernel void bump(__global float* a, int iters, float bias) {
+    int i = get_global_id(0);
+    float x = a[i];
+    for (int k = 0; k < iters; k++) {
+        x = x * 0.999f + bias;
+    }
+    a[i] = x;
+}
+"#;
+
+/// Builds the kernel and returns the handle plus its output buffer (so
+/// recovery tests can compare final memory bit-for-bit).
+fn prep(sess: &Session, n: usize, iters: i32) -> (soff_serve::KernelHandle, soff_serve::Buffer) {
+    let program = sess.build_program(SRC, &[]).unwrap();
+    let buf = sess.create_buffer(n * 4).unwrap();
+    let bytes: Vec<u8> = std::iter::repeat_n(1.0f32.to_le_bytes(), n).flatten().collect();
+    sess.write_buffer(buf, &bytes).unwrap();
+    let mut k = sess.kernel(&program, "bump").unwrap();
+    k.set_arg_buffer(0, buf).set_arg_i32(1, iters).set_arg_f32(2, 0.5);
+    (k, buf)
+}
+
+#[test]
+fn poison_job_is_quarantined_without_penalizing_the_tenant() {
+    // quarantine_after < max_attempts: the poison job must stop at the
+    // quarantine bound, not burn the whole retry budget.
+    let server = Server::new(ServerConfig {
+        device_slots: 1,
+        retry: RetryPolicy { max_attempts: 5, ..Default::default() },
+        supervision: Supervision { quarantine_after: 2, ..Supervision::default() },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let sess = server.connect("poisoned").unwrap();
+    let (k, _) = prep(&sess, 8, 50);
+
+    sess.inject_sticky_panics_next(5);
+    let job = sess.enqueue(&k, NdRange::dim1(8, 4)).unwrap();
+    match sess.wait(job) {
+        Err(ServeError::Quarantined { attempts: 2, last }) => {
+            assert!(matches!(*last, ServeError::Panicked { .. }), "last: {last:?}");
+        }
+        other => panic!("expected Quarantined after 2 attempts, got {other:?}"),
+    }
+    let st = sess.stats();
+    assert_eq!(st.quarantined, 1);
+    assert_eq!(st.retries, 1, "exactly one retry before quarantine kicked in");
+    assert_eq!(st.failed, 1);
+
+    // "Without penalizing the tenant": the same session's next job runs
+    // normally — quarantine is per-job, not per-tenant.
+    let (k2, _) = prep(&sess, 8, 50);
+    let job2 = sess.enqueue(&k2, NdRange::dim1(8, 4)).unwrap();
+    let out = sess.wait(job2).expect("tenant unaffected by its quarantined job");
+    assert_eq!(out.attempts, 1);
+}
+
+#[test]
+fn quarantine_disabled_by_default_burns_the_retry_budget() {
+    let server = Server::new(ServerConfig { device_slots: 1, ..ServerConfig::default() }).unwrap();
+    let sess = server.connect("default").unwrap();
+    let (k, _) = prep(&sess, 8, 50);
+    sess.inject_sticky_panics_next(5);
+    let job = sess.enqueue(&k, NdRange::dim1(8, 4)).unwrap();
+    match sess.wait(job) {
+        // Default quarantine_after == 0: the error keeps its own type.
+        Err(ServeError::Panicked { .. }) => {}
+        other => panic!("expected plain Panicked, got {other:?}"),
+    }
+    assert_eq!(sess.stats().quarantined, 0);
+}
+
+#[test]
+fn breaker_opens_sheds_probes_and_recloses() {
+    let registry = Arc::new(Registry::new());
+    let server = Server::new(ServerConfig {
+        device_slots: 1,
+        retry: RetryPolicy { max_attempts: 1, ..Default::default() },
+        supervision: Supervision {
+            breaker: BreakerConfig { failure_threshold: 2, open_budget: 2, probe_budget: 1 },
+            ..Supervision::default()
+        },
+        registry: Some(Arc::clone(&registry)),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let sess = server.connect("flappy").unwrap();
+    let (k, _) = prep(&sess, 8, 50);
+
+    // Two consecutive settled failures trip the breaker.
+    for _ in 0..2 {
+        sess.inject_panic_next();
+        let job = sess.enqueue(&k, NdRange::dim1(8, 4)).unwrap();
+        assert!(matches!(sess.wait(job), Err(ServeError::Panicked { .. })));
+    }
+    match server.health().state {
+        HealthState::Degraded => {}
+        other => panic!("expected Degraded with the breaker open, got {other:?}"),
+    }
+    assert!(server
+        .health()
+        .causes
+        .iter()
+        .any(|c| matches!(c, HealthCause::BreakerOpen { tenant } if tenant == "flappy")));
+
+    // Open: the next open_budget enqueues are shed with a typed error —
+    // caller pressure, not wall time, advances the breaker.
+    for _ in 0..2 {
+        match sess.enqueue(&k, NdRange::dim1(8, 4)) {
+            Err(ServeError::CircuitOpen) => {}
+            other => panic!("expected CircuitOpen, got {other:?}"),
+        }
+    }
+    assert_eq!(sess.stats().rejections.circuit_open, 2);
+    assert!(server
+        .health()
+        .causes
+        .iter()
+        .any(|c| matches!(c, HealthCause::BreakerHalfOpen { tenant } if tenant == "flappy")));
+
+    // Half-open: one clean probe re-closes it (probe_budget == 1)...
+    let probe = sess.enqueue(&k, NdRange::dim1(8, 4)).expect("half-open admits a probe");
+    sess.wait(probe).expect("probe succeeds");
+    assert_eq!(server.health().state, HealthState::Ok);
+    assert_eq!(
+        registry.counter("soff_serve_recoveries_total", &[("kind", "breaker")]).get(),
+        1,
+        "re-close is a recovery"
+    );
+    assert_eq!(registry.gauge("soff_serve_breaker_state", &[("tenant", "flappy")]).get(), 0.0);
+
+    // ...and normal service resumes.
+    let job = sess.enqueue(&k, NdRange::dim1(8, 4)).unwrap();
+    sess.wait(job).unwrap();
+}
+
+#[test]
+fn breaker_failures_are_per_tenant() {
+    let server = Server::new(ServerConfig {
+        device_slots: 1,
+        retry: RetryPolicy { max_attempts: 1, ..Default::default() },
+        supervision: Supervision {
+            breaker: BreakerConfig { failure_threshold: 1, open_budget: 2, probe_budget: 1 },
+            ..Supervision::default()
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let bad = server.connect("bad").unwrap();
+    let good = server.connect("good").unwrap();
+    let (bk, _) = prep(&bad, 8, 50);
+    let (gk, _) = prep(&good, 8, 50);
+
+    bad.inject_panic_next();
+    let job = bad.enqueue(&bk, NdRange::dim1(8, 4)).unwrap();
+    assert!(bad.wait(job).is_err());
+    assert!(matches!(bad.enqueue(&bk, NdRange::dim1(8, 4)), Err(ServeError::CircuitOpen)));
+
+    // The sibling tenant's breaker is untouched.
+    let job = good.enqueue(&gk, NdRange::dim1(8, 4)).expect("sibling breaker closed");
+    good.wait(job).unwrap();
+}
+
+#[test]
+fn slot_death_recovers_from_checkpoint_bit_identically() {
+    // Reference: the same job on an undisturbed server.
+    let reference = Server::new(ServerConfig {
+        device_slots: 1,
+        slice_cycles: 500,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let rsess = reference.connect("ref").unwrap();
+    let (rk, rbuf) = prep(&rsess, 256, 300);
+    let rjob = rsess.enqueue(&rk, NdRange::dim1(256, 4)).unwrap();
+    let expected = rsess.wait(rjob).unwrap();
+    let expected_bytes = rsess.read_buffer(rbuf).unwrap();
+    assert!(expected.slices > 3, "need a multi-slice job for a mid-run death");
+
+    let registry = Arc::new(Registry::new());
+    let server = Server::new(ServerConfig {
+        device_slots: 1,
+        slice_cycles: 500,
+        registry: Some(Arc::clone(&registry)),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let sess = server.connect("survivor").unwrap();
+    let (k, buf) = prep(&sess, 256, 300);
+    // Global slice 2 dies: the job already has a checkpoint from its
+    // earlier preemptions and must resume from it, not from scratch.
+    server.inject_slot_deaths(&[2]);
+    let job = sess.enqueue(&k, NdRange::dim1(256, 4)).unwrap();
+    let out = sess.wait(job).expect("job survives the slot death");
+
+    assert_eq!(out.cycles, expected.cycles, "checkpoint recovery must not change the result");
+    assert_eq!(out.attempts, 1, "re-admission is not a retry");
+    assert_eq!(sess.read_buffer(buf).unwrap(), expected_bytes, "memory bit-identical");
+    assert_eq!(sess.stats().slot_recoveries, 1);
+    assert_eq!(registry.counter("soff_serve_recoveries_total", &[("kind", "slot")]).get(), 1);
+}
+
+#[test]
+fn slot_death_before_any_checkpoint_restarts_cleanly() {
+    let reference = Server::new(ServerConfig {
+        device_slots: 1,
+        slice_cycles: 500,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let rsess = reference.connect("ref").unwrap();
+    let (rk, rbuf) = prep(&rsess, 256, 300);
+    let rjob = rsess.enqueue(&rk, NdRange::dim1(256, 4)).unwrap();
+    let expected = rsess.wait(rjob).unwrap();
+    let expected_bytes = rsess.read_buffer(rbuf).unwrap();
+
+    let server = Server::new(ServerConfig {
+        device_slots: 1,
+        slice_cycles: 500,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let sess = server.connect("early-death").unwrap();
+    let (k, buf) = prep(&sess, 256, 300);
+    // The very first slice dies: no checkpoint exists, so recovery rolls
+    // back to the pre-launch image and starts over.
+    server.inject_slot_deaths(&[0]);
+    let job = sess.enqueue(&k, NdRange::dim1(256, 4)).unwrap();
+    let out = sess.wait(job).expect("job survives a first-slice death");
+    assert_eq!(out.cycles, expected.cycles);
+    assert_eq!(sess.read_buffer(buf).unwrap(), expected_bytes);
+}
+
+#[test]
+fn repeated_slot_deaths_exhaust_the_recovery_budget() {
+    let server = Server::new(ServerConfig {
+        device_slots: 1,
+        slice_cycles: 500,
+        supervision: Supervision { max_slot_recoveries: 1, ..Supervision::default() },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let sess = server.connect("doomed").unwrap();
+    let (k, _) = prep(&sess, 256, 300);
+    // Every early slice dies; after max_slot_recoveries the job fails
+    // with a typed error instead of re-admitting forever.
+    server.inject_slot_deaths(&[0, 1, 2, 3]);
+    let job = sess.enqueue(&k, NdRange::dim1(256, 4)).unwrap();
+    match sess.wait(job) {
+        Err(ServeError::Faulted { what, .. }) => {
+            assert!(what.contains("slot died"), "got: {what}");
+        }
+        other => panic!("expected Faulted after recovery budget, got {other:?}"),
+    }
+    assert_eq!(sess.stats().slot_recoveries, 1, "one recovery granted, second death is fatal");
+}
+
+#[test]
+fn health_tracks_shedding() {
+    let server = Server::new(ServerConfig { device_slots: 0, ..ServerConfig::default() }).unwrap();
+    assert_eq!(server.health().state, HealthState::Ok);
+    assert!(server.health().causes.is_empty());
+    server.shed();
+    let h = server.health();
+    assert_eq!(h.state, HealthState::Shedding);
+    assert!(h.causes.iter().any(|c| matches!(c, HealthCause::Shedding)));
+    server.resume();
+    assert_eq!(server.health().state, HealthState::Ok);
+}
+
+#[test]
+fn wait_deadline_times_out_without_consuming_the_job() {
+    // Admission-only server: the job is queued forever, which is the
+    // most extreme "hung" case.
+    let server = Server::new(ServerConfig { device_slots: 0, ..ServerConfig::default() }).unwrap();
+    let sess = server.connect("waiter").unwrap();
+    let (k, _) = prep(&sess, 8, 10);
+    let job = sess.enqueue(&k, NdRange::dim1(8, 4)).unwrap();
+    match sess.wait_deadline(job, Duration::from_millis(30)) {
+        Err(ServeError::WaitTimeout { waited }) => {
+            assert!(waited >= Duration::from_millis(30), "waited {waited:?}");
+        }
+        other => panic!("expected WaitTimeout, got {other:?}"),
+    }
+    // The job is still alive: it can be cancelled and then consumed.
+    assert!(sess.cancel(job), "timed-out wait must not consume the job");
+    match sess.wait(job) {
+        Err(ServeError::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn wait_deadline_frees_the_caller_from_a_glacial_job() {
+    // A DRAM latency spike makes the job glacial but *live*: it keeps
+    // progressing and never trips the deadlock detector, so only a wall
+    // deadline gets the caller unstuck.
+    let server = Server::new(ServerConfig {
+        device_slots: 1,
+        slice_cycles: 2_000,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let sess = server.connect("glacial").unwrap();
+    let (k, _) = prep(&sess, 1024, 400);
+    sess.inject_faults_next(FaultPlan::none().with(Fault::DramLatencySpike {
+        from: 0,
+        cycles: u64::MAX,
+        extra_latency: 2_000,
+    }));
+    let job = sess.enqueue(&k, NdRange::dim1(1024, 4)).unwrap();
+    match sess.wait_deadline(job, Duration::from_millis(50)) {
+        Err(ServeError::WaitTimeout { .. }) => {}
+        // On a very fast host the job may still finish inside the
+        // budget; that is not a failure of the deadline mechanism.
+        Ok(_) => return,
+        other => panic!("expected WaitTimeout, got {other:?}"),
+    }
+    sess.cancel(job);
+    match sess.wait(job) {
+        Err(ServeError::Cancelled) | Ok(_) => {}
+        Err(e) => panic!("expected Cancelled or completion, got {e:?}"),
+    }
+    // Drop of `server` must join workers promptly (the cancel landed).
+}
+
+#[test]
+fn wait_deadline_returns_a_finished_job_immediately() {
+    let server = Server::new(ServerConfig { device_slots: 1, ..ServerConfig::default() }).unwrap();
+    let sess = server.connect("prompt").unwrap();
+    let (k, _) = prep(&sess, 8, 10);
+    let job = sess.enqueue(&k, NdRange::dim1(8, 4)).unwrap();
+    let out = sess
+        .wait_deadline(job, Duration::from_secs(60))
+        .expect("plenty of budget: behaves like wait()");
+    assert_eq!(out.attempts, 1);
+    // Consumed now, like wait().
+    assert!(matches!(sess.wait(job), Err(ServeError::UnknownJob)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The chaos determinism contract: a schedule is a pure function of
+    /// its config, for any config.
+    #[test]
+    fn same_seed_chaos_schedules_are_identical(
+        seed in any::<u64>(),
+        tenants in 1u32..6,
+        jobs_per_tenant in 1u32..12,
+        events in 0u32..48,
+    ) {
+        let cfg = ChaosConfig { seed, tenants, jobs_per_tenant, events };
+        let a = ChaosSchedule::generate(cfg);
+        let b = ChaosSchedule::generate(cfg);
+        prop_assert_eq!(a.events(), b.events());
+        prop_assert_eq!(a.digest(), b.digest());
+    }
+}

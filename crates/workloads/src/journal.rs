@@ -196,6 +196,51 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
 
 const HEADER_PREFIX: &str = "soff-sweep-journal v1 ";
 
+/// Deterministic journal fault injection (the chaos harness's hook):
+/// 0-based append-op indices at which the write lands *torn* — a
+/// partial line with no newline reaches the file and the append reports
+/// an I/O error, exactly what a crash mid-`write` leaves behind.
+#[derive(Debug, Clone, Default)]
+pub struct JournalFaults {
+    /// Append ops that tear.
+    pub torn_appends: Vec<u64>,
+}
+
+#[derive(Default)]
+struct JournalShim {
+    plan: Option<JournalFaults>,
+    appends: u64,
+    injected: u64,
+}
+
+fn journal_shim() -> &'static Mutex<JournalShim> {
+    static SHIM: std::sync::OnceLock<Mutex<JournalShim>> = std::sync::OnceLock::new();
+    SHIM.get_or_init(Mutex::default)
+}
+
+/// Installs (or with `None` clears) the journal fault plan, resetting
+/// the append-op counter. Process-global; for chaos tests only.
+pub fn set_journal_faults(plan: Option<JournalFaults>) {
+    let mut s = journal_shim().lock().unwrap_or_else(|e| e.into_inner());
+    *s = JournalShim { plan, ..JournalShim::default() };
+}
+
+/// Number of journal faults actually injected since the plan was set.
+pub fn injected_journal_faults() -> u64 {
+    journal_shim().lock().unwrap_or_else(|e| e.into_inner()).injected
+}
+
+fn shim_torn_append() -> bool {
+    let mut s = journal_shim().lock().unwrap_or_else(|e| e.into_inner());
+    let idx = s.appends;
+    s.appends += 1;
+    let hit = s.plan.as_ref().is_some_and(|p| p.torn_appends.contains(&idx));
+    if hit {
+        s.injected += 1;
+    }
+    hit
+}
+
 /// An open, append-mode sweep journal. Appends are serialized through a
 /// mutex (workers on the pool journal concurrently) and each record is
 /// flushed and fsync'd before [`Journal::append`] returns, so a crash
@@ -216,6 +261,12 @@ impl Journal {
         let mut file = File::create(path)?;
         writeln!(file, "{HEADER_PREFIX}{identity:016x}")?;
         file.sync_data()?;
+        // The record data is durable, but the *dirent* for a freshly
+        // created journal is not until its parent directory is synced —
+        // a power cut could silently drop the whole file.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            File::open(dir)?.sync_all()?;
+        }
         Ok(Journal { file: Mutex::new(file) })
     }
 
@@ -230,6 +281,49 @@ impl Journal {
         Ok(Journal { file: Mutex::new(file) })
     }
 
+    /// Replays an existing journal, **truncates any torn tail**, and
+    /// reopens for appending — the one safe way to resume: a plain
+    /// [`replay`] + [`Journal::append_to`] would append the next record
+    /// onto a torn partial line, merging the two into one unparsable
+    /// line that a *later* resume rejects as mid-file corruption.
+    ///
+    /// A missing file, an empty file, and a torn header all restart the
+    /// journal from scratch (header rewritten, no records).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] / [`JournalError::Stale`] /
+    /// [`JournalError::Corrupt`] (mid-file damage only).
+    pub fn recover(path: &Path, identity: u64) -> Result<(Vec<Record>, Journal), JournalError> {
+        if !path.exists() {
+            return Ok((Vec::new(), Journal::create(path, identity)?));
+        }
+        let records = replay(path, identity)?;
+        let mut text = String::new();
+        File::open(path)?.read_to_string(&mut text)?;
+        // Keep exactly the header + every replayed record: each is one
+        // newline-terminated chunk, in file order.
+        let mut keep = 0usize;
+        let mut kept = 0usize;
+        for chunk in text.split_inclusive('\n') {
+            if kept == 1 + records.len() || !chunk.ends_with('\n') {
+                break;
+            }
+            keep += chunk.len();
+            kept += 1;
+        }
+        if kept == 0 {
+            // Nothing durable landed, not even the header line.
+            return Ok((records, Journal::create(path, identity)?));
+        }
+        if keep < text.len() {
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(keep as u64)?;
+            f.sync_data()?;
+        }
+        Ok((records, Journal::append_to(path)?))
+    }
+
     /// Durably appends one completed-cell record.
     ///
     /// # Errors
@@ -239,6 +333,12 @@ impl Journal {
         let payload = record.payload();
         let line = format!("{:016x} {}\n", fnv1a(payload.as_bytes()), payload);
         let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        if shim_torn_append() {
+            let cut = line.len() / 2;
+            file.write_all(&line.as_bytes()[..cut])?;
+            let _ = file.sync_data();
+            return Err(JournalError::Io(std::io::Error::other("injected torn append")));
+        }
         file.write_all(line.as_bytes())?;
         file.sync_data()?;
         soff_obs::global().counter("soff_journal_appends_total", &[]).inc();
@@ -265,6 +365,10 @@ pub fn replay(path: &Path, identity: u64) -> Result<Vec<Record>, JournalError> {
         // Empty file: the crash happened before the header landed.
         return Ok(Vec::new());
     };
+    if lines.len() == 1 && torn_tail {
+        // The crash landed mid-header: nothing durable was recorded.
+        return Ok(Vec::new());
+    }
     let found = header
         .strip_prefix(HEADER_PREFIX)
         .and_then(|h| u64::from_str_radix(h, 16).ok())
@@ -376,6 +480,71 @@ mod tests {
             Err(JournalError::Corrupt { line: 2, .. }) => {}
             other => panic!("expected Corrupt at line 2, got {other:?}"),
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recover_truncates_torn_tail_so_appends_stay_parsable() {
+        let path = tmp("recover");
+        let j = Journal::create(&path, 5).unwrap();
+        j.append(&record("atax", 1)).unwrap();
+        j.append(&record("mvt", 2)).unwrap();
+        drop(j);
+        // Tear the final record mid-payload.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 7]).unwrap();
+        // recover replays the intact prefix AND truncates the torn line,
+        // so the next append starts on a fresh line.
+        let (records, j) = Journal::recover(&path, 5).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].app, "atax");
+        j.append(&record("bicg", 3)).unwrap();
+        drop(j);
+        // A second resume sees both records — with a bare append_to the
+        // merged torn+new line would have been mid-file corruption here.
+        let (records, _) = Journal::recover(&path, 5).unwrap();
+        let apps: Vec<&str> = records.iter().map(|r| r.app.as_str()).collect();
+        assert_eq!(apps, ["atax", "bicg"]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recover_restarts_missing_empty_and_torn_header_journals() {
+        let path = tmp("recover-fresh");
+        std::fs::remove_file(&path).ok();
+        // Missing file: created from scratch.
+        let (records, j) = Journal::recover(&path, 3).unwrap();
+        assert!(records.is_empty());
+        j.append(&record("atax", 1)).unwrap();
+        drop(j);
+        // Torn header (crash during create): restarted, old bytes gone.
+        std::fs::write(&path, "soff-sweep-jour").unwrap();
+        let (records, j) = Journal::recover(&path, 3).unwrap();
+        assert!(records.is_empty());
+        j.append(&record("mvt", 2)).unwrap();
+        drop(j);
+        let (records, _) = Journal::recover(&path, 3).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].app, "mvt");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recover_propagates_mid_file_corruption() {
+        let path = tmp("recover-corrupt");
+        let j = Journal::create(&path, 8).unwrap();
+        j.append(&record("atax", 1)).unwrap();
+        j.append(&record("mvt", 2)).unwrap();
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let pos = text.find("atax").unwrap();
+        let mut damaged = text.clone();
+        damaged.replace_range(pos..pos + 4, "xxxx");
+        std::fs::write(&path, &damaged).unwrap();
+        assert!(matches!(
+            Journal::recover(&path, 8),
+            Err(JournalError::Corrupt { line: 2, .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -245,23 +245,22 @@ where
         }
     }
 
-    // Crash recovery: replay an existing journal (same sweep identity,
-    // torn tail tolerated), then open it for appending; or start a fresh
-    // one. Replayed representatives are skipped below.
+    // Crash recovery: replay an existing journal (same sweep identity),
+    // truncate any torn tail, then open it for appending; or start a
+    // fresh one. `Journal::recover` does all three — appending directly
+    // after a torn tail would merge the next record into the partial
+    // line and poison a later resume. Replayed representatives are
+    // skipped below.
     let mut replayed: HashMap<(String, String, String), Record> = HashMap::new();
     let journal = match &opts.journal {
         Some(path) => {
-            let identity = sweep_identity(cells);
-            if path.exists() {
-                for r in journal::replay(path, identity)? {
-                    // Last record wins: duplicate appends (e.g. a retry
-                    // race at a kill point) are harmless.
-                    replayed.insert(r.key(), r);
-                }
-                Some(Journal::append_to(path)?)
-            } else {
-                Some(Journal::create(path, identity)?)
+            let (records, journal) = Journal::recover(path, sweep_identity(cells))?;
+            for r in records {
+                // Last record wins: duplicate appends (e.g. a retry
+                // race at a kill point) are harmless.
+                replayed.insert(r.key(), r);
             }
+            Some(journal)
         }
         None => None,
     };
